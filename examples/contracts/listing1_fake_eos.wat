@@ -1,0 +1,85 @@
+;; The paper's Listing 1, unpatched: the dispatcher runs the eosponser for
+;; any action named "transfer", never checking that the notification came
+;; from the official token (code == N(eosio.token)).  Anyone can invoke it
+;; directly or pay with counterfeit EOS.
+;;
+;; Constants: N(transfer) = -3617168760277827584
+;;            N(eosio.token) = 6138663591592764928
+;;
+;; Assemble with:  wasai build listing1_fake_eos.wat listing1.wasm
+
+(module
+  (import "env" "read_action_data" (func (param i32 i32) (result i32)))
+  (import "env" "action_data_size" (func (result i32)))
+  (import "env" "send_inline" (func (param i32 i32)))
+  (memory 2)
+
+  ;; eosponser(self, from, to, quantity_ptr, memo_ptr):
+  ;; reward the payer by echoing the quantity back through an inline
+  ;; transfer — without ever asking which token contract notified us.
+  (func $eosponser (param i64 i64 i64 i32 i32)
+    ;; ignore our own outgoing transfers
+    local.get 1
+    local.get 0
+    i64.eq
+    (if (then return))
+    ;; inline action buffer at 128:
+    ;;   account | name | datalen | from | to | amount | symbol | memo len
+    i32.const 128
+    i64.const 6138663591592764928   ;; eosio.token
+    i64.store
+    i32.const 136
+    i64.const -3617168760277827584  ;; "transfer"
+    i64.store
+    i32.const 144
+    i32.const 33
+    i32.store
+    i32.const 148
+    local.get 0                     ;; from = self
+    i64.store
+    i32.const 156
+    local.get 1                     ;; to = the payer
+    i64.store
+    i32.const 164
+    local.get 3
+    i64.load                        ;; amount = incoming quantity
+    i64.store
+    i32.const 172
+    local.get 3
+    i64.load offset=8               ;; symbol
+    i64.store
+    i32.const 180
+    i32.const 0                     ;; empty memo
+    i32.store8
+    i32.const 128
+    i32.const 53
+    call 2                          ;; send_inline
+  )
+
+  ;; apply(receiver, code, action) — Listing 1 without line 4's patch.
+  (func $apply (param i64 i64 i64)
+    local.get 2
+    i64.const -3617168760277827584  ;; N(transfer)
+    i64.eq
+    (if
+      (then
+        ;; deserialize: read_action_data(1024, action_data_size())
+        i32.const 1024
+        call 1
+        call 0
+        drop
+        ;; run(eosponser) — the vulnerable line 5
+        local.get 0
+        i32.const 1024
+        i64.load
+        i32.const 1024
+        i64.load offset=8
+        i32.const 1040
+        i32.const 1056
+        call $eosponser
+      )
+    )
+  )
+
+  (export "apply" (func $apply))
+)

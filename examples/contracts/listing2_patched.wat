@@ -1,0 +1,94 @@
+;; Listings 1+2 with both patches applied: the dispatcher asserts
+;; code == N(eosio.token) (Listing 1, line 4) and the eosponser checks
+;; to == _self before providing services (Listing 2, line 2), with
+;; require_auth(from) in front of the payout.  WASAI must report this
+;; contract clean on all five classes.
+
+(module
+  (import "env" "read_action_data" (func (param i32 i32) (result i32)))
+  (import "env" "action_data_size" (func (result i32)))
+  (import "env" "send_deferred" (func (param i64 i64 i32 i32 i32)))
+  (import "env" "eosio_assert" (func (param i32 i32)))
+  (import "env" "require_auth" (func (param i64)))
+  (memory 2)
+  (data (i32.const 2048) "only real EOS\00")
+
+  (func $eosponser (param i64 i64 i64 i32 i32)
+    ;; ignore our own outgoing transfers
+    local.get 1
+    local.get 0
+    i64.eq
+    (if (then return))
+    ;; Listing 2's patch: if (to != _self) return;
+    local.get 2
+    local.get 0
+    i64.ne
+    (if (then return))
+    ;; authorization before the side effect
+    local.get 1
+    call 4
+    ;; pay through a *deferred* action (the Listing 4 patch)
+    i32.const 128
+    i64.const 6138663591592764928
+    i64.store
+    i32.const 136
+    i64.const -3617168760277827584
+    i64.store
+    i32.const 144
+    i32.const 33
+    i32.store
+    i32.const 148
+    local.get 0
+    i64.store
+    i32.const 156
+    local.get 1
+    i64.store
+    i32.const 164
+    local.get 3
+    i64.load
+    i64.store
+    i32.const 172
+    local.get 3
+    i64.load offset=8
+    i64.store
+    i32.const 180
+    i32.const 0
+    i32.store8
+    i64.const 1
+    local.get 0
+    i32.const 128
+    i32.const 53
+    i32.const 0
+    call 2                          ;; send_deferred
+  )
+
+  (func $apply (param i64 i64 i64)
+    local.get 2
+    i64.const -3617168760277827584  ;; N(transfer)
+    i64.eq
+    (if
+      (then
+        ;; Listing 1's patch: assert(code == N(eosio.token), ...)
+        local.get 1
+        i64.const 6138663591592764928
+        i64.eq
+        i32.const 2048
+        call 3
+        i32.const 1024
+        call 1
+        call 0
+        drop
+        local.get 0
+        i32.const 1024
+        i64.load
+        i32.const 1024
+        i64.load offset=8
+        i32.const 1040
+        i32.const 1056
+        call $eosponser
+      )
+    )
+  )
+
+  (export "apply" (func $apply))
+)

@@ -1,0 +1,100 @@
+;; The paper's Listing 4: a lottery whose reveal uses block-info
+;; pseudo-randomness (tapos_block_prefix * tapos_block_num) and pays the
+;; winner through an inline action — so the whole gamble sits inside the
+;; caller's transaction and a losing bet can be reverted (Rollback), and
+;; the "randomness" is attacker-predictable (BlockinfoDep).
+;;
+;; Assemble with:  wasai build listing4_rollback.wat listing4.wasm
+
+(module
+  (import "env" "read_action_data" (func (param i32 i32) (result i32)))
+  (import "env" "action_data_size" (func (result i32)))
+  (import "env" "send_inline" (func (param i32 i32)))
+  (import "env" "eosio_assert" (func (param i32 i32)))
+  (import "env" "tapos_block_prefix" (func (result i32)))
+  (import "env" "tapos_block_num" (func (result i32)))
+  (memory 2)
+  (data (i32.const 2048) "revert\00")
+
+  ;; reveal(self, from, to, quantity_ptr, memo_ptr) — Listing 4's body.
+  (func $reveal (param i64 i64 i64 i32 i32)
+    local.get 1
+    local.get 0
+    i64.eq
+    (if (then return))
+    ;; eosio_assert(quantity >= 10.0000 EOS, "revert")
+    local.get 3
+    i64.load
+    i64.const 100000
+    i64.ge_s
+    i32.const 2048
+    call 3
+    ;; a = tapos_block_prefix() * tapos_block_num()
+    call 4
+    call 5
+    i32.mul
+    ;; if (a % 2) { pay double through an inline action }
+    i32.const 2
+    i32.rem_u
+    (if
+      (then
+        i32.const 128
+        i64.const 6138663591592764928   ;; eosio.token
+        i64.store
+        i32.const 136
+        i64.const -3617168760277827584  ;; "transfer"
+        i64.store
+        i32.const 144
+        i32.const 33
+        i32.store
+        i32.const 148
+        local.get 0
+        i64.store
+        i32.const 156
+        local.get 1
+        i64.store
+        i32.const 164
+        local.get 3
+        i64.load
+        i64.const 1
+        i64.shl                         ;; double or nothing
+        i64.store
+        i32.const 172
+        local.get 3
+        i64.load offset=8
+        i64.store
+        i32.const 180
+        i32.const 0
+        i32.store8
+        i32.const 128
+        i32.const 53
+        call 2                          ;; send_inline — the Rollback bug
+      )
+    )
+  )
+
+  ;; apply(receiver, code, action): if (action == N(transfer)) run(reveal)
+  (func $apply (param i64 i64 i64)
+    local.get 2
+    i64.const -3617168760277827584
+    i64.eq
+    (if
+      (then
+        i32.const 1024
+        call 1
+        call 0
+        drop
+        local.get 0
+        i32.const 1024
+        i64.load
+        i32.const 1024
+        i64.load offset=8
+        i32.const 1040
+        i32.const 1056
+        call $reveal
+      )
+    )
+  )
+
+  (export "apply" (func $apply))
+)
