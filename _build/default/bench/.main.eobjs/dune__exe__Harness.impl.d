@@ -1,0 +1,1 @@
+bench/harness.ml: Hashtbl Int64 List Metrics Option Printf Wasai_baselines Wasai_benchgen Wasai_core Wasai_eosio Wasai_support

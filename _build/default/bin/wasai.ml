@@ -1,0 +1,298 @@
+(** The WASAI command-line interface.
+
+    Sub-commands:
+    - [analyze]    fuzz a contract binary and print a vulnerability report
+    - [gen]        generate a benchmark contract (and its ABI) to disk
+    - [dump]       print a contract binary in WAT-like text
+    - [instrument] rewrite a binary with the trace hooks
+    - [baseline]   run the EOSAFE static baseline on a binary
+
+    ABI files use the textual format of {!Wasai_eosio.Abi.of_text}:
+    one action per line, e.g. [transfer(from:name,to:name,quantity:asset,memo:string)]. *)
+
+open Cmdliner
+module Wasm = Wasai_wasm
+module Core = Wasai_core
+module BG = Wasai_benchgen
+open Wasai_eosio
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let write_file path content =
+  let oc = open_out_bin path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc content)
+
+let load_contract bin_path abi_path =
+  let m =
+    if Filename.check_suffix bin_path ".wat" then
+      Wasm.Text.parse (read_file bin_path)
+    else Wasm.Decode.decode (read_file bin_path)
+  in
+  let abi =
+    match abi_path with
+    | Some p -> Abi.of_text (read_file p)
+    | None ->
+        (* Default: the canonical profitable-contract ABI. *)
+        {
+          Abi.abi_actions =
+            [
+              Abi.transfer_action;
+              {
+                Abi.act_name = Name.of_string "deposit";
+                act_params = [ ("player", Abi.T_name); ("amount", Abi.T_u64) ];
+              };
+              {
+                Abi.act_name = Name.of_string "setup";
+                act_params = [ ("value", Abi.T_u64) ];
+              };
+              {
+                Abi.act_name = Name.of_string "reveal";
+                act_params = [ ("player", Abi.T_name) ];
+              };
+            ];
+        }
+  in
+  (m, abi)
+
+(* ---- analyze -------------------------------------------------------- *)
+
+let analyze_cmd bin_path abi_path rounds account verbose =
+  let m, abi = load_contract bin_path abi_path in
+  let target =
+    {
+      Core.Engine.tgt_account = Name.of_string account;
+      tgt_module = m;
+      tgt_abi = abi;
+    }
+  in
+  let t0 = Unix.gettimeofday () in
+  let o =
+    Core.Engine.fuzz
+      ~cfg:{ Core.Engine.default_config with Core.Engine.cfg_rounds = rounds }
+      target
+  in
+  let report =
+    Core.Report.make
+      ~elapsed:(Unix.gettimeofday () -. t0)
+      ~abi:target.Core.Engine.tgt_abi ~target:bin_path o
+  in
+  print_string (Core.Report.to_text ~verbose report);
+  if Core.Report.vulnerable report then exit 1
+
+(* ---- gen ------------------------------------------------------------ *)
+
+let gen_cmd out_path vulns seed obfuscate =
+  let rng = Wasai_support.Rand.create (Int64.of_int seed) in
+  let account = Name.of_string "victim" in
+  let base = BG.Contracts.default_spec account in
+  let spec =
+    List.fold_left
+      (fun spec v ->
+        match v with
+        | "fake-eos" -> { spec with BG.Contracts.sp_fake_eos_guard = false }
+        | "fake-notif" -> { spec with BG.Contracts.sp_fake_notif_guard = false }
+        | "miss-auth" -> { spec with BG.Contracts.sp_auth_check = false }
+        | "blockinfo" ->
+            { spec with BG.Contracts.sp_blockinfo = true; sp_payout_inline = true }
+        | "rollback" -> { spec with BG.Contracts.sp_payout_inline = true }
+        | "checks" ->
+            {
+              spec with
+              BG.Contracts.sp_checks =
+                BG.Verification.random_checks rng ~depth:3;
+            }
+        | other -> failwith ("unknown vulnerability flag: " ^ other))
+      base vulns
+  in
+  let m, abi = BG.Contracts.build spec in
+  let m = if obfuscate then BG.Obfuscate.obfuscate m else m in
+  write_file out_path (Wasm.Encode.encode m);
+  write_file (out_path ^ ".abi") (Abi.to_text abi);
+  Printf.printf "wrote %s (%d bytes) and %s.abi\n" out_path
+    (String.length (Wasm.Encode.encode m))
+    out_path
+
+(* ---- dump / build ----------------------------------------------------- *)
+
+let dump_cmd bin_path =
+  let m = Wasm.Decode.decode (read_file bin_path) in
+  print_string (Wasm.Wat.to_string m)
+
+let build_cmd wat_path out_path =
+  let m = Wasm.Text.parse (read_file wat_path) in
+  let bin = Wasm.Encode.encode m in
+  write_file out_path bin;
+  Printf.printf "assembled %s -> %s (%d functions, %d bytes)\n" wat_path out_path
+    (Array.length m.Wasm.Ast.funcs)
+    (String.length bin)
+
+(* ---- instrument ------------------------------------------------------ *)
+
+let instrument_cmd bin_path out_path =
+  let bin = read_file bin_path in
+  let bin', meta = Wasai_wasabi.Instrument.instrument_binary bin in
+  write_file out_path bin';
+  Printf.printf "instrumented %s -> %s (%d sites, %d -> %d bytes)\n" bin_path
+    out_path
+    (Array.length meta.Wasai_wasabi.Trace.sites)
+    (String.length bin) (String.length bin')
+
+(* ---- scan ------------------------------------------------------------ *)
+
+let scan_cmd dir rounds =
+  let entries = Sys.readdir dir in
+  Array.sort compare entries;
+  let total = ref 0 and vulnerable = ref 0 in
+  let per_flag = Hashtbl.create 8 in
+  Array.iter
+    (fun entry ->
+      if Filename.check_suffix entry ".wasm" then begin
+        incr total;
+        let path = Filename.concat dir entry in
+        let abi_path =
+          let p = path ^ ".abi" in
+          if Sys.file_exists p then Some p else None
+        in
+        let m, abi = load_contract path abi_path in
+        let o =
+          Core.Engine.fuzz
+            ~cfg:{ Core.Engine.default_config with Core.Engine.cfg_rounds = rounds }
+            {
+              Core.Engine.tgt_account = Name.of_string "victim";
+              tgt_module = m;
+              tgt_abi = abi;
+            }
+        in
+        let report = Core.Report.make ~abi ~target:entry o in
+        print_endline (Core.Report.summary report);
+        if Core.Report.vulnerable report then begin
+          incr vulnerable;
+          List.iter
+            (fun (f, fired) ->
+              if fired then
+                Hashtbl.replace per_flag f
+                  (1 + Option.value ~default:0 (Hashtbl.find_opt per_flag f)))
+            o.Core.Engine.out_flags
+        end
+      end)
+    entries;
+  Printf.printf "\n%d/%d contracts flagged vulnerable\n" !vulnerable !total;
+  List.iter
+    (fun f ->
+      match Hashtbl.find_opt per_flag f with
+      | Some n -> Printf.printf "  %-14s %d\n" (Core.Scanner.string_of_flag f) n
+      | None -> ())
+    Core.Scanner.all_flags;
+  if !vulnerable > 0 then exit 1
+
+(* ---- baseline -------------------------------------------------------- *)
+
+let baseline_cmd bin_path =
+  let m = Wasm.Decode.decode (read_file bin_path) in
+  let v = Wasai_baselines.Eosafe.analyze m in
+  Printf.printf "EOSAFE static analysis of %s:\n" bin_path;
+  Printf.printf "  dispatcher located : %b\n" v.Wasai_baselines.Eosafe.es_located;
+  Printf.printf "  timeout            : %b (paths: %d)\n"
+    v.Wasai_baselines.Eosafe.es_timeout v.Wasai_baselines.Eosafe.es_paths;
+  List.iter
+    (fun (f, r) ->
+      Printf.printf "  %-14s %s\n"
+        (Core.Scanner.string_of_flag f)
+        (match r with
+         | Some true -> "VULNERABLE"
+         | Some false -> "ok"
+         | None -> "unsupported"))
+    (Wasai_baselines.Eosafe.flags v)
+
+(* ---- cmdliner wiring -------------------------------------------------- *)
+
+let bin_arg =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"CONTRACT.wasm")
+
+let abi_arg =
+  Arg.(
+    value
+    & opt (some file) None
+    & info [ "abi" ] ~docv:"FILE" ~doc:"Textual ABI file (defaults to the standard profitable-contract ABI).")
+
+let rounds_arg =
+  Arg.(value & opt int 60 & info [ "rounds" ] ~doc:"Fuzzing iteration budget.")
+
+let account_arg =
+  Arg.(
+    value & opt string "victim"
+    & info [ "account" ] ~doc:"Account name to deploy the contract under.")
+
+let verbose_arg = Arg.(value & flag & info [ "v"; "verbose" ])
+
+let analyze_t =
+  Cmd.v
+    (Cmd.info "analyze" ~doc:"Fuzz a contract binary and report vulnerabilities")
+    Term.(const analyze_cmd $ bin_arg $ abi_arg $ rounds_arg $ account_arg $ verbose_arg)
+
+let gen_t =
+  let out =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"OUT.wasm")
+  in
+  let vulns =
+    Arg.(
+      value & opt_all string []
+      & info [ "vuln" ]
+          ~doc:
+            "Inject a vulnerability: fake-eos, fake-notif, miss-auth, blockinfo, rollback, checks. Repeatable.")
+  in
+  let seed = Arg.(value & opt int 1 & info [ "seed" ]) in
+  let obf = Arg.(value & flag & info [ "obfuscate" ]) in
+  Cmd.v
+    (Cmd.info "gen" ~doc:"Generate a benchmark contract binary")
+    Term.(const gen_cmd $ out $ vulns $ seed $ obf)
+
+let dump_t =
+  Cmd.v (Cmd.info "dump" ~doc:"Print a contract in WAT-like text")
+    Term.(const dump_cmd $ bin_arg)
+
+let build_t =
+  let wat =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"SOURCE.wat")
+  in
+  let out =
+    Arg.(required & pos 1 (some string) None & info [] ~docv:"OUT.wasm")
+  in
+  Cmd.v
+    (Cmd.info "build" ~doc:"Assemble a WAT-subset source file into a binary")
+    Term.(const build_cmd $ wat $ out)
+
+let instrument_t =
+  let out =
+    Arg.(required & pos 1 (some string) None & info [] ~docv:"OUT.wasm")
+  in
+  Cmd.v
+    (Cmd.info "instrument" ~doc:"Insert trace hooks into a contract binary")
+    Term.(const instrument_cmd $ bin_arg $ out)
+
+let baseline_t =
+  Cmd.v
+    (Cmd.info "baseline" ~doc:"Run the EOSAFE static baseline on a binary")
+    Term.(const baseline_cmd $ bin_arg)
+
+let scan_t =
+  let dir = Arg.(required & pos 0 (some dir) None & info [] ~docv:"DIR") in
+  Cmd.v
+    (Cmd.info "scan"
+       ~doc:
+         "Fuzz every *.wasm in a directory (with its *.wasm.abi when present) and summarise")
+    Term.(const scan_cmd $ dir $ rounds_arg)
+
+let () =
+  let info =
+    Cmd.info "wasai" ~version:"1.0.0"
+      ~doc:"Concolic fuzzer for Wasm (EOSIO) smart contracts"
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ analyze_t; gen_t; dump_t; build_t; instrument_t; baseline_t; scan_t ]))

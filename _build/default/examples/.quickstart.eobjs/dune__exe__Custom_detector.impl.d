@@ -1,0 +1,1 @@
+examples/custom_detector.ml: List Name Printf Wasai_benchgen Wasai_core Wasai_eosio Wasai_wasabi

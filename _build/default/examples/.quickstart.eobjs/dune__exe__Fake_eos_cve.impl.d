@@ -1,0 +1,1 @@
+examples/fake_eos_cve.ml: Abi Action Asset Chain Host Int64 List Name Printf Token Wasai_benchgen Wasai_core Wasai_eosio

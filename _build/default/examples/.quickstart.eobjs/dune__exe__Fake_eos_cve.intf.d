@@ -1,0 +1,1 @@
+examples/fake_eos_cve.mli:

@@ -1,0 +1,1 @@
+examples/obfuscation_robustness.ml: List Name Printf String Wasai_baselines Wasai_benchgen Wasai_core Wasai_eosio Wasai_wasm

@@ -1,0 +1,1 @@
+examples/paper_listings.ml: Abi Fun List Name Printf Sys Wasai_core Wasai_eosio Wasai_wasm

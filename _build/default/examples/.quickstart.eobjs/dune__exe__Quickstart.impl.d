@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array List Name Printf String Wasai_benchgen Wasai_core Wasai_eosio Wasai_wasm

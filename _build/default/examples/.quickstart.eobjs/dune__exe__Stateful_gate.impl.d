@@ -1,0 +1,1 @@
+examples/stateful_gate.ml: Name Printf Wasai_benchgen Wasai_core Wasai_eosio

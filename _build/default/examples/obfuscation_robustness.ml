@@ -1,0 +1,69 @@
+(* Robustness against code obfuscation (the paper's RQ3).
+
+     dune exec examples/obfuscation_robustness.exe
+
+   The same vulnerable contract is analysed twice — plain, then through
+   the bytecode obfuscator (popcount-encoded comparisons plus an opaque
+   recursive function).  WASAI's verdicts survive because it replays
+   concrete traces; EOSAFE's static exploration dies on the call-graph
+   cycle, exactly the contrast of Table 5. *)
+
+module BG = Wasai_benchgen
+module BL = Wasai_baselines
+module Core = Wasai_core
+open Wasai_eosio
+
+let n = Name.of_string
+
+let () =
+  print_endline "== Obfuscation robustness (Table 5's contrast, one contract) ==\n";
+  let spec =
+    {
+      (BG.Contracts.default_spec (n "victim")) with
+      BG.Contracts.sp_fake_eos_guard = false;
+      sp_auth_check = false;
+      sp_payout_inline = true;
+      sp_min_bet = Some 100L;
+    }
+  in
+  let plain, abi = BG.Contracts.build spec in
+  let obfuscated = BG.Obfuscate.obfuscate plain in
+  Printf.printf "plain: %d bytes; obfuscated: %d bytes (%d comparisons encoded)\n\n"
+    (String.length (Wasai_wasm.Encode.encode plain))
+    (String.length (Wasai_wasm.Encode.encode obfuscated))
+    (BG.Obfuscate.count_encodable plain);
+  let wasai_flags m =
+    let o =
+      Core.Engine.fuzz
+        { Core.Engine.tgt_account = n "victim"; tgt_module = m; tgt_abi = abi }
+    in
+    List.filter_map (fun (f, b) -> if b then Some (Core.Scanner.string_of_flag f) else None)
+      o.Core.Engine.out_flags
+  in
+  let eosafe_flags m =
+    let v = BL.Eosafe.analyze m in
+    ( List.filter_map
+        (fun (f, r) ->
+          if r = Some true then Some (Core.Scanner.string_of_flag f) else None)
+        (BL.Eosafe.flags v),
+      v.BL.Eosafe.es_timeout )
+  in
+  let show name flags = Printf.printf "  %-22s [%s]\n" name (String.concat "; " flags) in
+  print_endline "WASAI (concolic, trace-based):";
+  let w_plain = wasai_flags plain in
+  let w_obf = wasai_flags obfuscated in
+  show "plain:" w_plain;
+  show "obfuscated:" w_obf;
+  print_endline "\nEOSAFE (static symbolic execution):";
+  let e_plain, to1 = eosafe_flags plain in
+  let e_obf, to2 = eosafe_flags obfuscated in
+  show (Printf.sprintf "plain (timeout=%b):" to1) e_plain;
+  show (Printf.sprintf "obfuscated (timeout=%b):" to2) e_obf;
+  (* WASAI's findings are stable; EOSAFE times out on the opaque
+     recursion and loses its FakeEOS/MissAuth findings. *)
+  assert (w_plain = w_obf);
+  assert (List.mem "FakeEOS" e_plain);
+  assert (to2 && not (List.mem "FakeEOS" e_obf));
+  print_endline
+    "\nWASAI's verdicts are identical on both binaries; the static baseline";
+  print_endline "times out on the opaque recursion and goes blind."

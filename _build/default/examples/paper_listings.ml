@@ -1,0 +1,87 @@
+(* The paper's code listings, as hand-written WAT, analysed by WASAI.
+
+     dune exec examples/paper_listings.exe
+
+   `examples/contracts/listing1_fake_eos.wat` is Listing 1 without the
+   line-4 patch; `listing4_rollback.wat` is the Listing-4 lottery.  Both
+   are assembled by the bundled text parser, deployed as real binaries,
+   and fuzzed — showing the toolchain end to end without the generator. *)
+
+module Wasm = Wasai_wasm
+module Core = Wasai_core
+open Wasai_eosio
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let transfer_abi = { Abi.abi_actions = [ Abi.transfer_action ] }
+
+let analyze label path expectations =
+  let source = read_file path in
+  let m = Wasm.Text.parse source in
+  (* Prove these are real binaries: assemble, then decode again. *)
+  let m = Wasm.Decode.decode (Wasm.Encode.encode m) in
+  let outcome =
+    Core.Engine.fuzz
+      {
+        Core.Engine.tgt_account = Name.of_string "victim";
+        tgt_module = m;
+        tgt_abi = transfer_abi;
+      }
+  in
+  Printf.printf "%s (%s):\n" label path;
+  List.iter
+    (fun (f, b) ->
+      Printf.printf "  %-14s %s\n"
+        (Core.Scanner.string_of_flag f)
+        (if b then "VULNERABLE" else "ok"))
+    outcome.Core.Engine.out_flags;
+  List.iter
+    (fun (flag, expected) ->
+      assert (Core.Engine.flagged outcome flag = expected))
+    expectations;
+  (match outcome.Core.Engine.out_exploits with
+   | (f, e) :: _ ->
+       Printf.printf "  e.g. %s: %s\n"
+         (Core.Scanner.string_of_flag f)
+         (Core.Scanner.string_of_evidence ~abi:transfer_abi e)
+   | [] -> ());
+  print_newline ()
+
+let () =
+  let base =
+    (* Run from the repo root (dune exec) or from the examples dir. *)
+    if Sys.file_exists "examples/contracts/listing1_fake_eos.wat" then
+      "examples/contracts/"
+    else "contracts/"
+  in
+  print_endline "== The paper's listings, straight from WAT ==\n";
+  analyze "Listing 1 (unpatched dispatcher)"
+    (base ^ "listing1_fake_eos.wat")
+    [
+      (Core.Scanner.Fake_eos, true);
+      (Core.Scanner.Fake_notif, true);  (* no to == _self guard either *)
+      (Core.Scanner.Miss_auth, true);  (* pays without require_auth *)
+      (Core.Scanner.Blockinfo_dep, false);
+    ];
+  analyze "Listing 4 (block-info lottery)"
+    (base ^ "listing4_rollback.wat")
+    [
+      (Core.Scanner.Blockinfo_dep, true);
+      (Core.Scanner.Rollback, true);
+    ];
+  analyze "Listings 1+2, patched"
+    (base ^ "listing2_patched.wat")
+    [
+      (Core.Scanner.Fake_eos, false);
+      (Core.Scanner.Fake_notif, false);
+      (Core.Scanner.Miss_auth, false);
+      (Core.Scanner.Blockinfo_dep, false);
+      (Core.Scanner.Rollback, false);
+    ];
+  print_endline
+    "the vulnerable listings reproduce their advertised bugs; the patched\n\
+     version comes back clean."

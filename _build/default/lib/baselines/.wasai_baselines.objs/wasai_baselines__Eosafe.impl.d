@@ -1,0 +1,1 @@
+lib/baselines/eosafe.ml: Array Hashtbl Int64 List Option Wasai_core Wasai_eosio Wasai_wasm

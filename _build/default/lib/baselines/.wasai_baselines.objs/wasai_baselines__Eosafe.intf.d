@@ -1,0 +1,1 @@
+lib/baselines/eosafe.mli: Wasai_core Wasai_wasm

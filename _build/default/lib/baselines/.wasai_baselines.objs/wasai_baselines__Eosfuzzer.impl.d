@@ -1,0 +1,1 @@
+lib/baselines/eosfuzzer.ml: Abi Array Chain Hashtbl List Name Unix Wasai_core Wasai_eosio Wasai_wasabi Wasai_wasm

@@ -1,0 +1,1 @@
+lib/baselines/eosfuzzer.mli: Wasai_core

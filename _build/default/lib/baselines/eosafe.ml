@@ -1,0 +1,279 @@
+(** Reimplementation of the EOSAFE baseline (He et al. 2021): static
+    symbolic execution over the raw binary, with the behaviours §4.2–4.3
+    attributes to it:
+
+    - a heuristic dispatcher matcher keyed to the SDK's indirect-call
+      pattern; contracts dispatching "in diverse ways" (direct calls) are
+      not located and time out;
+    - path exploration that explodes on call-graph cycles — the opaque
+      recursion of the obfuscator drives it to timeout;
+    - timeout policy per class: Fake EOS / MissAuth report negative
+      (FN), Fake Notif reports positive (its high-recall/low-precision
+      behaviour);
+    - a Rollback detector that inspects every branch "even if the
+      constraints are impossible to be satisfied" — syntactic
+      reachability, hence FPs on dead code;
+    - no BlockinfoDep support. *)
+
+module Wasm = Wasai_wasm
+module Ast = Wasm.Ast
+
+type verdicts = {
+  es_fake_eos : bool;
+  es_fake_notif : bool;
+  es_miss_auth : bool;
+  es_rollback : bool;
+  es_located : bool;
+  es_timeout : bool;
+  es_paths : int;
+}
+
+(* ---- module facts -------------------------------------------------- *)
+
+let import_index (m : Ast.module_) (name : string) : int option =
+  let rec go i = function
+    | [] -> None
+    | (imp : Ast.import) :: rest -> (
+        match imp.Ast.idesc with
+        | Ast.Func_import _ ->
+            if imp.Ast.imp_module = "env" && imp.Ast.imp_name = name then Some i
+            else go (i + 1) rest
+        | _ -> go i rest)
+  in
+  go 0 (Ast.func_imports m)
+
+let func_body (m : Ast.module_) (abs_idx : int) : Ast.instr list option =
+  let n_imp = Ast.num_func_imports m in
+  if abs_idx < n_imp then None
+  else Some m.Ast.funcs.(abs_idx - n_imp).Ast.body
+
+(* Direct callees of a function body. *)
+let callees (m : Ast.module_) (body : Ast.instr list) : int list =
+  let out = ref [] in
+  Ast.iter_instrs
+    (fun i ->
+      match i with
+      | Ast.Call fi -> out := fi :: !out
+      | Ast.Call_indirect _ ->
+          (* Any table entry may be the target. *)
+          List.iter
+            (fun (e : Ast.elem_segment) -> out := e.Ast.e_init @ !out)
+            m.Ast.elems
+      | _ -> ())
+    body;
+  List.sort_uniq compare !out
+
+(* Does the call graph reachable from [root] contain a cycle? *)
+let has_cycle (m : Ast.module_) (root : int) : bool =
+  let color = Hashtbl.create 16 in
+  (* 0 = visiting, 1 = done *)
+  let rec visit f =
+    match Hashtbl.find_opt color f with
+    | Some 0 -> true
+    | Some _ -> false
+    | None -> (
+        Hashtbl.replace color f 0;
+        let cyc =
+          match func_body m f with
+          | None -> false
+          | Some body -> List.exists visit (callees m body)
+        in
+        Hashtbl.replace color f 1;
+        cyc)
+  in
+  visit root
+
+(* Count acyclic paths through a structured body (no condition reasoning —
+   exactly the over-approximation the paper criticises), capped. *)
+let rec path_count ?(cap = 100_000) (body : Ast.instr list) : int =
+  List.fold_left
+    (fun acc (i : Ast.instr) ->
+      if acc >= cap then cap
+      else
+        match i with
+        | Ast.If (_, t, e) ->
+            min cap (acc * (path_count ~cap t + max 1 (path_count ~cap e)))
+        | Ast.Br_if _ -> min cap (acc * 2)
+        | Ast.Br_table (ts, _) -> min cap (acc * (List.length ts + 1))
+        | Ast.Block (_, b) | Ast.Loop (_, b) -> min cap (acc * path_count ~cap b)
+        | _ -> acc)
+    1 body
+
+(* Instruction-window pattern matching over a flattened body. *)
+let flatten (body : Ast.instr list) : Ast.instr array =
+  let out = ref [] in
+  Ast.iter_instrs (fun i -> out := i :: !out) body;
+  Array.of_list (List.rev !out)
+
+(* [local.get a; ...; local.get b/const c; ...; i64.eq|ne] within a short
+   window. *)
+let window_has_compare (arr : Ast.instr array) ~(first : Ast.instr -> bool)
+    ~(second : Ast.instr -> bool) : bool =
+  let n = Array.length arr in
+  let found = ref false in
+  for i = 0 to n - 3 do
+    if not !found then
+      match arr.(i + 2) with
+      | Ast.Int_compare (Wasm.Types.I64, (Ast.Eq | Ast.Ne)) ->
+          if
+            (first arr.(i) && second arr.(i + 1))
+            || (second arr.(i) && first arr.(i + 1))
+          then found := true
+      | _ -> ()
+  done;
+  !found
+
+(* The Listing-1 guard in apply: code (local 1) compared to
+   N(eosio.token). *)
+let has_eos_guard (apply_body : Ast.instr list) : bool =
+  window_has_compare (flatten apply_body)
+    ~first:(fun i -> i = Ast.Local_get 1)
+    ~second:(fun i ->
+      match i with
+      | Ast.Const (Wasm.Values.I64 v) -> Int64.equal v Wasai_eosio.Name.eosio_token
+      | _ -> false)
+
+(* The Listing-2 guard in the eosponser: to (local 2) compared to _self
+   (local 0). *)
+let has_notif_guard (eosponser_body : Ast.instr list) : bool =
+  window_has_compare (flatten eosponser_body)
+    ~first:(fun i -> i = Ast.Local_get 2)
+    ~second:(fun i -> i = Ast.Local_get 0)
+
+(* Flow analysis: can an effect API execute with no auth API before it on
+   some path?  Branch-insensitive on conditions (both arms taken), which
+   is faithful to path-insensitive static checking. *)
+let miss_auth_flow (m : Ast.module_) (body : Ast.instr list) : bool =
+  let auth_ids =
+    List.filter_map (import_index m) [ "require_auth"; "require_auth2"; "has_auth" ]
+  in
+  let effect_ids =
+    List.filter_map (import_index m)
+      [ "send_inline"; "db_store_i64"; "db_update_i64"; "db_remove_i64" ]
+  in
+  (* state: true = an unauthenticated prefix can reach this point *)
+  let hit = ref false in
+  let rec walk (body : Ast.instr list) (unauth : bool) : bool =
+    List.fold_left
+      (fun unauth (i : Ast.instr) ->
+        match i with
+        | Ast.Call fi when List.mem fi auth_ids -> false
+        | Ast.Call fi when List.mem fi effect_ids ->
+            if unauth then hit := true;
+            unauth
+        | Ast.If (_, t, e) ->
+            let u1 = walk t unauth and u2 = walk e unauth in
+            u1 || u2
+        | Ast.Block (_, b) | Ast.Loop (_, b) -> walk b unauth
+        | _ -> unauth)
+      unauth body
+  in
+  ignore (walk body true);
+  !hit
+
+(* Syntactic reachability of a send_inline call from [root] through the
+   call graph, ignoring branch feasibility entirely. *)
+let reaches_send_inline (m : Ast.module_) (root : int) : bool =
+  match import_index m "send_inline" with
+  | None -> false
+  | Some si ->
+      let seen = Hashtbl.create 16 in
+      let rec visit f =
+        if Hashtbl.mem seen f then false
+        else begin
+          Hashtbl.replace seen f ();
+          match func_body m f with
+          | None -> f = si
+          | Some body ->
+              let cs = callees m body in
+              List.mem si cs || List.exists visit cs
+        end
+      in
+      visit root
+
+(* ---- dispatcher heuristic ------------------------------------------ *)
+
+(* EOSAFE's heuristic expects the SDK shape: the dispatcher performs an
+   indirect call through the function table.  A module whose apply only
+   uses direct calls is dispatching "in diverse ways" and is not
+   located. *)
+let dispatcher_located (apply_body : Ast.instr list) : bool =
+  let found = ref false in
+  Ast.iter_instrs
+    (fun i -> match i with Ast.Call_indirect _ -> found := true | _ -> ())
+    apply_body;
+  !found
+
+(* Action-function bodies: the indirect-call table entries. *)
+let action_bodies (m : Ast.module_) : Ast.instr list list =
+  List.concat_map
+    (fun (e : Ast.elem_segment) -> List.filter_map (func_body m) e.Ast.e_init)
+    m.Ast.elems
+
+(* ---- main entry ----------------------------------------------------- *)
+
+let path_budget = 4096
+
+(** Statically analyse a contract binary (its decoded module). *)
+let analyze (m : Ast.module_) : verdicts =
+  match Ast.exported_func m "apply" with
+  | None ->
+      {
+        es_fake_eos = false;
+        es_fake_notif = true;  (* timeout policy *)
+        es_miss_auth = false;
+        es_rollback = false;
+        es_located = false;
+        es_timeout = true;
+        es_paths = 0;
+      }
+  | Some apply_idx ->
+      let apply_body = Option.value ~default:[] (func_body m apply_idx) in
+      let located = dispatcher_located apply_body in
+      let cycle = has_cycle m apply_idx in
+      let bodies = action_bodies m in
+      let paths =
+        List.fold_left
+          (fun acc b -> min path_budget (acc + path_count ~cap:path_budget b))
+          (path_count ~cap:path_budget apply_body)
+          bodies
+      in
+      let timeout = (not located) || cycle || paths >= path_budget in
+      (* Rollback is syntactic and survives timeouts (and is why its
+         precision collapses on dead code). *)
+      let rollback = reaches_send_inline m apply_idx in
+      if timeout then
+        {
+          es_fake_eos = false;
+          es_fake_notif = true;
+          es_miss_auth = false;
+          es_rollback = rollback;
+          es_located = located;
+          es_timeout = true;
+          es_paths = paths;
+        }
+      else
+        let fake_eos = not (has_eos_guard apply_body) in
+        let fake_notif = not (List.exists has_notif_guard bodies) in
+        let miss_auth =
+          List.exists (miss_auth_flow m) bodies
+        in
+        {
+          es_fake_eos = fake_eos;
+          es_fake_notif = fake_notif;
+          es_miss_auth = miss_auth;
+          es_rollback = rollback;
+          es_located = located;
+          es_timeout = false;
+          es_paths = paths;
+        }
+
+(** Adapt verdicts to the scanner's flag type; [None] = unsupported. *)
+let flags (v : verdicts) : (Wasai_core.Scanner.flag * bool option) list =
+  [
+    (Wasai_core.Scanner.Fake_eos, Some v.es_fake_eos);
+    (Wasai_core.Scanner.Fake_notif, Some v.es_fake_notif);
+    (Wasai_core.Scanner.Miss_auth, Some v.es_miss_auth);
+    (Wasai_core.Scanner.Blockinfo_dep, None);
+    (Wasai_core.Scanner.Rollback, Some v.es_rollback);
+  ]

@@ -1,0 +1,30 @@
+(** Reimplementation of the EOSAFE baseline (He et al. 2021): static
+    symbolic execution with the dispatcher-pattern heuristic, per-class
+    timeout policies (Fake EOS / MissAuth → negative, Fake Notif →
+    positive), path explosion on call-graph cycles, and a Rollback
+    detector that ignores branch feasibility. *)
+
+module Ast = Wasai_wasm.Ast
+
+type verdicts = {
+  es_fake_eos : bool;
+  es_fake_notif : bool;
+  es_miss_auth : bool;
+  es_rollback : bool;
+  es_located : bool;  (** dispatcher heuristic succeeded *)
+  es_timeout : bool;
+  es_paths : int;
+}
+
+val has_cycle : Ast.module_ -> int -> bool
+(** Call-graph cycle reachable from a function (exposed for tests). *)
+
+val path_count : ?cap:int -> Ast.instr list -> int
+
+val path_budget : int
+
+val analyze : Ast.module_ -> verdicts
+(** Statically analyse a contract binary. *)
+
+val flags : verdicts -> (Wasai_core.Scanner.flag * bool option) list
+(** Adapt verdicts to the scanner's flag type; [None] = unsupported. *)

@@ -1,0 +1,19 @@
+(** Reimplementation of the EOSFuzzer baseline (Huang et al. 2020) with
+    the behaviours §4.2–4.3 documents: purely random seeds with no
+    feedback, success-based oracles (FNs behind asserts, FPs on
+    honeypot-style logging), the Fake EOS flag-all flaw, and no
+    MissAuth/Rollback detectors. *)
+
+module Core = Wasai_core
+
+type outcome = {
+  ef_flags : (Core.Scanner.flag * bool option) list;
+      (** [None] = detector not supported *)
+  ef_branches : int;
+  ef_timeline : (int * float * int) list;
+  ef_transactions : int;
+}
+
+val flagged : outcome -> Core.Scanner.flag -> bool option
+
+val fuzz : ?rounds:int -> ?rng_seed:int64 -> Core.Engine.target -> outcome

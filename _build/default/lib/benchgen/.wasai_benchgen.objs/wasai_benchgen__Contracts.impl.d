@@ -1,0 +1,1 @@
+lib/benchgen/contracts.ml: Abi Int64 List Name String Wasai_eosio Wasai_wasm

@@ -1,0 +1,1 @@
+lib/benchgen/contracts.mli: Abi Name Wasai_eosio Wasai_wasm

@@ -1,0 +1,1 @@
+lib/benchgen/corpus.ml: Abi Contracts Int64 List Name Obfuscate Verification Wasai_eosio Wasai_support Wasai_wasm

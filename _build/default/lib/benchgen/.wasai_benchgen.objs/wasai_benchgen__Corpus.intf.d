@@ -1,0 +1,1 @@
+lib/benchgen/corpus.mli: Abi Contracts Wasai_eosio Wasai_wasm

@@ -1,0 +1,1 @@
+lib/benchgen/mainnet.ml: Abi Contracts Int64 List Name Printf Verification Wasai_eosio Wasai_support Wasai_wasm

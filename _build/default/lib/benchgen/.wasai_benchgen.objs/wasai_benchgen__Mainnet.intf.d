@@ -1,0 +1,1 @@
+lib/benchgen/mainnet.mli: Abi Contracts Name Wasai_eosio Wasai_wasm

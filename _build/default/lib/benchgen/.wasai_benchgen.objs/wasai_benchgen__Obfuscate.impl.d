@@ -1,0 +1,1 @@
+lib/benchgen/obfuscate.ml: Array List Wasai_wasm

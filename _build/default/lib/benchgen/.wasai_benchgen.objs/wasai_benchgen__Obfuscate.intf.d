@@ -1,0 +1,1 @@
+lib/benchgen/obfuscate.mli: Wasai_wasm

@@ -1,0 +1,1 @@
+lib/benchgen/verification.ml: Array Contracts Int64 List Wasai_eosio Wasai_support Wasai_wasm

@@ -1,0 +1,1 @@
+lib/benchgen/verification.mli: Contracts Wasai_support Wasai_wasm

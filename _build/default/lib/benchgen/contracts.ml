@@ -1,0 +1,655 @@
+(** Generator of EOSIO contract binaries for the benchmark.
+
+    Every sample is a genuine Wasm module built with the builder DSL and
+    shipped through the binary encoder, modelled on the profitable
+    lottery/market contracts the paper studies: an [apply] dispatcher, an
+    eosponser responding to EOS transfers, and auxiliary actions that
+    create the stateful behaviour (DB gates) the fuzzer must sequence
+    transactions for.
+
+    The [spec] switches reproduce each vulnerability class and its patched
+    variant:
+    - Fake EOS        : presence of the Listing-1 [code == eosio.token] guard
+    - Fake Notif      : presence of the Listing-2 [to == _self] guard
+    - MissAuth        : presence of [require_auth] before side effects
+    - BlockinfoDep    : use of [tapos_*] as a randomness source
+    - Rollback        : payout through [send_inline] vs a deferred action *)
+
+module Wasm = Wasai_wasm
+module T = Wasm.Types
+module B = Wasm.Builder
+module I = Wasm.Builder.I
+open Wasai_eosio
+
+type dispatcher_style = Indirect | Direct
+
+(* A parameter check injected at the eosponser entry: compare a field of
+   the input against a constant, trap (unreachable) on mismatch. *)
+type check_target =
+  | Chk_from
+  | Chk_to
+  | Chk_amount
+  | Chk_symbol
+  | Chk_memo_len
+  | Chk_memo_prefix  (** first 8 bytes of the memo content *)
+
+type check = { chk_target : check_target; chk_value : int64 }
+
+type guard_style = Guard_assert | Guard_if_return
+
+type spec = {
+  sp_account : Name.t;
+  sp_eos_guard_style : guard_style;
+      (** Listing 1's patch written as an assert, or as a silent
+          [if (code != eosio.token) return] — the latter makes rejected
+          fake transfers *succeed*, which success-based oracles misread *)
+  sp_fake_eos_guard : bool;
+  sp_fake_notif_guard : bool;
+  sp_auth_check : bool;
+  sp_blockinfo : bool;
+  sp_payout_inline : bool;  (** true: send_inline (Rollback-unsafe); false: deferred *)
+  sp_has_payout : bool;
+  sp_db_gate : bool;  (** eosponser requires a players-table row *)
+  sp_multi_table : bool;  (** gate additionally needs a meta row keyed by a setup param *)
+  sp_deposit_auth : bool option;
+      (** override for deposit/reveal auth; [None] follows [sp_auth_check] *)
+  sp_admin_reveal : bool;  (** rollback template behind an admin-only action *)
+  sp_min_bet : int64 option;
+  sp_memo_gate : string option;  (** memo must equal this string to reach payout *)
+  sp_checks : check list;  (** complicated-verification injections *)
+  sp_dead_template : bool;  (** put blockinfo/rollback template behind an unsatisfiable branch *)
+  sp_dispatcher : dispatcher_style;
+  sp_log_notifications : bool;
+      (** print a console line for every notification (before any guard) —
+          the honeypot-ish pattern that fools success-based oracles *)
+  sp_milestones : milestone list;
+      (** nested if/else game logic: each level only opens once the
+          previous level's equality is satisfied (coverage depth) *)
+  sp_claim_loop : bool;
+      (** add a [claim] action that folds over the players table with
+          db_next in a Wasm loop (iteration-heavy traces) *)
+  sp_double_payout : bool;  (** pay 2x the stake (lottery odds) *)
+  sp_fair_coin : bool;
+      (** leave the block-info coin genuinely 50/50 instead of pinning it
+          (benchmarks pin it so the payout path is deterministic) *)
+}
+
+(** One milestone level: a single byte of an input field must match. *)
+and milestone = {
+  ml_field : milestone_field;
+  ml_byte : int;  (** 0..7 *)
+  ml_value : int;  (** 0..255 *)
+}
+
+and milestone_field = Ml_amount | Ml_from | Ml_to | Ml_memo
+
+let default_spec account =
+  {
+    sp_account = account;
+    sp_eos_guard_style = Guard_assert;
+    sp_fake_eos_guard = true;
+    sp_fake_notif_guard = true;
+    sp_auth_check = true;
+    sp_blockinfo = false;
+    sp_payout_inline = false;
+    sp_has_payout = true;
+    sp_db_gate = false;
+    sp_multi_table = false;
+    sp_deposit_auth = None;
+    sp_admin_reveal = false;
+    sp_min_bet = None;
+    sp_memo_gate = None;
+    sp_checks = [];
+    sp_dead_template = false;
+    sp_dispatcher = Indirect;
+    sp_log_notifications = false;
+    sp_milestones = [];
+    sp_claim_loop = false;
+    sp_double_payout = false;
+    sp_fair_coin = false;
+  }
+
+(* Memory map of generated contracts. *)
+let scratch_base = 64  (* deposit row buffer *)
+let inline_buf = 128  (* serialised inline/deferred action *)
+let action_data_base = 1024  (* deserialised input *)
+let msg_base = 2048  (* assert message strings *)
+
+let tbl_players = Name.of_string "players"
+let tbl_meta = Name.of_string "meta"
+let act_deposit = Name.of_string "deposit"
+let act_reveal = Name.of_string "reveal"
+let act_setup = Name.of_string "setup"
+let act_claim = Name.of_string "claim"
+let admin_account = Name.of_string "conadmin"
+
+(* The shared action-function signature: (self, a, b, c_ptr, d_ptr).
+   The SDK-style dispatcher casts every action to this shape, so one
+   indirect-call table serves all actions (§3.4.2's indirect pattern). *)
+let action_sig = T.func_type [ T.I64; T.I64; T.I64; T.I32; T.I32 ]
+
+type imports = {
+  i_read_action_data : int;
+  i_action_data_size : int;
+  i_require_auth : int;
+  i_eosio_assert : int;
+  i_send_inline : int;
+  i_send_deferred : int;
+  i_tapos_block_num : int;
+  i_tapos_block_prefix : int;
+  i_db_store : int;
+  i_db_find : int;
+  i_db_update : int;
+  i_db_lowerbound : int;
+  i_db_next : int;
+  i_db_get : int;
+  i_printi : int;
+}
+
+let declare_imports b : imports =
+  let ft = T.func_type in
+  {
+    i_read_action_data =
+      B.import_func b ~module_:"env" ~name:"read_action_data"
+        (ft [ T.I32; T.I32 ] ~results:[ T.I32 ]);
+    i_action_data_size =
+      B.import_func b ~module_:"env" ~name:"action_data_size"
+        (ft [] ~results:[ T.I32 ]);
+    i_require_auth =
+      B.import_func b ~module_:"env" ~name:"require_auth" (ft [ T.I64 ]);
+    i_eosio_assert =
+      B.import_func b ~module_:"env" ~name:"eosio_assert" (ft [ T.I32; T.I32 ]);
+    i_send_inline =
+      B.import_func b ~module_:"env" ~name:"send_inline" (ft [ T.I32; T.I32 ]);
+    i_send_deferred =
+      B.import_func b ~module_:"env" ~name:"send_deferred"
+        (ft [ T.I64; T.I64; T.I32; T.I32; T.I32 ]);
+    i_tapos_block_num =
+      B.import_func b ~module_:"env" ~name:"tapos_block_num" (ft [] ~results:[ T.I32 ]);
+    i_tapos_block_prefix =
+      B.import_func b ~module_:"env" ~name:"tapos_block_prefix"
+        (ft [] ~results:[ T.I32 ]);
+    i_db_store =
+      B.import_func b ~module_:"env" ~name:"db_store_i64"
+        (ft [ T.I64; T.I64; T.I64; T.I64; T.I32; T.I32 ] ~results:[ T.I32 ]);
+    i_db_find =
+      B.import_func b ~module_:"env" ~name:"db_find_i64"
+        (ft [ T.I64; T.I64; T.I64; T.I64 ] ~results:[ T.I32 ]);
+    i_db_update =
+      B.import_func b ~module_:"env" ~name:"db_update_i64"
+        (ft [ T.I32; T.I64; T.I32; T.I32 ]);
+    i_db_lowerbound =
+      B.import_func b ~module_:"env" ~name:"db_lowerbound_i64"
+        (ft [ T.I64; T.I64; T.I64; T.I64 ] ~results:[ T.I32 ]);
+    i_db_next =
+      B.import_func b ~module_:"env" ~name:"db_next_i64"
+        (ft [ T.I32; T.I32 ] ~results:[ T.I32 ]);
+    i_db_get =
+      B.import_func b ~module_:"env" ~name:"db_get_i64"
+        (ft [ T.I32; T.I32; T.I32 ] ~results:[ T.I32 ]);
+    i_printi = B.import_func b ~module_:"env" ~name:"printi" (ft [ T.I64 ]);
+  }
+
+(* assert with a message placed in the data segment *)
+let mk_assert imp msg_off cond_instrs =
+  cond_instrs @ [ I.i32 msg_off; I.call imp.i_eosio_assert ]
+
+(* ------------------------------------------------------------------ *)
+(* eosponser                                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* Locals of every action function: 0 self, 1 a(from), 2 b(to), 3 c(qptr),
+   4 d(memoptr); extra i64 scratch at 5, i32 scratch at 6. *)
+
+let payout_code (spec : spec) imp ~(dest_local : int) : Wasm.Ast.instr list =
+  (* Serialise a transfer of the incoming quantity back to [dest_local]
+     and submit it inline (vulnerable to Rollback) or deferred (safe). *)
+  [
+    (* account = eosio.token *)
+    I.i32 inline_buf; I.i64 Name.eosio_token; I.i64_store ();
+    (* action name = transfer *)
+    I.i32 (inline_buf + 8); I.i64 Name.transfer; I.i64_store ();
+    (* data length = 33 *)
+    I.i32 (inline_buf + 16); I.i32 33; I.i32_store ();
+    (* data.from = self *)
+    I.i32 (inline_buf + 20); I.local_get 0; I.i64_store ();
+    (* data.to = winner *)
+    I.i32 (inline_buf + 28); I.local_get dest_local; I.i64_store ();
+    (* data.quantity = incoming quantity (amount, symbol); a lottery with
+       odds pays double *)
+    I.i32 (inline_buf + 36); I.local_get 3; I.i64_load ();
+  ]
+  @ (if spec.sp_double_payout then [ I.i64 1L; I.i64_shl ] else [])
+  @ [
+    I.i64_store ();
+    I.i32 (inline_buf + 44); I.local_get 3; I.i64_load ~offset:8 (); I.i64_store ();
+    (* data.memo = "" *)
+    I.i32 (inline_buf + 52); I.i32 0; I.i32_store8 ();
+  ]
+  @
+  if spec.sp_payout_inline then
+    [ I.i32 inline_buf; I.i32 53; I.call imp.i_send_inline ]
+  else
+    [
+      I.i64 1L; I.local_get 0; I.i32 inline_buf; I.i32 53; I.i32 0;
+      I.call imp.i_send_deferred;
+    ]
+
+(* Nested milestone tree: level k is only reachable after satisfying the
+   single-byte equality of level k-1 — the deep-coverage structure of
+   real game contracts that only adaptive seeds explore.  Levels touch
+   distinct (field, byte) pairs so the whole chain stays satisfiable. *)
+let rec milestone_code imp (ms : milestone list) : Wasm.Ast.instr list =
+  match ms with
+  | [] -> []
+  | m :: rest ->
+      let load_field =
+        match m.ml_field with
+        | Ml_from -> [ I.local_get 1 ]
+        | Ml_to -> [ I.local_get 2 ]
+        | Ml_amount -> [ I.local_get 3; I.i64_load () ]
+        | Ml_memo -> [ I.local_get 4; I.i64_load ~offset:1 () ]
+      in
+      load_field
+      @ [
+          I.i64 (Int64.of_int (8 * m.ml_byte)); I.i64_shr_u;
+          I.i64 0xFFL; I.i64_and;
+          I.i64 (Int64.of_int m.ml_value); I.i64_eq;
+          I.if_
+            ([ I.local_get 1; I.call imp.i_printi ] @ milestone_code imp rest)
+            [ I.local_get 0; I.call imp.i_printi ];
+        ]
+
+let check_code (c : check) : Wasm.Ast.instr list =
+  let load_field =
+    match c.chk_target with
+    | Chk_from -> [ I.local_get 1 ]
+    | Chk_to -> [ I.local_get 2 ]
+    | Chk_amount -> [ I.local_get 3; I.i64_load () ]
+    | Chk_symbol -> [ I.local_get 3; I.i64_load ~offset:8 () ]
+    | Chk_memo_len -> [ I.local_get 4; I.i32_load8_u (); I.i64_extend_i32_u ]
+    | Chk_memo_prefix -> [ I.local_get 4; I.i64_load ~offset:1 () ]
+  in
+  load_field @ [ I.i64 c.chk_value; I.i64_ne; I.if_ [ I.unreachable ] [] ]
+
+(* The Listing-4 template: blockinfo randomness deciding an inline payout. *)
+let lottery_template (spec : spec) imp : Wasm.Ast.instr list =
+  let blockinfo_value =
+    if spec.sp_blockinfo then
+      [ I.call imp.i_tapos_block_prefix; I.call imp.i_tapos_block_num; I.i32_mul ]
+      @ (if spec.sp_fair_coin then [] else [ I.i32 1; I.i32_or ])
+      @ [ I.i32 2; I.i32_rem_u ]
+    else [ I.i32 1 ]
+  in
+  blockinfo_value
+  @ [ I.if_ (payout_code spec imp ~dest_local:1) [] ]
+
+let build_eosponser (spec : spec) imp ~msg_min ~msg_db ~msg_meta :
+    Wasm.Ast.instr list =
+  (* Every real contract ignores its own outgoing transfers; this also
+     stops the payout notification from re-entering the eosponser.  Note
+     this compares [from], not [to] — it is NOT the Fake Notif guard. *)
+  let skip_self =
+    [ I.local_get 1; I.local_get 0; I.i64_eq; I.if_ [ I.return ] [] ]
+  in
+  let guard_notif =
+    if spec.sp_fake_notif_guard then
+      (* Listing 2: if (to != _self) return; *)
+      [ I.local_get 2; I.local_get 0; I.i64_ne; I.if_ [ I.return ] [] ]
+    else []
+  in
+  let checks = List.concat_map check_code spec.sp_checks in
+  let min_bet =
+    match spec.sp_min_bet with
+    | None -> []
+    | Some v ->
+        mk_assert imp msg_min
+          [ I.local_get 3; I.i64_load (); I.i64 v; I.i64_ge_s ]
+  in
+  let memo_gate =
+    match spec.sp_memo_gate with
+    | None -> []
+    | Some s ->
+        (* memo length must match and its first 8 bytes must equal the
+           constant (the CVE-2022-27134 "action:buy" pattern). *)
+        let padded = s ^ String.make (max 0 (8 - String.length s)) '\000' in
+        let first8 = Abi.read_le padded 0 8 in
+        [
+          I.local_get 4; I.i32_load8_u (); I.i32 (String.length s); I.i32_ne;
+          I.if_ [ I.return ] [];
+          I.local_get 4; I.i64_load ~offset:1 (); I.i64 first8; I.i64_ne;
+          I.if_ [ I.return ] [];
+        ]
+    in
+  let db_gate =
+    if not spec.sp_db_gate then []
+    else
+      mk_assert imp msg_db
+        [
+          I.local_get 0; I.local_get 0; I.i64 tbl_players; I.local_get 1;
+          I.call imp.i_db_find;
+          I.i32 (-1); I.i32_ne;
+        ]
+      @
+      if spec.sp_multi_table then
+        mk_assert imp msg_meta
+          [
+            I.local_get 0; I.local_get 0; I.i64 tbl_meta; I.local_get 1;
+            I.call imp.i_db_find;
+            I.i32 (-1); I.i32_ne;
+          ]
+      else []
+  in
+  let auth = if spec.sp_auth_check then [ I.local_get 1; I.call imp.i_require_auth ] else [] in
+  let body =
+    if not spec.sp_has_payout then []
+    else if spec.sp_dead_template then
+      (* Ground-truth negative: the template sits behind contradictory
+         equality tests on the same field. *)
+      [
+        I.local_get 1; I.i64 0x1111L; I.i64_eq;
+        I.if_
+          [
+            I.local_get 1; I.i64 0x2222L; I.i64_eq;
+            I.if_ (lottery_template spec imp) [];
+          ]
+          [];
+      ]
+    else lottery_template spec imp
+  in
+  skip_self @ guard_notif @ checks @ min_bet @ memo_gate @ db_gate @ auth
+  @ body
+  @ milestone_code imp spec.sp_milestones
+
+(* ------------------------------------------------------------------ *)
+(* auxiliary actions                                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* deposit(player = a, amount = b): upsert players[player] = amount. *)
+let deposit_auth (spec : spec) =
+  match spec.sp_deposit_auth with Some b -> b | None -> spec.sp_auth_check
+
+let build_deposit (spec : spec) imp : Wasm.Ast.instr list =
+  let auth =
+    if deposit_auth spec then [ I.local_get 1; I.call imp.i_require_auth ]
+    else []
+  in
+  auth
+  @ [
+      (* mem[scratch] = amount *)
+      I.i32 scratch_base; I.local_get 2; I.i64_store ();
+      (* itr = db_find(self, self, players, player) *)
+      I.local_get 0; I.local_get 0; I.i64 tbl_players; I.local_get 1;
+      I.call imp.i_db_find;
+      I.local_tee 6;
+      I.i32 (-1); I.i32_eq;
+      I.if_
+        [
+          I.local_get 0; I.i64 tbl_players; I.local_get 0; I.local_get 1;
+          I.i32 scratch_base; I.i32 8;
+          I.call imp.i_db_store; I.drop;
+        ]
+        [ I.local_get 6; I.local_get 0; I.i32 scratch_base; I.i32 8;
+          I.call imp.i_db_update ];
+    ]
+
+(* setup(v = a): upsert meta[v] = v.  The row id comes from the action
+   parameter, which is what defeats table-granular dependency tracking
+   when the eosponser needs meta[from].  Configuration is always owner-
+   gated, so it never contributes a missing-auth side effect. *)
+let build_setup (_spec : spec) imp : Wasm.Ast.instr list =
+  [
+    I.local_get 0; I.call imp.i_require_auth;
+    I.i32 scratch_base; I.local_get 1; I.i64_store ();
+    I.local_get 0; I.local_get 0; I.i64 tbl_meta; I.local_get 1;
+    I.call imp.i_db_find;
+    I.local_tee 6;
+    I.i32 (-1); I.i32_eq;
+    I.if_
+      [
+        I.local_get 0; I.i64 tbl_meta; I.local_get 0; I.local_get 1;
+        I.i32 scratch_base; I.i32 8;
+        I.call imp.i_db_store; I.drop;
+      ]
+      [ I.local_get 6; I.local_get 0; I.i32 scratch_base; I.i32 8;
+        I.call imp.i_db_update ];
+  ]
+
+(* reveal(player = a): carries the Listing-4 template only in the
+   admin-gated scenario (the paper's address-pool FN case); otherwise a
+   harmless balance peek. *)
+let build_reveal (spec : spec) imp : Wasm.Ast.instr list =
+  if spec.sp_admin_reveal then
+    [ I.i64 admin_account; I.call imp.i_require_auth ]
+    @ lottery_template spec imp
+  else
+    (if deposit_auth spec then [ I.local_get 1; I.call imp.i_require_auth ]
+     else [])
+    @ [
+        I.local_get 0; I.local_get 0; I.i64 tbl_players; I.local_get 1;
+        I.call imp.i_db_find; I.drop;
+      ]
+
+(* claim(): fold the players table with a db_next loop, printing the sum
+   of the recorded deposits — the iteration-heavy trace shape real
+   payout-all contracts produce. *)
+let build_claim imp : Wasm.Ast.instr list =
+  [
+    I.i64 0L; I.local_set 5;
+    I.local_get 0; I.local_get 0; I.i64 tbl_players; I.i64 0L;
+    I.call imp.i_db_lowerbound; I.local_set 6;
+    I.block
+      [
+        I.loop
+          [
+            (* while (itr >= 0) *)
+            I.local_get 6; I.i32 0; I.i32_lt_s; I.br_if 1;
+            (* total += players[itr] *)
+            I.local_get 6; I.i32 scratch_base; I.i32 8;
+            I.call imp.i_db_get; I.drop;
+            I.local_get 5; I.i32 scratch_base; I.i64_load (); I.i64_add;
+            I.local_set 5;
+            (* itr = db_next(itr) *)
+            I.local_get 6; I.i32 (scratch_base + 8); I.call imp.i_db_next;
+            I.local_set 6;
+            I.br 0;
+          ];
+      ];
+    I.local_get 5; I.call imp.i_printi;
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* dispatcher                                                          *)
+(* ------------------------------------------------------------------ *)
+
+(** Build the full contract module and its ABI. *)
+let build (spec : spec) : Wasm.Ast.module_ * Abi.t =
+  let b = B.create () in
+  let imp = declare_imports b in
+  B.add_memory b 2;
+  (* Data segment: assert messages. *)
+  let msg1 = "bet below minimum" and msg2 = "deposit first" and msg3 = "not configured" in
+  let msg_min = msg_base in
+  let msg_db = msg_base + String.length msg1 + 1 in
+  let msg_meta = msg_db + String.length msg2 + 1 in
+  B.add_data b ~offset:msg_min (msg1 ^ "\000");
+  B.add_data b ~offset:msg_db (msg2 ^ "\000");
+  B.add_data b ~offset:msg_meta (msg3 ^ "\000");
+  let extra_locals = [ T.I64; T.I32 ] in
+  let eosponser =
+    B.add_func b ~name:"eosponser" ~locals:extra_locals action_sig
+      (build_eosponser spec imp ~msg_min ~msg_db ~msg_meta)
+  in
+  let deposit =
+    B.add_func b ~name:"deposit" ~locals:extra_locals action_sig
+      (build_deposit spec imp)
+  in
+  let setup =
+    B.add_func b ~name:"setup" ~locals:extra_locals action_sig
+      (build_setup spec imp)
+  in
+  let reveal =
+    B.add_func b ~name:"reveal" ~locals:extra_locals action_sig
+      (build_reveal spec imp)
+  in
+  let claim =
+    if spec.sp_claim_loop then
+      Some
+        (B.add_func b ~name:"claim" ~locals:extra_locals action_sig
+           (build_claim imp))
+    else None
+  in
+  (* Dispatcher.  Locals: 0 receiver, 1 code, 2 action, 3 i32 scratch. *)
+  let read_input =
+    [
+      I.i32 action_data_base;
+      I.call imp.i_action_data_size;
+      I.call imp.i_read_action_data;
+      I.drop;
+    ]
+  in
+  let push_action_args =
+    [
+      I.local_get 0;
+      I.i32 action_data_base; I.i64_load ();
+      I.i32 action_data_base; I.i64_load ~offset:8 ();
+      I.i32 (action_data_base + 16);
+      I.i32 (action_data_base + 32);
+    ]
+  in
+  let call_action =
+    match spec.sp_dispatcher with
+    | Direct -> fun idx -> [ I.call idx ]
+    | Indirect ->
+        let ti = B.add_type b action_sig in
+        fun idx ->
+          (* The SDK's indirect-call pattern: function id through the table. *)
+          let table_slot =
+            if idx = eosponser then 0
+            else if idx = deposit then 1
+            else if idx = setup then 2
+            else if idx = reveal then 3
+            else 4
+          in
+          [ I.i32 table_slot; I.call_indirect ti ]
+  in
+  (match spec.sp_dispatcher with
+   | Indirect ->
+       B.add_elem b ~offset:0
+         ([ eosponser; deposit; setup; reveal ]
+         @ match claim with Some c -> [ c ] | None -> [])
+   | Direct -> ());
+  let dispatch_named name idx =
+    [
+      I.local_get 2; I.i64 name; I.i64_eq;
+      I.if_ (read_input @ push_action_args @ call_action idx) [];
+    ]
+  in
+  let eos_guard =
+    if not spec.sp_fake_eos_guard then []
+    else
+      match spec.sp_eos_guard_style with
+      | Guard_assert ->
+          (* Listing 1's patch: assert(code == N(eosio.token)). *)
+          mk_assert imp msg_meta
+            [ I.local_get 1; I.i64 Name.eosio_token; I.i64_eq ]
+      | Guard_if_return ->
+          [
+            I.local_get 1; I.i64 Name.eosio_token; I.i64_ne;
+            I.if_ [ I.return ] [];
+          ]
+  in
+  (* Console logging of every incoming action: a common bookkeeping
+     pattern, and the honeypot-ish signal that misleads success-based
+     oracles. *)
+  let log_notif =
+    if spec.sp_log_notifications then [ I.local_get 2; I.call imp.i_printi ]
+    else []
+  in
+  let apply_body =
+    log_notif
+    @ [
+      I.local_get 2; I.i64 Name.transfer; I.i64_eq;
+      I.if_
+        (eos_guard @ read_input @ push_action_args @ call_action eosponser
+        @ [ I.return ])
+        [];
+      (* Other actions only when addressed directly: code == receiver. *)
+      I.local_get 1; I.local_get 0; I.i64_eq;
+      I.if_
+        (dispatch_named act_deposit deposit
+        @ dispatch_named act_setup setup
+        @ dispatch_named act_reveal reveal
+        @ (match claim with
+           | Some c -> dispatch_named act_claim c
+           | None -> []))
+        [];
+    ]
+  in
+  let apply =
+    B.add_func b ~name:"apply" ~locals:[ T.I32 ]
+      (T.func_type [ T.I64; T.I64; T.I64 ])
+      apply_body
+  in
+  B.export_func b "apply" apply;
+  let m = B.build b in
+  Wasm.Validate.check_module m;
+  let abi =
+    {
+      Abi.abi_actions =
+        [
+          Abi.transfer_action;
+          {
+            Abi.act_name = act_deposit;
+            act_params = [ ("player", Abi.T_name); ("amount", Abi.T_u64) ];
+          };
+          {
+            Abi.act_name = act_setup;
+            act_params = [ ("value", Abi.T_u64) ];
+          };
+          {
+            Abi.act_name = act_reveal;
+            act_params = [ ("player", Abi.T_name) ];
+          };
+        ]
+        @
+        (if spec.sp_claim_loop then
+           [ { Abi.act_name = act_claim; act_params = [] } ]
+         else []);
+    }
+  in
+  (m, abi)
+
+(* ------------------------------------------------------------------ *)
+(* Ground truth                                                        *)
+(* ------------------------------------------------------------------ *)
+
+type vuln = Fake_eos | Fake_notif | Miss_auth | Blockinfo_dep | Rollback
+
+let string_of_vuln = function
+  | Fake_eos -> "FakeEOS"
+  | Fake_notif -> "FakeNotif"
+  | Miss_auth -> "MissAuth"
+  | Blockinfo_dep -> "BlockinfoDep"
+  | Rollback -> "Rollback"
+
+let all_vulns = [ Fake_eos; Fake_notif; Miss_auth; Blockinfo_dep; Rollback ]
+
+(* Is the eosponser's payout template reachable at all? *)
+let template_reachable (s : spec) = s.sp_has_payout && not s.sp_dead_template
+
+(** Ground-truth vulnerability labels implied by a spec. *)
+let ground_truth (s : spec) (v : vuln) : bool =
+  match v with
+  | Fake_eos -> not s.sp_fake_eos_guard
+  | Fake_notif -> not s.sp_fake_notif_guard
+  | Miss_auth ->
+      (* Without the auth switch, the deposit DB write (unless separately
+         authenticated) and any payout execute with no prior permission
+         check. *)
+      (not s.sp_auth_check)
+      && ((not (deposit_auth s)) || template_reachable s || s.sp_admin_reveal)
+  | Blockinfo_dep ->
+      s.sp_blockinfo && (template_reachable s || s.sp_admin_reveal)
+  | Rollback ->
+      s.sp_payout_inline && (template_reachable s || s.sp_admin_reveal)

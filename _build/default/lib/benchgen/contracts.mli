@@ -1,0 +1,111 @@
+(** Generator of EOSIO contract binaries for the benchmark: profitable
+    lottery/market contracts with an [apply] dispatcher, an eosponser
+    responding to EOS transfers, and auxiliary actions (deposit / setup /
+    reveal) creating the stateful behaviour the fuzzer must sequence
+    transactions for.
+
+    The [spec] switches reproduce each vulnerability class and its patch:
+    Fake EOS (the Listing-1 [code == eosio.token] guard), Fake Notif (the
+    Listing-2 [to == _self] guard), MissAuth ([require_auth] before side
+    effects), BlockinfoDep ([tapos_*] randomness), Rollback
+    ([send_inline] vs deferred payout). *)
+
+module Wasm = Wasai_wasm
+open Wasai_eosio
+
+type dispatcher_style = Indirect | Direct
+
+type check_target =
+  | Chk_from
+  | Chk_to
+  | Chk_amount
+  | Chk_symbol
+  | Chk_memo_len
+  | Chk_memo_prefix  (** first 8 bytes of the memo content *)
+
+type check = { chk_target : check_target; chk_value : int64 }
+(** A parameter check at the eosponser entry: trap ([unreachable]) unless
+    the field equals the constant. *)
+
+type guard_style = Guard_assert | Guard_if_return
+
+type spec = {
+  sp_account : Name.t;
+  sp_eos_guard_style : guard_style;
+      (** the Listing-1 patch as an assert, or as a silent early return —
+          the latter makes rejected fake transfers *succeed*, which
+          success-based oracles misread *)
+  sp_fake_eos_guard : bool;
+  sp_fake_notif_guard : bool;
+  sp_auth_check : bool;
+  sp_blockinfo : bool;
+  sp_payout_inline : bool;
+      (** true: send_inline (Rollback-unsafe); false: deferred *)
+  sp_has_payout : bool;
+  sp_db_gate : bool;  (** eosponser requires a players-table row *)
+  sp_multi_table : bool;
+      (** gate additionally needs a meta row keyed by a setup parameter *)
+  sp_deposit_auth : bool option;
+      (** override for deposit/reveal auth; [None] follows [sp_auth_check] *)
+  sp_admin_reveal : bool;
+      (** rollback template behind an admin-only action *)
+  sp_min_bet : int64 option;
+  sp_memo_gate : string option;
+      (** memo must equal this string to reach the payout *)
+  sp_checks : check list;  (** complicated-verification injections *)
+  sp_dead_template : bool;
+      (** template behind an unsatisfiable branch (ground-truth negative) *)
+  sp_dispatcher : dispatcher_style;
+  sp_log_notifications : bool;
+      (** console-log every action (the honeypot-ish pattern) *)
+  sp_milestones : milestone list;
+      (** nested if/else game logic; each level opens only once the
+          previous equality is satisfied (coverage depth) *)
+  sp_claim_loop : bool;
+      (** add a [claim] action folding the players table with db_next in a
+          Wasm loop (iteration-heavy traces) *)
+  sp_double_payout : bool;  (** pay 2x the stake *)
+  sp_fair_coin : bool;
+      (** leave the block-info coin genuinely 50/50 (benchmarks pin it) *)
+}
+
+and milestone = {
+  ml_field : milestone_field;
+  ml_byte : int;  (** 0..7 *)
+  ml_value : int;  (** 0..255 *)
+}
+
+and milestone_field = Ml_amount | Ml_from | Ml_to | Ml_memo
+
+val default_spec : Name.t -> spec
+(** Fully patched contract. *)
+
+val check_code : check -> Wasm.Ast.instr list
+(** The injected instruction sequence of one check (shared with the
+    bytecode-level injector). *)
+
+val action_sig : Wasm.Types.func_type
+(** The shared action-function signature [(self, a, b, c_ptr, d_ptr)]. *)
+
+val tbl_players : Name.t
+val tbl_meta : Name.t
+val act_deposit : Name.t
+val act_reveal : Name.t
+val act_setup : Name.t
+val act_claim : Name.t
+val admin_account : Name.t
+
+val build : spec -> Wasm.Ast.module_ * Abi.t
+(** Build (and validate) the contract and its ABI. *)
+
+(** {1 Ground truth} *)
+
+type vuln = Fake_eos | Fake_notif | Miss_auth | Blockinfo_dep | Rollback
+
+val string_of_vuln : vuln -> string
+val all_vulns : vuln list
+
+val template_reachable : spec -> bool
+
+val ground_truth : spec -> vuln -> bool
+(** The vulnerability label a spec implies for each class. *)

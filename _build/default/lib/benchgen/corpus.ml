@@ -1,0 +1,260 @@
+(** Benchmark corpora mirroring the paper's §4.2–§4.4 datasets.
+
+    - {!ground_truth}: the 3,340-sample balanced benchmark of Table 4
+      (254 FakeEOS + 1,378 FakeNotif + 890 MissAuth + 400 BlockinfoDep +
+      418 Rollback, half vulnerable per class);
+    - {!obfuscated}: the same samples after the RQ3 obfuscator;
+    - {!verification}: the 2,924-sample complicated-verification corpus
+      of Table 6;
+    - {!coverage_set}: the 100 branch-rich contracts of RQ1 (Figure 3).
+
+    Every sample is generated deterministically from the corpus seed.
+    [scale] divides the per-class counts to produce a smaller corpus with
+    the same composition (the full corpus is minutes of CPU; scaled runs
+    preserve the shape). *)
+
+module Wasm = Wasai_wasm
+open Wasai_eosio
+
+type sample = {
+  smp_id : int;
+  smp_class : Contracts.vuln;  (** the benchmark row this sample belongs to *)
+  smp_truth : bool;  (** vulnerable with respect to its class *)
+  smp_spec : Contracts.spec;
+  smp_module : Wasm.Ast.module_;
+  smp_abi : Abi.t;
+}
+
+(* Paper counts per class (vulnerable = half). *)
+let paper_counts =
+  [
+    (Contracts.Fake_eos, 254);
+    (Contracts.Fake_notif, 1378);
+    (Contracts.Miss_auth, 890);
+    (Contracts.Blockinfo_dep, 400);
+    (Contracts.Rollback, 418);
+  ]
+
+let verification_counts =
+  [
+    (Contracts.Fake_eos, 190);
+    (Contracts.Fake_notif, 1178);
+    (Contracts.Miss_auth, 756);
+    (Contracts.Blockinfo_dep, 400);
+    (Contracts.Rollback, 400);
+  ]
+
+(* Random background flags shared by all classes: the EOSAFE dispatcher
+   heuristic only understands the indirect pattern, so the direct-style
+   fraction drives its timeout rate, as §4.2 describes. *)
+let background rng account : Contracts.spec =
+  let base = Contracts.default_spec account in
+  {
+    base with
+    Contracts.sp_dispatcher =
+      (if Wasai_support.Rand.flip rng ~p:0.45 then Contracts.Indirect
+       else Contracts.Direct);
+    sp_eos_guard_style =
+      (if Wasai_support.Rand.flip rng ~p:0.5 then Contracts.Guard_assert
+       else Contracts.Guard_if_return);
+    sp_db_gate = Wasai_support.Rand.flip rng ~p:0.25;
+    sp_min_bet =
+      (if Wasai_support.Rand.flip rng ~p:0.4 then
+         Some (Int64.of_int (1 + Wasai_support.Rand.int rng 1000))
+       else None);
+    sp_memo_gate =
+      (if Wasai_support.Rand.flip rng ~p:0.12 then Some "action:buy" else None);
+    sp_checks =
+      (if Wasai_support.Rand.flip rng ~p:0.2 then
+         Verification.random_checks rng ~depth:(1 + Wasai_support.Rand.int rng 2)
+       else []);
+    sp_log_notifications = Wasai_support.Rand.flip rng ~p:0.1;
+    sp_payout_inline = false;
+    sp_has_payout = true;
+  }
+
+(* Specialise a background spec for one benchmark class and truth label. *)
+let specialise rng (cls : Contracts.vuln) ~(vulnerable : bool)
+    (spec : Contracts.spec) : Contracts.spec =
+  match cls with
+  | Contracts.Fake_eos -> { spec with Contracts.sp_fake_eos_guard = not vulnerable }
+  | Contracts.Fake_notif ->
+      { spec with Contracts.sp_fake_notif_guard = not vulnerable }
+  | Contracts.Miss_auth ->
+      if vulnerable && Wasai_support.Rand.flip rng ~p:0.08 then
+        (* The paper's DBG-granularity FN shape: the only unauthenticated
+           effect hides behind a meta-table gate whose row id comes from a
+           different action's parameter. *)
+        {
+          spec with
+          Contracts.sp_auth_check = false;
+          sp_deposit_auth = Some true;
+          sp_db_gate = true;
+          sp_multi_table = true;
+        }
+      else { spec with Contracts.sp_auth_check = not vulnerable }
+  | Contracts.Blockinfo_dep ->
+      (* The generated nested-branch template contracts of §4.2: random-
+         constant verification in front, the Listing-4 template at the
+         leaves; inaccessible branches make the negatives.  Listing 4's
+         dispatcher has neither guard, so exploit payloads can reach the
+         checks with attacker-chosen parameters. *)
+      {
+        spec with
+        Contracts.sp_blockinfo = true;
+        sp_payout_inline = true;
+        sp_fake_eos_guard = false;
+        sp_fake_notif_guard = false;
+        sp_checks =
+          Verification.random_checks rng ~depth:(1 + Wasai_support.Rand.int rng 3);
+        sp_dead_template = not vulnerable;
+        sp_db_gate = false;
+        sp_memo_gate = None;
+      }
+  | Contracts.Rollback ->
+      if vulnerable then
+        let admin_fn = Wasai_support.Rand.flip rng ~p:0.05 in
+        {
+          spec with
+          Contracts.sp_payout_inline = true;
+          sp_fake_eos_guard = false;
+          sp_fake_notif_guard = false;
+          sp_checks =
+            Verification.random_checks rng
+              ~depth:(1 + Wasai_support.Rand.int rng 3);
+          sp_admin_reveal = admin_fn;
+          sp_has_payout = not admin_fn;
+          sp_db_gate = false;
+          sp_memo_gate = None;
+        }
+      else
+        (* Safe samples come from inaccessible branches (the paper's own
+           negative-generation method) or, rarely, the defer scheme. *)
+        let dead = Wasai_support.Rand.flip rng ~p:0.9 in
+        {
+          spec with
+          Contracts.sp_payout_inline = dead;
+          sp_dead_template = dead;
+          sp_fake_eos_guard = false;
+          sp_fake_notif_guard = false;
+          sp_checks =
+            Verification.random_checks rng
+              ~depth:(1 + Wasai_support.Rand.int rng 3);
+          sp_db_gate = false;
+          sp_memo_gate = None;
+        }
+
+let scaled n scale = max 2 (n / scale)
+
+let build_sample id cls truth spec : sample =
+  let m, abi = Contracts.build spec in
+  {
+    smp_id = id;
+    smp_class = cls;
+    smp_truth = truth;
+    smp_spec = spec;
+    smp_module = m;
+    smp_abi = abi;
+  }
+
+(** The Table-4 ground-truth benchmark. *)
+let ground_truth ?(seed = 42L) ?(scale = 1) () : sample list =
+  let rng = Wasai_support.Rand.create seed in
+  let id = ref 0 in
+  List.concat_map
+    (fun (cls, count) ->
+      let n = scaled count scale in
+      List.init n (fun k ->
+          incr id;
+          let vulnerable = k mod 2 = 0 in
+          let account =
+            Name.of_string (Wasai_support.Rand.eosio_name_string rng 10)
+          in
+          let spec = specialise rng cls ~vulnerable (background rng account) in
+          (* Consistency: the spec must imply the intended label. *)
+          assert (Contracts.ground_truth spec cls = vulnerable);
+          build_sample !id cls vulnerable spec))
+    paper_counts
+
+(** The Table-5 corpus: the ground-truth samples, obfuscated. *)
+let obfuscated ?(seed = 42L) ?(scale = 1) () : sample list =
+  List.map
+    (fun s -> { s with smp_module = Obfuscate.obfuscate s.smp_module })
+    (ground_truth ~seed ~scale ())
+
+(** The Table-6 corpus: complicated verification injected at the
+    eosponser entry. *)
+let verification ?(seed = 43L) ?(scale = 1) () : sample list =
+  let rng = Wasai_support.Rand.create seed in
+  let id = ref 0 in
+  List.concat_map
+    (fun (cls, count) ->
+      let n = scaled count scale in
+      List.init n (fun k ->
+          incr id;
+          let vulnerable = k mod 2 = 0 in
+          let account =
+            Name.of_string (Wasai_support.Rand.eosio_name_string rng 10)
+          in
+          let spec = specialise rng cls ~vulnerable (background rng account) in
+          (* Keep the contract's own checks off the payload fields the
+             injection below will constrain, so the conjunction stays
+             satisfiable and ground truth is preserved. *)
+          let spec =
+            {
+              spec with
+              Contracts.sp_checks =
+                (if spec.Contracts.sp_checks = [] then []
+                 else
+                   Verification.random_checks rng
+                     ~targets:Contracts.[| Chk_from; Chk_to |]
+                     ~depth:(List.length spec.Contracts.sp_checks));
+              (* The injected equality pins the amount; a minimum-bet
+                 assert or memo gate on the same fields would make the
+                 conjunction unsatisfiable and corrupt ground truth. *)
+              sp_min_bet = None;
+              sp_memo_gate = None;
+            }
+          in
+          assert (Contracts.ground_truth spec cls = vulnerable);
+          let sample = build_sample !id cls vulnerable spec in
+          (* The §4.3 injection: an unreachable-guarded equality chain on
+             the payload fields, at the bytecode level, at the entry of
+             the eosponser. *)
+          let checks =
+            Verification.random_checks rng
+              ~targets:Verification.payload_targets
+              ~depth:(2 + Wasai_support.Rand.int rng 2)
+          in
+          { sample with smp_module = Verification.inject sample.smp_module checks }))
+    verification_counts
+
+(** The RQ1 coverage set: 100 branch-rich "real-world-like" contracts. *)
+let coverage_set ?(seed = 44L) ?(count = 100) () : sample list =
+  let rng = Wasai_support.Rand.create seed in
+  List.init count (fun k ->
+      let account = Name.of_string (Wasai_support.Rand.eosio_name_string rng 10) in
+      (* The deep structure is the milestone tree; field-level entry
+         checks and memo gates are omitted because they would contradict
+         milestone bytes on the same fields and make depth unreachable
+         for every tool. *)
+      let spec =
+        {
+          (background rng account) with
+          Contracts.sp_checks = [];
+          sp_memo_gate = None;
+          sp_db_gate = Wasai_support.Rand.flip rng ~p:0.5;
+          sp_blockinfo = Wasai_support.Rand.flip rng ~p:0.3;
+          sp_payout_inline = Wasai_support.Rand.flip rng ~p:0.5;
+          sp_fake_eos_guard = Wasai_support.Rand.flip rng ~p:0.6;
+          sp_fake_notif_guard = Wasai_support.Rand.flip rng ~p:0.6;
+          sp_auth_check = Wasai_support.Rand.flip rng ~p:0.7;
+          sp_milestones =
+            Verification.random_milestones rng
+              ~depth:(9 + Wasai_support.Rand.int rng 9);
+          sp_claim_loop = Wasai_support.Rand.flip rng ~p:0.4;
+        }
+      in
+      build_sample k Contracts.Fake_eos
+        (Contracts.ground_truth spec Contracts.Fake_eos)
+        spec)

@@ -1,0 +1,33 @@
+(** Benchmark corpora mirroring the paper's §4.2–§4.4 datasets, generated
+    deterministically from a seed.  [scale] divides per-class counts
+    while preserving composition. *)
+
+module Wasm = Wasai_wasm
+open Wasai_eosio
+
+type sample = {
+  smp_id : int;
+  smp_class : Contracts.vuln;  (** the benchmark row this sample belongs to *)
+  smp_truth : bool;  (** vulnerable with respect to its class *)
+  smp_spec : Contracts.spec;
+  smp_module : Wasm.Ast.module_;
+  smp_abi : Abi.t;
+}
+
+val paper_counts : (Contracts.vuln * int) list
+(** Table 4's per-class sample counts (254/1378/890/400/418). *)
+
+val verification_counts : (Contracts.vuln * int) list
+(** Table 6's counts (190/1178/756/400/400). *)
+
+val ground_truth : ?seed:int64 -> ?scale:int -> unit -> sample list
+(** The Table-4 balanced benchmark. *)
+
+val obfuscated : ?seed:int64 -> ?scale:int -> unit -> sample list
+(** The Table-5 corpus: ground-truth samples after the obfuscator. *)
+
+val verification : ?seed:int64 -> ?scale:int -> unit -> sample list
+(** The Table-6 corpus: entry-injected verification chains. *)
+
+val coverage_set : ?seed:int64 -> ?count:int -> unit -> sample list
+(** The RQ1 coverage set: branch-rich contracts with milestone trees. *)

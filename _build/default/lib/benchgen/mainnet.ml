@@ -1,0 +1,113 @@
+(** The RQ4 "in the wild" population: a synthetic stand-in for the 991
+    profitable EOSIO Mainnet contracts (the real corpus is not
+    redistributable and the Mainnet RPC is unreachable offline).
+
+    Vulnerability prevalence is sampled so the population lands near the
+    study's reported rates (241 FakeEOS, 264 FakeNotif, 470 MissAuth,
+    22 BlockinfoDep, 122 Rollback; 707 of 991 vulnerable overall), and
+    each contract carries a later-version history — abandoned, patched,
+    or still exposed — mirroring the paper's patch analysis. *)
+
+module Wasm = Wasai_wasm
+open Wasai_eosio
+
+type history =
+  | Abandoned  (** latest version replaced by an empty file *)
+  | Operating_patched
+  | Operating_unpatched
+
+type deployed = {
+  dep_id : int;
+  dep_account : Name.t;
+  dep_spec : Contracts.spec;
+  dep_module : Wasm.Ast.module_;
+  dep_abi : Abi.t;
+  dep_history : history;
+  dep_deployed_at : string;  (** synthetic deployment date *)
+}
+
+(* Patch a spec: enable every guard the original lacked. *)
+let patched_spec (s : Contracts.spec) : Contracts.spec =
+  {
+    s with
+    Contracts.sp_fake_eos_guard = true;
+    sp_fake_notif_guard = true;
+    sp_auth_check = true;
+    sp_blockinfo = false;
+    sp_payout_inline = false;
+  }
+
+let synth_date rng =
+  Printf.sprintf "2019-%02d-%02d, %02d:%02d:%02d"
+    (1 + Wasai_support.Rand.int rng 12)
+    (1 + Wasai_support.Rand.int rng 28)
+    (Wasai_support.Rand.int rng 24)
+    (Wasai_support.Rand.int rng 60)
+    (Wasai_support.Rand.int rng 60)
+
+(** Generate the population. *)
+let generate ?(seed = 77L) ?(count = 991) () : deployed list =
+  let rng = Wasai_support.Rand.create seed in
+  List.init count (fun k ->
+      let account = Name.of_string (Wasai_support.Rand.eosio_name_string rng 11) in
+      let base = Contracts.default_spec account in
+      let spec =
+        {
+          base with
+          Contracts.sp_fake_eos_guard =
+            not (Wasai_support.Rand.flip rng ~p:0.243);
+          sp_fake_notif_guard = not (Wasai_support.Rand.flip rng ~p:0.266);
+          sp_auth_check = not (Wasai_support.Rand.flip rng ~p:0.474);
+          sp_blockinfo = Wasai_support.Rand.flip rng ~p:0.022;
+          sp_payout_inline = Wasai_support.Rand.flip rng ~p:0.123;
+          sp_dispatcher =
+            (if Wasai_support.Rand.flip rng ~p:0.45 then Contracts.Indirect
+             else Contracts.Direct);
+          sp_db_gate = Wasai_support.Rand.flip rng ~p:0.3;
+          sp_min_bet =
+            (if Wasai_support.Rand.flip rng ~p:0.35 then
+               Some (Int64.of_int (1 + Wasai_support.Rand.int rng 1000))
+             else None);
+          sp_memo_gate =
+            (if Wasai_support.Rand.flip rng ~p:0.05 then Some "action:buy"
+             else None);
+          sp_checks =
+            (if Wasai_support.Rand.flip rng ~p:0.25 then
+               Verification.random_checks rng
+                 ~depth:(1 + Wasai_support.Rand.int rng 2)
+             else []);
+          sp_log_notifications = Wasai_support.Rand.flip rng ~p:0.08;
+        }
+      in
+      let vulnerable =
+        List.exists (Contracts.ground_truth spec) Contracts.all_vulns
+      in
+      let history =
+        if not vulnerable then Operating_unpatched
+        else if Wasai_support.Rand.flip rng ~p:0.416 then Abandoned
+        else if Wasai_support.Rand.flip rng ~p:0.175 then Operating_patched
+        else Operating_unpatched
+      in
+      let m, abi = Contracts.build spec in
+      {
+        dep_id = k;
+        dep_account = account;
+        dep_spec = spec;
+        dep_module = m;
+        dep_abi = abi;
+        dep_history = history;
+        dep_deployed_at = synth_date rng;
+      })
+
+(** The latest version of a deployed contract, as downloaded from the
+    chain: [None] models the empty file of an abandoned contract. *)
+let latest_version (d : deployed) : (Wasm.Ast.module_ * Abi.t) option =
+  match d.dep_history with
+  | Abandoned -> None
+  | Operating_patched ->
+      let m, abi = Contracts.build (patched_spec d.dep_spec) in
+      Some (m, abi)
+  | Operating_unpatched -> Some (d.dep_module, d.dep_abi)
+
+let truth_any (d : deployed) =
+  List.exists (Contracts.ground_truth d.dep_spec) Contracts.all_vulns

@@ -1,0 +1,31 @@
+(** The RQ4 "in the wild" population: a synthetic stand-in for the 991
+    profitable Mainnet contracts, with prevalence priors set from the
+    paper's reported rates and a later-version history (abandoned /
+    patched / still exposed). *)
+
+module Wasm = Wasai_wasm
+open Wasai_eosio
+
+type history =
+  | Abandoned  (** latest version replaced by an empty file *)
+  | Operating_patched
+  | Operating_unpatched
+
+type deployed = {
+  dep_id : int;
+  dep_account : Name.t;
+  dep_spec : Contracts.spec;
+  dep_module : Wasm.Ast.module_;
+  dep_abi : Abi.t;
+  dep_history : history;
+  dep_deployed_at : string;  (** synthetic deployment date *)
+}
+
+val patched_spec : Contracts.spec -> Contracts.spec
+
+val generate : ?seed:int64 -> ?count:int -> unit -> deployed list
+
+val latest_version : deployed -> (Wasm.Ast.module_ * Abi.t) option
+(** [None] models the empty file of an abandoned contract. *)
+
+val truth_any : deployed -> bool

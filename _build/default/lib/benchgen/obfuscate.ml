@@ -1,0 +1,119 @@
+(** The Wasm bytecode obfuscator of RQ3 (§4.3).
+
+    Two semantics-preserving transforms, applied at the bytecode level so
+    they work on any module:
+
+    - {b data-flow}: equality tests are re-encoded through the popcount
+      algorithm — [x == y] becomes [popcnt(x ^ y) == 0] — hiding the
+      direct comparison of operands and pushing solvers into counting
+      circuits;
+    - {b control-flow}: an opaque recursive function is inserted and
+      invoked at the head of every original function; its self-call is
+      guarded by a condition that can never hold ([popcnt(x) > width]),
+      so execution never recurses but a static CFG gains a cycle through
+      every function. *)
+
+module Wasm = Wasai_wasm
+module Ast = Wasm.Ast
+module T = Wasm.Types
+module I = Wasm.Builder.I
+
+(* x == y  ~>  popcnt(x ^ y) == 0;  x != y  ~>  popcnt(x ^ y) != 0 *)
+let popcount_encode (ty : T.num_type) (op : Ast.int_relop) :
+    Ast.instr list option =
+  match op with
+  | Ast.Eq ->
+      Some
+        [
+          Ast.Int_binary (ty, Ast.Xor);
+          Ast.Int_unary (ty, Ast.Popcnt);
+          Ast.Eqz ty;
+        ]
+  | Ast.Ne ->
+      Some
+        [
+          Ast.Int_binary (ty, Ast.Xor);
+          Ast.Int_unary (ty, Ast.Popcnt);
+          Ast.Eqz ty;
+          Ast.Eqz T.I32;
+        ]
+  | _ -> None
+
+let rec obfuscate_body (body : Ast.instr list) : Ast.instr list =
+  List.concat_map
+    (fun (i : Ast.instr) ->
+      match i with
+      | Ast.Int_compare (ty, op) -> (
+          match popcount_encode ty op with
+          | Some encoded -> encoded
+          | None -> [ i ])
+      | Ast.Block (bt, b) -> [ Ast.Block (bt, obfuscate_body b) ]
+      | Ast.Loop (bt, b) -> [ Ast.Loop (bt, obfuscate_body b) ]
+      | Ast.If (bt, t, e) -> [ Ast.If (bt, obfuscate_body t, obfuscate_body e) ]
+      | _ -> [ i ])
+    body
+
+(** Apply both transforms to a module. *)
+let obfuscate (m : Ast.module_) : Ast.module_ =
+  let n_imp = Ast.num_func_imports m in
+  (* The opaque recursive function will be appended at the end of the
+     function index space, so existing indices stay valid. *)
+  let opaque_idx = n_imp + Array.length m.Ast.funcs in
+  (* Intern its type () <- (i64). *)
+  let opaque_ty = T.func_type [ T.I64 ] in
+  let types, opaque_ti =
+    let existing = Array.to_list m.Ast.types in
+    let rec find i = function
+      | [] -> (existing @ [ opaque_ty ], List.length existing)
+      | t :: rest ->
+          if T.equal_func_type t opaque_ty then (existing, i)
+          else find (i + 1) rest
+    in
+    find 0 existing
+  in
+  let opaque_func =
+    {
+      Ast.ftype = opaque_ti;
+      locals = [];
+      fname = Some "obf.opaque";
+      body =
+        [
+          (* if (popcnt(x) > 64) obf.opaque(x + 1) -- never true *)
+          I.local_get 0;
+          Ast.Int_unary (T.I64, Ast.Popcnt);
+          I.i64 64L;
+          Ast.Int_compare (T.I64, Ast.Gt_u);
+          I.if_
+            [ I.local_get 0; I.i64 1L; I.i64_add; I.call opaque_idx ]
+            [];
+        ];
+    }
+  in
+  let inject_call (f : Ast.func) =
+    let seed =
+      match m.Ast.types.(f.Ast.ftype).T.params with
+      | T.I64 :: _ -> [ I.local_get 0 ]
+      | _ -> [ I.i64 0x5eedL ]
+    in
+    { f with Ast.body = seed @ [ I.call opaque_idx ] @ obfuscate_body f.Ast.body }
+  in
+  let funcs = Array.map inject_call m.Ast.funcs in
+  let funcs = Array.append funcs [| opaque_func |] in
+  let m' = { m with Ast.types = Array.of_list types; funcs } in
+  Wasm.Validate.check_module m';
+  m'
+
+(** Number of comparison sites the data-flow transform rewrote (used by
+    tests and reports). *)
+let count_encodable (m : Ast.module_) : int =
+  let n = ref 0 in
+  Array.iter
+    (fun (f : Ast.func) ->
+      Ast.iter_instrs
+        (fun i ->
+          match i with
+          | Ast.Int_compare (_, (Ast.Eq | Ast.Ne)) -> incr n
+          | _ -> ())
+        f.Ast.body)
+    m.Ast.funcs;
+  !n

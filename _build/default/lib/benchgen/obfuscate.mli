@@ -1,0 +1,20 @@
+(** The Wasm bytecode obfuscator of RQ3 (§4.3): two semantics-preserving
+    transforms applied at the bytecode level.
+
+    - data flow: [x == y] becomes [popcnt(x ^ y) == 0], hiding direct
+      comparisons behind counting circuits;
+    - control flow: an opaque recursive function (whose self-call guard
+      can never hold) is inserted and invoked at the head of every
+      original function, adding a call-graph cycle. *)
+
+val popcount_encode :
+  Wasai_wasm.Types.num_type ->
+  Wasai_wasm.Ast.int_relop ->
+  Wasai_wasm.Ast.instr list option
+(** The encoded replacement for an eq/ne comparison, if encodable. *)
+
+val obfuscate : Wasai_wasm.Ast.module_ -> Wasai_wasm.Ast.module_
+(** Apply both transforms; the result is validated. *)
+
+val count_encodable : Wasai_wasm.Ast.module_ -> int
+(** Number of i64/i32 eq/ne sites the data-flow transform targets. *)

@@ -1,0 +1,102 @@
+(** Complicated-verification injection (RQ3, §4.3).
+
+    Injects [if (field != constant) unreachable] chains at the entry of a
+    module's eosponser, at the bytecode level — the paper's example forces
+    [quantity] to equal "100.0000 EOS" before the contract proceeds.  Only
+    seeds that satisfy every equality can reach the rest of the function,
+    which is what defeats random fuzzing. *)
+
+module Wasm = Wasai_wasm
+module Ast = Wasm.Ast
+
+(* The generated check code is shared with the contract generator. *)
+let check_instrs (checks : Contracts.check list) : Ast.instr list =
+  List.concat_map Contracts.check_code checks
+
+(** Inject [checks] at the entry of the function named [fname]
+    (default "eosponser").  Returns the rewritten module. *)
+let inject ?(fname = "eosponser") (m : Ast.module_)
+    (checks : Contracts.check list) : Ast.module_ =
+  let injected = ref false in
+  let funcs =
+    Array.map
+      (fun (f : Ast.func) ->
+        if f.Ast.fname = Some fname then begin
+          injected := true;
+          { f with Ast.body = check_instrs checks @ f.Ast.body }
+        end
+        else f)
+      m.Ast.funcs
+  in
+  if not !injected then invalid_arg ("Verification.inject: no function " ^ fname);
+  let m' = { m with Ast.funcs } in
+  Wasm.Validate.check_module m';
+  m'
+
+(** Random check chain over the transfer parameters, mirroring the
+    paper's generator ("each branch verifies several function parameters
+    with random constants"). *)
+let random_checks ?targets (rng : Wasai_support.Rand.t) ~(depth : int) :
+    Contracts.check list =
+  let pool =
+    match targets with
+    | Some ts -> ts
+    | None ->
+        Contracts.[| Chk_from; Chk_to; Chk_amount; Chk_symbol; Chk_memo_len |]
+  in
+  (* Sample distinct fields so the conjunction stays satisfiable. *)
+  let targets = Wasai_support.Rand.shuffle rng pool in
+  let depth = min depth (Array.length targets) in
+  List.init depth (fun i ->
+      let target = targets.(i) in
+      let value =
+        match target with
+        | Contracts.Chk_amount ->
+            Int64.of_int (1 + Wasai_support.Rand.int rng 1_000_000)
+        | Contracts.Chk_symbol -> Wasai_eosio.Asset.Symbol.eos
+        | Contracts.Chk_memo_len ->
+            Int64.of_int (Wasai_support.Rand.int rng 32)
+        | Contracts.Chk_from | Contracts.Chk_to | Contracts.Chk_memo_prefix ->
+            Wasai_eosio.Name.of_string
+              (Wasai_support.Rand.eosio_name_string rng 8)
+      in
+      { Contracts.chk_target = target; chk_value = value })
+
+(** The §4.3 example constrains the transfer's [quantity] (and memo) —
+    fields the payload controls on every adversary channel, unlike the
+    payer/payee names the notification mechanism fixes. *)
+let payload_targets =
+  Contracts.[| Chk_amount; Chk_symbol; Chk_memo_len |]
+
+(** Random milestone chain of [depth] levels over distinct (field, byte)
+    pairs — always satisfiable end to end. *)
+let random_milestones (rng : Wasai_support.Rand.t) ~(depth : int) :
+    Contracts.milestone list =
+  (* Amount bytes first: the payload controls them on every channel.
+     Deeper levels constrain the payer/payee names, which only the
+     forged-action channel can set. *)
+  (* Amount byte 7 stays free so the amount can remain positive and
+     payable; memo bytes are nonzero so the string length extension is
+     well-defined. *)
+  let payload_slots =
+    Wasai_support.Rand.shuffle rng
+      (Array.append
+         (Array.init 7 (fun b -> (Contracts.Ml_amount, b)))
+         (Array.init 8 (fun b -> (Contracts.Ml_memo, b))))
+  in
+  let name_slots =
+    Wasai_support.Rand.shuffle rng
+      (Array.init 16 (fun i ->
+           ((if i mod 2 = 0 then Contracts.Ml_from else Contracts.Ml_to), i / 2)))
+  in
+  let order = Array.append payload_slots name_slots in
+  List.init (min depth (Array.length order)) (fun k ->
+      let field, byte = order.(k) in
+      {
+        Contracts.ml_field = field;
+        ml_byte = byte;
+        ml_value =
+          (match field with
+           | Contracts.Ml_memo -> 33 + Wasai_support.Rand.int rng 94
+           | _ -> Wasai_support.Rand.int rng 256);
+      })

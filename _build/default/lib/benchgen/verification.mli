@@ -1,0 +1,28 @@
+(** Complicated-verification injection (RQ3, §4.3): [if (field != const)
+    unreachable] chains at the entry of a module's eosponser, at the
+    bytecode level.  Only seeds satisfying every equality reach the rest
+    of the function. *)
+
+val check_instrs : Contracts.check list -> Wasai_wasm.Ast.instr list
+
+val inject :
+  ?fname:string -> Wasai_wasm.Ast.module_ -> Contracts.check list ->
+  Wasai_wasm.Ast.module_
+(** Prepend checks to the named function (default "eosponser"); the
+    result is validated. *)
+
+val random_checks :
+  ?targets:Contracts.check_target array ->
+  Wasai_support.Rand.t ->
+  depth:int ->
+  Contracts.check list
+(** Random equality chain over distinct fields (satisfiable). *)
+
+val payload_targets : Contracts.check_target array
+(** Fields the payload controls on every adversary channel (quantity and
+    memo, not the payer/payee the notification mechanism fixes). *)
+
+val random_milestones :
+  Wasai_support.Rand.t -> depth:int -> Contracts.milestone list
+(** Milestone chain over distinct (field, byte) slots: amount and memo
+    bytes first (channel-free), payer/payee bytes deeper. *)

@@ -1,0 +1,1 @@
+lib/core/dbg.ml: Database Hashtbl Int64 List Name Set Wasai_eosio

@@ -1,0 +1,1 @@
+lib/core/dbg.mli: Database Name Wasai_eosio

@@ -1,0 +1,1 @@
+lib/core/engine.ml: Abi Action Array Asset Chain Database Dbg Hashtbl Host List Name Option Queue Scanner Seed Token Unix Wasai_eosio Wasai_support Wasai_symbolic Wasai_wasabi Wasai_wasm

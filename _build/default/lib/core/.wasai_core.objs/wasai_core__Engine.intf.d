@@ -1,0 +1,1 @@
+lib/core/engine.mli: Abi Action Chain Dbg Hashtbl Name Scanner Seed Wasai_eosio Wasai_support Wasai_wasabi Wasai_wasm

@@ -1,0 +1,1 @@
+lib/core/report.ml: Buffer Engine List Printf Scanner String Wasai_eosio

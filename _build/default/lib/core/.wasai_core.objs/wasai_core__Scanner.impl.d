@@ -1,0 +1,1 @@
+lib/core/scanner.ml: Abi Action Int64 List Name Printf String Wasai_eosio Wasai_symbolic Wasai_wasabi Wasai_wasm

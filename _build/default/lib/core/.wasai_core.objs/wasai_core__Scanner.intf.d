@@ -1,0 +1,1 @@
+lib/core/scanner.mli: Abi Name Wasai_eosio Wasai_wasabi Wasai_wasm

@@ -1,0 +1,1 @@
+lib/core/seed.ml: Abi Asset Hashtbl Int64 List Name Printf Queue String Wasai_eosio Wasai_support

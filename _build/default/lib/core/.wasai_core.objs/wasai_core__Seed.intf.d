@@ -1,0 +1,1 @@
+lib/core/seed.mli: Abi Name Wasai_eosio Wasai_support

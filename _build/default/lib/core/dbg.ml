@@ -1,0 +1,65 @@
+(** The database dependency graph (§3.3.2).
+
+    Nodes are action functions; each carries the set of tables it reads
+    and writes, learned from the [db_*] accesses observed while the action
+    executed.  The seed selector consults the graph: when an action's last
+    run read a table and aborted, an action known to write that table is
+    scheduled first.
+
+    Tracking is deliberately table-granular — the paper's §5 names this
+    coarseness as a real limitation (row identity is not tracked), and the
+    multi-table benchmark contracts exploit it. *)
+
+open Wasai_eosio
+
+module NameSet = Set.Make (Int64)
+
+type node = {
+  mutable reads : NameSet.t;
+  mutable writes : NameSet.t;
+  mutable last_read_miss : Name.t option;
+      (** table whose read most recently came back empty *)
+}
+
+type t = { nodes : (Name.t, node) Hashtbl.t }
+
+let create () = { nodes = Hashtbl.create 8 }
+
+let node_of g action =
+  match Hashtbl.find_opt g.nodes action with
+  | Some n -> n
+  | None ->
+      let n = { reads = NameSet.empty; writes = NameSet.empty; last_read_miss = None } in
+      Hashtbl.replace g.nodes action n;
+      n
+
+let record_access g ~(action : Name.t) (acc : Database.access) =
+  let n = node_of g action in
+  match acc.Database.acc_kind with
+  | Database.Read -> n.reads <- NameSet.add acc.Database.acc_table n.reads
+  | Database.Write -> n.writes <- NameSet.add acc.Database.acc_table n.writes
+
+let record_read_miss g ~(action : Name.t) (table : Name.t) =
+  (node_of g action).last_read_miss <- Some table
+
+let clear_read_miss g ~(action : Name.t) =
+  (node_of g action).last_read_miss <- None
+
+(** Actions known to write [table]. *)
+let writers g (table : Name.t) : Name.t list =
+  Hashtbl.fold
+    (fun action n acc -> if NameSet.mem table n.writes then action :: acc else acc)
+    g.nodes []
+
+(** If [action]'s last run missed a table read, an action that writes that
+    table (the transaction-dependency resolution step). *)
+let dependency_for g (action : Name.t) : Name.t option =
+  match (node_of g action).last_read_miss with
+  | None -> None
+  | Some table -> (
+      match List.filter (fun a -> not (Name.equal a action)) (writers g table) with
+      | w :: _ -> Some w
+      | [] -> None)
+
+let tables_read g action = NameSet.elements (node_of g action).reads
+let tables_written g action = NameSet.elements (node_of g action).writes

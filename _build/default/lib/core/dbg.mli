@@ -1,0 +1,24 @@
+(** The database dependency graph (§3.3.2): per-action read/write table
+    sets learned from observed [db_*] accesses.  Deliberately
+    table-granular — the paper's §5 names this coarseness as a real
+    limitation. *)
+
+open Wasai_eosio
+
+type t
+
+val create : unit -> t
+val record_access : t -> action:Name.t -> Database.access -> unit
+
+val record_read_miss : t -> action:Name.t -> Name.t -> unit
+(** The action's most recent run read [table] and found nothing. *)
+
+val clear_read_miss : t -> action:Name.t -> unit
+val writers : t -> Name.t -> Name.t list
+
+val dependency_for : t -> Name.t -> Name.t option
+(** If the action's last run missed a table read, an action that writes
+    that table. *)
+
+val tables_read : t -> Name.t -> Name.t list
+val tables_written : t -> Name.t -> Name.t list

@@ -1,0 +1,537 @@
+(** The WASAI engine: Algorithm 1 of the paper.
+
+    Per fuzzing target: instrument the bytecode, boot a local chain with
+    the auxiliary contracts the adversary oracles need (the official
+    token, an attacker token issuing fake "EOS", a notification-forwarding
+    agent), then loop: select a seed honouring transaction dependencies,
+    deliver it through a rotating adversary channel, capture the trace,
+    feed the scanner, replay the trace symbolically and solve flipped
+    branch constraints into adaptive seeds. *)
+
+module Wasm = Wasai_wasm
+module Wasabi = Wasai_wasabi
+module Sym = Wasai_symbolic
+open Wasai_eosio
+
+type config = {
+  cfg_rounds : int;  (** iteration budget, standing in for the 5-min timeout *)
+  cfg_time_limit : float option;
+      (** optional wall-clock cap in seconds (the paper's per-contract
+          timeout); whichever of rounds/time runs out first stops the loop *)
+  cfg_rng_seed : int64;
+  cfg_solver_budget : int;  (** SAT conflicts, standing in for 3,000 ms *)
+  cfg_max_flips : int;  (** solved branches per execution *)
+  cfg_fuel : int;
+  cfg_feedback : bool;  (** symbolic feedback (off = blind fuzzing ablation) *)
+}
+
+let default_config =
+  {
+    cfg_rounds = 60;
+    cfg_time_limit = None;
+    cfg_rng_seed = 1L;
+    cfg_solver_budget = 20_000;
+    cfg_max_flips = 6;
+    cfg_fuel = 30_000_000;
+    cfg_feedback = true;
+  }
+
+type target = {
+  tgt_account : Name.t;
+  tgt_module : Wasm.Ast.module_;
+  tgt_abi : Abi.t;
+}
+
+type outcome = {
+  out_flags : (Scanner.flag * bool) list;
+  out_custom : (string * bool) list;  (** verdicts of registered custom oracles *)
+  out_exploits : (Scanner.flag * Scanner.evidence) list;
+      (** the exploit payload behind every positive verdict *)
+  out_branches : int;  (** distinct (site, direction) pairs explored *)
+  out_timeline : (int * float * int) list;
+      (** (round, elapsed seconds, cumulative branches) *)
+  out_rounds : int;
+  out_seeds_total : int;
+  out_adaptive_seeds : int;
+  out_transactions : int;
+  out_solver_sat : int;
+  out_imprecise : int;
+}
+
+(* Well-known session accounts. *)
+let attacker = Name.of_string "attacker"
+let player_one = Name.of_string "playerone"
+let player_two = Name.of_string "playertwo"
+let treasury = Name.of_string "treasury"
+let fake_token = Name.of_string "fake.token"
+let fake_notif = Name.of_string "fake.notif"
+
+type session = {
+  cfg : config;
+  target : target;
+  chain : Chain.t;
+  collector : Wasabi.Trace.t;
+  meta : Wasabi.Trace.meta;
+  scanner : Scanner.t;
+  dbg : Dbg.t;
+  pool : Seed.pool;
+  rng : Wasai_support.Rand.t;
+  identities : Name.t list;
+  branches : (int * int32, unit) Hashtbl.t;
+  mutable adaptive_seeds : int;
+  mutable transactions : int;
+  mutable solver_sat : int;
+  mutable imprecise : int;
+  mutable current_action : Name.t;  (** for DBG attribution *)
+  db_find_import : int option;
+  seen_seeds : (string, unit) Hashtbl.t;  (** dedup of generated argument vectors *)
+}
+
+(* The notification-forwarding agent of the Fake Notif oracle (§2.3.2):
+   on a genuine eosio.token transfer notification it forwards the
+   notification to the victim, with [code] still eosio.token. *)
+let agent_apply ~victim (ctx : Chain.context) =
+  if
+    Name.equal ctx.Chain.ctx_code Name.eosio_token
+    && Name.equal ctx.Chain.ctx_action.Action.act_name Name.transfer
+    && Name.equal ctx.Chain.ctx_receiver fake_notif
+  then Queue.add victim ctx.Chain.ctx_notify
+
+(* Adversary identities are funded to the hilt so any positive payload
+   amount the solver picks (below 2^61 units) can actually be paid —
+   attackers on a test chain issue themselves arbitrary balances. *)
+let funding = 0x1000_0000_0000_0000L (* 2^60 units each *)
+
+let setup (cfg : config) (target : target) : session =
+  let chain = Host.create_chain ~fuel_per_action:cfg.cfg_fuel () in
+  Token.bootstrap chain ~treasury ~supply:0x4000_0000_0000_0000L;
+  List.iter
+    (fun a -> ignore (Chain.create_account chain a))
+    [ attacker; player_one; player_two; target.tgt_account; fake_token; fake_notif ];
+  (* Fund the adversary identities and give the victim a working float so
+     payouts can succeed (and sometimes overdraw). *)
+  List.iter
+    (fun owner ->
+      let r =
+        Chain.push_action chain
+          (Token.transfer_action ~token:Name.eosio_token ~from:treasury ~to_:owner
+             ~quantity:(Asset.eos_of_units funding) ~memo:"fund")
+      in
+      ignore r)
+    [ attacker; player_one; player_two ];
+  (* The victim is funded directly at the token table: transferring to it
+     would already trigger its eosponser. *)
+  Token.set_balance chain ~token:Name.eosio_token ~owner:target.tgt_account
+    ~symbol:Asset.Symbol.eos 500_0000L;
+  (* Attacker token issuing fake EOS. *)
+  Token.deploy chain fake_token;
+  ignore
+    (Chain.push_action chain
+       (Action.of_args ~account:fake_token ~name:(Name.of_string "create")
+          ~args:
+            [ Abi.V_name attacker; Abi.V_asset (Asset.eos_of_units 1_000_000_0000L) ]
+          ~auth:[ fake_token ]));
+  ignore
+    (Chain.push_action chain
+       (Action.of_args ~account:fake_token ~name:(Name.of_string "issue")
+          ~args:
+            [
+              Abi.V_name attacker;
+              Abi.V_asset (Asset.eos_of_units 1_000_000_0000L);
+              Abi.V_string "";
+            ]
+          ~auth:[ attacker ]));
+  (* Notification-forwarding agent. *)
+  Chain.set_native chain fake_notif
+    (agent_apply ~victim:target.tgt_account)
+    { Abi.abi_actions = [] };
+  (* Instrument the target through the real binary pipeline. *)
+  let bin = Wasm.Encode.encode target.tgt_module in
+  let _bin', meta = Wasabi.Instrument.instrument_binary bin in
+  Chain.set_code chain target.tgt_account meta.Wasabi.Trace.instrumented
+    target.tgt_abi;
+  let collector = Wasabi.Trace.create () in
+  Chain.register_extension chain
+    (Wasabi.Instrument.runtime_extension collector ~target:target.tgt_account);
+  let scanner =
+    Scanner.create ~meta ~victim:target.tgt_account ~fake_notif_agent:fake_notif
+  in
+  let rng = Wasai_support.Rand.create cfg.cfg_rng_seed in
+  let identities = [ attacker; player_one; player_two; target.tgt_account ] in
+  let pool = Seed.create_pool () in
+  (* Algorithm 1 line 2: fill seeds with random data. *)
+  List.iter
+    (fun (def : Abi.action_def) ->
+      for _ = 1 to 3 do
+        Seed.add pool (Seed.random rng ~identities def)
+      done)
+    target.tgt_abi.Abi.abi_actions;
+  let session =
+    {
+      cfg;
+      target;
+      chain;
+      collector;
+      meta;
+      scanner;
+      dbg = Dbg.create ();
+      pool;
+      rng;
+      identities;
+      branches = Hashtbl.create 256;
+      adaptive_seeds = 0;
+      transactions = 0;
+      solver_sat = 0;
+      imprecise = 0;
+      current_action = Name.transfer;
+      db_find_import = Wasabi.Trace.find_env_import meta "db_find_i64";
+      seen_seeds = Hashtbl.create 64;
+    }
+  in
+  (* DBG: attribute the victim's DB accesses to the executing action. *)
+  chain.Chain.db.Database.on_access <-
+    Some
+      (fun acc ->
+        if Name.equal acc.Database.acc_code target.tgt_account then
+          Dbg.record_access session.dbg ~action:session.current_action acc);
+  session
+
+(* ------------------------------------------------------------------ *)
+(* Payload construction per adversary channel                          *)
+(* ------------------------------------------------------------------ *)
+
+let seed_field_asset (args : Abi.value list) =
+  match List.find_opt (function Abi.V_asset _ -> true | _ -> false) args with
+  | Some (Abi.V_asset a) -> a
+  | _ -> Asset.eos_of_units 100L
+
+let seed_field_string (args : Abi.value list) =
+  match List.find_opt (function Abi.V_string _ -> true | _ -> false) args with
+  | Some (Abi.V_string s) -> s
+  | _ -> ""
+
+(** The action pushed for a seed on a channel, plus the argument vector the
+    victim's action function actually observes (needed as the concretise
+    fallback for feedback). *)
+let payload (s : session) (seed : Seed.t) (channel : Scanner.channel) :
+    Action.t * Abi.value list =
+  let quantity = seed_field_asset seed.Seed.sd_args in
+  let memo = seed_field_string seed.Seed.sd_args in
+  match channel with
+  | Scanner.Ch_genuine ->
+      ( Token.transfer_action ~token:Name.eosio_token ~from:attacker
+          ~to_:s.target.tgt_account ~quantity ~memo,
+        [
+          Abi.V_name attacker;
+          Abi.V_name s.target.tgt_account;
+          Abi.V_asset quantity;
+          Abi.V_string memo;
+        ] )
+  | Scanner.Ch_fake_token ->
+      ( Token.transfer_action ~token:fake_token ~from:attacker
+          ~to_:s.target.tgt_account ~quantity ~memo,
+        [
+          Abi.V_name attacker;
+          Abi.V_name s.target.tgt_account;
+          Abi.V_asset quantity;
+          Abi.V_string memo;
+        ] )
+  | Scanner.Ch_fake_notif ->
+      ( Token.transfer_action ~token:Name.eosio_token ~from:attacker
+          ~to_:fake_notif ~quantity ~memo,
+        [
+          Abi.V_name attacker;
+          Abi.V_name fake_notif;
+          Abi.V_asset quantity;
+          Abi.V_string memo;
+        ] )
+  | Scanner.Ch_direct ->
+      (* The attacker declares the forged action as whatever actor the
+         seed's [from] names — trivial on a chain where they can create
+         arbitrary accounts. *)
+      let auth =
+        match seed.Seed.sd_args with
+        | Abi.V_name from :: _ -> from
+        | _ -> attacker
+      in
+      ( Action.of_args ~account:s.target.tgt_account ~name:Name.transfer
+          ~args:seed.Seed.sd_args ~auth:[ auth ],
+        seed.Seed.sd_args )
+  | Scanner.Ch_action name ->
+      let auth =
+        match
+          List.find_opt (function Abi.V_name _ -> true | _ -> false)
+            seed.Seed.sd_args
+        with
+        | Some (Abi.V_name n) -> n
+        | _ -> attacker
+      in
+      ( Action.of_args ~account:s.target.tgt_account ~name ~args:seed.Seed.sd_args
+          ~auth:[ auth ],
+        seed.Seed.sd_args )
+
+(* ------------------------------------------------------------------ *)
+(* Coverage and DBG maintenance from traces                            *)
+(* ------------------------------------------------------------------ *)
+
+let update_coverage (s : session) (records : Wasabi.Trace.record list) =
+  List.iter
+    (fun r ->
+      match r with
+      | Wasabi.Trace.R_instr { site; ops = [ Wasm.Values.I32 c ] } -> (
+          match (Wasabi.Trace.site_of s.meta site).Wasabi.Trace.site_instr with
+          | Wasm.Ast.Br_if _ | Wasm.Ast.If _ ->
+              Hashtbl.replace s.branches (site, if c = 0l then 0l else 1l) ()
+          | Wasm.Ast.Br_table _ -> Hashtbl.replace s.branches (site, c) ()
+          | _ -> ())
+      | _ -> ())
+    records
+
+(* Spot db_find calls that returned the end iterator: the read-miss signal
+   driving transaction-dependency resolution. *)
+let update_read_miss (s : session) (records : Wasabi.Trace.record list) =
+  match s.db_find_import with
+  | None -> ()
+  | Some db_find ->
+      let pending = ref None in
+      let missed = ref None and hit = ref None in
+      List.iter
+        (fun r ->
+          match r with
+          | Wasabi.Trace.R_call_pre { site; args } -> (
+              match (Wasabi.Trace.site_of s.meta site).Wasabi.Trace.site_instr with
+              | Wasm.Ast.Call fi when fi = db_find -> pending := Some args
+              | _ -> pending := None)
+          | Wasabi.Trace.R_call_post { results; _ } -> (
+              match (!pending, results) with
+              | Some args, [ Wasm.Values.I32 itr ] ->
+                  (match args with
+                   | [ _code; _scope; Wasm.Values.I64 table; _id ] ->
+                       if itr = -1l then missed := Some table else hit := Some table
+                   | _ -> ());
+                  pending := None
+              | _ -> pending := None)
+          | _ -> ())
+        records;
+      (match !missed with
+       | Some table -> Dbg.record_read_miss s.dbg ~action:s.current_action table
+       | None -> ());
+      if !missed = None && !hit <> None then
+        Dbg.clear_read_miss s.dbg ~action:s.current_action
+
+(* ------------------------------------------------------------------ *)
+(* One fuzzing execution                                                *)
+(* ------------------------------------------------------------------ *)
+
+(* Keep the harness stationary: adversary balances are restored before
+   every payload (attackers on a local chain mint at will), and the victim
+   keeps a fixed working float. *)
+let replenish (s : session) =
+  List.iter
+    (fun owner ->
+      Token.set_balance s.chain ~token:Name.eosio_token ~owner
+        ~symbol:Asset.Symbol.eos funding)
+    [ attacker; player_one; player_two ];
+  Token.set_balance s.chain ~token:fake_token ~owner:attacker
+    ~symbol:Asset.Symbol.eos funding;
+  Token.set_balance s.chain ~token:Name.eosio_token ~owner:s.target.tgt_account
+    ~symbol:Asset.Symbol.eos 500_0000L
+
+let run_one (s : session) (seed : Seed.t) (channel : Scanner.channel) :
+    Chain.tx_result * Wasabi.Trace.record list * Abi.value list =
+  let action, observed_args = payload s seed channel in
+  replenish s;
+  s.current_action <- seed.Seed.sd_action;
+  Wasabi.Trace.reset s.collector;
+  let result = Chain.push_action s.chain action in
+  s.transactions <- s.transactions + 1;
+  (* Deferred transactions run right after, as the next block. *)
+  ignore (Chain.run_deferred s.chain);
+  let records = Wasabi.Trace.drain s.collector in
+  Scanner.observe ~payload:action s.scanner ~channel records;
+  update_coverage s records;
+  update_read_miss s records;
+  (result, records, observed_args)
+
+(* Symbolic feedback: replay, flip, solve, enqueue adaptive seeds. *)
+let feedback (s : session) (seed : Seed.t)
+    (records : Wasabi.Trace.record list) (observed_args : Abi.value list) =
+  match Abi.find_action s.target.tgt_abi seed.Seed.sd_action with
+  | None -> ()
+  | Some def ->
+      let layout =
+        (* Infer from the call_pre into the action function. *)
+        let candidates = s.scanner.Scanner.action_candidates in
+        let arity = List.length def.Abi.act_params + 1 in
+        let rec entry_args = function
+          | [] -> None
+          | Wasabi.Trace.R_call_pre { args; _ }
+            :: Wasabi.Trace.R_func_begin f :: _
+            when List.mem f candidates && List.length args >= arity ->
+              Some args
+          | _ :: rest -> entry_args rest
+        in
+        match entry_args records with
+        | Some args -> Some (Sym.Convention.infer def args)
+        | None -> None
+      in
+      (match layout with
+       | None -> ()
+       | Some lay ->
+           let result =
+             Sym.Replay.run ~layout:lay ~meta:s.meta
+               ~target_funcs:s.scanner.Scanner.action_candidates records
+           in
+           s.imprecise <- s.imprecise + result.Sym.Replay.r_imprecise;
+           let side = Sym.Flip.payload_sanity lay ~max_amount:funding in
+           (* Skip flips whose target branch direction is already
+              covered: the coverage map doubles as frontier tracking. *)
+           let skip (c : Sym.Flip.candidate) =
+             match c.Sym.Flip.cand_flipped_dir with
+             | Some dir ->
+                 Hashtbl.mem s.branches
+                   (c.Sym.Flip.cand_site, if dir then 1l else 0l)
+             | None -> false
+           in
+           let solved =
+             Sym.Flip.solve ~conflict_budget:s.cfg.cfg_solver_budget
+               ~max_solved:s.cfg.cfg_max_flips ~side ~skip result
+               ~current:observed_args
+           in
+           List.iter
+             (fun (sol : Sym.Flip.solved_seed) ->
+               s.solver_sat <- s.solver_sat + 1;
+               let key =
+                 Name.to_string seed.Seed.sd_action ^ "/"
+                 ^ Abi.serialize sol.Sym.Flip.seed_args
+               in
+               if not (Hashtbl.mem s.seen_seeds key) then begin
+                 Hashtbl.replace s.seen_seeds key ();
+                 s.adaptive_seeds <- s.adaptive_seeds + 1;
+                 Seed.add s.pool
+                   {
+                     Seed.sd_action = seed.Seed.sd_action;
+                     sd_args = sol.Sym.Flip.seed_args;
+                     sd_provenance = Seed.Adaptive sol.Sym.Flip.seed_flipped_site;
+                   }
+               end)
+             solved)
+
+(* ------------------------------------------------------------------ *)
+(* Main loop                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let channels =
+  [|
+    Scanner.Ch_genuine; Scanner.Ch_direct; Scanner.Ch_fake_token;
+    Scanner.Ch_fake_notif;
+  |]
+
+(** Fuzz one contract to completion and report.  [oracles] builds
+    additional detectors from the instrumentation metadata (the §5
+    extension interface). *)
+let fuzz ?(cfg = default_config)
+    ?(oracles : Wasabi.Trace.meta -> Scanner.custom_oracle list = fun _ -> [])
+    (target : target) : outcome =
+  let s = setup cfg target in
+  List.iter (Scanner.register_custom s.scanner) (oracles s.meta);
+  let t0 = Unix.gettimeofday () in
+  let timeline = ref [] in
+  let actions = Array.of_list target.tgt_abi.Abi.abi_actions in
+  let out_of_time () =
+    match cfg.cfg_time_limit with
+    | None -> false
+    | Some limit -> Unix.gettimeofday () -. t0 >= limit
+  in
+  let rounds_run = ref 0 in
+  for round = 0 to cfg.cfg_rounds - 1 do
+   if not (out_of_time ()) then begin
+    incr rounds_run;
+    (* Algorithm 1 line 4: select an action for transaction dependency. *)
+    let def = actions.(round mod Array.length actions) in
+    let phi = def.Abi.act_name in
+    (* Resolve a pending dependency first: run a writer of the missed
+       table before the blocked action. *)
+    (match Dbg.dependency_for s.dbg phi with
+     | Some writer when not (Name.equal writer phi) -> (
+         (* Keep the writer's candidate queue alive with fresh random
+            arguments: the blocked read's row id is unknown at table
+            granularity, so resolution is by re-drawing, not by
+            correlating parameters (§3.3.2, §5). *)
+         (match Abi.find_action s.target.tgt_abi writer with
+          | Some wdef ->
+              Seed.add s.pool (Seed.random s.rng ~identities:s.identities wdef)
+          | None -> ());
+         match Seed.next s.pool writer with
+         | Some wseed ->
+             let ch =
+               if Name.equal writer Name.transfer then Scanner.Ch_genuine
+               else Scanner.Ch_action writer
+             in
+             let _, records, observed = run_one s wseed ch in
+             if cfg.cfg_feedback then feedback s wseed records observed
+         | None -> ())
+     | _ -> ());
+    let seed =
+      match Seed.next s.pool phi with
+      | Some seed -> seed
+      | None ->
+          let seed = Seed.random s.rng ~identities:s.identities def in
+          Seed.add s.pool seed;
+          seed
+    in
+    (* Transfer seeds are delivered through every adversary channel (the
+       §2.3 oracles all need their own payload transaction); other
+       actions are pushed directly. *)
+    let seed_channels =
+      if Name.equal phi Name.transfer then Array.to_list channels
+      else [ Scanner.Ch_action phi ]
+    in
+    let execute seed =
+      List.iter
+        (fun channel ->
+          let _, records, observed = run_one s seed channel in
+          if cfg.cfg_feedback then feedback s seed records observed)
+        seed_channels
+    in
+    execute seed;
+    (* Drain adaptive seeds eagerly: each was solved to open a specific
+       branch and may unlock further flips this same round. *)
+    let drained = ref 0 in
+    let continue_ = ref true in
+    while !continue_ && !drained < 16 do
+      match Seed.take_fresh s.pool phi with
+      | Some fresh ->
+          incr drained;
+          execute fresh
+      | None -> continue_ := false
+    done;
+    timeline :=
+      (round, Unix.gettimeofday () -. t0, Hashtbl.length s.branches) :: !timeline
+   end
+  done;
+  let flags = Scanner.report s.scanner in
+  {
+    out_flags = flags;
+    out_custom = Scanner.custom_report s.scanner;
+    out_exploits =
+      List.filter_map
+        (fun (f, fired) ->
+          if fired then
+            Option.map (fun e -> (f, e)) (Scanner.evidence_for s.scanner f)
+          else None)
+        flags;
+    out_branches = Hashtbl.length s.branches;
+    out_timeline = List.rev !timeline;
+    out_rounds = !rounds_run;
+    out_seeds_total = Seed.total s.pool;
+    out_adaptive_seeds = s.adaptive_seeds;
+    out_transactions = s.transactions;
+    out_solver_sat = s.solver_sat;
+    out_imprecise = s.imprecise;
+  }
+
+let flagged (o : outcome) (f : Scanner.flag) : bool =
+  match List.assoc_opt f o.out_flags with Some b -> b | None -> false
+
+let any_flagged (o : outcome) = List.exists snd o.out_flags

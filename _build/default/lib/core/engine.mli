@@ -1,0 +1,111 @@
+(** The WASAI engine: Algorithm 1 of the paper.
+
+    Per fuzzing target: instrument the bytecode, boot a local chain with
+    the auxiliary contracts the adversary oracles need, then loop: select
+    a seed honouring transaction dependencies, deliver it through the
+    adversary channels, capture the trace, feed the scanner, replay the
+    trace symbolically and solve flipped branch constraints into adaptive
+    seeds. *)
+
+module Wasm = Wasai_wasm
+module Wasabi = Wasai_wasabi
+open Wasai_eosio
+
+type config = {
+  cfg_rounds : int;  (** iteration budget (stands in for the 5-min timeout) *)
+  cfg_time_limit : float option;
+      (** optional wall-clock cap in seconds (the paper's per-contract
+          timeout); whichever of rounds/time runs out first stops the loop *)
+  cfg_rng_seed : int64;
+  cfg_solver_budget : int;  (** SAT conflicts (stands in for 3,000 ms) *)
+  cfg_max_flips : int;  (** solved branches per execution *)
+  cfg_fuel : int;
+  cfg_feedback : bool;  (** symbolic feedback (off = blind fuzzing) *)
+}
+
+val default_config : config
+
+type target = {
+  tgt_account : Name.t;
+  tgt_module : Wasm.Ast.module_;
+  tgt_abi : Abi.t;
+}
+
+type outcome = {
+  out_flags : (Scanner.flag * bool) list;
+  out_custom : (string * bool) list;  (** verdicts of registered custom oracles *)
+  out_exploits : (Scanner.flag * Scanner.evidence) list;
+      (** the exploit payload behind every positive verdict *)
+  out_branches : int;  (** distinct (site, direction) pairs explored *)
+  out_timeline : (int * float * int) list;
+      (** (round, elapsed seconds, cumulative branches) *)
+  out_rounds : int;
+  out_seeds_total : int;
+  out_adaptive_seeds : int;
+  out_transactions : int;
+  out_solver_sat : int;
+  out_imprecise : int;
+}
+
+(** Well-known session accounts. *)
+
+val attacker : Name.t
+val player_one : Name.t
+val player_two : Name.t
+val treasury : Name.t
+val fake_token : Name.t
+val fake_notif : Name.t
+
+val funding : int64
+(** Per-identity balance, restored before every payload. *)
+
+(** Fuzzing session state; exposed so the baselines can reuse the harness
+    (EOSFuzzer shares the chain setup and the coverage accounting). *)
+type session = {
+  cfg : config;
+  target : target;
+  chain : Chain.t;
+  collector : Wasabi.Trace.t;
+  meta : Wasabi.Trace.meta;
+  scanner : Scanner.t;
+  dbg : Dbg.t;
+  pool : Seed.pool;
+  rng : Wasai_support.Rand.t;
+  identities : Name.t list;
+  branches : (int * int32, unit) Hashtbl.t;
+  mutable adaptive_seeds : int;
+  mutable transactions : int;
+  mutable solver_sat : int;
+  mutable imprecise : int;
+  mutable current_action : Name.t;
+  db_find_import : int option;
+  seen_seeds : (string, unit) Hashtbl.t;
+}
+
+val setup : config -> target -> session
+(** Instrument, deploy and boot the local chain with the adversary
+    auxiliaries (token, fake token, forwarding agent). *)
+
+val payload : session -> Seed.t -> Scanner.channel -> Action.t * Abi.value list
+(** The action pushed for a seed on a channel, plus the argument vector
+    the victim's action function actually observes. *)
+
+val run_one :
+  session ->
+  Seed.t ->
+  Scanner.channel ->
+  Chain.tx_result * Wasabi.Trace.record list * Abi.value list
+(** Execute one payload: replenish balances, push, drain the trace, feed
+    the scanner and the coverage/DBG accounting. *)
+
+val fuzz :
+  ?cfg:config ->
+  ?oracles:(Wasabi.Trace.meta -> Scanner.custom_oracle list) ->
+  target ->
+  outcome
+(** Fuzz one contract to completion; [oracles] builds additional
+    detectors from the instrumentation metadata (the §5 extension
+    interface). *)
+
+val flagged : outcome -> Scanner.flag -> bool
+val any_flagged : outcome -> bool

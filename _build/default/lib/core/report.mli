@@ -1,0 +1,18 @@
+(** Textual vulnerability reports for engine outcomes. *)
+
+type t = {
+  rpt_target : string;  (** contract identifier (file or account) *)
+  rpt_outcome : Engine.outcome;
+  rpt_elapsed : float option;
+  rpt_abi : Wasai_eosio.Abi.t option;  (** decodes exploit arguments *)
+}
+
+val make :
+  ?elapsed:float -> ?abi:Wasai_eosio.Abi.t -> target:string -> Engine.outcome -> t
+val vulnerable : t -> bool
+val flags_found : t -> string list
+
+val summary : t -> string
+(** One-line summary: ["<target>: VULNERABLE [FakeEOS; Rollback]"]. *)
+
+val to_text : ?verbose:bool -> t -> string

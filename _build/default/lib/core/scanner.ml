@@ -1,0 +1,307 @@
+(** The vulnerability scanner (§3.5): trace oracles for the five classes.
+
+    The scanner consumes the trace of every executed payload together with
+    the delivery channel the Engine used (the adversary oracles of §2.3),
+    and accumulates verdicts across the whole fuzzing session. *)
+
+module Wasm = Wasai_wasm
+module Trace = Wasai_wasabi.Trace
+open Wasai_eosio
+
+(** How the payload reached the contract. *)
+type channel =
+  | Ch_genuine  (** real EOS via eosio.token *)
+  | Ch_direct  (** eosponser invoked directly with a forged action *)
+  | Ch_fake_token  (** EOS issued by an attacker token contract *)
+  | Ch_fake_notif  (** notification forwarded by an agent contract *)
+  | Ch_action of Name.t  (** ordinary action push *)
+
+let string_of_channel = function
+  | Ch_genuine -> "genuine"
+  | Ch_direct -> "direct"
+  | Ch_fake_token -> "fake-token"
+  | Ch_fake_notif -> "fake-notif"
+  | Ch_action a -> "action:" ^ Name.to_string a
+
+(* The scanner is independent of the benchmark generator, so it carries
+   its own vulnerability enumeration. *)
+type flag = Fake_eos | Fake_notif | Miss_auth | Blockinfo_dep | Rollback
+
+let all_flags = [ Fake_eos; Fake_notif; Miss_auth; Blockinfo_dep; Rollback ]
+
+let string_of_flag = function
+  | Fake_eos -> "FakeEOS"
+  | Fake_notif -> "FakeNotif"
+  | Miss_auth -> "MissAuth"
+  | Blockinfo_dep -> "BlockinfoDep"
+  | Rollback -> "Rollback"
+
+(** A user-supplied detector (the §5 extension interface): it analyses
+    each executed payload's trace and returns [true] when the exploit
+    event it looks for occurred.  Once fired, it stays fired. *)
+type custom_oracle = {
+  co_name : string;
+  co_detect : channel -> Trace.record list -> bool;
+}
+
+type t = {
+  meta : Trace.meta;
+  victim : Name.t;
+  fake_notif_agent : Name.t;
+  action_candidates : int list;  (** possible eosponser ids (instrumented) *)
+  mutable eosponser_id : int option;  (** id_e, learned from a genuine trace *)
+  mutable fake_eos_hit : bool;
+  mutable fake_notif_hit : bool;
+  mutable notif_guard_seen : bool;
+  mutable miss_auth_hit : bool;
+  mutable blockinfo_hit : bool;
+  mutable rollback_hit : bool;
+  (* import ids, resolved once *)
+  auth_ids : int list;
+  effect_ids : int list;
+  blockinfo_ids : int list;
+  send_inline_id : int option;
+  mutable custom : (custom_oracle * bool ref) list;
+  mutable evidence : (flag * evidence) list;
+      (** first exploit payload observed per fired flag *)
+}
+
+(** The exploit payload behind a verdict: what to submit, and how. *)
+and evidence = {
+  ev_channel : channel;
+  ev_payload : Wasai_eosio.Action.t;
+}
+
+let import_ids meta names =
+  List.filter_map (fun n -> Trace.find_env_import meta n) names
+
+let create ~(meta : Trace.meta) ~(victim : Name.t) ~(fake_notif_agent : Name.t)
+    : t =
+  {
+    meta;
+    victim;
+    fake_notif_agent;
+    action_candidates =
+      Wasai_symbolic.Convention.find_action_functions meta.Trace.instrumented;
+    eosponser_id = None;
+    fake_eos_hit = false;
+    fake_notif_hit = false;
+    notif_guard_seen = false;
+    miss_auth_hit = false;
+    blockinfo_hit = false;
+    rollback_hit = false;
+    auth_ids = import_ids meta [ "require_auth"; "require_auth2"; "has_auth" ];
+    effect_ids =
+      import_ids meta
+        [ "send_inline"; "db_store_i64"; "db_update_i64"; "db_remove_i64" ];
+    blockinfo_ids = import_ids meta [ "tapos_block_prefix"; "tapos_block_num" ];
+    send_inline_id = Trace.find_env_import meta "send_inline";
+    custom = [];
+    evidence = [];
+  }
+
+let register_custom (t : t) (oracle : custom_oracle) =
+  t.custom <- t.custom @ [ (oracle, ref false) ]
+
+(* Function ids that began execution, in order (the id⃗ chain of §3.5). *)
+let executed_ids (records : Trace.record list) : int list =
+  List.filter_map
+    (function Trace.R_func_begin f -> Some f | _ -> None)
+    records
+
+(* Import function called by a call_pre record, if any. *)
+let called_import (t : t) (r : Trace.record) : int option =
+  match r with
+  | Trace.R_call_pre { site; _ } -> (
+      match (Trace.site_of t.meta site).Trace.site_instr with
+      | Wasm.Ast.Call fi
+        when fi < Wasm.Ast.num_func_imports t.meta.Trace.instrumented ->
+          Some fi
+      | _ -> None)
+  | _ -> None
+
+(* Does the trace contain the Listing-2 guard: an instruction comparing
+   exactly the pair {agent, victim}?  Besides i64.eq/ne this matches the
+   xor/sub forms that comparison-encoding obfuscation rewrites to. *)
+let guard_observed (t : t) (records : Trace.record list) : bool =
+  let agent = t.fake_notif_agent and self = t.victim in
+  List.exists
+    (fun r ->
+      match r with
+      | Trace.R_instr { site; ops = [ Wasm.Values.I64 a; Wasm.Values.I64 b ] }
+        -> (
+          match (Trace.site_of t.meta site).Trace.site_instr with
+          | Wasm.Ast.Int_compare (Wasm.Types.I64, (Wasm.Ast.Eq | Wasm.Ast.Ne))
+          | Wasm.Ast.Int_binary (Wasm.Types.I64, (Wasm.Ast.Xor | Wasm.Ast.Sub))
+            ->
+              (Int64.equal a agent && Int64.equal b self)
+              || (Int64.equal a self && Int64.equal b agent)
+          | _ -> false)
+      | _ -> false)
+    records
+
+(* MissAuth: an effect API invoked with no permission API anywhere before
+   it in the execution chain. *)
+let miss_auth_in (t : t) (records : Trace.record list) : bool =
+  let seen_auth = ref false in
+  let hit = ref false in
+  List.iter
+    (fun r ->
+      match called_import t r with
+      | Some fi ->
+          if List.mem fi t.auth_ids then seen_auth := true
+          else if (not !seen_auth) && List.mem fi t.effect_ids then hit := true
+      | None -> ())
+    records;
+  !hit
+
+let calls_any (t : t) (records : Trace.record list) (ids : int list) : bool =
+  List.exists
+    (fun r ->
+      match called_import t r with
+      | Some fi -> List.mem fi ids
+      | None -> false)
+    records
+
+(** Feed one executed payload's trace into the scanner.  [payload] is the
+    action that was pushed: when a detector first fires, it is kept as
+    the exploit evidence. *)
+let observe ?(payload : Wasai_eosio.Action.t option) (t : t)
+    ~(channel : channel) (records : Trace.record list) =
+  let record_evidence flag =
+    match payload with
+    | Some act when not (List.mem_assoc flag t.evidence) ->
+        t.evidence <-
+          t.evidence @ [ (flag, { ev_channel = channel; ev_payload = act }) ]
+    | _ -> ()
+  in
+  let ids = executed_ids records in
+  (* id_e: the action function executing during a *valid* EOS transfer. *)
+  (match (channel, t.eosponser_id) with
+   | Ch_genuine, None ->
+       t.eosponser_id <-
+         List.find_opt (fun f -> List.mem f t.action_candidates) ids
+   | _ -> ());
+  let eosponser_ran =
+    match t.eosponser_id with
+    | Some e -> List.mem e ids
+    | None ->
+        (* Until id_e is known, fall back to "any action candidate ran". *)
+        List.exists (fun f -> List.mem f t.action_candidates) ids
+  in
+  (match channel with
+   | Ch_direct | Ch_fake_token ->
+       if eosponser_ran then begin
+         t.fake_eos_hit <- true;
+         record_evidence Fake_eos
+       end
+   | Ch_fake_notif ->
+       if eosponser_ran then begin
+         t.fake_notif_hit <- true;
+         record_evidence Fake_notif
+       end
+   | Ch_genuine | Ch_action _ -> ());
+  if guard_observed t records then t.notif_guard_seen <- true;
+  if miss_auth_in t records then begin
+    t.miss_auth_hit <- true;
+    record_evidence Miss_auth
+  end;
+  if calls_any t records t.blockinfo_ids then begin
+    t.blockinfo_hit <- true;
+    record_evidence Blockinfo_dep
+  end;
+  (match t.send_inline_id with
+   | Some id ->
+       if calls_any t records [ id ] then begin
+         t.rollback_hit <- true;
+         record_evidence Rollback
+       end
+   | None -> ());
+  List.iter
+    (fun (oracle, fired) ->
+      if (not !fired) && oracle.co_detect channel records then fired := true)
+    t.custom
+
+(** Final verdict for one vulnerability class. *)
+let verdict (t : t) : flag -> bool = function
+  | Fake_eos -> t.fake_eos_hit
+  | Fake_notif -> t.fake_notif_hit && not t.notif_guard_seen
+  | Miss_auth -> t.miss_auth_hit
+  | Blockinfo_dep -> t.blockinfo_hit
+  | Rollback -> t.rollback_hit
+
+let report (t : t) : (flag * bool) list =
+  List.map (fun f -> (f, verdict t f)) all_flags
+
+(** Verdicts of the registered custom oracles. *)
+let custom_report (t : t) : (string * bool) list =
+  List.map (fun (oracle, fired) -> (oracle.co_name, !fired)) t.custom
+
+(** Exploit payload behind a fired verdict, if one was captured. *)
+let evidence_for (t : t) (f : flag) : evidence option =
+  List.assoc_opt f t.evidence
+
+let string_of_evidence ?(abi : Abi.t option) (e : evidence) : string =
+  let act = e.ev_payload in
+  let args =
+    match abi with
+    | None -> None
+    | Some abi -> (
+        match Abi.find_action abi act.Action.act_name with
+        | None -> None
+        | Some def -> (
+            match Abi.deserialize def act.Action.act_data with
+            | values ->
+                Some
+                  (String.concat ", " (List.map Abi.string_of_value values))
+            | exception Abi.Deserialize_error _ -> None))
+  in
+  match args with
+  | Some args ->
+      Printf.sprintf "%s@%s(%s) auth=[%s] via %s channel"
+        (Name.to_string act.Action.act_name)
+        (Name.to_string act.Action.act_account)
+        args
+        (String.concat "," (List.map Name.to_string act.Action.act_auth))
+        (string_of_channel e.ev_channel)
+  | None ->
+      Printf.sprintf "%s via %s channel"
+        (Wasai_eosio.Action.to_string act)
+        (string_of_channel e.ev_channel)
+
+(* ------------------------------------------------------------------ *)
+(* Helpers for writing custom oracles                                  *)
+(* ------------------------------------------------------------------ *)
+
+(** [calls_env_import meta name records]: did the trace call the named
+    env API?  The building block most detectors need. *)
+let calls_env_import (meta : Trace.meta) (name : string)
+    (records : Trace.record list) : bool =
+  match Trace.find_env_import meta name with
+  | None -> false
+  | Some id ->
+      List.exists
+        (fun r ->
+          match r with
+          | Trace.R_call_pre { site; _ } -> (
+              match (Trace.site_of meta site).Trace.site_instr with
+              | Wasm.Ast.Call fi -> fi = id
+              | _ -> false)
+          | _ -> false)
+        records
+
+(** Arguments of the first call to the named env API in the trace. *)
+let first_call_args (meta : Trace.meta) (name : string)
+    (records : Trace.record list) : Wasm.Values.value list option =
+  match Trace.find_env_import meta name with
+  | None -> None
+  | Some id ->
+      List.find_map
+        (fun r ->
+          match r with
+          | Trace.R_call_pre { site; args } -> (
+              match (Trace.site_of meta site).Trace.site_instr with
+              | Wasm.Ast.Call fi when fi = id -> Some args
+              | _ -> None)
+          | _ -> None)
+        records

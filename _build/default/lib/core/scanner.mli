@@ -1,0 +1,87 @@
+(** The vulnerability scanner (§3.5): trace oracles for the five classes,
+    accumulated across the whole fuzzing session. *)
+
+module Trace = Wasai_wasabi.Trace
+open Wasai_eosio
+
+(** How a payload reached the contract (the §2.3 adversary oracles). *)
+type channel =
+  | Ch_genuine  (** real EOS via eosio.token *)
+  | Ch_direct  (** eosponser invoked directly with a forged action *)
+  | Ch_fake_token  (** EOS issued by an attacker token contract *)
+  | Ch_fake_notif  (** notification forwarded by an agent contract *)
+  | Ch_action of Name.t  (** ordinary action push *)
+
+val string_of_channel : channel -> string
+
+type flag = Fake_eos | Fake_notif | Miss_auth | Blockinfo_dep | Rollback
+
+val all_flags : flag list
+val string_of_flag : flag -> string
+
+(** A user-supplied detector (the §5 extension interface): analyse each
+    executed payload's trace and return [true] when the exploit event
+    occurred.  Once fired, it stays fired. *)
+type custom_oracle = {
+  co_name : string;
+  co_detect : channel -> Wasai_wasabi.Trace.record list -> bool;
+}
+
+type t = {
+  meta : Trace.meta;
+  victim : Name.t;
+  fake_notif_agent : Name.t;
+  action_candidates : int list;  (** possible eosponser ids *)
+  mutable eosponser_id : int option;  (** id_e, learned from a genuine trace *)
+  mutable fake_eos_hit : bool;
+  mutable fake_notif_hit : bool;
+  mutable notif_guard_seen : bool;
+  mutable miss_auth_hit : bool;
+  mutable blockinfo_hit : bool;
+  mutable rollback_hit : bool;
+  auth_ids : int list;
+  effect_ids : int list;
+  blockinfo_ids : int list;
+  send_inline_id : int option;
+  mutable custom : (custom_oracle * bool ref) list;
+  mutable evidence : (flag * evidence) list;
+      (** first exploit payload observed per fired flag *)
+}
+
+(** The exploit payload behind a verdict: what to submit, and how. *)
+and evidence = {
+  ev_channel : channel;
+  ev_payload : Wasai_eosio.Action.t;
+}
+
+val create : meta:Trace.meta -> victim:Name.t -> fake_notif_agent:Name.t -> t
+
+val executed_ids : Trace.record list -> int list
+(** Function ids that began execution, in order (the id⃗ chain). *)
+
+val observe :
+  ?payload:Wasai_eosio.Action.t -> t -> channel:channel -> Trace.record list -> unit
+(** Feed one executed payload's trace; the payload is kept as exploit
+    evidence the first time each detector fires. *)
+
+val verdict : t -> flag -> bool
+val report : t -> (flag * bool) list
+
+(** {1 Extension interface (§5)} *)
+
+val register_custom : t -> custom_oracle -> unit
+val custom_report : t -> (string * bool) list
+
+val evidence_for : t -> flag -> evidence option
+(** Exploit payload behind a fired verdict, if one was captured. *)
+
+val string_of_evidence : ?abi:Abi.t -> evidence -> string
+(** Render the payload; with an ABI the arguments are decoded. *)
+
+val calls_env_import : Trace.meta -> string -> Trace.record list -> bool
+(** Did the trace call the named env API?  The building block most
+    detectors need. *)
+
+val first_call_args :
+  Trace.meta -> string -> Trace.record list -> Wasai_wasm.Values.value list option
+(** Arguments of the first call to the named env API. *)

@@ -1,0 +1,117 @@
+(** Seeds Γ⟨φ, ρ⃗⟩ and the per-action seed pool (§3.1, §3.3.2).
+
+    The pool maps each action name to a circular queue of argument
+    vectors; selection pops the head and pushes it back to the tail, as
+    the paper describes. *)
+
+open Wasai_eosio
+
+type t = {
+  sd_action : Name.t;
+  sd_args : Abi.value list;
+  sd_provenance : provenance;
+}
+
+and provenance = Random_seed | Adaptive of int  (** site that was flipped *)
+
+let to_string (s : t) =
+  Printf.sprintf "Γ⟨%s, [%s]⟩"
+    (Name.to_string s.sd_action)
+    (String.concat "; " (List.map Abi.string_of_value s.sd_args))
+
+(* ------------------------------------------------------------------ *)
+(* Random seed generation                                              *)
+(* ------------------------------------------------------------------ *)
+
+(** Random arguments for an action signature.  Name-typed parameters are
+    drawn from [identities] — only existing accounts can appear in
+    authorisations and ownership rows, as on a real chain. *)
+let random_args (rng : Wasai_support.Rand.t) ~(identities : Name.t list)
+    (def : Abi.action_def) : Abi.value list =
+  List.map
+    (fun (_, ty) ->
+      match (ty : Abi.param_type) with
+      | Abi.T_name -> Abi.V_name (Wasai_support.Rand.choose rng identities)
+      | Abi.T_u64 -> Abi.V_u64 (Wasai_support.Rand.next_u64 rng)
+      | Abi.T_u32 -> Abi.V_u32 (Wasai_support.Rand.next_i32 rng)
+      | Abi.T_asset ->
+          Abi.V_asset
+            (Asset.eos_of_units
+               (Int64.of_int (1 + Wasai_support.Rand.int rng 1_000_000)))
+      | Abi.T_string ->
+          let n = Wasai_support.Rand.int rng 16 in
+          Abi.V_string (Wasai_support.Rand.ascii_string rng n))
+    def.Abi.act_params
+
+let random (rng : Wasai_support.Rand.t) ~identities (def : Abi.action_def) : t =
+  {
+    sd_action = def.Abi.act_name;
+    sd_args = random_args rng ~identities def;
+    sd_provenance = Random_seed;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Pool                                                                *)
+(* ------------------------------------------------------------------ *)
+
+type entry = {
+  queue : t Queue.t;  (** circular queue of already-tried seeds *)
+  mutable fresh : t list;  (** untried adaptive seeds, consumed first *)
+}
+
+type pool = {
+  queues : (Name.t, entry) Hashtbl.t;
+  mutable total_added : int;
+}
+
+let create_pool () = { queues = Hashtbl.create 8; total_added = 0 }
+
+let entry_of pool action =
+  match Hashtbl.find_opt pool.queues action with
+  | Some e -> e
+  | None ->
+      let e = { queue = Queue.create (); fresh = [] } in
+      Hashtbl.replace pool.queues action e;
+      e
+
+(** Adaptive seeds jump the queue: they were solved to reach a specific
+    unexplored branch and lose their value if stale state moves on. *)
+let add pool (s : t) =
+  let e = entry_of pool s.sd_action in
+  (match s.sd_provenance with
+   | Adaptive _ -> e.fresh <- e.fresh @ [ s ]
+   | Random_seed -> Queue.add s e.queue);
+  pool.total_added <- pool.total_added + 1
+
+(** Take an untried adaptive seed, if any (it moves to the circular
+    queue). *)
+let take_fresh pool (action : Name.t) : t option =
+  let e = entry_of pool action in
+  match e.fresh with
+  | s :: rest ->
+      e.fresh <- rest;
+      Queue.add s e.queue;
+      Some s
+  | [] -> None
+
+(** Take the next seed: untried adaptive seeds first, then pop the head of
+    the circular queue and cycle it to the tail (§3.3.2). *)
+let next pool (action : Name.t) : t option =
+  let e = entry_of pool action in
+  match e.fresh with
+  | s :: rest ->
+      e.fresh <- rest;
+      Queue.add s e.queue;
+      Some s
+  | [] -> (
+      match Queue.take_opt e.queue with
+      | None -> None
+      | Some s ->
+          Queue.add s e.queue;
+          Some s)
+
+let size pool action =
+  let e = entry_of pool action in
+  Queue.length e.queue + List.length e.fresh
+
+let total pool = pool.total_added

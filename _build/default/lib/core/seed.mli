@@ -1,0 +1,39 @@
+(** Seeds Γ⟨φ, ρ⃗⟩ and the per-action seed pool (§3.1, §3.3.2): a circular
+    queue per action, with untried adaptive seeds taking priority. *)
+
+open Wasai_eosio
+
+type t = {
+  sd_action : Name.t;
+  sd_args : Abi.value list;
+  sd_provenance : provenance;
+}
+
+and provenance = Random_seed | Adaptive of int  (** site that was flipped *)
+
+val to_string : t -> string
+
+val random_args :
+  Wasai_support.Rand.t -> identities:Name.t list -> Abi.action_def -> Abi.value list
+(** Random arguments; name-typed parameters are drawn from [identities]
+    (only existing accounts can authorise). *)
+
+val random :
+  Wasai_support.Rand.t -> identities:Name.t list -> Abi.action_def -> t
+
+type pool
+
+val create_pool : unit -> pool
+
+val add : pool -> t -> unit
+(** Adaptive seeds jump the queue. *)
+
+val take_fresh : pool -> Name.t -> t option
+(** An untried adaptive seed, if any. *)
+
+val next : pool -> Name.t -> t option
+(** Untried adaptive seeds first, then pop the head of the circular queue
+    and cycle it to the tail. *)
+
+val size : pool -> Name.t -> int
+val total : pool -> int

@@ -1,0 +1,1 @@
+lib/eosio/abi.ml: Asset Buffer Char Int32 Int64 List Name Printf String

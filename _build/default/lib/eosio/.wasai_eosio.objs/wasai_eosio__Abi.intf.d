@@ -1,0 +1,1 @@
+lib/eosio/abi.mli: Asset Buffer Name

@@ -1,0 +1,1 @@
+lib/eosio/action.ml: Abi Buffer Int64 List Name Printf String

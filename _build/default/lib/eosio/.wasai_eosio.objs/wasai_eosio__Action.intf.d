@@ -1,0 +1,1 @@
+lib/eosio/action.mli: Abi Name

@@ -1,0 +1,1 @@
+lib/eosio/asset.mli: Format

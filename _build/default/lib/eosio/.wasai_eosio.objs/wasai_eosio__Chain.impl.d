@@ -1,0 +1,1 @@
+lib/eosio/chain.ml: Abi Action Buffer Database Hashtbl Int32 Int64 List Name Printf Queue Wasai_support Wasai_wasm

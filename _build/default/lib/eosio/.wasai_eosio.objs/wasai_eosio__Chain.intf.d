@@ -1,0 +1,1 @@
+lib/eosio/chain.mli: Abi Action Buffer Database Hashtbl Name Queue Wasai_wasm

@@ -1,0 +1,1 @@
+lib/eosio/database.ml: Char Hashtbl Int64 Map Name String Wasai_wasm

@@ -1,0 +1,1 @@
+lib/eosio/database.mli: Hashtbl Map Name

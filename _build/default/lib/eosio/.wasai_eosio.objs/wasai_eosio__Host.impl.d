@@ -1,0 +1,1 @@
+lib/eosio/host.ml: Action Buffer Chain Char Database Int32 Int64 List Name Printf Queue String Wasai_wasm

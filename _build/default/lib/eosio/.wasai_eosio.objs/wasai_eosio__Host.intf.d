@@ -1,0 +1,1 @@
+lib/eosio/host.mli: Chain Wasai_wasm

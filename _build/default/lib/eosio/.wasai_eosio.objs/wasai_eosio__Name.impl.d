@@ -1,0 +1,1 @@
+lib/eosio/name.ml: Buffer Char Format Int64 Printf String

@@ -1,0 +1,1 @@
+lib/eosio/name.mli: Format

@@ -1,0 +1,1 @@
+lib/eosio/token.ml: Abi Action Asset Chain Char Database Int64 List Name Printf Queue String

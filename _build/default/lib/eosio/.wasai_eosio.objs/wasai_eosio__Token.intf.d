@@ -1,0 +1,1 @@
+lib/eosio/token.mli: Action Asset Chain Name

@@ -1,0 +1,50 @@
+(** Actions and transactions.
+
+    An inline action serialised into contract memory uses the layout
+    [account:u64][name:u64][datalen:u32][data bytes]; the authorisation of
+    an inline action is the sending contract itself, as in EOSIO's
+    common case. *)
+
+type t = {
+  act_account : Name.t;  (** contract the action targets *)
+  act_name : Name.t;  (** action function *)
+  act_data : string;  (** serialised arguments *)
+  act_auth : Name.t list;  (** authorising actors (active permission) *)
+}
+
+type transaction = { tx_actions : t list }
+
+let make ~account ~name ~data ~auth =
+  { act_account = account; act_name = name; act_data = data; act_auth = auth }
+
+(** Convenience: build an action from ABI-typed arguments. *)
+let of_args ~account ~name ~(args : Abi.value list) ~auth =
+  make ~account ~name ~data:(Abi.serialize args) ~auth
+
+let to_string (a : t) =
+  Printf.sprintf "%s@%s(%d bytes) auth=[%s]"
+    (Name.to_string a.act_name)
+    (Name.to_string a.act_account)
+    (String.length a.act_data)
+    (String.concat "," (List.map Name.to_string a.act_auth))
+
+(* Binary layout used by send_inline / send_deferred buffers. *)
+
+let serialize_for_inline (a : t) : string =
+  let buf = Buffer.create 32 in
+  Abi.add_le buf 8 a.act_account;
+  Abi.add_le buf 8 a.act_name;
+  Abi.add_le buf 4 (Int64.of_int (String.length a.act_data));
+  Buffer.add_string buf a.act_data;
+  Buffer.contents buf
+
+let deserialize_inline ~(auth : Name.t list) (s : string) : t =
+  if String.length s < 20 then
+    raise (Abi.Deserialize_error "inline action buffer too short");
+  let account = Abi.read_le s 0 8 in
+  let name = Abi.read_le s 8 8 in
+  let len = Int64.to_int (Abi.read_le s 16 4) in
+  if String.length s < 20 + len then
+    raise (Abi.Deserialize_error "inline action data truncated");
+  let data = String.sub s 20 len in
+  { act_account = account; act_name = name; act_data = data; act_auth = auth }

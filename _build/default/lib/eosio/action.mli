@@ -1,0 +1,24 @@
+(** Actions and transactions.
+
+    The binary layout used by [send_inline]/[send_deferred] buffers is
+    [account:u64][name:u64][datalen:u32][data]; the authorisation of an
+    inline action is the sending contract. *)
+
+type t = {
+  act_account : Name.t;  (** contract the action targets *)
+  act_name : Name.t;  (** action function *)
+  act_data : string;  (** serialised arguments *)
+  act_auth : Name.t list;  (** authorising actors (active permission) *)
+}
+
+type transaction = { tx_actions : t list }
+
+val make : account:Name.t -> name:Name.t -> data:string -> auth:Name.t list -> t
+
+val of_args :
+  account:Name.t -> name:Name.t -> args:Abi.value list -> auth:Name.t list -> t
+(** Build an action from ABI-typed arguments. *)
+
+val to_string : t -> string
+val serialize_for_inline : t -> string
+val deserialize_inline : auth:Name.t list -> string -> t

@@ -1,0 +1,94 @@
+(** EOSIO assets: a 64-bit signed amount plus a symbol.
+
+    The symbol packs the precision in its low byte and up to seven
+    uppercase letters above it, exactly as in Nodeos; "100.0000 EOS" has
+    amount 1000000 and symbol [precision=4, "EOS"]. *)
+
+module Symbol = struct
+  type t = int64
+
+  let make ~precision (code : string) : t =
+    if String.length code > 7 then invalid_arg "Symbol.make: code too long";
+    String.iter
+      (fun c -> if c < 'A' || c > 'Z' then invalid_arg "Symbol.make: bad char")
+      code;
+    let v = ref (Int64.of_int (precision land 0xff)) in
+    String.iteri
+      (fun i c ->
+        v := Int64.logor !v (Int64.shift_left (Int64.of_int (Char.code c)) (8 * (i + 1))))
+      code;
+    !v
+
+  let precision (t : t) = Int64.to_int (Int64.logand t 0xffL)
+
+  let code (t : t) =
+    let buf = Buffer.create 7 in
+    let rec go i =
+      if i <= 7 then begin
+        let c = Int64.to_int (Int64.logand (Int64.shift_right_logical t (8 * i)) 0xffL) in
+        if c <> 0 then begin
+          Buffer.add_char buf (Char.chr c);
+          go (i + 1)
+        end
+      end
+    in
+    go 1;
+    Buffer.contents buf
+
+  let to_string t = Printf.sprintf "%d,%s" (precision t) (code t)
+  let equal = Int64.equal
+
+  let eos : t = make ~precision:4 "EOS"
+end
+
+type t = { amount : int64; symbol : Symbol.t }
+
+let make amount symbol = { amount; symbol }
+
+(** The canonical "X.XXXX EOS" asset with 4 decimal places. *)
+let eos_of_units (amount : int64) = { amount; symbol = Symbol.eos }
+
+(** Parse "10.0000 EOS" style literals. *)
+let of_string (s : string) : t =
+  match String.index_opt s ' ' with
+  | None -> invalid_arg "Asset.of_string: missing symbol"
+  | Some sp ->
+      let num = String.sub s 0 sp in
+      let code = String.sub s (sp + 1) (String.length s - sp - 1) in
+      let int_part, frac_part =
+        match String.index_opt num '.' with
+        | None -> (num, "")
+        | Some d ->
+            (String.sub num 0 d, String.sub num (d + 1) (String.length num - d - 1))
+      in
+      let precision = String.length frac_part in
+      let digits = int_part ^ frac_part in
+      let amount = Int64.of_string digits in
+      { amount; symbol = Symbol.make ~precision code }
+
+let to_string (a : t) : string =
+  let p = Symbol.precision a.symbol in
+  let sign = if Int64.compare a.amount 0L < 0 then "-" else "" in
+  let abs = Int64.abs a.amount in
+  let s = Int64.to_string abs in
+  let s = if String.length s <= p then String.make (p + 1 - String.length s) '0' ^ s else s in
+  let cut = String.length s - p in
+  let int_part = String.sub s 0 cut in
+  let frac = String.sub s cut p in
+  if p = 0 then Printf.sprintf "%s%s %s" sign int_part (Symbol.code a.symbol)
+  else Printf.sprintf "%s%s.%s %s" sign int_part frac (Symbol.code a.symbol)
+
+let add a b =
+  if not (Symbol.equal a.symbol b.symbol) then
+    invalid_arg "Asset.add: symbol mismatch";
+  { a with amount = Int64.add a.amount b.amount }
+
+let sub a b =
+  if not (Symbol.equal a.symbol b.symbol) then
+    invalid_arg "Asset.sub: symbol mismatch";
+  { a with amount = Int64.sub a.amount b.amount }
+
+let is_valid a = Int64.compare a.amount 0L >= 0
+let equal a b = a.amount = b.amount && Symbol.equal a.symbol b.symbol
+let compare_amount a b = Int64.compare a.amount b.amount
+let pp fmt a = Format.pp_print_string fmt (to_string a)

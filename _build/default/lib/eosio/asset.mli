@@ -1,0 +1,34 @@
+(** EOSIO assets: a 64-bit signed amount plus a symbol packing precision
+    and up to seven uppercase letters, as in Nodeos.  "100.0000 EOS" has
+    amount 1000000 and symbol [4,"EOS"]. *)
+
+module Symbol : sig
+  type t = int64
+
+  val make : precision:int -> string -> t
+  val precision : t -> int
+  val code : t -> string
+  val to_string : t -> string
+  val equal : t -> t -> bool
+
+  val eos : t
+  (** The official EOS symbol: precision 4, code "EOS". *)
+end
+
+type t = { amount : int64; symbol : Symbol.t }
+
+val make : int64 -> Symbol.t -> t
+
+val eos_of_units : int64 -> t
+(** EOS with the canonical 4-decimal precision; the unit is 0.0001 EOS. *)
+
+val of_string : string -> t
+(** Parse "10.0000 EOS" style literals. *)
+
+val to_string : t -> string
+val add : t -> t -> t
+val sub : t -> t -> t
+val is_valid : t -> bool
+val equal : t -> t -> bool
+val compare_amount : t -> t -> int
+val pp : Format.formatter -> t -> unit

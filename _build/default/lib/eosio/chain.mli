@@ -1,0 +1,88 @@
+(** Local blockchain: accounts, contract deployment, and the transaction
+    execution machinery (notification forwarding, depth-first inline
+    actions with whole-transaction rollback, deferred transactions).
+
+    This replaces Nodeos in the paper's setup; consensus, networking and
+    signatures are irrelevant to every experiment and are not modelled. *)
+
+module Interp = Wasai_wasm.Interp
+
+exception Assert_failed of string
+(** [eosio_assert] failure: aborts and rolls back the transaction. *)
+
+exception Eosio_exit
+(** [eosio_exit]: terminates the current contract cleanly. *)
+
+type contract_impl =
+  | Wasm_contract of Wasai_wasm.Ast.module_
+  | Native_contract of (context -> unit)
+
+and account = {
+  acc_name : Name.t;
+  mutable acc_contract : contract_impl option;
+  mutable acc_abi : Abi.t option;
+}
+
+and t = {
+  db : Database.t;
+  accounts : (Name.t, account) Hashtbl.t;
+  mutable block_num : int32;
+  mutable block_prefix : int32;
+  mutable head_time_us : int64;
+  mutable fuel_per_action : int;
+  mutable deferred : Action.transaction list;
+  mutable extensions : extension list;
+      (** extra import namespaces (host API, instrumentation hooks) *)
+  mutable console : Buffer.t;
+}
+
+and extension = context -> string -> string -> Interp.extern option
+(** Import resolver parameterised by the executing context. *)
+
+(** Per-action execution context handed to host functions and native
+    contracts. *)
+and context = {
+  chain : t;
+  ctx_receiver : Name.t;  (** the notified/executing account *)
+  ctx_code : Name.t;  (** the account the action was sent to *)
+  ctx_action : Action.t;
+  mutable ctx_inst : Interp.instance option;
+  ctx_notify : Name.t Queue.t;  (** recipients queued by require_recipient *)
+  ctx_inline : Action.t Queue.t;  (** actions queued by send_inline *)
+}
+
+type tx_result = {
+  tx_ok : bool;
+  tx_error : string option;
+  tx_actions_run : (Name.t * Name.t) list;
+      (** (receiver, action) pairs that completed, in order *)
+}
+
+val create : ?fuel_per_action:int -> unit -> t
+(** A bare chain; prefer {!Host.create_chain}, which installs the env host
+    API. *)
+
+val register_extension : t -> extension -> unit
+val create_account : t -> Name.t -> account
+val account : t -> Name.t -> account option
+val is_account : t -> Name.t -> bool
+
+val set_code : t -> Name.t -> Wasai_wasm.Ast.module_ -> Abi.t -> unit
+(** Deploy a Wasm contract (validated first, as Nodeos does on setcode). *)
+
+val set_native : t -> Name.t -> (context -> unit) -> Abi.t -> unit
+
+val clear_code : t -> Name.t -> unit
+(** Remove the contract, leaving the account (the "abandoned" state). *)
+
+val console_output : t -> string
+val advance_block : t -> unit
+
+val push_transaction : t -> Action.transaction -> tx_result
+(** Execute a transaction atomically: any assert/trap/exhaustion rolls
+    back the database and any deferred transactions it scheduled. *)
+
+val push_action : t -> Action.t -> tx_result
+
+val run_deferred : t -> tx_result list
+(** Run all queued deferred transactions; each is independent. *)

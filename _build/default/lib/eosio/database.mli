@@ -1,0 +1,102 @@
+(** The chain's key-value store behind the [db_*_i64] host API.
+
+    Rows live in tables addressed by (code, scope, table); each row is an
+    id → bytes binding.  Values are immutable maps, so a snapshot is a
+    shallow copy — which is what makes whole-transaction rollback cheap.
+
+    Every operation is reported to [on_access]; WASAI's Engine listens to
+    build the database-dependency graph (§3.3.2). *)
+
+module I64Map : Map.S with type key = int64
+
+type table_key = { tk_code : Name.t; tk_scope : Name.t; tk_table : Name.t }
+
+type access_kind = Read | Write
+
+type access = {
+  acc_kind : access_kind;
+  acc_code : Name.t;
+  acc_table : Name.t;
+}
+
+type iterator_target = { it_key : table_key; it_id : int64 }
+
+type t = {
+  mutable tables : (table_key, string I64Map.t) Hashtbl.t;
+  iterators : (int, iterator_target) Hashtbl.t;
+  mutable next_iterator : int;
+  mutable on_access : (access -> unit) option;
+}
+
+type snapshot
+
+val create : unit -> t
+
+(** {1 The db_*_i64 intrinsics} *)
+
+val store :
+  t -> code:Name.t -> scope:Name.t -> tbl:Name.t -> id:int64 -> data:string -> int
+(** Store a new row; traps on duplicate primary key.  Returns an
+    iterator. *)
+
+val find : t -> code:Name.t -> scope:Name.t -> tbl:Name.t -> id:int64 -> int
+(** Iterator of the row, or -1. *)
+
+val lowerbound :
+  t -> code:Name.t -> scope:Name.t -> tbl:Name.t -> id:int64 -> int
+
+val get : t -> int -> string
+val update : t -> int -> data:string -> unit
+val remove : t -> int -> unit
+
+val next : t -> int -> int * int64
+(** Next row: (iterator, primary id), or (-1, 0). *)
+
+val primary : t -> int -> int64
+
+val iterator_target : t -> int -> iterator_target
+(** Resolve an iterator handle; traps when stale. *)
+
+(** {1 Higher-level helpers (native contracts)} *)
+
+val get_row :
+  t -> code:Name.t -> scope:Name.t -> tbl:Name.t -> id:int64 -> string option
+
+val put_row :
+  t -> code:Name.t -> scope:Name.t -> tbl:Name.t -> id:int64 -> data:string -> unit
+
+val delete_row : t -> code:Name.t -> scope:Name.t -> tbl:Name.t -> id:int64 -> unit
+val rows : t -> code:Name.t -> scope:Name.t -> tbl:Name.t -> (int64 * string) list
+
+(** {1 Secondary indexes (db_idx64)}
+
+    Parallel u64-keyed indexes mapping a secondary key to the row's
+    primary key, stored under a derived table so snapshots and rollback
+    cover them automatically. *)
+
+val idx64_store :
+  t -> code:Name.t -> scope:Name.t -> tbl:Name.t -> primary:int64 ->
+  secondary:int64 -> int
+
+val idx64_remove :
+  t -> code:Name.t -> scope:Name.t -> tbl:Name.t -> primary:int64 -> unit
+
+val idx64_update :
+  t -> code:Name.t -> scope:Name.t -> tbl:Name.t -> primary:int64 ->
+  secondary:int64 -> unit
+
+val idx64_find_secondary :
+  t -> code:Name.t -> scope:Name.t -> tbl:Name.t -> secondary:int64 ->
+  int * int64
+(** (iterator, primary) of the first row with that secondary key, or
+    (-1, 0). *)
+
+val idx64_lowerbound :
+  t -> code:Name.t -> scope:Name.t -> tbl:Name.t -> secondary:int64 ->
+  int * int64
+
+(** {1 Snapshots} *)
+
+val snapshot : t -> snapshot
+val restore : t -> snapshot -> unit
+val clear : t -> unit

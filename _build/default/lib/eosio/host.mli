@@ -1,0 +1,16 @@
+(** The EOSVM "library API": host functions exposed to Wasm contracts
+    under the [env] import namespace (§2.2 of the paper) — action data
+    access, permission APIs, notifications, assertion, inline/deferred
+    actions, blockchain-state APIs and the [db_*_i64] intrinsics. *)
+
+val env_functions : Chain.context -> Wasai_wasm.Interp.host_func list
+(** All env host functions bound to one execution context. *)
+
+val extension : Chain.extension
+(** Extension resolving the [env] namespace. *)
+
+val install : Chain.t -> unit
+
+val create_chain : ?fuel_per_action:int -> unit -> Chain.t
+(** A chain with the env host API pre-installed — the common entry
+    point. *)

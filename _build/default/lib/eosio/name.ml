@@ -1,0 +1,55 @@
+(** EOSIO account/action names: up to 12 characters from
+    [.12345abcdefghijklmnopqrstuvwxyz], base-32 packed into a [uint64]
+    exactly as Nodeos does (5 bits per character, first 12 characters;
+    a 13th character would use the remaining 4 bits and is not needed by
+    any contract we model). *)
+
+type t = int64
+
+let char_to_symbol c =
+  match c with
+  | '.' -> 0
+  | '1' .. '5' -> Char.code c - Char.code '1' + 1
+  | 'a' .. 'z' -> Char.code c - Char.code 'a' + 6
+  | _ -> invalid_arg (Printf.sprintf "Name.of_string: invalid character %c" c)
+
+let symbol_to_char s =
+  if s = 0 then '.'
+  else if s <= 5 then Char.chr (Char.code '1' + s - 1)
+  else Char.chr (Char.code 'a' + s - 6)
+
+(** Encode a string name; accepts 0-12 chars from the EOSIO alphabet. *)
+let of_string (s : string) : t =
+  if String.length s > 12 then
+    invalid_arg (Printf.sprintf "Name.of_string: %S longer than 12 chars" s);
+  let v = ref 0L in
+  for i = 0 to 11 do
+    let sym = if i < String.length s then char_to_symbol s.[i] else 0 in
+    (* Character i occupies bits [64-5*(i+1), 64-5*i). *)
+    v := Int64.logor !v (Int64.shift_left (Int64.of_int (sym land 0x1f)) (64 - 5 * (i + 1)))
+  done;
+  !v
+
+let to_string (v : t) : string =
+  let buf = Buffer.create 12 in
+  for i = 0 to 11 do
+    let sym =
+      Int64.to_int (Int64.logand (Int64.shift_right_logical v (64 - 5 * (i + 1))) 0x1fL)
+    in
+    Buffer.add_char buf (symbol_to_char sym)
+  done;
+  (* Trim trailing dots, which are padding. *)
+  let s = Buffer.contents buf in
+  let n = ref (String.length s) in
+  while !n > 0 && s.[!n - 1] = '.' do decr n done;
+  String.sub s 0 !n
+
+let equal (a : t) (b : t) = Int64.equal a b
+let compare = Int64.compare
+let pp fmt v = Format.pp_print_string fmt (to_string v)
+
+(* Well-known names used throughout the system. *)
+let eosio_token = of_string "eosio.token"
+let eosio = of_string "eosio"
+let transfer = of_string "transfer"
+let active = of_string "active"

@@ -1,0 +1,21 @@
+(** EOSIO account/action names: up to 12 characters from
+    [.12345abcdefghijklmnopqrstuvwxyz], base-32 packed into a [uint64]
+    exactly as Nodeos does. *)
+
+type t = int64
+
+val of_string : string -> t
+(** Raises [Invalid_argument] on characters outside the alphabet or names
+    longer than 12 characters. *)
+
+val to_string : t -> string
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit
+
+(** Well-known names. *)
+
+val eosio_token : t
+val eosio : t
+val transfer : t
+val active : t

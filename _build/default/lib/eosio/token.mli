@@ -1,0 +1,26 @@
+(** The [eosio.token] contract, implemented natively against the same
+    chain interfaces a Wasm contract sees.  The same code deployed under a
+    different account is the paper's fake-token attack vector. *)
+
+val accounts_tbl : Name.t
+val stat_tbl : Name.t
+
+val balance_of : Chain.t -> token:Name.t -> owner:Name.t -> symbol:Asset.Symbol.t -> int64
+val set_balance : Chain.t -> token:Name.t -> owner:Name.t -> symbol:Asset.Symbol.t -> int64 -> unit
+val issuer_of : Chain.t -> token:Name.t -> symbol:Asset.Symbol.t -> Name.t option
+
+val apply : Chain.context -> unit
+(** The token contract's apply (create / issue / transfer). *)
+
+val deploy : Chain.t -> Name.t -> unit
+(** Deploy the token code under an account ([Name.eosio_token] for the
+    official token, anything else for a fake one). *)
+
+val bootstrap : Chain.t -> treasury:Name.t -> supply:int64 -> unit
+(** Deploy the official token, create EOS and issue [supply] units to the
+    treasury. *)
+
+val transfer_action :
+  token:Name.t -> from:Name.t -> to_:Name.t -> quantity:Asset.t -> memo:string -> Action.t
+
+val eos_balance : Chain.t -> owner:Name.t -> int64

@@ -1,0 +1,1 @@
+lib/smt/expr.ml: Format Hashtbl Int64 List Printf

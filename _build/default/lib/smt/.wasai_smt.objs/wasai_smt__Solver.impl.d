@@ -1,0 +1,1 @@
+lib/smt/solver.ml: Bitblast Expr Hashtbl Int64 List Sat

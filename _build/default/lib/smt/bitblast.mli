@@ -1,0 +1,22 @@
+(** Bit-blasting: translate bitvector expressions to CNF (Tseitin
+    encoding) over the {!Sat} solver.  Expressions become arrays of SAT
+    literals, least-significant bit first. *)
+
+type ctx = {
+  sat : Sat.t;
+  var_bits : (int, int array) Hashtbl.t;  (** expression variable id -> literals *)
+  cache : (Expr.t, int array) Hashtbl.t;
+  true_lit : int;  (** a literal pinned true *)
+}
+
+val create : unit -> ctx
+
+val blast : ctx -> Expr.t -> int array
+(** Literals of an expression (cached structurally). *)
+
+val assert_true : ctx -> Expr.t -> unit
+(** Assert a width-1 expression. *)
+
+val model_of_var : ctx -> Expr.var -> int64
+(** Extract a variable's value from the SAT model (after a [Sat] answer);
+    unconstrained variables yield 0. *)

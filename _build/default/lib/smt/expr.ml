@@ -1,0 +1,377 @@
+(** Bitvector expressions (widths 1–64), the constraint language of the
+    symbolic executor.
+
+    This stands in for Z3's BitVec terms (the sealed container has no Z3);
+    booleans are width-1 vectors.  Smart constructors fold constants
+    aggressively so that fully concrete replays never reach the solver. *)
+
+type width = int
+
+type var = {
+  vid : int;
+  vname : string;
+  vwidth : width;
+}
+
+type unop =
+  | Not  (** bitwise complement *)
+  | Neg  (** two's complement negation *)
+  | Popcnt
+  | Clz
+  | Ctz
+
+type binop =
+  | Add | Sub | Mul
+  | Udiv | Urem | Sdiv | Srem
+  | And | Or | Xor
+  | Shl | Lshr | Ashr
+  | Rotl | Rotr
+
+type cmp = Eq | Ult | Slt | Ule | Sle
+
+type t =
+  | Const of width * int64  (** value masked to width *)
+  | Var of var
+  | Unop of unop * t
+  | Binop of binop * t * t
+  | Cmp of cmp * t * t  (** width-1 result *)
+  | Ite of t * t * t  (** condition has width 1 *)
+  | Extract of int * int * t  (** [Extract (hi, lo, e)], bits lo..hi inclusive *)
+  | Concat of t * t  (** [Concat (hi, lo)]: hi bits above lo bits *)
+  | Zext of width * t
+  | Sext of width * t
+
+(* ------------------------------------------------------------------ *)
+(* Widths and masking                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let mask width (v : int64) =
+  if width >= 64 then v
+  else Int64.logand v (Int64.sub (Int64.shift_left 1L width) 1L)
+
+let rec width_of = function
+  | Const (w, _) -> w
+  | Var v -> v.vwidth
+  | Unop (_, e) -> width_of e
+  | Binop (_, a, _) -> width_of a
+  | Cmp _ -> 1
+  | Ite (_, a, _) -> width_of a
+  | Extract (hi, lo, _) -> hi - lo + 1
+  | Concat (a, b) -> width_of a + width_of b
+  | Zext (w, _) | Sext (w, _) -> w
+
+(** Interpret a masked value of [width] bits as a signed int64. *)
+let to_signed width (v : int64) =
+  if width >= 64 then v
+  else
+    let sign_bit = Int64.shift_left 1L (width - 1) in
+    if Int64.logand v sign_bit = 0L then v
+    else Int64.sub v (Int64.shift_left 1L width)
+
+(* ------------------------------------------------------------------ *)
+(* Variables                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let var_counter = ref 0
+
+let fresh_var ?(name = "v") width : var =
+  incr var_counter;
+  { vid = !var_counter; vname = name; vwidth = width }
+
+let var v = Var v
+
+(* ------------------------------------------------------------------ *)
+(* Constant evaluation of operations                                    *)
+(* ------------------------------------------------------------------ *)
+
+let eval_unop w (op : unop) (a : int64) : int64 =
+  let a = mask w a in
+  match op with
+  | Not -> mask w (Int64.lognot a)
+  | Neg -> mask w (Int64.neg a)
+  | Popcnt ->
+      let n = ref 0L in
+      for i = 0 to w - 1 do
+        if Int64.logand (Int64.shift_right_logical a i) 1L = 1L then
+          n := Int64.add !n 1L
+      done;
+      !n
+  | Clz ->
+      let rec go i =
+        if i < 0 then Int64.of_int w
+        else if Int64.logand (Int64.shift_right_logical a i) 1L = 1L then
+          Int64.of_int (w - 1 - i)
+        else go (i - 1)
+      in
+      go (w - 1)
+  | Ctz ->
+      let rec go i =
+        if i >= w then Int64.of_int w
+        else if Int64.logand (Int64.shift_right_logical a i) 1L = 1L then
+          Int64.of_int i
+        else go (i + 1)
+      in
+      go 0
+
+let eval_binop w (op : binop) (a : int64) (b : int64) : int64 =
+  let a = mask w a and b = mask w b in
+  let sa = to_signed w a and sb = to_signed w b in
+  let shift_amt = Int64.to_int (Int64.unsigned_rem b (Int64.of_int w)) in
+  match op with
+  | Add -> mask w (Int64.add a b)
+  | Sub -> mask w (Int64.sub a b)
+  | Mul -> mask w (Int64.mul a b)
+  | Udiv -> if b = 0L then mask w (-1L) else mask w (Int64.unsigned_div a b)
+  | Urem -> if b = 0L then a else mask w (Int64.unsigned_rem a b)
+  | Sdiv ->
+      if b = 0L then mask w (-1L)
+      else if sa = Int64.min_int && sb = -1L then mask w sa
+      else mask w (Int64.div sa sb)
+  | Srem ->
+      if b = 0L then a
+      else if sa = Int64.min_int && sb = -1L then 0L
+      else mask w (Int64.rem sa sb)
+  | And -> Int64.logand a b
+  | Or -> Int64.logor a b
+  | Xor -> Int64.logxor a b
+  | Shl -> mask w (Int64.shift_left a shift_amt)
+  | Lshr -> Int64.shift_right_logical a shift_amt
+  | Ashr -> mask w (Int64.shift_right (to_signed w a) shift_amt)
+  | Rotl ->
+      if shift_amt = 0 then a
+      else
+        mask w
+          (Int64.logor
+             (Int64.shift_left a shift_amt)
+             (Int64.shift_right_logical a (w - shift_amt)))
+  | Rotr ->
+      if shift_amt = 0 then a
+      else
+        mask w
+          (Int64.logor
+             (Int64.shift_right_logical a shift_amt)
+             (Int64.shift_left a (w - shift_amt)))
+
+let eval_cmp w (op : cmp) (a : int64) (b : int64) : bool =
+  let a = mask w a and b = mask w b in
+  match op with
+  | Eq -> Int64.equal a b
+  | Ult -> Int64.unsigned_compare a b < 0
+  | Ule -> Int64.unsigned_compare a b <= 0
+  | Slt -> Int64.compare (to_signed w a) (to_signed w b) < 0
+  | Sle -> Int64.compare (to_signed w a) (to_signed w b) <= 0
+
+(* ------------------------------------------------------------------ *)
+(* Smart constructors                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let const width v = Const (width, mask width v)
+let bool_ b = Const (1, if b then 1L else 0L)
+let true_ = bool_ true
+let false_ = bool_ false
+let is_true = function Const (1, 1L) -> true | _ -> false
+let is_false = function Const (1, 0L) -> true | _ -> false
+
+let unop op e =
+  match e with
+  | Const (w, v) -> Const (w, eval_unop w op v)
+  | Unop (Not, inner) when op = Not -> inner
+  | Unop (Neg, inner) when op = Neg -> inner
+  | _ -> Unop (op, e)
+
+let rec binop op a b =
+  let w = width_of a in
+  match (a, b) with
+  | Const (_, va), Const (_, vb) -> Const (w, eval_binop w op va vb)
+  | _ -> (
+      match (op, a, b) with
+      (* Identity / absorption rules keep replay expressions small. *)
+      | Add, e, Const (_, 0L) | Add, Const (_, 0L), e -> e
+      | Sub, e, Const (_, 0L) -> e
+      | Mul, _, (Const (_, 0L) as z) | Mul, (Const (_, 0L) as z), _ -> z
+      | Mul, e, Const (_, 1L) | Mul, Const (_, 1L), e -> e
+      | And, _, (Const (_, 0L) as z) | And, (Const (_, 0L) as z), _ -> z
+      | And, e, Const (w', m) when m = mask w' (-1L) -> e
+      | And, Const (w', m), e when m = mask w' (-1L) -> e
+      | Or, e, Const (_, 0L) | Or, Const (_, 0L), e -> e
+      | Xor, e, Const (_, 0L) | Xor, Const (_, 0L), e -> e
+      | (Shl | Lshr | Ashr), e, Const (_, 0L) -> e
+      (* Constant-on-left normalisation for commutative ops. *)
+      | (Add | Mul | And | Or | Xor), e, (Const _ as c) -> Binop (op, c, e)
+      (* Reassociate (c1 + (c2 + e)) -> (c1+c2) + e. *)
+      | Add, Const (w1, c1), Binop (Add, Const (_, c2), e) ->
+          binop Add (Const (w1, mask w1 (Int64.add c1 c2))) e
+      | _ -> Binop (op, a, b))
+
+let rec cmp op a b =
+  let w = width_of a in
+  match (a, b) with
+  | Const (_, va), Const (_, vb) -> bool_ (eval_cmp w op va vb)
+  | _ when a = b && op = Eq -> true_
+  (* popcnt(y) == 0 <=> y == 0, and the same for clz/ctz == width:
+     undoes popcount-encoded equality tests without a counting circuit. *)
+  | Unop (Popcnt, y), Const (_, 0L) when op = Eq -> cmp Eq y (Const (w, 0L))
+  | Const (_, 0L), Unop (Popcnt, y) when op = Eq -> cmp Eq y (Const (w, 0L))
+  (* (c1 + e) == c2  <=>  e == c2 - c1 *)
+  | Binop (Add, Const (w1, c1), e), Const (_, c2) when op = Eq ->
+      cmp Eq e (Const (w1, mask w1 (Int64.sub c2 c1)))
+  (* (e xor c1) == c2  <=>  e == c1 xor c2 *)
+  | Binop (Xor, Const (w1, c1), e), Const (_, c2) when op = Eq ->
+      cmp Eq e (Const (w1, mask w1 (Int64.logxor c1 c2)))
+  | _ -> Cmp (op, a, b)
+
+let ite c a b =
+  match c with
+  | Const (1, 1L) -> a
+  | Const (1, 0L) -> b
+  | _ -> if a = b then a else Ite (c, a, b)
+
+let rec extract hi lo e =
+  let w = width_of e in
+  if lo = 0 && hi = w - 1 then e
+  else
+    match e with
+    | Const (_, v) -> const (hi - lo + 1) (Int64.shift_right_logical v lo)
+    | Extract (_, lo', inner) -> Extract (hi + lo', lo + lo', inner)
+    | Concat (_, b) when hi < width_of b -> extract hi lo b
+    | Concat (a, b) when lo >= width_of b ->
+        extract (hi - width_of b) (lo - width_of b) a
+    | _ -> Extract (hi, lo, e)
+
+let concat hi lo =
+  match (hi, lo) with
+  | Const (wh, vh), Const (wl, vl) ->
+      const (wh + wl) (Int64.logor (Int64.shift_left vh wl) vl)
+  | _ -> Concat (hi, lo)
+
+let zext w e =
+  let we = width_of e in
+  if w = we then e
+  else
+    match e with
+    | Const (_, v) -> const w v
+    | _ -> Zext (w, e)
+
+let sext w e =
+  let we = width_of e in
+  if w = we then e
+  else
+    match e with
+    | Const (_, v) -> const w (to_signed we v)
+    | _ -> Sext (w, e)
+
+(* Boolean connectives over width-1 vectors. *)
+let not_ e =
+  match e with
+  | Const (1, v) -> bool_ (v = 0L)
+  | _ -> binop Xor e (Const (1, 1L))
+
+let and_ a b =
+  if is_false a || is_false b then false_
+  else if is_true a then b
+  else if is_true b then a
+  else binop And a b
+
+let or_ a b =
+  if is_true a || is_true b then true_
+  else if is_false a then b
+  else if is_false b then a
+  else binop Or a b
+
+let conj = List.fold_left and_ true_
+let eq a b = cmp Eq a b
+let ne a b = not_ (cmp Eq a b)
+
+(* ------------------------------------------------------------------ *)
+(* Traversals                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let rec iter_vars f = function
+  | Const _ -> ()
+  | Var v -> f v
+  | Unop (_, e) | Extract (_, _, e) | Zext (_, e) | Sext (_, e) -> iter_vars f e
+  | Binop (_, a, b) | Cmp (_, a, b) | Concat (a, b) ->
+      iter_vars f a;
+      iter_vars f b
+  | Ite (c, a, b) ->
+      iter_vars f c;
+      iter_vars f a;
+      iter_vars f b
+
+let vars e =
+  let tbl = Hashtbl.create 16 in
+  iter_vars (fun v -> Hashtbl.replace tbl v.vid v) e;
+  Hashtbl.fold (fun _ v acc -> v :: acc) tbl []
+
+let contains_var pred e =
+  let found = ref false in
+  iter_vars (fun v -> if pred v then found := true) e;
+  !found
+
+let has_any_var e = contains_var (fun _ -> true) e
+
+(** Substitute variables by [f]; [None] keeps the variable. *)
+let rec subst (f : var -> t option) (e : t) : t =
+  match e with
+  | Const _ -> e
+  | Var v -> ( match f v with Some e' -> e' | None -> e)
+  | Unop (op, a) -> unop op (subst f a)
+  | Binop (op, a, b) -> binop op (subst f a) (subst f b)
+  | Cmp (op, a, b) -> cmp op (subst f a) (subst f b)
+  | Ite (c, a, b) -> ite (subst f c) (subst f a) (subst f b)
+  | Extract (hi, lo, a) -> extract hi lo (subst f a)
+  | Concat (a, b) -> concat (subst f a) (subst f b)
+  | Zext (w, a) -> zext w (subst f a)
+  | Sext (w, a) -> sext w (subst f a)
+
+(** Evaluate under a full assignment; raises [Not_found] on unassigned
+    variables. *)
+let rec eval (env : (int, int64) Hashtbl.t) (e : t) : int64 =
+  match e with
+  | Const (_, v) -> v
+  | Var v -> mask v.vwidth (Hashtbl.find env v.vid)
+  | Unop (op, a) -> eval_unop (width_of a) op (eval env a)
+  | Binop (op, a, b) -> eval_binop (width_of a) op (eval env a) (eval env b)
+  | Cmp (op, a, b) ->
+      if eval_cmp (width_of a) op (eval env a) (eval env b) then 1L else 0L
+  | Ite (c, a, b) -> if eval env c = 1L then eval env a else eval env b
+  | Extract (hi, lo, a) ->
+      mask (hi - lo + 1) (Int64.shift_right_logical (eval env a) lo)
+  | Concat (a, b) ->
+      Int64.logor (Int64.shift_left (eval env a) (width_of b)) (eval env b)
+  | Zext (w, a) -> mask w (eval env a)
+  | Sext (w, a) -> mask w (to_signed (width_of a) (eval env a))
+
+(* ------------------------------------------------------------------ *)
+(* Printing                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let string_of_unop = function
+  | Not -> "not" | Neg -> "neg" | Popcnt -> "popcnt" | Clz -> "clz" | Ctz -> "ctz"
+
+let string_of_binop = function
+  | Add -> "+" | Sub -> "-" | Mul -> "*"
+  | Udiv -> "/u" | Urem -> "%u" | Sdiv -> "/s" | Srem -> "%s"
+  | And -> "&" | Or -> "|" | Xor -> "^"
+  | Shl -> "<<" | Lshr -> ">>u" | Ashr -> ">>s"
+  | Rotl -> "rotl" | Rotr -> "rotr"
+
+let string_of_cmp = function
+  | Eq -> "==" | Ult -> "<u" | Slt -> "<s" | Ule -> "<=u" | Sle -> "<=s"
+
+let rec to_string = function
+  | Const (w, v) -> Printf.sprintf "%Ld:%d" v w
+  | Var v -> Printf.sprintf "%s#%d:%d" v.vname v.vid v.vwidth
+  | Unop (op, e) -> Printf.sprintf "%s(%s)" (string_of_unop op) (to_string e)
+  | Binop (op, a, b) ->
+      Printf.sprintf "(%s %s %s)" (to_string a) (string_of_binop op) (to_string b)
+  | Cmp (op, a, b) ->
+      Printf.sprintf "(%s %s %s)" (to_string a) (string_of_cmp op) (to_string b)
+  | Ite (c, a, b) ->
+      Printf.sprintf "ite(%s, %s, %s)" (to_string c) (to_string a) (to_string b)
+  | Extract (hi, lo, e) -> Printf.sprintf "%s[%d:%d]" (to_string e) hi lo
+  | Concat (a, b) -> Printf.sprintf "(%s ++ %s)" (to_string a) (to_string b)
+  | Zext (w, e) -> Printf.sprintf "zext%d(%s)" w (to_string e)
+  | Sext (w, e) -> Printf.sprintf "sext%d(%s)" w (to_string e)
+
+let pp fmt e = Format.pp_print_string fmt (to_string e)

@@ -1,0 +1,107 @@
+(** Bitvector expressions (widths 1–64), the constraint language of the
+    symbolic executor.  Stands in for Z3's BitVec terms; booleans are
+    width-1 vectors.  Smart constructors fold constants aggressively so
+    fully concrete replays never reach the solver. *)
+
+type width = int
+
+type var = {
+  vid : int;  (** unique id *)
+  vname : string;  (** debug name *)
+  vwidth : width;
+}
+
+type unop =
+  | Not  (** bitwise complement *)
+  | Neg  (** two's complement negation *)
+  | Popcnt
+  | Clz
+  | Ctz
+
+type binop =
+  | Add | Sub | Mul
+  | Udiv | Urem | Sdiv | Srem
+  | And | Or | Xor
+  | Shl | Lshr | Ashr
+  | Rotl | Rotr
+
+type cmp = Eq | Ult | Slt | Ule | Sle
+
+type t =
+  | Const of width * int64  (** value masked to width *)
+  | Var of var
+  | Unop of unop * t
+  | Binop of binop * t * t
+  | Cmp of cmp * t * t  (** width-1 result *)
+  | Ite of t * t * t  (** condition has width 1 *)
+  | Extract of int * int * t  (** [Extract (hi, lo, e)], bits lo..hi inclusive *)
+  | Concat of t * t  (** [Concat (hi, lo)]: hi bits above lo bits *)
+  | Zext of width * t
+  | Sext of width * t
+
+(** {1 Widths and values} *)
+
+val mask : width -> int64 -> int64
+(** Keep the low [width] bits. *)
+
+val width_of : t -> width
+
+val to_signed : width -> int64 -> int64
+(** Interpret a masked value as signed. *)
+
+(** {1 Variables} *)
+
+val fresh_var : ?name:string -> width -> var
+val var : var -> t
+
+(** {1 Concrete semantics} *)
+
+val eval_unop : width -> unop -> int64 -> int64
+val eval_binop : width -> binop -> int64 -> int64 -> int64
+val eval_cmp : width -> cmp -> int64 -> int64 -> bool
+
+(** {1 Smart constructors (constant-folding)} *)
+
+val const : width -> int64 -> t
+val bool_ : bool -> t
+val true_ : t
+val false_ : t
+val is_true : t -> bool
+val is_false : t -> bool
+val unop : unop -> t -> t
+val binop : binop -> t -> t -> t
+val cmp : cmp -> t -> t -> t
+val ite : t -> t -> t -> t
+val extract : int -> int -> t -> t
+val concat : t -> t -> t
+val zext : width -> t -> t
+val sext : width -> t -> t
+
+val not_ : t -> t
+(** Boolean negation of a width-1 vector. *)
+
+val and_ : t -> t -> t
+val or_ : t -> t -> t
+val conj : t list -> t
+val eq : t -> t -> t
+val ne : t -> t -> t
+
+(** {1 Traversal and evaluation} *)
+
+val iter_vars : (var -> unit) -> t -> unit
+val vars : t -> var list
+val contains_var : (var -> bool) -> t -> bool
+val has_any_var : t -> bool
+
+val subst : (var -> t option) -> t -> t
+(** Substitute variables; [None] keeps the variable.  Rebuilds through the
+    smart constructors, so substitution also simplifies. *)
+
+val eval : (int, int64) Hashtbl.t -> t -> int64
+(** Evaluate under a full assignment (variable id -> value); raises
+    [Not_found] on unassigned variables. *)
+
+(** {1 Printing} *)
+
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit

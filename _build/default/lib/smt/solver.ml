@@ -1,0 +1,151 @@
+(** Constraint solving entry point.
+
+    [check] decides a conjunction of width-1 constraints and produces a
+    model (variable id → value).  Two tiers:
+
+    1. a propagation quick-path that solves the very common
+       "variable (or invertible 1-var term) equals constant" chains the
+       complicated-verification contracts produce, without touching SAT;
+    2. full bit-blasting + CDCL for everything else, under a deterministic
+       conflict budget standing in for the paper's 3,000 ms Z3 cap. *)
+
+type model = (int, int64) Hashtbl.t
+(** expr variable id → value *)
+
+type result =
+  | Sat of model
+  | Unsat
+  | Unknown  (** budget exhausted *)
+
+type stats = {
+  mutable quick_solved : int;
+  mutable blasted : int;
+  mutable unknowns : int;
+}
+
+let stats = { quick_solved = 0; blasted = 0; unknowns = 0 }
+
+(* ------------------------------------------------------------------ *)
+(* Quick path                                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* Try to rewrite [e == value] into an assignment of a single variable.
+   Handles the invertible wrappers the calling convention and the popcount
+   obfuscation produce around inputs. *)
+let rec invert (e : Expr.t) (value : int64) : (Expr.var * int64) option =
+  let open Expr in
+  match e with
+  | Var v -> Some (v, mask v.vwidth value)
+  | Zext (_, inner) ->
+      (* Invertible iff the value fits in the inner width. *)
+      let wi = width_of inner in
+      if mask wi value = value then invert inner value else None
+  | Sext (w, inner) ->
+      let wi = width_of inner in
+      if mask w (to_signed wi (mask wi value)) = mask w value then
+        invert inner (mask wi value)
+      else None
+  | Extract (hi, lo, inner) when lo = 0 && hi = width_of inner - 1 ->
+      invert inner value
+  | Binop (Add, Const (w, c), inner) -> invert inner (mask w (Int64.sub value c))
+  | Binop (Xor, Const (_, c), inner) -> invert inner (Int64.logxor value c)
+  | Binop (Sub, inner, Const (w, c)) -> invert inner (mask w (Int64.add value c))
+  | _ -> None
+
+(* One round of propagation: pick off constraints of the form
+   [invertible == const]; substitute; repeat to fixpoint. *)
+let quick_path (constraints : Expr.t list) :
+    [ `Solved of model | `Contradiction | `Residual of Expr.t list * model ] =
+  let model : model = Hashtbl.create 8 in
+  let subst_known e =
+    Expr.subst
+      (fun v ->
+        match Hashtbl.find_opt model v.Expr.vid with
+        | Some value -> Some (Expr.const v.Expr.vwidth value)
+        | None -> None)
+      e
+  in
+  let rec loop (cs : Expr.t list) =
+    let cs = List.map subst_known cs in
+    if List.exists Expr.is_false cs then `Contradiction
+    else begin
+      let cs = List.filter (fun c -> not (Expr.is_true c)) cs in
+      let progress = ref false in
+      let residual =
+        List.filter
+          (fun c ->
+            match c with
+            | Expr.Cmp (Expr.Eq, lhs, Expr.Const (_, value))
+            | Expr.Cmp (Expr.Eq, Expr.Const (_, value), lhs) -> (
+                match invert lhs value with
+                | Some (v, assigned) when not (Hashtbl.mem model v.Expr.vid) ->
+                    Hashtbl.replace model v.Expr.vid assigned;
+                    progress := true;
+                    false
+                | _ -> true)
+            | _ -> true)
+          cs
+      in
+      if residual = [] then `Solved model
+      else if !progress then loop residual
+      else `Residual (residual, model)
+    end
+  in
+  loop constraints
+
+(* ------------------------------------------------------------------ *)
+(* Full check                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let blast_check ?(conflict_budget = 50_000) (constraints : Expr.t list)
+    (pre_model : model) : result =
+  let ctx = Bitblast.create () in
+  List.iter (Bitblast.assert_true ctx) constraints;
+  stats.blasted <- stats.blasted + 1;
+  match Sat.solve ~conflict_budget ctx.Bitblast.sat with
+  | Sat.Unsat -> Unsat
+  | Sat.Unknown ->
+      stats.unknowns <- stats.unknowns + 1;
+      Unknown
+  | Sat.Sat ->
+      let model = Hashtbl.copy pre_model in
+      (* Collect every variable mentioned in the constraints. *)
+      let seen = Hashtbl.create 16 in
+      List.iter
+        (fun c ->
+          Expr.iter_vars
+            (fun v ->
+              if not (Hashtbl.mem seen v.Expr.vid) then begin
+                Hashtbl.replace seen v.Expr.vid ();
+                Hashtbl.replace model v.Expr.vid (Bitblast.model_of_var ctx v)
+              end)
+            c)
+        constraints;
+      Sat model
+
+(** Decide the conjunction of [constraints]. *)
+let check ?(conflict_budget = 50_000) (constraints : Expr.t list) : result =
+  (* Constant-fold through simplification first. *)
+  let constraints = List.map (fun c -> Expr.subst (fun _ -> None) c) constraints in
+  if List.exists Expr.is_false constraints then Unsat
+  else
+    match quick_path constraints with
+    | `Solved model ->
+        stats.quick_solved <- stats.quick_solved + 1;
+        Sat model
+    | `Contradiction -> Unsat
+    | `Residual (residual, model) -> blast_check ~conflict_budget residual model
+
+(** Verify a model against constraints (defence in depth for the solver:
+    used by tests and by the engine before trusting a seed). *)
+let validate_model (constraints : Expr.t list) (model : model) : bool =
+  let env = Hashtbl.create 16 in
+  Hashtbl.iter (fun k v -> Hashtbl.replace env k v) model;
+  List.for_all
+    (fun c ->
+      (* Unassigned variables default to zero. *)
+      Expr.iter_vars
+        (fun v -> if not (Hashtbl.mem env v.Expr.vid) then Hashtbl.replace env v.Expr.vid 0L)
+        c;
+      match Expr.eval env c with 1L -> true | _ -> false)
+    constraints

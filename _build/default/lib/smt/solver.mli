@@ -1,0 +1,31 @@
+(** Constraint-solving entry point: decides a conjunction of width-1
+    constraints and produces a model.
+
+    Two tiers: a propagation quick-path for the
+    "invertible term == constant" chains that verification-style contracts
+    produce, and full bit-blasting + CDCL for everything else under a
+    deterministic conflict budget. *)
+
+type model = (int, int64) Hashtbl.t
+(** Expression variable id -> value. *)
+
+type result =
+  | Sat of model
+  | Unsat
+  | Unknown  (** budget exhausted *)
+
+type stats = {
+  mutable quick_solved : int;
+  mutable blasted : int;
+  mutable unknowns : int;
+}
+
+val stats : stats
+(** Global counters (for benchmarks and reports). *)
+
+val check : ?conflict_budget:int -> Expr.t list -> result
+(** Decide the conjunction of constraints. *)
+
+val validate_model : Expr.t list -> model -> bool
+(** Re-evaluate the constraints under a model (defence in depth: the
+    engine refuses to trust unverified seeds). *)

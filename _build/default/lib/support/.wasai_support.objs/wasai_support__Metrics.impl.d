@@ -1,0 +1,1 @@
+lib/support/metrics.ml: Float Printf

@@ -1,0 +1,1 @@
+lib/support/rand.ml: Array Char Int64 List String

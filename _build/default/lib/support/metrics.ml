@@ -1,0 +1,44 @@
+(** Binary-classification metrics used by every evaluation table. *)
+
+type confusion = {
+  mutable tp : int;
+  mutable fp : int;
+  mutable tn : int;
+  mutable fn : int;
+}
+
+let empty () = { tp = 0; fp = 0; tn = 0; fn = 0 }
+
+let record c ~truth ~predicted =
+  match (truth, predicted) with
+  | true, true -> c.tp <- c.tp + 1
+  | false, true -> c.fp <- c.fp + 1
+  | false, false -> c.tn <- c.tn + 1
+  | true, false -> c.fn <- c.fn + 1
+
+let merge a b =
+  { tp = a.tp + b.tp; fp = a.fp + b.fp; tn = a.tn + b.tn; fn = a.fn + b.fn }
+
+let total c = c.tp + c.fp + c.tn + c.fn
+
+let precision c =
+  if c.tp + c.fp = 0 then 0.0 else float_of_int c.tp /. float_of_int (c.tp + c.fp)
+
+let recall c =
+  if c.tp + c.fn = 0 then 0.0 else float_of_int c.tp /. float_of_int (c.tp + c.fn)
+
+let f1 c =
+  let p = precision c and r = recall c in
+  if p +. r = 0.0 then 0.0 else 2.0 *. p *. r /. (p +. r)
+
+let pct x = 100.0 *. x
+
+(** "100%" / "98.4%" style rendering used in the paper's tables. *)
+let pct_string x =
+  let v = pct x in
+  if Float.abs (v -. Float.round v) < 0.05 then Printf.sprintf "%.0f%%" v
+  else Printf.sprintf "%.1f%%" v
+
+let row_string c =
+  Printf.sprintf "P=%s R=%s F1=%s" (pct_string (precision c))
+    (pct_string (recall c)) (pct_string (f1 c))

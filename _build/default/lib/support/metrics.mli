@@ -1,0 +1,26 @@
+(** Binary-classification metrics used by every evaluation table. *)
+
+type confusion = {
+  mutable tp : int;
+  mutable fp : int;
+  mutable tn : int;
+  mutable fn : int;
+}
+
+val empty : unit -> confusion
+
+val record : confusion -> truth:bool -> predicted:bool -> unit
+(** Tally one sample. *)
+
+val merge : confusion -> confusion -> confusion
+val total : confusion -> int
+val precision : confusion -> float
+val recall : confusion -> float
+val f1 : confusion -> float
+val pct : float -> float
+
+val pct_string : float -> string
+(** "100%" / "98.4%" style rendering used in the paper's tables. *)
+
+val row_string : confusion -> string
+(** "P=... R=... F1=..." summary. *)

@@ -1,0 +1,1 @@
+lib/symbolic/convention.ml: Array Char Hashtbl Int64 List Memmodel Printf String Wasai_eosio Wasai_smt Wasai_wasm

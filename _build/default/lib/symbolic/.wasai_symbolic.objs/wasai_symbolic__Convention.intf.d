@@ -1,0 +1,1 @@
+lib/symbolic/convention.mli: Memmodel Wasai_eosio Wasai_smt Wasai_wasm

@@ -1,0 +1,1 @@
+lib/symbolic/eosafe_memory.ml: Int64 List Wasai_smt

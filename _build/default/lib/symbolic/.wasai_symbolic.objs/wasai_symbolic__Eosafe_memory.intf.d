@@ -1,0 +1,1 @@
+lib/symbolic/eosafe_memory.mli: Wasai_smt

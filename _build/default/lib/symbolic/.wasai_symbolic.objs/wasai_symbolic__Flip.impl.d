@@ -1,0 +1,1 @@
+lib/symbolic/flip.ml: Array Char Convention Hashtbl Int64 List Replay String Wasai_eosio Wasai_smt

@@ -1,0 +1,1 @@
+lib/symbolic/flip.mli: Convention Hashtbl Replay Wasai_eosio Wasai_smt

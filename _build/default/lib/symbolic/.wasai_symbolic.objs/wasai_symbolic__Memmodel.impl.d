@@ -1,0 +1,1 @@
+lib/symbolic/memmodel.ml: Char Hashtbl Int64 Printf String Wasai_smt

@@ -1,0 +1,1 @@
+lib/symbolic/memmodel.mli: Wasai_smt

@@ -1,0 +1,1 @@
+lib/symbolic/replay.ml: Array Convention Hashtbl Int32 Int64 List Memmodel Option Printf Wasai_smt Wasai_wasabi Wasai_wasm

@@ -1,0 +1,1 @@
+lib/symbolic/replay.mli: Convention Memmodel Wasai_smt Wasai_wasabi

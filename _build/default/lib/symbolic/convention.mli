@@ -1,0 +1,43 @@
+(** Calling-convention input inference (challenge C3, §3.4.2, Table 2).
+
+    Symbolic execution starts at the action function: scalar parameters
+    become symbolic locals; [asset] and [string] parameters are concrete
+    i32 pointers whose pointees get symbolic bytes in the memory model. *)
+
+module Wasm = Wasai_wasm
+module Expr = Wasai_smt.Expr
+module Abi = Wasai_eosio.Abi
+
+type sym_param =
+  | SP_scalar of Expr.var  (** name / u64 / u32 *)
+  | SP_asset of { amount : Expr.var; symbol : Expr.var }
+  | SP_string of { len : Expr.var; content : Expr.var array }
+
+type layout = {
+  lay_def : Abi.action_def;
+  lay_params : (string * Abi.param_type * sym_param) list;
+  lay_locals : (int * Expr.t) list;
+      (** initial Local-section bindings of the action function *)
+}
+
+val infer : Abi.action_def -> Wasm.Values.value list -> layout
+(** Build the symbolic layout for an invocation; [args] are the concrete
+    runtime arguments from the call_pre record (pointer locals stay
+    concrete). *)
+
+val init_memory : layout -> Wasm.Values.value list -> Memmodel.t -> unit
+(** Seed the memory model with the symbolic pointees (Table 2's
+    linear-memory column). *)
+
+val action_like : Wasm.Types.func_type -> bool
+
+val find_action_functions : Wasm.Ast.module_ -> int list
+(** Candidate action functions: indirect-call-table entries plus direct
+    callees of [apply] with an action-like signature. *)
+
+val model_value : Wasai_smt.Solver.model -> Expr.var -> default:int64 -> int64
+
+val concretize :
+  layout -> Wasai_smt.Solver.model -> current:Abi.value list -> Abi.value list
+(** Turn a solver model into concrete action arguments; unconstrained
+    parameters keep the current seed's values. *)

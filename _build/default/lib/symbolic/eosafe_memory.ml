@@ -1,0 +1,64 @@
+(** EOSAFE's memory model, reimplemented for the ablation benchmark
+    (§3.2 "Our Solution" contrasts against it).
+
+    Every store appends an (address expression, width, value) entry; every
+    load scans the whole history newest-first, building an if-then-else
+    chain over address equality so overlapping stores merge correctly.
+    Sound, but each access costs O(history) — the behaviour the paper
+    blames for EOSAFE's slowdown on deep code. *)
+
+module Expr = Wasai_smt.Expr
+
+type entry = { e_addr : Expr.t; e_width : int; e_value : Expr.t }
+
+type t = {
+  mutable entries : entry list;  (** newest first *)
+  mutable load_work : int;  (** total entries scanned, for the benchmark *)
+}
+
+let create () = { entries = []; load_work = 0 }
+
+let store (m : t) ~(addr : Expr.t) ~(width_bytes : int) (value : Expr.t) =
+  m.entries <- { e_addr = addr; e_width = width_bytes; e_value = value } :: m.entries
+
+(* Byte [k] of an entry value. *)
+let entry_byte (e : entry) k = Expr.extract ((8 * k) + 7) (8 * k) e.e_value
+
+(** Load one byte at address expression [addr]: an ite-chain over all
+    potentially overlapping stores. *)
+let load_byte (m : t) (addr : Expr.t) : Expr.t =
+  let w = Expr.width_of addr in
+  let rec scan = function
+    | [] ->
+        (* Nothing known: fresh symbolic content. *)
+        Expr.var (Expr.fresh_var ~name:"eosafe_mem" 8)
+    | e :: rest ->
+        m.load_work <- m.load_work + 1;
+        (* If addr falls inside [e_addr, e_addr + width): select that byte. *)
+        let rec per_offset k acc =
+          if k < 0 then acc
+          else
+            let hit =
+              Expr.cmp Expr.Eq addr
+                (Expr.binop Expr.Add e.e_addr (Expr.const w (Int64.of_int k)))
+            in
+            per_offset (k - 1) (Expr.ite hit (entry_byte e k) acc)
+        in
+        per_offset (e.e_width - 1) (scan rest)
+  in
+  scan m.entries
+
+let load (m : t) ~(addr : Expr.t) ~(width_bytes : int) : Expr.t =
+  let w = Expr.width_of addr in
+  let rec build i acc =
+    if i >= width_bytes then acc
+    else
+      let b =
+        load_byte m (Expr.binop Expr.Add addr (Expr.const w (Int64.of_int i)))
+      in
+      build (i + 1) (Expr.concat b acc)
+  in
+  build 1 (load_byte m addr)
+
+let work m = m.load_work
+let size m = List.length m.entries

@@ -1,0 +1,18 @@
+(** EOSAFE's memory model, reimplemented for the ablation benchmark:
+    every store appends to a history, every load scans the whole history
+    newest-first building an ite-chain over address equality.  Sound, but
+    O(history) per access — the behaviour §3.2 contrasts against. *)
+
+module Expr = Wasai_smt.Expr
+
+type t
+
+val create : unit -> t
+val store : t -> addr:Expr.t -> width_bytes:int -> Expr.t -> unit
+val load_byte : t -> Expr.t -> Expr.t
+val load : t -> addr:Expr.t -> width_bytes:int -> Expr.t
+
+val work : t -> int
+(** Total history entries scanned so far. *)
+
+val size : t -> int

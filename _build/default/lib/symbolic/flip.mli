@@ -1,0 +1,47 @@
+(** Constraint flipping and adaptive-seed generation (§3.4.4).
+
+    For every flippable conditional on the executed path, build
+    [path-prefix (as taken) ∧ ¬condition] plus payload-sanity and
+    one-parameter-mutation pins, solve, and concretise each model into a
+    fresh argument vector. *)
+
+module Expr = Wasai_smt.Expr
+
+type candidate = {
+  cand_index : int;  (** index of the flipped conditional in the path *)
+  cand_site : int;
+  cand_flipped_dir : bool option;
+      (** direction the flip targets (branch conditionals) *)
+  cand_constraints : Expr.t list;
+}
+
+val layout_var_ids : Convention.layout -> (int, unit) Hashtbl.t
+
+val candidates : Replay.result -> candidate list
+(** Flip candidates, deepest conditional first; asserts and input-free
+    conditions are excluded. *)
+
+type solved_seed = {
+  seed_args : Wasai_eosio.Abi.value list;
+  seed_flipped_site : int;
+}
+
+val pin_constraints :
+  Convention.layout ->
+  current:Wasai_eosio.Abi.value list ->
+  free:(int, unit) Hashtbl.t ->
+  Expr.t list
+(** Equality pins for every input variable not in [free] — the paper's
+    "mutate one parameter" discipline. *)
+
+val payload_sanity : Convention.layout -> max_amount:int64 -> Expr.t list
+(** Every asset amount must be positive and payable. *)
+
+val solve :
+  ?conflict_budget:int ->
+  ?max_solved:int ->
+  ?side:Expr.t list ->
+  ?skip:(candidate -> bool) ->
+  Replay.result ->
+  current:Wasai_eosio.Abi.value list ->
+  solved_seed list

@@ -1,0 +1,59 @@
+(** The concrete-address memory model (challenge C2 of the paper).
+
+    Addresses come from the runtime trace and are concrete integers, so a
+    byte-indexed table suffices — no symbolic aliasing to resolve, which is
+    exactly why this model beats EOSAFE's merge-on-every-access scheme (we
+    reproduce that scheme in {!Eosafe_memory} for the ablation benchmark).
+
+    Contents are symbolic: each byte holds an 8-bit expression.  A load
+    from a byte never stored creates a *symbolic load object* — a fresh
+    8-bit variable memoised at that address so repeated reads agree. *)
+
+module Expr = Wasai_smt.Expr
+
+type t = {
+  bytes : (int, Expr.t) Hashtbl.t;
+  mutable symload_count : int;
+  mutable store_count : int;
+  mutable load_count : int;
+}
+
+let create () =
+  { bytes = Hashtbl.create 256; symload_count = 0; store_count = 0; load_count = 0 }
+
+(** Store [width_bytes] of [value] (a bitvector expression of at least that
+    width) at concrete address [addr], little-endian. *)
+let store (m : t) ~(addr : int) ~(width_bytes : int) (value : Expr.t) =
+  m.store_count <- m.store_count + 1;
+  for i = 0 to width_bytes - 1 do
+    let byte = Expr.extract ((8 * i) + 7) (8 * i) value in
+    Hashtbl.replace m.bytes (addr + i) byte
+  done
+
+let byte_at (m : t) (addr : int) : Expr.t =
+  match Hashtbl.find_opt m.bytes addr with
+  | Some b -> b
+  | None ->
+      (* Symbolic load object ⟨addr, 1⟩. *)
+      m.symload_count <- m.symload_count + 1;
+      let v = Expr.var (Expr.fresh_var ~name:(Printf.sprintf "mem@%d" addr) 8) in
+      Hashtbl.replace m.bytes addr v;
+      v
+
+(** Load [width_bytes] from [addr] as a bitvector of [8 * width_bytes]
+    bits. *)
+let load (m : t) ~(addr : int) ~(width_bytes : int) : Expr.t =
+  m.load_count <- m.load_count + 1;
+  let rec build i acc =
+    if i >= width_bytes then acc
+    else build (i + 1) (Expr.concat (byte_at m (addr + i)) acc)
+  in
+  build 1 (byte_at m addr)
+
+(** Store a concrete string (e.g. action data) at [addr]. *)
+let store_concrete_string (m : t) ~(addr : int) (s : string) =
+  String.iteri
+    (fun i c -> Hashtbl.replace m.bytes (addr + i) (Expr.const 8 (Int64.of_int (Char.code c))))
+    s
+
+let stats m = (m.store_count, m.load_count, m.symload_count)

@@ -1,0 +1,26 @@
+(** The concrete-address memory model (challenge C2 of the paper).
+
+    Addresses come from the runtime trace and are concrete integers, so a
+    byte-indexed table suffices — no symbolic aliasing to resolve.
+    Contents are symbolic: each byte holds an 8-bit expression.  A load
+    from a byte never stored creates a *symbolic load object*, a fresh
+    variable memoised at that address. *)
+
+module Expr = Wasai_smt.Expr
+
+type t
+
+val create : unit -> t
+
+val store : t -> addr:int -> width_bytes:int -> Expr.t -> unit
+(** Little-endian store of the low [8 * width_bytes] bits. *)
+
+val byte_at : t -> int -> Expr.t
+
+val load : t -> addr:int -> width_bytes:int -> Expr.t
+(** Little-endian load as a bitvector of [8 * width_bytes] bits. *)
+
+val store_concrete_string : t -> addr:int -> string -> unit
+
+val stats : t -> int * int * int
+(** (stores, loads, symbolic load objects). *)

@@ -1,0 +1,36 @@
+(** Symbolic trace replay: lift the runtime trace to symbolic machine
+    states following the operational semantics of the paper's Table 3.
+
+    Replay starts at the action function (skipping the dispatcher); loads
+    and stores use concrete addresses from the trace; every executed
+    conditional (br_if / if / br_table / eosio_assert) is recorded with
+    its as-taken symbolic condition. *)
+
+module Expr = Wasai_smt.Expr
+module Trace = Wasai_wasabi.Trace
+
+type cond_kind = K_branch | K_assert | K_brtable
+
+type cond_state = {
+  cs_site : int;  (** instruction site, or -1 for asserts *)
+  cs_cond : Expr.t;  (** width-1 condition as taken on this path *)
+  cs_taken : bool;
+  cs_kind : cond_kind;
+}
+
+type result = {
+  r_path : cond_state list;  (** in execution order *)
+  r_layout : Convention.layout option;
+  r_mem : Memmodel.t;
+  r_imprecise : int;  (** stack-underflow fallbacks (0 on healthy traces) *)
+}
+
+val run :
+  ?layout:Convention.layout ->
+  meta:Trace.meta ->
+  target_funcs:int list ->
+  Trace.record list ->
+  result
+(** Replay a trace; [layout] provides the symbolic inputs of the target
+    action function, whose entry is located by candidate set and argument
+    arity. *)

@@ -1,0 +1,1 @@
+lib/wasabi/instrument.ml: Array Int32 List Option Trace Wasai_eosio Wasai_wasm

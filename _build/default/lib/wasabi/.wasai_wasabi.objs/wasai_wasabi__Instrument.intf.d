@@ -1,0 +1,1 @@
+lib/wasabi/instrument.mli: Trace Wasai_eosio Wasai_wasm

@@ -1,0 +1,1 @@
+lib/wasabi/trace.ml: Array List Printf String Wasai_wasm

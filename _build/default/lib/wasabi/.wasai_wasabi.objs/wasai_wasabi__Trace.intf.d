@@ -1,0 +1,1 @@
+lib/wasabi/trace.mli: Wasai_wasm

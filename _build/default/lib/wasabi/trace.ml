@@ -1,0 +1,169 @@
+(** Execution traces.
+
+    The instrumented contract calls hook imports in the [wasai] namespace
+    while it runs; the collector receives a flat stream of events (a site
+    announcement followed by its duplicated operands) and assembles it into
+    structured records τ(i, p⃗) — the trace format of §3.1 of the paper.
+
+    Only instrumented contracts import the hooks, so auxiliary contracts
+    (eosio.token, attacker agents) never pollute the trace, exactly as the
+    paper's contract-level instrumentation guarantees. *)
+
+module Wasm = Wasai_wasm
+module Values = Wasm.Values
+
+(** Static description of one instrumented instruction site. *)
+type site = {
+  site_id : int;
+  site_func : int;  (** absolute function index in the instrumented module *)
+  site_instr : Wasm.Ast.instr;  (** post-remap instruction *)
+}
+
+(** Static metadata produced by the instrumenter (the analogue of Wasabi's
+    static-info file). *)
+type meta = {
+  sites : site array;
+  instrumented : Wasm.Ast.module_;
+  original : Wasm.Ast.module_;
+  hook_base : int;  (** first hook import index *)
+  hook_count : int;
+  orig_import_count : int;  (** function imports of the original module *)
+}
+
+let site_of (meta : meta) id = meta.sites.(id)
+
+(** Name of an imported function in the instrumented module, e.g.
+    "env.require_auth". *)
+let import_name (meta : meta) idx : string option =
+  Wasm.Ast.func_name_at meta.instrumented idx
+
+(** Absolute index of an [env] import by name, if the contract imports it. *)
+let find_env_import (meta : meta) (name : string) : int option =
+  let rec go i = function
+    | [] -> None
+    | (imp : Wasm.Ast.import) :: rest -> (
+        match imp.idesc with
+        | Wasm.Ast.Func_import _ ->
+            if imp.imp_module = "env" && imp.imp_name = name then Some i
+            else go (i + 1) rest
+        | _ -> go i rest)
+  in
+  go 0 meta.instrumented.Wasm.Ast.imports
+
+(* ------------------------------------------------------------------ *)
+(* Structured records                                                  *)
+(* ------------------------------------------------------------------ *)
+
+type record =
+  | R_instr of { site : int; ops : Values.value list }
+      (** an executed instruction with its duplicated operands *)
+  | R_call_pre of { site : int; args : Values.value list }
+  | R_call_post of { site : int; results : Values.value list }
+  | R_func_begin of int  (** absolute function index *)
+  | R_func_end of int
+
+let record_site = function
+  | R_instr { site; _ } | R_call_pre { site; _ } | R_call_post { site; _ } ->
+      Some site
+  | R_func_begin _ | R_func_end _ -> None
+
+let string_of_record meta = function
+  | R_instr { site; ops } ->
+      Printf.sprintf "τ(%s, [%s])"
+        (Wasm.Ast.mnemonic (site_of meta site).site_instr)
+        (String.concat "; " (List.map Values.string_of_value ops))
+  | R_call_pre { site; args } ->
+      Printf.sprintf "call_pre@%d [%s]" site
+        (String.concat "; " (List.map Values.string_of_value args))
+  | R_call_post { site; results } ->
+      Printf.sprintf "call_post@%d [%s]" site
+        (String.concat "; " (List.map Values.string_of_value results))
+  | R_func_begin f -> Printf.sprintf "function_begin %d" f
+  | R_func_end f -> Printf.sprintf "function_end %d" f
+
+(* ------------------------------------------------------------------ *)
+(* Collector                                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* Pending event being assembled from the flat hook stream. *)
+type pending =
+  | P_none
+  | P_instr of int * Values.value list  (* reversed operand list *)
+  | P_pre of int * Values.value list
+  | P_post of int * Values.value list
+
+type t = {
+  mutable records : record list;  (** reversed *)
+  mutable pending : pending;
+  mutable enabled : bool;
+  mutable count : int;
+  mutable limit : int;  (** safety valve against pathological traces *)
+}
+
+let create ?(limit = 2_000_000) () =
+  { records = []; pending = P_none; enabled = true; count = 0; limit }
+
+let flush_pending c =
+  (match c.pending with
+   | P_none -> ()
+   | P_instr (site, ops) ->
+       c.records <- R_instr { site; ops = List.rev ops } :: c.records
+   | P_pre (site, args) ->
+       c.records <- R_call_pre { site; args = List.rev args } :: c.records
+   | P_post (site, results) ->
+       c.records <- R_call_post { site; results = List.rev results } :: c.records);
+  c.pending <- P_none
+
+let emit c r =
+  if c.enabled && c.count < c.limit then begin
+    flush_pending c;
+    c.records <- r :: c.records;
+    c.count <- c.count + 1
+  end
+
+let begin_instr c site =
+  if c.enabled && c.count < c.limit then begin
+    flush_pending c;
+    c.pending <- P_instr (site, []);
+    c.count <- c.count + 1
+  end
+
+let begin_call_pre c site =
+  if c.enabled && c.count < c.limit then begin
+    flush_pending c;
+    c.pending <- P_pre (site, []);
+    c.count <- c.count + 1
+  end
+
+let begin_call_post c site =
+  if c.enabled && c.count < c.limit then begin
+    flush_pending c;
+    c.pending <- P_post (site, []);
+    c.count <- c.count + 1
+  end
+
+let operand c (v : Values.value) =
+  if c.enabled then
+    match c.pending with
+    | P_none -> ()  (* operand after limit cut-off: drop *)
+    | P_instr (s, ops) -> c.pending <- P_instr (s, v :: ops)
+    | P_pre (s, ops) -> c.pending <- P_pre (s, v :: ops)
+    | P_post (s, ops) -> c.pending <- P_post (s, v :: ops)
+
+let func_begin c f = emit c (R_func_begin f)
+let func_end c f = emit c (R_func_end f)
+
+(** Drain the collected trace (oldest first) and reset the collector —
+    the paper's "redirect the traces to offline files once one EOSVM
+    thread finishes". *)
+let drain c : record list =
+  flush_pending c;
+  let r = List.rev c.records in
+  c.records <- [];
+  c.count <- 0;
+  r
+
+let reset c =
+  c.records <- [];
+  c.pending <- P_none;
+  c.count <- 0

@@ -1,0 +1,65 @@
+(** Execution traces.
+
+    The instrumented contract calls hook imports in the [wasai] namespace
+    while it runs; the collector assembles the flat event stream into
+    structured records τ(i, p⃗) — the trace format of the paper's §3.1.
+    Only instrumented contracts import the hooks, so auxiliary contracts
+    never pollute the trace. *)
+
+module Wasm = Wasai_wasm
+
+(** Static description of one instrumented instruction site. *)
+type site = {
+  site_id : int;
+  site_func : int;  (** absolute function index in the instrumented module *)
+  site_instr : Wasm.Ast.instr;  (** post-remap instruction *)
+}
+
+(** Static metadata produced by the instrumenter (Wasabi's static-info
+    file). *)
+type meta = {
+  sites : site array;
+  instrumented : Wasm.Ast.module_;
+  original : Wasm.Ast.module_;
+  hook_base : int;  (** first hook import index *)
+  hook_count : int;
+  orig_import_count : int;
+}
+
+val site_of : meta -> int -> site
+val import_name : meta -> int -> string option
+
+val find_env_import : meta -> string -> int option
+(** Absolute index of an [env] import, if the contract imports it. *)
+
+(** {1 Structured records} *)
+
+type record =
+  | R_instr of { site : int; ops : Wasm.Values.value list }
+  | R_call_pre of { site : int; args : Wasm.Values.value list }
+  | R_call_post of { site : int; results : Wasm.Values.value list }
+  | R_func_begin of int  (** absolute function index *)
+  | R_func_end of int
+
+val record_site : record -> int option
+val string_of_record : meta -> record -> string
+
+(** {1 Collector} *)
+
+type t
+
+val create : ?limit:int -> unit -> t
+
+val begin_instr : t -> int -> unit
+val begin_call_pre : t -> int -> unit
+val begin_call_post : t -> int -> unit
+val operand : t -> Wasm.Values.value -> unit
+val func_begin : t -> int -> unit
+val func_end : t -> int -> unit
+
+val drain : t -> record list
+(** Take the collected trace (oldest first) and reset — the paper's
+    "redirect the traces to offline files once one EOSVM thread
+    finishes". *)
+
+val reset : t -> unit

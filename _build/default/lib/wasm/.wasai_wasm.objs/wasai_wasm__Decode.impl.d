@@ -1,0 +1,1 @@
+lib/wasm/decode.ml: Array Ast Char Int32 Int64 List Printf String Types Values

@@ -1,0 +1,1 @@
+lib/wasm/encode.ml: Array Ast Buffer Char Fun Int32 Int64 List String Types Values

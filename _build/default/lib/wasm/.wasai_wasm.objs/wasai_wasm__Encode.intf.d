@@ -1,0 +1,1 @@
+lib/wasm/encode.mli: Ast Buffer

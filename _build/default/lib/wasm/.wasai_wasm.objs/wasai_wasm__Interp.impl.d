@@ -1,0 +1,1 @@
+lib/wasm/interp.ml: Array Ast Convert Float Fun I32x I64x Int32 Int64 List Memory Printf Types Values

@@ -1,0 +1,1 @@
+lib/wasm/memory.ml: Ast Bytes Char Int32 Int64 String Types Values

@@ -1,0 +1,1 @@
+lib/wasm/memory.mli: Ast Types Values

@@ -1,0 +1,1 @@
+lib/wasm/text.ml: Ast Buffer Builder Char Hashtbl Int32 Int64 List Printf String Types Validate Values

@@ -1,0 +1,1 @@
+lib/wasm/text.mli: Ast

@@ -1,0 +1,1 @@
+lib/wasm/types.mli: Format

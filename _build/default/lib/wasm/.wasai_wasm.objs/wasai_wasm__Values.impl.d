@@ -1,0 +1,1 @@
+lib/wasm/values.ml: Float Format Int32 Int64 Printf Stdlib Types

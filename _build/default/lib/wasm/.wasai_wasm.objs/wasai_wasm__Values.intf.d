@@ -1,0 +1,1 @@
+lib/wasm/values.mli: Format Types

@@ -1,0 +1,1 @@
+lib/wasm/wat.ml: Array Ast Buffer Char Int32 List Printf String Types Values

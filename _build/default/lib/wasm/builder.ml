@@ -1,0 +1,273 @@
+(** Programmatic module construction.
+
+    The benchmark generator assembles whole contracts with this builder,
+    then encodes them to real binaries.  Function indices are allocated in
+    the order of declaration, with all imports first (mirroring the binary
+    index space); declaring a function before setting its body supports
+    recursion and indirect-call tables. *)
+
+type t = {
+  mutable types : Types.func_type list;  (** reversed *)
+  mutable n_types : int;
+  mutable imports : Ast.import list;  (** reversed *)
+  mutable n_func_imports : int;
+  mutable funcs : Ast.func option array;
+  mutable n_funcs : int;
+  mutable globals : Ast.global list;  (** reversed *)
+  mutable n_globals : int;
+  mutable exports : Ast.export list;  (** reversed *)
+  mutable memory : Types.memory_type option;
+  mutable table : Types.table_type option;
+  mutable elems : Ast.elem_segment list;  (** reversed *)
+  mutable datas : Ast.data_segment list;  (** reversed *)
+  mutable start : int option;
+  mutable sealed_imports : bool;
+}
+
+let create () =
+  {
+    types = [];
+    n_types = 0;
+    imports = [];
+    n_func_imports = 0;
+    funcs = Array.make 8 None;
+    n_funcs = 0;
+    globals = [];
+    n_globals = 0;
+    exports = [];
+    memory = None;
+    table = None;
+    elems = [];
+    datas = [];
+    start = None;
+    sealed_imports = false;
+  }
+
+(** Intern a function type, returning its index. *)
+let add_type b (ft : Types.func_type) : int =
+  let rec find i = function
+    | [] -> None
+    | t :: rest ->
+        if Types.equal_func_type t ft then Some (b.n_types - 1 - i)
+        else find (i + 1) rest
+  in
+  match find 0 b.types with
+  | Some i -> i
+  | None ->
+      b.types <- ft :: b.types;
+      b.n_types <- b.n_types + 1;
+      b.n_types - 1
+
+(** Import a function; must precede all local function declarations. *)
+let import_func b ~module_:m ~name (ft : Types.func_type) : int =
+  if b.sealed_imports then
+    invalid_arg "Builder.import_func: imports must precede local functions";
+  let ti = add_type b ft in
+  b.imports <-
+    { Ast.imp_module = m; imp_name = name; idesc = Ast.Func_import ti }
+    :: b.imports;
+  b.n_func_imports <- b.n_func_imports + 1;
+  b.n_func_imports - 1
+
+let ensure_capacity b =
+  if b.n_funcs >= Array.length b.funcs then begin
+    let bigger = Array.make (2 * Array.length b.funcs) None in
+    Array.blit b.funcs 0 bigger 0 b.n_funcs;
+    b.funcs <- bigger
+  end
+
+(** Reserve a function index; the body is supplied later via {!set_body}. *)
+let declare_func b ?name (ft : Types.func_type) : int =
+  b.sealed_imports <- true;
+  ensure_capacity b;
+  let ti = add_type b ft in
+  let idx = b.n_func_imports + b.n_funcs in
+  b.funcs.(b.n_funcs) <-
+    Some { Ast.ftype = ti; locals = []; body = [ Ast.Unreachable ]; fname = name };
+  b.n_funcs <- b.n_funcs + 1;
+  idx
+
+let set_body b idx ?(locals = []) body =
+  let local_idx = idx - b.n_func_imports in
+  if local_idx < 0 || local_idx >= b.n_funcs then
+    invalid_arg "Builder.set_body: not a local function index";
+  match b.funcs.(local_idx) with
+  | None -> assert false
+  | Some f -> b.funcs.(local_idx) <- Some { f with Ast.locals; body }
+
+(** Declare a function and set its body at once. *)
+let add_func b ?name ?(locals = []) (ft : Types.func_type) body : int =
+  let idx = declare_func b ?name ft in
+  set_body b idx ~locals body;
+  idx
+
+let add_global b ?(mut = Types.Mutable) (init : Values.value) : int =
+  b.globals <-
+    {
+      Ast.gtype = { Types.gt_mut = mut; gt_type = Values.type_of init };
+      ginit = [ Ast.Const init ];
+    }
+    :: b.globals;
+  b.n_globals <- b.n_globals + 1;
+  b.n_globals - 1
+
+let add_memory b ?max pages =
+  b.memory <- Some { Types.mem_limits = { Types.lim_min = pages; lim_max = max } }
+
+let add_table b size =
+  b.table <-
+    Some { Types.tbl_limits = { Types.lim_min = size; lim_max = Some size } }
+
+let add_elem b ~offset (funcs : int list) =
+  (match b.table with
+   | None -> add_table b (offset + List.length funcs)
+   | Some tt ->
+       let needed = offset + List.length funcs in
+       if tt.tbl_limits.lim_min < needed then
+         b.table <-
+           Some { Types.tbl_limits = { Types.lim_min = needed; lim_max = Some needed } });
+  b.elems <-
+    { Ast.e_offset = [ Ast.Const (Values.I32 (Int32.of_int offset)) ]; e_init = funcs }
+    :: b.elems
+
+let add_data b ~offset (s : string) =
+  b.datas <-
+    { Ast.d_offset = [ Ast.Const (Values.I32 (Int32.of_int offset)) ]; d_init = s }
+    :: b.datas
+
+let export_func b name idx =
+  b.exports <- { Ast.ename = name; edesc = Ast.Func_export idx } :: b.exports
+
+let export_memory b name =
+  b.exports <- { Ast.ename = name; edesc = Ast.Memory_export 0 } :: b.exports
+
+let set_start b idx = b.start <- Some idx
+
+let build b : Ast.module_ =
+  {
+    Ast.types = Array.of_list (List.rev b.types);
+    imports = List.rev b.imports;
+    funcs =
+      Array.init b.n_funcs (fun i ->
+          match b.funcs.(i) with Some f -> f | None -> assert false);
+    tables = (match b.table with Some t -> [ t ] | None -> []);
+    memories = (match b.memory with Some m -> [ m ] | None -> []);
+    globals = Array.of_list (List.rev b.globals);
+    exports = List.rev b.exports;
+    start = b.start;
+    elems = List.rev b.elems;
+    datas = List.rev b.datas;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Instruction combinators                                             *)
+(* ------------------------------------------------------------------ *)
+
+(** Short-hand constructors for instruction sequences; open this module
+    locally when assembling function bodies. *)
+module I = struct
+  let i32 (v : int) = Ast.Const (Values.I32 (Int32.of_int v))
+  let i32l (v : int32) = Ast.Const (Values.I32 v)
+  let i64 (v : int64) = Ast.Const (Values.I64 v)
+  let f32 (v : float) = Ast.Const (Values.F32 (Values.to_f32 v))
+  let f64 (v : float) = Ast.Const (Values.F64 v)
+  let local_get n = Ast.Local_get n
+  let local_set n = Ast.Local_set n
+  let local_tee n = Ast.Local_tee n
+  let global_get n = Ast.Global_get n
+  let global_set n = Ast.Global_set n
+  let call f = Ast.Call f
+  let call_indirect ti = Ast.Call_indirect ti
+  let drop = Ast.Drop
+  let select = Ast.Select
+  let nop = Ast.Nop
+  let unreachable = Ast.Unreachable
+  let return = Ast.Return
+  let br n = Ast.Br n
+  let br_if n = Ast.Br_if n
+  let br_table ts d = Ast.Br_table (ts, d)
+  let block ?result body = Ast.Block (result, body)
+  let loop ?result body = Ast.Loop (result, body)
+  let if_ ?result then_ else_ = Ast.If (result, then_, else_)
+
+  let i32_eqz = Ast.Eqz Types.I32
+  let i64_eqz = Ast.Eqz Types.I64
+  let i32_eq = Ast.Int_compare (Types.I32, Ast.Eq)
+  let i32_ne = Ast.Int_compare (Types.I32, Ast.Ne)
+  let i32_lt_s = Ast.Int_compare (Types.I32, Ast.Lt_s)
+  let i32_lt_u = Ast.Int_compare (Types.I32, Ast.Lt_u)
+  let i32_gt_s = Ast.Int_compare (Types.I32, Ast.Gt_s)
+  let i32_gt_u = Ast.Int_compare (Types.I32, Ast.Gt_u)
+  let i32_le_s = Ast.Int_compare (Types.I32, Ast.Le_s)
+  let i32_ge_s = Ast.Int_compare (Types.I32, Ast.Ge_s)
+  let i32_ge_u = Ast.Int_compare (Types.I32, Ast.Ge_u)
+  let i64_eq = Ast.Int_compare (Types.I64, Ast.Eq)
+  let i64_ne = Ast.Int_compare (Types.I64, Ast.Ne)
+  let i64_lt_s = Ast.Int_compare (Types.I64, Ast.Lt_s)
+  let i64_lt_u = Ast.Int_compare (Types.I64, Ast.Lt_u)
+  let i64_gt_s = Ast.Int_compare (Types.I64, Ast.Gt_s)
+  let i64_gt_u = Ast.Int_compare (Types.I64, Ast.Gt_u)
+  let i64_le_s = Ast.Int_compare (Types.I64, Ast.Le_s)
+  let i64_ge_s = Ast.Int_compare (Types.I64, Ast.Ge_s)
+  let i64_ge_u = Ast.Int_compare (Types.I64, Ast.Ge_u)
+
+  let i32_add = Ast.Int_binary (Types.I32, Ast.Add)
+  let i32_sub = Ast.Int_binary (Types.I32, Ast.Sub)
+  let i32_mul = Ast.Int_binary (Types.I32, Ast.Mul)
+  let i32_and = Ast.Int_binary (Types.I32, Ast.And)
+  let i32_or = Ast.Int_binary (Types.I32, Ast.Or)
+  let i32_xor = Ast.Int_binary (Types.I32, Ast.Xor)
+  let i32_shl = Ast.Int_binary (Types.I32, Ast.Shl)
+  let i32_shr_u = Ast.Int_binary (Types.I32, Ast.Shr_u)
+  let i32_rem_u = Ast.Int_binary (Types.I32, Ast.Rem_u)
+  let i32_div_u = Ast.Int_binary (Types.I32, Ast.Div_u)
+  let i32_popcnt = Ast.Int_unary (Types.I32, Ast.Popcnt)
+  let i64_add = Ast.Int_binary (Types.I64, Ast.Add)
+  let i64_sub = Ast.Int_binary (Types.I64, Ast.Sub)
+  let i64_mul = Ast.Int_binary (Types.I64, Ast.Mul)
+  let i64_and = Ast.Int_binary (Types.I64, Ast.And)
+  let i64_or = Ast.Int_binary (Types.I64, Ast.Or)
+  let i64_xor = Ast.Int_binary (Types.I64, Ast.Xor)
+  let i64_shl = Ast.Int_binary (Types.I64, Ast.Shl)
+  let i64_shr_u = Ast.Int_binary (Types.I64, Ast.Shr_u)
+  let i64_rem_u = Ast.Int_binary (Types.I64, Ast.Rem_u)
+  let i64_rem_s = Ast.Int_binary (Types.I64, Ast.Rem_s)
+  let i64_div_u = Ast.Int_binary (Types.I64, Ast.Div_u)
+  let i64_popcnt = Ast.Int_unary (Types.I64, Ast.Popcnt)
+
+  let i32_wrap_i64 = Ast.Convert Ast.I32_wrap_i64
+  let i64_extend_i32_u = Ast.Convert Ast.I64_extend_i32_u
+  let i64_extend_i32_s = Ast.Convert Ast.I64_extend_i32_s
+
+  let load ty ?(offset = 0) () =
+    Ast.Load
+      { Ast.l_ty = ty; l_pack = None; l_align = 0; l_offset = Int32.of_int offset }
+
+  let i32_load ?(offset = 0) () = load Types.I32 ~offset ()
+  let i64_load ?(offset = 0) () = load Types.I64 ~offset ()
+
+  let i32_load8_u ?(offset = 0) () =
+    Ast.Load
+      {
+        Ast.l_ty = Types.I32;
+        l_pack = Some (Ast.Pack8, Ast.ZX);
+        l_align = 0;
+        l_offset = Int32.of_int offset;
+      }
+
+  let store ty ?(offset = 0) () =
+    Ast.Store
+      { Ast.s_ty = ty; s_pack = None; s_align = 0; s_offset = Int32.of_int offset }
+
+  let i32_store ?(offset = 0) () = store Types.I32 ~offset ()
+  let i64_store ?(offset = 0) () = store Types.I64 ~offset ()
+
+  let i32_store8 ?(offset = 0) () =
+    Ast.Store
+      {
+        Ast.s_ty = Types.I32;
+        s_pack = Some Ast.Pack8;
+        s_align = 0;
+        s_offset = Int32.of_int offset;
+      }
+end

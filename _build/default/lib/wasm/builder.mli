@@ -1,0 +1,128 @@
+(** Programmatic module construction.  Function indices are allocated in
+    declaration order with all imports first (mirroring the binary index
+    space); declaring a function before setting its body supports
+    recursion and indirect-call tables. *)
+
+type t
+
+val create : unit -> t
+
+val add_type : t -> Types.func_type -> int
+(** Intern a function type, returning its index. *)
+
+val import_func : t -> module_:string -> name:string -> Types.func_type -> int
+(** Import a function; must precede all local function declarations. *)
+
+val declare_func : t -> ?name:string -> Types.func_type -> int
+(** Reserve a function index; supply the body later with {!set_body}. *)
+
+val set_body :
+  t -> int -> ?locals:Types.value_type list -> Ast.instr list -> unit
+
+val add_func :
+  t ->
+  ?name:string ->
+  ?locals:Types.value_type list ->
+  Types.func_type ->
+  Ast.instr list ->
+  int
+(** Declare a function and set its body at once; returns its index. *)
+
+val add_global : t -> ?mut:Types.mutability -> Values.value -> int
+val add_memory : t -> ?max:int -> int -> unit
+val add_table : t -> int -> unit
+
+val add_elem : t -> offset:int -> int list -> unit
+(** Populate the indirect-call table (grows it as needed). *)
+
+val add_data : t -> offset:int -> string -> unit
+val export_func : t -> string -> int -> unit
+val export_memory : t -> string -> unit
+val set_start : t -> int -> unit
+
+val build : t -> Ast.module_
+
+(** Short-hand instruction constructors; open locally when assembling
+    bodies. *)
+module I : sig
+  val i32 : int -> Ast.instr
+  val i32l : int32 -> Ast.instr
+  val i64 : int64 -> Ast.instr
+  val f32 : float -> Ast.instr
+  val f64 : float -> Ast.instr
+  val local_get : int -> Ast.instr
+  val local_set : int -> Ast.instr
+  val local_tee : int -> Ast.instr
+  val global_get : int -> Ast.instr
+  val global_set : int -> Ast.instr
+  val call : int -> Ast.instr
+  val call_indirect : int -> Ast.instr
+  val drop : Ast.instr
+  val select : Ast.instr
+  val nop : Ast.instr
+  val unreachable : Ast.instr
+  val return : Ast.instr
+  val br : int -> Ast.instr
+  val br_if : int -> Ast.instr
+  val br_table : int list -> int -> Ast.instr
+  val block : ?result:Types.value_type -> Ast.instr list -> Ast.instr
+  val loop : ?result:Types.value_type -> Ast.instr list -> Ast.instr
+
+  val if_ :
+    ?result:Types.value_type -> Ast.instr list -> Ast.instr list -> Ast.instr
+
+  val i32_eqz : Ast.instr
+  val i64_eqz : Ast.instr
+  val i32_eq : Ast.instr
+  val i32_ne : Ast.instr
+  val i32_lt_s : Ast.instr
+  val i32_lt_u : Ast.instr
+  val i32_gt_s : Ast.instr
+  val i32_gt_u : Ast.instr
+  val i32_le_s : Ast.instr
+  val i32_ge_s : Ast.instr
+  val i32_ge_u : Ast.instr
+  val i64_eq : Ast.instr
+  val i64_ne : Ast.instr
+  val i64_lt_s : Ast.instr
+  val i64_lt_u : Ast.instr
+  val i64_gt_s : Ast.instr
+  val i64_gt_u : Ast.instr
+  val i64_le_s : Ast.instr
+  val i64_ge_s : Ast.instr
+  val i64_ge_u : Ast.instr
+  val i32_add : Ast.instr
+  val i32_sub : Ast.instr
+  val i32_mul : Ast.instr
+  val i32_and : Ast.instr
+  val i32_or : Ast.instr
+  val i32_xor : Ast.instr
+  val i32_shl : Ast.instr
+  val i32_shr_u : Ast.instr
+  val i32_rem_u : Ast.instr
+  val i32_div_u : Ast.instr
+  val i32_popcnt : Ast.instr
+  val i64_add : Ast.instr
+  val i64_sub : Ast.instr
+  val i64_mul : Ast.instr
+  val i64_and : Ast.instr
+  val i64_or : Ast.instr
+  val i64_xor : Ast.instr
+  val i64_shl : Ast.instr
+  val i64_shr_u : Ast.instr
+  val i64_rem_u : Ast.instr
+  val i64_rem_s : Ast.instr
+  val i64_div_u : Ast.instr
+  val i64_popcnt : Ast.instr
+  val i32_wrap_i64 : Ast.instr
+  val i64_extend_i32_u : Ast.instr
+  val i64_extend_i32_s : Ast.instr
+  val load : Types.num_type -> ?offset:int -> unit -> Ast.instr
+  val i32_load : ?offset:int -> unit -> Ast.instr
+  val i64_load : ?offset:int -> unit -> Ast.instr
+  val i32_load8_u : ?offset:int -> unit -> Ast.instr
+  val store : Types.num_type -> ?offset:int -> unit -> Ast.instr
+  val i32_store : ?offset:int -> unit -> Ast.instr
+  val i64_store : ?offset:int -> unit -> Ast.instr
+  val i32_store8 : ?offset:int -> unit -> Ast.instr
+end

@@ -1,0 +1,15 @@
+(** Decoder for the Wasm binary format, the inverse of {!Encode}. *)
+
+exception Decode_error of int * string
+(** Byte offset and message of the first malformed construct. *)
+
+type stream
+(** Byte-stream cursor (exposed for tests of the LEB128 primitives). *)
+
+val of_string : ?pos:int -> ?limit:int -> string -> stream
+val u64 : stream -> int64
+val u32 : stream -> int
+val s64 : stream -> int64
+
+val decode : string -> Ast.module_
+(** Decode a complete binary module. *)

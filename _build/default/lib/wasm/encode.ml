@@ -1,0 +1,525 @@
+(** Encoder for the Wasm binary format (MVP sections 1–11).
+
+    Together with {!Decode} this gives a faithful round-trip through the
+    real bytecode, so the instrumentation pipeline operates on genuine
+    binaries rather than on in-memory ASTs only. *)
+
+
+module Buf = struct
+  type t = Buffer.t
+
+  let create () = Buffer.create 1024
+  let byte b buf = Buffer.add_char buf (Char.chr (b land 0xff))
+
+  (* Unsigned LEB128. *)
+  let rec u64 (v : int64) buf =
+    let low = Int64.to_int (Int64.logand v 0x7fL) in
+    let rest = Int64.shift_right_logical v 7 in
+    if rest = 0L then byte low buf
+    else begin
+      byte (low lor 0x80) buf;
+      u64 rest buf
+    end
+
+  let u32 (v : int) buf = u64 (Int64.of_int v) buf
+
+  (* Signed LEB128. *)
+  let rec s64 (v : int64) buf =
+    let low = Int64.to_int (Int64.logand v 0x7fL) in
+    let rest = Int64.shift_right v 7 in
+    let done_ =
+      (rest = 0L && low land 0x40 = 0) || (rest = -1L && low land 0x40 <> 0)
+    in
+    if done_ then byte low buf
+    else begin
+      byte (low lor 0x80) buf;
+      s64 rest buf
+    end
+
+  let s32 (v : int32) buf = s64 (Int64.of_int32 v) buf
+
+  let f32 (v : float) buf =
+    let bits = Int32.bits_of_float v in
+    for i = 0 to 3 do
+      byte (Int32.to_int (Int32.shift_right_logical bits (8 * i)) land 0xff) buf
+    done
+
+  let f64 (v : float) buf =
+    let bits = Int64.bits_of_float v in
+    for i = 0 to 7 do
+      byte (Int64.to_int (Int64.shift_right_logical bits (8 * i)) land 0xff) buf
+    done
+
+  let name (s : string) buf =
+    u32 (String.length s) buf;
+    Buffer.add_string buf s
+
+  let bytes (s : string) buf =
+    u32 (String.length s) buf;
+    Buffer.add_string buf s
+end
+
+let value_type_byte : Types.value_type -> int = function
+  | Types.I32 -> 0x7f
+  | Types.I64 -> 0x7e
+  | Types.F32 -> 0x7d
+  | Types.F64 -> 0x7c
+
+let encode_value_type buf t = Buf.byte (value_type_byte t) buf
+
+let encode_block_type buf : Ast.block_type -> unit = function
+  | None -> Buf.byte 0x40 buf
+  | Some t -> encode_value_type buf t
+
+let encode_func_type buf (ft : Types.func_type) =
+  Buf.byte 0x60 buf;
+  Buf.u32 (List.length ft.params) buf;
+  List.iter (encode_value_type buf) ft.params;
+  Buf.u32 (List.length ft.results) buf;
+  List.iter (encode_value_type buf) ft.results
+
+let encode_limits buf (l : Types.limits) =
+  match l.lim_max with
+  | None ->
+      Buf.byte 0x00 buf;
+      Buf.u32 l.lim_min buf
+  | Some m ->
+      Buf.byte 0x01 buf;
+      Buf.u32 l.lim_min buf;
+      Buf.u32 m buf
+
+let encode_global_type buf (g : Types.global_type) =
+  encode_value_type buf g.gt_type;
+  Buf.byte (match g.gt_mut with Types.Immutable -> 0x00 | Types.Mutable -> 0x01) buf
+
+(* Opcode assignment per the spec's binary format. *)
+let int_relop_base = function
+  | Types.I32 -> 0x46
+  | Types.I64 -> 0x51
+  | _ -> invalid_arg "int relop type"
+
+let encode_int_relop buf ty (op : Ast.int_relop) =
+  let off =
+    match op with
+    | Ast.Eq -> 0 | Ast.Ne -> 1 | Ast.Lt_s -> 2 | Ast.Lt_u -> 3
+    | Ast.Gt_s -> 4 | Ast.Gt_u -> 5 | Ast.Le_s -> 6 | Ast.Le_u -> 7
+    | Ast.Ge_s -> 8 | Ast.Ge_u -> 9
+  in
+  Buf.byte (int_relop_base ty + off) buf
+
+let encode_float_relop buf ty (op : Ast.float_relop) =
+  let base =
+    match ty with
+    | Types.F32 -> 0x5b
+    | Types.F64 -> 0x61
+    | _ -> invalid_arg "float relop type"
+  in
+  let off =
+    match op with
+    | Ast.Feq -> 0 | Ast.Fne -> 1 | Ast.Flt -> 2 | Ast.Fgt -> 3
+    | Ast.Fle -> 4 | Ast.Fge -> 5
+  in
+  Buf.byte (base + off) buf
+
+let encode_int_unop buf ty (op : Ast.int_unop) =
+  let base =
+    match ty with
+    | Types.I32 -> 0x67
+    | Types.I64 -> 0x79
+    | _ -> invalid_arg "int unop type"
+  in
+  let off = match op with Ast.Clz -> 0 | Ast.Ctz -> 1 | Ast.Popcnt -> 2 in
+  Buf.byte (base + off) buf
+
+let encode_int_binop buf ty (op : Ast.int_binop) =
+  let base =
+    match ty with
+    | Types.I32 -> 0x6a
+    | Types.I64 -> 0x7c
+    | _ -> invalid_arg "int binop type"
+  in
+  let off =
+    match op with
+    | Ast.Add -> 0 | Ast.Sub -> 1 | Ast.Mul -> 2
+    | Ast.Div_s -> 3 | Ast.Div_u -> 4 | Ast.Rem_s -> 5 | Ast.Rem_u -> 6
+    | Ast.And -> 7 | Ast.Or -> 8 | Ast.Xor -> 9
+    | Ast.Shl -> 10 | Ast.Shr_s -> 11 | Ast.Shr_u -> 12
+    | Ast.Rotl -> 13 | Ast.Rotr -> 14
+  in
+  Buf.byte (base + off) buf
+
+let encode_float_unop buf ty (op : Ast.float_unop) =
+  let base =
+    match ty with
+    | Types.F32 -> 0x8b
+    | Types.F64 -> 0x99
+    | _ -> invalid_arg "float unop type"
+  in
+  let off =
+    match op with
+    | Ast.Fabs -> 0 | Ast.Fneg -> 1 | Ast.Fceil -> 2 | Ast.Ffloor -> 3
+    | Ast.Ftrunc -> 4 | Ast.Fnearest -> 5 | Ast.Fsqrt -> 6
+  in
+  Buf.byte (base + off) buf
+
+let encode_float_binop buf ty (op : Ast.float_binop) =
+  let base =
+    match ty with
+    | Types.F32 -> 0x92
+    | Types.F64 -> 0xa0
+    | _ -> invalid_arg "float binop type"
+  in
+  let off =
+    match op with
+    | Ast.Fadd -> 0 | Ast.Fsub -> 1 | Ast.Fmul -> 2 | Ast.Fdiv -> 3
+    | Ast.Fmin -> 4 | Ast.Fmax -> 5 | Ast.Fcopysign -> 6
+  in
+  Buf.byte (base + off) buf
+
+let cvtop_byte : Ast.cvtop -> int = function
+  | Ast.I32_wrap_i64 -> 0xa7
+  | Ast.I32_trunc_f32_s -> 0xa8
+  | Ast.I32_trunc_f32_u -> 0xa9
+  | Ast.I32_trunc_f64_s -> 0xaa
+  | Ast.I32_trunc_f64_u -> 0xab
+  | Ast.I64_extend_i32_s -> 0xac
+  | Ast.I64_extend_i32_u -> 0xad
+  | Ast.I64_trunc_f32_s -> 0xae
+  | Ast.I64_trunc_f32_u -> 0xaf
+  | Ast.I64_trunc_f64_s -> 0xb0
+  | Ast.I64_trunc_f64_u -> 0xb1
+  | Ast.F32_convert_i32_s -> 0xb2
+  | Ast.F32_convert_i32_u -> 0xb3
+  | Ast.F32_convert_i64_s -> 0xb4
+  | Ast.F32_convert_i64_u -> 0xb5
+  | Ast.F32_demote_f64 -> 0xb6
+  | Ast.F64_convert_i32_s -> 0xb7
+  | Ast.F64_convert_i32_u -> 0xb8
+  | Ast.F64_convert_i64_s -> 0xb9
+  | Ast.F64_convert_i64_u -> 0xba
+  | Ast.F64_promote_f32 -> 0xbb
+  | Ast.I32_reinterpret_f32 -> 0xbc
+  | Ast.I64_reinterpret_f64 -> 0xbd
+  | Ast.F32_reinterpret_i32 -> 0xbe
+  | Ast.F64_reinterpret_i64 -> 0xbf
+
+let loadop_byte (l : Ast.loadop) =
+  match (l.l_ty, l.l_pack) with
+  | Types.I32, None -> 0x28
+  | Types.I64, None -> 0x29
+  | Types.F32, None -> 0x2a
+  | Types.F64, None -> 0x2b
+  | Types.I32, Some (Ast.Pack8, Ast.SX) -> 0x2c
+  | Types.I32, Some (Ast.Pack8, Ast.ZX) -> 0x2d
+  | Types.I32, Some (Ast.Pack16, Ast.SX) -> 0x2e
+  | Types.I32, Some (Ast.Pack16, Ast.ZX) -> 0x2f
+  | Types.I64, Some (Ast.Pack8, Ast.SX) -> 0x30
+  | Types.I64, Some (Ast.Pack8, Ast.ZX) -> 0x31
+  | Types.I64, Some (Ast.Pack16, Ast.SX) -> 0x32
+  | Types.I64, Some (Ast.Pack16, Ast.ZX) -> 0x33
+  | Types.I64, Some (Ast.Pack32, Ast.SX) -> 0x34
+  | Types.I64, Some (Ast.Pack32, Ast.ZX) -> 0x35
+  | _ -> invalid_arg "invalid loadop"
+
+let storeop_byte (s : Ast.storeop) =
+  match (s.s_ty, s.s_pack) with
+  | Types.I32, None -> 0x36
+  | Types.I64, None -> 0x37
+  | Types.F32, None -> 0x38
+  | Types.F64, None -> 0x39
+  | Types.I32, Some Ast.Pack8 -> 0x3a
+  | Types.I32, Some Ast.Pack16 -> 0x3b
+  | Types.I64, Some Ast.Pack8 -> 0x3c
+  | Types.I64, Some Ast.Pack16 -> 0x3d
+  | Types.I64, Some Ast.Pack32 -> 0x3e
+  | _ -> invalid_arg "invalid storeop"
+
+let rec encode_instr buf (i : Ast.instr) =
+  match i with
+  | Ast.Unreachable -> Buf.byte 0x00 buf
+  | Ast.Nop -> Buf.byte 0x01 buf
+  | Ast.Block (bt, body) ->
+      Buf.byte 0x02 buf;
+      encode_block_type buf bt;
+      List.iter (encode_instr buf) body;
+      Buf.byte 0x0b buf
+  | Ast.Loop (bt, body) ->
+      Buf.byte 0x03 buf;
+      encode_block_type buf bt;
+      List.iter (encode_instr buf) body;
+      Buf.byte 0x0b buf
+  | Ast.If (bt, then_, else_) ->
+      Buf.byte 0x04 buf;
+      encode_block_type buf bt;
+      List.iter (encode_instr buf) then_;
+      if else_ <> [] then begin
+        Buf.byte 0x05 buf;
+        List.iter (encode_instr buf) else_
+      end;
+      Buf.byte 0x0b buf
+  | Ast.Br n ->
+      Buf.byte 0x0c buf;
+      Buf.u32 n buf
+  | Ast.Br_if n ->
+      Buf.byte 0x0d buf;
+      Buf.u32 n buf
+  | Ast.Br_table (targets, default) ->
+      Buf.byte 0x0e buf;
+      Buf.u32 (List.length targets) buf;
+      List.iter (fun t -> Buf.u32 t buf) targets;
+      Buf.u32 default buf
+  | Ast.Return -> Buf.byte 0x0f buf
+  | Ast.Call f ->
+      Buf.byte 0x10 buf;
+      Buf.u32 f buf
+  | Ast.Call_indirect ti ->
+      Buf.byte 0x11 buf;
+      Buf.u32 ti buf;
+      Buf.byte 0x00 buf (* table index, always 0 in MVP *)
+  | Ast.Drop -> Buf.byte 0x1a buf
+  | Ast.Select -> Buf.byte 0x1b buf
+  | Ast.Local_get n ->
+      Buf.byte 0x20 buf;
+      Buf.u32 n buf
+  | Ast.Local_set n ->
+      Buf.byte 0x21 buf;
+      Buf.u32 n buf
+  | Ast.Local_tee n ->
+      Buf.byte 0x22 buf;
+      Buf.u32 n buf
+  | Ast.Global_get n ->
+      Buf.byte 0x23 buf;
+      Buf.u32 n buf
+  | Ast.Global_set n ->
+      Buf.byte 0x24 buf;
+      Buf.u32 n buf
+  | Ast.Load l ->
+      Buf.byte (loadop_byte l) buf;
+      Buf.u32 l.l_align buf;
+      Buf.u64 (Int64.logand (Int64.of_int32 l.l_offset) 0xFFFF_FFFFL) buf
+  | Ast.Store s ->
+      Buf.byte (storeop_byte s) buf;
+      Buf.u32 s.s_align buf;
+      Buf.u64 (Int64.logand (Int64.of_int32 s.s_offset) 0xFFFF_FFFFL) buf
+  | Ast.Memory_size ->
+      Buf.byte 0x3f buf;
+      Buf.byte 0x00 buf
+  | Ast.Memory_grow ->
+      Buf.byte 0x40 buf;
+      Buf.byte 0x00 buf
+  | Ast.Const (Values.I32 v) ->
+      Buf.byte 0x41 buf;
+      Buf.s32 v buf
+  | Ast.Const (Values.I64 v) ->
+      Buf.byte 0x42 buf;
+      Buf.s64 v buf
+  | Ast.Const (Values.F32 v) ->
+      Buf.byte 0x43 buf;
+      Buf.f32 v buf
+  | Ast.Const (Values.F64 v) ->
+      Buf.byte 0x44 buf;
+      Buf.f64 v buf
+  | Ast.Eqz Types.I32 -> Buf.byte 0x45 buf
+  | Ast.Eqz Types.I64 -> Buf.byte 0x50 buf
+  | Ast.Eqz _ -> invalid_arg "eqz on float"
+  | Ast.Int_compare (ty, op) -> encode_int_relop buf ty op
+  | Ast.Float_compare (ty, op) -> encode_float_relop buf ty op
+  | Ast.Int_unary (ty, op) -> encode_int_unop buf ty op
+  | Ast.Int_binary (ty, op) -> encode_int_binop buf ty op
+  | Ast.Float_unary (ty, op) -> encode_float_unop buf ty op
+  | Ast.Float_binary (ty, op) -> encode_float_binop buf ty op
+  | Ast.Convert op -> Buf.byte (cvtop_byte op) buf
+
+let encode_expr buf body =
+  List.iter (encode_instr buf) body;
+  Buf.byte 0x0b buf
+
+let section buf id content =
+  if Buffer.length content > 0 then begin
+    Buf.byte id buf;
+    Buf.u32 (Buffer.length content) buf;
+    Buffer.add_buffer buf content
+  end
+
+let encode_import buf (i : Ast.import) =
+  Buf.name i.imp_module buf;
+  Buf.name i.imp_name buf;
+  match i.idesc with
+  | Ast.Func_import ti ->
+      Buf.byte 0x00 buf;
+      Buf.u32 ti buf
+  | Ast.Table_import tt ->
+      Buf.byte 0x01 buf;
+      Buf.byte 0x70 buf;
+      encode_limits buf tt.tbl_limits
+  | Ast.Memory_import mt ->
+      Buf.byte 0x02 buf;
+      encode_limits buf mt.mem_limits
+  | Ast.Global_import gt ->
+      Buf.byte 0x03 buf;
+      encode_global_type buf gt
+
+let encode_export buf (e : Ast.export) =
+  Buf.name e.ename buf;
+  match e.edesc with
+  | Ast.Func_export i ->
+      Buf.byte 0x00 buf;
+      Buf.u32 i buf
+  | Ast.Table_export i ->
+      Buf.byte 0x01 buf;
+      Buf.u32 i buf
+  | Ast.Memory_export i ->
+      Buf.byte 0x02 buf;
+      Buf.u32 i buf
+  | Ast.Global_export i ->
+      Buf.byte 0x03 buf;
+      Buf.u32 i buf
+
+(** Compress a locals list into (count, type) runs, as the code section
+    requires. *)
+let local_runs (locals : Types.value_type list) =
+  let rec go acc = function
+    | [] -> List.rev acc
+    | t :: rest -> (
+        match acc with
+        | (n, t') :: acc' when t' = t -> go ((n + 1, t) :: acc') rest
+        | _ -> go ((1, t) :: acc) rest)
+  in
+  go [] locals
+
+let encode_code buf (f : Ast.func) =
+  let body = Buf.create () in
+  let runs = local_runs f.locals in
+  Buf.u32 (List.length runs) body;
+  List.iter
+    (fun (n, t) ->
+      Buf.u32 n body;
+      encode_value_type body t)
+    runs;
+  encode_expr body f.body;
+  Buf.u32 (Buffer.length body) buf;
+  Buffer.add_buffer buf body
+
+(** Serialise a module to its binary representation. *)
+let encode (m : Ast.module_) : string =
+  let buf = Buf.create () in
+  Buffer.add_string buf "\x00asm";
+  Buffer.add_string buf "\x01\x00\x00\x00";
+  (* Type section *)
+  let s = Buf.create () in
+  if Array.length m.types > 0 then begin
+    Buf.u32 (Array.length m.types) s;
+    Array.iter (encode_func_type s) m.types
+  end;
+  section buf 1 s;
+  (* Import section *)
+  let s = Buf.create () in
+  if m.imports <> [] then begin
+    Buf.u32 (List.length m.imports) s;
+    List.iter (encode_import s) m.imports
+  end;
+  section buf 2 s;
+  (* Function section *)
+  let s = Buf.create () in
+  if Array.length m.funcs > 0 then begin
+    Buf.u32 (Array.length m.funcs) s;
+    Array.iter (fun (f : Ast.func) -> Buf.u32 f.ftype s) m.funcs
+  end;
+  section buf 3 s;
+  (* Table section *)
+  let s = Buf.create () in
+  if m.tables <> [] then begin
+    Buf.u32 (List.length m.tables) s;
+    List.iter
+      (fun (tt : Types.table_type) ->
+        Buf.byte 0x70 s;
+        encode_limits s tt.tbl_limits)
+      m.tables
+  end;
+  section buf 4 s;
+  (* Memory section *)
+  let s = Buf.create () in
+  if m.memories <> [] then begin
+    Buf.u32 (List.length m.memories) s;
+    List.iter (fun (mt : Types.memory_type) -> encode_limits s mt.mem_limits) m.memories
+  end;
+  section buf 5 s;
+  (* Global section *)
+  let s = Buf.create () in
+  if Array.length m.globals > 0 then begin
+    Buf.u32 (Array.length m.globals) s;
+    Array.iter
+      (fun (g : Ast.global) ->
+        encode_global_type s g.gtype;
+        encode_expr s g.ginit)
+      m.globals
+  end;
+  section buf 6 s;
+  (* Export section *)
+  let s = Buf.create () in
+  if m.exports <> [] then begin
+    Buf.u32 (List.length m.exports) s;
+    List.iter (encode_export s) m.exports
+  end;
+  section buf 7 s;
+  (* Start section *)
+  let s = Buf.create () in
+  (match m.start with Some f -> Buf.u32 f s | None -> ());
+  section buf 8 s;
+  (* Element section *)
+  let s = Buf.create () in
+  if m.elems <> [] then begin
+    Buf.u32 (List.length m.elems) s;
+    List.iter
+      (fun (e : Ast.elem_segment) ->
+        Buf.u32 0 s;
+        encode_expr s e.e_offset;
+        Buf.u32 (List.length e.e_init) s;
+        List.iter (fun i -> Buf.u32 i s) e.e_init)
+      m.elems
+  end;
+  section buf 9 s;
+  (* Code section *)
+  let s = Buf.create () in
+  if Array.length m.funcs > 0 then begin
+    Buf.u32 (Array.length m.funcs) s;
+    Array.iter (encode_code s) m.funcs
+  end;
+  section buf 10 s;
+  (* Data section *)
+  let s = Buf.create () in
+  if m.datas <> [] then begin
+    Buf.u32 (List.length m.datas) s;
+    List.iter
+      (fun (d : Ast.data_segment) ->
+        Buf.u32 0 s;
+        encode_expr s d.d_offset;
+        Buf.bytes d.d_init s)
+      m.datas
+  end;
+  section buf 11 s;
+  (* Custom "name" section: preserve function debug names across the
+     round-trip so instrumented binaries keep their action-function names. *)
+  let named =
+    let n_imp = Ast.num_func_imports m in
+    Array.to_list m.funcs
+    |> List.mapi (fun i (f : Ast.func) ->
+           match f.fname with Some n -> Some (n_imp + i, n) | None -> None)
+    |> List.filter_map Fun.id
+  in
+  if named <> [] then begin
+    let sub = Buf.create () in
+    Buf.u32 (List.length named) sub;
+    List.iter
+      (fun (idx, n) ->
+        Buf.u32 idx sub;
+        Buf.name n sub)
+      named;
+    let payload = Buf.create () in
+    Buf.name "name" payload;
+    Buf.byte 1 payload;
+    Buf.u32 (Buffer.length sub) payload;
+    Buffer.add_buffer payload sub;
+    section buf 0 payload
+  end;
+  Buffer.contents buf

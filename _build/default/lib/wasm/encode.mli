@@ -1,0 +1,24 @@
+(** Encoder for the Wasm binary format (MVP sections 1–11, plus the
+    custom "name" section carrying function debug names). *)
+
+(** LEB128 and fixed-width primitives (exposed for tests and tools). *)
+module Buf : sig
+  type t = Buffer.t
+
+  val create : unit -> t
+  val byte : int -> t -> unit
+  val u64 : int64 -> t -> unit
+  val u32 : int -> t -> unit
+  val s64 : int64 -> t -> unit
+  val s32 : int32 -> t -> unit
+  val f32 : float -> t -> unit
+  val f64 : float -> t -> unit
+  val name : string -> t -> unit
+  val bytes : string -> t -> unit
+end
+
+val encode_instr : Buffer.t -> Ast.instr -> unit
+val encode_expr : Buffer.t -> Ast.instr list -> unit
+
+val encode : Ast.module_ -> string
+(** Serialise a module to its binary representation. *)

@@ -1,0 +1,133 @@
+(** Growable byte-addressable linear memory.
+
+    One Wasm page is 64 KiB.  Loads and stores are little-endian and trap on
+    out-of-bounds access, as in the specification. *)
+
+let page_size = 0x10000
+
+type t = {
+  mutable data : Bytes.t;
+  mutable pages : int;
+  max_pages : int option;
+}
+
+let create (mt : Types.memory_type) =
+  let pages = mt.mem_limits.lim_min in
+  {
+    data = Bytes.make (pages * page_size) '\000';
+    pages;
+    max_pages = mt.mem_limits.lim_max;
+  }
+
+let size_pages t = t.pages
+let size_bytes t = t.pages * page_size
+
+(** Grow by [delta] pages; returns the previous size in pages, or [-1l] on
+    failure (the Wasm [memory.grow] contract). *)
+let grow t delta =
+  let old = t.pages in
+  let target = old + delta in
+  let limit = match t.max_pages with Some m -> m | None -> 0x10000 in
+  if delta < 0 || target > limit then -1l
+  else begin
+    let data = Bytes.make (target * page_size) '\000' in
+    Bytes.blit t.data 0 data 0 (Bytes.length t.data);
+    t.data <- data;
+    t.pages <- target;
+    Int32.of_int old
+  end
+
+let check_bounds t addr len =
+  if addr < 0 || len < 0 || addr + len > size_bytes t then
+    Values.trap "out of bounds memory access (addr=%d len=%d size=%d)" addr len
+      (size_bytes t)
+
+let load_byte t addr =
+  check_bounds t addr 1;
+  Char.code (Bytes.get t.data addr)
+
+let store_byte t addr b =
+  check_bounds t addr 1;
+  Bytes.set t.data addr (Char.chr (b land 0xff))
+
+(** Load [len] (1..8) little-endian bytes as an unsigned int64. *)
+let load_bytes_le t addr len =
+  check_bounds t addr len;
+  let v = ref 0L in
+  for i = len - 1 downto 0 do
+    v := Int64.logor (Int64.shift_left !v 8)
+           (Int64.of_int (Char.code (Bytes.get t.data (addr + i))))
+  done;
+  !v
+
+let store_bytes_le t addr len v =
+  check_bounds t addr len;
+  for i = 0 to len - 1 do
+    Bytes.set t.data (addr + i)
+      (Char.chr (Int64.to_int (Int64.logand (Int64.shift_right_logical v (8 * i)) 0xFFL)))
+  done
+
+let load_string t addr len =
+  check_bounds t addr len;
+  Bytes.sub_string t.data addr len
+
+let store_string t addr s =
+  check_bounds t addr (String.length s);
+  Bytes.blit_string s 0 t.data addr (String.length s)
+
+(** Sign- or zero-extend an unsigned [bits]-wide value held in an int64. *)
+let extend_to_i64 ~(signed : bool) ~bits (v : int64) =
+  if bits >= 64 then v
+  else if signed then
+    let shift = 64 - bits in
+    Int64.shift_right (Int64.shift_left v shift) shift
+  else v
+
+(** Execute a load operation at effective address [ea]. *)
+let load_value t (op : Ast.loadop) ea : Values.value =
+  let full_width = Types.size_of_num_type op.l_ty in
+  match op.l_pack with
+  | None -> (
+      let raw = load_bytes_le t ea full_width in
+      match op.l_ty with
+      | Types.I32 -> Values.I32 (Int64.to_int32 raw)
+      | Types.I64 -> Values.I64 raw
+      | Types.F32 -> Values.F32 (Int32.float_of_bits (Int64.to_int32 raw))
+      | Types.F64 -> Values.F64 (Int64.float_of_bits raw))
+  | Some (sz, ext) -> (
+      let bits =
+        match sz with Ast.Pack8 -> 8 | Ast.Pack16 -> 16 | Ast.Pack32 -> 32
+      in
+      let raw = load_bytes_le t ea (bits / 8) in
+      let v = extend_to_i64 ~signed:(ext = Ast.SX) ~bits raw in
+      match op.l_ty with
+      | Types.I32 -> Values.I32 (Int64.to_int32 v)
+      | Types.I64 -> Values.I64 v
+      | Types.F32 | Types.F64 -> Values.trap "packed float load")
+
+(** Execute a store operation at effective address [ea]. *)
+let store_value t (op : Ast.storeop) ea (v : Values.value) =
+  let raw = Values.raw_bits v in
+  let width =
+    match op.s_pack with
+    | None -> Types.size_of_num_type op.s_ty
+    | Some Ast.Pack8 -> 1
+    | Some Ast.Pack16 -> 2
+    | Some Ast.Pack32 -> 4
+  in
+  store_bytes_le t ea width raw
+
+(** Number of bytes moved by a load operation. *)
+let loadop_width (op : Ast.loadop) =
+  match op.l_pack with
+  | None -> Types.size_of_num_type op.l_ty
+  | Some (Ast.Pack8, _) -> 1
+  | Some (Ast.Pack16, _) -> 2
+  | Some (Ast.Pack32, _) -> 4
+
+let storeop_width (op : Ast.storeop) =
+  match op.s_pack with
+  | None -> Types.size_of_num_type op.s_ty
+  | Some Ast.Pack8 -> 1
+  | Some Ast.Pack16 -> 2
+  | Some Ast.Pack32 -> 4

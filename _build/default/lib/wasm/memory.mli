@@ -1,0 +1,38 @@
+(** Growable byte-addressable linear memory (one Wasm page = 64 KiB).
+    Loads and stores are little-endian and trap on out-of-bounds access. *)
+
+val page_size : int
+
+type t
+
+val create : Types.memory_type -> t
+val size_pages : t -> int
+val size_bytes : t -> int
+
+val grow : t -> int -> int32
+(** Grow by N pages; returns the previous size, or [-1l] on failure (the
+    [memory.grow] contract). *)
+
+val check_bounds : t -> int -> int -> unit
+val load_byte : t -> int -> int
+val store_byte : t -> int -> int -> unit
+
+val load_bytes_le : t -> int -> int -> int64
+(** Load 1..8 little-endian bytes as an unsigned value. *)
+
+val store_bytes_le : t -> int -> int -> int64 -> unit
+val load_string : t -> int -> int -> string
+val store_string : t -> int -> string -> unit
+
+val extend_to_i64 : signed:bool -> bits:int -> int64 -> int64
+(** Sign- or zero-extend an unsigned [bits]-wide value. *)
+
+val load_value : t -> Ast.loadop -> int -> Values.value
+(** Execute a load operation at an effective address. *)
+
+val store_value : t -> Ast.storeop -> int -> Values.value -> unit
+
+val loadop_width : Ast.loadop -> int
+(** Bytes moved by the operation. *)
+
+val storeop_width : Ast.storeop -> int

@@ -1,0 +1,573 @@
+(** Parser for the WAT text subset {!Wat} prints.
+
+    Supported grammar (s-expressions; folded control flow, flat plain
+    instructions):
+
+    {v
+    (module
+      (import "env" "f" (func $f (param i64 i32) (result i32)))
+      (import "env" "mem" (memory 1))
+      (memory 2 16)
+      (global $g (mut i64) (i64.const 7))
+      (table 4 funcref)
+      (elem (i32.const 0) $a $b 3)
+      (data (i32.const 64) "bytes\00")
+      (func $a (param i64) (result i64) (local i32 i32)
+        local.get 0
+        i64.const 1
+        i64.add
+        (block (result i64) ... )
+        (if (result i64) (then ...) (else ...)))
+      (export "apply" (func $a))
+      (start $a))
+    v}
+
+    Function references may be [$names] or numeric indices; locals,
+    globals and labels are numeric.  Load/store offsets are written
+    [offset=N]. *)
+
+exception Parse_error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Parse_error s)) fmt
+
+(* ------------------------------------------------------------------ *)
+(* S-expression lexing and reading                                     *)
+(* ------------------------------------------------------------------ *)
+
+type sexp = Atom of string | Str of string | List of sexp list
+
+let lex (src : string) : string list =
+  let out = ref [] in
+  let buf = Buffer.create 16 in
+  let flush () =
+    if Buffer.length buf > 0 then begin
+      out := Buffer.contents buf :: !out;
+      Buffer.clear buf
+    end
+  in
+  let n = String.length src in
+  let i = ref 0 in
+  while !i < n do
+    (match src.[!i] with
+     | '(' when !i + 1 < n && src.[!i + 1] = ';' ->
+         (* block comment: skip to ";)" *)
+         flush ();
+         i := !i + 2;
+         while
+           !i + 1 < n && not (src.[!i] = ';' && src.[!i + 1] = ')')
+         do
+           incr i
+         done;
+         incr i
+     | '(' | ')' ->
+         flush ();
+         out := String.make 1 src.[!i] :: !out
+     | ' ' | '\t' | '\n' | '\r' -> flush ()
+     | ';' when !i + 1 < n && src.[!i + 1] = ';' ->
+         (* line comment *)
+         flush ();
+         while !i < n && src.[!i] <> '\n' do incr i done
+     | '"' ->
+         flush ();
+         let sbuf = Buffer.create 16 in
+         incr i;
+         let fin = ref false in
+         while not !fin do
+           if !i >= n then fail "unterminated string";
+           (match src.[!i] with
+            | '"' -> fin := true
+            | '\\' ->
+                if !i + 2 >= n then fail "bad escape";
+                let h = String.sub src (!i + 1) 2 in
+                (try Buffer.add_char sbuf (Char.chr (int_of_string ("0x" ^ h)))
+                 with _ -> fail "bad escape \\%s" h);
+                i := !i + 2
+            | c -> Buffer.add_char sbuf c);
+           incr i
+         done;
+         i := !i - 1;
+         out := ("\"" ^ Buffer.contents sbuf) :: !out
+     | c -> Buffer.add_char buf c);
+    incr i
+  done;
+  flush ();
+  List.rev !out
+
+let read_sexps (tokens : string list) : sexp list =
+  (* [read] returns the nodes up to end-of-input ([None]) or up to a
+     closing paren ([Some rest]). *)
+  let rec read toks =
+    match toks with
+    | [] -> ([], None)
+    | ")" :: rest -> ([], Some rest)
+    | "(" :: rest -> (
+        match read rest with
+        | inner, Some rest ->
+            let siblings, term = read rest in
+            (List inner :: siblings, term)
+        | _, None -> fail "missing closing parenthesis")
+    | t :: rest ->
+        let node =
+          if String.length t > 0 && t.[0] = '"' then
+            Str (String.sub t 1 (String.length t - 1))
+          else Atom t
+        in
+        let siblings, term = read rest in
+        (node :: siblings, term)
+  in
+  match read tokens with
+  | sexps, None -> sexps
+  | _, Some _ -> fail "unexpected closing parenthesis"
+
+(* ------------------------------------------------------------------ *)
+(* Types and immediates                                                *)
+(* ------------------------------------------------------------------ *)
+
+let value_type_of_string = function
+  | "i32" -> Types.I32
+  | "i64" -> Types.I64
+  | "f32" -> Types.F32
+  | "f64" -> Types.F64
+  | s -> fail "unknown value type %s" s
+
+let is_value_type s =
+  match s with "i32" | "i64" | "f32" | "f64" -> true | _ -> false
+
+(* "(param ...)", "(result ...)", "(local ...)" type lists *)
+let types_of_fields key (fields : sexp list) : Types.value_type list =
+  List.concat_map
+    (fun f ->
+      match f with
+      | List (Atom k :: ts) when k = key ->
+          List.map
+            (function
+              | Atom t when is_value_type t -> value_type_of_string t
+              | Atom id when String.length id > 0 && id.[0] = '$' ->
+                  fail "named %ss are not supported" key
+              | _ -> fail "bad %s" key)
+            ts
+      | _ -> [])
+    fields
+
+let functype_of_fields fields : Types.func_type =
+  { Types.params = types_of_fields "param" fields;
+    results = types_of_fields "result" fields }
+
+(* ------------------------------------------------------------------ *)
+(* Instruction parsing                                                 *)
+(* ------------------------------------------------------------------ *)
+
+type fenv = {
+  func_index : string -> int;  (** resolve $name or numeric *)
+  type_index : Types.func_type -> int;
+}
+
+let int_atom = function
+  | Atom a -> (
+      try int_of_string a with _ -> fail "expected integer, got %s" a)
+  | _ -> fail "expected integer"
+
+let parse_offset = function
+  | Atom a :: rest when String.length a > 7 && String.sub a 0 7 = "offset=" ->
+      (int_of_string (String.sub a 7 (String.length a - 7)), rest)
+  | rest -> (0, rest)
+
+let mem_instr name rest : Ast.instr * sexp list =
+  let offset, rest = parse_offset rest in
+  let l ty pack = Ast.Load { Ast.l_ty = ty; l_pack = pack; l_align = 0; l_offset = Int32.of_int offset } in
+  let s ty pack = Ast.Store { Ast.s_ty = ty; s_pack = pack; s_align = 0; s_offset = Int32.of_int offset } in
+  let i =
+    match name with
+    | "i32.load" -> l Types.I32 None
+    | "i64.load" -> l Types.I64 None
+    | "f32.load" -> l Types.F32 None
+    | "f64.load" -> l Types.F64 None
+    | "i32.load8_s" -> l Types.I32 (Some (Ast.Pack8, Ast.SX))
+    | "i32.load8_u" -> l Types.I32 (Some (Ast.Pack8, Ast.ZX))
+    | "i32.load16_s" -> l Types.I32 (Some (Ast.Pack16, Ast.SX))
+    | "i32.load16_u" -> l Types.I32 (Some (Ast.Pack16, Ast.ZX))
+    | "i64.load8_s" -> l Types.I64 (Some (Ast.Pack8, Ast.SX))
+    | "i64.load8_u" -> l Types.I64 (Some (Ast.Pack8, Ast.ZX))
+    | "i64.load16_s" -> l Types.I64 (Some (Ast.Pack16, Ast.SX))
+    | "i64.load16_u" -> l Types.I64 (Some (Ast.Pack16, Ast.ZX))
+    | "i64.load32_s" -> l Types.I64 (Some (Ast.Pack32, Ast.SX))
+    | "i64.load32_u" -> l Types.I64 (Some (Ast.Pack32, Ast.ZX))
+    | "i32.store" -> s Types.I32 None
+    | "i64.store" -> s Types.I64 None
+    | "f32.store" -> s Types.F32 None
+    | "f64.store" -> s Types.F64 None
+    | "i32.store8" -> s Types.I32 (Some Ast.Pack8)
+    | "i32.store16" -> s Types.I32 (Some Ast.Pack16)
+    | "i64.store8" -> s Types.I64 (Some Ast.Pack8)
+    | "i64.store16" -> s Types.I64 (Some Ast.Pack16)
+    | "i64.store32" -> s Types.I64 (Some Ast.Pack32)
+    | _ -> fail "unknown memory instruction %s" name
+  in
+  (i, rest)
+
+(* Numeric/parametric instructions by mnemonic (no immediates). *)
+let simple_instr (name : string) : Ast.instr option =
+  let ty_of prefix =
+    match prefix with
+    | "i32" -> Some Types.I32
+    | "i64" -> Some Types.I64
+    | "f32" -> Some Types.F32
+    | "f64" -> Some Types.F64
+    | _ -> None
+  in
+  match String.index_opt name '.' with
+  | None -> (
+      match name with
+      | "unreachable" -> Some Ast.Unreachable
+      | "nop" -> Some Ast.Nop
+      | "return" -> Some Ast.Return
+      | "drop" -> Some Ast.Drop
+      | "select" -> Some Ast.Select
+      | _ -> None)
+  | Some dot -> (
+      let prefix = String.sub name 0 dot in
+      let op = String.sub name (dot + 1) (String.length name - dot - 1) in
+      match (ty_of prefix, prefix, op) with
+      | _, "memory", "size" -> Some Ast.Memory_size
+      | _, "memory", "grow" -> Some Ast.Memory_grow
+      | Some ty, _, "eqz" -> Some (Ast.Eqz ty)
+      | Some ty, _, _ when Types.is_int_type ty -> (
+          let int_relop r = Some (Ast.Int_compare (ty, r)) in
+          let int_binop b = Some (Ast.Int_binary (ty, b)) in
+          let int_unop u = Some (Ast.Int_unary (ty, u)) in
+          match op with
+          | "eq" -> int_relop Ast.Eq
+          | "ne" -> int_relop Ast.Ne
+          | "lt_s" -> int_relop Ast.Lt_s
+          | "lt_u" -> int_relop Ast.Lt_u
+          | "gt_s" -> int_relop Ast.Gt_s
+          | "gt_u" -> int_relop Ast.Gt_u
+          | "le_s" -> int_relop Ast.Le_s
+          | "le_u" -> int_relop Ast.Le_u
+          | "ge_s" -> int_relop Ast.Ge_s
+          | "ge_u" -> int_relop Ast.Ge_u
+          | "add" -> int_binop Ast.Add
+          | "sub" -> int_binop Ast.Sub
+          | "mul" -> int_binop Ast.Mul
+          | "div_s" -> int_binop Ast.Div_s
+          | "div_u" -> int_binop Ast.Div_u
+          | "rem_s" -> int_binop Ast.Rem_s
+          | "rem_u" -> int_binop Ast.Rem_u
+          | "and" -> int_binop Ast.And
+          | "or" -> int_binop Ast.Or
+          | "xor" -> int_binop Ast.Xor
+          | "shl" -> int_binop Ast.Shl
+          | "shr_s" -> int_binop Ast.Shr_s
+          | "shr_u" -> int_binop Ast.Shr_u
+          | "rotl" -> int_binop Ast.Rotl
+          | "rotr" -> int_binop Ast.Rotr
+          | "clz" -> int_unop Ast.Clz
+          | "ctz" -> int_unop Ast.Ctz
+          | "popcnt" -> int_unop Ast.Popcnt
+          | "wrap_i64" -> Some (Ast.Convert Ast.I32_wrap_i64)
+          | "extend_i32_s" -> Some (Ast.Convert Ast.I64_extend_i32_s)
+          | "extend_i32_u" -> Some (Ast.Convert Ast.I64_extend_i32_u)
+          | "trunc_f32_s" ->
+              Some (Ast.Convert (if ty = Types.I32 then Ast.I32_trunc_f32_s else Ast.I64_trunc_f32_s))
+          | "trunc_f32_u" ->
+              Some (Ast.Convert (if ty = Types.I32 then Ast.I32_trunc_f32_u else Ast.I64_trunc_f32_u))
+          | "trunc_f64_s" ->
+              Some (Ast.Convert (if ty = Types.I32 then Ast.I32_trunc_f64_s else Ast.I64_trunc_f64_s))
+          | "trunc_f64_u" ->
+              Some (Ast.Convert (if ty = Types.I32 then Ast.I32_trunc_f64_u else Ast.I64_trunc_f64_u))
+          | "reinterpret_f32" -> Some (Ast.Convert Ast.I32_reinterpret_f32)
+          | "reinterpret_f64" -> Some (Ast.Convert Ast.I64_reinterpret_f64)
+          | _ -> None)
+      | Some ty, _, _ -> (
+          let float_relop r = Some (Ast.Float_compare (ty, r)) in
+          let float_binop b = Some (Ast.Float_binary (ty, b)) in
+          let float_unop u = Some (Ast.Float_unary (ty, u)) in
+          match op with
+          | "eq" -> float_relop Ast.Feq
+          | "ne" -> float_relop Ast.Fne
+          | "lt" -> float_relop Ast.Flt
+          | "gt" -> float_relop Ast.Fgt
+          | "le" -> float_relop Ast.Fle
+          | "ge" -> float_relop Ast.Fge
+          | "add" -> float_binop Ast.Fadd
+          | "sub" -> float_binop Ast.Fsub
+          | "mul" -> float_binop Ast.Fmul
+          | "div" -> float_binop Ast.Fdiv
+          | "min" -> float_binop Ast.Fmin
+          | "max" -> float_binop Ast.Fmax
+          | "copysign" -> float_binop Ast.Fcopysign
+          | "abs" -> float_unop Ast.Fabs
+          | "neg" -> float_unop Ast.Fneg
+          | "ceil" -> float_unop Ast.Fceil
+          | "floor" -> float_unop Ast.Ffloor
+          | "trunc" -> float_unop Ast.Ftrunc
+          | "nearest" -> float_unop Ast.Fnearest
+          | "sqrt" -> float_unop Ast.Fsqrt
+          | "convert_i32_s" ->
+              Some (Ast.Convert (if ty = Types.F32 then Ast.F32_convert_i32_s else Ast.F64_convert_i32_s))
+          | "convert_i32_u" ->
+              Some (Ast.Convert (if ty = Types.F32 then Ast.F32_convert_i32_u else Ast.F64_convert_i32_u))
+          | "convert_i64_s" ->
+              Some (Ast.Convert (if ty = Types.F32 then Ast.F32_convert_i64_s else Ast.F64_convert_i64_s))
+          | "convert_i64_u" ->
+              Some (Ast.Convert (if ty = Types.F32 then Ast.F32_convert_i64_u else Ast.F64_convert_i64_u))
+          | "demote_f64" -> Some (Ast.Convert Ast.F32_demote_f64)
+          | "promote_f32" -> Some (Ast.Convert Ast.F64_promote_f32)
+          | "reinterpret_i32" -> Some (Ast.Convert Ast.F32_reinterpret_i32)
+          | "reinterpret_i64" -> Some (Ast.Convert Ast.F64_reinterpret_i64)
+          | _ -> None)
+      | None, _, _ -> None)
+
+let block_result fields : Ast.block_type * sexp list =
+  match fields with
+  | List [ Atom "result"; Atom t ] :: rest when is_value_type t ->
+      (Some (value_type_of_string t), rest)
+  | rest -> (None, rest)
+
+let rec parse_instrs (env : fenv) (body : sexp list) : Ast.instr list =
+  match body with
+  | [] -> []
+  | List (Atom "block" :: fields) :: rest ->
+      let bt, inner = block_result fields in
+      Ast.Block (bt, parse_instrs env inner) :: parse_instrs env rest
+  | List (Atom "loop" :: fields) :: rest ->
+      let bt, inner = block_result fields in
+      Ast.Loop (bt, parse_instrs env inner) :: parse_instrs env rest
+  | List (Atom "if" :: fields) :: rest ->
+      let bt, arms = block_result fields in
+      let then_, else_ =
+        match arms with
+        | [ List (Atom "then" :: t) ] -> (t, [])
+        | [ List (Atom "then" :: t); List (Atom "else" :: e) ] -> (t, e)
+        | _ -> fail "if: expected (then ...) (else ...)?"
+      in
+      Ast.If (bt, parse_instrs env then_, parse_instrs env else_)
+      :: parse_instrs env rest
+  | Atom name :: rest -> (
+      match simple_instr name with
+      | Some i -> i :: parse_instrs env rest
+      | None -> (
+          match name with
+          | "i32.const" -> (
+              match rest with
+              | Atom v :: rest ->
+                  Ast.Const (Values.I32 (Int32.of_string v)) :: parse_instrs env rest
+              | _ -> fail "i32.const: missing immediate")
+          | "i64.const" -> (
+              match rest with
+              | Atom v :: rest ->
+                  Ast.Const (Values.I64 (Int64.of_string v)) :: parse_instrs env rest
+              | _ -> fail "i64.const: missing immediate")
+          | "f32.const" -> (
+              match rest with
+              | Atom v :: rest ->
+                  Ast.Const (Values.F32 (Values.to_f32 (float_of_string v)))
+                  :: parse_instrs env rest
+              | _ -> fail "f32.const: missing immediate")
+          | "f64.const" -> (
+              match rest with
+              | Atom v :: rest ->
+                  Ast.Const (Values.F64 (float_of_string v)) :: parse_instrs env rest
+              | _ -> fail "f64.const: missing immediate")
+          | "local.get" | "local.set" | "local.tee" | "global.get"
+          | "global.set" | "br" | "br_if" -> (
+              match rest with
+              | imm :: rest ->
+                  let k = int_atom imm in
+                  let i =
+                    match name with
+                    | "local.get" -> Ast.Local_get k
+                    | "local.set" -> Ast.Local_set k
+                    | "local.tee" -> Ast.Local_tee k
+                    | "global.get" -> Ast.Global_get k
+                    | "global.set" -> Ast.Global_set k
+                    | "br" -> Ast.Br k
+                    | _ -> Ast.Br_if k
+                  in
+                  i :: parse_instrs env rest
+              | [] -> fail "%s: missing immediate" name)
+          | "br_table" ->
+              (* all leading integers; the last is the default *)
+              let rec take acc = function
+                | Atom a :: rest when int_of_string_opt a <> None ->
+                    take (int_of_string a :: acc) rest
+                | rest -> (List.rev acc, rest)
+              in
+              let ks, rest = take [] rest in
+              (match List.rev ks with
+               | d :: targets_rev ->
+                   Ast.Br_table (List.rev targets_rev, d) :: parse_instrs env rest
+               | [] -> fail "br_table: missing targets")
+          | "call" -> (
+              match rest with
+              | Atom f :: rest ->
+                  Ast.Call (env.func_index f) :: parse_instrs env rest
+              | _ -> fail "call: missing target")
+          | "call_indirect" -> (
+              match rest with
+              | List (Atom "type" :: fields) :: rest ->
+                  (* (type (param ...) (result ...)) or (type N) *)
+                  let ti =
+                    match fields with
+                    | [ Atom n ] when int_of_string_opt n <> None ->
+                        int_of_string n
+                    | _ -> env.type_index (functype_of_fields fields)
+                  in
+                  Ast.Call_indirect ti :: parse_instrs env rest
+              | _ -> fail "call_indirect: expected (type ...)")
+          | _ when String.contains name '.' ->
+              let i, rest = mem_instr name rest in
+              i :: parse_instrs env rest
+          | _ -> fail "unknown instruction %s" name))
+  | Str _ :: _ -> fail "unexpected string in body"
+  | List (Atom k :: _) :: _ -> fail "unexpected (%s ...) in body" k
+  | List _ :: _ -> fail "unexpected list in body"
+
+(* ------------------------------------------------------------------ *)
+(* Module parsing                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let parse (src : string) : Ast.module_ =
+  let sexps = read_sexps (lex src) in
+  let fields =
+    match sexps with
+    | [ List (Atom "module" :: fields) ] -> fields
+    | _ -> fail "expected a single (module ...)"
+  in
+  let b = Builder.create () in
+  (* Pass 1: collect function names in declaration order (imports first,
+     matching the index space). *)
+  let names = Hashtbl.create 16 in
+  let next_idx = ref 0 in
+  let register name_opt =
+    (match name_opt with
+     | Some id -> Hashtbl.replace names id !next_idx
+     | None -> ());
+    incr next_idx
+  in
+  List.iter
+    (fun f ->
+      match f with
+      | List [ Atom "import"; Str _; Str _; List (Atom "func" :: fields) ] -> (
+          match fields with
+          | Atom id :: _ when String.length id > 0 && id.[0] = '$' ->
+              register (Some id)
+          | _ -> register None)
+      | _ -> ())
+    fields;
+  List.iter
+    (fun f ->
+      match f with
+      | List (Atom "func" :: Atom id :: _) when String.length id > 0 && id.[0] = '$'
+        ->
+          register (Some id)
+      | List (Atom "func" :: _) -> register None
+      | _ -> ())
+    fields;
+  let func_index (s : string) =
+    if String.length s > 0 && s.[0] = '$' then
+      match Hashtbl.find_opt names s with
+      | Some i -> i
+      | None -> fail "unknown function %s" s
+    else
+      match int_of_string_opt s with
+      | Some i -> i
+      | None -> fail "bad function reference %s" s
+  in
+  let env = { func_index; type_index = (fun ft -> Builder.add_type b ft) } in
+  (* Pass 2: imports first (builder requires it). *)
+  List.iter
+    (fun f ->
+      match f with
+      | List [ Atom "import"; Str m; Str n; List (Atom "func" :: fields) ] ->
+          let fields =
+            match fields with
+            | Atom id :: rest when String.length id > 0 && id.[0] = '$' ->
+                ignore id;
+                rest
+            | rest -> rest
+          in
+          ignore (Builder.import_func b ~module_:m ~name:n (functype_of_fields fields))
+      | List [ Atom "import"; Str _; Str _; List (Atom "memory" :: _) ] ->
+          fail "memory imports are not supported by the text parser"
+      | _ -> ())
+    fields;
+  (* Pass 3: everything else, with function bodies deferred so forward
+     calls resolve. *)
+  let deferred_bodies = ref [] in
+  List.iter
+    (fun f ->
+      match f with
+      | List (Atom "import" :: _) -> ()
+      | List (Atom "memory" :: dims) -> (
+          match dims with
+          | [ Atom mn ] -> Builder.add_memory b (int_of_string mn)
+          | [ Atom mn; Atom mx ] ->
+              Builder.add_memory b ~max:(int_of_string mx) (int_of_string mn)
+          | _ -> fail "bad (memory ...)")
+      | List (Atom "global" :: spec) -> (
+          let spec = match spec with
+            | Atom id :: rest when String.length id > 0 && id.[0] = '$' -> rest
+            | rest -> rest
+          in
+          match spec with
+          | [ _ty; List [ Atom cname; Atom v ] ] -> (
+              let value =
+                match cname with
+                | "i32.const" -> Values.I32 (Int32.of_string v)
+                | "i64.const" -> Values.I64 (Int64.of_string v)
+                | "f32.const" -> Values.F32 (Values.to_f32 (float_of_string v))
+                | "f64.const" -> Values.F64 (float_of_string v)
+                | _ -> fail "bad global initialiser"
+              in
+              let mut =
+                match spec with
+                | List [ Atom "mut"; _ ] :: _ -> Types.Mutable
+                | _ -> Types.Immutable
+              in
+              ignore (Builder.add_global b ~mut value))
+          | _ -> fail "bad (global ...)")
+      | List (Atom "table" :: _) -> ()  (* sized implicitly by (elem) *)
+      | List (Atom "elem" :: List [ Atom "i32.const"; Atom off ] :: funcs) ->
+          Builder.add_elem b ~offset:(int_of_string off)
+            (List.map
+               (function
+                 | Atom fref -> func_index fref
+                 | _ -> fail "bad elem entry")
+               funcs)
+      | List [ Atom "data"; List [ Atom "i32.const"; Atom off ]; Str s ] ->
+          Builder.add_data b ~offset:(int_of_string off) s
+      | List [ Atom "export"; Str nm; List [ Atom "func"; Atom fref ] ] ->
+          Builder.export_func b nm (func_index fref)
+      | List [ Atom "export"; Str nm; List [ Atom "memory"; Atom _ ] ] ->
+          Builder.export_memory b nm
+      | List [ Atom "start"; Atom fref ] -> Builder.set_start b (func_index fref)
+      | List (Atom "func" :: fields) ->
+          let name, fields =
+            match fields with
+            | Atom id :: rest when String.length id > 0 && id.[0] = '$' ->
+                (Some (String.sub id 1 (String.length id - 1)), rest)
+            | rest -> (None, rest)
+          in
+          let ft = functype_of_fields fields in
+          let locals = types_of_fields "local" fields in
+          let body =
+            List.filter
+              (fun fld ->
+                match fld with
+                | List (Atom ("param" | "result" | "local") :: _) -> false
+                | _ -> true)
+              fields
+          in
+          let idx = Builder.declare_func b ?name ft in
+          deferred_bodies := (idx, locals, body) :: !deferred_bodies
+      | List (Atom k :: _) -> fail "unknown module field (%s ...)" k
+      | _ -> fail "unexpected module field")
+    fields;
+  List.iter
+    (fun (idx, locals, body) ->
+      Builder.set_body b idx ~locals (parse_instrs env body))
+    (List.rev !deferred_bodies);
+  let m = Builder.build b in
+  Validate.check_module m;
+  m

@@ -1,0 +1,9 @@
+(** Parser for the WAT text subset {!Wat} prints: folded control flow,
+    flat plain instructions, [$name] or numeric function references,
+    numeric locals/globals/labels.  [Text.parse (Wat.to_string m)] yields
+    a behaviourally equivalent module. *)
+
+exception Parse_error of string
+
+val parse : string -> Ast.module_
+(** Parse and validate a textual module. *)

@@ -1,0 +1,71 @@
+(** Static types of the WebAssembly MVP.
+
+    This module mirrors the type grammar of the core specification:
+    number types, function types, limits, and the external (import/export)
+    types.  EOSIO contracts only use the MVP feature set, so reference
+    types, SIMD and multi-value are deliberately out of scope. *)
+
+type num_type = I32 | I64 | F32 | F64
+
+(** MVP value types are exactly the number types. *)
+type value_type = num_type
+
+type func_type = {
+  params : value_type list;
+  results : value_type list;
+}
+
+type limits = {
+  lim_min : int;
+  lim_max : int option;
+}
+
+type mutability = Immutable | Mutable
+
+type global_type = {
+  gt_mut : mutability;
+  gt_type : value_type;
+}
+
+type table_type = {
+  tbl_limits : limits;
+  (* MVP tables always hold funcrefs. *)
+}
+
+type memory_type = { mem_limits : limits }
+
+type extern_type =
+  | Extern_func of func_type
+  | Extern_table of table_type
+  | Extern_memory of memory_type
+  | Extern_global of global_type
+
+let string_of_num_type = function
+  | I32 -> "i32"
+  | I64 -> "i64"
+  | F32 -> "f32"
+  | F64 -> "f64"
+
+let string_of_value_type = string_of_num_type
+
+let string_of_func_type { params; results } =
+  let vts vs = String.concat " " (List.map string_of_value_type vs) in
+  Printf.sprintf "(%s) -> (%s)" (vts params) (vts results)
+
+(** Byte width of a value of the given type in linear memory. *)
+let size_of_num_type = function
+  | I32 | F32 -> 4
+  | I64 | F64 -> 8
+
+let is_int_type = function I32 | I64 -> true | F32 | F64 -> false
+let is_float_type t = not (is_int_type t)
+
+let func_type ?(results = []) params = { params; results }
+
+let equal_func_type (a : func_type) (b : func_type) =
+  a.params = b.params && a.results = b.results
+
+let pp_num_type fmt t = Format.pp_print_string fmt (string_of_num_type t)
+
+let pp_func_type fmt ft =
+  Format.pp_print_string fmt (string_of_func_type ft)

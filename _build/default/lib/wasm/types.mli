@@ -1,0 +1,52 @@
+(** Static types of the WebAssembly MVP: number types, function types,
+    limits, and external (import/export) types.  EOSIO contracts only use
+    the MVP feature set. *)
+
+type num_type = I32 | I64 | F32 | F64
+
+type value_type = num_type
+(** MVP value types are exactly the number types. *)
+
+type func_type = {
+  params : value_type list;
+  results : value_type list;
+}
+
+type limits = {
+  lim_min : int;
+  lim_max : int option;
+}
+
+type mutability = Immutable | Mutable
+
+type global_type = {
+  gt_mut : mutability;
+  gt_type : value_type;
+}
+
+type table_type = { tbl_limits : limits }
+type memory_type = { mem_limits : limits }
+
+type extern_type =
+  | Extern_func of func_type
+  | Extern_table of table_type
+  | Extern_memory of memory_type
+  | Extern_global of global_type
+
+val string_of_num_type : num_type -> string
+val string_of_value_type : value_type -> string
+val string_of_func_type : func_type -> string
+
+val size_of_num_type : num_type -> int
+(** Byte width in linear memory. *)
+
+val is_int_type : value_type -> bool
+val is_float_type : value_type -> bool
+
+val func_type : ?results:value_type list -> value_type list -> func_type
+(** [func_type params ~results] builds a function type ([results] defaults
+    to none). *)
+
+val equal_func_type : func_type -> func_type -> bool
+val pp_num_type : Format.formatter -> num_type -> unit
+val pp_func_type : Format.formatter -> func_type -> unit

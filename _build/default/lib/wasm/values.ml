@@ -1,0 +1,265 @@
+(** Runtime values and exact numeric semantics of the Wasm MVP.
+
+    Integer operations follow two's-complement wrap-around semantics;
+    division and remainder trap on division by zero (and [min_int / -1]
+    for signed division overflow), as mandated by the specification.
+    [f32] values are represented as OCaml floats but are canonicalised
+    to single precision after every operation. *)
+
+exception Trap of string
+
+let trap fmt = Printf.ksprintf (fun s -> raise (Trap s)) fmt
+
+type value =
+  | I32 of int32
+  | I64 of int64
+  | F32 of float  (** always canonicalised to single precision *)
+  | F64 of float
+
+let type_of = function
+  | I32 _ -> Types.I32
+  | I64 _ -> Types.I64
+  | F32 _ -> Types.F32
+  | F64 _ -> Types.F64
+
+(** Round an OCaml double to the nearest single-precision float. *)
+let to_f32 (x : float) : float = Int32.float_of_bits (Int32.bits_of_float x)
+
+let default_value : Types.value_type -> value = function
+  | Types.I32 -> I32 0l
+  | Types.I64 -> I64 0L
+  | Types.F32 -> F32 0.0
+  | Types.F64 -> F64 0.0
+
+let string_of_value = function
+  | I32 x -> Printf.sprintf "i32:%ld" x
+  | I64 x -> Printf.sprintf "i64:%Ld" x
+  | F32 x -> Printf.sprintf "f32:%h" x
+  | F64 x -> Printf.sprintf "f64:%h" x
+
+let pp fmt v = Format.pp_print_string fmt (string_of_value v)
+
+(* Typed accessors: used by host functions to destructure arguments. *)
+let as_i32 = function I32 x -> x | v -> trap "expected i32, got %s" (string_of_value v)
+let as_i64 = function I64 x -> x | v -> trap "expected i64, got %s" (string_of_value v)
+let as_f32 = function F32 x -> x | v -> trap "expected f32, got %s" (string_of_value v)
+let as_f64 = function F64 x -> x | v -> trap "expected f64, got %s" (string_of_value v)
+
+let bool_value b = I32 (if b then 1l else 0l)
+
+(** A 64-bit view of any value's raw bits; used by the tracer. *)
+let raw_bits = function
+  | I32 x -> Int64.logand (Int64.of_int32 x) 0xFFFF_FFFFL
+  | I64 x -> x
+  | F32 x -> Int64.logand (Int64.of_int32 (Int32.bits_of_float x)) 0xFFFF_FFFFL
+  | F64 x -> Int64.bits_of_float x
+
+(* ------------------------------------------------------------------ *)
+(* 32-bit integer primitives                                          *)
+(* ------------------------------------------------------------------ *)
+
+module I32x = struct
+  open Int32
+
+  let clz x =
+    if x = 0l then 32l
+    else begin
+      let n = ref 0 and x = ref x in
+      while logand !x 0x8000_0000l = 0l do incr n; x := shift_left !x 1 done;
+      of_int !n
+    end
+
+  let ctz x =
+    if x = 0l then 32l
+    else begin
+      let n = ref 0 and x = ref x in
+      while logand !x 1l = 0l do incr n; x := shift_right_logical !x 1 done;
+      of_int !n
+    end
+
+  let popcnt x =
+    let n = ref 0 in
+    for i = 0 to 31 do
+      if logand (shift_right_logical x i) 1l = 1l then incr n
+    done;
+    of_int !n
+
+  let div_s a b =
+    if b = 0l then trap "integer divide by zero"
+    else if a = min_int && b = -1l then trap "integer overflow"
+    else div a b
+
+  let div_u a b =
+    if b = 0l then trap "integer divide by zero" else unsigned_div a b
+
+  let rem_s a b =
+    if b = 0l then trap "integer divide by zero"
+    else if a = min_int && b = -1l then 0l
+    else rem a b
+
+  let rem_u a b =
+    if b = 0l then trap "integer divide by zero" else unsigned_rem a b
+
+  let shl a b = shift_left a (to_int (logand b 31l))
+  let shr_s a b = shift_right a (to_int (logand b 31l))
+  let shr_u a b = shift_right_logical a (to_int (logand b 31l))
+
+  let rotl a b =
+    let n = to_int (logand b 31l) in
+    if n = 0 then a
+    else logor (shift_left a n) (shift_right_logical a (32 - n))
+
+  let rotr a b =
+    let n = to_int (logand b 31l) in
+    if n = 0 then a
+    else logor (shift_right_logical a n) (shift_left a (32 - n))
+
+  let lt_u a b = unsigned_compare a b < 0
+  let gt_u a b = unsigned_compare a b > 0
+  let le_u a b = unsigned_compare a b <= 0
+  let ge_u a b = unsigned_compare a b >= 0
+end
+
+(* ------------------------------------------------------------------ *)
+(* 64-bit integer primitives                                          *)
+(* ------------------------------------------------------------------ *)
+
+module I64x = struct
+  open Int64
+
+  let clz x =
+    if x = 0L then 64L
+    else begin
+      let n = ref 0 and x = ref x in
+      while logand !x 0x8000_0000_0000_0000L = 0L do
+        incr n;
+        x := shift_left !x 1
+      done;
+      of_int !n
+    end
+
+  let ctz x =
+    if x = 0L then 64L
+    else begin
+      let n = ref 0 and x = ref x in
+      while logand !x 1L = 0L do incr n; x := shift_right_logical !x 1 done;
+      of_int !n
+    end
+
+  let popcnt x =
+    let n = ref 0 in
+    for i = 0 to 63 do
+      if logand (shift_right_logical x i) 1L = 1L then incr n
+    done;
+    of_int !n
+
+  let div_s a b =
+    if b = 0L then trap "integer divide by zero"
+    else if a = min_int && b = -1L then trap "integer overflow"
+    else div a b
+
+  let div_u a b =
+    if b = 0L then trap "integer divide by zero" else unsigned_div a b
+
+  let rem_s a b =
+    if b = 0L then trap "integer divide by zero"
+    else if a = min_int && b = -1L then 0L
+    else rem a b
+
+  let rem_u a b =
+    if b = 0L then trap "integer divide by zero" else unsigned_rem a b
+
+  let shl a b = shift_left a (to_int (logand b 63L))
+  let shr_s a b = shift_right a (to_int (logand b 63L))
+  let shr_u a b = shift_right_logical a (to_int (logand b 63L))
+
+  let rotl a b =
+    let n = to_int (logand b 63L) in
+    if n = 0 then a
+    else logor (shift_left a n) (shift_right_logical a (64 - n))
+
+  let rotr a b =
+    let n = to_int (logand b 63L) in
+    if n = 0 then a
+    else logor (shift_right_logical a n) (shift_left a (64 - n))
+
+  let lt_u a b = unsigned_compare a b < 0
+  let gt_u a b = unsigned_compare a b > 0
+  let le_u a b = unsigned_compare a b <= 0
+  let ge_u a b = unsigned_compare a b >= 0
+end
+
+(* ------------------------------------------------------------------ *)
+(* Float primitives                                                    *)
+(* ------------------------------------------------------------------ *)
+
+module Fx = struct
+  (* [nearest] is round-to-nearest, ties to even, as mandated by Wasm. *)
+  let nearest x =
+    if Float.is_nan x || Float.is_integer x then x
+    else
+      let lo = Float.floor x and hi = Float.ceil x in
+      let dl = x -. lo and dh = hi -. x in
+      if dl < dh then lo
+      else if dh < dl then hi
+      else if Float.rem lo 2.0 = 0.0 then lo
+      else hi
+
+  let min a b =
+    if Float.is_nan a || Float.is_nan b then Float.nan
+    else if a = 0.0 && b = 0.0 then (if 1.0 /. a < 0.0 || 1.0 /. b < 0.0 then -0.0 else 0.0)
+    else Stdlib.min a b
+
+  let max a b =
+    if Float.is_nan a || Float.is_nan b then Float.nan
+    else if a = 0.0 && b = 0.0 then (if 1.0 /. a > 0.0 || 1.0 /. b > 0.0 then 0.0 else -0.0)
+    else Stdlib.max a b
+
+  let copysign a b = Float.copy_sign a b
+end
+
+(* ------------------------------------------------------------------ *)
+(* Conversions                                                        *)
+(* ------------------------------------------------------------------ *)
+
+module Convert = struct
+  let wrap_i64 x = Int64.to_int32 x
+  let extend_s_i32 x = Int64.of_int32 x
+  let extend_u_i32 x = Int64.logand (Int64.of_int32 x) 0xFFFF_FFFFL
+
+  let trunc_f_to_i32_s (x : float) : int32 =
+    if Float.is_nan x then trap "invalid conversion to integer"
+    else if x >= 2147483648.0 || x < -2147483648.0 then trap "integer overflow"
+    else Int32.of_float (Float.trunc x)
+
+  let trunc_f_to_i32_u (x : float) : int32 =
+    if Float.is_nan x then trap "invalid conversion to integer"
+    else if x >= 4294967296.0 || x <= -1.0 then trap "integer overflow"
+    else Int64.to_int32 (Int64.of_float (Float.trunc x))
+
+  let trunc_f_to_i64_s (x : float) : int64 =
+    if Float.is_nan x then trap "invalid conversion to integer"
+    else if x >= 9.2233720368547758e18 || x < -9.2233720368547758e18 then
+      trap "integer overflow"
+    else Int64.of_float (Float.trunc x)
+
+  let trunc_f_to_i64_u (x : float) : int64 =
+    if Float.is_nan x then trap "invalid conversion to integer"
+    else if x >= 1.8446744073709552e19 || x <= -1.0 then trap "integer overflow"
+    else if x < 9.2233720368547758e18 then Int64.of_float (Float.trunc x)
+    else Int64.add (Int64.of_float (Float.trunc (x -. 9.2233720368547758e18))) Int64.min_int
+
+  let convert_i32_s x = Int32.to_float x
+
+  let convert_i32_u x =
+    Int64.to_float (Int64.logand (Int64.of_int32 x) 0xFFFF_FFFFL)
+
+  let convert_i64_s x = Int64.to_float x
+
+  let convert_i64_u x =
+    if Int64.compare x 0L >= 0 then Int64.to_float x
+    else
+      (* Split into top bit and rest to convert an unsigned 64-bit value. *)
+      Int64.to_float (Int64.shift_right_logical x 1) *. 2.0
+      +. Int64.to_float (Int64.logand x 1L)
+end

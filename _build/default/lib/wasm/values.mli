@@ -1,0 +1,103 @@
+(** Runtime values and exact numeric semantics of the Wasm MVP:
+    two's-complement wrap-around integers with trapping division, and
+    single-precision canonicalisation for [f32]. *)
+
+exception Trap of string
+(** Wasm trap (also raised by memory bounds violations etc.). *)
+
+val trap : ('a, unit, string, 'b) format4 -> 'a
+(** Raise {!Trap} with a formatted message. *)
+
+type value =
+  | I32 of int32
+  | I64 of int64
+  | F32 of float  (** always canonicalised to single precision *)
+  | F64 of float
+
+val type_of : value -> Types.value_type
+
+val to_f32 : float -> float
+(** Round a double to the nearest single-precision value. *)
+
+val default_value : Types.value_type -> value
+(** The zero value used to initialise locals. *)
+
+val string_of_value : value -> string
+val pp : Format.formatter -> value -> unit
+
+val as_i32 : value -> int32
+(** Typed accessors; trap on mismatch. *)
+
+val as_i64 : value -> int64
+val as_f32 : value -> float
+val as_f64 : value -> float
+val bool_value : bool -> value
+
+val raw_bits : value -> int64
+(** 64-bit view of the value's raw bits (floats reinterpreted). *)
+
+(** 32-bit integer primitives with Wasm semantics. *)
+module I32x : sig
+  val clz : int32 -> int32
+  val ctz : int32 -> int32
+  val popcnt : int32 -> int32
+  val div_s : int32 -> int32 -> int32
+  val div_u : int32 -> int32 -> int32
+  val rem_s : int32 -> int32 -> int32
+  val rem_u : int32 -> int32 -> int32
+  val shl : int32 -> int32 -> int32
+  val shr_s : int32 -> int32 -> int32
+  val shr_u : int32 -> int32 -> int32
+  val rotl : int32 -> int32 -> int32
+  val rotr : int32 -> int32 -> int32
+  val lt_u : int32 -> int32 -> bool
+  val gt_u : int32 -> int32 -> bool
+  val le_u : int32 -> int32 -> bool
+  val ge_u : int32 -> int32 -> bool
+end
+
+(** 64-bit integer primitives with Wasm semantics. *)
+module I64x : sig
+  val clz : int64 -> int64
+  val ctz : int64 -> int64
+  val popcnt : int64 -> int64
+  val div_s : int64 -> int64 -> int64
+  val div_u : int64 -> int64 -> int64
+  val rem_s : int64 -> int64 -> int64
+  val rem_u : int64 -> int64 -> int64
+  val shl : int64 -> int64 -> int64
+  val shr_s : int64 -> int64 -> int64
+  val shr_u : int64 -> int64 -> int64
+  val rotl : int64 -> int64 -> int64
+  val rotr : int64 -> int64 -> int64
+  val lt_u : int64 -> int64 -> bool
+  val gt_u : int64 -> int64 -> bool
+  val le_u : int64 -> int64 -> bool
+  val ge_u : int64 -> int64 -> bool
+end
+
+(** Float primitives with Wasm rounding/NaN rules. *)
+module Fx : sig
+  val nearest : float -> float
+  (** Round-to-nearest, ties to even. *)
+
+  val min : float -> float -> float
+  val max : float -> float -> float
+  val copysign : float -> float -> float
+end
+
+(** Conversions between number types; trunc operations trap on NaN and
+    overflow, as the specification requires. *)
+module Convert : sig
+  val wrap_i64 : int64 -> int32
+  val extend_s_i32 : int32 -> int64
+  val extend_u_i32 : int32 -> int64
+  val trunc_f_to_i32_s : float -> int32
+  val trunc_f_to_i32_u : float -> int32
+  val trunc_f_to_i64_s : float -> int64
+  val trunc_f_to_i64_u : float -> int64
+  val convert_i32_s : int32 -> float
+  val convert_i32_u : int32 -> float
+  val convert_i64_s : int64 -> float
+  val convert_i64_u : int64 -> float
+end

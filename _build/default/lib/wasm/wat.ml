@@ -1,0 +1,191 @@
+(** WAT-style pretty printer, emitting the folded-control subset that
+    {!Text.parse} reads back: [Text.parse (Wat.to_string m)] yields a
+    module with the same behaviour (type-section ordering may differ, so
+    the round-trip is semantic rather than syntactic). *)
+
+let escape_data (s : string) : string =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' | '\\' -> Buffer.add_string buf (Printf.sprintf "\\%02x" (Char.code c))
+      | c when Char.code c >= 32 && Char.code c < 127 -> Buffer.add_char buf c
+      | c -> Buffer.add_string buf (Printf.sprintf "\\%02x" (Char.code c)))
+    s;
+  Buffer.contents buf
+
+let string_of_functype (ft : Types.func_type) : string =
+  let part key = function
+    | [] -> ""
+    | ts ->
+        Printf.sprintf " (%s %s)" key
+          (String.concat " " (List.map Types.string_of_value_type ts))
+  in
+  part "param" ft.Types.params ^ part "result" ft.Types.results
+
+let const_text (v : Values.value) =
+  match v with
+  | Values.I32 x -> Printf.sprintf "i32.const %ld" x
+  | Values.I64 x -> Printf.sprintf "i64.const %Ld" x
+  | Values.F32 x -> Printf.sprintf "f32.const %h" x
+  | Values.F64 x -> Printf.sprintf "f64.const %h" x
+
+let block_result_text : Ast.block_type -> string = function
+  | None -> ""
+  | Some t -> Printf.sprintf " (result %s)" (Types.string_of_value_type t)
+
+let rec print_instr buf (m : Ast.module_) indent (i : Ast.instr) =
+  let pad = String.make indent ' ' in
+  let line s = Buffer.add_string buf (pad ^ s ^ "\n") in
+  match i with
+  | Ast.Block (bt, body) ->
+      line (Printf.sprintf "(block%s" (block_result_text bt));
+      List.iter (print_instr buf m (indent + 2)) body;
+      line ")"
+  | Ast.Loop (bt, body) ->
+      line (Printf.sprintf "(loop%s" (block_result_text bt));
+      List.iter (print_instr buf m (indent + 2)) body;
+      line ")"
+  | Ast.If (bt, then_, else_) ->
+      line (Printf.sprintf "(if%s" (block_result_text bt));
+      line "  (then";
+      List.iter (print_instr buf m (indent + 4)) then_;
+      line "  )";
+      if else_ <> [] then begin
+        line "  (else";
+        List.iter (print_instr buf m (indent + 4)) else_;
+        line "  )"
+      end;
+      line ")"
+  | Ast.Const v -> line (const_text v)
+  | Ast.Br n -> line (Printf.sprintf "br %d" n)
+  | Ast.Br_if n -> line (Printf.sprintf "br_if %d" n)
+  | Ast.Br_table (ts, d) ->
+      line
+        (Printf.sprintf "br_table %s %d"
+           (String.concat " " (List.map string_of_int ts))
+           d)
+  | Ast.Call f -> line (Printf.sprintf "call %d" f)
+  | Ast.Call_indirect ti ->
+      line
+        (Printf.sprintf "call_indirect (type%s)"
+           (string_of_functype m.Ast.types.(ti)))
+  | Ast.Local_get n -> line (Printf.sprintf "local.get %d" n)
+  | Ast.Local_set n -> line (Printf.sprintf "local.set %d" n)
+  | Ast.Local_tee n -> line (Printf.sprintf "local.tee %d" n)
+  | Ast.Global_get n -> line (Printf.sprintf "global.get %d" n)
+  | Ast.Global_set n -> line (Printf.sprintf "global.set %d" n)
+  | Ast.Load l ->
+      line
+        (Ast.string_of_loadop l
+        ^ if l.Ast.l_offset <> 0l then Printf.sprintf " offset=%ld" l.Ast.l_offset
+          else "")
+  | Ast.Store s ->
+      line
+        (Ast.string_of_storeop s
+        ^ if s.Ast.s_offset <> 0l then Printf.sprintf " offset=%ld" s.Ast.s_offset
+          else "")
+  | _ -> line (Ast.mnemonic i)
+
+let print_func buf (m : Ast.module_) idx (f : Ast.func) =
+  let ft = m.Ast.types.(f.Ast.ftype) in
+  let abs = Ast.num_func_imports m + idx in
+  let name =
+    match f.Ast.fname with Some n -> Printf.sprintf " $%s" n | None -> ""
+  in
+  Buffer.add_string buf
+    (Printf.sprintf "  (func%s (;%d;)%s\n" name abs (string_of_functype ft));
+  if f.Ast.locals <> [] then
+    Buffer.add_string buf
+      (Printf.sprintf "    (local %s)\n"
+         (String.concat " " (List.map Types.string_of_value_type f.Ast.locals)));
+  List.iter (print_instr buf m 4) f.Ast.body;
+  Buffer.add_string buf "  )\n"
+
+(** Render a module in the parseable WAT subset. *)
+let to_string (m : Ast.module_) : string =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "(module\n";
+  List.iter
+    (fun (i : Ast.import) ->
+      match i.Ast.idesc with
+      | Ast.Func_import ti ->
+          Buffer.add_string buf
+            (Printf.sprintf "  (import \"%s\" \"%s\" (func%s))\n" i.Ast.imp_module
+               i.Ast.imp_name
+               (string_of_functype m.Ast.types.(ti)))
+      | Ast.Memory_import mt ->
+          Buffer.add_string buf
+            (Printf.sprintf "  ;; unsupported textual import: memory %d\n"
+               mt.Types.mem_limits.lim_min)
+      | Ast.Table_import _ ->
+          Buffer.add_string buf "  ;; unsupported textual import: table\n"
+      | Ast.Global_import _ ->
+          Buffer.add_string buf "  ;; unsupported textual import: global\n")
+    m.Ast.imports;
+  List.iter
+    (fun (mt : Types.memory_type) ->
+      Buffer.add_string buf
+        (Printf.sprintf "  (memory %d%s)\n" mt.Types.mem_limits.lim_min
+           (match mt.Types.mem_limits.lim_max with
+            | Some x -> " " ^ string_of_int x
+            | None -> "")))
+    m.Ast.memories;
+  Array.iter
+    (fun (g : Ast.global) ->
+      let init =
+        match g.Ast.ginit with
+        | [ Ast.Const v ] -> const_text v
+        | _ -> "i64.const 0"
+      in
+      let ty = Types.string_of_value_type g.Ast.gtype.Types.gt_type in
+      let ty_part =
+        match g.Ast.gtype.Types.gt_mut with
+        | Types.Mutable -> Printf.sprintf "(mut %s)" ty
+        | Types.Immutable -> ty
+      in
+      Buffer.add_string buf (Printf.sprintf "  (global %s (%s))\n" ty_part init))
+    m.Ast.globals;
+  (match m.Ast.tables with
+   | { Types.tbl_limits = { lim_min; _ } } :: _ ->
+       Buffer.add_string buf (Printf.sprintf "  (table %d funcref)\n" lim_min)
+   | [] -> ());
+  List.iter
+    (fun (e : Ast.elem_segment) ->
+      let off =
+        match e.Ast.e_offset with
+        | [ Ast.Const (Values.I32 k) ] -> Int32.to_int k
+        | _ -> 0
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "  (elem (i32.const %d) %s)\n" off
+           (String.concat " " (List.map string_of_int e.Ast.e_init))))
+    m.Ast.elems;
+  List.iter
+    (fun (d : Ast.data_segment) ->
+      let off =
+        match d.Ast.d_offset with
+        | [ Ast.Const (Values.I32 k) ] -> Int32.to_int k
+        | _ -> 0
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "  (data (i32.const %d) \"%s\")\n" off
+           (escape_data d.Ast.d_init)))
+    m.Ast.datas;
+  Array.iteri (fun i f -> print_func buf m i f) m.Ast.funcs;
+  List.iter
+    (fun (e : Ast.export) ->
+      match e.Ast.edesc with
+      | Ast.Func_export i ->
+          Buffer.add_string buf
+            (Printf.sprintf "  (export \"%s\" (func %d))\n" e.Ast.ename i)
+      | Ast.Memory_export i ->
+          Buffer.add_string buf
+            (Printf.sprintf "  (export \"%s\" (memory %d))\n" e.Ast.ename i)
+      | Ast.Table_export _ | Ast.Global_export _ -> ())
+    m.Ast.exports;
+  (match m.Ast.start with
+   | Some f -> Buffer.add_string buf (Printf.sprintf "  (start %d)\n" f)
+   | None -> ());
+  Buffer.add_string buf ")\n";
+  Buffer.contents buf

@@ -1,0 +1,4 @@
+(** WAT-style pretty printer.  Output is human-oriented and not meant to
+    be re-parsed. *)
+
+val to_string : Ast.module_ -> string

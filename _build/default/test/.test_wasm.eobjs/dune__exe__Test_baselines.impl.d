@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest Name Printf Wasai_baselines Wasai_benchgen Wasai_core Wasai_eosio Wasai_support

@@ -1,0 +1,1 @@
+test/test_benchgen.ml: Abi Action Alcotest Array Asset Chain Host Int64 List Name Option Printf QCheck QCheck_alcotest Token Wasai_baselines Wasai_benchgen Wasai_eosio Wasai_support Wasai_wasm

@@ -1,0 +1,1 @@
+test/test_core.ml: Abi Alcotest Asset Database List Name Option Printf String Wasai_benchgen Wasai_core Wasai_eosio

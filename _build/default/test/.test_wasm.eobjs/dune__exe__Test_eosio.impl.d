@@ -1,0 +1,1 @@
+test/test_eosio.ml: Abi Action Alcotest Asset Chain Database Fun Host Int64 List Name QCheck QCheck_alcotest Queue String Token Wasai_eosio Wasai_support Wasai_wasm

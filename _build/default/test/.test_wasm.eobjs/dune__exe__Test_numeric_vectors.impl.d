@@ -1,0 +1,1 @@
+test/test_numeric_vectors.ml: Alcotest Ast Float Int32 Int64 Interp List Printf QCheck QCheck_alcotest Types Values Wasai_smt Wasai_wasm

@@ -1,0 +1,1 @@
+test/test_smt.ml: Alcotest Array Bitblast Expr Hashtbl Int64 List Printf QCheck QCheck_alcotest Sat Solver Wasai_smt Wasai_support

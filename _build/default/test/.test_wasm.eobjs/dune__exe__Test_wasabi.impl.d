@@ -1,0 +1,1 @@
+test/test_wasabi.ml: Abi Action Alcotest Asset Chain Hashtbl Host Int32 Int64 List Name Option QCheck QCheck_alcotest Token Wasai_eosio Wasai_wasabi Wasai_wasm

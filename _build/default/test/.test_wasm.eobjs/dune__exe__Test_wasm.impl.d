@@ -1,0 +1,1 @@
+test/test_wasm.ml: Alcotest Array Ast Buffer Builder Char Decode Encode Float Int32 Int64 Interp List Memory Printf QCheck QCheck_alcotest String Text Types Validate Values Wasai_wasm Wat

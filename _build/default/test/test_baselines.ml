@@ -1,0 +1,219 @@
+(* Tests for the baselines: the EOSAFE static analyser's heuristics and
+   documented failure modes, and EOSFuzzer's success-based oracles. *)
+
+module BG = Wasai_benchgen
+module BL = Wasai_baselines
+module Core = Wasai_core
+open Wasai_eosio
+
+let n = Name.of_string
+
+let build spec = fst (BG.Contracts.build spec)
+let base = BG.Contracts.default_spec (n "victim")
+
+(* ------------------------------------------------------------------ *)
+(* EOSAFE                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_eosafe_guard_detection () =
+  let v_safe = BL.Eosafe.analyze (build base) in
+  Alcotest.(check bool) "guarded contract clean (fake eos)" false
+    v_safe.BL.Eosafe.es_fake_eos;
+  Alcotest.(check bool) "guarded contract clean (fake notif)" false
+    v_safe.BL.Eosafe.es_fake_notif;
+  let v_vuln =
+    BL.Eosafe.analyze
+      (build { base with BG.Contracts.sp_fake_eos_guard = false;
+                         sp_fake_notif_guard = false })
+  in
+  Alcotest.(check bool) "missing eos guard flagged" true v_vuln.BL.Eosafe.es_fake_eos;
+  Alcotest.(check bool) "missing notif guard flagged" true
+    v_vuln.BL.Eosafe.es_fake_notif
+
+let test_eosafe_dispatcher_heuristic () =
+  (* Indirect dispatchers are located; direct dispatch defeats the
+     heuristic and triggers the timeout policy. *)
+  let v_ind = BL.Eosafe.analyze (build base) in
+  Alcotest.(check bool) "indirect located" true v_ind.BL.Eosafe.es_located;
+  Alcotest.(check bool) "no timeout" false v_ind.BL.Eosafe.es_timeout;
+  let v_dir =
+    BL.Eosafe.analyze
+      (build
+         { base with BG.Contracts.sp_dispatcher = BG.Contracts.Direct;
+                     sp_fake_eos_guard = false })
+  in
+  Alcotest.(check bool) "direct not located" false v_dir.BL.Eosafe.es_located;
+  Alcotest.(check bool) "timeout" true v_dir.BL.Eosafe.es_timeout;
+  (* Timeout policy: FakeEOS negative (FN), FakeNotif positive. *)
+  Alcotest.(check bool) "fake eos FN under timeout" false v_dir.BL.Eosafe.es_fake_eos;
+  Alcotest.(check bool) "fake notif positive under timeout" true
+    v_dir.BL.Eosafe.es_fake_notif
+
+let test_eosafe_obfuscation_blinds () =
+  let spec =
+    { base with BG.Contracts.sp_fake_eos_guard = false; sp_auth_check = false }
+  in
+  let v_plain = BL.Eosafe.analyze (build spec) in
+  Alcotest.(check bool) "plain: fake eos found" true v_plain.BL.Eosafe.es_fake_eos;
+  Alcotest.(check bool) "plain: miss auth found" true v_plain.BL.Eosafe.es_miss_auth;
+  let v_obf = BL.Eosafe.analyze (BG.Obfuscate.obfuscate (build spec)) in
+  Alcotest.(check bool) "obfuscated: timeout" true v_obf.BL.Eosafe.es_timeout;
+  Alcotest.(check bool) "obfuscated: fake eos lost" false v_obf.BL.Eosafe.es_fake_eos;
+  Alcotest.(check bool) "obfuscated: miss auth lost" false
+    v_obf.BL.Eosafe.es_miss_auth
+
+let test_eosafe_rollback_ignores_feasibility () =
+  (* send_inline behind an unsatisfiable branch: WASAI stays clean, the
+     static all-branches analysis produces a false positive — the 50%
+     precision story of §4.2. *)
+  let spec =
+    {
+      base with
+      BG.Contracts.sp_payout_inline = true;
+      sp_dead_template = true;
+      sp_blockinfo = true;
+    }
+  in
+  Alcotest.(check bool) "ground truth safe" false
+    (BG.Contracts.ground_truth spec BG.Contracts.Rollback);
+  let v = BL.Eosafe.analyze (build spec) in
+  Alcotest.(check bool) "EOSAFE flags dead send_inline" true v.BL.Eosafe.es_rollback;
+  (* And it survives obfuscation (Table 5's Rollback row). *)
+  let v' = BL.Eosafe.analyze (BG.Obfuscate.obfuscate (build spec)) in
+  Alcotest.(check bool) "rollback verdict survives obfuscation" true
+    v'.BL.Eosafe.es_rollback
+
+let test_eosafe_miss_auth_flow () =
+  let v_ok = BL.Eosafe.analyze (build base) in
+  Alcotest.(check bool) "authenticated contract clean" false
+    v_ok.BL.Eosafe.es_miss_auth;
+  let v_bad =
+    BL.Eosafe.analyze (build { base with BG.Contracts.sp_auth_check = false })
+  in
+  Alcotest.(check bool) "unauthenticated effect found" true
+    v_bad.BL.Eosafe.es_miss_auth
+
+(* ------------------------------------------------------------------ *)
+(* EOSFuzzer                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let target_of spec =
+  let m, abi = BG.Contracts.build spec in
+  { Core.Engine.tgt_account = n "victim"; tgt_module = m; tgt_abi = abi }
+
+let ef_flag spec flag =
+  let o = BL.Eosfuzzer.fuzz ~rounds:24 (target_of spec) in
+  BL.Eosfuzzer.flagged o flag
+
+let test_ef_detects_simple_fake_eos () =
+  Alcotest.(check (option bool)) "unguarded flagged" (Some true)
+    (ef_flag
+       { base with BG.Contracts.sp_fake_eos_guard = false }
+       Core.Scanner.Fake_eos);
+  Alcotest.(check (option bool)) "assert-guarded clean" (Some false)
+    (ef_flag base Core.Scanner.Fake_eos)
+
+let test_ef_unsupported_detectors () =
+  let o = BL.Eosfuzzer.fuzz ~rounds:8 (target_of base) in
+  Alcotest.(check (option bool)) "no MissAuth detector" None
+    (BL.Eosfuzzer.flagged o Core.Scanner.Miss_auth);
+  Alcotest.(check (option bool)) "no Rollback detector" None
+    (BL.Eosfuzzer.flagged o Core.Scanner.Rollback)
+
+let test_ef_honeypot_fp () =
+  (* Silent if-return guard + console logging: the exploit transaction
+     succeeds with a visible effect, so the success-based oracle reports
+     a false positive on a contract WASAI correctly clears. *)
+  let spec =
+    {
+      base with
+      BG.Contracts.sp_eos_guard_style = BG.Contracts.Guard_if_return;
+      sp_log_notifications = true;
+    }
+  in
+  Alcotest.(check bool) "ground truth safe" false
+    (BG.Contracts.ground_truth spec BG.Contracts.Fake_eos);
+  Alcotest.(check (option bool)) "EOSFuzzer false positive" (Some true)
+    (ef_flag spec Core.Scanner.Fake_eos);
+  let wasai =
+    Core.Engine.fuzz
+      ~cfg:{ Core.Engine.default_config with Core.Engine.cfg_rounds = 24 }
+      (target_of spec)
+  in
+  Alcotest.(check bool) "WASAI stays clean" false
+    (Core.Engine.flagged wasai Core.Scanner.Fake_eos)
+
+let test_ef_blind_behind_verification () =
+  (* Random seeds cannot satisfy an exact-equality entry check: the
+     flag-all flaw fires for Fake EOS (everything positive), and the
+     other detectors report nothing — Table 6's EOSFuzzer row. *)
+  let spec =
+    {
+      base with
+      BG.Contracts.sp_fake_notif_guard = false;
+      sp_blockinfo = true;
+      sp_payout_inline = true;
+      sp_checks =
+        [
+          { BG.Contracts.chk_target = BG.Contracts.Chk_amount; chk_value = 987654321L };
+        ];
+    }
+  in
+  let o = BL.Eosfuzzer.fuzz ~rounds:24 (target_of spec) in
+  Alcotest.(check (option bool)) "flag-all flaw fires" (Some true)
+    (BL.Eosfuzzer.flagged o Core.Scanner.Fake_eos);
+  Alcotest.(check (option bool)) "fake notif missed" (Some false)
+    (BL.Eosfuzzer.flagged o Core.Scanner.Fake_notif);
+  Alcotest.(check (option bool)) "blockinfo missed" (Some false)
+    (BL.Eosfuzzer.flagged o Core.Scanner.Blockinfo_dep)
+
+let test_ef_no_adaptive_coverage () =
+  (* Same contract: WASAI's solver opens the milestone tree, EOSFuzzer
+     never passes the first level — the Figure 3 gap on one contract. *)
+  let rng = Wasai_support.Rand.create 21L in
+  let spec =
+    {
+      base with
+      BG.Contracts.sp_milestones = BG.Verification.random_milestones rng ~depth:8;
+    }
+  in
+  let target = target_of spec in
+  let ef = BL.Eosfuzzer.fuzz ~rounds:24 target in
+  let wasai =
+    Core.Engine.fuzz
+      ~cfg:{ Core.Engine.default_config with Core.Engine.cfg_rounds = 24 }
+      target
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "WASAI %d > EOSFuzzer %d branches"
+       wasai.Core.Engine.out_branches ef.BL.Eosfuzzer.ef_branches)
+    true
+    (wasai.Core.Engine.out_branches > ef.BL.Eosfuzzer.ef_branches)
+
+let () =
+  Alcotest.run "wasai_baselines"
+    [
+      ( "eosafe",
+        [
+          Alcotest.test_case "guard detection" `Quick test_eosafe_guard_detection;
+          Alcotest.test_case "dispatcher heuristic" `Quick
+            test_eosafe_dispatcher_heuristic;
+          Alcotest.test_case "obfuscation blinds it" `Quick
+            test_eosafe_obfuscation_blinds;
+          Alcotest.test_case "rollback ignores feasibility" `Quick
+            test_eosafe_rollback_ignores_feasibility;
+          Alcotest.test_case "miss-auth flow analysis" `Quick
+            test_eosafe_miss_auth_flow;
+        ] );
+      ( "eosfuzzer",
+        [
+          Alcotest.test_case "simple fake eos" `Quick test_ef_detects_simple_fake_eos;
+          Alcotest.test_case "unsupported detectors" `Quick
+            test_ef_unsupported_detectors;
+          Alcotest.test_case "honeypot false positive" `Quick test_ef_honeypot_fp;
+          Alcotest.test_case "blind behind verification" `Quick
+            test_ef_blind_behind_verification;
+          Alcotest.test_case "no adaptive coverage" `Quick
+            test_ef_no_adaptive_coverage;
+        ] );
+    ]

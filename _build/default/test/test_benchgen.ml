@@ -1,0 +1,317 @@
+(* Tests for the benchmark generator: contract families, the obfuscator,
+   the verification injector, corpora and the mainnet population. *)
+
+module Wasm = Wasai_wasm
+module BG = Wasai_benchgen
+open Wasai_eosio
+
+let n = Name.of_string
+
+(* Random spec generator for property tests. *)
+let random_spec (rng : Wasai_support.Rand.t) : BG.Contracts.spec =
+  let base = BG.Contracts.default_spec (n "victim") in
+  {
+    base with
+    BG.Contracts.sp_fake_eos_guard = Wasai_support.Rand.bool rng;
+    sp_eos_guard_style =
+      (if Wasai_support.Rand.bool rng then BG.Contracts.Guard_assert
+       else BG.Contracts.Guard_if_return);
+    sp_fake_notif_guard = Wasai_support.Rand.bool rng;
+    sp_auth_check = Wasai_support.Rand.bool rng;
+    sp_blockinfo = Wasai_support.Rand.bool rng;
+    sp_payout_inline = Wasai_support.Rand.bool rng;
+    sp_has_payout = Wasai_support.Rand.bool rng;
+    sp_db_gate = Wasai_support.Rand.bool rng;
+    sp_multi_table = Wasai_support.Rand.bool rng;
+    sp_admin_reveal = Wasai_support.Rand.bool rng;
+    sp_dead_template = Wasai_support.Rand.bool rng;
+    sp_min_bet =
+      (if Wasai_support.Rand.bool rng then Some 100L else None);
+    sp_memo_gate =
+      (if Wasai_support.Rand.bool rng then Some "action:buy" else None);
+    sp_checks = BG.Verification.random_checks rng ~depth:(Wasai_support.Rand.int rng 4);
+    sp_milestones =
+      BG.Verification.random_milestones rng ~depth:(Wasai_support.Rand.int rng 6);
+    sp_dispatcher =
+      (if Wasai_support.Rand.bool rng then BG.Contracts.Indirect
+       else BG.Contracts.Direct);
+    sp_log_notifications = Wasai_support.Rand.bool rng;
+    sp_claim_loop = Wasai_support.Rand.bool rng;
+    sp_double_payout = Wasai_support.Rand.bool rng;
+    sp_fair_coin = Wasai_support.Rand.bool rng;
+  }
+
+(* Every random spec must build into a valid module that also survives a
+   binary round-trip and obfuscation. *)
+let qcheck_specs_build =
+  QCheck.Test.make ~name:"random specs build valid modules" ~count:80
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      let rng = Wasai_support.Rand.create (Int64.of_int seed) in
+      let spec = random_spec rng in
+      let m, _ = BG.Contracts.build spec in
+      Wasm.Validate.check_module m;
+      let m' = Wasm.Decode.decode (Wasm.Encode.encode m) in
+      Wasm.Validate.check_module m';
+      let obf = BG.Obfuscate.obfuscate m in
+      Wasm.Validate.check_module obf;
+      true)
+
+(* The WAT printer/parser round-trip preserves whole contracts, function
+   body for function body. *)
+let qcheck_wat_roundtrip =
+  QCheck.Test.make ~name:"WAT print/parse roundtrip on contracts" ~count:40
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      let rng = Wasai_support.Rand.create (Int64.of_int seed) in
+      let spec = random_spec rng in
+      let m, _ = BG.Contracts.build spec in
+      let m = if seed mod 3 = 0 then BG.Obfuscate.obfuscate m else m in
+      let m' = Wasm.Text.parse (Wasm.Wat.to_string m) in
+      Array.length m'.Wasm.Ast.funcs = Array.length m.Wasm.Ast.funcs
+      && Array.for_all2
+           (fun (a : Wasm.Ast.func) (b : Wasm.Ast.func) ->
+             a.Wasm.Ast.body = b.Wasm.Ast.body
+             && a.Wasm.Ast.locals = b.Wasm.Ast.locals)
+           m.Wasm.Ast.funcs m'.Wasm.Ast.funcs
+      && m'.Wasm.Ast.exports = m.Wasm.Ast.exports
+      && m'.Wasm.Ast.datas = m.Wasm.Ast.datas)
+
+(* ------------------------------------------------------------------ *)
+(* Obfuscator                                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* Deploy a module and run a fixed scenario, returning (tx results,
+   console output).  Used to compare plain vs obfuscated behaviour. *)
+let run_scenario (m : Wasm.Ast.module_) (abi : Abi.t) =
+  let chain = Host.create_chain () in
+  Token.bootstrap chain ~treasury:(n "treasury") ~supply:1_000_000_0000L;
+  List.iter (fun a -> ignore (Chain.create_account chain a)) [ n "alice"; n "victim" ];
+  ignore
+    (Chain.push_action chain
+       (Token.transfer_action ~token:Name.eosio_token ~from:(n "treasury")
+          ~to_:(n "alice") ~quantity:(Asset.eos_of_units 1000_0000L) ~memo:""));
+  Token.set_balance chain ~token:Name.eosio_token ~owner:(n "victim")
+    ~symbol:Asset.Symbol.eos 1000_0000L;
+  Chain.set_code chain (n "victim") m abi;
+  let results =
+    List.map
+      (fun act -> (Chain.push_action chain act).Chain.tx_ok)
+      [
+        Action.of_args ~account:(n "victim") ~name:(n "deposit")
+          ~args:[ Abi.V_name (n "alice"); Abi.V_u64 5L ]
+          ~auth:[ n "alice" ];
+        Token.transfer_action ~token:Name.eosio_token ~from:(n "alice")
+          ~to_:(n "victim") ~quantity:(Asset.eos_of_units 100L) ~memo:"hello";
+        Action.of_args ~account:(n "victim") ~name:Name.transfer
+          ~args:
+            [
+              Abi.V_name (n "alice"); Abi.V_name (n "victim");
+              Abi.V_asset (Asset.eos_of_units 3L); Abi.V_string "x";
+            ]
+          ~auth:[ n "alice" ];
+      ]
+  in
+  (results, Chain.console_output chain, Token.eos_balance chain ~owner:(n "alice"))
+
+let qcheck_obfuscation_preserves_semantics =
+  QCheck.Test.make ~name:"obfuscation preserves observable behaviour" ~count:40
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      let rng = Wasai_support.Rand.create (Int64.of_int seed) in
+      let spec = random_spec rng in
+      let m, abi = BG.Contracts.build spec in
+      run_scenario m abi = run_scenario (BG.Obfuscate.obfuscate m) abi)
+
+let test_obfuscation_shape () =
+  let m, _ = BG.Contracts.build (BG.Contracts.default_spec (n "victim")) in
+  let obf = BG.Obfuscate.obfuscate m in
+  Alcotest.(check int) "one opaque function appended"
+    (Array.length m.Wasm.Ast.funcs + 1)
+    (Array.length obf.Wasm.Ast.funcs);
+  (* Every original i64 eq/ne disappears. *)
+  let count_eq (mm : Wasm.Ast.module_) =
+    let c = ref 0 in
+    Array.iter
+      (fun (f : Wasm.Ast.func) ->
+        Wasm.Ast.iter_instrs
+          (fun i ->
+            match i with
+            | Wasm.Ast.Int_compare (Wasm.Types.I64, (Wasm.Ast.Eq | Wasm.Ast.Ne)) ->
+                incr c
+            | _ -> ())
+          f.Wasm.Ast.body)
+      mm.Wasm.Ast.funcs;
+    !c
+  in
+  Alcotest.(check bool) "originals had comparisons" true (count_eq m > 0);
+  Alcotest.(check int) "all eq/ne encoded away" 0 (count_eq obf);
+  (* A call-graph cycle now exists (the opaque recursion). *)
+  Alcotest.(check bool) "opaque recursion forms a cycle" true
+    (Wasai_baselines.Eosafe.has_cycle obf
+       (Option.get (Wasm.Ast.exported_func obf "apply")))
+
+(* ------------------------------------------------------------------ *)
+(* Verification injector                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_claim_loop_sums_deposits () =
+  (* The claim action's db_next loop folds every players row. *)
+  let spec =
+    { (BG.Contracts.default_spec (n "victim")) with BG.Contracts.sp_claim_loop = true }
+  in
+  let m, abi = BG.Contracts.build spec in
+  let chain = Host.create_chain () in
+  Token.bootstrap chain ~treasury:(n "treasury") ~supply:1_000_000_0000L;
+  List.iter (fun a -> ignore (Chain.create_account chain a))
+    [ n "alice"; n "bob"; n "victim" ];
+  Chain.set_code chain (n "victim") m abi;
+  List.iter
+    (fun (player, amount) ->
+      let r =
+        Chain.push_action chain
+          (Action.of_args ~account:(n "victim") ~name:(n "deposit")
+             ~args:[ Abi.V_name player; Abi.V_u64 amount ]
+             ~auth:[ player ])
+      in
+      Alcotest.(check bool) "deposit ok" true r.Chain.tx_ok)
+    [ (n "alice", 11L); (n "bob", 31L) ];
+  let r =
+    Chain.push_action chain
+      (Action.of_args ~account:(n "victim") ~name:(n "claim") ~args:[]
+         ~auth:[ n "alice" ])
+  in
+  Alcotest.(check bool) "claim ok" true r.Chain.tx_ok;
+  Alcotest.(check string) "sum printed" "42" (Chain.console_output chain)
+
+let test_verification_inject () =
+  let m, abi = BG.Contracts.build (BG.Contracts.default_spec (n "victim")) in
+  let checks =
+    [ { BG.Contracts.chk_target = BG.Contracts.Chk_amount; chk_value = 424242L } ]
+  in
+  let m' = BG.Verification.inject m checks in
+  Wasm.Validate.check_module m';
+  (* A transfer with the wrong amount now traps; the right amount passes. *)
+  let run amount =
+    let chain = Host.create_chain () in
+    Token.bootstrap chain ~treasury:(n "treasury") ~supply:1_000_000_0000L;
+    ignore (Chain.create_account chain (n "alice"));
+    ignore (Chain.create_account chain (n "victim"));
+    ignore
+      (Chain.push_action chain
+         (Token.transfer_action ~token:Name.eosio_token ~from:(n "treasury")
+            ~to_:(n "alice") ~quantity:(Asset.eos_of_units 1_000_0000L) ~memo:""));
+    Chain.set_code chain (n "victim") m' abi;
+    (Chain.push_action chain
+       (Token.transfer_action ~token:Name.eosio_token ~from:(n "alice")
+          ~to_:(n "victim") ~quantity:(Asset.eos_of_units amount) ~memo:""))
+      .Chain.tx_ok
+  in
+  Alcotest.(check bool) "wrong amount trapped" false (run 100L);
+  Alcotest.(check bool) "gate amount passes" true (run 424242L)
+
+let test_random_checks_satisfiable () =
+  (* Distinct fields only: the conjunction must stay satisfiable. *)
+  let rng = Wasai_support.Rand.create 3L in
+  for _ = 1 to 50 do
+    let checks = BG.Verification.random_checks rng ~depth:5 in
+    let targets = List.map (fun c -> c.BG.Contracts.chk_target) checks in
+    Alcotest.(check int) "no duplicate fields" (List.length targets)
+      (List.length (List.sort_uniq compare targets))
+  done
+
+let test_random_milestones_distinct () =
+  let rng = Wasai_support.Rand.create 4L in
+  let ms = BG.Verification.random_milestones rng ~depth:20 in
+  let slots = List.map (fun m -> (m.BG.Contracts.ml_field, m.BG.Contracts.ml_byte)) ms in
+  Alcotest.(check int) "distinct (field, byte) slots" (List.length slots)
+    (List.length (List.sort_uniq compare slots))
+
+(* ------------------------------------------------------------------ *)
+(* Corpora                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_corpus_composition () =
+  let corpus = BG.Corpus.ground_truth ~scale:20 () in
+  (* Scaled class counts with half/half labels. *)
+  List.iter
+    (fun (cls, paper_n) ->
+      let of_cls =
+        List.filter (fun s -> s.BG.Corpus.smp_class = cls) corpus
+      in
+      Alcotest.(check int)
+        (BG.Contracts.string_of_vuln cls ^ " count")
+        (max 2 (paper_n / 20))
+        (List.length of_cls);
+      let vuln = List.filter (fun s -> s.BG.Corpus.smp_truth) of_cls in
+      Alcotest.(check int)
+        (BG.Contracts.string_of_vuln cls ^ " balanced")
+        ((List.length of_cls + 1) / 2)
+        (List.length vuln))
+    BG.Corpus.paper_counts
+
+let test_corpus_truth_consistency () =
+  List.iter
+    (fun (s : BG.Corpus.sample) ->
+      Alcotest.(check bool) "label matches spec" s.BG.Corpus.smp_truth
+        (BG.Contracts.ground_truth s.BG.Corpus.smp_spec s.BG.Corpus.smp_class))
+    (BG.Corpus.ground_truth ~scale:40 ())
+
+let test_corpus_determinism () =
+  let a = BG.Corpus.ground_truth ~scale:40 () in
+  let b = BG.Corpus.ground_truth ~scale:40 () in
+  Alcotest.(check bool) "same seed, same corpus" true
+    (List.for_all2 (fun x y -> x.BG.Corpus.smp_module = y.BG.Corpus.smp_module) a b)
+
+let test_mainnet_population () =
+  let pop = BG.Mainnet.generate ~count:300 () in
+  Alcotest.(check int) "population size" 300 (List.length pop);
+  let vuln = List.filter BG.Mainnet.truth_any pop in
+  let frac = float_of_int (List.length vuln) /. 300.0 in
+  (* The paper reports 71.3% vulnerable; the sampler should land nearby. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "vulnerable fraction %.2f within [0.55, 0.85]" frac)
+    true
+    (frac > 0.55 && frac < 0.85);
+  (* Patched latest versions are genuinely patched. *)
+  let patched =
+    List.filter
+      (fun d -> d.BG.Mainnet.dep_history = BG.Mainnet.Operating_patched)
+      pop
+  in
+  Alcotest.(check bool) "some patched contracts" true (List.length patched > 0);
+  List.iter
+    (fun d ->
+      match BG.Mainnet.latest_version d with
+      | Some (m, _) -> Wasm.Validate.check_module m
+      | None -> Alcotest.fail "patched contract has no latest version")
+    patched
+
+let () =
+  let qc = QCheck_alcotest.to_alcotest in
+  Alcotest.run "wasai_benchgen"
+    [
+      ( "contracts",
+        [ qc qcheck_specs_build; qc qcheck_wat_roundtrip ] );
+      ( "obfuscate",
+        [
+          qc qcheck_obfuscation_preserves_semantics;
+          Alcotest.test_case "structural effects" `Quick test_obfuscation_shape;
+        ] );
+      ( "verification",
+        [
+          Alcotest.test_case "claim loop sums deposits" `Quick
+            test_claim_loop_sums_deposits;
+          Alcotest.test_case "bytecode injection" `Quick test_verification_inject;
+          Alcotest.test_case "checks satisfiable" `Quick test_random_checks_satisfiable;
+          Alcotest.test_case "milestones distinct" `Quick
+            test_random_milestones_distinct;
+        ] );
+      ( "corpus",
+        [
+          Alcotest.test_case "composition" `Quick test_corpus_composition;
+          Alcotest.test_case "truth consistency" `Quick test_corpus_truth_consistency;
+          Alcotest.test_case "determinism" `Quick test_corpus_determinism;
+          Alcotest.test_case "mainnet population" `Quick test_mainnet_population;
+        ] );
+    ]

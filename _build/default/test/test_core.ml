@@ -1,0 +1,374 @@
+(* Tests for the WASAI core: seed pool, DBG, and the full detection matrix
+   of the engine against ground-truth contracts. *)
+
+module Core = Wasai_core
+module BG = Wasai_benchgen
+open Wasai_eosio
+
+let n = Name.of_string
+
+(* ------------------------------------------------------------------ *)
+(* Seed pool                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let mk_seed ?(prov = Core.Seed.Random_seed) action v =
+  { Core.Seed.sd_action = action; sd_args = [ Abi.V_u64 v ]; sd_provenance = prov }
+
+let seed_val (s : Core.Seed.t) =
+  match s.Core.Seed.sd_args with [ Abi.V_u64 v ] -> v | _ -> -1L
+
+let test_pool_circular () =
+  let pool = Core.Seed.create_pool () in
+  let a = n "act" in
+  List.iter (fun v -> Core.Seed.add pool (mk_seed a v)) [ 1L; 2L; 3L ];
+  let got = List.init 5 (fun _ -> seed_val (Option.get (Core.Seed.next pool a))) in
+  (* Head popped, pushed back to the tail: 1 2 3 1 2. *)
+  Alcotest.(check (list int64)) "circular order" [ 1L; 2L; 3L; 1L; 2L ] got
+
+let test_pool_fresh_priority () =
+  let pool = Core.Seed.create_pool () in
+  let a = n "act" in
+  Core.Seed.add pool (mk_seed a 1L);
+  Core.Seed.add pool (mk_seed ~prov:(Core.Seed.Adaptive 9) a 100L);
+  Alcotest.(check int64) "adaptive seed jumps the queue" 100L
+    (seed_val (Option.get (Core.Seed.next pool a)));
+  Alcotest.(check int64) "then the queue resumes" 1L
+    (seed_val (Option.get (Core.Seed.next pool a)))
+
+let test_pool_take_fresh () =
+  let pool = Core.Seed.create_pool () in
+  let a = n "act" in
+  Core.Seed.add pool (mk_seed a 1L);
+  Alcotest.(check bool) "no fresh yet" true (Core.Seed.take_fresh pool a = None);
+  Core.Seed.add pool (mk_seed ~prov:(Core.Seed.Adaptive 3) a 42L);
+  (match Core.Seed.take_fresh pool a with
+   | Some s -> Alcotest.(check int64) "fresh taken" 42L (seed_val s)
+   | None -> Alcotest.fail "fresh seed missing");
+  Alcotest.(check bool) "fresh drained" true (Core.Seed.take_fresh pool a = None)
+
+(* ------------------------------------------------------------------ *)
+(* DBG                                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_dbg_dependency () =
+  let g = Core.Dbg.create () in
+  let write_acc table =
+    { Database.acc_kind = Database.Write; acc_code = n "c"; acc_table = table }
+  in
+  Core.Dbg.record_access g ~action:(n "deposit") (write_acc (n "players"));
+  Core.Dbg.record_read_miss g ~action:(n "transfer") (n "players");
+  Alcotest.(check (option int64)) "writer found" (Some (n "deposit"))
+    (Core.Dbg.dependency_for g (n "transfer"));
+  Core.Dbg.clear_read_miss g ~action:(n "transfer");
+  Alcotest.(check (option int64)) "cleared" None
+    (Core.Dbg.dependency_for g (n "transfer"))
+
+let test_dbg_no_self_dependency () =
+  let g = Core.Dbg.create () in
+  let acc k table =
+    { Database.acc_kind = k; acc_code = n "c"; acc_table = table }
+  in
+  (* The blocked action itself also writes the table; it must not be its
+     own resolution. *)
+  Core.Dbg.record_access g ~action:(n "transfer") (acc Database.Write (n "t"));
+  Core.Dbg.record_read_miss g ~action:(n "transfer") (n "t");
+  Alcotest.(check (option int64)) "no self-writer" None
+    (Core.Dbg.dependency_for g (n "transfer"))
+
+(* ------------------------------------------------------------------ *)
+(* Detection matrix                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let fuzz ?(rounds = 40) spec =
+  let m, abi = BG.Contracts.build spec in
+  Core.Engine.fuzz
+    ~cfg:{ Core.Engine.default_config with Core.Engine.cfg_rounds = rounds }
+    {
+      Core.Engine.tgt_account = spec.BG.Contracts.sp_account;
+      tgt_module = m;
+      tgt_abi = abi;
+    }
+
+let base = BG.Contracts.default_spec (n "victim")
+
+let check_matrix name spec =
+  let o = fuzz spec in
+  List.iter
+    (fun (cls, flag) ->
+      let expected = BG.Contracts.ground_truth spec cls in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s/%s" name (BG.Contracts.string_of_vuln cls))
+        expected
+        (Core.Engine.flagged o flag))
+    [
+      (BG.Contracts.Fake_eos, Core.Scanner.Fake_eos);
+      (BG.Contracts.Fake_notif, Core.Scanner.Fake_notif);
+      (BG.Contracts.Miss_auth, Core.Scanner.Miss_auth);
+      (BG.Contracts.Blockinfo_dep, Core.Scanner.Blockinfo_dep);
+      (BG.Contracts.Rollback, Core.Scanner.Rollback);
+    ]
+
+let test_matrix_safe () = check_matrix "safe" base
+
+let test_matrix_fake_eos () =
+  check_matrix "fake-eos" { base with BG.Contracts.sp_fake_eos_guard = false }
+
+let test_matrix_fake_notif () =
+  check_matrix "fake-notif" { base with BG.Contracts.sp_fake_notif_guard = false }
+
+let test_matrix_miss_auth () =
+  check_matrix "miss-auth" { base with BG.Contracts.sp_auth_check = false }
+
+let test_matrix_blockinfo () =
+  check_matrix "blockinfo" { base with BG.Contracts.sp_blockinfo = true }
+
+let test_matrix_rollback () =
+  check_matrix "rollback" { base with BG.Contracts.sp_payout_inline = true }
+
+let test_matrix_all_with_gates () =
+  check_matrix "all+gates"
+    {
+      base with
+      BG.Contracts.sp_fake_eos_guard = false;
+      sp_fake_notif_guard = false;
+      sp_auth_check = false;
+      sp_blockinfo = true;
+      sp_payout_inline = true;
+      sp_db_gate = true;
+      sp_min_bet = Some 10L;
+    }
+
+let test_matrix_dead_template () =
+  (* Inaccessible-branch negatives must not be flagged (no FPs from
+     syntactic presence of the template). *)
+  check_matrix "dead-template"
+    {
+      base with
+      BG.Contracts.sp_blockinfo = true;
+      sp_payout_inline = true;
+      sp_dead_template = true;
+    }
+
+let test_admin_reveal_is_fn () =
+  (* The paper's documented FN: the only inline payout sits behind an
+     admin-only action whose authority is not in the identity pool. *)
+  let spec =
+    {
+      base with
+      BG.Contracts.sp_has_payout = false;
+      sp_admin_reveal = true;
+      sp_payout_inline = true;
+    }
+  in
+  Alcotest.(check bool) "ground truth vulnerable" true
+    (BG.Contracts.ground_truth spec BG.Contracts.Rollback);
+  let o = fuzz spec in
+  Alcotest.(check bool) "engine misses it (no address pool)" false
+    (Core.Engine.flagged o Core.Scanner.Rollback)
+
+let test_deep_gates_need_feedback () =
+  let spec =
+    {
+      base with
+      BG.Contracts.sp_payout_inline = true;
+      sp_memo_gate = Some "action:buy";
+      sp_checks =
+        [
+          { BG.Contracts.chk_target = BG.Contracts.Chk_amount; chk_value = 123456789L };
+          {
+            BG.Contracts.chk_target = BG.Contracts.Chk_symbol;
+            chk_value = Asset.Symbol.eos;
+          };
+        ];
+    }
+  in
+  let m, abi = BG.Contracts.build spec in
+  let target =
+    {
+      Core.Engine.tgt_account = n "victim";
+      tgt_module = m;
+      tgt_abi = abi;
+    }
+  in
+  let with_fb =
+    Core.Engine.fuzz
+      ~cfg:{ Core.Engine.default_config with Core.Engine.cfg_rounds = 40 }
+      target
+  in
+  let without_fb =
+    Core.Engine.fuzz
+      ~cfg:
+        {
+          Core.Engine.default_config with
+          Core.Engine.cfg_rounds = 40;
+          cfg_feedback = false;
+        }
+      target
+  in
+  Alcotest.(check bool) "feedback finds the gated payout" true
+    (Core.Engine.flagged with_fb Core.Scanner.Rollback);
+  Alcotest.(check bool) "random fuzzing misses it" false
+    (Core.Engine.flagged without_fb Core.Scanner.Rollback);
+  Alcotest.(check bool) "feedback covers more branches" true
+    (with_fb.Core.Engine.out_branches > without_fb.Core.Engine.out_branches)
+
+let test_db_gate_resolved_by_dbg () =
+  (* The players-table gate requires a prior deposit; the DBG-driven seed
+     selector must sequence it. *)
+  let spec =
+    { base with BG.Contracts.sp_db_gate = true; sp_payout_inline = true }
+  in
+  let o = fuzz spec in
+  Alcotest.(check bool) "payout behind DB gate reached" true
+    (Core.Engine.flagged o Core.Scanner.Rollback)
+
+let test_multi_table_fn () =
+  (* Table-level DBG granularity cannot correlate the setup parameter
+     with the transfer payer: the paper's documented FN. *)
+  let spec =
+    {
+      base with
+      BG.Contracts.sp_auth_check = false;
+      sp_deposit_auth = Some true;
+      sp_db_gate = true;
+      sp_multi_table = true;
+    }
+  in
+  Alcotest.(check bool) "ground truth vulnerable" true
+    (BG.Contracts.ground_truth spec BG.Contracts.Miss_auth);
+  let o = fuzz spec in
+  Alcotest.(check bool) "engine cannot satisfy the meta gate" false
+    (Core.Engine.flagged o Core.Scanner.Miss_auth)
+
+let test_obfuscated_detection_stable () =
+  let spec =
+    {
+      base with
+      BG.Contracts.sp_fake_eos_guard = false;
+      sp_auth_check = false;
+      sp_payout_inline = true;
+    }
+  in
+  let m, abi = BG.Contracts.build spec in
+  let obf = BG.Obfuscate.obfuscate m in
+  let run module_ =
+    Core.Engine.fuzz
+      ~cfg:{ Core.Engine.default_config with Core.Engine.cfg_rounds = 24 }
+      { Core.Engine.tgt_account = n "victim"; tgt_module = module_; tgt_abi = abi }
+  in
+  let o1 = run m and o2 = run obf in
+  Alcotest.(check bool) "same verdicts plain/obfuscated" true
+    (o1.Core.Engine.out_flags = o2.Core.Engine.out_flags)
+
+let test_exploit_payloads () =
+  (* Every positive verdict comes with a concrete exploit payload (the
+     paper's "WASAI can produce exploit payloads"). *)
+  let spec =
+    {
+      base with
+      BG.Contracts.sp_fake_eos_guard = false;
+      sp_payout_inline = true;
+      sp_checks =
+        [ { BG.Contracts.chk_target = BG.Contracts.Chk_amount; chk_value = 55555L } ];
+    }
+  in
+  let m, abi = BG.Contracts.build spec in
+  let o =
+    Core.Engine.fuzz
+      ~cfg:{ Core.Engine.default_config with Core.Engine.cfg_rounds = 40 }
+      { Core.Engine.tgt_account = n "victim"; tgt_module = m; tgt_abi = abi }
+  in
+  List.iter
+    (fun (f, fired) ->
+      if fired then
+        Alcotest.(check bool)
+          (Core.Scanner.string_of_flag f ^ " has evidence")
+          true
+          (List.mem_assoc f o.Core.Engine.out_exploits))
+    o.Core.Engine.out_flags;
+  (* The Rollback payload must itself satisfy the amount gate: replaying
+     it verbatim reaches send_inline. *)
+  match List.assoc_opt Core.Scanner.Rollback o.Core.Engine.out_exploits with
+  | None -> Alcotest.fail "rollback evidence missing"
+  | Some e ->
+      let rendered = Core.Scanner.string_of_evidence ~abi e in
+      Alcotest.(check bool) "payload decodes with the ABI" true
+        (String.length rendered > 0
+        &&
+        let sub = "5.5555 EOS" in
+        let rec contains i =
+          i + String.length sub <= String.length rendered
+          && (String.sub rendered i (String.length sub) = sub || contains (i + 1))
+        in
+        contains 0)
+
+let test_time_limit () =
+  (* A zero wall-clock budget stops the loop immediately. *)
+  let m, abi = BG.Contracts.build base in
+  let o =
+    Core.Engine.fuzz
+      ~cfg:
+        {
+          Core.Engine.default_config with
+          Core.Engine.cfg_rounds = 1000;
+          cfg_time_limit = Some 0.0;
+        }
+      { Core.Engine.tgt_account = n "victim"; tgt_module = m; tgt_abi = abi }
+  in
+  Alcotest.(check int) "no rounds under a zero budget" 0 o.Core.Engine.out_rounds
+
+let test_outcome_accounting () =
+  let o = fuzz { base with BG.Contracts.sp_fake_eos_guard = false } in
+  Alcotest.(check bool) "transactions ran" true (o.Core.Engine.out_transactions > 0);
+  Alcotest.(check bool) "branches found" true (o.Core.Engine.out_branches > 0);
+  Alcotest.(check int) "timeline covers rounds" o.Core.Engine.out_rounds
+    (List.length o.Core.Engine.out_timeline);
+  (* Timeline is monotone. *)
+  let rec mono = function
+    | (_, _, a) :: ((_, _, b) :: _ as rest) -> a <= b && mono rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "coverage monotone" true (mono o.Core.Engine.out_timeline)
+
+let () =
+  Alcotest.run "wasai_core"
+    [
+      ( "seed-pool",
+        [
+          Alcotest.test_case "circular queue" `Quick test_pool_circular;
+          Alcotest.test_case "adaptive priority" `Quick test_pool_fresh_priority;
+          Alcotest.test_case "take_fresh" `Quick test_pool_take_fresh;
+        ] );
+      ( "dbg",
+        [
+          Alcotest.test_case "dependency resolution" `Quick test_dbg_dependency;
+          Alcotest.test_case "no self dependency" `Quick test_dbg_no_self_dependency;
+        ] );
+      ( "detection-matrix",
+        [
+          Alcotest.test_case "all safe" `Quick test_matrix_safe;
+          Alcotest.test_case "fake eos" `Quick test_matrix_fake_eos;
+          Alcotest.test_case "fake notif" `Quick test_matrix_fake_notif;
+          Alcotest.test_case "miss auth" `Quick test_matrix_miss_auth;
+          Alcotest.test_case "blockinfo" `Quick test_matrix_blockinfo;
+          Alcotest.test_case "rollback" `Quick test_matrix_rollback;
+          Alcotest.test_case "everything + gates" `Quick test_matrix_all_with_gates;
+          Alcotest.test_case "dead template stays clean" `Quick
+            test_matrix_dead_template;
+        ] );
+      ( "engine",
+        [
+          Alcotest.test_case "admin-reveal FN (paper §4.2)" `Quick
+            test_admin_reveal_is_fn;
+          Alcotest.test_case "deep gates need feedback" `Quick
+            test_deep_gates_need_feedback;
+          Alcotest.test_case "DB gate via DBG" `Quick test_db_gate_resolved_by_dbg;
+          Alcotest.test_case "multi-table FN (paper §5)" `Quick test_multi_table_fn;
+          Alcotest.test_case "verdicts stable under obfuscation" `Quick
+            test_obfuscated_detection_stable;
+          Alcotest.test_case "exploit payloads produced" `Quick
+            test_exploit_payloads;
+          Alcotest.test_case "wall-clock budget" `Quick test_time_limit;
+          Alcotest.test_case "outcome accounting" `Quick test_outcome_accounting;
+        ] );
+    ]

@@ -1,0 +1,216 @@
+(* Systematic numeric-semantics vectors: every integer operator checked
+   against hand-computed values from the WebAssembly specification's test
+   suite conventions (wrap-around, shift masking, signed/unsigned
+   division corners, rotation wrap, count instructions). *)
+
+open Wasai_wasm
+
+let run_i32 op a b =
+  Values.as_i32 (Interp.eval_int_binary Types.I32 op (Values.I32 a) (Values.I32 b))
+
+let run_i64 op a b =
+  Values.as_i64 (Interp.eval_int_binary Types.I64 op (Values.I64 a) (Values.I64 b))
+
+let cmp_i32 op a b =
+  Values.as_i32 (Interp.eval_int_compare Types.I32 op (Values.I32 a) (Values.I32 b))
+
+let cmp_i64 op a b =
+  Values.as_i32 (Interp.eval_int_compare Types.I64 op (Values.I64 a) (Values.I64 b))
+
+let check32 name expected got = Alcotest.(check int32) name expected got
+let check64 name expected got = Alcotest.(check int64) name expected got
+
+let test_i32_binop_vectors () =
+  let v = [
+    (Ast.Add, 0x7FFF_FFFFl, 1l, 0x8000_0000l);
+    (Ast.Add, -1l, 1l, 0l);
+    (Ast.Sub, 0l, 1l, -1l);
+    (Ast.Sub, 0x8000_0000l, 1l, 0x7FFF_FFFFl);
+    (Ast.Mul, 0x1234_5678l, 0x9ABC_DEF0l, Int32.mul 0x1234_5678l 0x9ABC_DEF0l);
+    (Ast.Mul, 0x8000_0000l, 2l, 0l);
+    (Ast.Div_s, 7l, 2l, 3l);
+    (Ast.Div_s, -7l, 2l, -3l);  (* trunc toward zero *)
+    (Ast.Div_s, 7l, -2l, -3l);
+    (Ast.Div_u, -1l, 2l, 0x7FFF_FFFFl);  (* 0xFFFFFFFF / 2 *)
+    (Ast.Rem_s, 7l, 2l, 1l);
+    (Ast.Rem_s, -7l, 2l, -1l);
+    (Ast.Rem_s, 0x8000_0000l, -1l, 0l);  (* the overflow-free remainder *)
+    (Ast.Rem_u, -1l, 10l, 5l);  (* 4294967295 mod 10 *)
+    (Ast.And, 0xF0F0l, 0x0FF0l, 0x00F0l);
+    (Ast.Or, 0xF000l, 0x000Fl, 0xF00Fl);
+    (Ast.Xor, -1l, 0x0F0Fl, 0xFFFFF0F0l);
+    (Ast.Shl, 1l, 31l, 0x8000_0000l);
+    (Ast.Shl, 1l, 32l, 1l);  (* amount masked mod 32 *)
+    (Ast.Shr_s, 0x8000_0000l, 31l, -1l);
+    (Ast.Shr_u, 0x8000_0000l, 31l, 1l);
+    (Ast.Rotl, 0xABCD_9876l, 4l, 0xBCD9876Al);
+    (Ast.Rotr, 0xABCD_9876l, 4l, 0x6ABCD987l);
+    (Ast.Rotl, 1l, 32l, 1l);
+  ] in
+  List.iter
+    (fun (op, a, b, expected) ->
+      check32
+        (Printf.sprintf "i32.%s %ld %ld" (Ast.string_of_int_binop op) a b)
+        expected (run_i32 op a b))
+    v
+
+let test_i64_binop_vectors () =
+  let v = [
+    (Ast.Add, Int64.max_int, 1L, Int64.min_int);
+    (Ast.Sub, Int64.min_int, 1L, Int64.max_int);
+    (Ast.Mul, 0x0123_4567_89AB_CDEFL, 16L, Int64.mul 0x0123_4567_89AB_CDEFL 16L);
+    (Ast.Div_s, -9L, 4L, -2L);
+    (Ast.Div_u, -1L, 2L, Int64.max_int);
+    (Ast.Rem_s, Int64.min_int, -1L, 0L);
+    (Ast.Rem_u, -1L, 1000L, Int64.unsigned_rem (-1L) 1000L);
+    (Ast.Shl, 1L, 63L, Int64.min_int);
+    (Ast.Shl, 1L, 64L, 1L);
+    (Ast.Shr_s, Int64.min_int, 63L, -1L);
+    (Ast.Shr_u, Int64.min_int, 63L, 1L);
+    (Ast.Rotl, 0x1L, 1L, 2L);
+    (Ast.Rotr, 0x1L, 1L, Int64.min_int);
+  ] in
+  List.iter
+    (fun (op, a, b, expected) ->
+      check64
+        (Printf.sprintf "i64.%s %Ld %Ld" (Ast.string_of_int_binop op) a b)
+        expected (run_i64 op a b))
+    v
+
+let test_compare_vectors () =
+  let t32 = [
+    (Ast.Eq, 1l, 1l, 1l); (Ast.Eq, 1l, 2l, 0l);
+    (Ast.Ne, 1l, 2l, 1l);
+    (Ast.Lt_s, -1l, 0l, 1l); (Ast.Lt_u, -1l, 0l, 0l);
+    (Ast.Gt_s, 0l, -1l, 1l); (Ast.Gt_u, 0l, -1l, 0l);
+    (Ast.Le_s, Int32.min_int, Int32.max_int, 1l);
+    (Ast.Le_u, Int32.min_int, Int32.max_int, 0l);
+    (Ast.Ge_s, Int32.max_int, Int32.min_int, 1l);
+    (Ast.Ge_u, Int32.max_int, Int32.min_int, 0l);
+  ] in
+  List.iter
+    (fun (op, a, b, expected) ->
+      check32
+        (Printf.sprintf "i32.%s %ld %ld" (Ast.string_of_int_relop op) a b)
+        expected (cmp_i32 op a b))
+    t32;
+  let t64 = [
+    (Ast.Lt_u, -1L, 0L, 0l);
+    (Ast.Lt_s, Int64.min_int, 0L, 1l);
+    (Ast.Ge_u, -1L, Int64.max_int, 1l);
+  ] in
+  List.iter
+    (fun (op, a, b, expected) ->
+      check32
+        (Printf.sprintf "i64.%s %Ld %Ld" (Ast.string_of_int_relop op) a b)
+        expected (cmp_i64 op a b))
+    t64
+
+let test_count_vectors () =
+  let u32 op a =
+    Values.as_i32 (Interp.eval_int_unary Types.I32 op (Values.I32 a))
+  in
+  let u64 op a =
+    Values.as_i64 (Interp.eval_int_unary Types.I64 op (Values.I64 a))
+  in
+  check32 "clz 0xFFFFFFFF" 0l (u32 Ast.Clz (-1l));
+  check32 "clz 1" 31l (u32 Ast.Clz 1l);
+  check32 "clz 0x8000" 16l (u32 Ast.Clz 0x8000l);
+  check32 "ctz 0x8000_0000" 31l (u32 Ast.Ctz 0x8000_0000l);
+  check32 "ctz 0x60" 5l (u32 Ast.Ctz 0x60l);
+  check32 "popcnt 0xAAAA_AAAA" 16l (u32 Ast.Popcnt 0xAAAA_AAAAl);
+  check64 "clz64 0xFF..." 0L (u64 Ast.Clz (-1L));
+  check64 "ctz64 2^40" 40L (u64 Ast.Ctz (Int64.shift_left 1L 40));
+  check64 "popcnt64 alternating" 32L (u64 Ast.Popcnt 0x5555_5555_5555_5555L)
+
+let test_float_vectors () =
+  let f32bin op a b =
+    Values.as_f32 (Interp.eval_float_binary Types.F32 op (Values.F32 a) (Values.F32 b))
+  in
+  let f64un op a =
+    Values.as_f64 (Interp.eval_float_unary Types.F64 op (Values.F64 a))
+  in
+  Alcotest.(check (float 0.0)) "f32 add rounds to single" 16777216.0
+    (f32bin Ast.Fadd 16777216.0 1.0);
+  Alcotest.(check (float 0.0)) "min(-0, 0) = -0 sign" neg_infinity
+    (1.0 /. f32bin Ast.Fmin (-0.0) 0.0);
+  Alcotest.(check (float 0.0)) "max(-0, 0) = 0 sign" infinity
+    (1.0 /. f32bin Ast.Fmax (-0.0) 0.0);
+  Alcotest.(check bool) "min with NaN" true
+    (Float.is_nan (f32bin Ast.Fmin Float.nan 1.0));
+  Alcotest.(check (float 0.0)) "copysign" (-5.0) (f32bin Ast.Fcopysign 5.0 (-1.0));
+  Alcotest.(check (float 0.0)) "nearest 0.5 -> 0" 0.0 (f64un Ast.Fnearest 0.5);
+  Alcotest.(check (float 0.0)) "nearest 1.5 -> 2" 2.0 (f64un Ast.Fnearest 1.5);
+  Alcotest.(check (float 0.0)) "trunc -1.7 -> -1" (-1.0) (f64un Ast.Ftrunc (-1.7));
+  Alcotest.(check (float 0.0)) "floor -1.2 -> -2" (-2.0) (f64un Ast.Ffloor (-1.2))
+
+let test_conversion_vectors () =
+  let conv op v = Interp.eval_convert op v in
+  Alcotest.(check int32) "wrap" 0x9ABC_DEF0l
+    (Values.as_i32 (conv Ast.I32_wrap_i64 (Values.I64 0x1234_5678_9ABC_DEF0L)));
+  Alcotest.(check int64) "extend_s" (-1L)
+    (Values.as_i64 (conv Ast.I64_extend_i32_s (Values.I32 (-1l))));
+  Alcotest.(check int64) "extend_u" 0xFFFF_FFFFL
+    (Values.as_i64 (conv Ast.I64_extend_i32_u (Values.I32 (-1l))));
+  Alcotest.(check int32) "trunc_f64_s" (-3l)
+    (Values.as_i32 (conv Ast.I32_trunc_f64_s (Values.F64 (-3.9))));
+  Alcotest.(check int32) "trunc_f64_u max" (-1l)
+    (Values.as_i32 (conv Ast.I32_trunc_f64_u (Values.F64 4294967295.0)));
+  Alcotest.(check (float 0.0)) "convert_i32_u" 4294967295.0
+    (Values.as_f64 (conv Ast.F64_convert_i32_u (Values.I32 (-1l))));
+  Alcotest.(check int32) "reinterpret f32" 0x3F80_0000l
+    (Values.as_i32 (conv Ast.I32_reinterpret_f32 (Values.F32 1.0)));
+  Alcotest.(check (float 0.0)) "reinterpret back" 1.0
+    (Values.as_f32 (conv Ast.F32_reinterpret_i32 (Values.I32 0x3F80_0000l)))
+
+(* The SMT evaluator must agree with the interpreter on every integer
+   binop for random operands: two independent implementations of the same
+   semantics. *)
+let qcheck_expr_agrees_with_interp =
+  let ops =
+    Ast.
+      [
+        (Add, Wasai_smt.Expr.Add); (Sub, Wasai_smt.Expr.Sub);
+        (Mul, Wasai_smt.Expr.Mul); (And, Wasai_smt.Expr.And);
+        (Or, Wasai_smt.Expr.Or); (Xor, Wasai_smt.Expr.Xor);
+        (Shl, Wasai_smt.Expr.Shl); (Shr_s, Wasai_smt.Expr.Ashr);
+        (Shr_u, Wasai_smt.Expr.Lshr); (Rotl, Wasai_smt.Expr.Rotl);
+        (Rotr, Wasai_smt.Expr.Rotr); (Div_u, Wasai_smt.Expr.Udiv);
+        (Rem_u, Wasai_smt.Expr.Urem); (Div_s, Wasai_smt.Expr.Sdiv);
+        (Rem_s, Wasai_smt.Expr.Srem);
+      ]
+  in
+  QCheck.Test.make ~name:"Expr.eval_binop = interpreter (i64)" ~count:500
+    QCheck.(triple (int_bound (List.length ops - 1)) int int)
+    (fun (opi, a, b) ->
+      let wop, eop = List.nth ops opi in
+      let a = Int64.of_int a and b = Int64.of_int b in
+      let interp =
+        match run_i64 wop a b with
+        | v -> Some v
+        | exception Values.Trap _ -> None
+      in
+      let expr = Wasai_smt.Expr.eval_binop 64 eop a b in
+      match interp with
+      | Some v -> v = expr
+      | None ->
+          (* Wasm traps on div/rem-by-zero and signed overflow; the
+             expression semantics is total.  Those inputs only reach the
+             solver when the concrete run did NOT trap, so a divergence
+             here is fine — but only on the trapping inputs. *)
+          b = 0L || (a = Int64.min_int && b = -1L))
+
+let () =
+  Alcotest.run "wasai_numeric_vectors"
+    [
+      ( "vectors",
+        [
+          Alcotest.test_case "i32 binops" `Quick test_i32_binop_vectors;
+          Alcotest.test_case "i64 binops" `Quick test_i64_binop_vectors;
+          Alcotest.test_case "comparisons" `Quick test_compare_vectors;
+          Alcotest.test_case "clz/ctz/popcnt" `Quick test_count_vectors;
+          Alcotest.test_case "floats" `Quick test_float_vectors;
+          Alcotest.test_case "conversions" `Quick test_conversion_vectors;
+          QCheck_alcotest.to_alcotest qcheck_expr_agrees_with_interp;
+        ] );
+    ]

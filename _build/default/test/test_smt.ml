@@ -1,0 +1,420 @@
+(* Tests for the SMT substrate: SAT solver, expression semantics,
+   bit-blasting correctness against the evaluator, and the two-tier
+   solver. *)
+
+open Wasai_smt
+
+(* ------------------------------------------------------------------ *)
+(* SAT                                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let lit v ~pos = Sat.lit_of_var v ~positive:pos
+
+let test_sat_basic () =
+  let s = Sat.create () in
+  let a = Sat.new_var s and b = Sat.new_var s in
+  ignore (Sat.add_clause s [ lit a ~pos:true; lit b ~pos:true ]);
+  ignore (Sat.add_clause s [ lit a ~pos:false ]);
+  Alcotest.(check bool) "sat" true (Sat.solve s = Sat.Sat);
+  Alcotest.(check bool) "a false" false (Sat.model_value s a);
+  Alcotest.(check bool) "b true" true (Sat.model_value s b)
+
+let test_sat_unsat () =
+  let s = Sat.create () in
+  let a = Sat.new_var s and b = Sat.new_var s in
+  ignore (Sat.add_clause s [ lit a ~pos:true; lit b ~pos:true ]);
+  ignore (Sat.add_clause s [ lit a ~pos:true; lit b ~pos:false ]);
+  ignore (Sat.add_clause s [ lit a ~pos:false; lit b ~pos:true ]);
+  ignore (Sat.add_clause s [ lit a ~pos:false; lit b ~pos:false ]);
+  Alcotest.(check bool) "unsat" true (Sat.solve s = Sat.Unsat)
+
+(* Pigeonhole principle PHP(n+1, n): always unsat, needs real conflict
+   analysis to finish quickly. *)
+let pigeonhole n =
+  let s = Sat.create () in
+  let v = Array.init (n + 1) (fun _ -> Array.init n (fun _ -> Sat.new_var s)) in
+  (* Every pigeon in some hole. *)
+  for p = 0 to n do
+    ignore
+      (Sat.add_clause s (List.init n (fun h -> lit v.(p).(h) ~pos:true)))
+  done;
+  (* No two pigeons share a hole. *)
+  for h = 0 to n - 1 do
+    for p1 = 0 to n do
+      for p2 = p1 + 1 to n do
+        ignore
+          (Sat.add_clause s [ lit v.(p1).(h) ~pos:false; lit v.(p2).(h) ~pos:false ])
+      done
+    done
+  done;
+  Sat.solve s
+
+let test_sat_pigeonhole () =
+  Alcotest.(check bool) "php(5,4) unsat" true (pigeonhole 4 = Sat.Unsat);
+  Alcotest.(check bool) "php(7,6) unsat" true (pigeonhole 6 = Sat.Unsat)
+
+(* Random 3-SAT near the phase transition: whatever the answer, a SAT
+   answer must come with a genuine model. *)
+let qcheck_random_3sat =
+  QCheck.Test.make ~name:"random 3-SAT models are genuine" ~count:60
+    QCheck.(pair (int_bound 1000000) (int_range 8 20))
+    (fun (seed, nv) ->
+      let rng = Wasai_support.Rand.create (Int64.of_int seed) in
+      let s = Sat.create () in
+      let vars = Array.init nv (fun _ -> Sat.new_var s) in
+      let ncl = int_of_float (4.0 *. float_of_int nv) in
+      let clauses = ref [] in
+      for _ = 1 to ncl do
+        let cl =
+          List.init 3 (fun _ ->
+              lit vars.(Wasai_support.Rand.int rng nv)
+                ~pos:(Wasai_support.Rand.bool rng))
+        in
+        clauses := cl :: !clauses;
+        ignore (Sat.add_clause s cl)
+      done;
+      match Sat.solve s with
+      | Sat.Unsat | Sat.Unknown -> true
+      | Sat.Sat ->
+          List.for_all
+            (fun cl ->
+              List.exists
+                (fun l ->
+                  let v = Sat.var_of_lit l in
+                  let positive = l land 1 = 0 in
+                  Sat.model_value s v = positive)
+                cl)
+            !clauses)
+
+(* ------------------------------------------------------------------ *)
+(* Expressions                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_expr_fold () =
+  let open Expr in
+  Alcotest.(check bool) "const fold add" true
+    (binop Add (const 32 7L) (const 32 5L) = const 32 12L);
+  Alcotest.(check bool) "mask wraps" true
+    (binop Add (const 8 255L) (const 8 1L) = const 8 0L);
+  Alcotest.(check bool) "eq fold" true (cmp Eq (const 64 3L) (const 64 3L) = true_);
+  let v = var (fresh_var ~name:"x" 64) in
+  Alcotest.(check bool) "x + 0 = x" true (binop Add v (const 64 0L) = v);
+  Alcotest.(check bool) "x * 0 = 0" true (binop Mul v (const 64 0L) = const 64 0L);
+  Alcotest.(check bool) "not not x = x" true (unop Not (unop Not v) = v)
+
+let test_expr_invert_rules () =
+  let open Expr in
+  let x = fresh_var ~name:"x" 64 in
+  (* ((x + 5) == 12) folds to (x == 7). *)
+  let e = cmp Eq (binop Add (var x) (const 64 5L)) (const 64 12L) in
+  (match e with
+   | Cmp (Eq, Var v, Const (_, 7L)) ->
+       Alcotest.(check int) "var preserved" x.vid v.vid
+   | _ -> Alcotest.failf "unexpected shape: %s" (to_string e));
+  (* ((x ^ c) == d) folds to (x == c^d). *)
+  let e2 = cmp Eq (binop Xor (const 64 0xFFL) (var x)) (const 64 0x0FL) in
+  match e2 with
+  | Cmp (Eq, Var _, Const (_, 0xF0L)) -> ()
+  | _ -> Alcotest.failf "unexpected shape: %s" (to_string e2)
+
+let test_expr_signedness () =
+  let open Expr in
+  Alcotest.(check int64) "to_signed 8-bit" (-1L) (to_signed 8 255L);
+  Alcotest.(check bool) "slt signed" true
+    (cmp Slt (const 8 255L) (const 8 1L) = true_);
+  Alcotest.(check bool) "ult unsigned" true
+    (cmp Ult (const 8 1L) (const 8 255L) = true_)
+
+let test_expr_popcnt_clz () =
+  let open Expr in
+  Alcotest.(check bool) "popcnt" true (unop Popcnt (const 64 0xF0F0L) = const 64 8L);
+  Alcotest.(check bool) "clz 32" true (unop Clz (const 32 1L) = const 32 31L);
+  Alcotest.(check bool) "ctz" true (unop Ctz (const 32 8L) = const 32 3L);
+  Alcotest.(check bool) "clz 0" true (unop Clz (const 16 0L) = const 16 16L)
+
+(* ------------------------------------------------------------------ *)
+(* Bit-blasting vs. evaluator                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* Generate random expressions over two variables. *)
+let gen_expr width =
+  let open QCheck.Gen in
+  let binops =
+    Expr.
+      [
+        Add; Sub; Mul; And; Or; Xor; Shl; Lshr; Ashr; Udiv; Urem; Sdiv; Srem;
+        Rotl; Rotr;
+      ]
+  in
+  let unops = Expr.[ Not; Neg; Popcnt; Clz; Ctz ] in
+  fun (x : Expr.var) (y : Expr.var) ->
+    fix
+      (fun self n ->
+        if n <= 0 then
+          oneof
+            [
+              return (Expr.var x);
+              return (Expr.var y);
+              map (fun v -> Expr.const width (Int64.of_int v)) int;
+            ]
+        else
+          frequency
+            [
+              (1, return (Expr.var x));
+              (1, return (Expr.var y));
+              ( 4,
+                map3
+                  (fun op a b -> Expr.binop op a b)
+                  (oneofl binops) (self (n / 2)) (self (n / 2)) );
+              ( 2,
+                map2 (fun op a -> Expr.unop op a) (oneofl unops) (self (n - 1)) );
+              ( 1,
+                map3
+                  (fun c a b -> Expr.ite (Expr.cmp Expr.Ult c a) a b)
+                  (self (n / 2)) (self (n / 2)) (self (n / 2)) );
+            ])
+      4
+
+let blast_agrees_with_eval ?(count = 150) width =
+  let x = Expr.fresh_var ~name:"x" width in
+  let y = Expr.fresh_var ~name:"y" width in
+  let gen =
+    QCheck.Gen.(
+      triple (gen_expr width x y) (map Int64.of_int int) (map Int64.of_int int))
+  in
+  QCheck.Test.make
+    ~name:(Printf.sprintf "bitblast = eval (width %d)" width)
+    ~count
+    (QCheck.make gen ~print:(fun (e, a, b) ->
+         Printf.sprintf "%s with x=%Ld y=%Ld" (Expr.to_string e) a b))
+    (fun (e, xv, yv) ->
+      let env = Hashtbl.create 4 in
+      Hashtbl.replace env x.Expr.vid xv;
+      Hashtbl.replace env y.Expr.vid yv;
+      let expected = Expr.eval env e in
+      (* Pin x and y, assert e == expected: must be SAT. *)
+      let pin =
+        Expr.
+          [
+            cmp Eq (var x) (const width xv);
+            cmp Eq (var y) (const width yv);
+          ]
+      in
+      let c_eq = Expr.cmp Expr.Eq e (Expr.const width expected) in
+      let ctx = Bitblast.create () in
+      List.iter (Bitblast.assert_true ctx) (c_eq :: pin);
+      match Sat.solve ctx.Bitblast.sat with
+      | Sat.Sat -> (
+          (* And e != expected must be UNSAT. *)
+          let ctx2 = Bitblast.create () in
+          List.iter (Bitblast.assert_true ctx2)
+            (Expr.not_ c_eq :: pin);
+          match Sat.solve ctx2.Bitblast.sat with
+          | Sat.Unsat -> true
+          | _ -> false)
+      | _ -> false)
+
+(* ------------------------------------------------------------------ *)
+(* Solver                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_solver_quick_path () =
+  let open Expr in
+  let x = fresh_var ~name:"x" 64 and y = fresh_var ~name:"y" 64 in
+  let before = Solver.stats.Solver.quick_solved in
+  (match
+     Solver.check
+       [
+         cmp Eq (var x) (const 64 42L);
+         cmp Eq (binop Add (var y) (const 64 1L)) (const 64 100L);
+       ]
+   with
+  | Solver.Sat m ->
+      Alcotest.(check int64) "x" 42L (Hashtbl.find m x.vid);
+      Alcotest.(check int64) "y" 99L (Hashtbl.find m y.vid)
+  | _ -> Alcotest.fail "expected sat");
+  Alcotest.(check bool) "went through quick path" true
+    (Solver.stats.Solver.quick_solved > before)
+
+let test_solver_blast_path () =
+  let open Expr in
+  let x = fresh_var ~name:"x" 32 in
+  (* popcnt(x) == 17 and x < 2^20: genuinely needs the circuit. *)
+  match
+    Solver.check
+      [
+        cmp Eq (unop Popcnt (var x)) (const 32 17L);
+        cmp Ult (var x) (const 32 0x100000L);
+      ]
+  with
+  | Solver.Sat m ->
+      let xv = Hashtbl.find m x.vid in
+      let pc = Expr.eval_unop 32 Expr.Popcnt xv in
+      Alcotest.(check int64) "model has 17 bits set" 17L pc;
+      Alcotest.(check bool) "bound respected" true
+        (Int64.unsigned_compare (Expr.mask 32 xv) 0x100000L < 0)
+  | _ -> Alcotest.fail "expected sat"
+
+let test_solver_mul_equation () =
+  let open Expr in
+  let x = fresh_var ~name:"x" 16 in
+  match
+    Solver.check [ cmp Eq (binop Mul (var x) (const 16 3L)) (const 16 21L) ]
+  with
+  | Solver.Sat m ->
+      let xv = Expr.mask 16 (Hashtbl.find m x.vid) in
+      Alcotest.(check int64) "3x = 21 (mod 2^16)" 21L
+        (Expr.mask 16 (Int64.mul xv 3L))
+  | _ -> Alcotest.fail "expected sat"
+
+let test_solver_unsat () =
+  let open Expr in
+  let x = fresh_var ~name:"x" 64 in
+  match
+    Solver.check
+      [
+        cmp Ult (var x) (const 64 2L);
+        cmp Ult (const 64 5L) (var x);
+      ]
+  with
+  | Solver.Unsat -> ()
+  | _ -> Alcotest.fail "expected unsat"
+
+let test_solver_conflicting_equalities () =
+  let open Expr in
+  let x = fresh_var ~name:"x" 64 in
+  match
+    Solver.check [ cmp Eq (var x) (const 64 1L); cmp Eq (var x) (const 64 2L) ]
+  with
+  | Solver.Unsat -> ()
+  | _ -> Alcotest.fail "expected unsat via quick path contradiction"
+
+let test_solver_budget_unknown () =
+  let open Expr in
+  (* A 24-bit factoring-flavoured instance with a conflict budget of 1
+     should exhaust. *)
+  let x = fresh_var ~name:"x" 24 and y = fresh_var ~name:"y" 24 in
+  let product = binop Mul (var x) (var y) in
+  let r =
+    Solver.check ~conflict_budget:1
+      [
+        cmp Eq product (const 24 (Int64.of_int 0x7F4C2D));
+        cmp Ult (const 24 1L) (var x);
+        cmp Ult (const 24 1L) (var y);
+      ]
+  in
+  match r with
+  | Solver.Unknown -> ()
+  | Solver.Sat _ -> ()  (* found before first conflict: acceptable *)
+  | Solver.Unsat -> Alcotest.fail "cannot be unsat before exploring"
+
+let test_solver_popcount_unsat () =
+  let open Expr in
+  (* No 32-bit value has 33 set bits. *)
+  let x = fresh_var ~name:"x" 32 in
+  match Solver.check [ cmp Eq (unop Popcnt (var x)) (const 32 33L) ] with
+  | Solver.Unsat -> ()
+  | _ -> Alcotest.fail "expected unsat"
+
+let test_solver_division_semantics () =
+  let open Expr in
+  (* x / 0 is all-ones in our semantics: (x udiv 0) == 2^16-1 must be SAT
+     for every x, and == 0 must be UNSAT. *)
+  let x = fresh_var ~name:"x" 16 in
+  (match
+     Solver.check
+       [ cmp Eq (binop Udiv (var x) (const 16 0L)) (const 16 0xFFFFL) ]
+   with
+  | Solver.Sat _ -> ()
+  | _ -> Alcotest.fail "div-by-zero convention should be satisfiable");
+  match
+    Solver.check [ cmp Eq (binop Udiv (var x) (const 16 0L)) (const 16 0L) ]
+  with
+  | Solver.Unsat -> ()
+  | _ -> Alcotest.fail "expected unsat"
+
+let test_validate_model () =
+  let open Expr in
+  let x = fresh_var ~name:"x" 64 in
+  let cs = [ cmp Eq (var x) (const 64 9L) ] in
+  let good = Hashtbl.create 1 in
+  Hashtbl.replace good x.vid 9L;
+  let bad = Hashtbl.create 1 in
+  Hashtbl.replace bad x.vid 8L;
+  Alcotest.(check bool) "good model" true (Solver.validate_model cs good);
+  Alcotest.(check bool) "bad model" false (Solver.validate_model cs bad)
+
+let qcheck_solver_models_validate =
+  QCheck.Test.make ~name:"solver models satisfy constraints" ~count:100
+    QCheck.(pair (int_bound 10_000) (int_bound 255))
+    (fun (a, b) ->
+      let open Expr in
+      let x = fresh_var ~name:"x" 32 in
+      let cs =
+        [
+          cmp Eq
+            (binop And (var x) (const 32 0xFFL))
+            (const 32 (Int64.of_int b));
+          cmp Ule (const 32 (Int64.of_int a)) (var x);
+        ]
+      in
+      match Solver.check cs with
+      | Solver.Sat m -> Solver.validate_model cs m
+      | Solver.Unsat -> false (* always satisfiable *)
+      | Solver.Unknown -> true)
+
+let () =
+  let qc = QCheck_alcotest.to_alcotest in
+  Alcotest.run "wasai_smt"
+    [
+      ( "sat",
+        [
+          Alcotest.test_case "basic" `Quick test_sat_basic;
+          Alcotest.test_case "unsat" `Quick test_sat_unsat;
+          Alcotest.test_case "pigeonhole" `Quick test_sat_pigeonhole;
+          qc qcheck_random_3sat;
+        ] );
+      ( "expr",
+        [
+          Alcotest.test_case "constant folding" `Quick test_expr_fold;
+          Alcotest.test_case "inversion rules" `Quick test_expr_invert_rules;
+          Alcotest.test_case "signedness" `Quick test_expr_signedness;
+          Alcotest.test_case "popcnt/clz/ctz" `Quick test_expr_popcnt_clz;
+        ] );
+      ( "bitblast",
+        [
+          qc (blast_agrees_with_eval 8);
+          qc (blast_agrees_with_eval 16);
+          qc (blast_agrees_with_eval 32);
+          qc (blast_agrees_with_eval ~count:15 64);
+          Alcotest.test_case "width-1 booleans blast" `Quick (fun () ->
+              let open Expr in
+              let p = fresh_var ~name:"p" 1 and q = fresh_var ~name:"q" 1 in
+              (* p && !q, q == 0: satisfiable with p=1,q=0. *)
+              match
+                Solver.check
+                  [
+                    and_ (var p) (not_ (var q));
+                    cmp Eq (var q) (const 1 0L);
+                  ]
+              with
+              | Solver.Sat m ->
+                  Alcotest.(check int64) "p" 1L (Hashtbl.find m p.vid)
+              | _ -> Alcotest.fail "expected sat");
+        ] );
+      ( "solver",
+        [
+          Alcotest.test_case "quick path" `Quick test_solver_quick_path;
+          Alcotest.test_case "popcount via blast" `Quick test_solver_blast_path;
+          Alcotest.test_case "mul equation" `Quick test_solver_mul_equation;
+          Alcotest.test_case "unsat interval" `Quick test_solver_unsat;
+          Alcotest.test_case "conflicting equalities" `Quick
+            test_solver_conflicting_equalities;
+          Alcotest.test_case "budget => unknown" `Quick test_solver_budget_unknown;
+          Alcotest.test_case "popcount unsat" `Quick test_solver_popcount_unsat;
+          Alcotest.test_case "division semantics" `Quick
+            test_solver_division_semantics;
+          Alcotest.test_case "validate_model" `Quick test_validate_model;
+          qc qcheck_solver_models_validate;
+        ] );
+    ]

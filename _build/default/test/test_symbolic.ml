@@ -1,0 +1,639 @@
+(* Tests for Symback: the memory model, calling-convention inference,
+   trace replay and constraint flipping. *)
+
+module Wasm = Wasai_wasm
+module Sym = Wasai_symbolic
+module Expr = Wasai_smt.Expr
+module Solver = Wasai_smt.Solver
+module Wasabi = Wasai_wasabi
+module BG = Wasai_benchgen
+open Wasai_eosio
+
+let n = Name.of_string
+
+(* ------------------------------------------------------------------ *)
+(* Memory model (C2)                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_memmodel_roundtrip () =
+  let mem = Sym.Memmodel.create () in
+  let v = Expr.var (Expr.fresh_var ~name:"v" 64) in
+  Sym.Memmodel.store mem ~addr:100 ~width_bytes:8 v;
+  let loaded = Sym.Memmodel.load mem ~addr:100 ~width_bytes:8 in
+  (* Bytewise split and re-concatenation must be semantically the identity:
+     check under an arbitrary assignment. *)
+  let env = Hashtbl.create 1 in
+  Expr.iter_vars (fun var -> Hashtbl.replace env var.Expr.vid 0x1122334455667788L) v;
+  Alcotest.(check int64) "roundtrip value" 0x1122334455667788L (Expr.eval env loaded)
+
+let test_memmodel_overlap () =
+  (* The §3.2 example, with the concrete addresses the trace provides:
+     writing 0x0000 at a and 0xffff at b with a = b leaves 0xffff. *)
+  let mem = Sym.Memmodel.create () in
+  Sym.Memmodel.store mem ~addr:64 ~width_bytes:2 (Expr.const 16 0x0000L);
+  Sym.Memmodel.store mem ~addr:64 ~width_bytes:2 (Expr.const 16 0xFFFFL);
+  Alcotest.(check bool) "overlap resolved" true
+    (Sym.Memmodel.load mem ~addr:64 ~width_bytes:2 = Expr.const 16 0xFFFFL)
+
+let test_memmodel_partial_overlap () =
+  let mem = Sym.Memmodel.create () in
+  Sym.Memmodel.store mem ~addr:0 ~width_bytes:4 (Expr.const 32 0xAABBCCDDL);
+  Sym.Memmodel.store mem ~addr:2 ~width_bytes:1 (Expr.const 8 0x11L);
+  Alcotest.(check bool) "partial overwrite" true
+    (Sym.Memmodel.load mem ~addr:0 ~width_bytes:4 = Expr.const 32 0xAA11CCDDL)
+
+let test_memmodel_symbolic_load_object () =
+  let mem = Sym.Memmodel.create () in
+  let l1 = Sym.Memmodel.load mem ~addr:500 ~width_bytes:1 in
+  let l2 = Sym.Memmodel.load mem ~addr:500 ~width_bytes:1 in
+  Alcotest.(check bool) "unsaved loads memoised" true (l1 = l2);
+  let _, _, symloads = Sym.Memmodel.stats mem in
+  Alcotest.(check int) "one symbolic load object" 1 symloads
+
+(* Differential property: with fully concrete contents, the symbolic
+   memory model agrees byte-for-byte with a plain byte array under random
+   interleaved stores and loads (including overlaps of every width). *)
+let qcheck_memmodel_vs_bytes =
+  QCheck.Test.make ~name:"memmodel matches a concrete byte array" ~count:100
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      let rng = Wasai_support.Rand.create (Int64.of_int seed) in
+      let mem = Sym.Memmodel.create () in
+      let ref_bytes = Bytes.make 256 '\000' in
+      let ok = ref true in
+      for _ = 1 to 60 do
+        let width = Wasai_support.Rand.choose rng [ 1; 2; 4; 8 ] in
+        let addr = Wasai_support.Rand.int rng (256 - width) in
+        if Wasai_support.Rand.bool rng then begin
+          let v = Wasai_support.Rand.next_u64 rng in
+          Sym.Memmodel.store mem ~addr ~width_bytes:width
+            (Expr.const (8 * width) v);
+          for k = 0 to width - 1 do
+            Bytes.set ref_bytes (addr + k)
+              (Char.chr
+                 (Int64.to_int
+                    (Int64.logand (Int64.shift_right_logical v (8 * k)) 0xFFL)))
+          done
+        end
+        else begin
+          let loaded = Sym.Memmodel.load mem ~addr ~width_bytes:width in
+          (* Evaluate; untouched bytes are symbolic-load variables we bind
+             to 0, matching the zero-initialised reference. *)
+          let env = Hashtbl.create 8 in
+          Expr.iter_vars (fun v -> Hashtbl.replace env v.Expr.vid 0L) loaded;
+          let expected = ref 0L in
+          for k = width - 1 downto 0 do
+            expected :=
+              Int64.logor
+                (Int64.shift_left !expected 8)
+                (Int64.of_int (Char.code (Bytes.get ref_bytes (addr + k))))
+          done;
+          if Expr.eval env loaded <> !expected then ok := false
+        end
+      done;
+      !ok)
+
+let test_eosafe_memory_semantics () =
+  let mem = Sym.Eosafe_memory.create () in
+  Sym.Eosafe_memory.store mem ~addr:(Expr.const 32 64L) ~width_bytes:2
+    (Expr.const 16 0x0000L);
+  Sym.Eosafe_memory.store mem ~addr:(Expr.const 32 64L) ~width_bytes:2
+    (Expr.const 16 0xFFFFL);
+  let loaded = Sym.Eosafe_memory.load mem ~addr:(Expr.const 32 64L) ~width_bytes:2 in
+  let env = Hashtbl.create 1 in
+  Expr.iter_vars (fun v -> Hashtbl.replace env v.Expr.vid 0L) loaded;
+  Alcotest.(check int64) "newest store wins" 0xFFFFL (Expr.eval env loaded);
+  Alcotest.(check bool) "merge cost grows with history" true
+    (Sym.Eosafe_memory.work mem > 0)
+
+(* ------------------------------------------------------------------ *)
+(* Calling convention (C3)                                              *)
+(* ------------------------------------------------------------------ *)
+
+let entry_args_of =
+  [
+    Wasm.Values.I64 (n "victim");  (* self *)
+    Wasm.Values.I64 (n "alice");  (* from *)
+    Wasm.Values.I64 (n "victim");  (* to *)
+    Wasm.Values.I32 1040l;  (* quantity ptr *)
+    Wasm.Values.I32 1056l;  (* memo ptr *)
+  ]
+
+let test_convention_layout () =
+  let lay = Sym.Convention.infer Abi.transfer_action entry_args_of in
+  Alcotest.(check int) "four params" 4 (List.length lay.Sym.Convention.lay_params);
+  (* Local 0 concrete (self), locals 1-2 symbolic names, 3-4 concrete ptrs. *)
+  let locals = lay.Sym.Convention.lay_locals in
+  Alcotest.(check int) "five locals" 5 (List.length locals);
+  (match List.assoc 0 locals with
+   | Expr.Const (64, v) -> Alcotest.(check int64) "self concrete" (n "victim") v
+   | e -> Alcotest.failf "local 0 not concrete: %s" (Expr.to_string e));
+  (match List.assoc 1 locals with
+   | Expr.Var _ -> ()
+   | e -> Alcotest.failf "local 1 not symbolic: %s" (Expr.to_string e));
+  match List.assoc 3 locals with
+  | Expr.Const (32, 1040L) -> ()
+  | e -> Alcotest.failf "quantity ptr wrong: %s" (Expr.to_string e)
+
+let test_convention_memory_init () =
+  (* Table 2: the asset pointee holds the amount and symbol variables. *)
+  let lay = Sym.Convention.infer Abi.transfer_action entry_args_of in
+  let mem = Sym.Memmodel.create () in
+  Sym.Convention.init_memory lay entry_args_of mem;
+  let amount = Sym.Memmodel.load mem ~addr:1040 ~width_bytes:8 in
+  Alcotest.(check bool) "amount symbolic" true (Expr.has_any_var amount);
+  let stores, _, _ = Sym.Memmodel.stats mem in
+  (* amount + symbol + len byte + 32 content bytes *)
+  Alcotest.(check int) "table-2 stores" 35 stores
+
+let test_convention_concretize () =
+  let lay = Sym.Convention.infer Abi.transfer_action entry_args_of in
+  let model : Solver.model = Hashtbl.create 4 in
+  (* Assign only the amount; everything else keeps the current seed. *)
+  (match lay.Sym.Convention.lay_params with
+   | _ :: _ :: (_, _, Sym.Convention.SP_asset { amount; _ }) :: _ ->
+       Hashtbl.replace model amount.Expr.vid 777L
+   | _ -> Alcotest.fail "unexpected layout");
+  let current =
+    [
+      Abi.V_name (n "alice"); Abi.V_name (n "victim");
+      Abi.V_asset (Asset.eos_of_units 5L); Abi.V_string "memo";
+    ]
+  in
+  match Sym.Convention.concretize lay model ~current with
+  | [ Abi.V_name f; Abi.V_name t; Abi.V_asset a; Abi.V_string m ] ->
+      Alcotest.(check int64) "from kept" (n "alice") f;
+      Alcotest.(check int64) "to kept" (n "victim") t;
+      Alcotest.(check int64) "amount from model" 777L a.Asset.amount;
+      Alcotest.(check string) "memo kept" "memo" m
+  | _ -> Alcotest.fail "bad concretisation"
+
+let test_concretize_string_extension () =
+  let lay = Sym.Convention.infer Abi.transfer_action entry_args_of in
+  let model : Solver.model = Hashtbl.create 4 in
+  (match lay.Sym.Convention.lay_params with
+   | [ _; _; _; (_, _, Sym.Convention.SP_string { content; _ }) ] ->
+       (* Constrain byte 7 of the memo: the string must grow to carry it. *)
+       Hashtbl.replace model content.(7).Expr.vid (Int64.of_int (Char.code 'Z'))
+   | _ -> Alcotest.fail "unexpected layout");
+  let current =
+    [
+      Abi.V_name 0L; Abi.V_name 0L;
+      Abi.V_asset (Asset.eos_of_units 1L); Abi.V_string "ab";
+    ]
+  in
+  match Sym.Convention.concretize lay model ~current with
+  | [ _; _; _; Abi.V_string m ] ->
+      Alcotest.(check int) "extended to 8" 8 (String.length m);
+      Alcotest.(check char) "byte 7 assigned" 'Z' m.[7];
+      Alcotest.(check char) "prefix kept" 'a' m.[0]
+  | _ -> Alcotest.fail "bad concretisation"
+
+let test_find_action_functions () =
+  let m, _ = BG.Contracts.build (BG.Contracts.default_spec (n "victim")) in
+  let cands = Sym.Convention.find_action_functions m in
+  Alcotest.(check int) "four action functions" 4 (List.length cands);
+  (* The obfuscator's opaque helper must not become a candidate. *)
+  let obf = BG.Obfuscate.obfuscate m in
+  let cands' = Sym.Convention.find_action_functions obf in
+  Alcotest.(check int) "obfuscation adds no candidates" 4 (List.length cands')
+
+(* ------------------------------------------------------------------ *)
+(* Replay + flip end-to-end                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* Shared harness: run one genuine transfer against a spec'd contract,
+   capturing the trace; returns (records, meta, candidates). *)
+let trace_of_spec ?(amount = 77L) ?(memo = "hi") spec =
+  let m, abi = BG.Contracts.build spec in
+  let chain = Host.create_chain () in
+  Token.bootstrap chain ~treasury:(n "treasury") ~supply:1_000_000_0000L;
+  ignore (Chain.create_account chain (n "attacker"));
+  ignore (Chain.create_account chain (n "victim"));
+  ignore
+    (Chain.push_action chain
+       (Token.transfer_action ~token:Name.eosio_token ~from:(n "treasury")
+          ~to_:(n "attacker") ~quantity:(Asset.eos_of_units 500_000_0000L)
+          ~memo:""));
+  Token.set_balance chain ~token:Name.eosio_token ~owner:(n "victim")
+    ~symbol:Asset.Symbol.eos 500_000_0000L;
+  let _, meta = Wasabi.Instrument.instrument m in
+  Chain.set_code chain (n "victim") meta.Wasabi.Trace.instrumented abi;
+  let collector = Wasabi.Trace.create () in
+  Chain.register_extension chain
+    (Wasabi.Instrument.runtime_extension collector ~target:(n "victim"));
+  ignore
+    (Chain.push_action chain
+       (Token.transfer_action ~token:Name.eosio_token ~from:(n "attacker")
+          ~to_:(n "victim") ~quantity:(Asset.eos_of_units amount) ~memo));
+  let records = Wasabi.Trace.drain collector in
+  let candidates =
+    Sym.Convention.find_action_functions meta.Wasabi.Trace.instrumented
+  in
+  (records, meta, candidates)
+
+let replay_transfer records meta candidates =
+  let rec entry_args = function
+    | [] -> None
+    | Wasabi.Trace.R_call_pre { args; _ } :: Wasabi.Trace.R_func_begin f :: _
+      when List.mem f candidates && List.length args >= 5 ->
+        Some args
+    | _ :: rest -> entry_args rest
+  in
+  match entry_args records with
+  | None -> Alcotest.fail "no action-function entry in trace"
+  | Some args ->
+      let lay = Sym.Convention.infer Abi.transfer_action args in
+      (lay, Sym.Replay.run ~layout:lay ~meta ~target_funcs:candidates records)
+
+let gated_spec =
+  {
+    (BG.Contracts.default_spec (n "victim")) with
+    BG.Contracts.sp_payout_inline = true;
+    sp_checks =
+      [ { BG.Contracts.chk_target = BG.Contracts.Chk_amount; chk_value = 123456789L } ];
+  }
+
+let test_replay_path () =
+  let records, meta, candidates = trace_of_spec gated_spec in
+  let _, res = replay_transfer records meta candidates in
+  (* skip_self (taken=false), notif guard (taken=false), amount check
+     (taken=true -> trap). *)
+  Alcotest.(check int) "three conditionals" 3 (List.length res.Sym.Replay.r_path);
+  Alcotest.(check int) "no imprecision" 0 res.Sym.Replay.r_imprecise;
+  let last = List.nth res.Sym.Replay.r_path 2 in
+  Alcotest.(check bool) "check condition is symbolic" true
+    (Expr.has_any_var last.Sym.Replay.cs_cond);
+  Alcotest.(check bool) "check taken (trap)" true last.Sym.Replay.cs_taken
+
+let test_flip_solves_gate () =
+  let records, meta, candidates = trace_of_spec gated_spec in
+  let _, res = replay_transfer records meta candidates in
+  let current =
+    [
+      Abi.V_name (n "attacker"); Abi.V_name (n "victim");
+      Abi.V_asset (Asset.eos_of_units 77L); Abi.V_string "hi";
+    ]
+  in
+  let solved = Sym.Flip.solve res ~current in
+  let amounts =
+    List.filter_map
+      (fun (s : Sym.Flip.solved_seed) ->
+        match s.Sym.Flip.seed_args with
+        | [ _; _; Abi.V_asset a; _ ] -> Some a.Asset.amount
+        | _ -> None)
+      solved
+  in
+  Alcotest.(check bool) "some flip sets amount to the gate constant" true
+    (List.mem 123456789L amounts)
+
+let test_flip_pins_other_params () =
+  let records, meta, candidates = trace_of_spec gated_spec in
+  let _, res = replay_transfer records meta candidates in
+  let current =
+    [
+      Abi.V_name (n "attacker"); Abi.V_name (n "victim");
+      Abi.V_asset (Asset.eos_of_units 77L); Abi.V_string "hi";
+    ]
+  in
+  let solved = Sym.Flip.solve res ~current in
+  (* The amount-gate flip must not clobber from/to/memo (§3.4.4: mutate
+     one parameter). *)
+  let gate_seed =
+    List.find_opt
+      (fun (s : Sym.Flip.solved_seed) ->
+        match s.Sym.Flip.seed_args with
+        | [ _; _; Abi.V_asset a; _ ] -> a.Asset.amount = 123456789L
+        | _ -> false)
+      solved
+  in
+  match gate_seed with
+  | Some { Sym.Flip.seed_args = [ Abi.V_name f; Abi.V_name t; _; Abi.V_string m ]; _ } ->
+      Alcotest.(check int64) "from pinned" (n "attacker") f;
+      Alcotest.(check int64) "to pinned" (n "victim") t;
+      Alcotest.(check string) "memo pinned" "hi" m
+  | _ -> Alcotest.fail "gate flip missing"
+
+let test_flip_deepest_first () =
+  let records, meta, candidates = trace_of_spec gated_spec in
+  let _, res = replay_transfer records meta candidates in
+  match Sym.Flip.candidates res with
+  | first :: _ ->
+      (* Deepest conditional (the amount check, index 2) comes first. *)
+      Alcotest.(check int) "deepest candidate first" 2 first.Sym.Flip.cand_index
+  | [] -> Alcotest.fail "no candidates"
+
+let test_flip_respects_asserts () =
+  (* Assert conditions (min_bet) are never offered for flipping. *)
+  let spec =
+    { (BG.Contracts.default_spec (n "victim")) with BG.Contracts.sp_min_bet = Some 10L }
+  in
+  let records, meta, candidates = trace_of_spec ~amount:50L spec in
+  let _, res = replay_transfer records meta candidates in
+  let cands = Sym.Flip.candidates res in
+  List.iter
+    (fun (c : Sym.Flip.candidate) ->
+      let cs = List.nth res.Sym.Replay.r_path c.Sym.Flip.cand_index in
+      Alcotest.(check bool) "no assert flips" true
+        (cs.Sym.Replay.cs_kind <> Sym.Replay.K_assert))
+    cands
+
+let test_replay_obfuscated () =
+  (* Popcount-encoded comparisons still produce solvable conditions. *)
+  let m, abi = BG.Contracts.build gated_spec in
+  let obf = BG.Obfuscate.obfuscate m in
+  let chain = Host.create_chain () in
+  Token.bootstrap chain ~treasury:(n "treasury") ~supply:1_000_000_0000L;
+  ignore (Chain.create_account chain (n "attacker"));
+  ignore (Chain.create_account chain (n "victim"));
+  ignore
+    (Chain.push_action chain
+       (Token.transfer_action ~token:Name.eosio_token ~from:(n "treasury")
+          ~to_:(n "attacker") ~quantity:(Asset.eos_of_units 500_000_0000L)
+          ~memo:""));
+  let _, meta = Wasabi.Instrument.instrument obf in
+  Chain.set_code chain (n "victim") meta.Wasabi.Trace.instrumented abi;
+  let collector = Wasabi.Trace.create () in
+  Chain.register_extension chain
+    (Wasabi.Instrument.runtime_extension collector ~target:(n "victim"));
+  ignore
+    (Chain.push_action chain
+       (Token.transfer_action ~token:Name.eosio_token ~from:(n "attacker")
+          ~to_:(n "victim") ~quantity:(Asset.eos_of_units 77L) ~memo:"hi"));
+  let records = Wasabi.Trace.drain collector in
+  let candidates =
+    Sym.Convention.find_action_functions meta.Wasabi.Trace.instrumented
+  in
+  let _, res = replay_transfer records meta candidates in
+  let current =
+    [
+      Abi.V_name (n "attacker"); Abi.V_name (n "victim");
+      Abi.V_asset (Asset.eos_of_units 77L); Abi.V_string "hi";
+    ]
+  in
+  let solved = Sym.Flip.solve res ~current in
+  let amounts =
+    List.filter_map
+      (fun (s : Sym.Flip.solved_seed) ->
+        match s.Sym.Flip.seed_args with
+        | [ _; _; Abi.V_asset a; _ ] -> Some a.Asset.amount
+        | _ -> None)
+      solved
+  in
+  Alcotest.(check bool) "gate solved through popcount encoding" true
+    (List.mem 123456789L amounts)
+
+(* A hand-built contract whose action function dispatches with br_table
+   and uses select — replay paths the generator family never emits. *)
+let build_brtable_contract () =
+  let open Wasm.Builder in
+  let open Wasm.Builder.I in
+  let b = create () in
+  let i64t = Wasm.Types.I64 and i32t = Wasm.Types.I32 in
+  let ft = Wasm.Types.func_type in
+  let read_action_data =
+    import_func b ~module_:"env" ~name:"read_action_data"
+      (ft [ i32t; i32t ] ~results:[ i32t ])
+  in
+  let action_data_size =
+    import_func b ~module_:"env" ~name:"action_data_size" (ft [] ~results:[ i32t ])
+  in
+  let printi = import_func b ~module_:"env" ~name:"printi" (ft [ i64t ]) in
+  add_memory b 2;
+  (* (self, from, to, qptr, memoptr): dispatch on (amount & 3); case 2
+     prints select(from, to, amount bit 2 set). *)
+  let case2 =
+    [ local_get 1; local_get 2;
+      local_get 3; i64_load (); i64 4L; i64_and; i64_eqz;
+      Wasm.Ast.Eqz Wasm.Types.I32;
+      select; call printi; return ]
+  in
+  let dispatch =
+    block
+      [
+        block
+          [
+            block
+              [
+                block
+                  [
+                    local_get 3; i64_load (); i64 3L; i64_and; i32_wrap_i64;
+                    br_table [ 0; 1; 2 ] 3;
+                  ];
+                (* case 0 *)
+                local_get 1; call printi; return;
+              ];
+            (* case 1 *)
+            local_get 2; call printi; return;
+          ];
+      ]
+  in
+  let eosponser =
+    add_func b ~name:"eosponser"
+      (ft [ i64t; i64t; i64t; i32t; i32t ])
+      ((match dispatch with
+        | Wasm.Ast.Block (bt, inner) -> [ Wasm.Ast.Block (bt, inner @ case2) ]
+        | _ -> assert false)
+      (* default (case 3): fall through and do nothing *))
+  in
+  let apply =
+    add_func b ~name:"apply" (ft [ i64t; i64t; i64t ])
+      [
+        local_get 2; i64 Name.transfer; i64_eq;
+        if_
+          [
+            i32 1024; call action_data_size; call read_action_data; drop;
+            local_get 0;
+            i32 1024; i64_load ();
+            i32 1024; i64_load ~offset:8 ();
+            i32 1040; i32 1056;
+            call eosponser;
+          ]
+          [];
+      ]
+  in
+  export_func b "apply" apply;
+  let m = build b in
+  Wasm.Validate.check_module m;
+  m
+
+let test_brtable_and_select_replay () =
+  let m = build_brtable_contract () in
+  let abi = { Abi.abi_actions = [ Abi.transfer_action ] } in
+  let chain = Host.create_chain () in
+  Token.bootstrap chain ~treasury:(n "treasury") ~supply:1_000_000_0000L;
+  ignore (Chain.create_account chain (n "attacker"));
+  ignore (Chain.create_account chain (n "victim"));
+  ignore
+    (Chain.push_action chain
+       (Token.transfer_action ~token:Name.eosio_token ~from:(n "treasury")
+          ~to_:(n "attacker") ~quantity:(Asset.eos_of_units 500_000_0000L)
+          ~memo:""));
+  let _, meta = Wasabi.Instrument.instrument m in
+  Chain.set_code chain (n "victim") meta.Wasabi.Trace.instrumented abi;
+  let collector = Wasabi.Trace.create () in
+  Chain.register_extension chain
+    (Wasabi.Instrument.runtime_extension collector ~target:(n "victim"));
+  (* amount = 6: (6 & 3) = 2 -> the select case, bit 2 set -> from. *)
+  let r =
+    Chain.push_action chain
+      (Token.transfer_action ~token:Name.eosio_token ~from:(n "attacker")
+         ~to_:(n "victim") ~quantity:(Asset.eos_of_units 6L) ~memo:"m")
+  in
+  Alcotest.(check bool) "tx ok" true r.Chain.tx_ok;
+  Alcotest.(check string) "select picked from" (Int64.to_string (n "attacker"))
+    (Chain.console_output chain);
+  let records = Wasabi.Trace.drain collector in
+  let candidates =
+    Sym.Convention.find_action_functions meta.Wasabi.Trace.instrumented
+  in
+  let _, res = replay_transfer records meta candidates in
+  (* A br_table conditional on the symbolic amount is recorded... *)
+  let brtables =
+    List.filter
+      (fun (cs : Sym.Replay.cond_state) -> cs.Sym.Replay.cs_kind = Sym.Replay.K_brtable)
+      res.Sym.Replay.r_path
+  in
+  Alcotest.(check int) "one br_table conditional" 1 (List.length brtables);
+  Alcotest.(check bool) "br_table condition is symbolic" true
+    (Expr.has_any_var (List.hd brtables).Sym.Replay.cs_cond);
+  (* ...and flipping it produces a seed taking a different case. *)
+  let current =
+    [
+      Abi.V_name (n "attacker"); Abi.V_name (n "victim");
+      Abi.V_asset (Asset.eos_of_units 6L); Abi.V_string "m";
+    ]
+  in
+  let solved = Sym.Flip.solve res ~current in
+  let other_case =
+    List.exists
+      (fun (s : Sym.Flip.solved_seed) ->
+        match s.Sym.Flip.seed_args with
+        | [ _; _; Abi.V_asset a; _ ] -> Int64.logand a.Asset.amount 3L <> 2L
+        | _ -> false)
+      solved
+  in
+  Alcotest.(check bool) "flip reaches a different br_table case" true other_case
+
+(* ------------------------------------------------------------------ *)
+(* Differential property: replay soundness                              *)
+(* ------------------------------------------------------------------ *)
+
+(* Every as-taken condition the replayer records must evaluate to true
+   under the inputs the execution actually observed: the symbolic path
+   condition characterises the concrete path. *)
+let env_of_layout (lay : Sym.Convention.layout) ~from ~to_ ~(amount : int64)
+    ~(symbol : int64) ~(memo : string) : (int, int64) Hashtbl.t =
+  let env = Hashtbl.create 16 in
+  List.iter
+    (fun (pname, _, sp) ->
+      match (sp : Sym.Convention.sym_param) with
+      | Sym.Convention.SP_scalar v ->
+          let value = if pname = "from" then from else to_ in
+          Hashtbl.replace env v.Expr.vid value
+      | Sym.Convention.SP_asset { amount = a; symbol = s } ->
+          Hashtbl.replace env a.Expr.vid amount;
+          Hashtbl.replace env s.Expr.vid symbol
+      | Sym.Convention.SP_string { len; content } ->
+          Hashtbl.replace env len.Expr.vid (Int64.of_int (String.length memo));
+          Array.iteri
+            (fun k v ->
+              let b =
+                if k < String.length memo then Int64.of_int (Char.code memo.[k])
+                else 0L
+              in
+              Hashtbl.replace env v.Expr.vid b)
+            content)
+    lay.Sym.Convention.lay_params;
+  env
+
+let qcheck_replay_soundness =
+  QCheck.Test.make ~name:"as-taken path conditions hold concretely" ~count:40
+    QCheck.(pair (int_bound 1_000_000) (int_bound 1_000_000))
+    (fun (seed, amt_seed) ->
+      let rng = Wasai_support.Rand.create (Int64.of_int seed) in
+      let base = BG.Contracts.default_spec (n "victim") in
+      let spec =
+        {
+          base with
+          BG.Contracts.sp_fake_notif_guard = Wasai_support.Rand.bool rng;
+          sp_auth_check = false;
+          sp_min_bet =
+            (if Wasai_support.Rand.bool rng then Some 10L else None);
+          sp_checks =
+            BG.Verification.random_checks rng
+              ~depth:(Wasai_support.Rand.int rng 3);
+          sp_milestones =
+            BG.Verification.random_milestones rng
+              ~depth:(Wasai_support.Rand.int rng 5);
+          sp_payout_inline = Wasai_support.Rand.bool rng;
+        }
+      in
+      let amount = Int64.of_int (1 + (amt_seed mod 1_000_000)) in
+      let memo = Wasai_support.Rand.ascii_string rng (Wasai_support.Rand.int rng 12) in
+      let records, meta, candidates = trace_of_spec ~amount ~memo spec in
+      let lay, res = replay_transfer records meta candidates in
+      let env =
+        env_of_layout lay ~from:(n "attacker") ~to_:(n "victim") ~amount
+          ~symbol:Asset.Symbol.eos ~memo
+      in
+      let input_vars = Sym.Flip.layout_var_ids lay in
+      let evaluable =
+        List.filter
+          (fun (cs : Sym.Replay.cond_state) ->
+            (* Skip conditions involving memory/load/host artefacts; the
+               input-only ones must hold exactly. *)
+            let only_inputs = ref true in
+            Expr.iter_vars
+              (fun v ->
+                if not (Hashtbl.mem input_vars v.Expr.vid) then
+                  only_inputs := false)
+              cs.Sym.Replay.cs_cond;
+            !only_inputs)
+          res.Sym.Replay.r_path
+      in
+      res.Sym.Replay.r_imprecise = 0
+      && List.for_all
+           (fun (cs : Sym.Replay.cond_state) ->
+             Expr.eval env cs.Sym.Replay.cs_cond = 1L)
+           evaluable)
+
+let () =
+  Alcotest.run "wasai_symbolic"
+    [
+      ( "memmodel",
+        [
+          Alcotest.test_case "symbolic roundtrip" `Quick test_memmodel_roundtrip;
+          Alcotest.test_case "overlapping stores" `Quick test_memmodel_overlap;
+          Alcotest.test_case "partial overlap" `Quick test_memmodel_partial_overlap;
+          Alcotest.test_case "symbolic load objects" `Quick
+            test_memmodel_symbolic_load_object;
+          QCheck_alcotest.to_alcotest qcheck_memmodel_vs_bytes;
+          Alcotest.test_case "eosafe model semantics" `Quick
+            test_eosafe_memory_semantics;
+        ] );
+      ( "convention",
+        [
+          Alcotest.test_case "table-2 layout" `Quick test_convention_layout;
+          Alcotest.test_case "pointee memory init" `Quick test_convention_memory_init;
+          Alcotest.test_case "concretize" `Quick test_convention_concretize;
+          Alcotest.test_case "string extension" `Quick
+            test_concretize_string_extension;
+          Alcotest.test_case "action-function discovery" `Quick
+            test_find_action_functions;
+        ] );
+      ( "replay",
+        [
+          Alcotest.test_case "path extraction" `Quick test_replay_path;
+          Alcotest.test_case "flip solves gate" `Quick test_flip_solves_gate;
+          Alcotest.test_case "one-parameter mutation" `Quick
+            test_flip_pins_other_params;
+          Alcotest.test_case "deepest-first ordering" `Quick test_flip_deepest_first;
+          Alcotest.test_case "asserts never flipped" `Quick
+            test_flip_respects_asserts;
+          Alcotest.test_case "obfuscated replay" `Quick test_replay_obfuscated;
+          Alcotest.test_case "br_table and select" `Quick
+            test_brtable_and_select_replay;
+          QCheck_alcotest.to_alcotest qcheck_replay_soundness;
+        ] );
+    ]
