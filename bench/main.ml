@@ -3,9 +3,12 @@
 
     Usage: [main.exe [experiment] [--scale N] [--rounds N] [--count N]]
 
-    Experiments: fig3 table4 table5 table6 rq4 ablation micro all
-    (default: all).  [--scale] divides the corpus sizes (default 20; use
-    [--full] for the paper-sized corpora — minutes of CPU). *)
+    Experiments: fig3 table4 table5 table6 rq4 ablation campaign
+    campaign-smoke micro all (default: all).  [--scale] divides the corpus
+    sizes (default 20; use [--full] for the paper-sized corpora — minutes
+    of CPU).  [campaign] measures multi-domain scaling (1/2/4 workers)
+    over a generated corpus; [campaign-smoke] is a <10 s parity + resume
+    check. *)
 
 open Wasai_support
 module BG = Wasai_benchgen
@@ -291,7 +294,7 @@ let ablation (opts : options) =
     (2 * n_ops) t_wasai (2 * n_ops / 10) t_eosafe work;
   (* 3. Solver tiers: quick path vs bit-blasting. *)
   let open Wasai_smt in
-  let quick_before = Solver.stats.Solver.quick_solved in
+  let quick_before = (Atomic.get Solver.stats.Solver.quick_solved) in
   let x = Expr.fresh_var ~name:"x" 64 in
   let _, t_quick =
     time_it (fun () ->
@@ -317,8 +320,127 @@ let ablation (opts : options) =
   Printf.printf
     "solver: 500 equality chains via quick path in %.4fs (quick-path hits +%d) | 20 popcount queries via bit-blasting in %.3fs\n"
     t_quick
-    (Solver.stats.Solver.quick_solved - quick_before)
+    ((Atomic.get Solver.stats.Solver.quick_solved) - quick_before)
     t_blast
+
+(* ------------------------------------------------------------------ *)
+(* Campaign: multi-domain scaling                                       *)
+(* ------------------------------------------------------------------ *)
+
+module Campaign = Wasai_campaign
+
+(* Unique per-sample deployment accounts: verdicts derive from the account
+   name, so every target needs a stable identity of its own. *)
+let campaign_account i =
+  let b = Buffer.create 8 in
+  Buffer.add_string b "camp";
+  let rec go i =
+    if i >= 26 then go (i / 26);
+    Buffer.add_char b (Char.chr (Char.code 'a' + (i mod 26)))
+  in
+  go i;
+  Wasai_eosio.Name.of_string (Buffer.contents b)
+
+let campaign_targets ~count =
+  List.mapi
+    (fun i (s : BG.Corpus.sample) ->
+      let account = campaign_account i in
+      {
+        Campaign.Campaign.sp_name = Wasai_eosio.Name.to_string account;
+        sp_load =
+          (fun () ->
+            {
+              Core.Engine.tgt_account = account;
+              tgt_module = s.BG.Corpus.smp_module;
+              tgt_abi = s.BG.Corpus.smp_abi;
+            });
+      })
+    (BG.Corpus.coverage_set ~count ())
+
+let campaign_config ~rounds ~jobs =
+  {
+    Campaign.Campaign.default_config with
+    Campaign.Campaign.cc_jobs = jobs;
+    cc_engine =
+      { Core.Engine.default_config with Core.Engine.cfg_rounds = rounds };
+  }
+
+let campaign_exp (opts : options) =
+  let count = max 16 opts.opt_fig3_contracts in
+  let rounds = opts.opt_rounds in
+  Printf.printf
+    "\n=== Campaign: domain scaling over %d generated contracts (%d rounds \
+     each) ===\n"
+    count rounds;
+  Printf.printf "hardware: %d recommended domain(s)\n%!"
+    (Domain.recommended_domain_count ());
+  let targets = campaign_targets ~count in
+  let runs =
+    List.map
+      (fun jobs ->
+        let r = Campaign.Campaign.run (campaign_config ~rounds ~jobs) targets in
+        Printf.printf "  jobs=%d  wall=%.2fs  %s\n%!" jobs
+          r.Campaign.Campaign.cr_wall
+          (Metrics.Histogram.to_string (Campaign.Campaign.latency_histogram r));
+        (jobs, r))
+      [ 1; 2; 4 ]
+  in
+  let _, serial = List.hd runs in
+  let serial_text = Campaign.Campaign.verdicts_text serial in
+  List.iter
+    (fun (jobs, r) ->
+      Printf.printf "  jobs=%d speedup vs serial: %.2fx  verdicts identical: %b\n"
+        jobs
+        (serial.Campaign.Campaign.cr_wall /. r.Campaign.Campaign.cr_wall)
+        (String.equal serial_text (Campaign.Campaign.verdicts_text r)))
+    runs;
+  Printf.printf "fleet: %d/%d vulnerable, %d total branches\n"
+    (Campaign.Campaign.vulnerable_count serial)
+    count
+    (Campaign.Campaign.total_branches serial)
+
+(* Quick local verification (<10 s): a tiny corpus through the parallel
+   path plus an interrupt/resume round-trip on a throwaway journal. *)
+let campaign_smoke () =
+  Printf.printf "\n=== Campaign smoke (parallel parity + resume) ===\n%!";
+  let targets = campaign_targets ~count:6 in
+  let rounds = 6 in
+  let full =
+    Campaign.Campaign.run (campaign_config ~rounds ~jobs:2) targets
+  in
+  let journal = Filename.temp_file "wasai-smoke" ".journal" in
+  Sys.remove journal;
+  let interrupted =
+    Campaign.Campaign.run
+      {
+        (campaign_config ~rounds ~jobs:2) with
+        Campaign.Campaign.cc_journal = Some journal;
+        cc_max_targets = Some 3;
+      }
+      targets
+  in
+  let resumed =
+    Campaign.Campaign.run
+      {
+        (campaign_config ~rounds ~jobs:2) with
+        Campaign.Campaign.cc_journal = Some journal;
+        cc_resume = true;
+      }
+      targets
+  in
+  Sys.remove journal;
+  let ok =
+    List.length interrupted.Campaign.Campaign.cr_results = 3
+    && resumed.Campaign.Campaign.cr_skipped = 3
+    && String.equal
+         (Campaign.Campaign.verdicts_text full)
+         (Campaign.Campaign.verdicts_text resumed)
+  in
+  Printf.printf "parallel run, interrupt at 3/6, resume: %s (wall %.2fs)\n"
+    (if ok then "OK" else "MISMATCH")
+    (full.Campaign.Campaign.cr_wall +. interrupted.Campaign.Campaign.cr_wall
+     +. resumed.Campaign.Campaign.cr_wall);
+  if not ok then exit 1
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro benchmarks                                            *)
@@ -423,6 +545,8 @@ let () =
     | "table6" -> table6 opts
     | "rq4" -> rq4 opts
     | "ablation" -> ablation opts
+    | "campaign" -> campaign_exp opts
+    | "campaign-smoke" -> campaign_smoke ()
     | "micro" -> micro ()
     | "all" ->
         fig3 opts;
@@ -431,6 +555,7 @@ let () =
         table6 opts;
         rq4 opts;
         ablation opts;
+        campaign_exp opts;
         micro ()
     | other -> Printf.eprintf "unknown experiment %s\n" other
   in

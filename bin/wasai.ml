@@ -6,6 +6,8 @@
     - [dump]       print a contract binary in WAT-like text
     - [instrument] rewrite a binary with the trace hooks
     - [baseline]   run the EOSAFE static baseline on a binary
+    - [campaign]   fuzz a whole directory of contracts over N domains,
+                   with a crash-safe journal and [--resume]
 
     ABI files use the textual format of {!Wasai_eosio.Abi.of_text}:
     one action per line, e.g. [transfer(from:name,to:name,quantity:asset,memo:string)]. *)
@@ -14,6 +16,7 @@ open Cmdliner
 module Wasm = Wasai_wasm
 module Core = Wasai_core
 module BG = Wasai_benchgen
+module Campaign = Wasai_campaign
 open Wasai_eosio
 
 let read_file path =
@@ -189,6 +192,46 @@ let scan_cmd dir rounds =
     Core.Scanner.all_flags;
   if !vulnerable > 0 then exit 1
 
+(* ---- campaign -------------------------------------------------------- *)
+
+let campaign_cmd dir jobs rounds resume journal out =
+  let targets = Campaign.Discover.dir dir in
+  if targets = [] then begin
+    Printf.eprintf "campaign: no .wasm/.wat contracts in %s\n" dir;
+    exit 2
+  end;
+  let total = List.length targets in
+  let finished = ref 0 in
+  let cfg =
+    {
+      Campaign.Campaign.default_config with
+      Campaign.Campaign.cc_jobs = jobs;
+      cc_engine =
+        { Core.Engine.default_config with Core.Engine.cfg_rounds = rounds };
+      cc_journal = Some journal;
+      cc_resume = resume;
+      cc_progress =
+        Some
+          (fun (e : Campaign.Journal.entry) ->
+            incr finished;
+            Printf.eprintf "  [%d/%d] %s done (%.2fs)\n%!" !finished total
+              e.Campaign.Journal.je_name e.Campaign.Journal.je_elapsed);
+    }
+  in
+  let report =
+    try Campaign.Campaign.run cfg targets
+    with Campaign.Journal.Malformed msg ->
+      Printf.eprintf "campaign: %s\n" msg;
+      exit 2
+  in
+  let text = Campaign.Campaign.to_text report in
+  (match out with
+   | Some path ->
+       write_file path text;
+       Printf.eprintf "campaign report written to %s\n" path
+   | None -> print_string text);
+  if Campaign.Campaign.vulnerable_count report > 0 then exit 1
+
 (* ---- baseline -------------------------------------------------------- *)
 
 let baseline_cmd bin_path =
@@ -287,6 +330,44 @@ let scan_t =
          "Fuzz every *.wasm in a directory (with its *.wasm.abi when present) and summarise")
     Term.(const scan_cmd $ dir $ rounds_arg)
 
+let campaign_t =
+  let dir = Arg.(required & pos 0 (some dir) None & info [] ~docv:"DIR") in
+  let jobs =
+    Arg.(
+      value
+      & opt int (Domain.recommended_domain_count ())
+      & info [ "j"; "jobs" ] ~docv:"N"
+          ~doc:"Worker domains (default: the hardware's recommended count).")
+  in
+  let resume =
+    Arg.(
+      value & flag
+      & info [ "resume" ]
+          ~doc:"Skip targets already completed in the journal and merge their \
+                recorded results into the report.")
+  in
+  let journal =
+    Arg.(
+      value
+      & opt string "campaign.journal"
+      & info [ "journal" ] ~docv:"FILE"
+          ~doc:"Crash-safe journal of completed targets (appended, fsync'd).")
+  in
+  let out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "out" ] ~docv:"FILE"
+          ~doc:"Write the campaign report here instead of stdout.")
+  in
+  Cmd.v
+    (Cmd.info "campaign"
+       ~doc:
+         "Fuzz a directory of contracts (*.wasm/*.wat with optional *.abi \
+          sidecars) in parallel over OCaml domains; exits 1 when any \
+          contract is flagged")
+    Term.(const campaign_cmd $ dir $ jobs $ rounds_arg $ resume $ journal $ out)
+
 let () =
   let info =
     Cmd.info "wasai" ~version:"1.0.0"
@@ -295,4 +376,7 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ analyze_t; gen_t; dump_t; build_t; instrument_t; baseline_t; scan_t ]))
+          [
+            analyze_t; gen_t; dump_t; build_t; instrument_t; baseline_t; scan_t;
+            campaign_t;
+          ]))

@@ -1,0 +1,222 @@
+(** Parallel fuzzing-campaign orchestrator: a shared work queue drained by
+    N domains, each running the engine on an independent target; completed
+    targets are journaled (fsync'd) before they count as done; the merged
+    report is canonicalised by target name so its verdict section is
+    identical for any worker count. *)
+
+module Core = Wasai_core
+module Metrics = Wasai_support.Metrics
+
+type target_spec = {
+  sp_name : string;
+  sp_load : unit -> Core.Engine.target;
+}
+
+type config = {
+  cc_jobs : int;
+  cc_engine : Core.Engine.config;
+  cc_journal : string option;
+  cc_resume : bool;
+  cc_max_targets : int option;
+  cc_progress : (Journal.entry -> unit) option;
+}
+
+let default_config =
+  {
+    cc_jobs = 1;
+    cc_engine = Core.Engine.default_config;
+    cc_journal = None;
+    cc_resume = false;
+    cc_max_targets = None;
+    cc_progress = None;
+  }
+
+type report = {
+  cr_results : Journal.entry list;
+  cr_requested : int;
+  cr_skipped : int;
+  cr_jobs : int;
+  cr_wall : float;
+}
+
+let take n xs =
+  let rec go n = function
+    | x :: rest when n > 0 -> x :: go (n - 1) rest
+    | _ -> []
+  in
+  go n xs
+
+let run (cfg : config) (targets : target_spec list) : report =
+  let seen = Hashtbl.create 64 in
+  List.iter
+    (fun t ->
+      if Hashtbl.mem seen t.sp_name then
+        invalid_arg
+          (Printf.sprintf
+             "Campaign.run: duplicate target name %S (the journal and the \
+              report are keyed by name)"
+             t.sp_name);
+      Hashtbl.replace seen t.sp_name ())
+    targets;
+  (* Resume: a target is done iff its line reached the journal. *)
+  let prior =
+    match cfg.cc_journal with
+    | Some path when cfg.cc_resume && Sys.file_exists path -> Journal.load path
+    | _ -> []
+  in
+  let done_ = Hashtbl.create 64 in
+  List.iter (fun (e : Journal.entry) -> Hashtbl.replace done_ e.Journal.je_name e) prior;
+  (* Journal entries for targets outside this run's input set are ignored,
+     so a shared journal never leaks foreign results into the report.
+     Duplicate lines for one name (a journal appended to by a non-resume
+     rerun) collapse to the last entry, matching [done_]. *)
+  let prior_results =
+    Hashtbl.fold
+      (fun name (e : Journal.entry) acc ->
+        if Hashtbl.mem seen name then e :: acc else acc)
+      done_ []
+  in
+  let remaining =
+    List.filter (fun t -> not (Hashtbl.mem done_ t.sp_name)) targets
+  in
+  let remaining =
+    match cfg.cc_max_targets with
+    | Some n -> take (max 0 n) remaining
+    | None -> remaining
+  in
+  let queue = Work_queue.create () in
+  List.iter (Work_queue.push queue) remaining;
+  Work_queue.close queue;
+  let writer = Option.map Journal.open_writer cfg.cc_journal in
+  let lock = Mutex.create () in
+  let results = ref prior_results in
+  let failures = ref [] in
+  let t0 = Unix.gettimeofday () in
+  let worker () =
+    let rec loop () =
+      match Work_queue.take queue with
+      | None -> ()
+      | Some spec ->
+          (try
+             let target = spec.sp_load () in
+             let s0 = Unix.gettimeofday () in
+             let o = Core.Engine.fuzz ~cfg:cfg.cc_engine target in
+             let entry =
+               Journal.of_outcome ~name:spec.sp_name
+                 ~elapsed:(Unix.gettimeofday () -. s0)
+                 o
+             in
+             Mutex.protect lock (fun () ->
+                 (* Journal first: the entry must be durable before the
+                    target is reported as done. *)
+                 Option.iter (fun w -> Journal.append w entry) writer;
+                 results := entry :: !results;
+                 Option.iter (fun f -> f entry) cfg.cc_progress)
+           with exn ->
+             let msg = Printexc.to_string exn in
+             Mutex.protect lock (fun () ->
+                 failures := (spec.sp_name, msg) :: !failures));
+          loop ()
+    in
+    loop ()
+  in
+  let jobs = max 1 cfg.cc_jobs in
+  (* The calling domain is worker 0; spawn the other jobs-1. *)
+  let domains = List.init (jobs - 1) (fun _ -> Domain.spawn worker) in
+  worker ();
+  List.iter Domain.join domains;
+  Option.iter Journal.close_writer writer;
+  (match List.rev !failures with
+   | [] -> ()
+   | (name, msg) :: rest ->
+       failwith
+         (Printf.sprintf "campaign: target %S failed: %s%s" name msg
+            (match rest with
+             | [] -> ""
+             | _ -> Printf.sprintf " (and %d more failures)" (List.length rest))));
+  {
+    cr_results =
+      List.sort
+        (fun (a : Journal.entry) b -> compare a.Journal.je_name b.Journal.je_name)
+        !results;
+    cr_requested = List.length targets;
+    cr_skipped = List.length prior_results;
+    cr_jobs = jobs;
+    cr_wall = Unix.gettimeofday () -. t0;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Aggregation                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let flag_counts (r : report) =
+  List.map
+    (fun f ->
+      ( f,
+        List.length
+          (List.filter
+             (fun (e : Journal.entry) ->
+               List.assoc_opt f e.Journal.je_flags = Some true)
+             r.cr_results) ))
+    Core.Scanner.all_flags
+
+let vulnerable_count (r : report) =
+  List.length
+    (List.filter
+       (fun (e : Journal.entry) -> List.exists snd e.Journal.je_flags)
+       r.cr_results)
+
+let total_branches (r : report) =
+  List.fold_left (fun acc (e : Journal.entry) -> acc + e.Journal.je_branches) 0
+    r.cr_results
+
+let latency_histogram (r : report) =
+  let h = Metrics.Histogram.create () in
+  List.iter
+    (fun (e : Journal.entry) -> Metrics.Histogram.add h e.Journal.je_elapsed)
+    r.cr_results;
+  h
+
+let verdict_line (e : Journal.entry) =
+  let fired = List.filter_map (fun (f, b) -> if b then Some f else None) e.Journal.je_flags in
+  Printf.sprintf
+    "%-13s %-40s branches=%d rounds=%d seeds=%d adaptive=%d tx=%d sat=%d imprecise=%d"
+    e.Journal.je_name
+    (match fired with
+     | [] -> "ok"
+     | fs ->
+         "VULNERABLE ["
+         ^ String.concat "; " (List.map Core.Scanner.string_of_flag fs)
+         ^ "]")
+    e.Journal.je_branches e.Journal.je_rounds e.Journal.je_seeds_total
+    e.Journal.je_adaptive_seeds e.Journal.je_transactions
+    e.Journal.je_solver_sat e.Journal.je_imprecise
+
+let verdicts_text (r : report) =
+  String.concat "" (List.map (fun e -> verdict_line e ^ "\n") r.cr_results)
+
+let to_text (r : report) =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b
+    (Printf.sprintf
+       "campaign: %d targets (%d fuzzed, %d resumed from journal), %d worker \
+        domain%s, %.2fs wall\n"
+       r.cr_requested
+       (List.length r.cr_results - r.cr_skipped)
+       r.cr_skipped r.cr_jobs
+       (if r.cr_jobs = 1 then "" else "s")
+       r.cr_wall);
+  Buffer.add_string b
+    (Printf.sprintf "vulnerable: %d/%d contracts, %d distinct branches explored\n"
+       (vulnerable_count r)
+       (List.length r.cr_results)
+       (total_branches r));
+  List.iter
+    (fun (f, n) ->
+      Buffer.add_string b
+        (Printf.sprintf "  %-14s %d\n" (Core.Scanner.string_of_flag f) n))
+    (flag_counts r);
+  Buffer.add_string b (Metrics.Histogram.to_string (latency_histogram r));
+  Buffer.add_char b '\n';
+  Buffer.add_string b (verdicts_text r);
+  Buffer.contents b

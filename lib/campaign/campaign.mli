@@ -1,0 +1,78 @@
+(** Parallel fuzzing-campaign orchestrator.
+
+    Drives {!Core.Engine.fuzz} over an arbitrary set of contracts: a
+    shared {!Work_queue} drained by N OCaml domains, an optional
+    crash-safe {!Journal} enabling resumption after a kill, and an
+    aggregation layer merging per-target outcomes into a fleet report.
+
+    Determinism: per-target verdicts depend only on
+    [(cfg_engine.cfg_rng_seed, target)] — the engine seeds each target's
+    RNG from its account name (see {!Core.Engine.fuzz}) — and the report
+    is canonicalised by target name, so {!verdicts_text} is byte-identical
+    for any [cc_jobs] and any scheduling, provided
+    [cc_engine.cfg_time_limit = None]. *)
+
+module Core = Wasai_core
+module Metrics = Wasai_support.Metrics
+
+type target_spec = {
+  sp_name : string;
+      (** campaign-unique identity; doubles as the deployment account, so
+          it must be a valid EOSIO name (the RNG seed derives from it) *)
+  sp_load : unit -> Core.Engine.target;
+      (** called in the worker domain, so parsing/generation cost is paid
+          in parallel too *)
+}
+
+type config = {
+  cc_jobs : int;  (** worker domains, including the calling one; >= 1 *)
+  cc_engine : Core.Engine.config;
+  cc_journal : string option;  (** append completed targets here *)
+  cc_resume : bool;
+      (** skip targets already present in [cc_journal]; their journal
+          entries are merged into the final report *)
+  cc_max_targets : int option;
+      (** stop after this many fresh targets (simulates an interrupted
+          campaign; also the smoke-test budget) *)
+  cc_progress : (Journal.entry -> unit) option;
+      (** called under the campaign lock after each completed target *)
+}
+
+val default_config : config
+(** [cc_jobs = 1], engine defaults, no journal, no resume, no cap. *)
+
+type report = {
+  cr_results : Journal.entry list;  (** sorted by target name *)
+  cr_requested : int;  (** targets in the input set *)
+  cr_skipped : int;  (** satisfied from the journal instead of re-fuzzed *)
+  cr_jobs : int;
+  cr_wall : float;  (** campaign wall-clock, seconds *)
+}
+
+val run : config -> target_spec list -> report
+(** Raises [Invalid_argument] on duplicate target names,
+    {!Journal.Malformed} when resuming from a corrupt journal, and
+    [Failure] when a target's load/fuzz raised (after all workers have
+    drained; the journal keeps every target completed before the
+    failure). *)
+
+(** {2 Aggregation} *)
+
+val flag_counts : report -> (Core.Scanner.flag * int) list
+(** Per-flag count of flagged contracts, in {!Core.Scanner.all_flags}
+    order. *)
+
+val vulnerable_count : report -> int
+val total_branches : report -> int
+
+val latency_histogram : report -> Metrics.Histogram.t
+(** Per-target fuzzing latencies (merged as if per-worker). *)
+
+val verdicts_text : report -> string
+(** Canonical per-target verdict lines, sorted by name, with every
+    scheduling-dependent field (latency, wall-clock) excluded — the
+    byte-identical artefact for comparing runs at different [cc_jobs]. *)
+
+val to_text : report -> string
+(** Full human-readable campaign report: fleet summary, per-flag contract
+    counts, latency percentiles, then {!verdicts_text}. *)

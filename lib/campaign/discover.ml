@@ -1,0 +1,90 @@
+(** Directory discovery for campaign inputs. *)
+
+module Core = Wasai_core
+module Wasm = Wasai_wasm
+open Wasai_eosio
+
+(* EOSIO name alphabet: [.12345a-z].  Characters outside it map into the
+   letters deterministically so distinct reasonable filenames keep
+   distinct accounts; collisions are detected in [dir]. *)
+let account_of_filename (filename : string) : Name.t =
+  let base = Filename.remove_extension (Filename.basename filename) in
+  let sanitize c =
+    match Char.lowercase_ascii c with
+    | ('a' .. 'z' | '1' .. '5' | '.') as c -> c
+    | '0' -> 'o'
+    | '6' .. '9' as c -> Char.chr (Char.code 'f' + Char.code c - Char.code '6')
+    | '-' | '_' -> '.'
+    | c -> Char.chr (Char.code 'a' + (Char.code c mod 26))
+  in
+  let n = min 12 (String.length base) in
+  let name = String.init n (fun i -> sanitize base.[i]) in
+  let name = if name = "" then "contract" else name in
+  Name.of_string name
+
+let default_abi : Abi.t =
+  {
+    Abi.abi_actions =
+      [
+        Abi.transfer_action;
+        {
+          Abi.act_name = Name.of_string "deposit";
+          act_params = [ ("player", Abi.T_name); ("amount", Abi.T_u64) ];
+        };
+        {
+          Abi.act_name = Name.of_string "setup";
+          act_params = [ ("value", Abi.T_u64) ];
+        };
+        {
+          Abi.act_name = Name.of_string "reveal";
+          act_params = [ ("player", Abi.T_name) ];
+        };
+      ];
+  }
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let load_target ~account path : Core.Engine.target =
+  let m =
+    if Filename.check_suffix path ".wat" then Wasm.Text.parse (read_file path)
+    else Wasm.Decode.decode (read_file path)
+  in
+  let abi =
+    (* Prefer the full-filename sidecar (scan's convention), then the
+       basename sidecar, then the canonical ABI. *)
+    let candidates = [ path ^ ".abi"; Filename.remove_extension path ^ ".abi" ] in
+    match List.find_opt Sys.file_exists candidates with
+    | Some p -> Abi.of_text (read_file p)
+    | None -> default_abi
+  in
+  { Core.Engine.tgt_account = account; tgt_module = m; tgt_abi = abi }
+
+let dir (path : string) : Campaign.target_spec list =
+  let entries = Sys.readdir path in
+  Array.sort compare entries;
+  let contracts =
+    List.filter
+      (fun f ->
+        Filename.check_suffix f ".wasm" || Filename.check_suffix f ".wat")
+      (Array.to_list entries)
+  in
+  let by_account = Hashtbl.create 16 in
+  List.map
+    (fun f ->
+      let account = account_of_filename f in
+      let name = Name.to_string account in
+      (match Hashtbl.find_opt by_account name with
+       | Some other ->
+           failwith
+             (Printf.sprintf
+                "campaign: %s and %s both map to account %S; rename one (the \
+                 journal is keyed by the derived account name)"
+                other f name)
+       | None -> Hashtbl.replace by_account name f);
+      let full = Filename.concat path f in
+      { Campaign.sp_name = name; sp_load = (fun () -> load_target ~account full) })
+    contracts

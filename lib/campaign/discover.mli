@@ -1,0 +1,25 @@
+(** Campaign input discovery: turn a directory of [.wasm]/[.wat] contract
+    files (with optional [<file>.abi] / [<base>.abi] sidecars in the
+    {!Wasai_eosio.Abi.of_text} format) into campaign targets.
+
+    Each file's deployment account is derived deterministically from its
+    basename ({!account_of_filename}), so per-target RNG seeds — and hence
+    verdicts — are stable across reorderings, resumptions and machines. *)
+
+module Core = Wasai_core
+
+val account_of_filename : string -> Wasai_eosio.Name.t
+(** Deterministic mapping of a file basename (extension dropped) onto the
+    12-char EOSIO name alphabet.  Characters outside the alphabet are
+    substituted deterministically; the result is truncated to 12 chars. *)
+
+val default_abi : Wasai_eosio.Abi.t
+(** The canonical profitable-contract ABI (transfer/deposit/setup/reveal)
+    used when a contract ships no ABI sidecar. *)
+
+val dir : string -> Campaign.target_spec list
+(** All [*.wasm] and [*.wat] files under [path] (not recursive), sorted by
+    filename; parsing is deferred to the worker via [sp_load].  Raises
+    [Failure] when two files map to the same account name (rename one:
+    campaign journals are keyed by the derived name) and [Sys_error] when
+    the directory cannot be read. *)

@@ -1,0 +1,180 @@
+(** Crash-safe append-only journal of completed campaign targets.
+
+    v1 line format — tab-separated, fixed field order:
+
+    {v
+    wasai-journal-v1 <name> <flags> branches=N rounds=N seeds=N
+      adaptive=N tx=N sat=N imprecise=N elapsed=F
+    v}
+
+    where [<flags>] is [FakeEOS=0,FakeNotif=1,...] covering exactly
+    {!Core.Scanner.all_flags} in order.  Parsing is strict: wrong magic,
+    wrong field count, unknown keys, out-of-order flags or unparseable
+    numbers all reject the line (so a line torn by a crash is reported,
+    not skipped). *)
+
+module Core = Wasai_core
+
+type entry = {
+  je_name : string;
+  je_flags : (Core.Scanner.flag * bool) list;
+  je_branches : int;
+  je_rounds : int;
+  je_seeds_total : int;
+  je_adaptive_seeds : int;
+  je_transactions : int;
+  je_solver_sat : int;
+  je_imprecise : int;
+  je_elapsed : float;
+}
+
+let magic = "wasai-journal-v1"
+
+let of_outcome ~name ~elapsed (o : Core.Engine.outcome) =
+  {
+    je_name = name;
+    (* Normalise to the canonical flag order so journal lines and report
+       text never depend on scanner-internal ordering. *)
+    je_flags =
+      List.map
+        (fun f ->
+          (f, match List.assoc_opt f o.Core.Engine.out_flags with
+              | Some b -> b
+              | None -> false))
+        Core.Scanner.all_flags;
+    je_branches = o.Core.Engine.out_branches;
+    je_rounds = o.Core.Engine.out_rounds;
+    je_seeds_total = o.Core.Engine.out_seeds_total;
+    je_adaptive_seeds = o.Core.Engine.out_adaptive_seeds;
+    je_transactions = o.Core.Engine.out_transactions;
+    je_solver_sat = o.Core.Engine.out_solver_sat;
+    je_imprecise = o.Core.Engine.out_imprecise;
+    je_elapsed = elapsed;
+  }
+
+let line_of_entry (e : entry) =
+  let flags =
+    String.concat ","
+      (List.map
+         (fun (f, b) ->
+           Printf.sprintf "%s=%d" (Core.Scanner.string_of_flag f)
+             (if b then 1 else 0))
+         e.je_flags)
+  in
+  String.concat "\t"
+    [
+      magic; e.je_name; flags;
+      Printf.sprintf "branches=%d" e.je_branches;
+      Printf.sprintf "rounds=%d" e.je_rounds;
+      Printf.sprintf "seeds=%d" e.je_seeds_total;
+      Printf.sprintf "adaptive=%d" e.je_adaptive_seeds;
+      Printf.sprintf "tx=%d" e.je_transactions;
+      Printf.sprintf "sat=%d" e.je_solver_sat;
+      Printf.sprintf "imprecise=%d" e.je_imprecise;
+      Printf.sprintf "elapsed=%.6f" e.je_elapsed;
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Strict parsing                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let keyed key conv field =
+  match String.index_opt field '=' with
+  | Some i when String.sub field 0 i = key -> (
+      let v = String.sub field (i + 1) (String.length field - i - 1) in
+      match conv v with
+      | Some x -> Ok x
+      | None -> Error (Printf.sprintf "field %S: bad value %S" key v))
+  | _ -> Error (Printf.sprintf "expected field %S, got %S" key field)
+
+let parse_flags (field : string) =
+  let parts = String.split_on_char ',' field in
+  let expected = Core.Scanner.all_flags in
+  if List.length parts <> List.length expected then
+    Error
+      (Printf.sprintf "flag field %S: expected %d flags" field
+         (List.length expected))
+  else
+    let rec go acc parts flags =
+      match (parts, flags) with
+      | [], [] -> Ok (List.rev acc)
+      | p :: parts, f :: flags -> (
+          let name = Core.Scanner.string_of_flag f in
+          match keyed name int_of_string_opt p with
+          | Ok 0 -> go ((f, false) :: acc) parts flags
+          | Ok 1 -> go ((f, true) :: acc) parts flags
+          | Ok n -> Error (Printf.sprintf "flag %s: bad verdict %d" name n)
+          | Error e -> Error e)
+      | _ -> assert false
+    in
+    go [] parts expected
+
+let entry_of_line (line : string) : (entry, string) result =
+  let ( let* ) = Result.bind in
+  match String.split_on_char '\t' line with
+  | [ m; name; flags; branches; rounds; seeds; adaptive; tx; sat; imprecise;
+      elapsed ] ->
+      if m <> magic then Error (Printf.sprintf "bad magic %S" m)
+      else if name = "" then Error "empty target name"
+      else
+        let* je_flags = parse_flags flags in
+        let* je_branches = keyed "branches" int_of_string_opt branches in
+        let* je_rounds = keyed "rounds" int_of_string_opt rounds in
+        let* je_seeds_total = keyed "seeds" int_of_string_opt seeds in
+        let* je_adaptive_seeds = keyed "adaptive" int_of_string_opt adaptive in
+        let* je_transactions = keyed "tx" int_of_string_opt tx in
+        let* je_solver_sat = keyed "sat" int_of_string_opt sat in
+        let* je_imprecise = keyed "imprecise" int_of_string_opt imprecise in
+        let* je_elapsed = keyed "elapsed" float_of_string_opt elapsed in
+        Ok
+          {
+            je_name = name; je_flags; je_branches; je_rounds; je_seeds_total;
+            je_adaptive_seeds; je_transactions; je_solver_sat; je_imprecise;
+            je_elapsed;
+          }
+  | fields -> Error (Printf.sprintf "expected 11 tab-separated fields, got %d"
+                       (List.length fields))
+
+exception Malformed of string
+
+let load path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let rec go acc line_no =
+        match input_line ic with
+        | exception End_of_file -> List.rev acc
+        | line -> (
+            match entry_of_line line with
+            | Ok e -> go (e :: acc) (line_no + 1)
+            | Error reason ->
+                raise
+                  (Malformed
+                     (Printf.sprintf
+                        "%s:%d: malformed journal line (%s); refusing to \
+                         resume from a corrupt journal"
+                        path line_no reason)))
+      in
+      go [] 1)
+
+(* ------------------------------------------------------------------ *)
+(* Writer                                                              *)
+(* ------------------------------------------------------------------ *)
+
+type writer = { oc : out_channel; wlock : Mutex.t }
+
+let open_writer path =
+  { oc = open_out_gen [ Open_append; Open_creat ] 0o644 path;
+    wlock = Mutex.create () }
+
+let append w e =
+  Mutex.protect w.wlock (fun () ->
+      output_string w.oc (line_of_entry e);
+      output_char w.oc '\n';
+      flush w.oc;
+      (* The line must reach disk before the target counts as done:
+         a resume must never skip work whose result a crash threw away. *)
+      Unix.fsync (Unix.descr_of_out_channel w.oc))
+
+let close_writer w = Mutex.protect w.wlock (fun () -> close_out_noerr w.oc)

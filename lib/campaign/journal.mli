@@ -1,0 +1,54 @@
+(** Crash-safe campaign journal: one line per completed target, appended
+    under a lock and fsync'd before the write is acknowledged, so a killed
+    campaign can be resumed from exactly the set of targets whose results
+    reached disk.
+
+    The format is versioned and parsed strictly: any line that is not a
+    well-formed v1 record (including a line torn by a crash mid-write)
+    makes {!load} raise {!Malformed} with the offending path, line number
+    and reason — a corrupt journal is never silently skipped over. *)
+
+module Core = Wasai_core
+
+(** One completed target: its verdicts plus the deterministic outcome
+    counters (everything of {!Core.Engine.outcome} that the campaign
+    report aggregates).  [je_elapsed] is wall-clock and is the only
+    scheduling-dependent field; report canonicalisation excludes it. *)
+type entry = {
+  je_name : string;  (** target name (unique within a campaign) *)
+  je_flags : (Core.Scanner.flag * bool) list;  (** all five, fixed order *)
+  je_branches : int;
+  je_rounds : int;
+  je_seeds_total : int;
+  je_adaptive_seeds : int;
+  je_transactions : int;
+  je_solver_sat : int;
+  je_imprecise : int;
+  je_elapsed : float;  (** seconds spent fuzzing this target *)
+}
+
+val of_outcome : name:string -> elapsed:float -> Core.Engine.outcome -> entry
+
+val line_of_entry : entry -> string
+(** Single-line v1 record, no trailing newline. *)
+
+val entry_of_line : string -> (entry, string) result
+
+exception Malformed of string
+(** Raised by {!load}; the message carries path, 1-based line number and
+    reason. *)
+
+val load : string -> entry list
+(** All entries, in file order.  Raises {!Malformed} on any bad line and
+    [Sys_error] if the file cannot be read. *)
+
+(** Append-side handle; [append] serialises concurrent writers with an
+    internal mutex and fsyncs after every line. *)
+type writer
+
+val open_writer : string -> writer
+(** Opens (creating if needed) in append mode: resuming a campaign keeps
+    the prior entries and extends the same file. *)
+
+val append : writer -> entry -> unit
+val close_writer : writer -> unit

@@ -1,0 +1,41 @@
+(** Closeable MPMC work queue: a stdlib [Queue.t] under a mutex, with a
+    condition variable waking takers on push and on close. *)
+
+type 'a t = {
+  items : 'a Queue.t;
+  lock : Mutex.t;
+  wake : Condition.t;
+  mutable closed : bool;
+}
+
+let create () =
+  { items = Queue.create (); lock = Mutex.create (); wake = Condition.create ();
+    closed = false }
+
+let push t x =
+  Mutex.protect t.lock (fun () ->
+      if t.closed then invalid_arg "Work_queue.push: closed";
+      Queue.add x t.items;
+      Condition.signal t.wake)
+
+let close t =
+  Mutex.protect t.lock (fun () ->
+      t.closed <- true;
+      (* Every blocked taker must re-check the closed flag. *)
+      Condition.broadcast t.wake)
+
+let take t =
+  Mutex.protect t.lock (fun () ->
+      let rec wait () =
+        match Queue.take_opt t.items with
+        | Some x -> Some x
+        | None ->
+            if t.closed then None
+            else begin
+              Condition.wait t.wake t.lock;
+              wait ()
+            end
+      in
+      wait ())
+
+let length t = Mutex.protect t.lock (fun () -> Queue.length t.items)

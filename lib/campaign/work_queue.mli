@@ -1,0 +1,24 @@
+(** Closeable multi-producer/multi-consumer work queue for the campaign
+    domains (stdlib Mutex/Condition only).
+
+    Producers [push] then [close]; each worker domain loops on [take]
+    until it returns [None].  FIFO order is preserved, but consumers may
+    interleave arbitrarily — campaign determinism therefore never relies
+    on which worker drains which item. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val push : 'a t -> 'a -> unit
+(** Raises [Invalid_argument] if the queue is closed. *)
+
+val close : 'a t -> unit
+(** No further pushes; blocked takers drain the backlog then see [None].
+    Idempotent. *)
+
+val take : 'a t -> 'a option
+(** Next item, blocking while the queue is open and empty; [None] once
+    the queue is closed and drained. *)
+
+val length : 'a t -> int

@@ -156,7 +156,15 @@ let setup (cfg : config) (target : target) : session =
   let scanner =
     Scanner.create ~meta ~victim:target.tgt_account ~fake_notif_agent:fake_notif
   in
-  let rng = Wasai_support.Rand.create cfg.cfg_rng_seed in
+  (* Determinism contract: the per-target RNG seed is derived from the
+     pair (cfg_rng_seed, tgt_account) alone — never from global state or
+     from how many targets ran before this one — so a campaign scheduled
+     over N domains produces the same per-target verdicts as a serial
+     run. *)
+  let rng =
+    Wasai_support.Rand.create
+      (Wasai_support.Rand.mix cfg.cfg_rng_seed target.tgt_account)
+  in
   let identities = [ attacker; player_one; player_two; target.tgt_account ] in
   let pool = Seed.create_pool () in
   (* Algorithm 1 line 2: fill seeds with random data. *)

@@ -17,6 +17,8 @@ type config = {
       (** optional wall-clock cap in seconds (the paper's per-contract
           timeout); whichever of rounds/time runs out first stops the loop *)
   cfg_rng_seed : int64;
+      (** root seed; the per-target RNG is seeded from
+          [Rand.mix cfg_rng_seed tgt_account], see {!fuzz} *)
   cfg_solver_budget : int;  (** SAT conflicts (stands in for 3,000 ms) *)
   cfg_max_flips : int;  (** solved branches per execution *)
   cfg_fuel : int;
@@ -105,7 +107,16 @@ val fuzz :
   outcome
 (** Fuzz one contract to completion; [oracles] builds additional
     detectors from the instrumentation metadata (the §5 extension
-    interface). *)
+    interface).
+
+    Determinism contract: given a fixed [cfg] (with [cfg_time_limit =
+    None]) and a fixed target, every field of the outcome except
+    [out_timeline]'s elapsed-seconds component is a pure function of
+    [(cfg_rng_seed, tgt_account, tgt_module, tgt_abi)].  The per-target
+    RNG is seeded with [Rand.mix cfg_rng_seed tgt_account] — never from
+    global or sequential state — so fuzzing many targets concurrently
+    (e.g. the campaign orchestrator's domains) yields byte-identical
+    verdicts to fuzzing them one after another, in any order. *)
 
 val flagged : outcome -> Scanner.flag -> bool
 val any_flagged : outcome -> bool

@@ -72,11 +72,12 @@ let to_signed width (v : int64) =
 (* Variables                                                           *)
 (* ------------------------------------------------------------------ *)
 
-let var_counter = ref 0
+(* Atomic so concurrent fuzzing domains never mint duplicate ids; verdicts
+   do not depend on the numeric id values, only on their uniqueness. *)
+let var_counter = Atomic.make 0
 
 let fresh_var ?(name = "v") width : var =
-  incr var_counter;
-  { vid = !var_counter; vname = name; vwidth = width }
+  { vid = Atomic.fetch_and_add var_counter 1 + 1; vname = name; vwidth = width }
 
 let var v = Var v
 

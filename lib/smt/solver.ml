@@ -17,13 +17,15 @@ type result =
   | Unsat
   | Unknown  (** budget exhausted *)
 
+(* Atomic so concurrent fuzzing domains tally without losing increments. *)
 type stats = {
-  mutable quick_solved : int;
-  mutable blasted : int;
-  mutable unknowns : int;
+  quick_solved : int Atomic.t;
+  blasted : int Atomic.t;
+  unknowns : int Atomic.t;
 }
 
-let stats = { quick_solved = 0; blasted = 0; unknowns = 0 }
+let stats =
+  { quick_solved = Atomic.make 0; blasted = Atomic.make 0; unknowns = Atomic.make 0 }
 
 (* ------------------------------------------------------------------ *)
 (* Quick path                                                          *)
@@ -101,11 +103,11 @@ let blast_check ?(conflict_budget = 50_000) (constraints : Expr.t list)
     (pre_model : model) : result =
   let ctx = Bitblast.create () in
   List.iter (Bitblast.assert_true ctx) constraints;
-  stats.blasted <- stats.blasted + 1;
+  Atomic.incr stats.blasted;
   match Sat.solve ~conflict_budget ctx.Bitblast.sat with
   | Sat.Unsat -> Unsat
   | Sat.Unknown ->
-      stats.unknowns <- stats.unknowns + 1;
+      Atomic.incr stats.unknowns;
       Unknown
   | Sat.Sat ->
       let model = Hashtbl.copy pre_model in
@@ -131,7 +133,7 @@ let check ?(conflict_budget = 50_000) (constraints : Expr.t list) : result =
   else
     match quick_path constraints with
     | `Solved model ->
-        stats.quick_solved <- stats.quick_solved + 1;
+        Atomic.incr stats.quick_solved;
         Sat model
     | `Contradiction -> Unsat
     | `Residual (residual, model) -> blast_check ~conflict_budget residual model

@@ -15,13 +15,14 @@ type result =
   | Unknown  (** budget exhausted *)
 
 type stats = {
-  mutable quick_solved : int;
-  mutable blasted : int;
-  mutable unknowns : int;
+  quick_solved : int Atomic.t;
+  blasted : int Atomic.t;
+  unknowns : int Atomic.t;
 }
 
 val stats : stats
-(** Global counters (for benchmarks and reports). *)
+(** Global counters (for benchmarks and reports); atomic so concurrent
+    fuzzing domains tally without losing increments. *)
 
 val check : ?conflict_budget:int -> Expr.t list -> result
 (** Decide the conjunction of constraints. *)

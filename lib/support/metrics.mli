@@ -24,3 +24,29 @@ val pct_string : float -> string
 
 val row_string : confusion -> string
 (** "P=... R=... F1=..." summary. *)
+
+(** Fixed-bucket latency histogram (geometric bounds, 100 µs .. ~100 s)
+    for campaign latency reporting.  Bounds are identical across
+    instances, so per-worker histograms merge exactly. *)
+module Histogram : sig
+  type t
+
+  val create : unit -> t
+
+  val add : t -> float -> unit
+  (** Record one sample in seconds; negative/NaN samples clamp to 0. *)
+
+  val merge : t -> t -> t
+  (** Exact merge of two histograms into a fresh one. *)
+
+  val percentile : t -> float -> float
+  (** [percentile t p] for [p] in [0,100]: an upper bound on the [p]-th
+      percentile sample (the matching bucket's bound, capped at the
+      observed maximum).  0 when empty. *)
+
+  val count : t -> int
+  val mean : t -> float
+
+  val to_string : t -> string
+  (** "latency: n=... mean=... p50<=... p90<=... p99<=... max=..." *)
+end

@@ -64,3 +64,12 @@ let eosio_name_string t n =
 
 let ascii_string t n =
   String.init n (fun _ -> Char.chr (32 + int t 95))
+
+(** Deterministic 64-bit mix of two values (a seed root and a per-target
+    identity), used to derive scheduling-independent per-target RNG seeds:
+    the result depends only on the pair, never on arrival order. *)
+let mix a b =
+  let t = create a in
+  let h = next_u64 t in
+  t.state <- Int64.logxor h b;
+  next_u64 t

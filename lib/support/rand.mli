@@ -36,3 +36,9 @@ val eosio_name_string : t -> int -> string
 
 val ascii_string : t -> int -> string
 (** Random printable ASCII string. *)
+
+val mix : int64 -> int64 -> int64
+(** [mix root id] deterministically combines a root seed with a 64-bit
+    identity (e.g. an EOSIO account name) into a well-mixed derived seed.
+    Depends only on the pair — not on call order — so parallel and serial
+    schedules derive identical per-target seeds. *)

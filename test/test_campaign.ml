@@ -1,0 +1,331 @@
+(* Tests for the campaign orchestrator: latency histogram, work queue,
+   journal round-trip and strictness, multi-domain/serial verdict parity,
+   and interrupt/resume equivalence. *)
+
+module Core = Wasai_core
+module BG = Wasai_benchgen
+module Campaign = Wasai_campaign
+module Metrics = Wasai_support.Metrics
+open Wasai_eosio
+
+(* ------------------------------------------------------------------ *)
+(* Metrics.Histogram                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let contains ~sub s =
+  let n = String.length sub and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+  n = 0 || go 0
+
+let test_hist_basic () =
+  let h = Metrics.Histogram.create () in
+  Alcotest.(check (float 0.0)) "empty percentile" 0.0
+    (Metrics.Histogram.percentile h 99.0);
+  for _ = 1 to 50 do Metrics.Histogram.add h 0.001 done;
+  for _ = 1 to 50 do Metrics.Histogram.add h 0.1 done;
+  Alcotest.(check int) "count" 100 (Metrics.Histogram.count h);
+  Alcotest.(check bool) "mean between modes" true
+    (let m = Metrics.Histogram.mean h in
+     m > 0.04 && m < 0.06);
+  Alcotest.(check bool) "p50 in the low bucket" true
+    (Metrics.Histogram.percentile h 50.0 <= 0.002);
+  Alcotest.(check bool) "p90 bounds the high mode" true
+    (let p = Metrics.Histogram.percentile h 90.0 in
+     p >= 0.1 && p <= 0.11);
+  Alcotest.(check bool) "p100 capped at max" true
+    (Metrics.Histogram.percentile h 100.0 <= 0.1)
+
+let test_hist_merge () =
+  let a = Metrics.Histogram.create () and b = Metrics.Histogram.create () in
+  List.iter (Metrics.Histogram.add a) [ 0.001; 0.002; 0.003 ];
+  List.iter (Metrics.Histogram.add b) [ 0.2; 0.3 ];
+  let m = Metrics.Histogram.merge a b in
+  Alcotest.(check int) "merged count" 5 (Metrics.Histogram.count m);
+  Alcotest.(check bool) "merged p99 from b" true
+    (Metrics.Histogram.percentile m 99.0 >= 0.2);
+  Alcotest.(check bool) "merge leaves inputs alone" true
+    (Metrics.Histogram.count a = 3 && Metrics.Histogram.count b = 2);
+  Alcotest.(check bool) "to_string mentions count" true
+    (let s = Metrics.Histogram.to_string m in
+     String.length s > 0
+     && contains ~sub:"n=5" s)
+
+(* ------------------------------------------------------------------ *)
+(* Work queue                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_queue_fifo_and_close () =
+  let q = Campaign.Work_queue.create () in
+  List.iter (Campaign.Work_queue.push q) [ 1; 2; 3 ];
+  Campaign.Work_queue.close q;
+  Alcotest.(check (list int)) "fifo drain" [ 1; 2; 3 ]
+    (List.filter_map (fun _ -> Campaign.Work_queue.take q) [ (); (); () ]);
+  Alcotest.(check bool) "drained + closed" true (Campaign.Work_queue.take q = None);
+  Alcotest.check_raises "push after close"
+    (Invalid_argument "Work_queue.push: closed") (fun () ->
+      Campaign.Work_queue.push q 4)
+
+let test_queue_parallel_drain () =
+  let q = Campaign.Work_queue.create () in
+  let n = 200 in
+  for i = 1 to n do Campaign.Work_queue.push q i done;
+  Campaign.Work_queue.close q;
+  let drain () =
+    let rec go acc = match Campaign.Work_queue.take q with
+      | Some x -> go (x + acc)
+      | None -> acc
+    in
+    go 0
+  in
+  let others = List.init 3 (fun _ -> Domain.spawn drain) in
+  let total = List.fold_left (fun acc d -> acc + Domain.join d) (drain ()) others in
+  Alcotest.(check int) "every item taken exactly once" (n * (n + 1) / 2) total
+
+(* ------------------------------------------------------------------ *)
+(* Journal                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let sample_entry =
+  {
+    Campaign.Journal.je_name = "alice";
+    je_flags =
+      List.map
+        (fun f -> (f, f = Core.Scanner.Fake_eos || f = Core.Scanner.Rollback))
+        Core.Scanner.all_flags;
+    je_branches = 42;
+    je_rounds = 12;
+    je_seeds_total = 30;
+    je_adaptive_seeds = 4;
+    je_transactions = 99;
+    je_solver_sat = 7;
+    je_imprecise = 1;
+    je_elapsed = 1.5;
+  }
+
+let test_journal_roundtrip () =
+  let line = Campaign.Journal.line_of_entry sample_entry in
+  match Campaign.Journal.entry_of_line line with
+  | Ok e ->
+      Alcotest.(check string) "name" "alice" e.Campaign.Journal.je_name;
+      Alcotest.(check bool) "flags" true
+        (e.Campaign.Journal.je_flags = sample_entry.Campaign.Journal.je_flags);
+      Alcotest.(check int) "branches" 42 e.Campaign.Journal.je_branches;
+      Alcotest.(check (float 1e-6)) "elapsed" 1.5 e.Campaign.Journal.je_elapsed
+  | Error e -> Alcotest.fail ("roundtrip failed: " ^ e)
+
+let test_journal_strict () =
+  let reject line reason_fragment =
+    match Campaign.Journal.entry_of_line line with
+    | Ok _ -> Alcotest.fail ("accepted malformed line: " ^ line)
+    | Error reason ->
+        Alcotest.(check bool)
+          (Printf.sprintf "reason %S mentions %S" reason reason_fragment)
+          true
+            (contains ~sub:reason_fragment reason)
+  in
+  reject "garbage" "11 tab-separated fields";
+  reject
+    (Campaign.Journal.line_of_entry sample_entry ^ "\textra")
+    "11 tab-separated fields";
+  (* A line torn mid-write by a crash. *)
+  let full = Campaign.Journal.line_of_entry sample_entry in
+  reject (String.sub full 0 (String.length full - 20)) "field";
+  reject (String.concat "\t" (String.split_on_char '\t' full |> List.map (fun f ->
+      if f = "tx=99" then "tx=banana" else f)))
+    "tx"
+
+let test_journal_load_malformed () =
+  let path = Filename.temp_file "wasai-test" ".journal" in
+  let oc = open_out path in
+  output_string oc (Campaign.Journal.line_of_entry sample_entry ^ "\n");
+  output_string oc "this is not a journal line\n";
+  close_out oc;
+  (match Campaign.Journal.load path with
+   | _ -> Alcotest.fail "corrupt journal accepted"
+   | exception Campaign.Journal.Malformed msg ->
+       Alcotest.(check bool)
+         (Printf.sprintf "error %S names the line" msg)
+         true
+         (contains ~sub:":2:" msg));
+  Sys.remove path
+
+(* ------------------------------------------------------------------ *)
+(* Campaign runs over a generated corpus                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_targets ~count =
+  List.mapi
+    (fun i (s : BG.Corpus.sample) ->
+      let account =
+        Name.of_string (Printf.sprintf "trgt%c" (Char.chr (Char.code 'a' + i)))
+      in
+      {
+        Campaign.Campaign.sp_name = Name.to_string account;
+        sp_load =
+          (fun () ->
+            {
+              Core.Engine.tgt_account = account;
+              tgt_module = s.BG.Corpus.smp_module;
+              tgt_abi = s.BG.Corpus.smp_abi;
+            });
+      })
+    (BG.Corpus.coverage_set ~count ())
+
+let campaign_config ~jobs =
+  {
+    Campaign.Campaign.default_config with
+    Campaign.Campaign.cc_jobs = jobs;
+    cc_engine = { Core.Engine.default_config with Core.Engine.cfg_rounds = 6 };
+  }
+
+let flag_sets (r : Campaign.Campaign.report) =
+  List.map
+    (fun (e : Campaign.Journal.entry) ->
+      ( e.Campaign.Journal.je_name,
+        List.filter_map (fun (f, b) -> if b then Some f else None)
+          e.Campaign.Journal.je_flags ))
+    r.Campaign.Campaign.cr_results
+
+let test_parallel_parity () =
+  let targets = test_targets ~count:8 in
+  let serial = Campaign.Campaign.run (campaign_config ~jobs:1) targets in
+  let parallel = Campaign.Campaign.run (campaign_config ~jobs:4) targets in
+  Alcotest.(check int) "all targets fuzzed" 8
+    (List.length parallel.Campaign.Campaign.cr_results);
+  Alcotest.(check bool) "per-contract flag sets identical" true
+    (flag_sets serial = flag_sets parallel);
+  Alcotest.(check string) "canonical verdicts byte-identical"
+    (Campaign.Campaign.verdicts_text serial)
+    (Campaign.Campaign.verdicts_text parallel)
+
+let test_resume () =
+  let targets = test_targets ~count:8 in
+  let uninterrupted = Campaign.Campaign.run (campaign_config ~jobs:2) targets in
+  let journal = Filename.temp_file "wasai-test" ".journal" in
+  Sys.remove journal;
+  (* "Kill" the campaign after 5 targets by budget, then resume. *)
+  let interrupted =
+    Campaign.Campaign.run
+      {
+        (campaign_config ~jobs:2) with
+        Campaign.Campaign.cc_journal = Some journal;
+        cc_max_targets = Some 5;
+      }
+      targets
+  in
+  Alcotest.(check int) "interrupted at 5" 5
+    (List.length interrupted.Campaign.Campaign.cr_results);
+  let resumed =
+    Campaign.Campaign.run
+      {
+        (campaign_config ~jobs:2) with
+        Campaign.Campaign.cc_journal = Some journal;
+        cc_resume = true;
+      }
+      targets
+  in
+  Alcotest.(check int) "resume skips the journaled 5" 5
+    resumed.Campaign.Campaign.cr_skipped;
+  Alcotest.(check int) "resume completes the remaining 3" 3
+    (List.length resumed.Campaign.Campaign.cr_results
+     - resumed.Campaign.Campaign.cr_skipped);
+  Alcotest.(check string) "merged report equals the uninterrupted run"
+    (Campaign.Campaign.verdicts_text uninterrupted)
+    (Campaign.Campaign.verdicts_text resumed);
+  (* A journal appended to by a non-resume rerun holds duplicate lines per
+     name; resume must collapse them, not double-count. *)
+  let _rerun_without_resume =
+    Campaign.Campaign.run
+      {
+        (campaign_config ~jobs:1) with
+        Campaign.Campaign.cc_journal = Some journal;
+      }
+      targets
+  in
+  let resumed_again =
+    Campaign.Campaign.run
+      {
+        (campaign_config ~jobs:1) with
+        Campaign.Campaign.cc_journal = Some journal;
+        cc_resume = true;
+      }
+      targets
+  in
+  Alcotest.(check int) "duplicate journal lines collapse on resume" 8
+    (List.length resumed_again.Campaign.Campaign.cr_results);
+  Alcotest.(check string) "deduped resume still equals the uninterrupted run"
+    (Campaign.Campaign.verdicts_text uninterrupted)
+    (Campaign.Campaign.verdicts_text resumed_again);
+  Sys.remove journal
+
+let test_resume_rejects_corrupt_journal () =
+  let targets = test_targets ~count:2 in
+  let journal = Filename.temp_file "wasai-test" ".journal" in
+  let oc = open_out journal in
+  output_string oc "corrupted by a crash\n";
+  close_out oc;
+  (match
+     Campaign.Campaign.run
+       {
+         (campaign_config ~jobs:1) with
+         Campaign.Campaign.cc_journal = Some journal;
+         cc_resume = true;
+       }
+       targets
+   with
+   | _ -> Alcotest.fail "campaign resumed from a corrupt journal"
+   | exception Campaign.Journal.Malformed _ -> ());
+  Sys.remove journal
+
+let test_duplicate_names_rejected () =
+  let t = List.hd (test_targets ~count:1) in
+  match Campaign.Campaign.run (campaign_config ~jobs:1) [ t; t ] with
+  | _ -> Alcotest.fail "duplicate target names accepted"
+  | exception Invalid_argument _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Discovery                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_account_of_filename () =
+  let n s = Name.to_string (Campaign.Discover.account_of_filename s) in
+  Alcotest.(check string) "plain" "lottery" (n "lottery.wasm");
+  Alcotest.(check string) "digits and underscores map deterministically"
+    (n "Contract_07.wasm") (n "contract.og.wat");
+  Alcotest.(check bool) "truncated to 12" true
+    (String.length (n "averyveryverylongcontractname.wasm") = 12)
+
+let () =
+  Alcotest.run "wasai_campaign"
+    [
+      ( "histogram",
+        [
+          Alcotest.test_case "basic percentiles" `Quick test_hist_basic;
+          Alcotest.test_case "merge" `Quick test_hist_merge;
+        ] );
+      ( "work_queue",
+        [
+          Alcotest.test_case "fifo and close" `Quick test_queue_fifo_and_close;
+          Alcotest.test_case "parallel drain" `Quick test_queue_parallel_drain;
+        ] );
+      ( "journal",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_journal_roundtrip;
+          Alcotest.test_case "strict parse" `Quick test_journal_strict;
+          Alcotest.test_case "load rejects malformed" `Quick
+            test_journal_load_malformed;
+        ] );
+      ( "campaign",
+        [
+          Alcotest.test_case "parallel/serial parity" `Quick test_parallel_parity;
+          Alcotest.test_case "interrupt and resume" `Quick test_resume;
+          Alcotest.test_case "corrupt journal rejected" `Quick
+            test_resume_rejects_corrupt_journal;
+          Alcotest.test_case "duplicate names rejected" `Quick
+            test_duplicate_names_rejected;
+        ] );
+      ( "discover",
+        [
+          Alcotest.test_case "account derivation" `Quick test_account_of_filename;
+        ] );
+    ]

@@ -221,7 +221,7 @@ let blast_agrees_with_eval ?(count = 150) width =
 let test_solver_quick_path () =
   let open Expr in
   let x = fresh_var ~name:"x" 64 and y = fresh_var ~name:"y" 64 in
-  let before = Solver.stats.Solver.quick_solved in
+  let before = (Atomic.get Solver.stats.Solver.quick_solved) in
   (match
      Solver.check
        [
@@ -234,7 +234,7 @@ let test_solver_quick_path () =
       Alcotest.(check int64) "y" 99L (Hashtbl.find m y.vid)
   | _ -> Alcotest.fail "expected sat");
   Alcotest.(check bool) "went through quick path" true
-    (Solver.stats.Solver.quick_solved > before)
+    ((Atomic.get Solver.stats.Solver.quick_solved) > before)
 
 let test_solver_blast_path () =
   let open Expr in
