@@ -3,12 +3,13 @@
 
     Usage: [main.exe [experiment] [--scale N] [--rounds N] [--count N]]
 
-    Experiments: fig3 table4 table5 table6 rq4 ablation campaign
+    Experiments: fig3 table4 table5 table6 rq4 ablation solver campaign
     campaign-smoke micro all (default: all).  [--scale] divides the corpus
     sizes (default 20; use [--full] for the paper-sized corpora — minutes
     of CPU).  [campaign] measures multi-domain scaling (1/2/4 workers)
     over a generated corpus; [campaign-smoke] is a <10 s parity + resume
-    check. *)
+    check; [solver] is a <10 s cache-on/off microbenchmark over a
+    repeated-flip workload. *)
 
 open Wasai_support
 module BG = Wasai_benchgen
@@ -292,15 +293,16 @@ let ablation (opts : options) =
   Printf.printf
     "memory model: WASAI concrete-address %d ops in %.3fs | EOSAFE merge-map %d ops in %.3fs (scanned %d entries)\n"
     (2 * n_ops) t_wasai (2 * n_ops / 10) t_eosafe work;
-  (* 3. Solver tiers: quick path vs bit-blasting. *)
+  (* 3. Solver tiers: quick path vs bit-blasting, tallied by a private
+     session (solver accounting is per-session, not global). *)
   let open Wasai_smt in
-  let quick_before = (Atomic.get Solver.stats.Solver.quick_solved) in
+  let session = Solver.Session.create () in
   let x = Expr.fresh_var ~name:"x" 64 in
   let _, t_quick =
     time_it (fun () ->
         for i = 0 to 499 do
           ignore
-            (Solver.check
+            (Solver.check ~session
                [ Expr.cmp Expr.Eq (Expr.var x) (Expr.const 64 (Int64.of_int i)) ])
         done)
   in
@@ -309,7 +311,7 @@ let ablation (opts : options) =
         for i = 0 to 19 do
           let y = Expr.fresh_var ~name:"y" 32 in
           ignore
-            (Solver.check
+            (Solver.check ~session
                [
                  Expr.cmp Expr.Eq
                    (Expr.unop Expr.Popcnt (Expr.var y))
@@ -317,11 +319,94 @@ let ablation (opts : options) =
                ])
         done)
   in
+  let st = Solver.Session.stats session in
   Printf.printf
-    "solver: 500 equality chains via quick path in %.4fs (quick-path hits +%d) | 20 popcount queries via bit-blasting in %.3fs\n"
-    t_quick
-    ((Atomic.get Solver.stats.Solver.quick_solved) - quick_before)
-    t_blast
+    "solver: 500 equality chains via quick path in %.4fs (quick-path hits +%d) | 20 popcount queries via bit-blasting in %.3fs (blasted %d)\n"
+    t_quick st.Solver.st_quick t_blast st.Solver.st_blasted
+
+(* ------------------------------------------------------------------ *)
+(* Solver: per-session constraint cache                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* Repeated-flip workload: the engine re-derives near-identical constraint
+   sets round after round (the same path prefix with one condition
+   negated), which is exactly what the per-session cache memoises.  Build
+   a ~10-deep path over symbolic inputs — equality guards the quick path
+   solves, plus small-width arithmetic conditions that force bit-blasting
+   — submit every (prefix, flipped) candidate, and repeat the whole sweep
+   for several rounds as the engine does.  Run once with the cache
+   disabled (capacity 0, the pre-cache baseline) and once with the
+   default session; verdict sequences must be identical. *)
+let solver_exp () =
+  Printf.printf "\n=== Solver: per-session constraint cache ===\n%!";
+  let open Wasai_smt in
+  let x = Expr.fresh_var ~name:"sx" 64 in
+  let y = Expr.fresh_var ~name:"sy" 16 in
+  let conds =
+    Array.init 10 (fun i ->
+        if i mod 3 = 2 then
+          (* Small-width multiply: outside the quick path, must blast. *)
+          Expr.(
+            cmp Ule
+              (binop Mul (var y) (const 16 (Int64.of_int (3 + i))))
+              (const 16 (Int64.of_int (6000 + (1000 * i)))))
+        else
+          (* Equality guard the propagation quick path picks off. *)
+          Expr.(
+            cmp Eq
+              (binop Add (var x) (const 64 (Int64.of_int (17 * i))))
+              (const 64 (Int64.of_int (1000 + (100 * i))))))
+  in
+  (* One query per flip candidate: the prefix as taken, then ¬cond. *)
+  let queries =
+    List.init (Array.length conds) (fun i ->
+        List.init i (fun j -> conds.(j)) @ [ Expr.not_ conds.(i) ])
+  in
+  let rounds = 8 in
+  let n = rounds * List.length queries in
+  let run session =
+    let verdicts = ref [] in
+    let _, t =
+      time_it (fun () ->
+          for _ = 1 to rounds do
+            List.iter
+              (fun q ->
+                verdicts :=
+                  (match Solver.check ~session q with
+                   | Solver.Sat _ -> `Sat
+                   | Solver.Unsat -> `Unsat
+                   | Solver.Unknown -> `Unknown)
+                  :: !verdicts)
+              queries
+          done)
+    in
+    (List.rev !verdicts, Solver.Session.stats session, t)
+  in
+  let v0, st0, t0 = run (Solver.Session.create ~cache_capacity:0 ()) in
+  let v1, st1, t1 = run (Solver.Session.create ()) in
+  let per_query t = 1e6 *. t /. float_of_int n in
+  Printf.printf
+    "  cache off: %d queries  quick=%d blasted=%d unknown=%d  %.4fs (%.1f us/query)\n"
+    n st0.Solver.st_quick st0.Solver.st_blasted st0.Solver.st_unknown t0
+    (per_query t0);
+  Printf.printf
+    "  cache on:  %d queries  quick=%d blasted=%d unknown=%d  hits=%s  %.4fs (%.1f us/query)\n"
+    n st1.Solver.st_quick st1.Solver.st_blasted st1.Solver.st_unknown
+    (Metrics.rate_string ~hits:st1.Solver.st_cache_hits
+       ~total:(st1.Solver.st_cache_hits + st1.Solver.st_cache_misses))
+    t1 (per_query t1);
+  let ok =
+    v0 = v1 && st1.Solver.st_cache_hits > 0
+    && st1.Solver.st_blasted < st0.Solver.st_blasted
+  in
+  Printf.printf
+    "  verdicts identical: %b  blasting runs saved: %d\n"
+    (v0 = v1)
+    (st0.Solver.st_blasted - st1.Solver.st_blasted);
+  if not ok then begin
+    Printf.printf "solver cache benchmark FAILED\n";
+    exit 1
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Campaign: multi-domain scaling                                       *)
@@ -545,6 +630,7 @@ let () =
     | "table6" -> table6 opts
     | "rq4" -> rq4 opts
     | "ablation" -> ablation opts
+    | "solver" -> solver_exp ()
     | "campaign" -> campaign_exp opts
     | "campaign-smoke" -> campaign_smoke ()
     | "micro" -> micro ()
@@ -555,6 +641,7 @@ let () =
         table6 opts;
         rq4 opts;
         ablation opts;
+        solver_exp ();
         campaign_exp opts;
         micro ()
     | other -> Printf.eprintf "unknown experiment %s\n" other

@@ -202,6 +202,15 @@ let campaign_cmd dir jobs rounds resume journal out =
   end;
   let total = List.length targets in
   let finished = ref 0 in
+  (* The default already caps at the hardware's recommended domain count;
+     a larger explicit --jobs is honoured but oversubscription makes the
+     OCaml 5 GC thrash (ROADMAP: 4 domains on 1 core ran ~9x slower). *)
+  let recommended = Domain.recommended_domain_count () in
+  if jobs > recommended then
+    Printf.eprintf
+      "campaign: --jobs %d exceeds the recommended domain count (%d); \
+       oversubscribed domains contend in the GC and usually run slower\n%!"
+      jobs recommended;
   let cfg =
     {
       Campaign.Campaign.default_config with

@@ -5,6 +5,7 @@
     identical for any worker count. *)
 
 module Core = Wasai_core
+module Solver = Wasai_smt.Solver
 module Metrics = Wasai_support.Metrics
 
 type target_spec = {
@@ -170,6 +171,14 @@ let total_branches (r : report) =
   List.fold_left (fun acc (e : Journal.entry) -> acc + e.Journal.je_branches) 0
     r.cr_results
 
+(* Fleet-wide solver/cache counters: a plain sum over per-target stats.
+   Each target's counters are deterministic (sessions are per-target and
+   never shared across domains), so the sum is too. *)
+let solver_totals (r : report) =
+  List.fold_left
+    (fun acc (e : Journal.entry) -> Solver.stats_add acc e.Journal.je_solver)
+    Solver.stats_zero r.cr_results
+
 let latency_histogram (r : report) =
   let h = Metrics.Histogram.create () in
   List.iter
@@ -179,8 +188,13 @@ let latency_histogram (r : report) =
 
 let verdict_line (e : Journal.entry) =
   let fired = List.filter_map (fun (f, b) -> if b then Some f else None) e.Journal.je_flags in
+  (* Solver counters are per-target deterministic (private session per
+     engine run), so they are safe inside the canonical verdict section:
+     the line stays byte-identical for any worker count. *)
+  let st = e.Journal.je_solver in
   Printf.sprintf
-    "%-13s %-40s branches=%d rounds=%d seeds=%d adaptive=%d tx=%d sat=%d imprecise=%d"
+    "%-13s %-40s branches=%d rounds=%d seeds=%d adaptive=%d tx=%d sat=%d \
+     imprecise=%d quick=%d blast=%d unk=%d hits=%d misses=%d"
     e.Journal.je_name
     (match fired with
      | [] -> "ok"
@@ -190,7 +204,9 @@ let verdict_line (e : Journal.entry) =
          ^ "]")
     e.Journal.je_branches e.Journal.je_rounds e.Journal.je_seeds_total
     e.Journal.je_adaptive_seeds e.Journal.je_transactions
-    e.Journal.je_solver_sat e.Journal.je_imprecise
+    e.Journal.je_solver_sat e.Journal.je_imprecise st.Solver.st_quick
+    st.Solver.st_blasted st.Solver.st_unknown st.Solver.st_cache_hits
+    st.Solver.st_cache_misses
 
 let verdicts_text (r : report) =
   String.concat "" (List.map (fun e -> verdict_line e ^ "\n") r.cr_results)
@@ -216,6 +232,12 @@ let to_text (r : report) =
       Buffer.add_string b
         (Printf.sprintf "  %-14s %d\n" (Core.Scanner.string_of_flag f) n))
     (flag_counts r);
+  let st = solver_totals r in
+  Buffer.add_string b
+    (Printf.sprintf "solver: quick=%d blasted=%d unknown=%d cache=%s\n"
+       st.Solver.st_quick st.Solver.st_blasted st.Solver.st_unknown
+       (Metrics.rate_string ~hits:st.Solver.st_cache_hits
+          ~total:(st.Solver.st_cache_hits + st.Solver.st_cache_misses)));
   Buffer.add_string b (Metrics.Histogram.to_string (latency_histogram r));
   Buffer.add_char b '\n';
   Buffer.add_string b (verdicts_text r);

@@ -13,6 +13,7 @@
     [cc_engine.cfg_time_limit = None]. *)
 
 module Core = Wasai_core
+module Solver = Wasai_smt.Solver
 module Metrics = Wasai_support.Metrics
 
 type target_spec = {
@@ -64,6 +65,11 @@ val flag_counts : report -> (Core.Scanner.flag * int) list
 
 val vulnerable_count : report -> int
 val total_branches : report -> int
+
+val solver_totals : report -> Solver.stats
+(** Fleet-wide sum of per-target solver/cache counters.  Deterministic
+    for any [cc_jobs]: solver sessions are per-target and never shared
+    across domains, so each addend is a function of its target alone. *)
 
 val latency_histogram : report -> Metrics.Histogram.t
 (** Per-target fuzzing latencies (merged as if per-worker). *)

@@ -1,19 +1,24 @@
 (** Crash-safe append-only journal of completed campaign targets.
 
-    v1 line format — tab-separated, fixed field order:
+    Line format — tab-separated, fixed field order:
 
     {v
     wasai-journal-v1 <name> <flags> branches=N rounds=N seeds=N
       adaptive=N tx=N sat=N imprecise=N elapsed=F
+      [solver=q:N,b:N,u:N,h:N,m:N]
     v}
 
     where [<flags>] is [FakeEOS=0,FakeNotif=1,...] covering exactly
-    {!Core.Scanner.all_flags} in order.  Parsing is strict: wrong magic,
-    wrong field count, unknown keys, out-of-order flags or unparseable
-    numbers all reject the line (so a line torn by a crash is reported,
-    not skipped). *)
+    {!Core.Scanner.all_flags} in order.  The trailing [solver=] field is
+    the v2 extension carrying per-target solver/cache counters; writers
+    always emit it, while the parser accepts plain v1 lines (no 12th
+    field — counters read as zero) so old journals still resume.
+    Parsing is otherwise strict: wrong magic, wrong field count, unknown
+    keys, out-of-order flags or unparseable numbers all reject the line
+    (so a line torn by a crash is reported, not skipped). *)
 
 module Core = Wasai_core
+module Solver = Wasai_smt.Solver
 
 type entry = {
   je_name : string;
@@ -26,6 +31,7 @@ type entry = {
   je_solver_sat : int;
   je_imprecise : int;
   je_elapsed : float;
+  je_solver : Solver.stats;
 }
 
 let magic = "wasai-journal-v1"
@@ -50,6 +56,7 @@ let of_outcome ~name ~elapsed (o : Core.Engine.outcome) =
     je_solver_sat = o.Core.Engine.out_solver_sat;
     je_imprecise = o.Core.Engine.out_imprecise;
     je_elapsed = elapsed;
+    je_solver = o.Core.Engine.out_solver;
   }
 
 let line_of_entry (e : entry) =
@@ -72,6 +79,10 @@ let line_of_entry (e : entry) =
       Printf.sprintf "sat=%d" e.je_solver_sat;
       Printf.sprintf "imprecise=%d" e.je_imprecise;
       Printf.sprintf "elapsed=%.6f" e.je_elapsed;
+      Printf.sprintf "solver=q:%d,b:%d,u:%d,h:%d,m:%d"
+        e.je_solver.Solver.st_quick e.je_solver.Solver.st_blasted
+        e.je_solver.Solver.st_unknown e.je_solver.Solver.st_cache_hits
+        e.je_solver.Solver.st_cache_misses;
     ]
 
 (* ------------------------------------------------------------------ *)
@@ -109,31 +120,74 @@ let parse_flags (field : string) =
     in
     go [] parts expected
 
+(* The v2 solver extension: [solver=q:N,b:N,u:N,h:N,m:N], parsed as
+   strictly as every other field — fixed counter order, no unknown keys. *)
+let parse_solver (field : string) : (Solver.stats, string) result =
+  let ( let* ) = Result.bind in
+  let* v = keyed "solver" Option.some field in
+  let counter key part =
+    match String.index_opt part ':' with
+    | Some i when String.sub part 0 i = key ->
+        int_of_string_opt (String.sub part (i + 1) (String.length part - i - 1))
+    | _ -> None
+  in
+  match String.split_on_char ',' v with
+  | [ q; b; u; h; m ] -> (
+      match
+        (counter "q" q, counter "b" b, counter "u" u, counter "h" h,
+         counter "m" m)
+      with
+      | ( Some st_quick, Some st_blasted, Some st_unknown, Some st_cache_hits,
+          Some st_cache_misses ) ->
+          Ok
+            {
+              Solver.st_quick; st_blasted; st_unknown; st_cache_hits;
+              st_cache_misses;
+            }
+      | _ -> Error (Printf.sprintf "solver field %S: bad counters" v))
+  | _ -> Error (Printf.sprintf "solver field %S: expected 5 counters" v)
+
 let entry_of_line (line : string) : (entry, string) result =
   let ( let* ) = Result.bind in
+  let parse m name flags branches rounds seeds adaptive tx sat imprecise
+      elapsed solver =
+    if m <> magic then Error (Printf.sprintf "bad magic %S" m)
+    else if name = "" then Error "empty target name"
+    else
+      let* je_flags = parse_flags flags in
+      let* je_branches = keyed "branches" int_of_string_opt branches in
+      let* je_rounds = keyed "rounds" int_of_string_opt rounds in
+      let* je_seeds_total = keyed "seeds" int_of_string_opt seeds in
+      let* je_adaptive_seeds = keyed "adaptive" int_of_string_opt adaptive in
+      let* je_transactions = keyed "tx" int_of_string_opt tx in
+      let* je_solver_sat = keyed "sat" int_of_string_opt sat in
+      let* je_imprecise = keyed "imprecise" int_of_string_opt imprecise in
+      let* je_elapsed = keyed "elapsed" float_of_string_opt elapsed in
+      let* je_solver =
+        match solver with
+        (* v1 line: the run predates solver accounting — counters zero. *)
+        | None -> Ok Solver.stats_zero
+        | Some s -> parse_solver s
+      in
+      Ok
+        {
+          je_name = name; je_flags; je_branches; je_rounds; je_seeds_total;
+          je_adaptive_seeds; je_transactions; je_solver_sat; je_imprecise;
+          je_elapsed; je_solver;
+        }
+  in
   match String.split_on_char '\t' line with
   | [ m; name; flags; branches; rounds; seeds; adaptive; tx; sat; imprecise;
       elapsed ] ->
-      if m <> magic then Error (Printf.sprintf "bad magic %S" m)
-      else if name = "" then Error "empty target name"
-      else
-        let* je_flags = parse_flags flags in
-        let* je_branches = keyed "branches" int_of_string_opt branches in
-        let* je_rounds = keyed "rounds" int_of_string_opt rounds in
-        let* je_seeds_total = keyed "seeds" int_of_string_opt seeds in
-        let* je_adaptive_seeds = keyed "adaptive" int_of_string_opt adaptive in
-        let* je_transactions = keyed "tx" int_of_string_opt tx in
-        let* je_solver_sat = keyed "sat" int_of_string_opt sat in
-        let* je_imprecise = keyed "imprecise" int_of_string_opt imprecise in
-        let* je_elapsed = keyed "elapsed" float_of_string_opt elapsed in
-        Ok
-          {
-            je_name = name; je_flags; je_branches; je_rounds; je_seeds_total;
-            je_adaptive_seeds; je_transactions; je_solver_sat; je_imprecise;
-            je_elapsed;
-          }
-  | fields -> Error (Printf.sprintf "expected 11 tab-separated fields, got %d"
-                       (List.length fields))
+      parse m name flags branches rounds seeds adaptive tx sat imprecise
+        elapsed None
+  | [ m; name; flags; branches; rounds; seeds; adaptive; tx; sat; imprecise;
+      elapsed; solver ] ->
+      parse m name flags branches rounds seeds adaptive tx sat imprecise
+        elapsed (Some solver)
+  | fields ->
+      Error (Printf.sprintf "expected 11 or 12 tab-separated fields, got %d"
+               (List.length fields))
 
 exception Malformed of string
 

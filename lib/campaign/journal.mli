@@ -4,11 +4,15 @@
     reached disk.
 
     The format is versioned and parsed strictly: any line that is not a
-    well-formed v1 record (including a line torn by a crash mid-write)
-    makes {!load} raise {!Malformed} with the offending path, line number
-    and reason — a corrupt journal is never silently skipped over. *)
+    well-formed record (including a line torn by a crash mid-write) makes
+    {!load} raise {!Malformed} with the offending path, line number and
+    reason — a corrupt journal is never silently skipped over.  Writers
+    emit the v2 format (a trailing [solver=] field with per-target
+    solver/cache counters); the parser additionally accepts plain v1
+    lines, whose counters read as zero, so old journals still resume. *)
 
 module Core = Wasai_core
+module Solver = Wasai_smt.Solver
 
 (** One completed target: its verdicts plus the deterministic outcome
     counters (everything of {!Core.Engine.outcome} that the campaign
@@ -25,14 +29,19 @@ type entry = {
   je_solver_sat : int;
   je_imprecise : int;
   je_elapsed : float;  (** seconds spent fuzzing this target *)
+  je_solver : Solver.stats;
+      (** per-target solver/cache counters (v2 field; zero when the
+          entry was parsed from a v1 journal line) *)
 }
 
 val of_outcome : name:string -> elapsed:float -> Core.Engine.outcome -> entry
 
 val line_of_entry : entry -> string
-(** Single-line v1 record, no trailing newline. *)
+(** Single-line v2 record (12 tab-separated fields), no trailing
+    newline. *)
 
 val entry_of_line : string -> (entry, string) result
+(** Accepts both v1 (11-field) and v2 (12-field) lines. *)
 
 exception Malformed of string
 (** Raised by {!load}; the message carries path, 1-based line number and

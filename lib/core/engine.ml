@@ -11,6 +11,7 @@
 module Wasm = Wasai_wasm
 module Wasabi = Wasai_wasabi
 module Sym = Wasai_symbolic
+module Solver = Wasai_smt.Solver
 open Wasai_eosio
 
 type config = {
@@ -56,6 +57,9 @@ type outcome = {
   out_transactions : int;
   out_solver_sat : int;
   out_imprecise : int;
+  out_solver : Solver.stats;
+      (** per-run solver counters (quick-path / blasted / unknown /
+          cache hits / cache misses) from the run's solver session *)
 }
 
 (* Well-known session accounts. *)
@@ -78,6 +82,7 @@ type session = {
   rng : Wasai_support.Rand.t;
   identities : Name.t list;
   branches : (int * int32, unit) Hashtbl.t;
+  solver : Solver.Session.t;
   mutable adaptive_seeds : int;
   mutable transactions : int;
   mutable solver_sat : int;
@@ -187,6 +192,10 @@ let setup (cfg : config) (target : target) : session =
       rng;
       identities;
       branches = Hashtbl.create 256;
+      (* One solver session per engine run: its budget, counters and
+         verdict cache are confined to this target on this domain, so
+         caching cannot couple targets across a campaign's workers. *)
+      solver = Solver.Session.create ~conflict_budget:cfg.cfg_solver_budget ();
       adaptive_seeds = 0;
       transactions = 0;
       solver_sat = 0;
@@ -402,9 +411,8 @@ let feedback (s : session) (seed : Seed.t)
              | None -> false
            in
            let solved =
-             Sym.Flip.solve ~conflict_budget:s.cfg.cfg_solver_budget
-               ~max_solved:s.cfg.cfg_max_flips ~side ~skip result
-               ~current:observed_args
+             Sym.Flip.solve ~session:s.solver ~max_solved:s.cfg.cfg_max_flips
+               ~side ~skip result ~current:observed_args
            in
            List.iter
              (fun (sol : Sym.Flip.solved_seed) ->
@@ -537,6 +545,7 @@ let fuzz ?(cfg = default_config)
     out_transactions = s.transactions;
     out_solver_sat = s.solver_sat;
     out_imprecise = s.imprecise;
+    out_solver = Solver.Session.stats s.solver;
   }
 
 let flagged (o : outcome) (f : Scanner.flag) : bool =

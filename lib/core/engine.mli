@@ -9,6 +9,7 @@
 
 module Wasm = Wasai_wasm
 module Wasabi = Wasai_wasabi
+module Solver = Wasai_smt.Solver
 open Wasai_eosio
 
 type config = {
@@ -47,6 +48,9 @@ type outcome = {
   out_transactions : int;
   out_solver_sat : int;
   out_imprecise : int;
+  out_solver : Solver.stats;
+      (** per-run solver counters (quick-path / blasted / unknown /
+          cache hits / cache misses) from the run's solver session *)
 }
 
 (** Well-known session accounts. *)
@@ -75,6 +79,9 @@ type session = {
   rng : Wasai_support.Rand.t;
   identities : Name.t list;
   branches : (int * int32, unit) Hashtbl.t;
+  solver : Solver.Session.t;
+      (** the run's solver session: budget, counters, verdict cache;
+          confined to this run's domain *)
   mutable adaptive_seeds : int;
   mutable transactions : int;
   mutable solver_sat : int;
@@ -116,7 +123,16 @@ val fuzz :
     RNG is seeded with [Rand.mix cfg_rng_seed tgt_account] — never from
     global or sequential state — so fuzzing many targets concurrently
     (e.g. the campaign orchestrator's domains) yields byte-identical
-    verdicts to fuzzing them one after another, in any order. *)
+    verdicts to fuzzing them one after another, in any order.
+
+    The solver cache does not weaken this contract: each run owns a
+    private {!Solver.Session}, and its cache key is the multiset of
+    hash-consed constraint identities, so two queries collide iff they
+    assert structurally identical constraint sets.  The sequence of
+    queries is itself deterministic per target, hence so are the
+    hit/miss pattern, the returned models, and [out_solver].  Nothing
+    depends on the numeric values of expression tags or variable ids,
+    which {e are} scheduling-dependent. *)
 
 val flagged : outcome -> Scanner.flag -> bool
 val any_flagged : outcome -> bool

@@ -46,6 +46,16 @@ let to_text ?(verbose = false) (r : t) : string =
   line "  transactions executed : %d" o.Engine.out_transactions;
   line "  distinct branches     : %d" o.Engine.out_branches;
   line "  adaptive seeds solved : %d" o.Engine.out_adaptive_seeds;
+  (* Solver accounting in the main body: Unknown-heavy targets (budget
+     exhaustion masking bugs) must be visible without a campaign run. *)
+  let st = o.Engine.out_solver in
+  line "  solver: quick=%d blasted=%d unknown=%d cache=%s"
+    st.Wasai_smt.Solver.st_quick st.Wasai_smt.Solver.st_blasted
+    st.Wasai_smt.Solver.st_unknown
+    (Wasai_support.Metrics.rate_string ~hits:st.Wasai_smt.Solver.st_cache_hits
+       ~total:
+         (st.Wasai_smt.Solver.st_cache_hits
+         + st.Wasai_smt.Solver.st_cache_misses));
   line "  verdicts:";
   List.iter
     (fun (f, b) ->

@@ -9,7 +9,7 @@
 type ctx = {
   sat : Sat.t;
   var_bits : (int, int array) Hashtbl.t;  (** expr var id → literals *)
-  cache : (Expr.t, int array) Hashtbl.t;
+  cache : (int, int array) Hashtbl.t;  (** expr tag → literals *)
   true_lit : int;
 }
 
@@ -209,16 +209,16 @@ let count_zeros ctx ~(from_msb : bool) (a : int array) : int array =
 (* ---- expression translation ----------------------------------------- *)
 
 let rec blast (ctx : ctx) (e : Expr.t) : int array =
-  match Hashtbl.find_opt ctx.cache e with
+  match Hashtbl.find_opt ctx.cache e.Expr.tag with
   | Some bits -> bits
   | None ->
       let bits = blast_uncached ctx e in
-      Hashtbl.replace ctx.cache e bits;
+      Hashtbl.replace ctx.cache e.Expr.tag bits;
       bits
 
 and blast_uncached ctx (e : Expr.t) : int array =
   let open Expr in
-  match e with
+  match e.node with
   | Const (w, v) ->
       Array.init w (fun i ->
           const_lit ctx (Int64.logand (Int64.shift_right_logical v i) 1L = 1L))

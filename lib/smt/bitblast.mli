@@ -5,7 +5,7 @@
 type ctx = {
   sat : Sat.t;
   var_bits : (int, int array) Hashtbl.t;  (** expression variable id -> literals *)
-  cache : (Expr.t, int array) Hashtbl.t;
+  cache : (int, int array) Hashtbl.t;  (** expression tag -> literals *)
   true_lit : int;  (** a literal pinned true *)
 }
 

@@ -1,7 +1,20 @@
 (** Bitvector expressions (widths 1–64), the constraint language of the
     symbolic executor.  Stands in for Z3's BitVec terms; booleans are
-    width-1 vectors.  Smart constructors fold constants aggressively so
-    fully concrete replays never reach the solver. *)
+    width-1 vectors.
+
+    Expressions are {b hash-consed}: the smart constructors intern every
+    node in a per-domain table, so structurally equal expressions built
+    within one domain are physically equal, equality is O(1) in the
+    common case, and traversals (substitution, variable scans) memoize
+    per node via the unique [tag].  Each node carries its precomputed
+    structural hash and width.  Construction also runs a canonical
+    normalization pass: constant folding, constant-on-left plus
+    deterministic operand ordering for commutative ops, reassociation of
+    constant chains, double-negation / extract-of-extract / zext-of-zext
+    collapse.  The ordering comparator is blind to variable ids and node
+    tags (it uses names and widths), so the normal form of a constraint
+    does not depend on allocation order — a requirement of the engine's
+    determinism contract. *)
 
 type width = int
 
@@ -27,7 +40,21 @@ type binop =
 
 type cmp = Eq | Ult | Slt | Ule | Sle
 
-type t =
+(** A hash-consed expression.  [node] is the structure; [tag] is a
+    process-unique id assigned at interning time (valid for identity and
+    memoization, {b not} deterministic across runs); [hkey] is the
+    precomputed structural hash; [ewidth] the bit width; [evars] whether
+    any variable occurs in the DAG.  Build values only through the smart
+    constructors below — the record is private. *)
+type t = private {
+  node : node;
+  tag : int;
+  hkey : int;
+  ewidth : width;
+  evars : bool;
+}
+
+and node =
   | Const of width * int64  (** value masked to width *)
   | Var of var
   | Unop of unop * t
@@ -45,9 +72,23 @@ val mask : width -> int64 -> int64
 (** Keep the low [width] bits. *)
 
 val width_of : t -> width
+(** O(1): reads the precomputed [ewidth]. *)
 
 val to_signed : width -> int64 -> int64
 (** Interpret a masked value as signed. *)
+
+(** {1 Identity} *)
+
+val tag : t -> int
+(** The unique interning tag (process-unique; scheduling-dependent). *)
+
+val hash : t -> int
+(** The precomputed structural hash ([hkey]); equal for structurally
+    equal expressions even when they are not physically shared. *)
+
+val equal : t -> t -> bool
+(** Structural equality (variables by id).  Physically shared nodes —
+    the common case within one domain — short-circuit in O(1). *)
 
 (** {1 Variables} *)
 
@@ -60,7 +101,7 @@ val eval_unop : width -> unop -> int64 -> int64
 val eval_binop : width -> binop -> int64 -> int64 -> int64
 val eval_cmp : width -> cmp -> int64 -> int64 -> bool
 
-(** {1 Smart constructors (constant-folding)} *)
+(** {1 Smart constructors (interning + normalization)} *)
 
 val const : width -> int64 -> t
 val bool_ : bool -> t
@@ -86,20 +127,49 @@ val conj : t list -> t
 val eq : t -> t -> t
 val ne : t -> t -> t
 
-(** {1 Traversal and evaluation} *)
+(** {1 Traversal and evaluation}
+
+    All traversals are DAG-aware: shared subterms are visited once,
+    keyed on [tag]. *)
 
 val iter_vars : (var -> unit) -> t -> unit
+(** Calls [f] once per distinct variable {e node} (not once per textual
+    occurrence — shared subterms are visited once). *)
+
 val vars : t -> var list
 val contains_var : (var -> bool) -> t -> bool
+
+val contains_var_memo : (int, bool) Hashtbl.t -> (var -> bool) -> t -> bool
+(** Like [contains_var], but memoized across calls through the supplied
+    table (keyed by node [tag]).  The table must only ever be used with
+    one predicate. *)
+
 val has_any_var : t -> bool
+(** O(1): reads the precomputed [evars]. *)
 
 val subst : (var -> t option) -> t -> t
-(** Substitute variables; [None] keeps the variable.  Rebuilds through the
-    smart constructors, so substitution also simplifies. *)
+(** Substitute variables; [None] keeps the variable.  Rebuilds through
+    the smart constructors, so substitution also simplifies; memoized
+    per shared node within the call. *)
 
 val eval : (int, int64) Hashtbl.t -> t -> int64
 (** Evaluate under a full assignment (variable id -> value); raises
-    [Not_found] on unassigned variables. *)
+    [Not_found] on unassigned variables.  Memoized per shared node;
+    [Ite] only evaluates the taken branch. *)
+
+(** {1 Hash-consing table management} *)
+
+val hashcons_stats : unit -> int * int
+(** [(live, total)]: nodes currently interned in this domain's table,
+    and nodes ever interned process-wide. *)
+
+val hashcons_compact : ?threshold:int -> unit -> unit
+(** Drop this domain's intern table if it holds more than [threshold]
+    nodes (default [2^17]).  Existing expressions stay valid; later
+    constructions simply stop sharing with pre-compaction nodes.  Only
+    call at a session boundary — mid-session compaction would degrade
+    sharing (never correctness: equality falls back to a structural
+    walk). *)
 
 (** {1 Printing} *)
 

@@ -7,7 +7,13 @@
        "variable (or invertible 1-var term) equals constant" chains the
        complicated-verification contracts produce, without touching SAT;
     2. full bit-blasting + CDCL for everything else, under a deterministic
-       conflict budget standing in for the paper's 3,000 ms Z3 cap. *)
+       conflict budget standing in for the paper's 3,000 ms Z3 cap.
+
+    Accounting and caching are per {!Session}: each engine run (one
+    target) owns a session carrying its conflict budget, counters, and a
+    bounded LRU of decided constraint sets, so campaign workers never
+    contend on shared state and never share cached verdicts across
+    domains. *)
 
 type model = (int, int64) Hashtbl.t
 (** expr variable id → value *)
@@ -17,15 +23,25 @@ type result =
   | Unsat
   | Unknown  (** budget exhausted *)
 
-(* Atomic so concurrent fuzzing domains tally without losing increments. *)
 type stats = {
-  quick_solved : int Atomic.t;
-  blasted : int Atomic.t;
-  unknowns : int Atomic.t;
+  st_quick : int;
+  st_blasted : int;
+  st_unknown : int;
+  st_cache_hits : int;
+  st_cache_misses : int;
 }
 
-let stats =
-  { quick_solved = Atomic.make 0; blasted = Atomic.make 0; unknowns = Atomic.make 0 }
+let stats_zero =
+  { st_quick = 0; st_blasted = 0; st_unknown = 0; st_cache_hits = 0; st_cache_misses = 0 }
+
+let stats_add a b =
+  {
+    st_quick = a.st_quick + b.st_quick;
+    st_blasted = a.st_blasted + b.st_blasted;
+    st_unknown = a.st_unknown + b.st_unknown;
+    st_cache_hits = a.st_cache_hits + b.st_cache_hits;
+    st_cache_misses = a.st_cache_misses + b.st_cache_misses;
+  }
 
 (* ------------------------------------------------------------------ *)
 (* Quick path                                                          *)
@@ -36,7 +52,7 @@ let stats =
    obfuscation produce around inputs. *)
 let rec invert (e : Expr.t) (value : int64) : (Expr.var * int64) option =
   let open Expr in
-  match e with
+  match e.node with
   | Var v -> Some (v, mask v.vwidth value)
   | Zext (_, inner) ->
       (* Invertible iff the value fits in the inner width. *)
@@ -49,9 +65,12 @@ let rec invert (e : Expr.t) (value : int64) : (Expr.var * int64) option =
       else None
   | Extract (hi, lo, inner) when lo = 0 && hi = width_of inner - 1 ->
       invert inner value
-  | Binop (Add, Const (w, c), inner) -> invert inner (mask w (Int64.sub value c))
-  | Binop (Xor, Const (_, c), inner) -> invert inner (Int64.logxor value c)
-  | Binop (Sub, inner, Const (w, c)) -> invert inner (mask w (Int64.add value c))
+  | Binop (Add, { node = Const (w, c); _ }, inner) ->
+      invert inner (mask w (Int64.sub value c))
+  | Binop (Xor, { node = Const (_, c); _ }, inner) ->
+      invert inner (Int64.logxor value c)
+  | Binop (Sub, inner, { node = Const (w, c); _ }) ->
+      invert inner (mask w (Int64.add value c))
   | _ -> None
 
 (* One round of propagation: pick off constraints of the form
@@ -76,9 +95,10 @@ let quick_path (constraints : Expr.t list) :
       let residual =
         List.filter
           (fun c ->
-            match c with
-            | Expr.Cmp (Expr.Eq, lhs, Expr.Const (_, value))
-            | Expr.Cmp (Expr.Eq, Expr.Const (_, value), lhs) -> (
+            match c.Expr.node with
+            | Expr.Cmp (Expr.Eq, lhs, { Expr.node = Expr.Const (_, value); _ })
+            | Expr.Cmp (Expr.Eq, { Expr.node = Expr.Const (_, value); _ }, lhs)
+              -> (
                 match invert lhs value with
                 | Some (v, assigned) when not (Hashtbl.mem model v.Expr.vid) ->
                     Hashtbl.replace model v.Expr.vid assigned;
@@ -99,16 +119,13 @@ let quick_path (constraints : Expr.t list) :
 (* Full check                                                          *)
 (* ------------------------------------------------------------------ *)
 
-let blast_check ?(conflict_budget = 50_000) (constraints : Expr.t list)
+let blast_check ~conflict_budget (constraints : Expr.t list)
     (pre_model : model) : result =
   let ctx = Bitblast.create () in
   List.iter (Bitblast.assert_true ctx) constraints;
-  Atomic.incr stats.blasted;
   match Sat.solve ~conflict_budget ctx.Bitblast.sat with
   | Sat.Unsat -> Unsat
-  | Sat.Unknown ->
-      Atomic.incr stats.unknowns;
-      Unknown
+  | Sat.Unknown -> Unknown
   | Sat.Sat ->
       let model = Hashtbl.copy pre_model in
       (* Collect every variable mentioned in the constraints. *)
@@ -125,18 +142,170 @@ let blast_check ?(conflict_budget = 50_000) (constraints : Expr.t list)
         constraints;
       Sat model
 
-(** Decide the conjunction of [constraints]. *)
-let check ?(conflict_budget = 50_000) (constraints : Expr.t list) : result =
-  (* Constant-fold through simplification first. *)
-  let constraints = List.map (fun c -> Expr.subst (fun _ -> None) c) constraints in
-  if List.exists Expr.is_false constraints then Unsat
+(* Decide without any session bookkeeping; the second component says
+   which tier produced the answer so callers can tally. *)
+let solve_raw ~conflict_budget (constraints : Expr.t list) :
+    result * [ `Trivial | `Quick | `Blasted | `Blast_unknown ] =
+  if List.exists Expr.is_false constraints then (Unsat, `Trivial)
   else
     match quick_path constraints with
-    | `Solved model ->
-        Atomic.incr stats.quick_solved;
-        Sat model
-    | `Contradiction -> Unsat
-    | `Residual (residual, model) -> blast_check ~conflict_budget residual model
+    | `Solved model -> (Sat model, `Quick)
+    | `Contradiction -> (Unsat, `Trivial)
+    | `Residual (residual, model) -> (
+        match blast_check ~conflict_budget residual model with
+        | Unknown -> (Unknown, `Blast_unknown)
+        | r -> (r, `Blasted))
+
+let default_conflict_budget = 50_000
+
+(* ------------------------------------------------------------------ *)
+(* Sessions                                                            *)
+(* ------------------------------------------------------------------ *)
+
+module Session = struct
+  (* Cached verdicts store models as plain assoc snapshots so a hit can
+     hand every caller a fresh hashtable (callers may extend models). *)
+  type verdict = C_sat of (int * int64) list | C_unsat
+
+  type entry = { ce_verdict : verdict; mutable ce_stamp : int }
+
+  type t = {
+    sx_budget : int;
+    sx_capacity : int;
+    sx_cache : (int list, entry) Hashtbl.t;
+    mutable sx_clock : int;
+    mutable sx_quick : int;
+    mutable sx_blasted : int;
+    mutable sx_unknown : int;
+    mutable sx_hits : int;
+    mutable sx_misses : int;
+  }
+
+  let create ?(conflict_budget = default_conflict_budget)
+      ?(cache_capacity = 512) () =
+    (* A session boundary is the only safe point to bound the per-domain
+       hash-consing table: compacting mid-session would degrade sharing
+       between a cached constraint set and its re-built twin. *)
+    Expr.hashcons_compact ();
+    {
+      sx_budget = conflict_budget;
+      sx_capacity = max 0 cache_capacity;
+      sx_cache = Hashtbl.create 64;
+      sx_clock = 0;
+      sx_quick = 0;
+      sx_blasted = 0;
+      sx_unknown = 0;
+      sx_hits = 0;
+      sx_misses = 0;
+    }
+
+  let conflict_budget t = t.sx_budget
+
+  let stats t =
+    {
+      st_quick = t.sx_quick;
+      st_blasted = t.sx_blasted;
+      st_unknown = t.sx_unknown;
+      st_cache_hits = t.sx_hits;
+      st_cache_misses = t.sx_misses;
+    }
+
+  (* The cache key is the multiset of constraint identities, canonicalised
+     by sorting the (interned) tags.  Tag values are scheduling-dependent,
+     but multiset equality is not: within one session, two queries collide
+     iff they assert structurally identical constraint sets, so the
+     hit/miss pattern — and therefore every verdict — is a pure function
+     of the target, independent of --jobs (sessions are never shared
+     across domains). *)
+  let key_of (constraints : Expr.t list) : int list =
+    List.sort Int.compare (List.map Expr.tag constraints)
+
+  let find t key =
+    if t.sx_capacity = 0 then begin
+      t.sx_misses <- t.sx_misses + 1;
+      None
+    end
+    else
+      match Hashtbl.find_opt t.sx_cache key with
+      | Some e ->
+          t.sx_clock <- t.sx_clock + 1;
+          e.ce_stamp <- t.sx_clock;
+          t.sx_hits <- t.sx_hits + 1;
+          Some e.ce_verdict
+      | None ->
+          t.sx_misses <- t.sx_misses + 1;
+          None
+
+  let add t key verdict =
+    if t.sx_capacity > 0 then begin
+      if
+        Hashtbl.length t.sx_cache >= t.sx_capacity
+        && not (Hashtbl.mem t.sx_cache key)
+      then begin
+        (* Evict the least-recently-used entry (O(capacity) scan; the
+           capacity is small and eviction only runs once the cache is
+           full). *)
+        let victim =
+          Hashtbl.fold
+            (fun k e acc ->
+              match acc with
+              | Some (_, stamp) when stamp <= e.ce_stamp -> acc
+              | _ -> Some (k, e.ce_stamp))
+            t.sx_cache None
+        in
+        match victim with
+        | Some (k, _) -> Hashtbl.remove t.sx_cache k
+        | None -> ()
+      end;
+      t.sx_clock <- t.sx_clock + 1;
+      Hashtbl.replace t.sx_cache key { ce_verdict = verdict; ce_stamp = t.sx_clock }
+    end
+
+  let snapshot_model (m : model) : (int * int64) list =
+    Hashtbl.fold (fun k v acc -> (k, v) :: acc) m []
+
+  let hydrate_model (assoc : (int * int64) list) : model =
+    let m = Hashtbl.create (List.length assoc) in
+    List.iter (fun (k, v) -> Hashtbl.replace m k v) assoc;
+    m
+end
+
+(** Decide the conjunction of [constraints]. *)
+let check ?session ?conflict_budget (constraints : Expr.t list) : result =
+  let budget =
+    match (conflict_budget, session) with
+    | Some b, _ -> b
+    | None, Some s -> Session.conflict_budget s
+    | None, None -> default_conflict_budget
+  in
+  match session with
+  | None -> fst (solve_raw ~conflict_budget:budget constraints)
+  | Some s -> (
+      if List.exists Expr.is_false constraints then Unsat
+      else
+        let key = Session.key_of constraints in
+        match Session.find s key with
+        | Some (Session.C_sat assoc) -> Sat (Session.hydrate_model assoc)
+        | Some Session.C_unsat -> Unsat
+        | None ->
+            let result, tier = solve_raw ~conflict_budget:budget constraints in
+            (match tier with
+            | `Trivial -> ()
+            | `Quick -> s.Session.sx_quick <- s.Session.sx_quick + 1
+            | `Blasted -> s.Session.sx_blasted <- s.Session.sx_blasted + 1
+            | `Blast_unknown ->
+                s.Session.sx_blasted <- s.Session.sx_blasted + 1;
+                s.Session.sx_unknown <- s.Session.sx_unknown + 1);
+            (match result with
+            | Sat m ->
+                Session.add s key (Session.C_sat (Session.snapshot_model m))
+            | Unsat -> Session.add s key Session.C_unsat
+            | Unknown ->
+                (* Unknown is a budget artefact, not a verdict: never
+                   cache it, so a later query under a bigger budget can
+                   still decide the set. *)
+                ());
+            result)
 
 (** Verify a model against constraints (defence in depth for the solver:
     used by tests and by the engine before trusting a seed). *)
@@ -147,7 +316,9 @@ let validate_model (constraints : Expr.t list) (model : model) : bool =
     (fun c ->
       (* Unassigned variables default to zero. *)
       Expr.iter_vars
-        (fun v -> if not (Hashtbl.mem env v.Expr.vid) then Hashtbl.replace env v.Expr.vid 0L)
+        (fun v ->
+          if not (Hashtbl.mem env v.Expr.vid) then
+            Hashtbl.replace env v.Expr.vid 0L)
         c;
       match Expr.eval env c with 1L -> true | _ -> false)
     constraints

@@ -4,7 +4,14 @@
     Two tiers: a propagation quick-path for the
     "invertible term == constant" chains that verification-style contracts
     produce, and full bit-blasting + CDCL for everything else under a
-    deterministic conflict budget. *)
+    deterministic conflict budget.
+
+    All accounting is per {!Session} — there is no global mutable solver
+    state.  A session belongs to one engine run on one domain; it carries
+    the conflict budget, the solve counters, and a bounded LRU cache of
+    decided constraint sets keyed on their canonical (sorted-tag multiset)
+    form.  Cache hits return the memoized Sat model or Unsat verdict
+    without re-blasting; Unknown is never cached. *)
 
 type model = (int, int64) Hashtbl.t
 (** Expression variable id -> value. *)
@@ -15,17 +22,44 @@ type result =
   | Unknown  (** budget exhausted *)
 
 type stats = {
-  quick_solved : int Atomic.t;
-  blasted : int Atomic.t;
-  unknowns : int Atomic.t;
+  st_quick : int;  (** solved by the propagation quick-path *)
+  st_blasted : int;  (** reached bit-blasting + CDCL *)
+  st_unknown : int;  (** blasted and still undecided at the budget *)
+  st_cache_hits : int;
+  st_cache_misses : int;
 }
+(** Immutable snapshot of a session's counters.  [st_quick] and
+    [st_blasted] count solver runs, so a cache hit increments neither;
+    queries decided trivially (a constant-false constraint) count as
+    none of these. *)
 
-val stats : stats
-(** Global counters (for benchmarks and reports); atomic so concurrent
-    fuzzing domains tally without losing increments. *)
+val stats_zero : stats
+val stats_add : stats -> stats -> stats
 
-val check : ?conflict_budget:int -> Expr.t list -> result
-(** Decide the conjunction of constraints. *)
+module Session : sig
+  type t
+  (** Per-engine-run solver context: conflict budget + counters + LRU
+      verdict cache.  Confined to the creating domain; never share a
+      session across campaign workers. *)
+
+  val create : ?conflict_budget:int -> ?cache_capacity:int -> unit -> t
+  (** [conflict_budget] defaults to 50_000 CDCL conflicts;
+      [cache_capacity] (default 512 entries) bounds the LRU —
+      [cache_capacity:0] disables caching, which turns every query into
+      a recorded miss (useful as an ablation baseline).  Creation also
+      compacts the domain's expression intern table if it has outgrown
+      its threshold: the session boundary is the only point where that
+      cannot degrade sharing within a cached workload. *)
+
+  val conflict_budget : t -> int
+  val stats : t -> stats
+end
+
+val check : ?session:Session.t -> ?conflict_budget:int -> Expr.t list -> result
+(** Decide the conjunction of constraints.  With [~session], the solve is
+    accounted to (and cached in) the session, and the session's budget
+    applies unless [?conflict_budget] overrides it.  Cached Sat models
+    are returned as fresh tables — callers may mutate them freely. *)
 
 val validate_model : Expr.t list -> model -> bool
 (** Re-evaluate the constraints under a model (defence in depth: the

@@ -35,8 +35,14 @@ let layout_var_ids (lay : Convention.layout) : (int, unit) Hashtbl.t =
     lay.Convention.lay_params;
   tbl
 
-let mentions_input input_vars (e : Expr.t) =
-  Expr.contains_var (fun v -> Hashtbl.mem input_vars v.Expr.vid) e
+(* "Does this condition mention symbolic input?", memoized across calls:
+   path prefixes overlap almost entirely between candidates, and
+   hash-consing makes the per-node answer stable, so one tag-keyed table
+   turns the candidate scan from O(path²) node visits into O(path). *)
+let mentions_input_memo input_vars =
+  let memo = Hashtbl.create 256 in
+  fun (e : Expr.t) ->
+    Expr.contains_var_memo memo (fun v -> Hashtbl.mem input_vars v.Expr.vid) e
 
 (** Enumerate flip candidates for a replayed path. *)
 let candidates (r : Replay.result) : candidate list =
@@ -44,6 +50,7 @@ let candidates (r : Replay.result) : candidate list =
   | None -> []
   | Some lay ->
       let input_vars = layout_var_ids lay in
+      let mentions = mentions_input_memo input_vars in
       let path = Array.of_list r.Replay.r_path in
       let out = ref [] in
       Array.iteri
@@ -51,12 +58,12 @@ let candidates (r : Replay.result) : candidate list =
           (* Only branches are flipped; asserts must stay satisfied.  The
              condition must involve symbolic input (§3.4.4). *)
           if cs.Replay.cs_kind <> Replay.K_assert
-             && mentions_input input_vars cs.Replay.cs_cond
+             && mentions cs.Replay.cs_cond
           then begin
             let prefix =
               List.filteri (fun j _ -> j < i) (Array.to_list path)
               |> List.map (fun (p : Replay.cond_state) -> p.Replay.cs_cond)
-              |> List.filter (mentions_input input_vars)
+              |> List.filter mentions
             in
             let flipped = Expr.not_ cs.Replay.cs_cond in
             out :=
@@ -140,9 +147,16 @@ let payload_sanity (lay : Convention.layout) ~(max_amount : int64) :
 (** Solve candidates (up to [max_solved]), concretising each model into a
     fresh argument vector.  [current] is the executed seed's arguments,
     used for unconstrained parameters. *)
-let solve ?(conflict_budget = 20_000) ?(max_solved = 8) ?(side = [])
+let solve ?session ?conflict_budget ?(max_solved = 8) ?(side = [])
     ?(skip = fun (_ : candidate) -> false) (r : Replay.result)
     ~(current : Wasai_eosio.Abi.value list) : solved_seed list =
+  (* Standalone calls (no session) keep the historical 20k default; with
+     a session and no override, the session's budget applies. *)
+  let conflict_budget =
+    match (conflict_budget, session) with
+    | None, None -> Some 20_000
+    | cb, _ -> cb
+  in
   match r.Replay.r_layout with
   | None -> []
   | Some lay ->
@@ -161,7 +175,8 @@ let solve ?(conflict_budget = 20_000) ?(max_solved = 8) ?(side = [])
              | [] -> ());
             let pins = pin_constraints lay ~current ~free in
             match
-              Solver.check ~conflict_budget (side @ pins @ c.cand_constraints)
+              Solver.check ?session ?conflict_budget
+                (side @ pins @ c.cand_constraints)
             with
             | Solver.Sat model ->
                 incr count;

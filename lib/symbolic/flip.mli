@@ -38,6 +38,7 @@ val payload_sanity : Convention.layout -> max_amount:int64 -> Expr.t list
 (** Every asset amount must be positive and payable. *)
 
 val solve :
+  ?session:Wasai_smt.Solver.Session.t ->
   ?conflict_budget:int ->
   ?max_solved:int ->
   ?side:Expr.t list ->
@@ -45,3 +46,6 @@ val solve :
   Replay.result ->
   current:Wasai_eosio.Abi.value list ->
   solved_seed list
+(** [?session] routes every solve through the per-run solver session
+    (budget, counters, verdict cache).  Without a session, a standalone
+    conflict budget of 20_000 applies unless overridden. *)

@@ -100,6 +100,14 @@ let sample_entry =
     je_solver_sat = 7;
     je_imprecise = 1;
     je_elapsed = 1.5;
+    je_solver =
+      {
+        Wasai_smt.Solver.st_quick = 21;
+        st_blasted = 6;
+        st_unknown = 2;
+        st_cache_hits = 15;
+        st_cache_misses = 29;
+      };
   }
 
 let test_journal_roundtrip () =
@@ -110,8 +118,28 @@ let test_journal_roundtrip () =
       Alcotest.(check bool) "flags" true
         (e.Campaign.Journal.je_flags = sample_entry.Campaign.Journal.je_flags);
       Alcotest.(check int) "branches" 42 e.Campaign.Journal.je_branches;
-      Alcotest.(check (float 1e-6)) "elapsed" 1.5 e.Campaign.Journal.je_elapsed
+      Alcotest.(check (float 1e-6)) "elapsed" 1.5 e.Campaign.Journal.je_elapsed;
+      Alcotest.(check bool) "solver counters" true
+        (e.Campaign.Journal.je_solver
+         = sample_entry.Campaign.Journal.je_solver)
   | Error e -> Alcotest.fail ("roundtrip failed: " ^ e)
+
+(* Old journals predate the solver counters (11-field v1 lines); resume
+   must still accept them, reading the counters as zero. *)
+let test_journal_v1_compat () =
+  let v2 = Campaign.Journal.line_of_entry sample_entry in
+  let v1 =
+    match List.rev (String.split_on_char '\t' v2) with
+    | _solver :: rest -> String.concat "\t" (List.rev rest)
+    | [] -> assert false
+  in
+  match Campaign.Journal.entry_of_line v1 with
+  | Ok e ->
+      Alcotest.(check string) "name" "alice" e.Campaign.Journal.je_name;
+      Alcotest.(check int) "branches" 42 e.Campaign.Journal.je_branches;
+      Alcotest.(check bool) "counters read as zero" true
+        (e.Campaign.Journal.je_solver = Wasai_smt.Solver.stats_zero)
+  | Error e -> Alcotest.fail ("v1 line rejected: " ^ e)
 
 let test_journal_strict () =
   let reject line reason_fragment =
@@ -123,16 +151,28 @@ let test_journal_strict () =
           true
             (contains ~sub:reason_fragment reason)
   in
-  reject "garbage" "11 tab-separated fields";
+  reject "garbage" "11 or 12 tab-separated fields";
   reject
     (Campaign.Journal.line_of_entry sample_entry ^ "\textra")
-    "11 tab-separated fields";
+    "11 or 12 tab-separated fields";
   (* A line torn mid-write by a crash. *)
   let full = Campaign.Journal.line_of_entry sample_entry in
   reject (String.sub full 0 (String.length full - 20)) "field";
   reject (String.concat "\t" (String.split_on_char '\t' full |> List.map (fun f ->
       if f = "tx=99" then "tx=banana" else f)))
-    "tx"
+    "tx";
+  (* The v2 solver field is parsed as strictly as the rest. *)
+  let swap_solver replacement =
+    String.concat "\t"
+      (String.split_on_char '\t' full
+      |> List.map (fun f ->
+             if String.length f > 7 && String.sub f 0 7 = "solver=" then
+               replacement
+             else f))
+  in
+  reject (swap_solver "solver=q:21,b:6,u:2,h:15") "5 counters";
+  reject (swap_solver "solver=q:21,b:6,u:2,h:15,m:oops") "bad counters";
+  reject (swap_solver "solver=q:21,b:6,u:2,m:29,h:15") "bad counters"
 
 let test_journal_load_malformed () =
   let path = Filename.temp_file "wasai-test" ".journal" in
@@ -311,6 +351,8 @@ let () =
       ( "journal",
         [
           Alcotest.test_case "roundtrip" `Quick test_journal_roundtrip;
+          Alcotest.test_case "v1 lines still parse" `Quick
+            test_journal_v1_compat;
           Alcotest.test_case "strict parse" `Quick test_journal_strict;
           Alcotest.test_case "load rejects malformed" `Quick
             test_journal_load_malformed;

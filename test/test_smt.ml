@@ -107,14 +107,14 @@ let test_expr_invert_rules () =
   let x = fresh_var ~name:"x" 64 in
   (* ((x + 5) == 12) folds to (x == 7). *)
   let e = cmp Eq (binop Add (var x) (const 64 5L)) (const 64 12L) in
-  (match e with
-   | Cmp (Eq, Var v, Const (_, 7L)) ->
+  (match e.node with
+   | Cmp (Eq, { node = Var v; _ }, { node = Const (_, 7L); _ }) ->
        Alcotest.(check int) "var preserved" x.vid v.vid
    | _ -> Alcotest.failf "unexpected shape: %s" (to_string e));
   (* ((x ^ c) == d) folds to (x == c^d). *)
   let e2 = cmp Eq (binop Xor (const 64 0xFFL) (var x)) (const 64 0x0FL) in
-  match e2 with
-  | Cmp (Eq, Var _, Const (_, 0xF0L)) -> ()
+  match e2.node with
+  | Cmp (Eq, { node = Var _; _ }, { node = Const (_, 0xF0L); _ }) -> ()
   | _ -> Alcotest.failf "unexpected shape: %s" (to_string e2)
 
 let test_expr_signedness () =
@@ -131,6 +131,123 @@ let test_expr_popcnt_clz () =
   Alcotest.(check bool) "clz 32" true (unop Clz (const 32 1L) = const 32 31L);
   Alcotest.(check bool) "ctz" true (unop Ctz (const 32 8L) = const 32 3L);
   Alcotest.(check bool) "clz 0" true (unop Clz (const 16 0L) = const 16 16L)
+
+(* ------------------------------------------------------------------ *)
+(* Hash-consing                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_hashcons_sharing () =
+  let open Expr in
+  let x = var (fresh_var ~name:"hx" 64) and y = var (fresh_var ~name:"hy" 64) in
+  (* Commutative operands are canonically ordered, so both spellings
+     intern to the same physical node. *)
+  Alcotest.(check bool) "x+y == y+x physically" true
+    (binop Add x y == binop Add y x);
+  Alcotest.(check bool) "nested rebuilds share" true
+    (binop Mul (binop Add x y) x == binop Mul (binop Add y x) x);
+  Alcotest.(check bool) "hash agrees across spellings" true
+    (hash (binop And x y) = hash (binop And y x));
+  Alcotest.(check bool) "equal across spellings" true
+    (equal (binop Or x y) (binop Or y x));
+  (* Idempotence / annihilation folds. *)
+  Alcotest.(check bool) "x & x = x" true (binop And x x == x);
+  Alcotest.(check bool) "x | x = x" true (binop Or x x == x);
+  Alcotest.(check bool) "x ^ x = 0" true (binop Xor x x == const 64 0L);
+  Alcotest.(check bool) "x - x = 0" true (binop Sub x x == const 64 0L);
+  Alcotest.(check bool) "x <= x reflexive" true (cmp Ule x x == true_);
+  Alcotest.(check bool) "x < x irreflexive" true (cmp Ult x x == false_);
+  Alcotest.(check bool) "double negation" true (unop Not (unop Not x) == x)
+
+(* Property: building an expression through the interning, normalizing
+   smart constructors never changes its concrete semantics.  The naive
+   side is a plain ADT tree evaluated directly with [eval_unop] & co.;
+   the hash-consed side goes through every rewrite rule and the memoized
+   DAG evaluator. *)
+type ntree =
+  | N_x
+  | N_y
+  | N_const of int64
+  | N_unop of Expr.unop * ntree
+  | N_binop of Expr.binop * ntree * ntree
+  | N_ite of ntree * ntree * ntree  (** ite (c <u a) a b, as in [gen_expr] *)
+
+let all_binops =
+  Expr.
+    [
+      Add; Sub; Mul; And; Or; Xor; Shl; Lshr; Ashr; Udiv; Urem; Sdiv; Srem;
+      Rotl; Rotr;
+    ]
+
+let all_unops = Expr.[ Not; Neg; Popcnt; Clz; Ctz ]
+
+let gen_ntree =
+  let open QCheck.Gen in
+  fix
+    (fun self n ->
+      if n <= 0 then
+        oneof
+          [ return N_x; return N_y; map (fun v -> N_const (Int64.of_int v)) int ]
+      else
+        frequency
+          [
+            (1, return N_x);
+            (1, return N_y);
+            ( 4,
+              map3
+                (fun op a b -> N_binop (op, a, b))
+                (oneofl all_binops) (self (n / 2)) (self (n / 2)) );
+            ( 2,
+              map2 (fun op a -> N_unop (op, a)) (oneofl all_unops)
+                (self (n - 1)) );
+            ( 1,
+              map3
+                (fun c a b -> N_ite (c, a, b))
+                (self (n / 2)) (self (n / 2)) (self (n / 2)) );
+          ])
+    4
+
+let rec build_expr width x y = function
+  | N_x -> Expr.var x
+  | N_y -> Expr.var y
+  | N_const c -> Expr.const width c
+  | N_unop (op, a) -> Expr.unop op (build_expr width x y a)
+  | N_binop (op, a, b) ->
+      Expr.binop op (build_expr width x y a) (build_expr width x y b)
+  | N_ite (c, a, b) ->
+      let c = build_expr width x y c
+      and a = build_expr width x y a
+      and b = build_expr width x y b in
+      Expr.ite (Expr.cmp Expr.Ult c a) a b
+
+let rec naive_eval width xv yv = function
+  | N_x -> Expr.mask width xv
+  | N_y -> Expr.mask width yv
+  | N_const c -> Expr.mask width c
+  | N_unop (op, a) -> Expr.eval_unop width op (naive_eval width xv yv a)
+  | N_binop (op, a, b) ->
+      Expr.eval_binop width op (naive_eval width xv yv a)
+        (naive_eval width xv yv b)
+  | N_ite (c, a, b) ->
+      let cv = naive_eval width xv yv c and av = naive_eval width xv yv a in
+      if Expr.eval_cmp width Expr.Ult cv av then av
+      else naive_eval width xv yv b
+
+let qcheck_hashcons_eval_identity width =
+  let x = Expr.fresh_var ~name:"nx" width in
+  let y = Expr.fresh_var ~name:"ny" width in
+  QCheck.Test.make
+    ~name:
+      (Printf.sprintf "hash-consed normal form = naive tree (width %d)" width)
+    ~count:400
+    (QCheck.make
+       QCheck.Gen.(
+         triple gen_ntree (map Int64.of_int int) (map Int64.of_int int)))
+    (fun (t, xv, yv) ->
+      let e = build_expr width x y t in
+      let env = Hashtbl.create 4 in
+      Hashtbl.replace env x.Expr.vid xv;
+      Hashtbl.replace env y.Expr.vid yv;
+      Expr.eval env e = naive_eval width xv yv t)
 
 (* ------------------------------------------------------------------ *)
 (* Bit-blasting vs. evaluator                                           *)
@@ -221,9 +338,9 @@ let blast_agrees_with_eval ?(count = 150) width =
 let test_solver_quick_path () =
   let open Expr in
   let x = fresh_var ~name:"x" 64 and y = fresh_var ~name:"y" 64 in
-  let before = (Atomic.get Solver.stats.Solver.quick_solved) in
+  let session = Solver.Session.create () in
   (match
-     Solver.check
+     Solver.check ~session
        [
          cmp Eq (var x) (const 64 42L);
          cmp Eq (binop Add (var y) (const 64 1L)) (const 64 100L);
@@ -233,8 +350,9 @@ let test_solver_quick_path () =
       Alcotest.(check int64) "x" 42L (Hashtbl.find m x.vid);
       Alcotest.(check int64) "y" 99L (Hashtbl.find m y.vid)
   | _ -> Alcotest.fail "expected sat");
-  Alcotest.(check bool) "went through quick path" true
-    ((Atomic.get Solver.stats.Solver.quick_solved) > before)
+  let st = Solver.Session.stats session in
+  Alcotest.(check int) "went through quick path" 1 st.Solver.st_quick;
+  Alcotest.(check int) "no blasting" 0 st.Solver.st_blasted
 
 let test_solver_blast_path () =
   let open Expr in
@@ -363,6 +481,107 @@ let qcheck_solver_models_validate =
       | Solver.Unsat -> false (* always satisfiable *)
       | Solver.Unknown -> true)
 
+(* ------------------------------------------------------------------ *)
+(* Session cache                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let verdict_of cs = function
+  | Solver.Sat m -> `Sat (Solver.validate_model cs m)
+  | Solver.Unsat -> `Unsat
+  | Solver.Unknown -> `Unknown
+
+(* The cache must be a pure memoization: verdicts identical with the
+   cache on (hits included), off (capacity 0), and absent (no session). *)
+let qcheck_cache_verdict_identity =
+  QCheck.Test.make ~name:"Solver.check verdicts identical cache on/off"
+    ~count:80
+    QCheck.(pair (int_bound 0xFFFF) (int_bound 255))
+    (fun (a, b) ->
+      let open Expr in
+      let x = fresh_var ~name:"cx" 16 in
+      let sets =
+        [
+          [
+            cmp Eq
+              (binop And (var x) (const 16 0xFFL))
+              (const 16 (Int64.of_int b));
+            cmp Ule (const 16 (Int64.of_int a)) (var x);
+          ];
+          [ cmp Eq (binop Mul (var x) (const 16 5L)) (const 16 (Int64.of_int b)) ];
+        ]
+      in
+      let cached = Solver.Session.create () in
+      let uncached = Solver.Session.create ~cache_capacity:0 () in
+      List.for_all
+        (fun cs ->
+          let plain = verdict_of cs (Solver.check cs) in
+          let off = verdict_of cs (Solver.check ~session:uncached cs) in
+          let on1 = verdict_of cs (Solver.check ~session:cached cs) in
+          let on2 = verdict_of cs (Solver.check ~session:cached cs) in
+          plain = off && off = on1 && on1 = on2)
+        sets
+      && (Solver.Session.stats cached).Solver.st_cache_hits > 0
+      && (Solver.Session.stats uncached).Solver.st_cache_hits = 0)
+
+let test_session_counters_and_lru () =
+  let open Expr in
+  let x = fresh_var ~name:"lx" 64 in
+  let q i = [ cmp Eq (var x) (const 64 (Int64.of_int i)) ] in
+  let s = Solver.Session.create ~cache_capacity:2 () in
+  ignore (Solver.check ~session:s (q 1)); (* miss, quick *)
+  ignore (Solver.check ~session:s (q 1)); (* hit *)
+  ignore (Solver.check ~session:s (q 2)); (* miss, quick *)
+  (* The cache is now full with q1 and q2; q1's last touch (its hit)
+     predates q2's insert, so q1 is the LRU victim of the next insert. *)
+  ignore (Solver.check ~session:s (q 3)); (* miss, evicts q1 *)
+  ignore (Solver.check ~session:s (q 2)); (* hit: q2 survived *)
+  ignore (Solver.check ~session:s (q 1)); (* miss: q1 was evicted *)
+  let st = Solver.Session.stats s in
+  Alcotest.(check int) "hits" 2 st.Solver.st_cache_hits;
+  Alcotest.(check int) "misses" 4 st.Solver.st_cache_misses;
+  Alcotest.(check int) "quick solves" 4 st.Solver.st_quick
+
+let test_session_never_caches_unknown () =
+  let open Expr in
+  let x = fresh_var ~name:"ux" 24 and y = fresh_var ~name:"uy" 24 in
+  let cs =
+    [
+      cmp Eq (binop Mul (var x) (var y)) (const 24 (Int64.of_int 0x7F4C2D));
+      cmp Ult (const 24 1L) (var x);
+      cmp Ult (const 24 1L) (var y);
+    ]
+  in
+  let s = Solver.Session.create ~conflict_budget:1 () in
+  match Solver.check ~session:s cs with
+  | Solver.Unknown ->
+      (* Unknown is a budget artefact: re-asking must miss again, so a
+         later query under a bigger budget could still decide the set. *)
+      ignore (Solver.check ~session:s cs);
+      let st = Solver.Session.stats s in
+      Alcotest.(check int) "no hits on unknown" 0 st.Solver.st_cache_hits;
+      Alcotest.(check int) "both misses" 2 st.Solver.st_cache_misses
+  | Solver.Sat _ -> () (* decided before the first conflict: acceptable *)
+  | Solver.Unsat -> Alcotest.fail "cannot be unsat before exploring"
+
+let test_session_budget_precedence () =
+  let open Expr in
+  let x = fresh_var ~name:"bx" 24 and y = fresh_var ~name:"by" 24 in
+  let cs =
+    [
+      cmp Eq (binop Mul (var x) (var y)) (const 24 (Int64.of_int 0x5E3F71));
+      cmp Ult (const 24 1L) (var x);
+      cmp Ult (const 24 1L) (var y);
+    ]
+  in
+  (* An explicit per-call budget overrides the session's: a starvation
+     budget of 1 must exhaust even though the session carries the
+     (ample) default. *)
+  let s = Solver.Session.create ~cache_capacity:0 () in
+  match Solver.check ~session:s ~conflict_budget:1 cs with
+  | Solver.Unknown -> ()
+  | Solver.Sat _ -> () (* decided before the first conflict: acceptable *)
+  | Solver.Unsat -> Alcotest.fail "cannot be unsat before exploring"
+
 let () =
   let qc = QCheck_alcotest.to_alcotest in
   Alcotest.run "wasai_smt"
@@ -380,6 +599,13 @@ let () =
           Alcotest.test_case "inversion rules" `Quick test_expr_invert_rules;
           Alcotest.test_case "signedness" `Quick test_expr_signedness;
           Alcotest.test_case "popcnt/clz/ctz" `Quick test_expr_popcnt_clz;
+        ] );
+      ( "hashcons",
+        [
+          Alcotest.test_case "physical sharing" `Quick test_hashcons_sharing;
+          qc (qcheck_hashcons_eval_identity 8);
+          qc (qcheck_hashcons_eval_identity 32);
+          qc (qcheck_hashcons_eval_identity 64);
         ] );
       ( "bitblast",
         [
@@ -416,5 +642,15 @@ let () =
             test_solver_division_semantics;
           Alcotest.test_case "validate_model" `Quick test_validate_model;
           qc qcheck_solver_models_validate;
+        ] );
+      ( "session",
+        [
+          qc qcheck_cache_verdict_identity;
+          Alcotest.test_case "counters and LRU eviction" `Quick
+            test_session_counters_and_lru;
+          Alcotest.test_case "unknown never cached" `Quick
+            test_session_never_caches_unknown;
+          Alcotest.test_case "explicit budget wins" `Quick
+            test_session_budget_precedence;
         ] );
     ]

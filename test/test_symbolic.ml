@@ -125,15 +125,15 @@ let test_convention_layout () =
   (* Local 0 concrete (self), locals 1-2 symbolic names, 3-4 concrete ptrs. *)
   let locals = lay.Sym.Convention.lay_locals in
   Alcotest.(check int) "five locals" 5 (List.length locals);
-  (match List.assoc 0 locals with
+  (match (List.assoc 0 locals).Expr.node with
    | Expr.Const (64, v) -> Alcotest.(check int64) "self concrete" (n "victim") v
-   | e -> Alcotest.failf "local 0 not concrete: %s" (Expr.to_string e));
-  (match List.assoc 1 locals with
+   | _ -> Alcotest.failf "local 0 not concrete: %s" (Expr.to_string (List.assoc 0 locals)));
+  (match (List.assoc 1 locals).Expr.node with
    | Expr.Var _ -> ()
-   | e -> Alcotest.failf "local 1 not symbolic: %s" (Expr.to_string e));
-  match List.assoc 3 locals with
+   | _ -> Alcotest.failf "local 1 not symbolic: %s" (Expr.to_string (List.assoc 1 locals)));
+  match (List.assoc 3 locals).Expr.node with
   | Expr.Const (32, 1040L) -> ()
-  | e -> Alcotest.failf "quantity ptr wrong: %s" (Expr.to_string e)
+  | _ -> Alcotest.failf "quantity ptr wrong: %s" (Expr.to_string (List.assoc 3 locals))
 
 let test_convention_memory_init () =
   (* Table 2: the asset pointee holds the amount and symbol variables. *)
