@@ -4,12 +4,15 @@
     Usage: [main.exe [experiment] [--scale N] [--rounds N] [--count N]]
 
     Experiments: fig3 table4 table5 table6 rq4 ablation solver campaign
-    campaign-smoke micro all (default: all).  [--scale] divides the corpus
-    sizes (default 20; use [--full] for the paper-sized corpora — minutes
-    of CPU).  [campaign] measures multi-domain scaling (1/2/4 workers)
-    over a generated corpus; [campaign-smoke] is a <10 s parity + resume
-    check; [solver] is a <10 s cache-on/off microbenchmark over a
-    repeated-flip workload. *)
+    campaign-smoke shard shard-smoke micro all (default: all).  [--scale]
+    divides the corpus sizes (default 20; use [--full] for the paper-sized
+    corpora — minutes of CPU).  [campaign] measures multi-domain scaling
+    (1/2/4 workers) over a generated corpus; [campaign-smoke] is a <10 s
+    parity + resume check; [shard] measures distributed 2/4-way sharding
+    against an unsharded baseline and verifies merge identity;
+    [shard-smoke] is a <10 s 2-shard merge byte-identity check; [solver]
+    is a <10 s cache-on/off microbenchmark over a repeated-flip
+    workload. *)
 
 open Wasai_support
 module BG = Wasai_benchgen
@@ -442,13 +445,10 @@ let campaign_targets ~count =
       })
     (BG.Corpus.coverage_set ~count ())
 
-let campaign_config ~rounds ~jobs =
-  {
-    Campaign.Campaign.default_config with
-    Campaign.Campaign.cc_jobs = jobs;
-    cc_engine =
-      { Core.Engine.default_config with Core.Engine.cfg_rounds = rounds };
-  }
+let campaign_config ?journal ?resume ?max_targets ?shard ~rounds ~jobs () =
+  Campaign.Campaign.make_config ~jobs ?journal ?resume ?max_targets ?shard
+    ~engine:{ Core.Engine.default_config with Core.Engine.cfg_rounds = rounds }
+    ()
 
 let campaign_exp (opts : options) =
   let count = max 16 opts.opt_fig3_contracts in
@@ -463,7 +463,7 @@ let campaign_exp (opts : options) =
   let runs =
     List.map
       (fun jobs ->
-        let r = Campaign.Campaign.run (campaign_config ~rounds ~jobs) targets in
+        let r = Campaign.Campaign.run (campaign_config ~rounds ~jobs ()) targets in
         Printf.printf "  jobs=%d  wall=%.2fs  %s\n%!" jobs
           r.Campaign.Campaign.cr_wall
           (Metrics.Histogram.to_string (Campaign.Campaign.latency_histogram r));
@@ -491,26 +491,18 @@ let campaign_smoke () =
   let targets = campaign_targets ~count:6 in
   let rounds = 6 in
   let full =
-    Campaign.Campaign.run (campaign_config ~rounds ~jobs:2) targets
+    Campaign.Campaign.run (campaign_config ~rounds ~jobs:2 ()) targets
   in
   let journal = Filename.temp_file "wasai-smoke" ".journal" in
   Sys.remove journal;
   let interrupted =
     Campaign.Campaign.run
-      {
-        (campaign_config ~rounds ~jobs:2) with
-        Campaign.Campaign.cc_journal = Some journal;
-        cc_max_targets = Some 3;
-      }
+      (campaign_config ~journal ~max_targets:3 ~rounds ~jobs:2 ())
       targets
   in
   let resumed =
     Campaign.Campaign.run
-      {
-        (campaign_config ~rounds ~jobs:2) with
-        Campaign.Campaign.cc_journal = Some journal;
-        cc_resume = true;
-      }
+      (campaign_config ~journal ~resume:true ~rounds ~jobs:2 ())
       targets
   in
   Sys.remove journal;
@@ -525,6 +517,112 @@ let campaign_smoke () =
     (if ok then "OK" else "MISMATCH")
     (full.Campaign.Campaign.cr_wall +. interrupted.Campaign.Campaign.cr_wall
      +. resumed.Campaign.Campaign.cr_wall);
+  if not ok then exit 1
+
+(* ------------------------------------------------------------------ *)
+(* Campaign: distributed sharding                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* Fuzz each shard slice in its own journal (as N independent machines
+   would), then recombine with [Campaign.merge].  Returns the merged
+   report plus each shard's (targets, wall). *)
+let run_sharded ~rounds ~jobs ~shards targets =
+  let journals =
+    List.init shards (fun i ->
+        let j =
+          Filename.temp_file (Printf.sprintf "wasai-shard%d-" i) ".journal"
+        in
+        Sys.remove j;
+        j)
+  in
+  let walls =
+    List.mapi
+      (fun i journal ->
+        let shard = Campaign.Shard.make ~index:i ~count:shards in
+        let r =
+          Campaign.Campaign.run
+            (campaign_config ~journal ~shard ~rounds ~jobs ())
+            targets
+        in
+        (r.Campaign.Campaign.cr_requested, r.Campaign.Campaign.cr_wall))
+      journals
+  in
+  let merged = Campaign.Campaign.merge journals in
+  List.iter Sys.remove journals;
+  (merged, walls)
+
+let exploit_count (r : Campaign.Campaign.report) =
+  List.fold_left
+    (fun acc (e : Campaign.Journal.entry) ->
+      acc + List.length e.Campaign.Journal.je_exploits)
+    0 r.Campaign.Campaign.cr_results
+
+let shard_exp (opts : options) =
+  let count = max 16 opts.opt_fig3_contracts in
+  let rounds = opts.opt_rounds in
+  Printf.printf
+    "\n=== Campaign: distributed sharding over %d generated contracts (%d \
+     rounds each) ===\n%!"
+    count rounds;
+  let targets = campaign_targets ~count in
+  let unsharded =
+    Campaign.Campaign.run (campaign_config ~rounds ~jobs:1 ()) targets
+  in
+  Printf.printf "  unsharded: %d targets, wall=%.2fs\n%!" count
+    unsharded.Campaign.Campaign.cr_wall;
+  let v0 = Campaign.Campaign.verdicts_text unsharded in
+  let e0 = Campaign.Campaign.evidence_text unsharded in
+  List.iter
+    (fun shards ->
+      let merged, walls = run_sharded ~rounds ~jobs:1 ~shards targets in
+      let makespan = List.fold_left (fun m (_, w) -> max m w) 0.0 walls in
+      Printf.printf "  %d shards: slices [%s], fleet makespan=%.2fs \
+                     (%.2fx), merge identical: verdicts=%b evidence=%b\n%!"
+        shards
+        (String.concat "; "
+           (List.map (fun (n, w) -> Printf.sprintf "%d targets %.2fs" n w) walls))
+        makespan
+        (unsharded.Campaign.Campaign.cr_wall /. Float.max 1e-9 makespan)
+        (String.equal v0 (Campaign.Campaign.verdicts_text merged))
+        (String.equal e0 (Campaign.Campaign.evidence_text merged)))
+    [ 2; 4 ];
+  Printf.printf "  exploit evidence: %d payloads over %d vulnerable targets\n"
+    (exploit_count unsharded)
+    (Campaign.Campaign.vulnerable_count unsharded)
+
+(* Quick local verification (<10 s): 2 shards over a tiny corpus, merged,
+   must reproduce the unsharded verdict AND evidence sections
+   byte-for-byte, with every vulnerable target carrying replayable
+   exploit payloads round-tripped through the v3 journal. *)
+let shard_smoke () =
+  Printf.printf "\n=== Shard smoke (2 shards + merge vs unsharded) ===\n%!";
+  let targets = campaign_targets ~count:8 in
+  let rounds = 6 in
+  let unsharded =
+    Campaign.Campaign.run (campaign_config ~rounds ~jobs:2 ()) targets
+  in
+  let merged, walls = run_sharded ~rounds ~jobs:2 ~shards:2 targets in
+  let verdicts_ok =
+    String.equal
+      (Campaign.Campaign.verdicts_text unsharded)
+      (Campaign.Campaign.verdicts_text merged)
+  in
+  let evidence_ok =
+    String.equal
+      (Campaign.Campaign.evidence_text unsharded)
+      (Campaign.Campaign.evidence_text merged)
+  in
+  let vulnerable = Campaign.Campaign.vulnerable_count merged in
+  let exploits = exploit_count merged in
+  let ok = verdicts_ok && evidence_ok && vulnerable > 0 && exploits > 0 in
+  Printf.printf
+    "slices: [%s]; merged %d targets, %d vulnerable, %d exploit payloads; \
+     verdicts identical: %b, evidence identical: %b -> %s\n"
+    (String.concat "; "
+       (List.map (fun (n, w) -> Printf.sprintf "%d targets %.2fs" n w) walls))
+    (List.length merged.Campaign.Campaign.cr_results)
+    vulnerable exploits verdicts_ok evidence_ok
+    (if ok then "OK" else "MISMATCH");
   if not ok then exit 1
 
 (* ------------------------------------------------------------------ *)
@@ -633,6 +731,8 @@ let () =
     | "solver" -> solver_exp ()
     | "campaign" -> campaign_exp opts
     | "campaign-smoke" -> campaign_smoke ()
+    | "shard" -> shard_exp opts
+    | "shard-smoke" -> shard_smoke ()
     | "micro" -> micro ()
     | "all" ->
         fig3 opts;
@@ -643,6 +743,7 @@ let () =
         ablation opts;
         solver_exp ();
         campaign_exp opts;
+        shard_exp opts;
         micro ()
     | other -> Printf.eprintf "unknown experiment %s\n" other
   in

@@ -6,8 +6,14 @@
     - [dump]       print a contract binary in WAT-like text
     - [instrument] rewrite a binary with the trace hooks
     - [baseline]   run the EOSAFE static baseline on a binary
-    - [campaign]   fuzz a whole directory of contracts over N domains,
-                   with a crash-safe journal and [--resume]
+    - [campaign]   fleet campaigns, noun-verb style:
+                   [campaign run DIR] fuzzes a directory (or its
+                   [--shard i/N] slice) over N domains with a crash-safe
+                   journal and [--resume]; [campaign merge J1 J2 ...]
+                   validates and merges shard journals into the fleet
+                   report; [campaign report] rebuilds a report from a
+                   journal without fuzzing.  Bare [campaign DIR] is a
+                   deprecated alias for [campaign run DIR]
 
     ABI files use the textual format of {!Wasai_eosio.Abi.of_text}:
     one action per line, e.g. [transfer(from:name,to:name,quantity:asset,memo:string)]. *)
@@ -38,26 +44,7 @@ let load_contract bin_path abi_path =
   let abi =
     match abi_path with
     | Some p -> Abi.of_text (read_file p)
-    | None ->
-        (* Default: the canonical profitable-contract ABI. *)
-        {
-          Abi.abi_actions =
-            [
-              Abi.transfer_action;
-              {
-                Abi.act_name = Name.of_string "deposit";
-                act_params = [ ("player", Abi.T_name); ("amount", Abi.T_u64) ];
-              };
-              {
-                Abi.act_name = Name.of_string "setup";
-                act_params = [ ("value", Abi.T_u64) ];
-              };
-              {
-                Abi.act_name = Name.of_string "reveal";
-                act_params = [ ("player", Abi.T_name) ];
-              };
-            ];
-        }
+    | None -> Abi.default_profitable
   in
   (m, abi)
 
@@ -194,45 +181,15 @@ let scan_cmd dir rounds =
 
 (* ---- campaign -------------------------------------------------------- *)
 
-let campaign_cmd dir jobs rounds resume journal out =
-  let targets = Campaign.Discover.dir dir in
-  if targets = [] then begin
-    Printf.eprintf "campaign: no .wasm/.wat contracts in %s\n" dir;
-    exit 2
-  end;
-  let total = List.length targets in
-  let finished = ref 0 in
-  (* The default already caps at the hardware's recommended domain count;
-     a larger explicit --jobs is honoured but oversubscription makes the
-     OCaml 5 GC thrash (ROADMAP: 4 domains on 1 core ran ~9x slower). *)
-  let recommended = Domain.recommended_domain_count () in
-  if jobs > recommended then
-    Printf.eprintf
-      "campaign: --jobs %d exceeds the recommended domain count (%d); \
-       oversubscribed domains contend in the GC and usually run slower\n%!"
-      jobs recommended;
-  let cfg =
-    {
-      Campaign.Campaign.default_config with
-      Campaign.Campaign.cc_jobs = jobs;
-      cc_engine =
-        { Core.Engine.default_config with Core.Engine.cfg_rounds = rounds };
-      cc_journal = Some journal;
-      cc_resume = resume;
-      cc_progress =
-        Some
-          (fun (e : Campaign.Journal.entry) ->
-            incr finished;
-            Printf.eprintf "  [%d/%d] %s done (%.2fs)\n%!" !finished total
-              e.Campaign.Journal.je_name e.Campaign.Journal.je_elapsed);
-    }
-  in
-  let report =
-    try Campaign.Campaign.run cfg targets
-    with Campaign.Journal.Malformed msg ->
-      Printf.eprintf "campaign: %s\n" msg;
-      exit 2
-  in
+(* Flags shared by every `wasai campaign` verb (run|merge|report), defined
+   once and threaded as a record so the three subcommands cannot drift. *)
+type campaign_common = {
+  co_journal : string;
+  co_jobs : int;
+  co_out : string option;
+}
+
+let emit_campaign_report out (report : Campaign.Campaign.report) =
   let text = Campaign.Campaign.to_text report in
   (match out with
    | Some path ->
@@ -240,6 +197,85 @@ let campaign_cmd dir jobs rounds resume journal out =
        Printf.eprintf "campaign report written to %s\n" path
    | None -> print_string text);
   if Campaign.Campaign.vulnerable_count report > 0 then exit 1
+
+let campaign_run_cmd ~deprecated common dir rounds resume shard seed =
+  if deprecated then
+    Printf.eprintf
+      "wasai campaign: the bare form is deprecated, use `wasai campaign run`\n%!";
+  let targets = Campaign.Discover.dir dir in
+  if targets = [] then begin
+    Printf.eprintf "campaign: no .wasm/.wat contracts in %s\n" dir;
+    exit 2
+  end;
+  let total =
+    List.length
+      (List.filter
+         (fun (t : Campaign.Campaign.target_spec) ->
+           Campaign.Shard.member shard t.Campaign.Campaign.sp_name)
+         targets)
+  in
+  let finished = ref 0 in
+  (* The default already caps at the hardware's recommended domain count;
+     a larger explicit --jobs is honoured but oversubscription makes the
+     OCaml 5 GC thrash (ROADMAP: 4 domains on 1 core ran ~9x slower). *)
+  let recommended = Domain.recommended_domain_count () in
+  if common.co_jobs > recommended then
+    Printf.eprintf
+      "campaign: --jobs %d exceeds the recommended domain count (%d); \
+       oversubscribed domains contend in the GC and usually run slower\n%!"
+      common.co_jobs recommended;
+  let cfg =
+    Campaign.Campaign.make_config ~jobs:common.co_jobs
+      ~journal:common.co_journal ~resume ~shard
+      ~progress:(fun (e : Campaign.Journal.entry) ->
+        incr finished;
+        Printf.eprintf "  [%d/%d] %s done (%.2fs)\n%!" !finished total
+          e.Campaign.Journal.je_name e.Campaign.Journal.je_elapsed)
+      ~engine:
+        {
+          Core.Engine.default_config with
+          Core.Engine.cfg_rounds = rounds;
+          cfg_rng_seed = seed;
+        }
+      ()
+  in
+  let report =
+    try Campaign.Campaign.run cfg targets with
+    | Campaign.Journal.Malformed msg ->
+        Printf.eprintf "campaign: %s\n" msg;
+        exit 2
+    | Failure msg ->
+        (* Library failures are already prefixed with "campaign: ". *)
+        Printf.eprintf "%s\n" msg;
+        exit 2
+  in
+  emit_campaign_report common.co_out report
+
+let campaign_merge_cmd common journals =
+  let report =
+    try Campaign.Campaign.merge journals with
+    | Campaign.Journal.Malformed msg ->
+        Printf.eprintf "campaign merge: %s\n" msg;
+        exit 2
+    | Failure msg ->
+        (* Merge failures are already prefixed with "campaign merge: ". *)
+        Printf.eprintf "%s\n" msg;
+        exit 2
+  in
+  emit_campaign_report common.co_out report
+
+let campaign_report_cmd common =
+  if not (Sys.file_exists common.co_journal) then begin
+    Printf.eprintf "campaign report: no journal at %s\n" common.co_journal;
+    exit 2
+  end;
+  let report =
+    try Campaign.Campaign.of_entries (Campaign.Journal.load common.co_journal)
+    with Campaign.Journal.Malformed msg ->
+      Printf.eprintf "campaign report: %s\n" msg;
+      exit 2
+  in
+  emit_campaign_report common.co_out report
 
 (* ---- baseline -------------------------------------------------------- *)
 
@@ -339,28 +375,26 @@ let scan_t =
          "Fuzz every *.wasm in a directory (with its *.wasm.abi when present) and summarise")
     Term.(const scan_cmd $ dir $ rounds_arg)
 
-let campaign_t =
-  let dir = Arg.(required & pos 0 (some dir) None & info [] ~docv:"DIR") in
-  let jobs =
-    Arg.(
-      value
-      & opt int (Domain.recommended_domain_count ())
-      & info [ "j"; "jobs" ] ~docv:"N"
-          ~doc:"Worker domains (default: the hardware's recommended count).")
-  in
-  let resume =
-    Arg.(
-      value & flag
-      & info [ "resume" ]
-          ~doc:"Skip targets already completed in the journal and merge their \
-                recorded results into the report.")
-  in
+(* The shared `wasai campaign` flag group: --journal, --jobs and --out are
+   defined exactly once and apply uniformly to run|merge|report. *)
+let campaign_common_t =
   let journal =
     Arg.(
       value
       & opt string "campaign.journal"
       & info [ "journal" ] ~docv:"FILE"
-          ~doc:"Crash-safe journal of completed targets (appended, fsync'd).")
+          ~doc:
+            "Crash-safe journal of completed targets (appended, fsync'd); \
+             also the input of $(b,report).")
+  in
+  let jobs =
+    Arg.(
+      value
+      & opt int (Domain.recommended_domain_count ())
+      & info [ "j"; "jobs" ] ~docv:"N"
+          ~doc:
+            "Worker domains for $(b,run) (default: the hardware's \
+             recommended count); ignored by $(b,merge) and $(b,report).")
   in
   let out =
     Arg.(
@@ -369,21 +403,126 @@ let campaign_t =
       & info [ "o"; "out" ] ~docv:"FILE"
           ~doc:"Write the campaign report here instead of stdout.")
   in
-  Cmd.v
+  Term.(
+    const (fun co_journal co_jobs co_out -> { co_journal; co_jobs; co_out })
+    $ journal $ jobs $ out)
+
+let shard_conv =
+  let parse s =
+    match Campaign.Shard.of_string s with
+    | Ok t -> Ok t
+    | Error msg -> Error (`Msg msg)
+  in
+  let print ppf t = Format.pp_print_string ppf (Campaign.Shard.to_string t) in
+  Arg.conv (parse, print)
+
+let campaign_run_term ~deprecated =
+  let dir = Arg.(required & pos 0 (some dir) None & info [] ~docv:"DIR") in
+  let resume =
+    Arg.(
+      value & flag
+      & info [ "resume" ]
+          ~doc:"Skip targets already completed in the journal and merge their \
+                recorded results into the report.")
+  in
+  let shard =
+    Arg.(
+      value
+      & opt shard_conv Campaign.Shard.whole
+      & info [ "shard" ] ~docv:"I/N"
+          ~doc:
+            "Fuzz only the targets whose stable name hash lands in slice \
+             $(i,I) of $(i,N); give each fleet machine a distinct slice and \
+             $(b,merge) their journals afterwards.")
+  in
+  let seed =
+    Arg.(
+      value
+      & opt int64 Core.Engine.default_config.Core.Engine.cfg_rng_seed
+      & info [ "seed" ] ~docv:"S"
+          ~doc:
+            "Engine root RNG seed; every shard of one fleet must use the \
+             same value (merge validates it).")
+  in
+  Term.(
+    const (fun common dir rounds resume shard seed ->
+        campaign_run_cmd ~deprecated common dir rounds resume shard seed)
+    $ campaign_common_t $ dir $ rounds_arg $ resume $ shard $ seed)
+
+let campaign_t =
+  let run_t =
+    Cmd.v
+      (Cmd.info "run"
+         ~doc:
+           "Fuzz a directory of contracts (*.wasm/*.wat with optional *.abi \
+            sidecars) in parallel over OCaml domains, journaling each \
+            completed target; exits 1 when any contract is flagged")
+      (campaign_run_term ~deprecated:false)
+  in
+  let merge_t =
+    let journals =
+      Arg.(
+        non_empty & pos_all file []
+        & info [] ~docv:"JOURNAL"
+            ~doc:"Shard journals to merge (one per fleet slice).")
+    in
+    Cmd.v
+      (Cmd.info "merge"
+         ~doc:
+           "Validate and merge per-shard campaign journals into the fleet \
+            report: shards must be disjoint, cover 0..N-1 and share one \
+            (seed, budget) configuration.  The canonical verdict and \
+            evidence sections are byte-identical to an unsharded run")
+      Term.(const campaign_merge_cmd $ campaign_common_t $ journals)
+  in
+  let report_t =
+    Cmd.v
+      (Cmd.info "report"
+         ~doc:
+           "Rebuild the campaign report from the journal alone, without \
+            fuzzing anything (replays recorded verdicts and exploit \
+            evidence)")
+      Term.(const campaign_report_cmd $ campaign_common_t)
+  in
+  Cmd.group
     (Cmd.info "campaign"
        ~doc:
-         "Fuzz a directory of contracts (*.wasm/*.wat with optional *.abi \
-          sidecars) in parallel over OCaml domains; exits 1 when any \
-          contract is flagged")
-    Term.(const campaign_cmd $ dir $ jobs $ rounds_arg $ resume $ journal $ out)
+         "Fleet-scale fuzzing campaigns: $(b,run) a (shard of a) directory, \
+          $(b,merge) shard journals, or re-$(b,report) a journal.  The bare \
+          form `wasai campaign DIR` is a deprecated alias for $(b,run)")
+    ~default:(campaign_run_term ~deprecated:true)
+    [ run_t; merge_t; report_t ]
 
 let () =
+  (* `wasai campaign DIR` is the deprecated alias for `wasai campaign run
+     DIR`.  Cmdliner's group dispatch rejects DIR as an unknown command
+     before the default term can see it, so rewrite the spelling here. *)
+  let argv =
+    let argv = Sys.argv in
+    if
+      Array.length argv >= 3
+      && argv.(1) = "campaign"
+      && String.length argv.(2) > 0
+      && argv.(2).[0] <> '-'
+      && not (List.mem argv.(2) [ "run"; "merge"; "report" ])
+    then begin
+      Printf.eprintf
+        "wasai campaign: the bare form is deprecated, use `wasai campaign \
+         run`\n%!";
+      Array.concat
+        [
+          [| argv.(0); "campaign"; "run" |];
+          Array.sub argv 2 (Array.length argv - 2);
+        ]
+    end
+    else argv
+  in
   let info =
     Cmd.info "wasai" ~version:"1.0.0"
       ~doc:"Concolic fuzzer for Wasm (EOSIO) smart contracts"
   in
   exit
-    (Cmd.eval
+    (Cmd.eval ~argv
        (Cmd.group info
           [
             analyze_t; gen_t; dump_t; build_t; instrument_t; baseline_t; scan_t;

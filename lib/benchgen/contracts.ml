@@ -595,23 +595,12 @@ let build (spec : spec) : Wasm.Ast.module_ * Abi.t =
   let m = B.build b in
   Wasm.Validate.check_module m;
   let abi =
+    (* The shared default action set (transfer/deposit/setup/reveal) lives
+       in [Abi.default_profitable]; only the optional claim loop is
+       template-specific. *)
     {
       Abi.abi_actions =
-        [
-          Abi.transfer_action;
-          {
-            Abi.act_name = act_deposit;
-            act_params = [ ("player", Abi.T_name); ("amount", Abi.T_u64) ];
-          };
-          {
-            Abi.act_name = act_setup;
-            act_params = [ ("value", Abi.T_u64) ];
-          };
-          {
-            Abi.act_name = act_reveal;
-            act_params = [ ("player", Abi.T_name) ];
-          };
-        ]
+        Abi.default_profitable.Abi.abi_actions
         @
         (if spec.sp_claim_loop then
            [ { Abi.act_name = act_claim; act_params = [] } ]

@@ -2,7 +2,13 @@
     N domains, each running the engine on an independent target; completed
     targets are journaled (fsync'd) before they count as done; the merged
     report is canonicalised by target name so its verdict section is
-    identical for any worker count. *)
+    identical for any worker count.
+
+    Sharding extends the same scheme across machines: [cc_shard = i/N]
+    restricts a run to the targets {!Shard.assign} maps to slice [i], the
+    journal stamps every entry with the (shard, seed, budget) provenance,
+    and {!merge} recombines N shard journals into the same canonical
+    report an unsharded run would have produced. *)
 
 module Core = Wasai_core
 module Solver = Wasai_smt.Solver
@@ -20,16 +26,25 @@ type config = {
   cc_resume : bool;
   cc_max_targets : int option;
   cc_progress : (Journal.entry -> unit) option;
+  cc_shard : Shard.t;
 }
 
-let default_config =
+let make_config ~jobs ?journal ?(resume = false) ?max_targets ?progress
+    ?(shard = Shard.whole) ~engine () =
+  if jobs < 1 then
+    invalid_arg (Printf.sprintf "Campaign.make_config: jobs %d < 1" jobs);
+  if resume && journal = None then
+    invalid_arg
+      "Campaign.make_config: resume requires a journal (there is nothing to \
+       resume from)";
   {
-    cc_jobs = 1;
-    cc_engine = Core.Engine.default_config;
-    cc_journal = None;
-    cc_resume = false;
-    cc_max_targets = None;
-    cc_progress = None;
+    cc_jobs = jobs;
+    cc_engine = engine;
+    cc_journal = journal;
+    cc_resume = resume;
+    cc_max_targets = max_targets;
+    cc_progress = progress;
+    cc_shard = shard;
   }
 
 type report = {
@@ -38,6 +53,7 @@ type report = {
   cr_skipped : int;
   cr_jobs : int;
   cr_wall : float;
+  cr_shard : Shard.t;
 }
 
 let take n xs =
@@ -46,6 +62,15 @@ let take n xs =
     | _ -> []
   in
   go n xs
+
+(* The provenance every journal entry of this run carries; merge-time
+   validation compares these across machines. *)
+let stamp_of_config (cfg : config) : Journal.stamp =
+  {
+    Journal.js_shard = cfg.cc_shard;
+    js_seed = cfg.cc_engine.Core.Engine.cfg_rng_seed;
+    js_rounds = cfg.cc_engine.Core.Engine.cfg_rounds;
+  }
 
 let run (cfg : config) (targets : target_spec list) : report =
   let seen = Hashtbl.create 64 in
@@ -59,12 +84,37 @@ let run (cfg : config) (targets : target_spec list) : report =
              t.sp_name);
       Hashtbl.replace seen t.sp_name ())
     targets;
+  (* Shard first: every later count (requested, fuzzed, skipped) describes
+     this machine's slice, and names outside it never touch the journal. *)
+  let targets = List.filter (fun t -> Shard.member cfg.cc_shard t.sp_name) targets in
+  let stamp = stamp_of_config cfg in
   (* Resume: a target is done iff its line reached the journal. *)
   let prior =
     match cfg.cc_journal with
     | Some path when cfg.cc_resume && Sys.file_exists path -> Journal.load path
     | _ -> []
   in
+  (* A journal written under a different fleet configuration would mix
+     verdicts that no single run could produce; unstamped (v1/v2) entries
+     predate provenance and are trusted as before. *)
+  List.iter
+    (fun (e : Journal.entry) ->
+      match e.Journal.je_stamp with
+      | Some st when not (Shard.equal st.Journal.js_shard stamp.Journal.js_shard
+                          && st.Journal.js_seed = stamp.Journal.js_seed
+                          && st.Journal.js_rounds = stamp.Journal.js_rounds) ->
+          failwith
+            (Printf.sprintf
+               "campaign: journal entry %S was recorded under shard=%s \
+                seed=%Ld budget=%d, but this run uses shard=%s seed=%Ld \
+                budget=%d; refusing to mix configurations"
+               e.Journal.je_name
+               (Shard.to_string st.Journal.js_shard)
+               st.Journal.js_seed st.Journal.js_rounds
+               (Shard.to_string stamp.Journal.js_shard)
+               stamp.Journal.js_seed stamp.Journal.js_rounds)
+      | _ -> ())
+    prior;
   let done_ = Hashtbl.create 64 in
   List.iter (fun (e : Journal.entry) -> Hashtbl.replace done_ e.Journal.je_name e) prior;
   (* Journal entries for targets outside this run's input set are ignored,
@@ -74,7 +124,8 @@ let run (cfg : config) (targets : target_spec list) : report =
   let prior_results =
     Hashtbl.fold
       (fun name (e : Journal.entry) acc ->
-        if Hashtbl.mem seen name then e :: acc else acc)
+        if Hashtbl.mem seen name && Shard.member cfg.cc_shard name then e :: acc
+        else acc)
       done_ []
   in
   let remaining =
@@ -105,7 +156,7 @@ let run (cfg : config) (targets : target_spec list) : report =
              let entry =
                Journal.of_outcome ~name:spec.sp_name
                  ~elapsed:(Unix.gettimeofday () -. s0)
-                 o
+                 ~stamp o
              in
              Mutex.protect lock (fun () ->
                  (* Journal first: the entry must be durable before the
@@ -144,7 +195,137 @@ let run (cfg : config) (targets : target_spec list) : report =
     cr_skipped = List.length prior_results;
     cr_jobs = jobs;
     cr_wall = Unix.gettimeofday () -. t0;
+    cr_shard = cfg.cc_shard;
   }
+
+(* ------------------------------------------------------------------ *)
+(* Reports from journals: merge                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* Duplicate lines for one name (appended by a non-resume rerun) collapse
+   to the last entry, exactly as [run]'s resume path does. *)
+let collapse_duplicates (entries : Journal.entry list) : Journal.entry list =
+  let last = Hashtbl.create 64 in
+  let order = ref [] in
+  List.iter
+    (fun (e : Journal.entry) ->
+      if not (Hashtbl.mem last e.Journal.je_name) then
+        order := e.Journal.je_name :: !order;
+      Hashtbl.replace last e.Journal.je_name e)
+    entries;
+  List.rev_map (fun name -> Hashtbl.find last name) !order
+
+let of_entries (entries : Journal.entry list) : report =
+  let entries = collapse_duplicates entries in
+  {
+    cr_results =
+      List.sort
+        (fun (a : Journal.entry) b ->
+          compare a.Journal.je_name b.Journal.je_name)
+        entries;
+    cr_requested = List.length entries;
+    cr_skipped = List.length entries;
+    cr_jobs = 0;
+    cr_wall = 0.0;
+    cr_shard = Shard.whole;
+  }
+
+let merge_error fmt = Printf.ksprintf (fun s -> failwith ("campaign merge: " ^ s)) fmt
+
+(* One journal = one shard's output: every entry must carry the same
+   stamp, and every name must actually hash into the stamped slice. *)
+let check_journal (path, entries) : Journal.stamp * Journal.entry list =
+  let entries = collapse_duplicates entries in
+  let stamp_of (e : Journal.entry) =
+    match e.Journal.je_stamp with
+    | Some st -> st
+    | None ->
+        merge_error
+          "%s: entry %S has no shard stamp (a v1/v2 line); merging needs v3 \
+           journals — re-run the shard to refresh them"
+          path e.Journal.je_name
+  in
+  match entries with
+  | [] -> merge_error "%s: journal is empty (cannot infer its shard)" path
+  | first :: _ ->
+      let s0 = stamp_of first in
+      List.iter
+        (fun (e : Journal.entry) ->
+          let st = stamp_of e in
+          if
+            not
+              (Shard.equal st.Journal.js_shard s0.Journal.js_shard
+              && st.Journal.js_seed = s0.Journal.js_seed
+              && st.Journal.js_rounds = s0.Journal.js_rounds)
+          then
+            merge_error
+              "%s: entry %S stamped shard=%s seed=%Ld budget=%d, but the \
+               journal opened with shard=%s seed=%Ld budget=%d (mixed \
+               configurations)"
+              path e.Journal.je_name
+              (Shard.to_string st.Journal.js_shard)
+              st.Journal.js_seed st.Journal.js_rounds
+              (Shard.to_string s0.Journal.js_shard)
+              s0.Journal.js_seed s0.Journal.js_rounds;
+          let count = s0.Journal.js_shard.Shard.sh_count in
+          let want = s0.Journal.js_shard.Shard.sh_index in
+          let got = Shard.assign ~count e.Journal.je_name in
+          if got <> want then
+            merge_error
+              "%s: target %S hashes to shard %d/%d but the journal is \
+               stamped %s (misfiled entry or renamed target)"
+              path e.Journal.je_name got count
+              (Shard.to_string s0.Journal.js_shard))
+        entries;
+      (s0, entries)
+
+let merge (paths : string list) : report =
+  if paths = [] then invalid_arg "Campaign.merge: no journals given";
+  let journals =
+    List.map (fun p -> check_journal (p, Journal.load p)) paths
+  in
+  (* Fleet-level consistency: one configuration, N disjoint slices that
+     cover 0..N-1 exactly once. *)
+  let (ref_stamp, _), ref_path =
+    (List.hd journals, List.hd paths)
+  in
+  let count = ref_stamp.Journal.js_shard.Shard.sh_count in
+  List.iter2
+    (fun (st, _) path ->
+      if
+        st.Journal.js_shard.Shard.sh_count <> count
+        || st.Journal.js_seed <> ref_stamp.Journal.js_seed
+        || st.Journal.js_rounds <> ref_stamp.Journal.js_rounds
+      then
+        merge_error
+          "%s (shard=%s seed=%Ld budget=%d) and %s (shard=%s seed=%Ld \
+           budget=%d) come from different fleet configurations"
+          ref_path
+          (Shard.to_string ref_stamp.Journal.js_shard)
+          ref_stamp.Journal.js_seed ref_stamp.Journal.js_rounds path
+          (Shard.to_string st.Journal.js_shard)
+          st.Journal.js_seed st.Journal.js_rounds)
+    journals paths;
+  let by_index = Hashtbl.create 8 in
+  List.iter2
+    (fun (st, _) path ->
+      let i = st.Journal.js_shard.Shard.sh_index in
+      match Hashtbl.find_opt by_index i with
+      | Some other ->
+          merge_error "%s and %s both claim shard %d/%d (overlapping slices)"
+            other path i count
+      | None -> Hashtbl.replace by_index i path)
+    journals paths;
+  for i = 0 to count - 1 do
+    if not (Hashtbl.mem by_index i) then
+      merge_error
+        "shard %d/%d is missing from the given journals (incomplete \
+         coverage: %d of %d shards present)"
+        i count (Hashtbl.length by_index) count
+  done;
+  (* Disjointness of the slices makes cross-journal name collisions
+     impossible once each journal passed the per-entry assign check. *)
+  of_entries (List.concat_map snd journals)
 
 (* ------------------------------------------------------------------ *)
 (* Aggregation                                                         *)
@@ -211,17 +392,42 @@ let verdict_line (e : Journal.entry) =
 let verdicts_text (r : report) =
   String.concat "" (List.map (fun e -> verdict_line e ^ "\n") r.cr_results)
 
+(* Exploit evidence is as deterministic as the verdicts (the payload is
+   a pure function of the per-target run), so this section is canonical
+   too: byte-identical across worker counts, shardings and merges. *)
+let evidence_text (r : report) =
+  let b = Buffer.create 256 in
+  List.iter
+    (fun (e : Journal.entry) ->
+      List.iter
+        (fun (f, ev) ->
+          Buffer.add_string b
+            (Printf.sprintf "%-13s %-14s %s\n" e.Journal.je_name
+               (Core.Scanner.string_of_flag f)
+               (Core.Scanner.string_of_evidence ev)))
+        e.Journal.je_exploits)
+    r.cr_results;
+  Buffer.contents b
+
 let to_text (r : report) =
   let b = Buffer.create 1024 in
-  Buffer.add_string b
-    (Printf.sprintf
-       "campaign: %d targets (%d fuzzed, %d resumed from journal), %d worker \
-        domain%s, %.2fs wall\n"
-       r.cr_requested
-       (List.length r.cr_results - r.cr_skipped)
-       r.cr_skipped r.cr_jobs
-       (if r.cr_jobs = 1 then "" else "s")
-       r.cr_wall);
+  (if r.cr_jobs = 0 then
+     Buffer.add_string b
+       (Printf.sprintf
+          "campaign: %d targets merged from journals (0 fuzzed this run)\n"
+          r.cr_requested)
+   else
+     Buffer.add_string b
+       (Printf.sprintf
+          "campaign: %d targets%s (%d fuzzed, %d resumed from journal), %d \
+           worker domain%s, %.2fs wall\n"
+          r.cr_requested
+          (if Shard.is_whole r.cr_shard then ""
+           else Printf.sprintf " in shard %s" (Shard.to_string r.cr_shard))
+          (List.length r.cr_results - r.cr_skipped)
+          r.cr_skipped r.cr_jobs
+          (if r.cr_jobs = 1 then "" else "s")
+          r.cr_wall));
   Buffer.add_string b
     (Printf.sprintf "vulnerable: %d/%d contracts, %d distinct branches explored\n"
        (vulnerable_count r)
@@ -241,4 +447,9 @@ let to_text (r : report) =
   Buffer.add_string b (Metrics.Histogram.to_string (latency_histogram r));
   Buffer.add_char b '\n';
   Buffer.add_string b (verdicts_text r);
+  let ev = evidence_text r in
+  if ev <> "" then begin
+    Buffer.add_string b "exploit evidence (replayable):\n";
+    Buffer.add_string b ev
+  end;
   Buffer.contents b

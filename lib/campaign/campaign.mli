@@ -5,11 +5,20 @@
     crash-safe {!Journal} enabling resumption after a kill, and an
     aggregation layer merging per-target outcomes into a fleet report.
 
+    Fleet scale comes from {!Shard}: a run configured with
+    [shard = i/N] fuzzes only the targets whose stable name hash lands in
+    slice [i], so N machines given the same directory and the same engine
+    configuration partition the fleet with no coordination; their
+    journals — each entry stamped with its (shard, seed, budget)
+    provenance — recombine through {!merge} into the same canonical
+    report an unsharded run would have produced.
+
     Determinism: per-target verdicts depend only on
     [(cfg_engine.cfg_rng_seed, target)] — the engine seeds each target's
     RNG from its account name (see {!Core.Engine.fuzz}) — and the report
-    is canonicalised by target name, so {!verdicts_text} is byte-identical
-    for any [cc_jobs] and any scheduling, provided
+    is canonicalised by target name, so {!verdicts_text} and
+    {!evidence_text} are byte-identical for any [cc_jobs], any
+    scheduling, and any sharding of the same target set, provided
     [cc_engine.cfg_time_limit = None]. *)
 
 module Core = Wasai_core
@@ -37,25 +46,70 @@ type config = {
           campaign; also the smoke-test budget) *)
   cc_progress : (Journal.entry -> unit) option;
       (** called under the campaign lock after each completed target *)
+  cc_shard : Shard.t;
+      (** restrict the run to this slice of the fleet
+          ({!Shard.whole} = everything) *)
 }
 
-val default_config : config
-(** [cc_jobs = 1], engine defaults, no journal, no resume, no cap. *)
+val make_config :
+  jobs:int ->
+  ?journal:string ->
+  ?resume:bool ->
+  ?max_targets:int ->
+  ?progress:(Journal.entry -> unit) ->
+  ?shard:Shard.t ->
+  engine:Core.Engine.config ->
+  unit ->
+  config
+(** The only supported way to build a {!config}: validates at
+    construction time instead of deep inside {!run}.  Raises
+    [Invalid_argument] when [jobs < 1] or when [resume] is requested
+    without a [journal].  [resume] defaults to [false], [shard] to
+    {!Shard.whole}; [journal], [max_targets] and [progress] default to
+    absent. *)
 
 type report = {
   cr_results : Journal.entry list;  (** sorted by target name *)
-  cr_requested : int;  (** targets in the input set *)
+  cr_requested : int;  (** targets in this run's (shard-filtered) input set *)
   cr_skipped : int;  (** satisfied from the journal instead of re-fuzzed *)
-  cr_jobs : int;
+  cr_jobs : int;  (** 0 for a report built purely from journals *)
   cr_wall : float;  (** campaign wall-clock, seconds *)
+  cr_shard : Shard.t;  (** the slice this report covers *)
 }
 
 val run : config -> target_spec list -> report
 (** Raises [Invalid_argument] on duplicate target names,
     {!Journal.Malformed} when resuming from a corrupt journal, and
-    [Failure] when a target's load/fuzz raised (after all workers have
-    drained; the journal keeps every target completed before the
-    failure). *)
+    [Failure] when a resumed journal was stamped under a different
+    (shard, seed, budget) configuration or when a target's load/fuzz
+    raised (after all workers have drained; the journal keeps every
+    target completed before the failure).
+
+    Targets outside [cc_shard] are filtered out before anything else:
+    they are not fuzzed, not journaled, and not counted in
+    [cr_requested]. *)
+
+val of_entries : Journal.entry list -> report
+(** Wrap already-journaled entries as a report without fuzzing anything
+    ([cr_jobs = 0]; every entry counts as skipped).  Duplicate entries per
+    name collapse to the last, as {!run}'s resume does.  The basis of
+    [wasai campaign report]. *)
+
+val merge : string list -> report
+(** Load N shard journals and recombine them into the fleet report.
+
+    Validation (all failures raise [Failure] with the offending path):
+    every entry must carry a v3 stamp; each journal must be internally
+    consistent (one stamp, and every target name must hash into the
+    stamped slice); all journals must agree on (seed, budget, shard
+    count); the shard indices must be pairwise distinct (disjointness)
+    and cover 0..N-1 (coverage).  Duplicate lines per name collapse to
+    the last, as {!run}'s resume does.  Raises {!Journal.Malformed} on a
+    corrupt journal and [Invalid_argument] on an empty path list.
+
+    Because per-target verdicts are independent of sharding, the merged
+    report's {!verdicts_text} and {!evidence_text} are byte-identical to
+    those of an unsharded run over the union of the targets. *)
 
 (** {2 Aggregation} *)
 
@@ -77,8 +131,16 @@ val latency_histogram : report -> Metrics.Histogram.t
 val verdicts_text : report -> string
 (** Canonical per-target verdict lines, sorted by name, with every
     scheduling-dependent field (latency, wall-clock) excluded — the
-    byte-identical artefact for comparing runs at different [cc_jobs]. *)
+    byte-identical artefact for comparing runs at different [cc_jobs] or
+    different shardings. *)
+
+val evidence_text : report -> string
+(** Canonical exploit-evidence lines (target, flag, replayable payload),
+    in target order then flag order; empty when nothing fired.  As
+    scheduling-independent as {!verdicts_text}: the payload behind a
+    verdict is a pure function of the per-target run. *)
 
 val to_text : report -> string
 (** Full human-readable campaign report: fleet summary, per-flag contract
-    counts, latency percentiles, then {!verdicts_text}. *)
+    counts, latency percentiles, then {!verdicts_text} and — when any
+    exploit was captured — {!evidence_text}. *)

@@ -22,25 +22,7 @@ let account_of_filename (filename : string) : Name.t =
   let name = if name = "" then "contract" else name in
   Name.of_string name
 
-let default_abi : Abi.t =
-  {
-    Abi.abi_actions =
-      [
-        Abi.transfer_action;
-        {
-          Abi.act_name = Name.of_string "deposit";
-          act_params = [ ("player", Abi.T_name); ("amount", Abi.T_u64) ];
-        };
-        {
-          Abi.act_name = Name.of_string "setup";
-          act_params = [ ("value", Abi.T_u64) ];
-        };
-        {
-          Abi.act_name = Name.of_string "reveal";
-          act_params = [ ("player", Abi.T_name) ];
-        };
-      ];
-  }
+let default_abi : Abi.t = Abi.default_profitable
 
 let read_file path =
   let ic = open_in_bin path in

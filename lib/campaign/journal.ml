@@ -1,24 +1,44 @@
 (** Crash-safe append-only journal of completed campaign targets.
 
-    Line format — tab-separated, fixed field order:
+    Three line formats share the file, all tab-separated with fixed field
+    order:
 
     {v
-    wasai-journal-v1 <name> <flags> branches=N rounds=N seeds=N
-      adaptive=N tx=N sat=N imprecise=N elapsed=F
-      [solver=q:N,b:N,u:N,h:N,m:N]
+    v1: wasai-journal-v1 <name> <flags> branches= rounds= seeds=
+          adaptive= tx= sat= imprecise= elapsed=                (11 fields)
+    v2: v1 + solver=q:N,b:N,u:N,h:N,m:N                         (12 fields)
+    v3: wasai-journal-v3 <11 v1 fields> solver= shard=i/N seed=S
+          budget=N exploits=<recs|->                            (16 fields)
     v}
 
     where [<flags>] is [FakeEOS=0,FakeNotif=1,...] covering exactly
-    {!Core.Scanner.all_flags} in order.  The trailing [solver=] field is
-    the v2 extension carrying per-target solver/cache counters; writers
-    always emit it, while the parser accepts plain v1 lines (no 12th
-    field — counters read as zero) so old journals still resume.
-    Parsing is otherwise strict: wrong magic, wrong field count, unknown
-    keys, out-of-order flags or unparseable numbers all reject the line
+    {!Core.Scanner.all_flags} in order.  The v3 extension stamps each
+    entry with its campaign provenance — the shard slice, the engine RNG
+    root seed and the round budget — so a merge can validate that input
+    journals came from one consistent fleet configuration, and persists
+    the exploit payloads behind every positive verdict ([;]-separated
+    [FLAG@channel@account@action@auth@hex] records, [-] when none) so a
+    resumed or merged report replays evidence instead of only counting
+    verdicts.
+
+    Writers emit v3 whenever the entry carries a stamp (campaign runs
+    always stamp) and legacy v2 otherwise; the parser accepts all three
+    versions, reading absent counters as zero and absent stamps/exploits
+    as none, so old journals still resume.  Parsing is otherwise strict:
+    wrong magic, wrong field count, unknown keys, out-of-order flags,
+    duplicate exploit flags or unparseable numbers all reject the line
     (so a line torn by a crash is reported, not skipped). *)
 
 module Core = Wasai_core
 module Solver = Wasai_smt.Solver
+
+(** Campaign provenance of an entry: which shard produced it, under which
+    engine configuration.  Merge validation keys on all three fields. *)
+type stamp = {
+  js_shard : Shard.t;
+  js_seed : int64;  (** engine [cfg_rng_seed] *)
+  js_rounds : int;  (** engine [cfg_rounds] budget *)
+}
 
 type entry = {
   je_name : string;
@@ -32,11 +52,14 @@ type entry = {
   je_imprecise : int;
   je_elapsed : float;
   je_solver : Solver.stats;
+  je_stamp : stamp option;
+  je_exploits : (Core.Scanner.flag * Core.Scanner.evidence) list;
 }
 
-let magic = "wasai-journal-v1"
+let magic_v1 = "wasai-journal-v1"
+let magic_v3 = "wasai-journal-v3"
 
-let of_outcome ~name ~elapsed (o : Core.Engine.outcome) =
+let of_outcome ~name ~elapsed ?stamp (o : Core.Engine.outcome) =
   {
     je_name = name;
     (* Normalise to the canonical flag order so journal lines and report
@@ -57,7 +80,27 @@ let of_outcome ~name ~elapsed (o : Core.Engine.outcome) =
     je_imprecise = o.Core.Engine.out_imprecise;
     je_elapsed = elapsed;
     je_solver = o.Core.Engine.out_solver;
+    je_stamp = stamp;
+    je_exploits =
+      (* Keep the canonical flag order here too. *)
+      List.filter_map
+        (fun f ->
+          Option.map (fun e -> (f, e))
+            (List.assoc_opt f o.Core.Engine.out_exploits))
+        Core.Scanner.all_flags;
   }
+
+let exploits_field (exploits : (Core.Scanner.flag * Core.Scanner.evidence) list)
+    =
+  match exploits with
+  | [] -> "-"
+  | _ ->
+      String.concat ";"
+        (List.map
+           (fun (f, e) ->
+             Core.Scanner.string_of_flag f ^ "@"
+             ^ Core.Scanner.evidence_to_wire e)
+           exploits)
 
 let line_of_entry (e : entry) =
   let flags =
@@ -68,9 +111,9 @@ let line_of_entry (e : entry) =
              (if b then 1 else 0))
          e.je_flags)
   in
-  String.concat "\t"
+  let common =
     [
-      magic; e.je_name; flags;
+      e.je_name; flags;
       Printf.sprintf "branches=%d" e.je_branches;
       Printf.sprintf "rounds=%d" e.je_rounds;
       Printf.sprintf "seeds=%d" e.je_seeds_total;
@@ -84,6 +127,21 @@ let line_of_entry (e : entry) =
         e.je_solver.Solver.st_unknown e.je_solver.Solver.st_cache_hits
         e.je_solver.Solver.st_cache_misses;
     ]
+  in
+  match e.je_stamp with
+  | None ->
+      (* Unstamped entries (hand-built, or parsed from an old journal)
+         keep the legacy v2 shape; exploits need a stamped v3 line. *)
+      String.concat "\t" (magic_v1 :: common)
+  | Some st ->
+      String.concat "\t"
+        ((magic_v3 :: common)
+        @ [
+            Printf.sprintf "shard=%s" (Shard.to_string st.js_shard);
+            Printf.sprintf "seed=%Ld" st.js_seed;
+            Printf.sprintf "budget=%d" st.js_rounds;
+            "exploits=" ^ exploits_field e.je_exploits;
+          ])
 
 (* ------------------------------------------------------------------ *)
 (* Strict parsing                                                      *)
@@ -147,11 +205,56 @@ let parse_solver (field : string) : (Solver.stats, string) result =
       | _ -> Error (Printf.sprintf "solver field %S: bad counters" v))
   | _ -> Error (Printf.sprintf "solver field %S: expected 5 counters" v)
 
+(* The v3 provenance stamp, three consecutive fields. *)
+let parse_stamp shard seed budget : (stamp, string) result =
+  let ( let* ) = Result.bind in
+  let* js_shard =
+    let* s = keyed "shard" Option.some shard in
+    Shard.of_string s
+  in
+  let* js_seed = keyed "seed" Int64.of_string_opt seed in
+  let* js_rounds = keyed "budget" int_of_string_opt budget in
+  Ok { js_shard; js_seed; js_rounds }
+
+(* The v3 exploit list: [-] for none, else [;]-separated
+   [FLAG@<evidence wire>] records with distinct flags. *)
+let parse_exploits (field : string) :
+    ((Core.Scanner.flag * Core.Scanner.evidence) list, string) result =
+  let ( let* ) = Result.bind in
+  let* v = keyed "exploits" Option.some field in
+  if v = "-" then Ok []
+  else
+    let parse_one rec_ =
+      match String.index_opt rec_ '@' with
+      | None -> Error (Printf.sprintf "exploit %S: missing flag" rec_)
+      | Some i -> (
+          let flag_s = String.sub rec_ 0 i in
+          let rest = String.sub rec_ (i + 1) (String.length rec_ - i - 1) in
+          match Core.Scanner.flag_of_string flag_s with
+          | None -> Error (Printf.sprintf "exploit %S: unknown flag" rec_)
+          | Some f ->
+              Result.map (fun e -> (f, e)) (Core.Scanner.evidence_of_wire rest))
+    in
+    let* exploits =
+      List.fold_left
+        (fun acc rec_ ->
+          let* acc = acc in
+          let* x = parse_one rec_ in
+          Ok (x :: acc))
+        (Ok [])
+        (String.split_on_char ';' v)
+      |> Result.map List.rev
+    in
+    let flags = List.map fst exploits in
+    if List.length (List.sort_uniq compare flags) <> List.length flags then
+      Error (Printf.sprintf "exploits field %S: duplicate flag" v)
+    else Ok exploits
+
 let entry_of_line (line : string) : (entry, string) result =
   let ( let* ) = Result.bind in
-  let parse m name flags branches rounds seeds adaptive tx sat imprecise
-      elapsed solver =
-    if m <> magic then Error (Printf.sprintf "bad magic %S" m)
+  let parse ~expect_magic m name flags branches rounds seeds adaptive tx sat
+      imprecise elapsed solver stamp exploits =
+    if m <> expect_magic then Error (Printf.sprintf "bad magic %S" m)
     else if name = "" then Error "empty target name"
     else
       let* je_flags = parse_flags flags in
@@ -169,25 +272,41 @@ let entry_of_line (line : string) : (entry, string) result =
         | None -> Ok Solver.stats_zero
         | Some s -> parse_solver s
       in
+      let* je_stamp =
+        match stamp with
+        | None -> Ok None
+        | Some (shard, seed, budget) ->
+            Result.map Option.some (parse_stamp shard seed budget)
+      in
+      let* je_exploits =
+        match exploits with None -> Ok [] | Some e -> parse_exploits e
+      in
       Ok
         {
           je_name = name; je_flags; je_branches; je_rounds; je_seeds_total;
           je_adaptive_seeds; je_transactions; je_solver_sat; je_imprecise;
-          je_elapsed; je_solver;
+          je_elapsed; je_solver; je_stamp; je_exploits;
         }
   in
   match String.split_on_char '\t' line with
   | [ m; name; flags; branches; rounds; seeds; adaptive; tx; sat; imprecise;
       elapsed ] ->
-      parse m name flags branches rounds seeds adaptive tx sat imprecise
-        elapsed None
+      parse ~expect_magic:magic_v1 m name flags branches rounds seeds adaptive
+        tx sat imprecise elapsed None None None
   | [ m; name; flags; branches; rounds; seeds; adaptive; tx; sat; imprecise;
       elapsed; solver ] ->
-      parse m name flags branches rounds seeds adaptive tx sat imprecise
-        elapsed (Some solver)
+      parse ~expect_magic:magic_v1 m name flags branches rounds seeds adaptive
+        tx sat imprecise elapsed (Some solver) None None
+  | [ m; name; flags; branches; rounds; seeds; adaptive; tx; sat; imprecise;
+      elapsed; solver; shard; seed; budget; exploits ] ->
+      parse ~expect_magic:magic_v3 m name flags branches rounds seeds adaptive
+        tx sat imprecise elapsed (Some solver)
+        (Some (shard, seed, budget))
+        (Some exploits)
   | fields ->
-      Error (Printf.sprintf "expected 11 or 12 tab-separated fields, got %d"
-               (List.length fields))
+      Error
+        (Printf.sprintf "expected 11, 12 or 16 tab-separated fields, got %d"
+           (List.length fields))
 
 exception Malformed of string
 

@@ -6,13 +6,31 @@
     The format is versioned and parsed strictly: any line that is not a
     well-formed record (including a line torn by a crash mid-write) makes
     {!load} raise {!Malformed} with the offending path, line number and
-    reason — a corrupt journal is never silently skipped over.  Writers
-    emit the v2 format (a trailing [solver=] field with per-target
-    solver/cache counters); the parser additionally accepts plain v1
-    lines, whose counters read as zero, so old journals still resume. *)
+    reason — a corrupt journal is never silently skipped over.
+
+    Stamped entries are written as v3 lines, which extend the v2 format
+    (trailing [solver=] counters) with the campaign provenance stamp
+    ([shard=i/N], the engine root [seed=], the round [budget=]) and the
+    serialized exploit payloads behind every positive verdict
+    ([exploits=]).  The stamp is what lets
+    {!Campaign.merge} check that shard journals from different machines
+    belong to one consistent fleet configuration; the exploit records are
+    what lets a resumed or merged report replay evidence.  The parser
+    additionally accepts v2 (12-field) and v1 (11-field) lines, whose
+    counters read as zero and whose stamp/exploits read as absent, so old
+    journals still resume. *)
 
 module Core = Wasai_core
 module Solver = Wasai_smt.Solver
+
+(** Campaign provenance of an entry, recorded so that merges can reject
+    journals produced under different configurations (different seeds or
+    budgets yield different verdicts for the same target). *)
+type stamp = {
+  js_shard : Shard.t;  (** the slice this entry was fuzzed under *)
+  js_seed : int64;  (** engine [cfg_rng_seed] *)
+  js_rounds : int;  (** engine [cfg_rounds] budget *)
+}
 
 (** One completed target: its verdicts plus the deterministic outcome
     counters (everything of {!Core.Engine.outcome} that the campaign
@@ -30,18 +48,29 @@ type entry = {
   je_imprecise : int;
   je_elapsed : float;  (** seconds spent fuzzing this target *)
   je_solver : Solver.stats;
-      (** per-target solver/cache counters (v2 field; zero when the
-          entry was parsed from a v1 journal line) *)
+      (** per-target solver/cache counters (zero when parsed from a v1
+          line) *)
+  je_stamp : stamp option;  (** [None] when parsed from a v1/v2 line *)
+  je_exploits : (Core.Scanner.flag * Core.Scanner.evidence) list;
+      (** exploit payload behind each positive verdict, in canonical flag
+          order (empty when parsed from a v1/v2 line) *)
 }
 
-val of_outcome : name:string -> elapsed:float -> Core.Engine.outcome -> entry
+val of_outcome :
+  name:string -> elapsed:float -> ?stamp:stamp -> Core.Engine.outcome -> entry
+(** Exploit payloads are carried over from the outcome in canonical flag
+    order; pass [~stamp] (campaign runs always do) to make them
+    persistable — {!line_of_entry} only serialises exploits on stamped v3
+    lines. *)
 
 val line_of_entry : entry -> string
-(** Single-line v2 record (12 tab-separated fields), no trailing
-    newline. *)
+(** Single-line record, no trailing newline: 16-field v3 when
+    [je_stamp] is present, legacy 12-field v2 otherwise (in which case
+    [je_exploits] is not serialised). *)
 
 val entry_of_line : string -> (entry, string) result
-(** Accepts both v1 (11-field) and v2 (12-field) lines. *)
+(** Accepts v1 (11 fields), v2 (12) and v3 (16) lines; each field is
+    validated strictly. *)
 
 exception Malformed of string
 (** Raised by {!load}; the message carries path, 1-based line number and

@@ -23,6 +23,17 @@ let string_of_channel = function
   | Ch_fake_notif -> "fake-notif"
   | Ch_action a -> "action:" ^ Name.to_string a
 
+let channel_of_string = function
+  | "genuine" -> Some Ch_genuine
+  | "direct" -> Some Ch_direct
+  | "fake-token" -> Some Ch_fake_token
+  | "fake-notif" -> Some Ch_fake_notif
+  | s when String.length s > 7 && String.sub s 0 7 = "action:" -> (
+      match Name.of_string (String.sub s 7 (String.length s - 7)) with
+      | n -> Some (Ch_action n)
+      | exception Invalid_argument _ -> None)
+  | _ -> None
+
 (* The scanner is independent of the benchmark generator, so it carries
    its own vulnerability enumeration. *)
 type flag = Fake_eos | Fake_notif | Miss_auth | Blockinfo_dep | Rollback
@@ -35,6 +46,8 @@ let string_of_flag = function
   | Miss_auth -> "MissAuth"
   | Blockinfo_dep -> "BlockinfoDep"
   | Rollback -> "Rollback"
+
+let flag_of_string s = List.find_opt (fun f -> string_of_flag f = s) all_flags
 
 (** A user-supplied detector (the §5 extension interface): it analyses
     each executed payload's trace and returns [true] when the exploit
@@ -268,6 +281,90 @@ let string_of_evidence ?(abi : Abi.t option) (e : evidence) : string =
       Printf.sprintf "%s via %s channel"
         (Wasai_eosio.Action.to_string act)
         (string_of_channel e.ev_channel)
+
+(* ------------------------------------------------------------------ *)
+(* Wire format for persisted evidence                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* '@'-separated [channel@account@action@auth1+auth2@hexdata]: none of
+   the segment alphabets (channel keywords, the EOSIO name alphabet
+   [.12345a-z], lowercase hex) contain '@' or '+', so the record needs
+   no escaping and survives inside a tab-separated journal field. *)
+
+let hex_of_string (s : string) : string =
+  let b = Buffer.create (2 * String.length s) in
+  String.iter (fun c -> Buffer.add_string b (Printf.sprintf "%02x" (Char.code c))) s;
+  Buffer.contents b
+
+let string_of_hex (h : string) : string option =
+  let digit c =
+    match c with
+    | '0' .. '9' -> Some (Char.code c - Char.code '0')
+    | 'a' .. 'f' -> Some (Char.code c - Char.code 'a' + 10)
+    | _ -> None
+  in
+  let n = String.length h in
+  if n mod 2 <> 0 then None
+  else
+    let rec go i acc =
+      if i = n then Some (Buffer.contents acc)
+      else
+        match (digit h.[i], digit h.[i + 1]) with
+        | Some hi, Some lo ->
+            Buffer.add_char acc (Char.chr ((hi * 16) + lo));
+            go (i + 2) acc
+        | _ -> None
+    in
+    go 0 (Buffer.create (n / 2))
+
+let evidence_to_wire (e : evidence) : string =
+  let a = e.ev_payload in
+  String.concat "@"
+    [
+      string_of_channel e.ev_channel;
+      Name.to_string a.Action.act_account;
+      Name.to_string a.Action.act_name;
+      String.concat "+" (List.map Name.to_string a.Action.act_auth);
+      hex_of_string a.Action.act_data;
+    ]
+
+let evidence_of_wire (s : string) : (evidence, string) result =
+  let name_of n =
+    match Name.of_string n with
+    | v -> Ok v
+    | exception Invalid_argument _ ->
+        Error (Printf.sprintf "evidence %S: bad name %S" s n)
+  in
+  let ( let* ) = Result.bind in
+  match String.split_on_char '@' s with
+  | [ ch; account; action; auth; data ] -> (
+      match channel_of_string ch with
+      | None -> Error (Printf.sprintf "evidence %S: bad channel %S" s ch)
+      | Some ev_channel -> (
+          let* act_account = name_of account in
+          let* act_name = name_of action in
+          let* act_auth =
+            if auth = "" then Ok []
+            else
+              List.fold_left
+                (fun acc n ->
+                  let* acc = acc in
+                  let* n = name_of n in
+                  Ok (n :: acc))
+                (Ok [])
+                (String.split_on_char '+' auth)
+              |> Result.map List.rev
+          in
+          match string_of_hex data with
+          | None -> Error (Printf.sprintf "evidence %S: bad hex payload" s)
+          | Some act_data ->
+              Ok
+                {
+                  ev_channel;
+                  ev_payload =
+                    { Action.act_account; act_name; act_data; act_auth };
+                }))
+  | _ -> Error (Printf.sprintf "evidence %S: expected 5 '@'-separated fields" s)
 
 (* ------------------------------------------------------------------ *)
 (* Helpers for writing custom oracles                                  *)

@@ -14,10 +14,16 @@ type channel =
 
 val string_of_channel : channel -> string
 
+val channel_of_string : string -> channel option
+(** Strict inverse of {!string_of_channel} ([None] on anything else). *)
+
 type flag = Fake_eos | Fake_notif | Miss_auth | Blockinfo_dep | Rollback
 
 val all_flags : flag list
 val string_of_flag : flag -> string
+
+val flag_of_string : string -> flag option
+(** Strict inverse of {!string_of_flag}. *)
 
 (** A user-supplied detector (the §5 extension interface): analyse each
     executed payload's trace and return [true] when the exploit event
@@ -77,6 +83,16 @@ val evidence_for : t -> flag -> evidence option
 
 val string_of_evidence : ?abi:Abi.t -> evidence -> string
 (** Render the payload; with an ABI the arguments are decoded. *)
+
+val evidence_to_wire : evidence -> string
+(** Single-token serialisation for journals:
+    [channel@account@action@auth1+auth2@hexdata].  No whitespace, tabs or
+    newlines; {!evidence_of_wire} round-trips it byte-exactly (the raw
+    payload bytes are hex-encoded). *)
+
+val evidence_of_wire : string -> (evidence, string) result
+(** Strict inverse of {!evidence_to_wire}: field count, channel keyword,
+    EOSIO names and hex payload are all validated. *)
 
 val calls_env_import : Trace.meta -> string -> Trace.record list -> bool
 (** Did the trace call the named env API?  The building block most

@@ -160,6 +160,28 @@ let transfer_action =
       [ ("from", T_name); ("to", T_name); ("quantity", T_asset); ("memo", T_string) ];
   }
 
+(** The canonical profitable-contract ABI — [transfer] plus the
+    deposit/setup/reveal trio the gambling-style templates share.  This is
+    the single source of truth for the default action set: the CLI and
+    campaign discovery fall back to it when a contract ships no ABI
+    sidecar, and the benchmark generator builds its contracts against it. *)
+let default_profitable =
+  {
+    abi_actions =
+      [
+        transfer_action;
+        {
+          act_name = Name.of_string "deposit";
+          act_params = [ ("player", T_name); ("amount", T_u64) ];
+        };
+        { act_name = Name.of_string "setup"; act_params = [ ("value", T_u64) ] };
+        {
+          act_name = Name.of_string "reveal";
+          act_params = [ ("player", T_name) ];
+        };
+      ];
+  }
+
 (* ------------------------------------------------------------------ *)
 (* Textual ABI format                                                  *)
 (* ------------------------------------------------------------------ *)

@@ -64,4 +64,13 @@ val to_text : t -> string
 val transfer_action : action_def
 (** The canonical [transfer] signature every eosponser shares. *)
 
+val default_profitable : t
+(** The canonical profitable-contract ABI:
+    [transfer(from:name,to:name,quantity:asset,memo:string)] plus
+    [deposit(player:name,amount:u64)], [setup(value:u64)] and
+    [reveal(player:name)].  The CLI and campaign discovery use it when a
+    contract ships no ABI sidecar; the benchmark generator emits its
+    contracts against the same action set, so the fallback is always
+    consistent with generated corpora. *)
+
 val token_abi : t

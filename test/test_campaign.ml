@@ -1,6 +1,7 @@
 (* Tests for the campaign orchestrator: latency histogram, work queue,
-   journal round-trip and strictness, multi-domain/serial verdict parity,
-   and interrupt/resume equivalence. *)
+   shard assignment, journal round-trip and strictness (v1/v2/v3),
+   multi-domain/serial verdict parity, interrupt/resume equivalence, and
+   distributed shard-merge identity. *)
 
 module Core = Wasai_core
 module BG = Wasai_benchgen
@@ -82,6 +83,70 @@ let test_queue_parallel_drain () =
   Alcotest.(check int) "every item taken exactly once" (n * (n + 1) / 2) total
 
 (* ------------------------------------------------------------------ *)
+(* Shard assignment                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_shard_partition () =
+  (* Every name lands in exactly one slice, for any shard count: the
+     slices are disjoint and cover the fleet. *)
+  let names =
+    List.init 60 (fun i ->
+        Printf.sprintf "acct%c%c"
+          (Char.chr (Char.code 'a' + (i mod 26)))
+          (Char.chr (Char.code 'a' + (i / 26))))
+  in
+  List.iter
+    (fun count ->
+      let shards =
+        List.init count (fun index -> Campaign.Shard.make ~index ~count)
+      in
+      List.iter
+        (fun name ->
+          let homes =
+            List.filter (fun s -> Campaign.Shard.member s name) shards
+          in
+          Alcotest.(check int)
+            (Printf.sprintf "%S in exactly one of %d slices" name count)
+            1 (List.length homes);
+          let i = Campaign.Shard.assign ~count name in
+          Alcotest.(check bool) "assign within range" true
+            (0 <= i && i < count))
+        names)
+    [ 1; 2; 3; 5; 8 ]
+
+let test_shard_hash_stable () =
+  (* The journal stamp is only portable if the hash never changes: pin
+     the FNV-1a 64 reference values. *)
+  Alcotest.(check int64) "offset basis" 0xcbf29ce484222325L
+    (Campaign.Shard.hash "");
+  Alcotest.(check int64) "fnv-1a of \"a\"" 0xaf63dc4c8601ec8cL
+    (Campaign.Shard.hash "a")
+
+let test_shard_string () =
+  List.iter
+    (fun (index, count) ->
+      let s = Campaign.Shard.make ~index ~count in
+      match Campaign.Shard.of_string (Campaign.Shard.to_string s) with
+      | Ok s' ->
+          Alcotest.(check bool)
+            (Campaign.Shard.to_string s ^ " round-trips")
+            true
+            (Campaign.Shard.equal s s')
+      | Error e -> Alcotest.fail e)
+    [ (0, 1); (0, 2); (1, 2); (7, 8) ];
+  Alcotest.(check bool) "whole is unsharded" true
+    (Campaign.Shard.is_whole Campaign.Shard.whole);
+  List.iter
+    (fun bad ->
+      match Campaign.Shard.of_string bad with
+      | Ok _ -> Alcotest.fail ("accepted bad shard " ^ bad)
+      | Error _ -> ())
+    [ ""; "1"; "a/2"; "1/"; "/2"; "2/2"; "-1/2"; "0/0"; "1/2/3"; " 1/2" ];
+  match Campaign.Shard.make ~index:2 ~count:2 with
+  | _ -> Alcotest.fail "make accepted index = count"
+  | exception Invalid_argument _ -> ()
+
+(* ------------------------------------------------------------------ *)
 (* Journal                                                              *)
 (* ------------------------------------------------------------------ *)
 
@@ -108,6 +173,41 @@ let sample_entry =
         st_cache_hits = 15;
         st_cache_misses = 29;
       };
+    je_stamp = None;
+    je_exploits = [];
+  }
+
+let sample_stamp =
+  {
+    Campaign.Journal.js_shard = Campaign.Shard.make ~index:1 ~count:4;
+    js_seed = 0x1234_5678L;
+    js_rounds = 12;
+  }
+
+let sample_evidence channel data =
+  {
+    Core.Scanner.ev_channel = channel;
+    ev_payload =
+      Action.make
+        ~account:(Name.of_string "victim")
+        ~name:(Name.of_string "transfer")
+        ~data
+        ~auth:[ Name.of_string "attacker"; Name.of_string "proxy" ];
+  }
+
+let stamped_entry =
+  {
+    sample_entry with
+    Campaign.Journal.je_stamp = Some sample_stamp;
+    je_exploits =
+      [
+        ( Core.Scanner.Fake_eos,
+          sample_evidence Core.Scanner.Ch_fake_token "\x00\x01\xfftail" );
+        ( Core.Scanner.Rollback,
+          sample_evidence
+            (Core.Scanner.Ch_action (Name.of_string "reveal"))
+            "" );
+      ];
   }
 
 let test_journal_roundtrip () =
@@ -141,20 +241,44 @@ let test_journal_v1_compat () =
         (e.Campaign.Journal.je_solver = Wasai_smt.Solver.stats_zero)
   | Error e -> Alcotest.fail ("v1 line rejected: " ^ e)
 
+let test_journal_v3_roundtrip () =
+  let line = Campaign.Journal.line_of_entry stamped_entry in
+  Alcotest.(check bool) "stamped entries serialise as v3" true
+    (String.length line > 16 && String.sub line 0 16 = "wasai-journal-v3");
+  match Campaign.Journal.entry_of_line line with
+  | Error e -> Alcotest.fail ("v3 roundtrip failed: " ^ e)
+  | Ok e ->
+      (match e.Campaign.Journal.je_stamp with
+       | None -> Alcotest.fail "stamp lost in round-trip"
+       | Some st ->
+           Alcotest.(check bool) "shard survives" true
+             (Campaign.Shard.equal st.Campaign.Journal.js_shard
+                sample_stamp.Campaign.Journal.js_shard);
+           Alcotest.(check int64) "seed survives"
+             sample_stamp.Campaign.Journal.js_seed
+             st.Campaign.Journal.js_seed;
+           Alcotest.(check int) "budget survives" 12
+             st.Campaign.Journal.js_rounds);
+      Alcotest.(check bool)
+        "exploit payloads round-trip byte-exactly (channel, action, raw data)"
+        true
+        (e.Campaign.Journal.je_exploits
+         = stamped_entry.Campaign.Journal.je_exploits)
+
+let reject line reason_fragment =
+  match Campaign.Journal.entry_of_line line with
+  | Ok _ -> Alcotest.fail ("accepted malformed line: " ^ line)
+  | Error reason ->
+      Alcotest.(check bool)
+        (Printf.sprintf "reason %S mentions %S" reason reason_fragment)
+        true
+        (contains ~sub:reason_fragment reason)
+
 let test_journal_strict () =
-  let reject line reason_fragment =
-    match Campaign.Journal.entry_of_line line with
-    | Ok _ -> Alcotest.fail ("accepted malformed line: " ^ line)
-    | Error reason ->
-        Alcotest.(check bool)
-          (Printf.sprintf "reason %S mentions %S" reason reason_fragment)
-          true
-            (contains ~sub:reason_fragment reason)
-  in
-  reject "garbage" "11 or 12 tab-separated fields";
+  reject "garbage" "11, 12 or 16 tab-separated fields";
   reject
     (Campaign.Journal.line_of_entry sample_entry ^ "\textra")
-    "11 or 12 tab-separated fields";
+    "11, 12 or 16 tab-separated fields";
   (* A line torn mid-write by a crash. *)
   let full = Campaign.Journal.line_of_entry sample_entry in
   reject (String.sub full 0 (String.length full - 20)) "field";
@@ -173,6 +297,49 @@ let test_journal_strict () =
   reject (swap_solver "solver=q:21,b:6,u:2,h:15") "5 counters";
   reject (swap_solver "solver=q:21,b:6,u:2,h:15,m:oops") "bad counters";
   reject (swap_solver "solver=q:21,b:6,u:2,m:29,h:15") "bad counters"
+
+(* The v3 stamp and exploit fields are parsed as strictly as the rest:
+   any tampered or torn value is rejected, never read as "no stamp". *)
+let test_journal_v3_strict () =
+  let full = Campaign.Journal.line_of_entry stamped_entry in
+  let swap prefix replacement =
+    String.concat "\t"
+      (String.split_on_char '\t' full
+      |> List.map (fun f ->
+             if
+               String.length f >= String.length prefix
+               && String.sub f 0 (String.length prefix) = prefix
+             then replacement
+             else f))
+  in
+  reject (swap "shard=" "shard=4/4") "index 4 outside";
+  reject (swap "shard=" "shard=1-4") "shard";
+  reject (swap "seed=" "seed=banana") "seed";
+  reject (swap "budget=" "budget=") "budget";
+  (* Truncated v3 (15 fields) is neither v2 nor v3. *)
+  (match List.rev (String.split_on_char '\t' full) with
+   | _ :: rest ->
+       reject
+         (String.concat "\t" (List.rev rest))
+         "11, 12 or 16 tab-separated fields"
+   | [] -> assert false);
+  (* Exploit records: flag, channel, names and hex are all validated. *)
+  let wire =
+    Core.Scanner.evidence_to_wire (sample_evidence Core.Scanner.Ch_direct "ab")
+  in
+  reject (swap "exploits=" "exploits=") "flag";
+  reject (swap "exploits=" ("exploits=Bogus@" ^ wire)) "unknown flag";
+  reject
+    (swap "exploits="
+       ("exploits=FakeEOS@" ^ wire ^ ";FakeEOS@" ^ wire))
+    "duplicate flag";
+  reject (swap "exploits=" "exploits=FakeEOS@direct@victim@transfer@@zz") "hex";
+  reject
+    (swap "exploits=" "exploits=FakeEOS@direct@VICTIM@transfer@@6162")
+    "bad name";
+  reject
+    (swap "exploits=" "exploits=FakeEOS@carrier@victim@transfer@@6162")
+    "channel"
 
 let test_journal_load_malformed () =
   let path = Filename.temp_file "wasai-test" ".journal" in
@@ -211,12 +378,15 @@ let test_targets ~count =
       })
     (BG.Corpus.coverage_set ~count ())
 
-let campaign_config ~jobs =
-  {
-    Campaign.Campaign.default_config with
-    Campaign.Campaign.cc_jobs = jobs;
-    cc_engine = { Core.Engine.default_config with Core.Engine.cfg_rounds = 6 };
-  }
+let campaign_config ?journal ?resume ?max_targets ?shard ~jobs () =
+  Campaign.Campaign.make_config ~jobs ?journal ?resume ?max_targets ?shard
+    ~engine:{ Core.Engine.default_config with Core.Engine.cfg_rounds = 6 }
+    ()
+
+let temp_journal tag =
+  let j = Filename.temp_file ("wasai-test-" ^ tag) ".journal" in
+  Sys.remove j;
+  j
 
 let flag_sets (r : Campaign.Campaign.report) =
   List.map
@@ -226,10 +396,18 @@ let flag_sets (r : Campaign.Campaign.report) =
           e.Campaign.Journal.je_flags ))
     r.Campaign.Campaign.cr_results
 
+let test_make_config_validation () =
+  (match campaign_config ~jobs:0 () with
+   | _ -> Alcotest.fail "jobs = 0 accepted"
+   | exception Invalid_argument _ -> ());
+  match campaign_config ~resume:true ~jobs:1 () with
+  | _ -> Alcotest.fail "resume without a journal accepted"
+  | exception Invalid_argument _ -> ()
+
 let test_parallel_parity () =
   let targets = test_targets ~count:8 in
-  let serial = Campaign.Campaign.run (campaign_config ~jobs:1) targets in
-  let parallel = Campaign.Campaign.run (campaign_config ~jobs:4) targets in
+  let serial = Campaign.Campaign.run (campaign_config ~jobs:1 ()) targets in
+  let parallel = Campaign.Campaign.run (campaign_config ~jobs:4 ()) targets in
   Alcotest.(check int) "all targets fuzzed" 8
     (List.length parallel.Campaign.Campaign.cr_results);
   Alcotest.(check bool) "per-contract flag sets identical" true
@@ -240,28 +418,21 @@ let test_parallel_parity () =
 
 let test_resume () =
   let targets = test_targets ~count:8 in
-  let uninterrupted = Campaign.Campaign.run (campaign_config ~jobs:2) targets in
-  let journal = Filename.temp_file "wasai-test" ".journal" in
-  Sys.remove journal;
+  let uninterrupted =
+    Campaign.Campaign.run (campaign_config ~jobs:2 ()) targets
+  in
+  let journal = temp_journal "resume" in
   (* "Kill" the campaign after 5 targets by budget, then resume. *)
   let interrupted =
     Campaign.Campaign.run
-      {
-        (campaign_config ~jobs:2) with
-        Campaign.Campaign.cc_journal = Some journal;
-        cc_max_targets = Some 5;
-      }
+      (campaign_config ~journal ~max_targets:5 ~jobs:2 ())
       targets
   in
   Alcotest.(check int) "interrupted at 5" 5
     (List.length interrupted.Campaign.Campaign.cr_results);
   let resumed =
     Campaign.Campaign.run
-      {
-        (campaign_config ~jobs:2) with
-        Campaign.Campaign.cc_journal = Some journal;
-        cc_resume = true;
-      }
+      (campaign_config ~journal ~resume:true ~jobs:2 ())
       targets
   in
   Alcotest.(check int) "resume skips the journaled 5" 5
@@ -275,20 +446,11 @@ let test_resume () =
   (* A journal appended to by a non-resume rerun holds duplicate lines per
      name; resume must collapse them, not double-count. *)
   let _rerun_without_resume =
-    Campaign.Campaign.run
-      {
-        (campaign_config ~jobs:1) with
-        Campaign.Campaign.cc_journal = Some journal;
-      }
-      targets
+    Campaign.Campaign.run (campaign_config ~journal ~jobs:1 ()) targets
   in
   let resumed_again =
     Campaign.Campaign.run
-      {
-        (campaign_config ~jobs:1) with
-        Campaign.Campaign.cc_journal = Some journal;
-        cc_resume = true;
-      }
+      (campaign_config ~journal ~resume:true ~jobs:1 ())
       targets
   in
   Alcotest.(check int) "duplicate journal lines collapse on resume" 8
@@ -306,22 +468,121 @@ let test_resume_rejects_corrupt_journal () =
   close_out oc;
   (match
      Campaign.Campaign.run
-       {
-         (campaign_config ~jobs:1) with
-         Campaign.Campaign.cc_journal = Some journal;
-         cc_resume = true;
-       }
+       (campaign_config ~journal ~resume:true ~jobs:1 ())
        targets
    with
    | _ -> Alcotest.fail "campaign resumed from a corrupt journal"
    | exception Campaign.Journal.Malformed _ -> ());
   Sys.remove journal
 
+(* Resuming under a different engine configuration would silently mix
+   verdicts computed under different budgets; the stamp catches it. *)
+let test_resume_rejects_mismatched_stamp () =
+  let targets = test_targets ~count:4 in
+  let journal = temp_journal "mismatch" in
+  let _ = Campaign.Campaign.run (campaign_config ~journal ~jobs:1 ()) targets in
+  let other_budget =
+    Campaign.Campaign.make_config ~jobs:1 ~journal ~resume:true
+      ~engine:{ Core.Engine.default_config with Core.Engine.cfg_rounds = 7 }
+      ()
+  in
+  (match Campaign.Campaign.run other_budget targets with
+   | _ -> Alcotest.fail "resumed a journal recorded under a different budget"
+   | exception Failure msg ->
+       Alcotest.(check bool) "refuses to mix configurations" true
+         (contains ~sub:"refusing to mix configurations" msg));
+  Sys.remove journal
+
 let test_duplicate_names_rejected () =
   let t = List.hd (test_targets ~count:1) in
-  match Campaign.Campaign.run (campaign_config ~jobs:1) [ t; t ] with
+  match Campaign.Campaign.run (campaign_config ~jobs:1 ()) [ t; t ] with
   | _ -> Alcotest.fail "duplicate target names accepted"
   | exception Invalid_argument _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Distributed sharding and journal merge                               *)
+(* ------------------------------------------------------------------ *)
+
+let run_shard ~count ~index ~journal targets =
+  Campaign.Campaign.run
+    (campaign_config ~journal
+       ~shard:(Campaign.Shard.make ~index ~count)
+       ~jobs:2 ())
+    targets
+
+(* The acceptance bar of the sharding redesign: fuzzing shard 0/2 and
+   1/2 on "separate machines" (separate journals) and merging must
+   reproduce the unsharded run's canonical verdict AND exploit-evidence
+   sections byte-for-byte — evidence having round-tripped through the v3
+   wire format on the way. *)
+let test_shard_merge_identity () =
+  let targets = test_targets ~count:8 in
+  let unsharded = Campaign.Campaign.run (campaign_config ~jobs:2 ()) targets in
+  let j0 = temp_journal "shard0" and j1 = temp_journal "shard1" in
+  let r0 = run_shard ~count:2 ~index:0 ~journal:j0 targets in
+  let r1 = run_shard ~count:2 ~index:1 ~journal:j1 targets in
+  Alcotest.(check int) "slices cover the fleet" 8
+    (r0.Campaign.Campaign.cr_requested + r1.Campaign.Campaign.cr_requested);
+  Alcotest.(check bool) "both slices non-empty" true
+    (r0.Campaign.Campaign.cr_requested > 0
+     && r1.Campaign.Campaign.cr_requested > 0);
+  (* Order of the journal arguments must not matter. *)
+  let merged = Campaign.Campaign.merge [ j1; j0 ] in
+  Alcotest.(check string) "verdicts byte-identical to the unsharded run"
+    (Campaign.Campaign.verdicts_text unsharded)
+    (Campaign.Campaign.verdicts_text merged);
+  Alcotest.(check string) "exploit evidence byte-identical too"
+    (Campaign.Campaign.evidence_text unsharded)
+    (Campaign.Campaign.evidence_text merged);
+  Alcotest.(check bool) "evidence section non-empty" true
+    (String.length (Campaign.Campaign.evidence_text merged) > 0);
+  Alcotest.(check bool) "every vulnerable target carries a payload" true
+    (List.for_all
+       (fun (e : Campaign.Journal.entry) ->
+         (not (List.exists snd e.Campaign.Journal.je_flags))
+         || e.Campaign.Journal.je_exploits <> [])
+       merged.Campaign.Campaign.cr_results);
+  Sys.remove j0;
+  Sys.remove j1
+
+let expect_merge_failure name journals frag =
+  match Campaign.Campaign.merge journals with
+  | _ -> Alcotest.fail (name ^ ": merge accepted an inconsistent fleet")
+  | exception Failure msg ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: %S mentions %S" name msg frag)
+        true (contains ~sub:frag msg)
+
+let test_merge_validation () =
+  let targets = test_targets ~count:8 in
+  let j0 = temp_journal "val0" and j1 = temp_journal "val1" in
+  let _ = run_shard ~count:2 ~index:0 ~journal:j0 targets in
+  let _ = run_shard ~count:2 ~index:1 ~journal:j1 targets in
+  expect_merge_failure "same slice twice" [ j0; j0 ] "overlapping";
+  expect_merge_failure "missing slice" [ j0 ] "missing";
+  (* A shard fuzzed under a different seed is a different fleet. *)
+  let j2 = temp_journal "val2" in
+  let other_seed =
+    Campaign.Campaign.make_config ~jobs:1 ~journal:j2
+      ~shard:(Campaign.Shard.make ~index:1 ~count:2)
+      ~engine:
+        {
+          Core.Engine.default_config with
+          Core.Engine.cfg_rounds = 6;
+          cfg_rng_seed = 99L;
+        }
+      ()
+  in
+  let _ = Campaign.Campaign.run other_seed targets in
+  expect_merge_failure "seed mismatch" [ j0; j2 ]
+    "different fleet configurations";
+  (* Unstamped (v1/v2) entries cannot prove which slice they belong to. *)
+  let j3 = temp_journal "val3" in
+  let oc = open_out j3 in
+  output_string oc (Campaign.Journal.line_of_entry sample_entry ^ "\n");
+  close_out oc;
+  expect_merge_failure "unstamped entries" [ j3 ] "no shard stamp";
+  List.iter Sys.remove [ j0; j1; j2; j3 ]
 
 (* ------------------------------------------------------------------ *)
 (* Discovery                                                            *)
@@ -348,23 +609,44 @@ let () =
           Alcotest.test_case "fifo and close" `Quick test_queue_fifo_and_close;
           Alcotest.test_case "parallel drain" `Quick test_queue_parallel_drain;
         ] );
+      ( "shard",
+        [
+          Alcotest.test_case "partition for any N" `Quick test_shard_partition;
+          Alcotest.test_case "hash pinned to FNV-1a 64" `Quick
+            test_shard_hash_stable;
+          Alcotest.test_case "i/N notation" `Quick test_shard_string;
+        ] );
       ( "journal",
         [
           Alcotest.test_case "roundtrip" `Quick test_journal_roundtrip;
           Alcotest.test_case "v1 lines still parse" `Quick
             test_journal_v1_compat;
+          Alcotest.test_case "v3 roundtrip (stamp + exploits)" `Quick
+            test_journal_v3_roundtrip;
           Alcotest.test_case "strict parse" `Quick test_journal_strict;
+          Alcotest.test_case "strict v3 parse" `Quick test_journal_v3_strict;
           Alcotest.test_case "load rejects malformed" `Quick
             test_journal_load_malformed;
         ] );
       ( "campaign",
         [
+          Alcotest.test_case "config validation" `Quick
+            test_make_config_validation;
           Alcotest.test_case "parallel/serial parity" `Quick test_parallel_parity;
           Alcotest.test_case "interrupt and resume" `Quick test_resume;
           Alcotest.test_case "corrupt journal rejected" `Quick
             test_resume_rejects_corrupt_journal;
+          Alcotest.test_case "mismatched stamp rejected" `Quick
+            test_resume_rejects_mismatched_stamp;
           Alcotest.test_case "duplicate names rejected" `Quick
             test_duplicate_names_rejected;
+        ] );
+      ( "merge",
+        [
+          Alcotest.test_case "2-shard merge is byte-identical" `Quick
+            test_shard_merge_identity;
+          Alcotest.test_case "inconsistent fleets rejected" `Quick
+            test_merge_validation;
         ] );
       ( "discover",
         [
