@@ -4,15 +4,19 @@
     Usage: [main.exe [experiment] [--scale N] [--rounds N] [--count N]]
 
     Experiments: fig3 table4 table5 table6 rq4 ablation solver campaign
-    campaign-smoke shard shard-smoke micro all (default: all).  [--scale]
+    campaign-smoke shard shard-smoke corpus corpus-smoke micro all
+    (default: all).  [--scale]
     divides the corpus sizes (default 20; use [--full] for the paper-sized
     corpora — minutes of CPU).  [campaign] measures multi-domain scaling
-    (1/2/4 workers) over a generated corpus; [campaign-smoke] is a <10 s
+    (1/2/4 workers) over a generated corpus plus an LPT-vs-name-order
+    scheduling datapoint; [campaign-smoke] is a <10 s
     parity + resume check; [shard] measures distributed 2/4-way sharding
     against an unsharded baseline and verifies merge identity;
     [shard-smoke] is a <10 s 2-shard merge byte-identity check; [solver]
     is a <10 s cache-on/off microbenchmark over a repeated-flip
-    workload. *)
+    workload; [corpus] measures warm-vs-cold rounds-to-verdict with the
+    persistent seed corpus; [corpus-smoke] is a <10 s warm-reuse parity
+    check. *)
 
 open Wasai_support
 module BG = Wasai_benchgen
@@ -429,12 +433,19 @@ let campaign_account i =
   go i;
   Wasai_eosio.Name.of_string (Buffer.contents b)
 
-let campaign_targets ~count =
+let campaign_targets ?(sized = true) ~count () =
   List.mapi
     (fun i (s : BG.Corpus.sample) ->
       let account = campaign_account i in
       {
         Campaign.Campaign.sp_name = Wasai_eosio.Name.to_string account;
+        (* Encoded byte size feeds the campaign's biggest-first (LPT)
+           scheduling; [sized:false] zeroes it to get plain name order
+           for the scheduling comparison. *)
+        sp_size =
+          (if sized then
+             String.length (Wasai_wasm.Encode.encode s.BG.Corpus.smp_module)
+           else 0);
         sp_load =
           (fun () ->
             {
@@ -459,7 +470,7 @@ let campaign_exp (opts : options) =
     count rounds;
   Printf.printf "hardware: %d recommended domain(s)\n%!"
     (Domain.recommended_domain_count ());
-  let targets = campaign_targets ~count in
+  let targets = campaign_targets ~count () in
   let runs =
     List.map
       (fun jobs ->
@@ -482,13 +493,33 @@ let campaign_exp (opts : options) =
   Printf.printf "fleet: %d/%d vulnerable, %d total branches\n"
     (Campaign.Campaign.vulnerable_count serial)
     count
-    (Campaign.Campaign.total_branches serial)
+    (Campaign.Campaign.total_branches serial);
+  (* Long-tail scheduling datapoint: biggest-module-first (LPT) vs plain
+     name order at 4 domains.  Same targets, same verdicts; only the
+     enqueue order — and hence the makespan — differs. *)
+  let lpt =
+    Campaign.Campaign.run (campaign_config ~rounds ~jobs:4 ()) targets
+  in
+  let unsorted =
+    Campaign.Campaign.run
+      (campaign_config ~rounds ~jobs:4 ())
+      (campaign_targets ~sized:false ~count ())
+  in
+  Printf.printf
+    "  scheduling (4 domains): LPT makespan=%.2fs vs name-order=%.2fs \
+     (%.2fx); verdicts identical: %b\n"
+    lpt.Campaign.Campaign.cr_wall unsorted.Campaign.Campaign.cr_wall
+    (unsorted.Campaign.Campaign.cr_wall
+    /. Float.max 1e-9 lpt.Campaign.Campaign.cr_wall)
+    (String.equal
+       (Campaign.Campaign.verdicts_text lpt)
+       (Campaign.Campaign.verdicts_text unsorted))
 
 (* Quick local verification (<10 s): a tiny corpus through the parallel
    path plus an interrupt/resume round-trip on a throwaway journal. *)
 let campaign_smoke () =
   Printf.printf "\n=== Campaign smoke (parallel parity + resume) ===\n%!";
-  let targets = campaign_targets ~count:6 in
+  let targets = campaign_targets ~count:6 () in
   let rounds = 6 in
   let full =
     Campaign.Campaign.run (campaign_config ~rounds ~jobs:2 ()) targets
@@ -564,7 +595,7 @@ let shard_exp (opts : options) =
     "\n=== Campaign: distributed sharding over %d generated contracts (%d \
      rounds each) ===\n%!"
     count rounds;
-  let targets = campaign_targets ~count in
+  let targets = campaign_targets ~count () in
   let unsharded =
     Campaign.Campaign.run (campaign_config ~rounds ~jobs:1 ()) targets
   in
@@ -596,7 +627,7 @@ let shard_exp (opts : options) =
    exploit payloads round-tripped through the v3 journal. *)
 let shard_smoke () =
   Printf.printf "\n=== Shard smoke (2 shards + merge vs unsharded) ===\n%!";
-  let targets = campaign_targets ~count:8 in
+  let targets = campaign_targets ~count:8 () in
   let rounds = 6 in
   let unsharded =
     Campaign.Campaign.run (campaign_config ~rounds ~jobs:2 ()) targets
@@ -622,6 +653,195 @@ let shard_smoke () =
        (List.map (fun (n, w) -> Printf.sprintf "%d targets %.2fs" n w) walls))
     (List.length merged.Campaign.Campaign.cr_results)
     vulnerable exploits verdicts_ok evidence_ok
+    (if ok then "OK" else "MISMATCH");
+  if not ok then exit 1
+
+(* ------------------------------------------------------------------ *)
+(* Corpus: persistent seed reuse (warm vs cold)                         *)
+(* ------------------------------------------------------------------ *)
+
+module SeedCorpus = Wasai_corpus.Corpus
+
+let preload_of_outcome (o : Core.Engine.outcome) =
+  List.map
+    (fun (i : Core.Engine.interesting) ->
+      (i.Core.Engine.is_action, i.Core.Engine.is_args))
+    o.Core.Engine.out_interesting
+
+let fired_flags (o : Core.Engine.outcome) = List.filter snd o.Core.Engine.out_flags
+
+(* The quantity a preload actually saves: solver runs (quick-path +
+   bit-blasted).  Replayed seeds re-open the prior run's branches
+   without re-deriving the flips that found them, so a warm run's
+   feedback loop has far less left to solve.  Verdict *rounds* are the
+   wrong axis: they are bounded below by cross-round chain mechanics
+   (db-gated actions need a writer round before the reader, the action
+   schedule cycles mod |actions|) that replaying seeds cannot shortcut. *)
+let solver_runs (o : Core.Engine.outcome) =
+  o.Core.Engine.out_solver.Wasai_smt.Solver.st_quick
+  + o.Core.Engine.out_solver.Wasai_smt.Solver.st_blasted
+
+(* Engine-level warm-vs-cold over one sample: fuzz cold, preload the
+   cold run's interesting seeds, fuzz again. *)
+let warm_cold ~rounds (s : BG.Corpus.sample) =
+  let cfg =
+    {
+      Core.Engine.default_config with
+      Core.Engine.cfg_rounds = rounds;
+      cfg_rng_seed = Int64.of_int s.BG.Corpus.smp_id;
+    }
+  in
+  let cold = Core.Engine.fuzz ~cfg (target_of_sample s) in
+  let warm =
+    Core.Engine.fuzz
+      ~cfg:{ cfg with Core.Engine.cfg_preload = preload_of_outcome cold }
+      (target_of_sample s)
+  in
+  (cold, warm)
+
+let corpus_exp (opts : options) =
+  let count = max 16 opts.opt_fig3_contracts in
+  let rounds = opts.opt_rounds in
+  Printf.printf
+    "\n=== Corpus: cross-run seed reuse over %d generated contracts (%d \
+     rounds each) ===\n%!"
+    count rounds;
+  (* Engine level: solver runs to the same verdict set, cold vs warm. *)
+  let cold_q, warm_q, cold_vr, warm_vr, parity, seeds =
+    List.fold_left
+      (fun (cq, wq, cv, wv, ok, n) s ->
+        let cold, warm = warm_cold ~rounds s in
+        ( cq + solver_runs cold,
+          wq + solver_runs warm,
+          cv + max 1 cold.Core.Engine.out_verdict_round,
+          wv + max 1 warm.Core.Engine.out_verdict_round,
+          ok && fired_flags cold = fired_flags warm,
+          n + List.length cold.Core.Engine.out_interesting ))
+      (0, 0, 0, 0, true, 0)
+      (BG.Corpus.coverage_set ~count ())
+  in
+  Printf.printf
+    "  engine: cold solver runs=%d, warm (preloaded)=%d -> %.2fx fewer; \
+     verdict parity: %b; rounds-to-verdict cold=%d warm=%d; %d \
+     interesting seeds\n"
+    cold_q warm_q
+    (float_of_int cold_q /. float_of_int (max 1 warm_q))
+    parity cold_vr warm_vr seeds;
+  (* Campaign level: a cold campaign fills the corpus file; warm reruns
+     must reproduce the verdict flags, byte-identically across --jobs. *)
+  let targets = campaign_targets ~count () in
+  let corpus_file = Filename.temp_file "wasai-corpus" ".seeds" in
+  Sys.remove corpus_file;
+  let campaign ~jobs ~corpus =
+    Campaign.Campaign.run
+      (Campaign.Campaign.make_config ~jobs ~corpus
+         ~engine:
+           { Core.Engine.default_config with Core.Engine.cfg_rounds = rounds }
+         ())
+      targets
+  in
+  let cold_r = campaign ~jobs:2 ~corpus:corpus_file in
+  let warm1_file = corpus_file ^ ".w1" and warm2_file = corpus_file ^ ".w2" in
+  let copy src dst = SeedCorpus.save (SeedCorpus.load src) dst in
+  copy corpus_file warm1_file;
+  copy corpus_file warm2_file;
+  let warm1 = campaign ~jobs:1 ~corpus:warm1_file in
+  let warm2 = campaign ~jobs:2 ~corpus:warm2_file in
+  let stored = SeedCorpus.load corpus_file in
+  let minimized = SeedCorpus.minimize stored in
+  (* Flag parity per target: chain state is part of a trace, so a replay
+     can steer a warm run onto a trajectory that misses (or adds) a
+     state-dependent flag.  Report the distribution, not a boolean. *)
+  let flag_lines r =
+    List.filter
+      (fun l -> l <> "")
+      (String.split_on_char '\n' (Campaign.Campaign.flags_text r))
+  in
+  let agree =
+    List.fold_left2
+      (fun n c w -> if String.equal c w then n + 1 else n)
+      0 (flag_lines cold_r) (flag_lines warm1)
+  in
+  let total = List.length (flag_lines cold_r) in
+  Printf.printf
+    "  campaign: %d seeds stored cold; warm preloaded %d; flag parity \
+     warm-vs-cold: %d/%d targets; warm verdicts byte-identical across \
+     jobs 1/2: %b\n"
+    cold_r.Campaign.Campaign.cr_corpus_added
+    warm1.Campaign.Campaign.cr_corpus_preloaded agree total
+    (String.equal
+       (Campaign.Campaign.verdicts_text warm1)
+       (Campaign.Campaign.verdicts_text warm2));
+  Printf.printf "  minimize: %d -> %d seeds (greedy set cover)\n"
+    (SeedCorpus.size stored) (SeedCorpus.size minimized);
+  List.iter Sys.remove [ corpus_file; warm1_file; warm2_file ]
+
+(* Quick local verification (<10 s): a warm rerun must reach the cold
+   run's exact verdict set with at least 2x fewer solver runs in
+   aggregate, campaign warm/cold flag parity must hold byte-for-byte and
+   stay byte-identical across worker counts, and minimize must preserve
+   the per-target edge union. *)
+let corpus_smoke () =
+  Printf.printf "\n=== Corpus smoke (warm seed reuse + parity) ===\n%!";
+  let rounds = 8 in
+  let samples = BG.Corpus.coverage_set ~count:6 () in
+  let cold_sum, warm_sum, parity =
+    List.fold_left
+      (fun (c, w, ok) s ->
+        let cold, warm = warm_cold ~rounds s in
+        ( c + solver_runs cold,
+          w + solver_runs warm,
+          ok && fired_flags cold = fired_flags warm ))
+      (0, 0, true) samples
+  in
+  let targets = campaign_targets ~count:6 () in
+  let corpus_file = Filename.temp_file "wasai-smoke" ".seeds" in
+  Sys.remove corpus_file;
+  let campaign ~jobs ~corpus =
+    Campaign.Campaign.run
+      (Campaign.Campaign.make_config ~jobs ~corpus
+         ~engine:
+           { Core.Engine.default_config with Core.Engine.cfg_rounds = rounds }
+         ())
+      targets
+  in
+  let cold_r = campaign ~jobs:2 ~corpus:corpus_file in
+  let warm1_file = corpus_file ^ ".w1" and warm2_file = corpus_file ^ ".w2" in
+  let copy src dst = SeedCorpus.save (SeedCorpus.load src) dst in
+  copy corpus_file warm1_file;
+  copy corpus_file warm2_file;
+  let warm1 = campaign ~jobs:1 ~corpus:warm1_file in
+  let warm2 = campaign ~jobs:2 ~corpus:warm2_file in
+  let stored = SeedCorpus.load corpus_file in
+  let minimized = SeedCorpus.minimize stored in
+  let flags_ok =
+    String.equal
+      (Campaign.Campaign.flags_text cold_r)
+      (Campaign.Campaign.flags_text warm1)
+  in
+  let jobs_ok =
+    String.equal
+      (Campaign.Campaign.verdicts_text warm1)
+      (Campaign.Campaign.verdicts_text warm2)
+  in
+  let minimize_ok =
+    SeedCorpus.size minimized <= SeedCorpus.size stored
+    && SeedCorpus.targets minimized = SeedCorpus.targets stored
+    && List.for_all
+         (fun target ->
+           SeedCorpus.edge_union (SeedCorpus.records_for minimized ~target)
+           = SeedCorpus.edge_union (SeedCorpus.records_for stored ~target))
+         (SeedCorpus.targets stored)
+  in
+  let speedup_ok = 2 * warm_sum <= cold_sum in
+  List.iter Sys.remove [ corpus_file; warm1_file; warm2_file ];
+  let ok = parity && flags_ok && jobs_ok && minimize_ok && speedup_ok in
+  Printf.printf
+    "cold solver runs=%d warm=%d (>=2x fewer: %b); verdict parity: %b; \
+     campaign flags warm=cold: %b; warm verdicts identical jobs 1/2: %b; \
+     minimize %d -> %d keeps coverage: %b -> %s\n"
+    cold_sum warm_sum speedup_ok parity flags_ok jobs_ok
+    (SeedCorpus.size stored) (SeedCorpus.size minimized) minimize_ok
     (if ok then "OK" else "MISMATCH");
   if not ok then exit 1
 
@@ -733,6 +953,8 @@ let () =
     | "campaign-smoke" -> campaign_smoke ()
     | "shard" -> shard_exp opts
     | "shard-smoke" -> shard_smoke ()
+    | "corpus" -> corpus_exp opts
+    | "corpus-smoke" -> corpus_smoke ()
     | "micro" -> micro ()
     | "all" ->
         fig3 opts;
@@ -744,6 +966,7 @@ let () =
         solver_exp ();
         campaign_exp opts;
         shard_exp opts;
+        corpus_exp opts;
         micro ()
     | other -> Printf.eprintf "unknown experiment %s\n" other
   in

@@ -9,11 +9,17 @@
     - [campaign]   fleet campaigns, noun-verb style:
                    [campaign run DIR] fuzzes a directory (or its
                    [--shard i/N] slice) over N domains with a crash-safe
-                   journal and [--resume]; [campaign merge J1 J2 ...]
-                   validates and merges shard journals into the fleet
-                   report; [campaign report] rebuilds a report from a
-                   journal without fuzzing.  Bare [campaign DIR] is a
-                   deprecated alias for [campaign run DIR]
+                   journal, [--resume], an optional persistent seed
+                   [--corpus] and a [--dry-run] plan printer;
+                   [campaign merge J1 J2 ...] validates and merges shard
+                   journals into the fleet report; [campaign report]
+                   rebuilds a report from a journal without fuzzing.
+                   Bare [campaign DIR] is a deprecated alias for
+                   [campaign run DIR]
+    - [corpus]     seed-corpus maintenance: [corpus stats FILE] summarises
+                   coverage, [corpus minimize FILE] rewrites the file to a
+                   greedy set-cover subset, [corpus import DST SRC...]
+                   merges corpora with signature dedupe
 
     ABI files use the textual format of {!Wasai_eosio.Abi.of_text}:
     one action per line, e.g. [transfer(from:name,to:name,quantity:asset,memo:string)]. *)
@@ -23,6 +29,7 @@ module Wasm = Wasai_wasm
 module Core = Wasai_core
 module BG = Wasai_benchgen
 module Campaign = Wasai_campaign
+module Corpus = Wasai_corpus.Corpus
 open Wasai_eosio
 
 let read_file path =
@@ -198,7 +205,8 @@ let emit_campaign_report out (report : Campaign.Campaign.report) =
    | None -> print_string text);
   if Campaign.Campaign.vulnerable_count report > 0 then exit 1
 
-let campaign_run_cmd ~deprecated common dir rounds resume shard seed =
+let campaign_run_cmd ~deprecated common dir rounds resume shard seed corpus
+    dry_run =
   if deprecated then
     Printf.eprintf
       "wasai campaign: the bare form is deprecated, use `wasai campaign run`\n%!";
@@ -226,7 +234,7 @@ let campaign_run_cmd ~deprecated common dir rounds resume shard seed =
       common.co_jobs recommended;
   let cfg =
     Campaign.Campaign.make_config ~jobs:common.co_jobs
-      ~journal:common.co_journal ~resume ~shard
+      ~journal:common.co_journal ~resume ~shard ?corpus
       ~progress:(fun (e : Campaign.Journal.entry) ->
         incr finished;
         Printf.eprintf "  [%d/%d] %s done (%.2fs)\n%!" !finished total
@@ -239,9 +247,22 @@ let campaign_run_cmd ~deprecated common dir rounds resume shard seed =
         }
       ()
   in
+  if dry_run then begin
+    (* Print the scheduling decision (shard slices, resume skips, LPT
+       order, corpus preloads) and stop before loading any contract. *)
+    (try print_string (Campaign.Campaign.plan_text (Campaign.Campaign.plan cfg targets))
+     with
+     | Campaign.Journal.Malformed msg | Corpus.Malformed msg ->
+         Printf.eprintf "campaign: %s\n" msg;
+         exit 2
+     | Failure msg ->
+         Printf.eprintf "%s\n" msg;
+         exit 2);
+    exit 0
+  end;
   let report =
     try Campaign.Campaign.run cfg targets with
-    | Campaign.Journal.Malformed msg ->
+    | Campaign.Journal.Malformed msg | Corpus.Malformed msg ->
         Printf.eprintf "campaign: %s\n" msg;
         exit 2
     | Failure msg ->
@@ -276,6 +297,48 @@ let campaign_report_cmd common =
       exit 2
   in
   emit_campaign_report common.co_out report
+
+(* ---- corpus ---------------------------------------------------------- *)
+
+let corpus_load_or_fail path =
+  if not (Sys.file_exists path) then begin
+    Printf.eprintf "corpus: no corpus file at %s\n" path;
+    exit 2
+  end;
+  try Corpus.load path
+  with Corpus.Malformed msg ->
+    Printf.eprintf "corpus: %s\n" msg;
+    exit 2
+
+let corpus_stats_cmd path = print_string (Corpus.stats_text (corpus_load_or_fail path))
+
+let corpus_minimize_cmd path out dry_run =
+  let c = corpus_load_or_fail path in
+  let m = Corpus.minimize c in
+  Printf.printf "corpus minimize: %d -> %d seeds (edge coverage preserved)\n"
+    (Corpus.size c) (Corpus.size m);
+  if not dry_run then begin
+    let dst = Option.value ~default:path out in
+    Corpus.save m dst;
+    Printf.eprintf "minimized corpus written to %s\n" dst
+  end
+
+let corpus_import_cmd dst srcs =
+  let c = if Sys.file_exists dst then corpus_load_or_fail dst else Corpus.create () in
+  let before = Corpus.size c in
+  List.iter
+    (fun src ->
+      let s = corpus_load_or_fail src in
+      let added =
+        List.fold_left
+          (fun n r -> if Corpus.add c r then n + 1 else n)
+          0 (Corpus.records s)
+      in
+      Printf.printf "  %s: %d seeds, %d new\n" src (Corpus.size s) added)
+    srcs;
+  Corpus.save c dst;
+  Printf.printf "corpus import: %d -> %d seeds in %s\n" before (Corpus.size c)
+    dst
 
 (* ---- baseline -------------------------------------------------------- *)
 
@@ -444,10 +507,33 @@ let campaign_run_term ~deprecated =
             "Engine root RNG seed; every shard of one fleet must use the \
              same value (merge validates it).")
   in
+  let corpus =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "corpus" ] ~docv:"FILE"
+          ~doc:
+            "Persistent seed corpus: preload each target's queue with its \
+             stored coverage-bearing seeds, and append the new ones this \
+             run discovers (crash-safe; the file is created on first \
+             use).  A warm rerun replays the recorded coverage instead of \
+             rediscovering it.")
+  in
+  let dry_run =
+    Arg.(
+      value & flag
+      & info [ "dry-run" ]
+          ~doc:
+            "Print the scheduling plan — shard assignment, resume skips, \
+             execution order (biggest module first) and per-target corpus \
+             preloads — then exit without fuzzing anything.")
+  in
   Term.(
-    const (fun common dir rounds resume shard seed ->
-        campaign_run_cmd ~deprecated common dir rounds resume shard seed)
-    $ campaign_common_t $ dir $ rounds_arg $ resume $ shard $ seed)
+    const (fun common dir rounds resume shard seed corpus dry_run ->
+        campaign_run_cmd ~deprecated common dir rounds resume shard seed
+          corpus dry_run)
+    $ campaign_common_t $ dir $ rounds_arg $ resume $ shard $ seed $ corpus
+    $ dry_run)
 
 let campaign_t =
   let run_t =
@@ -493,6 +579,65 @@ let campaign_t =
     ~default:(campaign_run_term ~deprecated:true)
     [ run_t; merge_t; report_t ]
 
+let corpus_t =
+  let corpus_pos =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"CORPUS")
+  in
+  let stats_t =
+    Cmd.v
+      (Cmd.info "stats"
+         ~doc:
+           "Summarise a seed corpus: per-target seed counts, distinct \
+            branch edges covered, and provenance spread")
+      Term.(const corpus_stats_cmd $ corpus_pos)
+  in
+  let minimize_t =
+    let out =
+      Arg.(
+        value
+        & opt (some string) None
+        & info [ "o"; "out" ] ~docv:"FILE"
+            ~doc:"Write the minimized corpus here instead of rewriting \
+                  $(i,CORPUS) in place.")
+    in
+    let dry_run =
+      Arg.(
+        value & flag
+        & info [ "dry-run" ]
+            ~doc:"Report the reduction without writing anything.")
+    in
+    Cmd.v
+      (Cmd.info "minimize"
+         ~doc:
+           "Reduce a corpus to a greedy set-cover subset: the smallest \
+            seeds-first selection whose union still covers every recorded \
+            branch edge per target (deterministic)")
+      Term.(const corpus_minimize_cmd $ corpus_pos $ out $ dry_run)
+  in
+  let import_t =
+    let srcs =
+      Arg.(
+        non_empty & pos_right 0 file []
+        & info [] ~docv:"SRC"
+            ~doc:"Corpora to fold into $(i,CORPUS) (e.g. from other fleet \
+                  machines).")
+    in
+    Cmd.v
+      (Cmd.info "import"
+         ~doc:
+           "Merge seed corpora: fold every $(i,SRC) into $(i,CORPUS), \
+            deduplicating by (target, coverage signature); $(i,CORPUS) is \
+            created if absent")
+      Term.(const corpus_import_cmd $ corpus_pos $ srcs)
+  in
+  Cmd.group
+    (Cmd.info "corpus"
+       ~doc:
+         "Seed-corpus maintenance: $(b,stats), $(b,minimize) (greedy \
+          set-cover), $(b,import) (cross-machine merge).  The corpus file \
+          itself is written by `wasai campaign run --corpus`")
+    [ stats_t; minimize_t; import_t ]
+
 let () =
   (* `wasai campaign DIR` is the deprecated alias for `wasai campaign run
      DIR`.  Cmdliner's group dispatch rejects DIR as an unknown command
@@ -526,5 +671,5 @@ let () =
        (Cmd.group info
           [
             analyze_t; gen_t; dump_t; build_t; instrument_t; baseline_t; scan_t;
-            campaign_t;
+            campaign_t; corpus_t;
           ]))

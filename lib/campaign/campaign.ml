@@ -13,9 +13,11 @@
 module Core = Wasai_core
 module Solver = Wasai_smt.Solver
 module Metrics = Wasai_support.Metrics
+module Corpus = Wasai_corpus.Corpus
 
 type target_spec = {
   sp_name : string;
+  sp_size : int;
   sp_load : unit -> Core.Engine.target;
 }
 
@@ -27,10 +29,11 @@ type config = {
   cc_max_targets : int option;
   cc_progress : (Journal.entry -> unit) option;
   cc_shard : Shard.t;
+  cc_corpus : string option;
 }
 
 let make_config ~jobs ?journal ?(resume = false) ?max_targets ?progress
-    ?(shard = Shard.whole) ~engine () =
+    ?(shard = Shard.whole) ?corpus ~engine () =
   if jobs < 1 then
     invalid_arg (Printf.sprintf "Campaign.make_config: jobs %d < 1" jobs);
   if resume && journal = None then
@@ -45,6 +48,7 @@ let make_config ~jobs ?journal ?(resume = false) ?max_targets ?progress
     cc_max_targets = max_targets;
     cc_progress = progress;
     cc_shard = shard;
+    cc_corpus = corpus;
   }
 
 type report = {
@@ -54,6 +58,8 @@ type report = {
   cr_jobs : int;
   cr_wall : float;
   cr_shard : Shard.t;
+  cr_corpus_preloaded : int;
+  cr_corpus_added : int;
 }
 
 let take n xs =
@@ -72,31 +78,30 @@ let stamp_of_config (cfg : config) : Journal.stamp =
     js_rounds = cfg.cc_engine.Core.Engine.cfg_rounds;
   }
 
-let run (cfg : config) (targets : target_spec list) : report =
+let check_unique (caller : string) (targets : target_spec list) =
   let seen = Hashtbl.create 64 in
   List.iter
     (fun t ->
       if Hashtbl.mem seen t.sp_name then
         invalid_arg
           (Printf.sprintf
-             "Campaign.run: duplicate target name %S (the journal and the \
+             "Campaign.%s: duplicate target name %S (the journal and the \
               report are keyed by name)"
-             t.sp_name);
+             caller t.sp_name);
       Hashtbl.replace seen t.sp_name ())
     targets;
-  (* Shard first: every later count (requested, fuzzed, skipped) describes
-     this machine's slice, and names outside it never touch the journal. *)
-  let targets = List.filter (fun t -> Shard.member cfg.cc_shard t.sp_name) targets in
-  let stamp = stamp_of_config cfg in
-  (* Resume: a target is done iff its line reached the journal. *)
+  seen
+
+(* Resume: a target is done iff its line reached the journal.  A journal
+   written under a different fleet configuration would mix verdicts that
+   no single run could produce; unstamped (v1/v2) entries predate
+   provenance and are trusted as before. *)
+let load_prior (cfg : config) (stamp : Journal.stamp) : Journal.entry list =
   let prior =
     match cfg.cc_journal with
     | Some path when cfg.cc_resume && Sys.file_exists path -> Journal.load path
     | _ -> []
   in
-  (* A journal written under a different fleet configuration would mix
-     verdicts that no single run could produce; unstamped (v1/v2) entries
-     predate provenance and are trusted as before. *)
   List.iter
     (fun (e : Journal.entry) ->
       match e.Journal.je_stamp with
@@ -115,6 +120,67 @@ let run (cfg : config) (targets : target_spec list) : report =
                stamp.Journal.js_seed stamp.Journal.js_rounds)
       | _ -> ())
     prior;
+  prior
+
+let load_corpus (cfg : config) : Corpus.t =
+  match cfg.cc_corpus with
+  | Some path when Sys.file_exists path -> Corpus.load path
+  | _ -> Corpus.create ()
+
+(* Long-tail mitigation: biggest module first (classic LPT scheduling),
+   so one huge contract never starts last and serialises the tail of the
+   campaign.  Ties — including every spec with an unknown size of 0 —
+   keep a deterministic name order.  The order only affects scheduling:
+   verdicts are per-target and the report is canonicalised by name. *)
+let order_targets (targets : target_spec list) : target_spec list =
+  List.sort
+    (fun a b ->
+      match compare b.sp_size a.sp_size with
+      | 0 -> compare a.sp_name b.sp_name
+      | c -> c)
+    targets
+
+(* The corpus seeds each member target would preload, resolved once up
+   front; workers read the table concurrently but never write it. *)
+let preloads_of (corpus : Corpus.t) (targets : target_spec list) =
+  let preloads = Hashtbl.create 64 in
+  List.iter
+    (fun t ->
+      match Corpus.preload corpus ~target:t.sp_name with
+      | [] -> ()
+      | seeds -> Hashtbl.replace preloads t.sp_name seeds)
+    targets;
+  preloads
+
+let corpus_records_of ~(name : string) (stamp : Journal.stamp)
+    (o : Core.Engine.outcome) : Corpus.record list =
+  List.map
+    (fun (i : Core.Engine.interesting) ->
+      {
+        Corpus.rc_target = name;
+        rc_action = i.Core.Engine.is_action;
+        rc_args = i.Core.Engine.is_args;
+        rc_sig = i.Core.Engine.is_signature;
+        rc_cover = i.Core.Engine.is_cover;
+        rc_new_edges = i.Core.Engine.is_new_edges;
+        rc_round = i.Core.Engine.is_round;
+        rc_shard =
+          ( stamp.Journal.js_shard.Shard.sh_index,
+            stamp.Journal.js_shard.Shard.sh_count );
+        rc_seed = stamp.Journal.js_seed;
+        rc_rounds = stamp.Journal.js_rounds;
+        rc_solver = o.Core.Engine.out_solver;
+        rc_solver_budget = o.Core.Engine.out_final_budget;
+      })
+    o.Core.Engine.out_interesting
+
+let run (cfg : config) (targets : target_spec list) : report =
+  let seen = check_unique "run" targets in
+  (* Shard first: every later count (requested, fuzzed, skipped) describes
+     this machine's slice, and names outside it never touch the journal. *)
+  let targets = List.filter (fun t -> Shard.member cfg.cc_shard t.sp_name) targets in
+  let stamp = stamp_of_config cfg in
+  let prior = load_prior cfg stamp in
   let done_ = Hashtbl.create 64 in
   List.iter (fun (e : Journal.entry) -> Hashtbl.replace done_ e.Journal.je_name e) prior;
   (* Journal entries for targets outside this run's input set are ignored,
@@ -129,15 +195,25 @@ let run (cfg : config) (targets : target_spec list) : report =
       done_ []
   in
   let remaining =
-    List.filter (fun t -> not (Hashtbl.mem done_ t.sp_name)) targets
+    order_targets (List.filter (fun t -> not (Hashtbl.mem done_ t.sp_name)) targets)
   in
   let remaining =
     match cfg.cc_max_targets with
     | Some n -> take (max 0 n) remaining
     | None -> remaining
   in
+  (* The corpus is read once, up front: the preload each target receives
+     is a pure function of the corpus file at campaign start, identical
+     for every worker count and schedule. *)
+  let corpus = load_corpus cfg in
+  let preloads = preloads_of corpus remaining in
+  let corpus_preloaded =
+    Hashtbl.fold (fun _ seeds acc -> acc + List.length seeds) preloads 0
+  in
+  let corpus_writer = Option.map Corpus.Writer.open_ cfg.cc_corpus in
+  let corpus_added = ref 0 in
   let queue = Work_queue.create () in
-  List.iter (Work_queue.push queue) remaining;
+  Work_queue.push_all queue remaining;
   Work_queue.close queue;
   let writer = Option.map Journal.open_writer cfg.cc_journal in
   let lock = Mutex.create () in
@@ -151,15 +227,42 @@ let run (cfg : config) (targets : target_spec list) : report =
       | Some spec ->
           (try
              let target = spec.sp_load () in
+             let ecfg =
+               match Hashtbl.find_opt preloads spec.sp_name with
+               | Some seeds ->
+                   { cfg.cc_engine with Core.Engine.cfg_preload = seeds }
+               | None -> cfg.cc_engine
+             in
              let s0 = Unix.gettimeofday () in
-             let o = Core.Engine.fuzz ~cfg:cfg.cc_engine target in
+             let o = Core.Engine.fuzz ~cfg:ecfg target in
              let entry =
                Journal.of_outcome ~name:spec.sp_name
                  ~elapsed:(Unix.gettimeofday () -. s0)
                  ~stamp o
              in
+             let crecs =
+               match corpus_writer with
+               | None -> []
+               | Some _ -> corpus_records_of ~name:spec.sp_name stamp o
+             in
              Mutex.protect lock (fun () ->
-                 (* Journal first: the entry must be durable before the
+                 (* Corpus seeds first, then the journal line: once the
+                    target is journaled as done, a resumed campaign never
+                    re-fuzzes it, so its seeds must already be durable.
+                    The in-memory corpus (mutated only here, under the
+                    campaign lock) dedupes against both the loaded file
+                    and this run's earlier inserts. *)
+                 (match corpus_writer with
+                  | Some w ->
+                      List.iter
+                        (fun r ->
+                          if Corpus.add corpus r then begin
+                            Corpus.Writer.append w r;
+                            incr corpus_added
+                          end)
+                        crecs
+                  | None -> ());
+                 (* Journal next: the entry must be durable before the
                     target is reported as done. *)
                  Option.iter (fun w -> Journal.append w entry) writer;
                  results := entry :: !results;
@@ -178,6 +281,7 @@ let run (cfg : config) (targets : target_spec list) : report =
   worker ();
   List.iter Domain.join domains;
   Option.iter Journal.close_writer writer;
+  Option.iter Corpus.Writer.close corpus_writer;
   (match List.rev !failures with
    | [] -> ()
    | (name, msg) :: rest ->
@@ -196,7 +300,128 @@ let run (cfg : config) (targets : target_spec list) : report =
     cr_jobs = jobs;
     cr_wall = Unix.gettimeofday () -. t0;
     cr_shard = cfg.cc_shard;
+    cr_corpus_preloaded = corpus_preloaded;
+    cr_corpus_added = !corpus_added;
   }
+
+(* ------------------------------------------------------------------ *)
+(* Dry-run planning                                                    *)
+(* ------------------------------------------------------------------ *)
+
+type plan_row = {
+  pr_name : string;
+  pr_size : int;
+  pr_shard : int;
+  pr_member : bool;
+  pr_done : bool;
+  pr_order : int option;
+  pr_preload : int;
+}
+
+type plan = {
+  pl_rows : plan_row list;
+  pl_shard : Shard.t;
+  pl_jobs : int;
+}
+
+(* Everything [run] would decide before spawning a single worker, without
+   loading or fuzzing anything: shard membership, resume skips, LPT
+   execution order and per-target corpus preloads. *)
+let plan (cfg : config) (targets : target_spec list) : plan =
+  ignore (check_unique "plan" targets);
+  let stamp = stamp_of_config cfg in
+  let prior = load_prior cfg stamp in
+  let done_ = Hashtbl.create 64 in
+  List.iter
+    (fun (e : Journal.entry) -> Hashtbl.replace done_ e.Journal.je_name ())
+    prior;
+  let corpus = load_corpus cfg in
+  let count = cfg.cc_shard.Shard.sh_count in
+  let row ?order t =
+    let member = Shard.member cfg.cc_shard t.sp_name in
+    {
+      pr_name = t.sp_name;
+      pr_size = t.sp_size;
+      pr_shard = Shard.assign ~count t.sp_name;
+      pr_member = member;
+      pr_done = member && Hashtbl.mem done_ t.sp_name;
+      pr_order = order;
+      pr_preload =
+        (if member then List.length (Corpus.preload corpus ~target:t.sp_name)
+         else 0);
+    }
+  in
+  (* Fresh member targets lead, in the exact order [run] would enqueue
+     them; everything else (done, foreign, capped out) follows in name
+     order for context. *)
+  let fresh =
+    let ordered =
+      order_targets
+        (List.filter
+           (fun t ->
+             Shard.member cfg.cc_shard t.sp_name
+             && not (Hashtbl.mem done_ t.sp_name))
+           targets)
+    in
+    match cfg.cc_max_targets with
+    | Some n -> take (max 0 n) ordered
+    | None -> ordered
+  in
+  let planned = Hashtbl.create 64 in
+  List.iter (fun t -> Hashtbl.replace planned t.sp_name ()) fresh;
+  let rest =
+    List.sort
+      (fun a b -> compare a.sp_name b.sp_name)
+      (List.filter (fun t -> not (Hashtbl.mem planned t.sp_name)) targets)
+  in
+  {
+    pl_rows =
+      List.mapi (fun i t -> row ~order:(i + 1) t) fresh @ List.map row rest;
+    pl_shard = cfg.cc_shard;
+    pl_jobs = max 1 cfg.cc_jobs;
+  }
+
+let plan_text (p : plan) =
+  let b = Buffer.create 512 in
+  let fuzzed = List.filter (fun r -> r.pr_order <> None) p.pl_rows in
+  Buffer.add_string b
+    (Printf.sprintf
+       "campaign plan (dry run): %d targets, %d to fuzz%s, %d worker domain%s\n"
+       (List.length p.pl_rows) (List.length fuzzed)
+       (if Shard.is_whole p.pl_shard then ""
+        else Printf.sprintf " in shard %s" (Shard.to_string p.pl_shard))
+       p.pl_jobs
+       (if p.pl_jobs = 1 then "" else "s"))
+  ;
+  let preload_total =
+    List.fold_left (fun acc r -> acc + r.pr_preload) 0 fuzzed
+  in
+  Buffer.add_string b
+    (Printf.sprintf "corpus preload: %d seed%s across %d target%s\n"
+       preload_total
+       (if preload_total = 1 then "" else "s")
+       (List.length (List.filter (fun r -> r.pr_preload > 0) fuzzed))
+       (if List.length fuzzed = 1 then "" else "s"));
+  Buffer.add_string b
+    "order name          size     shard  status        preload\n";
+  List.iter
+    (fun r ->
+      let status =
+        if not r.pr_member then "foreign"
+        else if r.pr_done then "done (resume)"
+        else if r.pr_order = None then "capped"
+        else "fuzz"
+      in
+      let order =
+        match r.pr_order with
+        | Some n -> Printf.sprintf "%5d" n
+        | None -> "    -"
+      in
+      Buffer.add_string b
+        (Printf.sprintf "%s %-13s %8d %2d/%-2d  %-13s %7d\n" order r.pr_name
+           r.pr_size r.pr_shard p.pl_shard.Shard.sh_count status r.pr_preload))
+    p.pl_rows;
+  Buffer.contents b
 
 (* ------------------------------------------------------------------ *)
 (* Reports from journals: merge                                        *)
@@ -228,6 +453,8 @@ let of_entries (entries : Journal.entry list) : report =
     cr_jobs = 0;
     cr_wall = 0.0;
     cr_shard = Shard.whole;
+    cr_corpus_preloaded = 0;
+    cr_corpus_added = 0;
   }
 
 let merge_error fmt = Printf.ksprintf (fun s -> failwith ("campaign merge: " ^ s)) fmt
@@ -375,7 +602,7 @@ let verdict_line (e : Journal.entry) =
   let st = e.Journal.je_solver in
   Printf.sprintf
     "%-13s %-40s branches=%d rounds=%d seeds=%d adaptive=%d tx=%d sat=%d \
-     imprecise=%d quick=%d blast=%d unk=%d hits=%d misses=%d"
+     imprecise=%d quick=%d blast=%d unk=%d hits=%d misses=%d fb=%d"
     e.Journal.je_name
     (match fired with
      | [] -> "ok"
@@ -387,10 +614,29 @@ let verdict_line (e : Journal.entry) =
     e.Journal.je_adaptive_seeds e.Journal.je_transactions
     e.Journal.je_solver_sat e.Journal.je_imprecise st.Solver.st_quick
     st.Solver.st_blasted st.Solver.st_unknown st.Solver.st_cache_hits
-    st.Solver.st_cache_misses
+    st.Solver.st_cache_misses e.Journal.je_final_budget
 
 let verdicts_text (r : report) =
   String.concat "" (List.map (fun e -> verdict_line e ^ "\n") r.cr_results)
+
+(* The counter-free canonical artifact: verdict flags only.  Warm and cold
+   runs over the same corpus reach identical verdicts in different numbers
+   of rounds/seeds, so the full [verdicts_text] cannot be compared across
+   corpus states — this projection can. *)
+let flags_line (e : Journal.entry) =
+  let fired =
+    List.filter_map (fun (f, b) -> if b then Some f else None) e.Journal.je_flags
+  in
+  Printf.sprintf "%-13s %s" e.Journal.je_name
+    (match fired with
+     | [] -> "ok"
+     | fs ->
+         "VULNERABLE ["
+         ^ String.concat "; " (List.map Core.Scanner.string_of_flag fs)
+         ^ "]")
+
+let flags_text (r : report) =
+  String.concat "" (List.map (fun e -> flags_line e ^ "\n") r.cr_results)
 
 (* Exploit evidence is as deterministic as the verdicts (the payload is
    a pure function of the per-target run), so this section is canonical
@@ -444,6 +690,10 @@ let to_text (r : report) =
        st.Solver.st_quick st.Solver.st_blasted st.Solver.st_unknown
        (Metrics.rate_string ~hits:st.Solver.st_cache_hits
           ~total:(st.Solver.st_cache_hits + st.Solver.st_cache_misses)));
+  if r.cr_corpus_preloaded > 0 || r.cr_corpus_added > 0 then
+    Buffer.add_string b
+      (Printf.sprintf "corpus: %d seeds preloaded, %d new seeds recorded\n"
+         r.cr_corpus_preloaded r.cr_corpus_added);
   Buffer.add_string b (Metrics.Histogram.to_string (latency_histogram r));
   Buffer.add_char b '\n';
   Buffer.add_string b (verdicts_text r);

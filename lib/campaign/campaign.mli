@@ -24,11 +24,17 @@
 module Core = Wasai_core
 module Solver = Wasai_smt.Solver
 module Metrics = Wasai_support.Metrics
+module Corpus = Wasai_corpus.Corpus
 
 type target_spec = {
   sp_name : string;
       (** campaign-unique identity; doubles as the deployment account, so
           it must be a valid EOSIO name (the RNG seed derives from it) *)
+  sp_size : int;
+      (** module byte size (0 when unknown) — the long-tail scheduling
+          heuristic: fresh targets are enqueued biggest-first (LPT), so
+          one huge contract never serialises the campaign tail.  Affects
+          only scheduling, never verdicts. *)
   sp_load : unit -> Core.Engine.target;
       (** called in the worker domain, so parsing/generation cost is paid
           in parallel too *)
@@ -49,6 +55,12 @@ type config = {
   cc_shard : Shard.t;
       (** restrict the run to this slice of the fleet
           ({!Shard.whole} = everything) *)
+  cc_corpus : string option;
+      (** persistent seed-corpus file ({!Corpus}): loaded once at campaign
+          start to preload each fresh target's queue with its stored
+          interesting seeds, and appended to (crash-safely, under the
+          campaign lock) with every new coverage-bearing seed this run
+          discovers.  The file need not exist yet. *)
 }
 
 val make_config :
@@ -58,6 +70,7 @@ val make_config :
   ?max_targets:int ->
   ?progress:(Journal.entry -> unit) ->
   ?shard:Shard.t ->
+  ?corpus:string ->
   engine:Core.Engine.config ->
   unit ->
   config
@@ -65,8 +78,8 @@ val make_config :
     construction time instead of deep inside {!run}.  Raises
     [Invalid_argument] when [jobs < 1] or when [resume] is requested
     without a [journal].  [resume] defaults to [false], [shard] to
-    {!Shard.whole}; [journal], [max_targets] and [progress] default to
-    absent. *)
+    {!Shard.whole}; [journal], [max_targets], [progress] and [corpus]
+    default to absent. *)
 
 type report = {
   cr_results : Journal.entry list;  (** sorted by target name *)
@@ -75,11 +88,16 @@ type report = {
   cr_jobs : int;  (** 0 for a report built purely from journals *)
   cr_wall : float;  (** campaign wall-clock, seconds *)
   cr_shard : Shard.t;  (** the slice this report covers *)
+  cr_corpus_preloaded : int;
+      (** corpus seeds handed to fresh targets' queues before generation *)
+  cr_corpus_added : int;
+      (** new seeds this run appended to the corpus (post-dedupe) *)
 }
 
 val run : config -> target_spec list -> report
 (** Raises [Invalid_argument] on duplicate target names,
-    {!Journal.Malformed} when resuming from a corrupt journal, and
+    {!Journal.Malformed} when resuming from a corrupt journal,
+    {!Corpus.Malformed} when [cc_corpus] exists but is corrupt, and
     [Failure] when a resumed journal was stamped under a different
     (shard, seed, budget) configuration or when a target's load/fuzz
     raised (after all workers have drained; the journal keeps every
@@ -87,7 +105,18 @@ val run : config -> target_spec list -> report
 
     Targets outside [cc_shard] are filtered out before anything else:
     they are not fuzzed, not journaled, and not counted in
-    [cr_requested]. *)
+    [cr_requested].  Fresh targets are fuzzed biggest-first ([sp_size]
+    descending, name ascending on ties).
+
+    With [cc_corpus] set, each fresh target's engine queue is preloaded
+    with the corpus seeds stored for it ({!Corpus.preload}), and every
+    interesting seed the engine reports is deduped into the corpus and
+    appended to the file {e before} the target's journal line — a
+    journaled target is never re-fuzzed on resume, so its seeds must
+    already be durable.  Preloads are resolved from the corpus file as
+    it stood at campaign start, so verdicts remain a pure function of
+    (engine seed, target, corpus state): {!verdicts_text} is still
+    byte-identical across [cc_jobs] for a fixed starting corpus. *)
 
 val of_entries : Journal.entry list -> report
 (** Wrap already-journaled entries as a report without fuzzing anything
@@ -111,6 +140,40 @@ val merge : string list -> report
     report's {!verdicts_text} and {!evidence_text} are byte-identical to
     those of an unsharded run over the union of the targets. *)
 
+(** {2 Dry-run planning} *)
+
+type plan_row = {
+  pr_name : string;
+  pr_size : int;  (** module byte size ([sp_size]) *)
+  pr_shard : int;  (** the slice {!Shard.assign} maps this name to *)
+  pr_member : bool;  (** belongs to this run's [cc_shard] *)
+  pr_done : bool;  (** member already satisfied by the resume journal *)
+  pr_order : int option;
+      (** 1-based position in the execution order, [None] when the target
+          would not be fuzzed (foreign shard, resumed, or capped by
+          [cc_max_targets]) *)
+  pr_preload : int;  (** corpus seeds this target's queue would receive *)
+}
+
+type plan = {
+  pl_rows : plan_row list;
+      (** targets to fuzz first (in execution order), then the rest in
+          name order *)
+  pl_shard : Shard.t;
+  pl_jobs : int;
+}
+
+val plan : config -> target_spec list -> plan
+(** Everything {!run} would decide before spawning a worker — shard
+    membership, resume skips, LPT execution order, per-target corpus
+    preloads — without loading or fuzzing anything.  Raises exactly the
+    input-validation errors {!run} would ([Invalid_argument] on duplicate
+    names, journal/corpus load failures). *)
+
+val plan_text : plan -> string
+(** Human-readable rendering of {!plan}: summary lines then one row per
+    target.  The basis of [wasai campaign run --dry-run]. *)
+
 (** {2 Aggregation} *)
 
 val flag_counts : report -> (Core.Scanner.flag * int) list
@@ -132,7 +195,14 @@ val verdicts_text : report -> string
 (** Canonical per-target verdict lines, sorted by name, with every
     scheduling-dependent field (latency, wall-clock) excluded — the
     byte-identical artefact for comparing runs at different [cc_jobs] or
-    different shardings. *)
+    different shardings (for a fixed starting corpus state). *)
+
+val flags_text : report -> string
+(** The counter-free projection of {!verdicts_text}: one line per target
+    with only its name and verdict flags.  Warm (corpus-preloaded) and
+    cold runs reach the same verdicts in different numbers of rounds and
+    seeds, so their full verdict lines differ; this projection is the
+    byte-identical artefact for comparing them. *)
 
 val evidence_text : report -> string
 (** Canonical exploit-evidence lines (target, flag, replayable payload),

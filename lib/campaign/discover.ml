@@ -68,5 +68,12 @@ let dir (path : string) : Campaign.target_spec list =
                 other f name)
        | None -> Hashtbl.replace by_account name f);
       let full = Filename.concat path f in
-      { Campaign.sp_name = name; sp_load = (fun () -> load_target ~account full) })
+      (* The file's byte size is the long-tail scheduling heuristic: the
+         campaign starts the biggest module first. *)
+      let size = try (Unix.stat full).Unix.st_size with Unix.Unix_error _ -> 0 in
+      {
+        Campaign.sp_name = name;
+        sp_size = size;
+        sp_load = (fun () -> load_target ~account full);
+      })
     contracts

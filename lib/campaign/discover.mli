@@ -19,7 +19,9 @@ val default_abi : Wasai_eosio.Abi.t
 
 val dir : string -> Campaign.target_spec list
 (** All [*.wasm] and [*.wat] files under [path] (not recursive), sorted by
-    filename; parsing is deferred to the worker via [sp_load].  Raises
+    filename; [sp_size] is the file's byte size (the campaign's
+    biggest-first scheduling heuristic) and parsing is deferred to the
+    worker via [sp_load].  Raises
     [Failure] when two files map to the same account name (rename one:
     campaign journals are keyed by the derived name) and [Sys_error] when
     the directory cannot be read. *)

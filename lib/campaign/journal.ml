@@ -1,6 +1,6 @@
 (** Crash-safe append-only journal of completed campaign targets.
 
-    Three line formats share the file, all tab-separated with fixed field
+    Four line formats share the file, all tab-separated with fixed field
     order:
 
     {v
@@ -9,6 +9,8 @@
     v2: v1 + solver=q:N,b:N,u:N,h:N,m:N                         (12 fields)
     v3: wasai-journal-v3 <11 v1 fields> solver= shard=i/N seed=S
           budget=N exploits=<recs|->                            (16 fields)
+    v4: v3 with magic wasai-journal-v4 and a sixth solver counter
+          solver=q:N,b:N,u:N,h:N,m:N,fb:N                       (16 fields)
     v}
 
     where [<flags>] is [FakeEOS=0,FakeNotif=1,...] covering exactly
@@ -19,13 +21,16 @@
     the exploit payloads behind every positive verdict ([;]-separated
     [FLAG@channel@account@action@auth@hex] records, [-] when none) so a
     resumed or merged report replays evidence instead of only counting
-    verdicts.
+    verdicts.  The v4 extension appends the engine's final adaptively
+    retuned solver conflict budget as the [fb] counter of the [solver=]
+    field (the field count stays 16, which is why the magic changes).
 
-    Writers emit v3 whenever the entry carries a stamp (campaign runs
-    always stamp) and legacy v2 otherwise; the parser accepts all three
+    Writers emit v4 whenever the entry carries a stamp (campaign runs
+    always stamp) and legacy v2 otherwise; the parser accepts all four
     versions, reading absent counters as zero and absent stamps/exploits
     as none, so old journals still resume.  Parsing is otherwise strict:
-    wrong magic, wrong field count, unknown keys, out-of-order flags,
+    wrong magic, wrong field count, a [fb] counter on a v3 line or a
+    missing one on a v4 line, unknown keys, out-of-order flags,
     duplicate exploit flags or unparseable numbers all reject the line
     (so a line torn by a crash is reported, not skipped). *)
 
@@ -52,12 +57,15 @@ type entry = {
   je_imprecise : int;
   je_elapsed : float;
   je_solver : Solver.stats;
+  je_final_budget : int;
+      (** the engine's final adaptive solver budget (0 on pre-v4 lines) *)
   je_stamp : stamp option;
   je_exploits : (Core.Scanner.flag * Core.Scanner.evidence) list;
 }
 
 let magic_v1 = "wasai-journal-v1"
 let magic_v3 = "wasai-journal-v3"
+let magic_v4 = "wasai-journal-v4"
 
 let of_outcome ~name ~elapsed ?stamp (o : Core.Engine.outcome) =
   {
@@ -80,6 +88,7 @@ let of_outcome ~name ~elapsed ?stamp (o : Core.Engine.outcome) =
     je_imprecise = o.Core.Engine.out_imprecise;
     je_elapsed = elapsed;
     je_solver = o.Core.Engine.out_solver;
+    je_final_budget = o.Core.Engine.out_final_budget;
     je_stamp = stamp;
     je_exploits =
       (* Keep the canonical flag order here too. *)
@@ -111,7 +120,7 @@ let line_of_entry (e : entry) =
              (if b then 1 else 0))
          e.je_flags)
   in
-  let common =
+  let common ~with_budget =
     [
       e.je_name; flags;
       Printf.sprintf "branches=%d" e.je_branches;
@@ -122,20 +131,22 @@ let line_of_entry (e : entry) =
       Printf.sprintf "sat=%d" e.je_solver_sat;
       Printf.sprintf "imprecise=%d" e.je_imprecise;
       Printf.sprintf "elapsed=%.6f" e.je_elapsed;
-      Printf.sprintf "solver=q:%d,b:%d,u:%d,h:%d,m:%d"
+      Printf.sprintf "solver=q:%d,b:%d,u:%d,h:%d,m:%d%s"
         e.je_solver.Solver.st_quick e.je_solver.Solver.st_blasted
         e.je_solver.Solver.st_unknown e.je_solver.Solver.st_cache_hits
-        e.je_solver.Solver.st_cache_misses;
+        e.je_solver.Solver.st_cache_misses
+        (if with_budget then Printf.sprintf ",fb:%d" e.je_final_budget else "");
     ]
   in
   match e.je_stamp with
   | None ->
       (* Unstamped entries (hand-built, or parsed from an old journal)
-         keep the legacy v2 shape; exploits need a stamped v3 line. *)
-      String.concat "\t" (magic_v1 :: common)
+         keep the legacy v2 shape; exploits and the final-budget counter
+         need a stamped v4 line. *)
+      String.concat "\t" (magic_v1 :: common ~with_budget:false)
   | Some st ->
       String.concat "\t"
-        ((magic_v3 :: common)
+        ((magic_v4 :: common ~with_budget:true)
         @ [
             Printf.sprintf "shard=%s" (Shard.to_string st.js_shard);
             Printf.sprintf "seed=%Ld" st.js_seed;
@@ -179,8 +190,11 @@ let parse_flags (field : string) =
     go [] parts expected
 
 (* The v2 solver extension: [solver=q:N,b:N,u:N,h:N,m:N], parsed as
-   strictly as every other field — fixed counter order, no unknown keys. *)
-let parse_solver (field : string) : (Solver.stats, string) result =
+   strictly as every other field — fixed counter order, no unknown keys.
+   v4 lines append a sixth [fb:N] counter (the final adaptive budget);
+   [with_budget] selects which shape is the only accepted one. *)
+let parse_solver ~with_budget (field : string) :
+    (Solver.stats * int, string) result =
   let ( let* ) = Result.bind in
   let* v = keyed "solver" Option.some field in
   let counter key part =
@@ -189,21 +203,34 @@ let parse_solver (field : string) : (Solver.stats, string) result =
         int_of_string_opt (String.sub part (i + 1) (String.length part - i - 1))
     | _ -> None
   in
-  match String.split_on_char ',' v with
-  | [ q; b; u; h; m ] -> (
-      match
-        (counter "q" q, counter "b" b, counter "u" u, counter "h" h,
-         counter "m" m)
-      with
-      | ( Some st_quick, Some st_blasted, Some st_unknown, Some st_cache_hits,
-          Some st_cache_misses ) ->
-          Ok
-            {
-              Solver.st_quick; st_blasted; st_unknown; st_cache_hits;
-              st_cache_misses;
-            }
-      | _ -> Error (Printf.sprintf "solver field %S: bad counters" v))
-  | _ -> Error (Printf.sprintf "solver field %S: expected 5 counters" v)
+  let stats q b u h m =
+    match
+      (counter "q" q, counter "b" b, counter "u" u, counter "h" h,
+       counter "m" m)
+    with
+    | ( Some st_quick, Some st_blasted, Some st_unknown, Some st_cache_hits,
+        Some st_cache_misses ) ->
+        Ok
+          {
+            Solver.st_quick; st_blasted; st_unknown; st_cache_hits;
+            st_cache_misses;
+          }
+    | _ -> Error (Printf.sprintf "solver field %S: bad counters" v)
+  in
+  match (String.split_on_char ',' v, with_budget) with
+  | [ q; b; u; h; m ], false ->
+      let* st = stats q b u h m in
+      Ok (st, 0)
+  | [ q; b; u; h; m; fb ], true -> (
+      let* st = stats q b u h m in
+      match counter "fb" fb with
+      | Some budget -> Ok (st, budget)
+      | None -> Error (Printf.sprintf "solver field %S: bad fb counter" v))
+  | parts, _ ->
+      Error
+        (Printf.sprintf "solver field %S: expected %d counters, got %d" v
+           (if with_budget then 6 else 5)
+           (List.length parts))
 
 (* The v3 provenance stamp, three consecutive fields. *)
 let parse_stamp shard seed budget : (stamp, string) result =
@@ -252,8 +279,8 @@ let parse_exploits (field : string) :
 
 let entry_of_line (line : string) : (entry, string) result =
   let ( let* ) = Result.bind in
-  let parse ~expect_magic m name flags branches rounds seeds adaptive tx sat
-      imprecise elapsed solver stamp exploits =
+  let parse ~expect_magic ~with_budget m name flags branches rounds seeds
+      adaptive tx sat imprecise elapsed solver stamp exploits =
     if m <> expect_magic then Error (Printf.sprintf "bad magic %S" m)
     else if name = "" then Error "empty target name"
     else
@@ -266,11 +293,11 @@ let entry_of_line (line : string) : (entry, string) result =
       let* je_solver_sat = keyed "sat" int_of_string_opt sat in
       let* je_imprecise = keyed "imprecise" int_of_string_opt imprecise in
       let* je_elapsed = keyed "elapsed" float_of_string_opt elapsed in
-      let* je_solver =
+      let* je_solver, je_final_budget =
         match solver with
         (* v1 line: the run predates solver accounting — counters zero. *)
-        | None -> Ok Solver.stats_zero
-        | Some s -> parse_solver s
+        | None -> Ok (Solver.stats_zero, 0)
+        | Some s -> parse_solver ~with_budget s
       in
       let* je_stamp =
         match stamp with
@@ -285,22 +312,28 @@ let entry_of_line (line : string) : (entry, string) result =
         {
           je_name = name; je_flags; je_branches; je_rounds; je_seeds_total;
           je_adaptive_seeds; je_transactions; je_solver_sat; je_imprecise;
-          je_elapsed; je_solver; je_stamp; je_exploits;
+          je_elapsed; je_solver; je_final_budget; je_stamp; je_exploits;
         }
   in
   match String.split_on_char '\t' line with
   | [ m; name; flags; branches; rounds; seeds; adaptive; tx; sat; imprecise;
       elapsed ] ->
-      parse ~expect_magic:magic_v1 m name flags branches rounds seeds adaptive
-        tx sat imprecise elapsed None None None
+      parse ~expect_magic:magic_v1 ~with_budget:false m name flags branches
+        rounds seeds adaptive tx sat imprecise elapsed None None None
   | [ m; name; flags; branches; rounds; seeds; adaptive; tx; sat; imprecise;
       elapsed; solver ] ->
-      parse ~expect_magic:magic_v1 m name flags branches rounds seeds adaptive
-        tx sat imprecise elapsed (Some solver) None None
+      parse ~expect_magic:magic_v1 ~with_budget:false m name flags branches
+        rounds seeds adaptive tx sat imprecise elapsed (Some solver) None None
   | [ m; name; flags; branches; rounds; seeds; adaptive; tx; sat; imprecise;
       elapsed; solver; shard; seed; budget; exploits ] ->
-      parse ~expect_magic:magic_v3 m name flags branches rounds seeds adaptive
-        tx sat imprecise elapsed (Some solver)
+      (* 16 fields is v3 or v4; the magic picks the solver-field shape
+         (5 counters vs 6), and [parse] still insists the magic matches
+         the shape that was picked. *)
+      let expect_magic, with_budget =
+        if m = magic_v4 then (magic_v4, true) else (magic_v3, false)
+      in
+      parse ~expect_magic ~with_budget m name flags branches rounds seeds
+        adaptive tx sat imprecise elapsed (Some solver)
         (Some (shard, seed, budget))
         (Some exploits)
   | fields ->

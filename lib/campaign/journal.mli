@@ -8,17 +8,19 @@
     {!load} raise {!Malformed} with the offending path, line number and
     reason — a corrupt journal is never silently skipped over.
 
-    Stamped entries are written as v3 lines, which extend the v2 format
+    Stamped entries are written as v4 lines, which extend the v2 format
     (trailing [solver=] counters) with the campaign provenance stamp
-    ([shard=i/N], the engine root [seed=], the round [budget=]) and the
+    ([shard=i/N], the engine root [seed=], the round [budget=]), the
     serialized exploit payloads behind every positive verdict
-    ([exploits=]).  The stamp is what lets
+    ([exploits=]), and — new in v4 — the engine's final adaptively
+    retuned solver conflict budget as a sixth [fb:] counter inside the
+    [solver=] field.  The stamp is what lets
     {!Campaign.merge} check that shard journals from different machines
     belong to one consistent fleet configuration; the exploit records are
     what lets a resumed or merged report replay evidence.  The parser
-    additionally accepts v2 (12-field) and v1 (11-field) lines, whose
-    counters read as zero and whose stamp/exploits read as absent, so old
-    journals still resume. *)
+    additionally accepts v3 (16-field, 5 solver counters), v2 (12-field)
+    and v1 (11-field) lines, whose absent counters read as zero and whose
+    absent stamp/exploits read as none, so old journals still resume. *)
 
 module Core = Wasai_core
 module Solver = Wasai_smt.Solver
@@ -50,6 +52,10 @@ type entry = {
   je_solver : Solver.stats;
       (** per-target solver/cache counters (zero when parsed from a v1
           line) *)
+  je_final_budget : int;
+      (** the engine's final adaptive solver conflict budget
+          ({!Core.Engine.outcome.out_final_budget}; 0 when parsed from a
+          pre-v4 line) *)
   je_stamp : stamp option;  (** [None] when parsed from a v1/v2 line *)
   je_exploits : (Core.Scanner.flag * Core.Scanner.evidence) list;
       (** exploit payload behind each positive verdict, in canonical flag
@@ -64,13 +70,13 @@ val of_outcome :
     lines. *)
 
 val line_of_entry : entry -> string
-(** Single-line record, no trailing newline: 16-field v3 when
+(** Single-line record, no trailing newline: 16-field v4 when
     [je_stamp] is present, legacy 12-field v2 otherwise (in which case
-    [je_exploits] is not serialised). *)
+    [je_exploits] and [je_final_budget] are not serialised). *)
 
 val entry_of_line : string -> (entry, string) result
-(** Accepts v1 (11 fields), v2 (12) and v3 (16) lines; each field is
-    validated strictly. *)
+(** Accepts v1 (11 fields), v2 (12), v3 (16, 5 solver counters) and v4
+    (16, 6 solver counters) lines; each field is validated strictly. *)
 
 exception Malformed of string
 (** Raised by {!load}; the message carries path, 1-based line number and

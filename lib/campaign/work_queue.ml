@@ -18,6 +18,15 @@ let push t x =
       Queue.add x t.items;
       Condition.signal t.wake)
 
+(* One lock acquisition for a whole batch, preserving list order — the
+   campaign seeds its queue with the full (priority-sorted) target list
+   in one shot. *)
+let push_all t xs =
+  Mutex.protect t.lock (fun () ->
+      if t.closed then invalid_arg "Work_queue.push_all: closed";
+      List.iter (fun x -> Queue.add x t.items) xs;
+      Condition.broadcast t.wake)
+
 let close t =
   Mutex.protect t.lock (fun () ->
       t.closed <- true;

@@ -13,6 +13,10 @@ val create : unit -> 'a t
 val push : 'a t -> 'a -> unit
 (** Raises [Invalid_argument] if the queue is closed. *)
 
+val push_all : 'a t -> 'a list -> unit
+(** Enqueue a batch in list order under one lock acquisition.  Raises
+    [Invalid_argument] if the queue is closed. *)
+
 val close : 'a t -> unit
 (** No further pushes; blocked takers drain the backlog then see [None].
     Idempotent. *)

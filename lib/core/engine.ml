@@ -24,6 +24,8 @@ type config = {
   cfg_max_flips : int;  (** solved branches per execution *)
   cfg_fuel : int;
   cfg_feedback : bool;  (** symbolic feedback (off = blind fuzzing ablation) *)
+  cfg_preload : (Name.t * Abi.value list) list;
+      (** corpus seeds injected into the pool before fresh generation *)
 }
 
 let default_config =
@@ -35,12 +37,25 @@ let default_config =
     cfg_max_flips = 6;
     cfg_fuel = 30_000_000;
     cfg_feedback = true;
+    cfg_preload = [];
   }
 
 type target = {
   tgt_account : Name.t;
   tgt_module : Wasm.Ast.module_;
   tgt_abi : Abi.t;
+}
+
+(** A seed whose executions explored at least one previously-uncovered
+    branch edge — the unit a persistent corpus stores. *)
+type interesting = {
+  is_round : int;  (** round that executed it *)
+  is_action : Name.t;
+  is_args : Abi.value list;
+  is_cover : (int * int32) list;
+      (** every (site, direction) edge its executions touched, sorted *)
+  is_signature : int64;  (** [Wasabi.Trace.edge_signature is_cover] *)
+  is_new_edges : int;  (** edges of [is_cover] that were new *)
 }
 
 type outcome = {
@@ -60,6 +75,15 @@ type outcome = {
   out_solver : Solver.stats;
       (** per-run solver counters (quick-path / blasted / unknown /
           cache hits / cache misses) from the run's solver session *)
+  out_interesting : interesting list;
+      (** coverage-advancing seeds, in discovery order; their covers
+          union to the final branch set (every edge was new exactly
+          once, under the seed that introduced it) *)
+  out_verdict_round : int;
+      (** 1-based round after which the final verdict set was complete
+          (0 when nothing ever fired) *)
+  out_final_budget : int;
+      (** the solver conflict budget after adaptive retuning *)
 }
 
 (* Well-known session accounts. *)
@@ -179,6 +203,34 @@ let setup (cfg : config) (target : target) : session =
         Seed.add pool (Seed.random rng ~identities def)
       done)
     target.tgt_abi.Abi.abi_actions;
+  (* Corpus preloads ride on top of — never instead of — the random fill,
+     and consume no randomness: a warm pool draws exactly the random
+     values a cold pool would, which the warm-vs-cold determinism
+     argument depends on. *)
+  let preload = Hashtbl.create 16 in
+  List.iter
+    (fun ((action, args) : Name.t * Abi.value list) ->
+      match Abi.find_action target.tgt_abi action with
+      | Some def
+        when List.map Abi.type_of_value args = List.map snd def.Abi.act_params
+        ->
+          (* Imported seeds take fresh priority.  The dedup table is local
+             to the preload: feedback must stay free to re-derive one of
+             these vectors later as an adaptive seed — a trace is a
+             function of chain state (tables, block info), so the round-0
+             replay does not subsume the original mid-run execution. *)
+          let key = Name.to_string action ^ "/" ^ Abi.serialize args in
+          if not (Hashtbl.mem preload key) then begin
+            Hashtbl.replace preload key ();
+            Seed.add pool
+              { Seed.sd_action = action; sd_args = args;
+                sd_provenance = Seed.Imported }
+          end
+      | _ ->
+          (* A corpus can outlive an ABI: seeds for actions or signatures
+             this target no longer has are skipped, not fatal. *)
+          ())
+    cfg.cfg_preload;
   let session =
     {
       cfg;
@@ -202,6 +254,10 @@ let setup (cfg : config) (target : target) : session =
       imprecise = 0;
       current_action = Name.transfer;
       db_find_import = Wasabi.Trace.find_env_import meta "db_find_i64";
+      (* Deliberately NOT seeded with the preload keys: if feedback
+         re-derives a corpus vector mid-run, the re-execution happens
+         against the chain state that made it interesting, which the
+         round-0 replay cannot reproduce. *)
       seen_seeds = Hashtbl.create 64;
     }
   in
@@ -291,18 +347,26 @@ let payload (s : session) (seed : Seed.t) (channel : Scanner.channel) :
 (* Coverage and DBG maintenance from traces                            *)
 (* ------------------------------------------------------------------ *)
 
-let update_coverage (s : session) (records : Wasabi.Trace.record list) =
-  List.iter
+(* The (site, direction) edges a trace exercised — the currency of both
+   the live coverage map and the persistent corpus signatures. *)
+let edges_of_records (s : session) (records : Wasabi.Trace.record list) :
+    (int * int32) list =
+  List.filter_map
     (fun r ->
       match r with
       | Wasabi.Trace.R_instr { site; ops = [ Wasm.Values.I32 c ] } -> (
           match (Wasabi.Trace.site_of s.meta site).Wasabi.Trace.site_instr with
           | Wasm.Ast.Br_if _ | Wasm.Ast.If _ ->
-              Hashtbl.replace s.branches (site, if c = 0l then 0l else 1l) ()
-          | Wasm.Ast.Br_table _ -> Hashtbl.replace s.branches (site, c) ()
-          | _ -> ())
-      | _ -> ())
+              Some (site, if c = 0l then 0l else 1l)
+          | Wasm.Ast.Br_table _ -> Some (site, c)
+          | _ -> None)
+      | _ -> None)
     records
+
+let update_coverage (s : session) (records : Wasabi.Trace.record list) =
+  List.iter
+    (fun e -> Hashtbl.replace s.branches e ())
+    (edges_of_records s records)
 
 (* Spot db_find calls that returned the end iterator: the read-miss signal
    driving transaction-dependency resolution. *)
@@ -460,6 +524,70 @@ let fuzz ?(cfg = default_config)
     | Some limit -> Unix.gettimeofday () -. t0 >= limit
   in
   let rounds_run = ref 0 in
+  (* Interesting-seed capture (the corpus feed) and verdict-round
+     tracking.  Every input to either — traces, coverage, scanner state —
+     is a deterministic function of the target, so both are too. *)
+  let interesting = ref [] in
+  let record_execution ~round (seed : Seed.t) chans =
+    let before = Hashtbl.copy s.branches in
+    let cov = Hashtbl.create 32 in
+    (* A corpus replay re-executes a prior run's transaction for its
+       coverage and table effects; it must not shift this run's block
+       clock, or every later trace that reads block info diverges from
+       the trajectory the corpus was recorded on. *)
+    let replayed = seed.Seed.sd_provenance = Seed.Imported in
+    let saved_clock =
+      if replayed then
+        Some
+          ( s.chain.Chain.block_num, s.chain.Chain.block_prefix,
+            s.chain.Chain.head_time_us )
+      else None
+    in
+    List.iter
+      (fun channel ->
+        let _, records, observed = run_one s seed channel in
+        List.iter (fun e -> Hashtbl.replace cov e ()) (edges_of_records s records);
+        (* Imported (corpus-replayed) seeds contribute coverage and chain
+           state but no flip derivation: the producing run already paid
+           the solver for every flip reachable from these traces, so
+           re-deriving them here would only flood the pool with duplicate
+           adaptive work. *)
+        if cfg.cfg_feedback && not replayed then feedback s seed records observed)
+      chans;
+    (match saved_clock with
+     | Some (bn, bp, ht) ->
+         s.chain.Chain.block_num <- bn;
+         s.chain.Chain.block_prefix <- bp;
+         s.chain.Chain.head_time_us <- ht
+     | None -> ());
+    let cover =
+      List.sort compare (Hashtbl.fold (fun e () acc -> e :: acc) cov [])
+    in
+    let fresh =
+      List.length (List.filter (fun e -> not (Hashtbl.mem before e)) cover)
+    in
+    if fresh > 0 then
+      interesting :=
+        {
+          is_round = round;
+          is_action = seed.Seed.sd_action;
+          is_args = seed.Seed.sd_args;
+          is_cover = cover;
+          is_signature = Wasabi.Trace.edge_signature cover;
+          is_new_edges = fresh;
+        }
+        :: !interesting
+  in
+  let verdict_round = ref 0 in
+  let last_fired = ref ([], []) in
+  (* Adaptive solver budget (per-target, hence deterministic): halve on a
+     round that produced new Unknowns — this target's constraints are too
+     hard to be worth full-price retries — and double (up to 4x the
+     configured budget) on a round whose fresh-seed queue drained early,
+     when there is slack to buy precision with. *)
+  let min_budget = max 1 (cfg.cfg_solver_budget / 16) in
+  let max_budget = cfg.cfg_solver_budget * 4 in
+  let last_unknown = ref 0 in
   for round = 0 to cfg.cfg_rounds - 1 do
    if not (out_of_time ()) then begin
     incr rounds_run;
@@ -484,8 +612,7 @@ let fuzz ?(cfg = default_config)
                if Name.equal writer Name.transfer then Scanner.Ch_genuine
                else Scanner.Ch_action writer
              in
-             let _, records, observed = run_one s wseed ch in
-             if cfg.cfg_feedback then feedback s wseed records observed
+             record_execution ~round wseed [ ch ]
          | None -> ())
      | _ -> ());
     let seed =
@@ -503,25 +630,43 @@ let fuzz ?(cfg = default_config)
       if Name.equal phi Name.transfer then Array.to_list channels
       else [ Scanner.Ch_action phi ]
     in
-    let execute seed =
-      List.iter
-        (fun channel ->
-          let _, records, observed = run_one s seed channel in
-          if cfg.cfg_feedback then feedback s seed records observed)
-        seed_channels
-    in
+    let execute seed = record_execution ~round seed seed_channels in
     execute seed;
     (* Drain adaptive seeds eagerly: each was solved to open a specific
-       branch and may unlock further flips this same round. *)
+       branch and may unlock further flips this same round.  Imported
+       (corpus-replayed) seeds are exempt from the cap: they cost no
+       solver work, and counting them would starve this round's adaptive
+       flips behind a large preload. *)
     let drained = ref 0 in
     let continue_ = ref true in
     while !continue_ && !drained < 16 do
       match Seed.take_fresh s.pool phi with
       | Some fresh ->
-          incr drained;
+          (if fresh.Seed.sd_provenance <> Seed.Imported then incr drained);
           execute fresh
       | None -> continue_ := false
     done;
+    (* Verdict-round bookkeeping: the reported round is the last one that
+       changed the fired set, i.e. when the final verdicts were complete. *)
+    let fired_now =
+      ( List.filter snd (Scanner.report s.scanner),
+        List.filter snd (Scanner.custom_report s.scanner) )
+    in
+    if fired_now <> !last_fired then begin
+      last_fired := fired_now;
+      verdict_round := round + 1
+    end;
+    (* Adaptive budget retune, gated on feedback (a blind run never
+       consults the solver, so there is nothing to trade). *)
+    if cfg.cfg_feedback then begin
+      let st = Solver.Session.stats s.solver in
+      let b = Solver.Session.conflict_budget s.solver in
+      if st.Solver.st_unknown > !last_unknown then
+        Solver.Session.set_conflict_budget s.solver (max min_budget (b / 2))
+      else if !drained < 16 && b * 2 <= max_budget then
+        Solver.Session.set_conflict_budget s.solver (b * 2);
+      last_unknown := st.Solver.st_unknown
+    end;
     timeline :=
       (round, Unix.gettimeofday () -. t0, Hashtbl.length s.branches) :: !timeline
    end
@@ -546,6 +691,9 @@ let fuzz ?(cfg = default_config)
     out_solver_sat = s.solver_sat;
     out_imprecise = s.imprecise;
     out_solver = Solver.Session.stats s.solver;
+    out_interesting = List.rev !interesting;
+    out_verdict_round = !verdict_round;
+    out_final_budget = Solver.Session.conflict_budget s.solver;
   }
 
 let flagged (o : outcome) (f : Scanner.flag) : bool =

@@ -24,6 +24,12 @@ type config = {
   cfg_max_flips : int;  (** solved branches per execution *)
   cfg_fuel : int;
   cfg_feedback : bool;  (** symbolic feedback (off = blind fuzzing) *)
+  cfg_preload : (Name.t * Abi.value list) list;
+      (** corpus seeds injected into the pool before fresh generation, at
+          fresh (adaptive) priority.  Vectors that do not type-check
+          against the target's ABI are skipped.  Preloading consumes no
+          randomness, so a warm run draws exactly the random seeds a cold
+          run would. *)
 }
 
 val default_config : config
@@ -32,6 +38,18 @@ type target = {
   tgt_account : Name.t;
   tgt_module : Wasm.Ast.module_;
   tgt_abi : Abi.t;
+}
+
+(** A seed whose executions explored at least one previously-uncovered
+    branch edge — the unit a persistent corpus stores. *)
+type interesting = {
+  is_round : int;  (** round that executed it *)
+  is_action : Name.t;
+  is_args : Abi.value list;
+  is_cover : (int * int32) list;
+      (** every (site, direction) edge its executions touched, sorted *)
+  is_signature : int64;  (** [Wasabi.Trace.edge_signature is_cover] *)
+  is_new_edges : int;  (** edges of [is_cover] that were new *)
 }
 
 type outcome = {
@@ -51,6 +69,20 @@ type outcome = {
   out_solver : Solver.stats;
       (** per-run solver counters (quick-path / blasted / unknown /
           cache hits / cache misses) from the run's solver session *)
+  out_interesting : interesting list;
+      (** coverage-advancing seeds in discovery order; their covers union
+          to the run's final branch set, so replaying them reproduces the
+          run's coverage *)
+  out_verdict_round : int;
+      (** 1-based round after which the final fired-verdict set was
+          complete (0 when nothing ever fired) — the convergence metric
+          the corpus benchmark compares warm vs cold *)
+  out_final_budget : int;
+      (** the solver conflict budget after per-round adaptive retuning:
+          halved (floored at 1/16 of [cfg_solver_budget]) on rounds
+          producing new Unknowns, doubled (capped at 4x) on rounds whose
+          fresh-seed queue drained early; equals [cfg_solver_budget] when
+          [cfg_feedback] is off *)
 }
 
 (** Well-known session accounts. *)

@@ -12,7 +12,10 @@ type t = {
   sd_provenance : provenance;
 }
 
-and provenance = Random_seed | Adaptive of int  (** site that was flipped *)
+and provenance =
+  | Random_seed
+  | Adaptive of int  (** site that was flipped *)
+  | Imported  (** replayed from a persistent corpus *)
 
 let to_string (s : t) =
   Printf.sprintf "Γ⟨%s, [%s]⟩"
@@ -75,11 +78,13 @@ let entry_of pool action =
       e
 
 (** Adaptive seeds jump the queue: they were solved to reach a specific
-    unexplored branch and lose their value if stale state moves on. *)
+    unexplored branch and lose their value if stale state moves on.
+    Imported corpus seeds take the same priority — they are known to open
+    coverage, so they should run before fresh random generation. *)
 let add pool (s : t) =
   let e = entry_of pool s.sd_action in
   (match s.sd_provenance with
-   | Adaptive _ -> e.fresh <- e.fresh @ [ s ]
+   | Adaptive _ | Imported -> e.fresh <- e.fresh @ [ s ]
    | Random_seed -> Queue.add s e.queue);
   pool.total_added <- pool.total_added + 1
 

@@ -9,7 +9,10 @@ type t = {
   sd_provenance : provenance;
 }
 
-and provenance = Random_seed | Adaptive of int  (** site that was flipped *)
+and provenance =
+  | Random_seed
+  | Adaptive of int  (** site that was flipped *)
+  | Imported  (** replayed from a persistent corpus *)
 
 val to_string : t -> string
 
@@ -26,7 +29,7 @@ type pool
 val create_pool : unit -> pool
 
 val add : pool -> t -> unit
-(** Adaptive seeds jump the queue. *)
+(** Adaptive and imported seeds jump the queue. *)
 
 val take_fresh : pool -> Name.t -> t option
 (** An untried adaptive seed, if any. *)

@@ -170,7 +170,7 @@ module Session = struct
   type entry = { ce_verdict : verdict; mutable ce_stamp : int }
 
   type t = {
-    sx_budget : int;
+    mutable sx_budget : int;
     sx_capacity : int;
     sx_cache : (int list, entry) Hashtbl.t;
     mutable sx_clock : int;
@@ -200,6 +200,17 @@ module Session = struct
     }
 
   let conflict_budget t = t.sx_budget
+
+  (* Retuning the budget mid-session is sound with respect to the verdict
+     cache: Sat and Unsat are budget-independent (a model or a refutation
+     stays valid under any budget), and Unknown — the only budget-
+     dependent verdict — is never cached. *)
+  let set_conflict_budget t budget =
+    if budget < 1 then
+      invalid_arg
+        (Printf.sprintf "Solver.Session.set_conflict_budget: budget %d < 1"
+           budget);
+    t.sx_budget <- budget
 
   let stats t =
     {

@@ -52,6 +52,15 @@ module Session : sig
       cannot degrade sharing within a cached workload. *)
 
   val conflict_budget : t -> int
+
+  val set_conflict_budget : t -> int -> unit
+  (** Retune the session's conflict budget mid-run (the engine's adaptive
+      budget uses this).  Sound with respect to the verdict cache: Sat and
+      Unsat verdicts are budget-independent, and Unknown — the only
+      budget-dependent verdict — is never cached, so a cached answer can
+      never contradict what a re-solve under the new budget would say.
+      Raises [Invalid_argument] when the budget is < 1. *)
+
   val stats : t -> stats
 end
 

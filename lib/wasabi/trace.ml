@@ -51,6 +51,37 @@ let find_env_import (meta : meta) (name : string) : int option =
   go 0 meta.instrumented.Wasm.Ast.imports
 
 (* ------------------------------------------------------------------ *)
+(* Coverage signatures                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* FNV-1a 64 over the canonicalised (sorted, deduplicated) edge set,
+   each edge fed as 8 little-endian bytes of the site id followed by 4
+   little-endian bytes of the direction.  The same constants as
+   Campaign.Shard's name hash, so the value is machine-portable: a
+   corpus written on one host deduplicates against one written on
+   another. *)
+let fnv_offset = 0xcbf29ce484222325L
+let fnv_prime = 0x100000001b3L
+
+let edge_signature (edges : (int * int32) list) : int64 =
+  let edges = List.sort_uniq compare edges in
+  let h = ref fnv_offset in
+  let byte b =
+    h := Int64.mul (Int64.logxor !h (Int64.of_int (b land 0xff))) fnv_prime
+  in
+  List.iter
+    (fun (site, dir) ->
+      for i = 0 to 7 do
+        byte (site lsr (8 * i))
+      done;
+      let d = Int32.to_int dir in
+      for i = 0 to 3 do
+        byte (d asr (8 * i))
+      done)
+    edges;
+  !h
+
+(* ------------------------------------------------------------------ *)
 (* Structured records                                                  *)
 (* ------------------------------------------------------------------ *)
 

@@ -32,6 +32,13 @@ val import_name : meta -> int -> string option
 val find_env_import : meta -> string -> int option
 (** Absolute index of an [env] import, if the contract imports it. *)
 
+val edge_signature : (int * int32) list -> int64
+(** Stable hash of a branch-edge set — the coverage signature a corpus
+    indexes seeds by.  The edge list is canonicalised first (sorted,
+    deduplicated), so the signature is a pure function of the {e set}:
+    independent of trace order, duplication, machine, or OCaml's
+    [Hashtbl.hash].  FNV-1a 64-bit over each edge's little-endian bytes. *)
+
 (** {1 Structured records} *)
 
 type record =

@@ -175,6 +175,7 @@ let sample_entry =
       };
     je_stamp = None;
     je_exploits = [];
+    je_final_budget = 64;
   }
 
 let sample_stamp =
@@ -243,8 +244,8 @@ let test_journal_v1_compat () =
 
 let test_journal_v3_roundtrip () =
   let line = Campaign.Journal.line_of_entry stamped_entry in
-  Alcotest.(check bool) "stamped entries serialise as v3" true
-    (String.length line > 16 && String.sub line 0 16 = "wasai-journal-v3");
+  Alcotest.(check bool) "stamped entries serialise as v4" true
+    (String.length line > 16 && String.sub line 0 16 = "wasai-journal-v4");
   match Campaign.Journal.entry_of_line line with
   | Error e -> Alcotest.fail ("v3 roundtrip failed: " ^ e)
   | Ok e ->
@@ -263,7 +264,9 @@ let test_journal_v3_roundtrip () =
         "exploit payloads round-trip byte-exactly (channel, action, raw data)"
         true
         (e.Campaign.Journal.je_exploits
-         = stamped_entry.Campaign.Journal.je_exploits)
+         = stamped_entry.Campaign.Journal.je_exploits);
+      Alcotest.(check int) "final adaptive budget survives" 64
+        e.Campaign.Journal.je_final_budget
 
 let reject line reason_fragment =
   match Campaign.Journal.entry_of_line line with
@@ -341,6 +344,58 @@ let test_journal_v3_strict () =
     (swap "exploits=" "exploits=FakeEOS@carrier@victim@transfer@@6162")
     "channel"
 
+(* Stamped v3 journals predate the adaptive-budget counter; resume must
+   still accept them, reading the final budget as zero. *)
+let test_journal_v3_budget_compat () =
+  let v4 = Campaign.Journal.line_of_entry stamped_entry in
+  let v3 =
+    String.concat "\t"
+      (String.split_on_char '\t' v4
+      |> List.map (fun f ->
+             if f = "wasai-journal-v4" then "wasai-journal-v3"
+             else if String.length f > 7 && String.sub f 0 7 = "solver=" then
+               String.concat ","
+                 (List.filter
+                    (fun p -> String.length p < 3 || String.sub p 0 3 <> "fb:")
+                    (String.split_on_char ',' f))
+             else f))
+  in
+  match Campaign.Journal.entry_of_line v3 with
+  | Error e -> Alcotest.fail ("v3 line rejected: " ^ e)
+  | Ok e ->
+      Alcotest.(check int) "final budget reads as zero" 0
+        e.Campaign.Journal.je_final_budget;
+      Alcotest.(check bool) "stamp still parsed" true
+        (e.Campaign.Journal.je_stamp <> None)
+
+(* The magic picks the solver-field shape exactly: an fb counter on a
+   v3 line, or a missing one on a v4 line, is a torn write, not a
+   variant to guess at. *)
+let test_journal_v4_strict () =
+  let v4 = Campaign.Journal.line_of_entry stamped_entry in
+  let swap f' =
+    String.concat "\t" (String.split_on_char '\t' v4 |> List.map f')
+  in
+  reject
+    (swap (fun f ->
+         if f = "wasai-journal-v4" then "wasai-journal-v3" else f))
+    "expected 5 counters, got 6";
+  reject
+    (swap (fun f ->
+         if String.length f > 7 && String.sub f 0 7 = "solver=" then
+           String.concat ","
+             (List.filter
+                (fun p -> String.length p < 3 || String.sub p 0 3 <> "fb:")
+                (String.split_on_char ',' f))
+         else f))
+    "expected 6 counters, got 5";
+  reject
+    (swap (fun f ->
+         if String.length f > 7 && String.sub f 0 7 = "solver=" then
+           f ^ ",fb:banana"
+         else f))
+    "counters"
+
 let test_journal_load_malformed () =
   let path = Filename.temp_file "wasai-test" ".journal" in
   let oc = open_out path in
@@ -368,6 +423,7 @@ let test_targets ~count =
       in
       {
         Campaign.Campaign.sp_name = Name.to_string account;
+        sp_size = 0;
         sp_load =
           (fun () ->
             {
@@ -378,8 +434,9 @@ let test_targets ~count =
       })
     (BG.Corpus.coverage_set ~count ())
 
-let campaign_config ?journal ?resume ?max_targets ?shard ~jobs () =
+let campaign_config ?journal ?resume ?max_targets ?shard ?corpus ~jobs () =
   Campaign.Campaign.make_config ~jobs ?journal ?resume ?max_targets ?shard
+    ?corpus
     ~engine:{ Core.Engine.default_config with Core.Engine.cfg_rounds = 6 }
     ()
 
@@ -498,6 +555,126 @@ let test_duplicate_names_rejected () =
   match Campaign.Campaign.run (campaign_config ~jobs:1 ()) [ t; t ] with
   | _ -> Alcotest.fail "duplicate target names accepted"
   | exception Invalid_argument _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Seed corpus: warm reruns, scheduling, dry-run plans                  *)
+(* ------------------------------------------------------------------ *)
+
+module SeedCorpus = Wasai_corpus.Corpus
+
+let temp_corpus tag =
+  let p = Filename.temp_file ("wasai-test-" ^ tag) ".seeds" in
+  Sys.remove p;
+  p
+
+(* The corpus acceptance bar: a cold campaign fills the corpus; warm
+   reruns preload it, reproduce the cold flag verdicts byte-for-byte
+   (on this fixed workload) and stay byte-identical across --jobs. *)
+let test_corpus_warm_cold () =
+  let targets = test_targets ~count:4 in
+  let cold_file = temp_corpus "cold" in
+  let cold =
+    Campaign.Campaign.run (campaign_config ~corpus:cold_file ~jobs:2 ()) targets
+  in
+  Alcotest.(check bool) "cold run stored seeds" true
+    (cold.Campaign.Campaign.cr_corpus_added > 0);
+  Alcotest.(check int) "cold run preloaded nothing" 0
+    cold.Campaign.Campaign.cr_corpus_preloaded;
+  let w1 = temp_corpus "warm1" and w2 = temp_corpus "warm2" in
+  SeedCorpus.save (SeedCorpus.load cold_file) w1;
+  SeedCorpus.save (SeedCorpus.load cold_file) w2;
+  let warm1 =
+    Campaign.Campaign.run (campaign_config ~corpus:w1 ~jobs:1 ()) targets
+  in
+  let warm2 =
+    Campaign.Campaign.run (campaign_config ~corpus:w2 ~jobs:2 ()) targets
+  in
+  Alcotest.(check int) "warm run preloads every stored seed"
+    cold.Campaign.Campaign.cr_corpus_added
+    warm1.Campaign.Campaign.cr_corpus_preloaded;
+  Alcotest.(check string) "warm flags reproduce cold flags"
+    (Campaign.Campaign.flags_text cold)
+    (Campaign.Campaign.flags_text warm1);
+  Alcotest.(check string) "warm verdicts byte-identical across jobs"
+    (Campaign.Campaign.verdicts_text warm1)
+    (Campaign.Campaign.verdicts_text warm2);
+  List.iter Sys.remove [ cold_file; w1; w2 ]
+
+let sized_targets sizes =
+  List.map2
+    (fun t size -> { t with Campaign.Campaign.sp_size = size })
+    (test_targets ~count:(List.length sizes))
+    sizes
+
+(* jobs=1 drains the queue in order, so the journal's append order is
+   the execution order: biggest module first (LPT), names as
+   tie-break.  (The report's [cr_results] is name-sorted, so the
+   journal file is the observable.) *)
+let test_size_ordering () =
+  let targets = sized_targets [ 10; 40; 20; 40 ] in
+  let journal = temp_journal "lpt" in
+  ignore (Campaign.Campaign.run (campaign_config ~journal ~jobs:1 ()) targets);
+  let entries = Campaign.Journal.load journal in
+  Sys.remove journal;
+  Alcotest.(check (list string)) "biggest-first, ties by name"
+    [ "trgtb"; "trgtd"; "trgtc"; "trgta" ]
+    (List.map
+       (fun (e : Campaign.Journal.entry) -> e.Campaign.Journal.je_name)
+       entries)
+
+let test_plan_dry_run () =
+  let targets = sized_targets [ 10; 40; 20 ] in
+  (* Seed a corpus with one target's worth of seeds. *)
+  let corpus_file = temp_corpus "plan" in
+  let c = SeedCorpus.create () in
+  let seed_record cover =
+    {
+      SeedCorpus.rc_target = "trgtc";
+      rc_action = Name.of_string "transfer";
+      rc_args = [];
+      rc_sig = Wasai_wasabi.Trace.edge_signature cover;
+      rc_cover = cover;
+      rc_new_edges = 1;
+      rc_round = 0;
+      rc_shard = (0, 1);
+      rc_seed = 7L;
+      rc_rounds = 6;
+      rc_solver = Wasai_smt.Solver.stats_zero;
+      rc_solver_budget = 0;
+    }
+  in
+  ignore (SeedCorpus.add c (seed_record [ (1, 0l) ]));
+  ignore (SeedCorpus.add c (seed_record [ (2, 1l) ]));
+  SeedCorpus.save c corpus_file;
+  let plan =
+    Campaign.Campaign.plan
+      (campaign_config ~corpus:corpus_file ~max_targets:2 ~jobs:2 ())
+      targets
+  in
+  let row name =
+    List.find
+      (fun (r : Campaign.Campaign.plan_row) -> r.pr_name = name)
+      plan.Campaign.Campaign.pl_rows
+  in
+  Alcotest.(check (option int)) "biggest target runs first" (Some 1)
+    (row "trgtb").Campaign.Campaign.pr_order;
+  Alcotest.(check (option int)) "second-biggest runs second" (Some 2)
+    (row "trgtc").Campaign.Campaign.pr_order;
+  Alcotest.(check (option int)) "smallest capped out" None
+    (row "trgta").Campaign.Campaign.pr_order;
+  Alcotest.(check int) "corpus preload counted" 2
+    (row "trgtc").Campaign.Campaign.pr_preload;
+  Alcotest.(check int) "no seeds for other targets" 0
+    (row "trgtb").Campaign.Campaign.pr_preload;
+  let text = Campaign.Campaign.plan_text plan in
+  Alcotest.(check bool) "text mentions the cap" true
+    (contains ~sub:"capped" text);
+  Alcotest.(check bool) "text totals the preload" true
+    (contains ~sub:"corpus preload: 2 seeds" text);
+  (* Planning must not fuzz: nothing was loaded, no journal written. *)
+  Alcotest.(check int) "plan covers every target" 3
+    (List.length plan.Campaign.Campaign.pl_rows);
+  Sys.remove corpus_file
 
 (* ------------------------------------------------------------------ *)
 (* Distributed sharding and journal merge                               *)
@@ -625,6 +802,9 @@ let () =
             test_journal_v3_roundtrip;
           Alcotest.test_case "strict parse" `Quick test_journal_strict;
           Alcotest.test_case "strict v3 parse" `Quick test_journal_v3_strict;
+          Alcotest.test_case "v3 budget compat" `Quick
+            test_journal_v3_budget_compat;
+          Alcotest.test_case "strict v4 parse" `Quick test_journal_v4_strict;
           Alcotest.test_case "load rejects malformed" `Quick
             test_journal_load_malformed;
         ] );
@@ -640,6 +820,14 @@ let () =
             test_resume_rejects_mismatched_stamp;
           Alcotest.test_case "duplicate names rejected" `Quick
             test_duplicate_names_rejected;
+        ] );
+      ( "corpus",
+        [
+          Alcotest.test_case "warm rerun reproduces cold verdicts" `Quick
+            test_corpus_warm_cold;
+          Alcotest.test_case "biggest-first scheduling" `Quick
+            test_size_ordering;
+          Alcotest.test_case "dry-run plan" `Quick test_plan_dry_run;
         ] );
       ( "merge",
         [

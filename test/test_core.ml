@@ -330,6 +330,90 @@ let test_outcome_accounting () =
   in
   Alcotest.(check bool) "coverage monotone" true (mono o.Core.Engine.out_timeline)
 
+(* Corpus preload: a warm run fed the cold run's interesting seeds must
+   reproduce the cold verdicts with no more solver work (the replays
+   re-open the branches the solver would otherwise have to re-derive),
+   and stale vectors — unknown actions, wrong signatures — are skipped,
+   not fatal. *)
+let test_preload_warm_run () =
+  let spec = { base with BG.Contracts.sp_fake_eos_guard = false } in
+  let m, abi = BG.Contracts.build spec in
+  let tgt =
+    { Core.Engine.tgt_account = n "victim"; tgt_module = m; tgt_abi = abi }
+  in
+  let cfg =
+    { Core.Engine.default_config with Core.Engine.cfg_rounds = 12 }
+  in
+  let cold = Core.Engine.fuzz ~cfg tgt in
+  let preload =
+    List.map
+      (fun (i : Core.Engine.interesting) ->
+        (i.Core.Engine.is_action, i.Core.Engine.is_args))
+      cold.Core.Engine.out_interesting
+  in
+  let warm =
+    Core.Engine.fuzz ~cfg:{ cfg with Core.Engine.cfg_preload = preload } tgt
+  in
+  let fired o = List.filter snd o.Core.Engine.out_flags in
+  let solver_runs o =
+    o.Core.Engine.out_solver.Wasai_smt.Solver.st_quick
+    + o.Core.Engine.out_solver.Wasai_smt.Solver.st_blasted
+  in
+  Alcotest.(check bool) "verdict parity" true (fired cold = fired warm);
+  Alcotest.(check bool) "solver work does not grow" true
+    (solver_runs warm <= solver_runs cold);
+  Alcotest.(check bool) "warm run still covers branches" true
+    (warm.Core.Engine.out_branches > 0)
+
+let test_preload_skips_stale_vectors () =
+  let m, abi = BG.Contracts.build base in
+  let tgt =
+    { Core.Engine.tgt_account = n "victim"; tgt_module = m; tgt_abi = abi }
+  in
+  let stale =
+    [
+      (n "nosuchact", []);  (* action the ABI does not have *)
+      (n "transfer", [ Wasai_eosio.Abi.V_u32 1l ]);  (* wrong signature *)
+    ]
+  in
+  let o =
+    Core.Engine.fuzz
+      ~cfg:
+        {
+          Core.Engine.default_config with
+          Core.Engine.cfg_rounds = 4;
+          cfg_preload = stale;
+        }
+      tgt
+  in
+  Alcotest.(check int) "stale vectors ignored, run completes" 4
+    o.Core.Engine.out_rounds
+
+(* The adaptive conflict budget never leaves [configured/16,
+   configured*4], and a blind run (no feedback, hence no solving) never
+   retunes at all. *)
+let test_adaptive_budget_bounds () =
+  let spec = { base with BG.Contracts.sp_fake_eos_guard = false } in
+  let m, abi = BG.Contracts.build spec in
+  let tgt =
+    { Core.Engine.tgt_account = n "victim"; tgt_module = m; tgt_abi = abi }
+  in
+  let cfg =
+    { Core.Engine.default_config with Core.Engine.cfg_rounds = 12 }
+  in
+  let o = Core.Engine.fuzz ~cfg tgt in
+  let b = cfg.Core.Engine.cfg_solver_budget in
+  Alcotest.(check bool) "final budget within [b/16, 4b]" true
+    (o.Core.Engine.out_final_budget >= max 1 (b / 16)
+    && o.Core.Engine.out_final_budget <= 4 * b);
+  let blind =
+    Core.Engine.fuzz
+      ~cfg:{ cfg with Core.Engine.cfg_feedback = false }
+      tgt
+  in
+  Alcotest.(check int) "blind run never retunes" b
+    blind.Core.Engine.out_final_budget
+
 let () =
   Alcotest.run "wasai_core"
     [
@@ -370,5 +454,10 @@ let () =
             test_exploit_payloads;
           Alcotest.test_case "wall-clock budget" `Quick test_time_limit;
           Alcotest.test_case "outcome accounting" `Quick test_outcome_accounting;
+          Alcotest.test_case "preloaded warm run" `Quick test_preload_warm_run;
+          Alcotest.test_case "stale preload vectors skipped" `Quick
+            test_preload_skips_stale_vectors;
+          Alcotest.test_case "adaptive budget bounds" `Quick
+            test_adaptive_budget_bounds;
         ] );
     ]

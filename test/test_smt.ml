@@ -563,6 +563,24 @@ let test_session_never_caches_unknown () =
   | Solver.Sat _ -> () (* decided before the first conflict: acceptable *)
   | Solver.Unsat -> Alcotest.fail "cannot be unsat before exploring"
 
+(* The engine's adaptive retuning halves and doubles the session budget
+   mid-run: the accessor pair must round-trip any positive value and
+   reject the degenerate ones. *)
+let test_session_budget_roundtrip () =
+  let s = Solver.Session.create ~conflict_budget:20_000 () in
+  Alcotest.(check int) "initial" 20_000 (Solver.Session.conflict_budget s);
+  Solver.Session.set_conflict_budget s 1_250;
+  Alcotest.(check int) "halved repeatedly" 1_250
+    (Solver.Session.conflict_budget s);
+  Solver.Session.set_conflict_budget s 80_000;
+  Alcotest.(check int) "doubled past the default" 80_000
+    (Solver.Session.conflict_budget s);
+  (match Solver.Session.set_conflict_budget s 0 with
+   | () -> Alcotest.fail "budget 0 accepted"
+   | exception Invalid_argument _ -> ());
+  Alcotest.(check int) "rejected set leaves budget unchanged" 80_000
+    (Solver.Session.conflict_budget s)
+
 let test_session_budget_precedence () =
   let open Expr in
   let x = fresh_var ~name:"bx" 24 and y = fresh_var ~name:"by" 24 in
@@ -652,5 +670,7 @@ let () =
             test_session_never_caches_unknown;
           Alcotest.test_case "explicit budget wins" `Quick
             test_session_budget_precedence;
+          Alcotest.test_case "budget accessor round-trip" `Quick
+            test_session_budget_roundtrip;
         ] );
     ]

@@ -377,6 +377,25 @@ let qcheck_trace_complete =
           | _ -> true)
         instrs body)
 
+(* The corpus dedupe key: FNV-1a 64 over the canonicalised edge set.
+   Order- and duplicate-insensitive, pinned to a concrete value so a
+   corpus written by an older build still deduplicates against this
+   one. *)
+let test_edge_signature () =
+  let edges = [ (3, 1l); (1, 0l); (2, 1l) ] in
+  let s = Wasabi.Trace.edge_signature edges in
+  Alcotest.(check int64) "order-insensitive" s
+    (Wasabi.Trace.edge_signature [ (1, 0l); (2, 1l); (3, 1l) ]);
+  Alcotest.(check int64) "duplicate-insensitive" s
+    (Wasabi.Trace.edge_signature ((2, 1l) :: edges));
+  Alcotest.(check bool) "direction-sensitive" true
+    (s <> Wasabi.Trace.edge_signature [ (1, 1l); (2, 1l); (3, 1l) ]);
+  Alcotest.(check int64) "empty set hashes to the FNV offset"
+    0xcbf29ce484222325L
+    (Wasabi.Trace.edge_signature []);
+  Alcotest.(check int64) "pinned value" 0x5f242d39c2422be4L
+    (Wasabi.Trace.edge_signature [ (1, 0l) ])
+
 let () =
   Alcotest.run "wasai_wasabi"
     [
@@ -392,6 +411,7 @@ let () =
           Alcotest.test_case "structure" `Quick test_trace_structure;
           Alcotest.test_case "only target traced" `Quick test_trace_only_target;
           Alcotest.test_case "coverage counting" `Quick test_coverage_counting;
+          Alcotest.test_case "edge signature" `Quick test_edge_signature;
           QCheck_alcotest.to_alcotest qcheck_trace_complete;
         ] );
     ]
