@@ -4,7 +4,8 @@
     Usage: [main.exe [experiment] [--scale N] [--rounds N] [--count N]]
 
     Experiments: fig3 table4 table5 table6 rq4 ablation solver campaign
-    campaign-smoke shard shard-smoke corpus corpus-smoke micro all
+    campaign-smoke shard shard-smoke corpus corpus-smoke trace trace-smoke
+    micro all
     (default: all).  [--scale]
     divides the corpus sizes (default 20; use [--full] for the paper-sized
     corpora — minutes of CPU).  [campaign] measures multi-domain scaling
@@ -16,7 +17,10 @@
     is a <10 s cache-on/off microbenchmark over a repeated-flip
     workload; [corpus] measures warm-vs-cold rounds-to-verdict with the
     persistent seed corpus; [corpus-smoke] is a <10 s warm-reuse parity
-    check. *)
+    check; [trace] measures the flat event-buffer collector against the
+    historical list collector (records/sec and allocated bytes per
+    payload, requires >= 2x fewer); [trace-smoke] is a <10 s
+    streaming-vs-materialised identity check. *)
 
 open Wasai_support
 module BG = Wasai_benchgen
@@ -846,6 +850,282 @@ let corpus_smoke () =
   if not ok then exit 1
 
 (* ------------------------------------------------------------------ *)
+(* Trace: flat event buffer vs the historical list collector            *)
+(* ------------------------------------------------------------------ *)
+
+module Wasabi = Wasai_wasabi
+module Trace = Wasabi.Trace
+
+(* The pre-buffer collector, reconstructed as the allocation baseline:
+   one heap record per event, operands consed onto a per-record list,
+   the payload reversed into a materialised [record list] at drain —
+   exactly the profile the flat tape removed. *)
+module List_collector = struct
+  type pending =
+    | P_none
+    | P_instr of int * Wasai_wasm.Values.value list
+    | P_pre of int * Wasai_wasm.Values.value list
+    | P_post of int * Wasai_wasm.Values.value list
+
+  type t = { mutable acc : Trace.record list; mutable pending : pending }
+
+  let create () = { acc = []; pending = P_none }
+
+  let flush t =
+    (match t.pending with
+    | P_none -> ()
+    | P_instr (site, ops) ->
+        t.acc <- Trace.R_instr { site; ops = List.rev ops } :: t.acc
+    | P_pre (site, args) ->
+        t.acc <- Trace.R_call_pre { site; args = List.rev args } :: t.acc
+    | P_post (site, results) ->
+        t.acc <- Trace.R_call_post { site; results = List.rev results } :: t.acc);
+    t.pending <- P_none
+
+  let begin_instr t s =
+    flush t;
+    t.pending <- P_instr (s, [])
+
+  let begin_call_pre t s =
+    flush t;
+    t.pending <- P_pre (s, [])
+
+  let begin_call_post t s =
+    flush t;
+    t.pending <- P_post (s, [])
+
+  let operand t v =
+    match t.pending with
+    | P_none -> ()
+    | P_instr (s, ops) -> t.pending <- P_instr (s, v :: ops)
+    | P_pre (s, ops) -> t.pending <- P_pre (s, v :: ops)
+    | P_post (s, ops) -> t.pending <- P_post (s, v :: ops)
+
+  let func_begin t f =
+    flush t;
+    t.acc <- Trace.R_func_begin f :: t.acc
+
+  let func_end t f =
+    flush t;
+    t.acc <- Trace.R_func_end f :: t.acc
+
+  let drain t =
+    flush t;
+    let r = List.rev t.acc in
+    t.acc <- [];
+    r
+end
+
+(* Re-drive one captured payload through a collector's hook API, exactly
+   as the instrumented contract's wasai.* imports would. *)
+let replay_hooks ~begin_instr ~begin_call_pre ~begin_call_post ~operand
+    ~func_begin ~func_end records =
+  List.iter
+    (fun r ->
+      match r with
+      | Trace.R_instr { site; ops } ->
+          begin_instr site;
+          List.iter operand ops
+      | Trace.R_call_pre { site; args } ->
+          begin_call_pre site;
+          List.iter operand args
+      | Trace.R_call_post { site; results } ->
+          begin_call_post site;
+          List.iter operand results
+      | Trace.R_func_begin f -> func_begin f
+      | Trace.R_func_end f -> func_end f)
+    records
+
+(* Capture the per-payload record streams (plus each payload's fused
+   scan) of a short real run over a DB-gated victim, so instr,
+   call-pre/post and func events all appear in the workload. *)
+let trace_payloads () =
+  let spec =
+    {
+      (BG.Contracts.default_spec (Wasai_eosio.Name.of_string "victim")) with
+      BG.Contracts.sp_fake_eos_guard = false;
+      sp_db_gate = true;
+      sp_payout_inline = true;
+      sp_blockinfo = true;
+    }
+  in
+  let m, abi = BG.Contracts.build spec in
+  let s =
+    Core.Engine.setup
+      { Core.Engine.default_config with Core.Engine.cfg_rounds = 2 }
+      {
+        Core.Engine.tgt_account = Wasai_eosio.Name.of_string "victim";
+        tgt_module = m;
+        tgt_abi = abi;
+      }
+  in
+  let actions = Array.of_list abi.Wasai_eosio.Abi.abi_actions in
+  let payloads = ref [] in
+  for round = 0 to 5 do
+    let def = actions.(round mod Array.length actions) in
+    let seed =
+      Core.Seed.random s.Core.Engine.rng ~identities:s.Core.Engine.identities
+        def
+    in
+    let channels =
+      if
+        Wasai_eosio.Name.equal def.Wasai_eosio.Abi.act_name
+          Wasai_eosio.Name.transfer
+      then
+        Core.Scanner.[ Ch_genuine; Ch_direct; Ch_fake_token; Ch_fake_notif ]
+      else [ Core.Scanner.Ch_action def.Wasai_eosio.Abi.act_name ]
+    in
+    List.iter
+      (fun channel ->
+        let ex = Core.Engine.run_one s seed channel in
+        payloads :=
+          (Trace.Buffer.to_list ex.Core.Engine.ex_trace, ex.Core.Engine.ex_scan)
+          :: !payloads)
+      channels
+  done;
+  (s, List.rev !payloads)
+
+let trace_exp () =
+  Printf.printf "\n=== Trace: flat event buffer vs list collector ===\n%!";
+  let _, payloads = trace_payloads () in
+  let streams = List.map fst payloads in
+  let records_per_sweep =
+    List.fold_left (fun n rs -> n + List.length rs) 0 streams
+  in
+  let reps = 400 in
+  let payload_count = reps * List.length streams in
+  let bench name f =
+    Gc.compact ();
+    let a0 = Gc.allocated_bytes () in
+    let _, t =
+      time_it (fun () ->
+          for _ = 1 to reps do
+            f ()
+          done)
+    in
+    let per_payload =
+      (Gc.allocated_bytes () -. a0) /. float_of_int payload_count
+    in
+    Printf.printf "  %-8s %8.2f Mrecords/s  %10.0f allocated bytes/payload\n%!"
+      name
+      (float_of_int (reps * records_per_sweep) /. t /. 1e6)
+      per_payload;
+    per_payload
+  in
+  let lc = List_collector.create () in
+  let list_bytes =
+    bench "list" (fun () ->
+        List.iter
+          (fun rs ->
+            replay_hooks
+              ~begin_instr:(List_collector.begin_instr lc)
+              ~begin_call_pre:(List_collector.begin_call_pre lc)
+              ~begin_call_post:(List_collector.begin_call_post lc)
+              ~operand:(List_collector.operand lc)
+              ~func_begin:(List_collector.func_begin lc)
+              ~func_end:(List_collector.func_end lc) rs;
+            ignore (List_collector.drain lc))
+          streams)
+  in
+  let buf = Trace.create () in
+  let buffer_bytes =
+    bench "buffer" (fun () ->
+        List.iter
+          (fun rs ->
+            Trace.reset buf;
+            replay_hooks ~begin_instr:(Trace.begin_instr buf)
+              ~begin_call_pre:(Trace.begin_call_pre buf)
+              ~begin_call_post:(Trace.begin_call_post buf)
+              ~operand:(Trace.operand buf) ~func_begin:(Trace.func_begin buf)
+              ~func_end:(Trace.func_end buf) rs;
+            ignore (Trace.Buffer.length buf))
+          streams)
+  in
+  let ratio = list_bytes /. Float.max 1.0 buffer_bytes in
+  let ok = ratio >= 2.0 in
+  Printf.printf
+    "  %d payloads x %d reps, %d records/sweep; allocation ratio list/buffer \
+     = %.1fx (required >= 2x): %b\n"
+    (List.length streams) reps records_per_sweep ratio ok;
+  if not ok then begin
+    Printf.printf "trace buffer benchmark FAILED\n";
+    exit 1
+  end
+
+(* Quick local verification (<10 s): the streaming pipeline must be
+   observationally identical to the historical materialised view.
+   Per-payload branch edges recomputed from the compat record list must
+   equal the fused scan's (hence equal coverage signatures), feeding the
+   record list back through the append path must round-trip losslessly,
+   and two identically-seeded fuzz runs through the buffer pipeline must
+   fire the same verdicts with the same coverage signature. *)
+let trace_smoke () =
+  Printf.printf "\n=== Trace smoke (streaming pipeline identity) ===\n%!";
+  let s, payloads = trace_payloads () in
+  let meta = s.Core.Engine.meta in
+  let ref_edges records =
+    List.filter_map
+      (fun r ->
+        match r with
+        | Trace.R_instr { site; ops = [ Wasai_wasm.Values.I32 c ] } -> (
+            match (Trace.site_of meta site).Trace.site_instr with
+            | Wasai_wasm.Ast.Br_if _ | Wasai_wasm.Ast.If _ ->
+                Some (site, if c = 0l then 0l else 1l)
+            | Wasai_wasm.Ast.Br_table _ -> Some (site, c)
+            | _ -> None)
+        | _ -> None)
+      records
+  in
+  let scan_ok, roundtrip_ok =
+    List.fold_left
+      (fun (sok, rok) (records, (sc : Core.Engine.scan)) ->
+        let edges = ref_edges records in
+        ( sok
+          && sc.Core.Engine.sc_edges = edges
+          && Int64.equal
+               (Trace.edge_signature sc.Core.Engine.sc_edges)
+               (Trace.edge_signature edges),
+          rok && Trace.Buffer.to_list (Trace.Buffer.of_records records) = records
+        ))
+      (true, true) payloads
+  in
+  let cover_signature (o : Core.Engine.outcome) =
+    Trace.edge_signature
+      (List.concat_map
+         (fun (i : Core.Engine.interesting) -> i.Core.Engine.is_cover)
+         o.Core.Engine.out_interesting)
+  in
+  let verdict_ok, signature_ok, truncated_ok =
+    List.fold_left
+      (fun (vok, gok, tok) smp ->
+        let cfg =
+          {
+            Core.Engine.default_config with
+            Core.Engine.cfg_rounds = 6;
+            cfg_rng_seed = Int64.of_int smp.BG.Corpus.smp_id;
+          }
+        in
+        let o1 = Core.Engine.fuzz ~cfg (target_of_sample smp) in
+        let o2 = Core.Engine.fuzz ~cfg (target_of_sample smp) in
+        ( vok && o1.Core.Engine.out_flags = o2.Core.Engine.out_flags,
+          gok
+          && Int64.equal (cover_signature o1) (cover_signature o2)
+          && o1.Core.Engine.out_branches = o2.Core.Engine.out_branches,
+          tok && o1.Core.Engine.out_truncated = 0 ))
+      (true, true, true)
+      (BG.Corpus.coverage_set ~count:4 ())
+  in
+  let ok = scan_ok && roundtrip_ok && verdict_ok && signature_ok && truncated_ok in
+  Printf.printf
+    "%d payloads: fused scan edges = list-pass edges: %b; record round-trip \
+     lossless: %b; rerun verdicts identical: %b; coverage signatures \
+     identical: %b; no spurious truncation: %b -> %s\n"
+    (List.length payloads) scan_ok roundtrip_ok verdict_ok signature_ok
+    truncated_ok
+    (if ok then "OK" else "MISMATCH");
+  if not ok then exit 1
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro benchmarks                                            *)
 (* ------------------------------------------------------------------ *)
 
@@ -955,6 +1235,8 @@ let () =
     | "shard-smoke" -> shard_smoke ()
     | "corpus" -> corpus_exp opts
     | "corpus-smoke" -> corpus_smoke ()
+    | "trace" -> trace_exp ()
+    | "trace-smoke" -> trace_smoke ()
     | "micro" -> micro ()
     | "all" ->
         fig3 opts;
@@ -967,6 +1249,7 @@ let () =
         campaign_exp opts;
         shard_exp opts;
         corpus_exp opts;
+        trace_exp ();
         micro ()
     | other -> Printf.eprintf "unknown experiment %s\n" other
   in

@@ -28,22 +28,28 @@ type outcome = {
 let flagged (o : outcome) (f : Core.Scanner.flag) : bool option =
   match List.assoc_opt f o.ef_flags with Some v -> v | None -> None
 
+module B = Wasabi.Trace.Buffer
+
 (* Import-call detection in a trace. *)
-let calls_import meta records names =
+let calls_import meta buf names =
   let ids = List.filter_map (fun n -> Wasabi.Trace.find_env_import meta n) names in
-  List.exists
-    (fun r ->
-      match r with
-      | Wasabi.Trace.R_call_pre { site; _ } -> (
-          match (Wasabi.Trace.site_of meta site).Wasabi.Trace.site_instr with
-          | Wasm.Ast.Call fi -> List.mem fi ids
-          | _ -> false)
-      | _ -> false)
-    records
+  let n = B.length buf in
+  let rec go i =
+    i < n
+    && ((B.kind buf i = B.K_call_pre
+         &&
+         match
+           (Wasabi.Trace.site_of meta (B.label buf i)).Wasabi.Trace.site_instr
+         with
+         | Wasm.Ast.Call fi -> List.mem fi ids
+         | _ -> false)
+       || go (i + 1))
+  in
+  go 0
 
 (* "Provided services": a visible side effect of the victim. *)
-let visible_effect meta records =
-  calls_import meta records
+let visible_effect meta buf =
+  calls_import meta buf
     [
       "send_inline"; "send_deferred"; "db_store_i64"; "db_update_i64";
       "db_remove_i64"; "printi"; "prints"; "printn";
@@ -86,8 +92,9 @@ let fuzz ?(rounds = 60) ?(rng_seed = 2L) (target : Core.Engine.target) :
     let candidates = s.Core.Engine.scanner.Core.Scanner.action_candidates in
     List.iter
       (fun channel ->
-        let result, records, _ = Core.Engine.run_one s seed channel in
-        if result.Chain.tx_ok then begin
+        let ex = Core.Engine.run_one s seed channel in
+        let buf = ex.Core.Engine.ex_trace in
+        if ex.Core.Engine.ex_result.Chain.tx_ok then begin
           (* "Executed successfully" = the transaction committed AND the
              fuzzing target's action function actually ran. *)
           (match channel with
@@ -96,16 +103,16 @@ let fuzz ?(rounds = 60) ?(rng_seed = 2L) (target : Core.Engine.target) :
                if
                  List.exists
                    (fun f -> List.mem f candidates)
-                   (Core.Scanner.executed_ids records)
+                   ex.Core.Engine.ex_scan.Core.Engine.sc_executed
                then any_success := true);
-          let effect = visible_effect meta records in
+          let effect = visible_effect meta buf in
           (match channel with
            | Core.Scanner.Ch_direct | Core.Scanner.Ch_fake_token ->
                (* Flaw: positive no matter which action responded. *)
-               if records <> [] && effect then fake_eos := true
+               if B.length buf > 0 && effect then fake_eos := true
            | Core.Scanner.Ch_fake_notif -> if effect then fake_notif := true
            | Core.Scanner.Ch_genuine | Core.Scanner.Ch_action _ -> ());
-          if calls_import meta records [ "tapos_block_prefix"; "tapos_block_num" ]
+          if calls_import meta buf [ "tapos_block_prefix"; "tapos_block_num" ]
           then blockinfo := true
         end)
       channels;

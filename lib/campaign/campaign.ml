@@ -235,6 +235,11 @@ let run (cfg : config) (targets : target_spec list) : report =
              in
              let s0 = Unix.gettimeofday () in
              let o = Core.Engine.fuzz ~cfg:ecfg target in
+             if o.Core.Engine.out_truncated > 0 then
+               Printf.eprintf
+                 "wasai: warning: %s: %d payload trace(s) truncated at the \
+                  collector limit; verdicts are best-effort\n%!"
+                 spec.sp_name o.Core.Engine.out_truncated;
              let entry =
                Journal.of_outcome ~name:spec.sp_name
                  ~elapsed:(Unix.gettimeofday () -. s0)

@@ -84,6 +84,9 @@ type outcome = {
           (0 when nothing ever fired) *)
   out_final_budget : int;
       (** the solver conflict budget after adaptive retuning *)
+  out_truncated : int;
+      (** payloads whose trace hit the collector limit and was cut
+          short — verdicts over those traces are best-effort *)
 }
 
 (* Well-known session accounts. *)
@@ -111,6 +114,8 @@ type session = {
   mutable transactions : int;
   mutable solver_sat : int;
   mutable imprecise : int;
+  mutable truncated_payloads : int;
+      (** payloads whose trace hit the collector limit *)
   mutable current_action : Name.t;  (** for DBG attribution *)
   db_find_import : int option;
   seen_seeds : (string, unit) Hashtbl.t;  (** dedup of generated argument vectors *)
@@ -252,6 +257,7 @@ let setup (cfg : config) (target : target) : session =
       transactions = 0;
       solver_sat = 0;
       imprecise = 0;
+      truncated_payloads = 0;
       current_action = Name.transfer;
       db_find_import = Wasabi.Trace.find_env_import meta "db_find_i64";
       (* Deliberately NOT seeded with the preload keys: if feedback
@@ -344,61 +350,87 @@ let payload (s : session) (seed : Seed.t) (channel : Scanner.channel) :
         seed.Seed.sd_args )
 
 (* ------------------------------------------------------------------ *)
-(* Coverage and DBG maintenance from traces                            *)
+(* Fused streaming trace scan                                          *)
 (* ------------------------------------------------------------------ *)
 
-(* The (site, direction) edges a trace exercised — the currency of both
-   the live coverage map and the persistent corpus signatures. *)
-let edges_of_records (s : session) (records : Wasabi.Trace.record list) :
-    (int * int32) list =
-  List.filter_map
-    (fun r ->
-      match r with
-      | Wasabi.Trace.R_instr { site; ops = [ Wasm.Values.I32 c ] } -> (
-          match (Wasabi.Trace.site_of s.meta site).Wasabi.Trace.site_instr with
+module B = Wasabi.Trace.Buffer
+
+(** Everything the engine extracts from one payload's trace, computed in
+    a single streaming pass over the event buffer (what used to be four
+    independent list walks: branch edges, coverage, the db_find read-miss
+    machine, and the scanner's executed-function chain). *)
+type scan = {
+  sc_edges : (int * int32) list;
+      (** (site, direction) edges in trace order, duplicates preserved —
+          the currency of the live coverage map and corpus signatures *)
+  sc_executed : int list;  (** function ids that began execution, in order *)
+  sc_read_missed : int64 option;
+      (** last table a db_find probed and missed (end iterator) *)
+  sc_read_hit : int64 option;  (** last table a db_find probed and hit *)
+}
+
+(* Pure: folds the buffer once.  [db_find] is the absolute import index
+   of env.db_find_i64 when the contract imports it. *)
+let scan_trace ~(meta : Wasabi.Trace.meta) ?db_find (buf : B.t) : scan =
+  let n = B.length buf in
+  let edges = ref [] and executed = ref [] in
+  (* db_find read-miss machine: a call_pre into db_find arms [pending]
+     with its event index; the matching call_post's single i32 result is
+     the iterator (-1 = miss).  Last write wins, as in the list passes. *)
+  let pending = ref (-1) in
+  let missed = ref None and hit = ref None in
+  for i = 0 to n - 1 do
+    match B.kind buf i with
+    | B.K_instr ->
+        if B.op_count buf i = 1 && B.op_is_i32 buf i 0 then begin
+          let site = B.label buf i in
+          match (Wasabi.Trace.site_of meta site).Wasabi.Trace.site_instr with
           | Wasm.Ast.Br_if _ | Wasm.Ast.If _ ->
-              Some (site, if c = 0l then 0l else 1l)
-          | Wasm.Ast.Br_table _ -> Some (site, c)
-          | _ -> None)
-      | _ -> None)
-    records
+              let c = B.op_i32 buf i 0 in
+              edges := (site, if c = 0l then 0l else 1l) :: !edges
+          | Wasm.Ast.Br_table _ -> edges := (site, B.op_i32 buf i 0) :: !edges
+          | _ -> ()
+        end
+    | B.K_call_pre -> (
+        match db_find with
+        | None -> ()
+        | Some fi -> (
+            match
+              (Wasabi.Trace.site_of meta (B.label buf i)).Wasabi.Trace.site_instr
+            with
+            | Wasm.Ast.Call f when f = fi -> pending := i
+            | _ -> pending := -1))
+    | B.K_call_post ->
+        if db_find <> None then begin
+          (if !pending >= 0 && B.op_count buf i = 1 && B.op_is_i32 buf i 0 then
+             let pre = !pending in
+             (* args pattern [ _code; _scope; I64 table; _id ] *)
+             if B.op_count buf pre = 4 && B.op_is_i64 buf pre 2 then begin
+               let table = B.op_bits buf pre 2 in
+               if B.op_i32 buf i 0 = -1l then missed := Some table
+               else hit := Some table
+             end);
+          pending := -1
+        end
+    | B.K_func_begin -> executed := B.label buf i :: !executed
+    | B.K_func_end -> ()
+  done;
+  {
+    sc_edges = List.rev !edges;
+    sc_executed = List.rev !executed;
+    sc_read_missed = !missed;
+    sc_read_hit = !hit;
+  }
 
-let update_coverage (s : session) (records : Wasabi.Trace.record list) =
-  List.iter
-    (fun e -> Hashtbl.replace s.branches e ())
-    (edges_of_records s records)
-
-(* Spot db_find calls that returned the end iterator: the read-miss signal
-   driving transaction-dependency resolution. *)
-let update_read_miss (s : session) (records : Wasabi.Trace.record list) =
-  match s.db_find_import with
-  | None -> ()
-  | Some db_find ->
-      let pending = ref None in
-      let missed = ref None and hit = ref None in
-      List.iter
-        (fun r ->
-          match r with
-          | Wasabi.Trace.R_call_pre { site; args } -> (
-              match (Wasabi.Trace.site_of s.meta site).Wasabi.Trace.site_instr with
-              | Wasm.Ast.Call fi when fi = db_find -> pending := Some args
-              | _ -> pending := None)
-          | Wasabi.Trace.R_call_post { results; _ } -> (
-              match (!pending, results) with
-              | Some args, [ Wasm.Values.I32 itr ] ->
-                  (match args with
-                   | [ _code; _scope; Wasm.Values.I64 table; _id ] ->
-                       if itr = -1l then missed := Some table else hit := Some table
-                   | _ -> ());
-                  pending := None
-              | _ -> pending := None)
-          | _ -> ())
-        records;
-      (match !missed with
-       | Some table -> Dbg.record_read_miss s.dbg ~action:s.current_action table
-       | None -> ());
-      if !missed = None && !hit <> None then
-        Dbg.clear_read_miss s.dbg ~action:s.current_action
+(* Fold one scan into the session: live coverage map plus the DBG
+   read-miss signal driving transaction-dependency resolution. *)
+let absorb_scan (s : session) (sc : scan) =
+  List.iter (fun e -> Hashtbl.replace s.branches e ()) sc.sc_edges;
+  (match sc.sc_read_missed with
+   | Some table -> Dbg.record_read_miss s.dbg ~action:s.current_action table
+   | None -> ());
+  if sc.sc_read_missed = None && sc.sc_read_hit <> None then
+    Dbg.clear_read_miss s.dbg ~action:s.current_action
 
 (* ------------------------------------------------------------------ *)
 (* One fuzzing execution                                                *)
@@ -418,8 +450,19 @@ let replenish (s : session) =
   Token.set_balance s.chain ~token:Name.eosio_token ~owner:s.target.tgt_account
     ~symbol:Asset.Symbol.eos 500_0000L
 
+(** One payload's execution: the transaction result, the trace buffer
+    (an alias of the session collector — read it before the next
+    [run_one], which resets it), its fused scan, and the argument vector
+    the victim's action function observed. *)
+type execution = {
+  ex_result : Chain.tx_result;
+  ex_trace : B.t;
+  ex_scan : scan;
+  ex_observed : Abi.value list;
+}
+
 let run_one (s : session) (seed : Seed.t) (channel : Scanner.channel) :
-    Chain.tx_result * Wasabi.Trace.record list * Abi.value list =
+    execution =
   let action, observed_args = payload s seed channel in
   replenish s;
   s.current_action <- seed.Seed.sd_action;
@@ -428,15 +471,17 @@ let run_one (s : session) (seed : Seed.t) (channel : Scanner.channel) :
   s.transactions <- s.transactions + 1;
   (* Deferred transactions run right after, as the next block. *)
   ignore (Chain.run_deferred s.chain);
-  let records = Wasabi.Trace.drain s.collector in
-  Scanner.observe ~payload:action s.scanner ~channel records;
-  update_coverage s records;
-  update_read_miss s records;
-  (result, records, observed_args)
+  let buf = s.collector in
+  if B.truncated buf then s.truncated_payloads <- s.truncated_payloads + 1;
+  let sc = scan_trace ~meta:s.meta ?db_find:s.db_find_import buf in
+  absorb_scan s sc;
+  Scanner.observe ~payload:action ~executed:sc.sc_executed s.scanner ~channel
+    buf;
+  { ex_result = result; ex_trace = buf; ex_scan = sc; ex_observed = observed_args }
 
 (* Symbolic feedback: replay, flip, solve, enqueue adaptive seeds. *)
-let feedback (s : session) (seed : Seed.t)
-    (records : Wasabi.Trace.record list) (observed_args : Abi.value list) =
+let feedback (s : session) (seed : Seed.t) (buf : B.t)
+    (observed_args : Abi.value list) =
   match Abi.find_action s.target.tgt_abi seed.Seed.sd_action with
   | None -> ()
   | Some def ->
@@ -444,15 +489,18 @@ let feedback (s : session) (seed : Seed.t)
         (* Infer from the call_pre into the action function. *)
         let candidates = s.scanner.Scanner.action_candidates in
         let arity = List.length def.Abi.act_params + 1 in
-        let rec entry_args = function
-          | [] -> None
-          | Wasabi.Trace.R_call_pre { args; _ }
-            :: Wasabi.Trace.R_func_begin f :: _
-            when List.mem f candidates && List.length args >= arity ->
-              Some args
-          | _ :: rest -> entry_args rest
+        let n = B.length buf in
+        let rec entry_args i =
+          if i + 1 >= n then None
+          else if
+            B.kind buf i = B.K_call_pre
+            && B.kind buf (i + 1) = B.K_func_begin
+            && List.mem (B.label buf (i + 1)) candidates
+            && B.op_count buf i >= arity
+          then Some (B.ops buf i)
+          else entry_args (i + 1)
         in
-        match entry_args records with
+        match entry_args 0 with
         | Some args -> Some (Sym.Convention.infer def args)
         | None -> None
       in
@@ -461,7 +509,7 @@ let feedback (s : session) (seed : Seed.t)
        | Some lay ->
            let result =
              Sym.Replay.run ~layout:lay ~meta:s.meta
-               ~target_funcs:s.scanner.Scanner.action_candidates records
+               ~target_funcs:s.scanner.Scanner.action_candidates buf
            in
            s.imprecise <- s.imprecise + result.Sym.Replay.r_imprecise;
            let side = Sym.Flip.payload_sanity lay ~max_amount:funding in
@@ -545,14 +593,15 @@ let fuzz ?(cfg = default_config)
     in
     List.iter
       (fun channel ->
-        let _, records, observed = run_one s seed channel in
-        List.iter (fun e -> Hashtbl.replace cov e ()) (edges_of_records s records);
+        let ex = run_one s seed channel in
+        List.iter (fun e -> Hashtbl.replace cov e ()) ex.ex_scan.sc_edges;
         (* Imported (corpus-replayed) seeds contribute coverage and chain
            state but no flip derivation: the producing run already paid
            the solver for every flip reachable from these traces, so
            re-deriving them here would only flood the pool with duplicate
            adaptive work. *)
-        if cfg.cfg_feedback && not replayed then feedback s seed records observed)
+        if cfg.cfg_feedback && not replayed then
+          feedback s seed ex.ex_trace ex.ex_observed)
       chans;
     (match saved_clock with
      | Some (bn, bp, ht) ->
@@ -694,6 +743,7 @@ let fuzz ?(cfg = default_config)
     out_interesting = List.rev !interesting;
     out_verdict_round = !verdict_round;
     out_final_budget = Solver.Session.conflict_budget s.solver;
+    out_truncated = s.truncated_payloads;
   }
 
 let flagged (o : outcome) (f : Scanner.flag) : bool =

@@ -81,8 +81,13 @@ type outcome = {
       (** the solver conflict budget after per-round adaptive retuning:
           halved (floored at 1/16 of [cfg_solver_budget]) on rounds
           producing new Unknowns, doubled (capped at 4x) on rounds whose
-          fresh-seed queue drained early; equals [cfg_solver_budget] when
-          [cfg_feedback] is off *)
+          fresh-seed queue drained early; equals [cfg_solver_budget]
+          when [cfg_feedback] is off *)
+  out_truncated : int;
+      (** payloads whose trace hit the collector's event limit and was
+          cut short; 0 on healthy targets — reports print a warning when
+          positive, since verdicts over truncated traces are
+          best-effort *)
 }
 
 (** Well-known session accounts. *)
@@ -118,6 +123,8 @@ type session = {
   mutable transactions : int;
   mutable solver_sat : int;
   mutable imprecise : int;
+  mutable truncated_payloads : int;
+      (** payloads whose trace hit the collector limit *)
   mutable current_action : Name.t;
   db_find_import : int option;
   seen_seeds : (string, unit) Hashtbl.t;
@@ -131,13 +138,37 @@ val payload : session -> Seed.t -> Scanner.channel -> Action.t * Abi.value list
 (** The action pushed for a seed on a channel, plus the argument vector
     the victim's action function actually observes. *)
 
-val run_one :
-  session ->
-  Seed.t ->
-  Scanner.channel ->
-  Chain.tx_result * Wasabi.Trace.record list * Abi.value list
-(** Execute one payload: replenish balances, push, drain the trace, feed
-    the scanner and the coverage/DBG accounting. *)
+(** Everything the engine extracts from one payload's trace, computed in
+    a single streaming pass over the event buffer (formerly four
+    independent list walks). *)
+type scan = {
+  sc_edges : (int * int32) list;
+      (** (site, direction) edges in trace order, duplicates preserved *)
+  sc_executed : int list;  (** function ids that began execution, in order *)
+  sc_read_missed : int64 option;
+      (** last table a db_find probed and missed (end iterator) *)
+  sc_read_hit : int64 option;  (** last table a db_find probed and hit *)
+}
+
+val scan_trace :
+  meta:Wasabi.Trace.meta -> ?db_find:int -> Wasabi.Trace.Buffer.t -> scan
+(** Pure fused pass over a trace buffer; [db_find] is the absolute
+    import index of [env.db_find_i64] when the contract imports it.
+    Equivalent to — and property-tested against — the historical
+    separate list passes. *)
+
+(** One payload's execution.  [ex_trace] aliases the session collector:
+    read it before the next {!run_one}, which resets it. *)
+type execution = {
+  ex_result : Chain.tx_result;
+  ex_trace : Wasabi.Trace.Buffer.t;
+  ex_scan : scan;
+  ex_observed : Abi.value list;
+}
+
+val run_one : session -> Seed.t -> Scanner.channel -> execution
+(** Execute one payload: replenish balances, push, scan the trace once,
+    feed the scanner and the coverage/DBG accounting. *)
 
 val fuzz :
   ?cfg:config ->

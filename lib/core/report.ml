@@ -56,6 +56,10 @@ let to_text ?(verbose = false) (r : t) : string =
        ~total:
          (st.Wasai_smt.Solver.st_cache_hits
          + st.Wasai_smt.Solver.st_cache_misses));
+  if o.Engine.out_truncated > 0 then
+    line "  WARNING: %d payload trace%s truncated at the collector limit; verdicts are best-effort"
+      o.Engine.out_truncated
+      (if o.Engine.out_truncated = 1 then "" else "s");
   line "  verdicts:";
   List.iter
     (fun (f, b) ->

@@ -54,7 +54,7 @@ let flag_of_string s = List.find_opt (fun f -> string_of_flag f = s) all_flags
     event it looks for occurred.  Once fired, it stays fired. *)
 type custom_oracle = {
   co_name : string;
-  co_detect : channel -> Trace.record list -> bool;
+  co_detect : channel -> Trace.Buffer.t -> bool;
 }
 
 type t = {
@@ -116,17 +116,23 @@ let create ~(meta : Trace.meta) ~(victim : Name.t) ~(fake_notif_agent : Name.t)
 let register_custom (t : t) (oracle : custom_oracle) =
   t.custom <- t.custom @ [ (oracle, ref false) ]
 
-(* Function ids that began execution, in order (the id⃗ chain of §3.5). *)
-let executed_ids (records : Trace.record list) : int list =
-  List.filter_map
-    (function Trace.R_func_begin f -> Some f | _ -> None)
-    records
+module B = Trace.Buffer
 
-(* Import function called by a call_pre record, if any. *)
-let called_import (t : t) (r : Trace.record) : int option =
-  match r with
-  | Trace.R_call_pre { site; _ } -> (
-      match (Trace.site_of t.meta site).Trace.site_instr with
+(* Function ids that began execution, in order (the id⃗ chain of §3.5). *)
+let executed_ids (buf : B.t) : int list =
+  let rec go i acc =
+    if i < 0 then acc
+    else
+      go (i - 1)
+        (if B.kind buf i = B.K_func_begin then B.label buf i :: acc else acc)
+  in
+  go (B.length buf - 1) []
+
+(* Import function called by a call_pre event, if any. *)
+let called_import (t : t) (buf : B.t) (i : int) : int option =
+  match B.kind buf i with
+  | B.K_call_pre -> (
+      match (Trace.site_of t.meta (B.label buf i)).Trace.site_instr with
       | Wasm.Ast.Call fi
         when fi < Wasm.Ast.num_func_imports t.meta.Trace.instrumented ->
           Some fi
@@ -136,51 +142,58 @@ let called_import (t : t) (r : Trace.record) : int option =
 (* Does the trace contain the Listing-2 guard: an instruction comparing
    exactly the pair {agent, victim}?  Besides i64.eq/ne this matches the
    xor/sub forms that comparison-encoding obfuscation rewrites to. *)
-let guard_observed (t : t) (records : Trace.record list) : bool =
+let guard_observed (t : t) (buf : B.t) : bool =
   let agent = t.fake_notif_agent and self = t.victim in
-  List.exists
-    (fun r ->
-      match r with
-      | Trace.R_instr { site; ops = [ Wasm.Values.I64 a; Wasm.Values.I64 b ] }
-        -> (
-          match (Trace.site_of t.meta site).Trace.site_instr with
-          | Wasm.Ast.Int_compare (Wasm.Types.I64, (Wasm.Ast.Eq | Wasm.Ast.Ne))
-          | Wasm.Ast.Int_binary (Wasm.Types.I64, (Wasm.Ast.Xor | Wasm.Ast.Sub))
-            ->
-              (Int64.equal a agent && Int64.equal b self)
-              || (Int64.equal a self && Int64.equal b agent)
-          | _ -> false)
-      | _ -> false)
-    records
+  let n = B.length buf in
+  let rec go i =
+    i < n
+    && ((B.kind buf i = B.K_instr
+         && B.op_count buf i = 2
+         && B.op_is_i64 buf i 0 && B.op_is_i64 buf i 1
+         && (match (Trace.site_of t.meta (B.label buf i)).Trace.site_instr with
+             | Wasm.Ast.Int_compare (Wasm.Types.I64, (Wasm.Ast.Eq | Wasm.Ast.Ne))
+             | Wasm.Ast.Int_binary (Wasm.Types.I64, (Wasm.Ast.Xor | Wasm.Ast.Sub))
+               ->
+                 let a = B.op_bits buf i 0 and b = B.op_bits buf i 1 in
+                 (Int64.equal a agent && Int64.equal b self)
+                 || (Int64.equal a self && Int64.equal b agent)
+             | _ -> false))
+       || go (i + 1))
+  in
+  go 0
 
 (* MissAuth: an effect API invoked with no permission API anywhere before
    it in the execution chain. *)
-let miss_auth_in (t : t) (records : Trace.record list) : bool =
+let miss_auth_in (t : t) (buf : B.t) : bool =
   let seen_auth = ref false in
   let hit = ref false in
-  List.iter
-    (fun r ->
-      match called_import t r with
-      | Some fi ->
-          if List.mem fi t.auth_ids then seen_auth := true
-          else if (not !seen_auth) && List.mem fi t.effect_ids then hit := true
-      | None -> ())
-    records;
+  for i = 0 to B.length buf - 1 do
+    match called_import t buf i with
+    | Some fi ->
+        if List.mem fi t.auth_ids then seen_auth := true
+        else if (not !seen_auth) && List.mem fi t.effect_ids then hit := true
+    | None -> ()
+  done;
   !hit
 
-let calls_any (t : t) (records : Trace.record list) (ids : int list) : bool =
-  List.exists
-    (fun r ->
-      match called_import t r with
-      | Some fi -> List.mem fi ids
-      | None -> false)
-    records
+let calls_any (t : t) (buf : B.t) (ids : int list) : bool =
+  let n = B.length buf in
+  let rec go i =
+    i < n
+    && ((match called_import t buf i with
+         | Some fi -> List.mem fi ids
+         | None -> false)
+       || go (i + 1))
+  in
+  go 0
 
 (** Feed one executed payload's trace into the scanner.  [payload] is the
     action that was pushed: when a detector first fires, it is kept as
-    the exploit evidence. *)
-let observe ?(payload : Wasai_eosio.Action.t option) (t : t)
-    ~(channel : channel) (records : Trace.record list) =
+    the exploit evidence.  [executed] lets a caller that already streamed
+    the buffer (the engine's fused scan) pass the function-begin chain in
+    instead of re-walking the trace. *)
+let observe ?(payload : Wasai_eosio.Action.t option) ?(executed : int list option)
+    (t : t) ~(channel : channel) (buf : B.t) =
   let record_evidence flag =
     match payload with
     | Some act when not (List.mem_assoc flag t.evidence) ->
@@ -188,7 +201,7 @@ let observe ?(payload : Wasai_eosio.Action.t option) (t : t)
           t.evidence @ [ (flag, { ev_channel = channel; ev_payload = act }) ]
     | _ -> ()
   in
-  let ids = executed_ids records in
+  let ids = match executed with Some ids -> ids | None -> executed_ids buf in
   (* id_e: the action function executing during a *valid* EOS transfer. *)
   (match (channel, t.eosponser_id) with
    | Ch_genuine, None ->
@@ -214,25 +227,25 @@ let observe ?(payload : Wasai_eosio.Action.t option) (t : t)
          record_evidence Fake_notif
        end
    | Ch_genuine | Ch_action _ -> ());
-  if guard_observed t records then t.notif_guard_seen <- true;
-  if miss_auth_in t records then begin
+  if guard_observed t buf then t.notif_guard_seen <- true;
+  if miss_auth_in t buf then begin
     t.miss_auth_hit <- true;
     record_evidence Miss_auth
   end;
-  if calls_any t records t.blockinfo_ids then begin
+  if calls_any t buf t.blockinfo_ids then begin
     t.blockinfo_hit <- true;
     record_evidence Blockinfo_dep
   end;
   (match t.send_inline_id with
    | Some id ->
-       if calls_any t records [ id ] then begin
+       if calls_any t buf [ id ] then begin
          t.rollback_hit <- true;
          record_evidence Rollback
        end
    | None -> ());
   List.iter
     (fun (oracle, fired) ->
-      if (not !fired) && oracle.co_detect channel records then fired := true)
+      if (not !fired) && oracle.co_detect channel buf then fired := true)
     t.custom
 
 (** Final verdict for one vulnerability class. *)
@@ -370,35 +383,31 @@ let evidence_of_wire (s : string) : (evidence, string) result =
 (* Helpers for writing custom oracles                                  *)
 (* ------------------------------------------------------------------ *)
 
-(** [calls_env_import meta name records]: did the trace call the named
-    env API?  The building block most detectors need. *)
-let calls_env_import (meta : Trace.meta) (name : string)
-    (records : Trace.record list) : bool =
-  match Trace.find_env_import meta name with
-  | None -> false
-  | Some id ->
-      List.exists
-        (fun r ->
-          match r with
-          | Trace.R_call_pre { site; _ } -> (
-              match (Trace.site_of meta site).Trace.site_instr with
-              | Wasm.Ast.Call fi -> fi = id
-              | _ -> false)
-          | _ -> false)
-        records
-
-(** Arguments of the first call to the named env API in the trace. *)
-let first_call_args (meta : Trace.meta) (name : string)
-    (records : Trace.record list) : Wasm.Values.value list option =
+(* Index of the first call_pre into the named env API, if any. *)
+let find_call (meta : Trace.meta) (name : string) (buf : B.t) : int option =
   match Trace.find_env_import meta name with
   | None -> None
   | Some id ->
-      List.find_map
-        (fun r ->
-          match r with
-          | Trace.R_call_pre { site; args } -> (
-              match (Trace.site_of meta site).Trace.site_instr with
-              | Wasm.Ast.Call fi when fi = id -> Some args
-              | _ -> None)
-          | _ -> None)
-        records
+      let n = B.length buf in
+      let rec go i =
+        if i >= n then None
+        else if
+          B.kind buf i = B.K_call_pre
+          &&
+          match (Trace.site_of meta (B.label buf i)).Trace.site_instr with
+          | Wasm.Ast.Call fi -> fi = id
+          | _ -> false
+        then Some i
+        else go (i + 1)
+      in
+      go 0
+
+(** [calls_env_import meta name buf]: did the trace call the named
+    env API?  The building block most detectors need. *)
+let calls_env_import (meta : Trace.meta) (name : string) (buf : B.t) : bool =
+  find_call meta name buf <> None
+
+(** Arguments of the first call to the named env API in the trace. *)
+let first_call_args (meta : Trace.meta) (name : string) (buf : B.t) :
+    Wasm.Values.value list option =
+  Option.map (B.ops buf) (find_call meta name buf)

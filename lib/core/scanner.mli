@@ -26,11 +26,11 @@ val flag_of_string : string -> flag option
 (** Strict inverse of {!string_of_flag}. *)
 
 (** A user-supplied detector (the §5 extension interface): analyse each
-    executed payload's trace and return [true] when the exploit event
-    occurred.  Once fired, it stays fired. *)
+    executed payload's trace buffer and return [true] when the exploit
+    event occurred.  Once fired, it stays fired. *)
 type custom_oracle = {
   co_name : string;
-  co_detect : channel -> Wasai_wasabi.Trace.record list -> bool;
+  co_detect : channel -> Wasai_wasabi.Trace.Buffer.t -> bool;
 }
 
 type t = {
@@ -62,13 +62,20 @@ and evidence = {
 
 val create : meta:Trace.meta -> victim:Name.t -> fake_notif_agent:Name.t -> t
 
-val executed_ids : Trace.record list -> int list
+val executed_ids : Trace.Buffer.t -> int list
 (** Function ids that began execution, in order (the id⃗ chain). *)
 
 val observe :
-  ?payload:Wasai_eosio.Action.t -> t -> channel:channel -> Trace.record list -> unit
+  ?payload:Wasai_eosio.Action.t ->
+  ?executed:int list ->
+  t ->
+  channel:channel ->
+  Trace.Buffer.t ->
+  unit
 (** Feed one executed payload's trace; the payload is kept as exploit
-    evidence the first time each detector fires. *)
+    evidence the first time each detector fires.  [executed] is the
+    precomputed {!executed_ids} chain when the caller already streamed
+    the buffer (the engine's fused scan). *)
 
 val verdict : t -> flag -> bool
 val report : t -> (flag * bool) list
@@ -94,10 +101,10 @@ val evidence_of_wire : string -> (evidence, string) result
 (** Strict inverse of {!evidence_to_wire}: field count, channel keyword,
     EOSIO names and hex payload are all validated. *)
 
-val calls_env_import : Trace.meta -> string -> Trace.record list -> bool
+val calls_env_import : Trace.meta -> string -> Trace.Buffer.t -> bool
 (** Did the trace call the named env API?  The building block most
     detectors need. *)
 
 val first_call_args :
-  Trace.meta -> string -> Trace.record list -> Wasai_wasm.Values.value list option
+  Trace.meta -> string -> Trace.Buffer.t -> Wasai_wasm.Values.value list option
 (** Arguments of the first call to the named env API. *)

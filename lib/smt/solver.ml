@@ -179,6 +179,7 @@ module Session = struct
     mutable sx_unknown : int;
     mutable sx_hits : int;
     mutable sx_misses : int;
+    mutable sx_subsumed : int;
   }
 
   let create ?(conflict_budget = default_conflict_budget)
@@ -197,6 +198,7 @@ module Session = struct
       sx_unknown = 0;
       sx_hits = 0;
       sx_misses = 0;
+      sx_subsumed = 0;
     }
 
   let conflict_budget t = t.sx_budget
@@ -221,6 +223,8 @@ module Session = struct
       st_cache_misses = t.sx_misses;
     }
 
+  let subsumed t = t.sx_subsumed
+
   (* The cache key is the multiset of constraint identities, canonicalised
      by sorting the (interned) tags.  Tag values are scheduling-dependent,
      but multiset equality is not: within one session, two queries collide
@@ -230,6 +234,31 @@ module Session = struct
      across domains). *)
   let key_of (constraints : Expr.t list) : int list =
     List.sort Int.compare (List.map Expr.tag constraints)
+
+  (* [small] is a sub-multiset of [big]; both ascending-sorted. *)
+  let rec is_submultiset (small : int list) (big : int list) : bool =
+    match (small, big) with
+    | [], _ -> true
+    | _ :: _, [] -> false
+    | s :: small', b :: big' ->
+        if s = b then is_submultiset small' big'
+        else if s > b then is_submultiset small big'
+        else false
+
+  (* Unsat-subset subsumption: a conjunction only grows stronger, so any
+     cached Unsat set contained in the query refutes the query too.  The
+     fold asks only whether {e some} such entry exists — an
+     iteration-order-independent question, so the determinism contract
+     survives even though tag values (and hence Hashtbl layout) are
+     scheduling-dependent.  For the same reason the matching entry's LRU
+     stamp is deliberately {e not} refreshed, and the subsumed query is
+     not inserted: both would make cache evolution depend on which entry
+     the iteration found. *)
+  let subsumes_unsat t (key : int list) : bool =
+    Hashtbl.fold
+      (fun k e acc ->
+        acc || (e.ce_verdict = C_unsat && is_submultiset k key))
+      t.sx_cache false
 
   let find t key =
     if t.sx_capacity = 0 then begin
@@ -244,8 +273,15 @@ module Session = struct
           t.sx_hits <- t.sx_hits + 1;
           Some e.ce_verdict
       | None ->
-          t.sx_misses <- t.sx_misses + 1;
-          None
+          if subsumes_unsat t key then begin
+            t.sx_hits <- t.sx_hits + 1;
+            t.sx_subsumed <- t.sx_subsumed + 1;
+            Some C_unsat
+          end
+          else begin
+            t.sx_misses <- t.sx_misses + 1;
+            None
+          end
 
   let add t key verdict =
     if t.sx_capacity > 0 then begin

@@ -11,7 +11,10 @@
     the conflict budget, the solve counters, and a bounded LRU cache of
     decided constraint sets keyed on their canonical (sorted-tag multiset)
     form.  Cache hits return the memoized Sat model or Unsat verdict
-    without re-blasting; Unknown is never cached. *)
+    without re-blasting; Unknown is never cached.  Exact misses are
+    additionally screened against the cached Unsat sets: a query whose
+    key contains a cached Unsat set as a sub-multiset is answered Unsat
+    without solving (see {!Session.subsumed}). *)
 
 type model = (int, int64) Hashtbl.t
 (** Expression variable id -> value. *)
@@ -62,6 +65,16 @@ module Session : sig
       Raises [Invalid_argument] when the budget is < 1. *)
 
   val stats : t -> stats
+
+  val subsumed : t -> int
+  (** Queries answered Unsat by subsumption: the query missed the cache
+      exactly but some cached Unsat constraint set was a sub-multiset of
+      its key, and a superset of an unsatisfiable conjunction is
+      unsatisfiable.  Subsumed answers also count in
+      [stats.st_cache_hits] (blasting was avoided); they never refresh
+      the matching entry's LRU position and are never themselves
+      inserted, keeping cache evolution independent of table iteration
+      order (and hence of scheduling-dependent expression tags). *)
 end
 
 val check : ?session:Session.t -> ?conflict_budget:int -> Expr.t list -> result

@@ -224,7 +224,14 @@ let callee_arity (t : t) (instr : Ast.instr) : int * int =
       (List.length ft.Types.params, List.length ft.Types.results)
   | _ -> (0, 0)
 
-let step_instr (t : t) (site : int) (ops : Values.value list) =
+module B = Trace.Buffer
+
+(* Step one executed instruction event.  Operand-consuming cases read
+   the buffer's operand pool directly through the cursor accessors —
+   the patterns mirror the historical [Values.value list] matches
+   exactly ([op_count] = the list length, tags = the constructors). *)
+let step_instr (t : t) (buf : B.t) (i : int) =
+  let site = B.label buf i in
   let instr = (Trace.site_of t.meta site).Trace.site_instr in
   match instr with
   | Ast.Const v -> push t (concrete_of_value v)
@@ -290,63 +297,59 @@ let step_instr (t : t) (site : int) (ops : Values.value list) =
       | F64_convert_i32_s | F64_convert_i32_u | F64_convert_i64_s
       | F64_convert_i64_u | F64_promote_f32 ->
           push t (float_result 64))
-  | Ast.Load lop -> (
+  | Ast.Load lop ->
       ignore (pop t) (* symbolic address expression; addresses are concrete *);
-      match ops with
-      | [ addr_v ] ->
-          let ea =
-            Int64.to_int (Values.raw_bits addr_v) + Int32.to_int lop.Ast.l_offset
-          in
-          let bytes = Wasm.Memory.loadop_width lop in
-          let raw = Memmodel.load t.mem ~addr:ea ~width_bytes:bytes in
-          let target_w = width_of_numtype lop.Ast.l_ty in
-          let extended =
-            match lop.Ast.l_pack with
-            | Some (_, Ast.SX) -> Expr.sext target_w raw
-            | Some (_, Ast.ZX) | None -> Expr.zext target_w raw
-          in
-          push t extended
-      | _ ->
-          t.imprecise <- t.imprecise + 1;
-          push t (Expr.var (Expr.fresh_var ~name:"load?" (width_of_numtype lop.Ast.l_ty))))
-  | Ast.Store sop -> (
+      if B.op_count buf i = 1 then begin
+        let ea = Int64.to_int (B.op_bits buf i 0) + Int32.to_int lop.Ast.l_offset in
+        let bytes = Wasm.Memory.loadop_width lop in
+        let raw = Memmodel.load t.mem ~addr:ea ~width_bytes:bytes in
+        let target_w = width_of_numtype lop.Ast.l_ty in
+        let extended =
+          match lop.Ast.l_pack with
+          | Some (_, Ast.SX) -> Expr.sext target_w raw
+          | Some (_, Ast.ZX) | None -> Expr.zext target_w raw
+        in
+        push t extended
+      end
+      else begin
+        t.imprecise <- t.imprecise + 1;
+        push t (Expr.var (Expr.fresh_var ~name:"load?" (width_of_numtype lop.Ast.l_ty)))
+      end
+  | Ast.Store sop ->
       let value = pop t in
       ignore (pop t);
-      match ops with
-      | [ addr_v; _value_v ] ->
-          let ea =
-            Int64.to_int (Values.raw_bits addr_v) + Int32.to_int sop.Ast.s_offset
-          in
-          let bytes = Wasm.Memory.storeop_width sop in
-          let value = coerce (width_of_numtype sop.Ast.s_ty) value in
-          let truncated =
-            if bytes * 8 < Expr.width_of value then
-              Expr.extract ((bytes * 8) - 1) 0 value
-            else value
-          in
-          Memmodel.store t.mem ~addr:ea ~width_bytes:bytes truncated
-      | _ -> t.imprecise <- t.imprecise + 1)
-  | Ast.If _ | Ast.Br_if _ -> (
+      if B.op_count buf i = 2 then begin
+        let ea = Int64.to_int (B.op_bits buf i 0) + Int32.to_int sop.Ast.s_offset in
+        let bytes = Wasm.Memory.storeop_width sop in
+        let value = coerce (width_of_numtype sop.Ast.s_ty) value in
+        let truncated =
+          if bytes * 8 < Expr.width_of value then
+            Expr.extract ((bytes * 8) - 1) 0 value
+          else value
+        in
+        Memmodel.store t.mem ~addr:ea ~width_bytes:bytes truncated
+      end
+      else t.imprecise <- t.imprecise + 1
+  | Ast.If _ | Ast.Br_if _ ->
       let cond = coerce 32 (pop t) in
-      match ops with
-      | [ Values.I32 c ] ->
-          let taken = c <> 0l in
-          let as_taken = if taken then nonzero cond else Expr.not_ (nonzero cond) in
-          record_cond t
-            { cs_site = site; cs_cond = as_taken; cs_taken = taken; cs_kind = K_branch }
-      | _ -> ())
-  | Ast.Br_table _ -> (
+      if B.op_count buf i = 1 && B.op_is_i32 buf i 0 then begin
+        let c = B.op_i32 buf i 0 in
+        let taken = c <> 0l in
+        let as_taken = if taken then nonzero cond else Expr.not_ (nonzero cond) in
+        record_cond t
+          { cs_site = site; cs_cond = as_taken; cs_taken = taken; cs_kind = K_branch }
+      end
+  | Ast.Br_table _ ->
       let idx = coerce 32 (pop t) in
-      match ops with
-      | [ Values.I32 c ] ->
-          record_cond t
-            {
-              cs_site = site;
-              cs_cond = Expr.cmp Expr.Eq idx (Expr.const 32 (Int64.of_int32 c));
-              cs_taken = true;
-              cs_kind = K_brtable;
-            }
-      | _ -> ())
+      if B.op_count buf i = 1 && B.op_is_i32 buf i 0 then
+        record_cond t
+          {
+            cs_site = site;
+            cs_cond =
+              Expr.cmp Expr.Eq idx (Expr.const 32 (Int64.of_int32 (B.op_i32 buf i 0)));
+            cs_taken = true;
+            cs_kind = K_brtable;
+          }
   | Ast.Memory_size -> push t (Expr.const 32 4096L)
   | Ast.Memory_grow ->
       ignore (pop t);
@@ -371,10 +374,11 @@ let host_call (t : t) (name : string) (sym_args : Expr.t list)
    | _ -> ());
   List.iter (fun v -> push t (concrete_of_value v)) concrete_results
 
-let step (t : t) (r : Trace.record) =
+let step (t : t) (buf : B.t) (i : int) =
   if not t.finished then
-    match r with
-    | Trace.R_func_begin f ->
+    match B.kind buf i with
+    | B.K_func_begin ->
+        let f = B.label buf i in
         if t.started then begin
           let locals = Hashtbl.create 8 in
           (match t.pending with
@@ -403,7 +407,7 @@ let step (t : t) (r : Trace.record) =
            | None -> ());
           t.frames <- [ { stack = []; locals; fr_func = f } ]
         end
-    | Trace.R_func_end _ ->
+    | B.K_func_end ->
         if t.started then begin
           match t.frames with
           | [ _last ] -> t.finished <- true  (* target function returned *)
@@ -412,8 +416,10 @@ let step (t : t) (r : Trace.record) =
               t.frames <- rest
           | [] -> t.finished <- true
         end
-    | Trace.R_instr { site; ops } -> if t.started then step_instr t site ops
-    | Trace.R_call_pre { site; args } ->
+    | B.K_instr -> if t.started then step_instr t buf i
+    | B.K_call_pre ->
+        let site = B.label buf i in
+        let args = B.ops buf i in
         t.last_pre_args <- args;
         if t.started then begin
           let instr = (Trace.site_of t.meta site).Trace.site_instr in
@@ -436,8 +442,9 @@ let step (t : t) (r : Trace.record) =
                 pc_import = import_name_of_callee t instr;
               }
         end
-    | Trace.R_call_post { site = _; results } ->
+    | B.K_call_post ->
         if t.started then begin
+          let results = B.ops buf i in
           match t.pending with
           | Some pc ->
               (* No function_begin in between: host function. *)
@@ -461,7 +468,7 @@ let step (t : t) (r : Trace.record) =
 (** Replay a full trace; [layout] provides the symbolic inputs of the
     target action function. *)
 let run ?layout ~(meta : Trace.meta) ~(target_funcs : int list)
-    (records : Trace.record list) : result =
+    (buf : B.t) : result =
   let entry_arity =
     Option.map
       (fun (lay : Convention.layout) ->
@@ -470,16 +477,22 @@ let run ?layout ~(meta : Trace.meta) ~(target_funcs : int list)
   in
   let t = create ?layout ?entry_arity ~meta ~target_funcs () in
   (match (layout, entry_arity) with
-   | Some lay, Some arity -> (
+   | Some lay, Some arity ->
        (* Seed pointee memory using the first call_pre into the target. *)
-       let rec find_entry = function
-         | [] -> ()
-         | Trace.R_call_pre { args; _ } :: Trace.R_func_begin f :: _
-           when List.mem f target_funcs && List.length args >= arity ->
-             Convention.init_memory lay args t.mem
-         | _ :: rest -> find_entry rest
+       let n = B.length buf in
+       let rec find_entry i =
+         if i + 1 >= n then ()
+         else if
+           B.kind buf i = B.K_call_pre
+           && B.kind buf (i + 1) = B.K_func_begin
+           && List.mem (B.label buf (i + 1)) target_funcs
+           && B.op_count buf i >= arity
+         then Convention.init_memory lay (B.ops buf i) t.mem
+         else find_entry (i + 1)
        in
-       find_entry records)
+       find_entry 0
    | _ -> ());
-  List.iter (step t) records;
+  for i = 0 to B.length buf - 1 do
+    step t buf i
+  done;
   { r_path = List.rev t.path; r_layout = t.layout; r_mem = t.mem; r_imprecise = t.imprecise }

@@ -29,8 +29,9 @@ val run :
   ?layout:Convention.layout ->
   meta:Trace.meta ->
   target_funcs:int list ->
-  Trace.record list ->
+  Trace.Buffer.t ->
   result
-(** Replay a trace; [layout] provides the symbolic inputs of the target
-    action function, whose entry is located by candidate set and argument
-    arity. *)
+(** Replay a trace buffer via a single forward cursor; [layout] provides
+    the symbolic inputs of the target action function, whose entry is
+    located by candidate set and argument arity.  The buffer is only
+    read, never mutated. *)

@@ -113,88 +113,245 @@ let string_of_record meta = function
   | R_func_end f -> Printf.sprintf "function_end %d" f
 
 (* ------------------------------------------------------------------ *)
-(* Collector                                                           *)
+(* Collector: flat event buffer                                        *)
 (* ------------------------------------------------------------------ *)
 
-(* Pending event being assembled from the flat hook stream. *)
-type pending =
-  | P_none
-  | P_instr of int * Values.value list  (* reversed operand list *)
-  | P_pre of int * Values.value list
-  | P_post of int * Values.value list
+module Buffer = struct
+  (* The trace lives in two growable int arrays instead of a list of
+     boxed records:
 
-type t = {
-  mutable records : record list;  (** reversed *)
-  mutable pending : pending;
-  mutable enabled : bool;
-  mutable count : int;
-  mutable limit : int;  (** safety valve against pathological traces *)
-}
+       tape : 2 words per event — [ (label lsl 3) lor kind ; op_start ]
+       pool : 3 words per operand — [ lo32 ; hi32 ; width tag ]
 
-let create ?(limit = 2_000_000) () =
-  { records = []; pending = P_none; enabled = true; count = 0; limit }
+     [label] is the site id (instr / call events) or the absolute
+     function index (func events); both are non-negative and far below
+     2^60, so packing them above the 3-bit kind is lossless.  Operand
+     words hold the value's raw bits split into two unsigned 32-bit
+     halves (an [int array] of plain OCaml ints is unboxed, whereas
+     [int64 array] elements and [Int64.t] values are not), plus a tag
+     recording the wire type.  An event's operands occupy the pool run
+     [op_start(i), op_start(i+1)) — operands only ever append to the
+     newest operand-bearing event, so runs are contiguous and their
+     ends are implied by the next event (or the pool length).
 
-let flush_pending c =
-  (match c.pending with
-   | P_none -> ()
-   | P_instr (site, ops) ->
-       c.records <- R_instr { site; ops = List.rev ops } :: c.records
-   | P_pre (site, args) ->
-       c.records <- R_call_pre { site; args = List.rev args } :: c.records
-   | P_post (site, results) ->
-       c.records <- R_call_post { site; results = List.rev results } :: c.records);
-  c.pending <- P_none
+     Appending an event or an operand is a bounds check plus two or
+     three int stores: no per-event heap allocation.  [reset] rewinds
+     the write cursors but keeps the arrays, so steady-state collection
+     across payloads allocates nothing at all. *)
 
-let emit c r =
-  if c.enabled && c.count < c.limit then begin
-    flush_pending c;
-    c.records <- r :: c.records;
-    c.count <- c.count + 1
-  end
+  type kind = K_instr | K_call_pre | K_call_post | K_func_begin | K_func_end
 
-let begin_instr c site =
-  if c.enabled && c.count < c.limit then begin
-    flush_pending c;
-    c.pending <- P_instr (site, []);
-    c.count <- c.count + 1
-  end
+  type t = {
+    mutable tape : int array;
+    mutable n : int;  (** events collected *)
+    mutable pool : int array;
+    mutable n_ops : int;
+    mutable open_ : bool;
+        (** the newest event still accepts operands (it is an
+            instr/call event and nothing was appended after it) *)
+    mutable truncated_ : bool;
+    mutable limit : int;  (** safety valve against pathological traces *)
+  }
 
-let begin_call_pre c site =
-  if c.enabled && c.count < c.limit then begin
-    flush_pending c;
-    c.pending <- P_pre (site, []);
-    c.count <- c.count + 1
-  end
+  let create ?(limit = 2_000_000) () =
+    {
+      tape = Array.make 256 0;
+      n = 0;
+      pool = Array.make 384 0;
+      n_ops = 0;
+      open_ = false;
+      truncated_ = false;
+      limit;
+    }
 
-let begin_call_post c site =
-  if c.enabled && c.count < c.limit then begin
-    flush_pending c;
-    c.pending <- P_post (site, []);
-    c.count <- c.count + 1
-  end
+  let length t = t.n
+  let truncated t = t.truncated_
 
-let operand c (v : Values.value) =
-  if c.enabled then
-    match c.pending with
-    | P_none -> ()  (* operand after limit cut-off: drop *)
-    | P_instr (s, ops) -> c.pending <- P_instr (s, v :: ops)
-    | P_pre (s, ops) -> c.pending <- P_pre (s, v :: ops)
-    | P_post (s, ops) -> c.pending <- P_post (s, v :: ops)
+  let grow_tape t =
+    let bigger = Array.make (2 * Array.length t.tape) 0 in
+    Array.blit t.tape 0 bigger 0 (t.n * 2);
+    t.tape <- bigger
 
-let func_begin c f = emit c (R_func_begin f)
-let func_end c f = emit c (R_func_end f)
+  let grow_pool t =
+    let bigger = Array.make (2 * Array.length t.pool) 0 in
+    Array.blit t.pool 0 bigger 0 (t.n_ops * 3);
+    t.pool <- bigger
 
-(** Drain the collected trace (oldest first) and reset the collector —
-    the paper's "redirect the traces to offline files once one EOSVM
-    thread finishes". *)
+  (* Integer kind codes (the tape word's low 3 bits). *)
+  let k_instr = 0
+  let k_call_pre = 1
+  let k_call_post = 2
+  let k_func_begin = 3
+  let k_func_end = 4
+
+  (* A refused append must leave [open_] untouched: the old list
+     collector kept its pending event stale across the limit, so
+     post-limit operands still append to the last pre-limit instr/call
+     event.  The refusal itself is what [truncated] now surfaces. *)
+  let push_event t kind label keeps_open =
+    if t.n < t.limit then begin
+      if (t.n + 1) * 2 > Array.length t.tape then grow_tape t;
+      let base = t.n * 2 in
+      t.tape.(base) <- (label lsl 3) lor kind;
+      t.tape.(base + 1) <- t.n_ops;
+      t.n <- t.n + 1;
+      t.open_ <- keeps_open
+    end
+    else t.truncated_ <- true
+
+  let begin_instr t site = push_event t k_instr site true
+  let begin_call_pre t site = push_event t k_call_pre site true
+  let begin_call_post t site = push_event t k_call_post site true
+  let func_begin t f = push_event t k_func_begin f false
+  let func_end t f = push_event t k_func_end f false
+
+  let tag_i32 = 0
+  let tag_i64 = 1
+  let tag_f32 = 2
+  let tag_f64 = 3
+
+  let operand t (v : Values.value) =
+    if t.open_ then begin
+      if (t.n_ops + 1) * 3 > Array.length t.pool then grow_pool t;
+      let base = t.n_ops * 3 in
+      (match v with
+       | Values.I32 x ->
+           t.pool.(base) <- Int32.to_int x land 0xFFFF_FFFF;
+           t.pool.(base + 1) <- 0;
+           t.pool.(base + 2) <- tag_i32
+       | Values.I64 x ->
+           t.pool.(base) <- Int64.to_int (Int64.logand x 0xFFFF_FFFFL);
+           t.pool.(base + 1) <-
+             Int64.to_int (Int64.logand (Int64.shift_right_logical x 32) 0xFFFF_FFFFL);
+           t.pool.(base + 2) <- tag_i64
+       | Values.F32 f ->
+           t.pool.(base) <- Int32.to_int (Int32.bits_of_float f) land 0xFFFF_FFFF;
+           t.pool.(base + 1) <- 0;
+           t.pool.(base + 2) <- tag_f32
+       | Values.F64 f ->
+           let b = Int64.bits_of_float f in
+           t.pool.(base) <- Int64.to_int (Int64.logand b 0xFFFF_FFFFL);
+           t.pool.(base + 1) <-
+             Int64.to_int (Int64.logand (Int64.shift_right_logical b 32) 0xFFFF_FFFFL);
+           t.pool.(base + 2) <- tag_f64);
+      t.n_ops <- t.n_ops + 1
+    end
+  (* else: operand with no open event.  Pre-limit this cannot happen
+     (hooks emit operands only right after a begin); post-limit it is
+     the old collector's silent [P_none -> ()] drop, already flagged by
+     the refused event that closed the buffer. *)
+
+  let reset t =
+    t.n <- 0;
+    t.n_ops <- 0;
+    t.open_ <- false;
+    t.truncated_ <- false
+
+  (* ---------------- read side (cursor accessors) ------------------ *)
+
+  let kind t i =
+    match t.tape.(i * 2) land 7 with
+    | 0 -> K_instr
+    | 1 -> K_call_pre
+    | 2 -> K_call_post
+    | 3 -> K_func_begin
+    | _ -> K_func_end
+
+  let label t i = t.tape.(i * 2) lsr 3
+
+  let op_start t i = t.tape.((i * 2) + 1)
+  let op_end t i = if i + 1 < t.n then op_start t (i + 1) else t.n_ops
+  let op_count t i = op_end t i - op_start t i
+  let op_tag t i j = t.pool.(((op_start t i + j) * 3) + 2)
+  let op_is_i32 t i j = op_tag t i j = tag_i32
+  let op_is_i64 t i j = op_tag t i j = tag_i64
+
+  (* Raw bits, zero-extended to 64 — identical to [Values.raw_bits] of
+     the decoded value. *)
+  let op_bits t i j : int64 =
+    let base = (op_start t i + j) * 3 in
+    Int64.logor
+      (Int64.shift_left (Int64.of_int t.pool.(base + 1)) 32)
+      (Int64.of_int t.pool.(base))
+
+  let op_i32 t i j : int32 = Int32.of_int t.pool.((op_start t i + j) * 3)
+
+  let op t i j : Values.value =
+    let base = (op_start t i + j) * 3 in
+    match t.pool.(base + 2) with
+    | 0 -> Values.I32 (Int32.of_int t.pool.(base))
+    | 1 -> Values.I64 (op_bits t i j)
+    | 2 -> Values.F32 (Int32.float_of_bits (Int32.of_int t.pool.(base)))
+    | _ -> Values.F64 (Int64.float_of_bits (op_bits t i j))
+
+  let ops t i : Values.value list =
+    let n = op_count t i in
+    let rec go j acc = if j < 0 then acc else go (j - 1) (op t i j :: acc) in
+    go (n - 1) []
+
+  (* ---------------- compat view: structured records --------------- *)
+
+  let record_of t i : record =
+    match kind t i with
+    | K_instr -> R_instr { site = label t i; ops = ops t i }
+    | K_call_pre -> R_call_pre { site = label t i; args = ops t i }
+    | K_call_post -> R_call_post { site = label t i; results = ops t i }
+    | K_func_begin -> R_func_begin (label t i)
+    | K_func_end -> R_func_end (label t i)
+
+  let iter f t =
+    for i = 0 to t.n - 1 do
+      f (record_of t i)
+    done
+
+  let fold f acc t =
+    let acc = ref acc in
+    iter (fun r -> acc := f !acc r) t;
+    !acc
+
+  let to_list t : record list =
+    let rec go i acc = if i < 0 then acc else go (i - 1) (record_of t i :: acc) in
+    go (t.n - 1) []
+
+  (* Feed a record list through the append path — the property tests'
+     bridge between the two representations, with the same limit
+     semantics as live collection. *)
+  let of_records ?limit (records : record list) : t =
+    let t = create ?limit () in
+    List.iter
+      (fun r ->
+        match r with
+        | R_instr { site; ops } ->
+            begin_instr t site;
+            List.iter (operand t) ops
+        | R_call_pre { site; args } ->
+            begin_call_pre t site;
+            List.iter (operand t) args
+        | R_call_post { site; results } ->
+            begin_call_post t site;
+            List.iter (operand t) results
+        | R_func_begin f -> func_begin t f
+        | R_func_end f -> func_end t f)
+      records;
+    t
+end
+
+(* Hook-facing aliases: the instrumenter's runtime extension drives the
+   collector through these. *)
+type t = Buffer.t
+
+let create = Buffer.create
+let begin_instr = Buffer.begin_instr
+let begin_call_pre = Buffer.begin_call_pre
+let begin_call_post = Buffer.begin_call_post
+let operand = Buffer.operand
+let func_begin = Buffer.func_begin
+let func_end = Buffer.func_end
+let reset = Buffer.reset
+
+(** Materialise the collected trace (oldest first) and reset — the
+    debug/compat path; streaming consumers read the buffer in place. *)
 let drain c : record list =
-  flush_pending c;
-  let r = List.rev c.records in
-  c.records <- [];
-  c.count <- 0;
+  let r = Buffer.to_list c in
+  Buffer.reset c;
   r
-
-let reset c =
-  c.records <- [];
-  c.pending <- P_none;
-  c.count <- 0

@@ -51,12 +51,84 @@ type record =
 val record_site : record -> int option
 val string_of_record : meta -> record -> string
 
-(** {1 Collector} *)
+(** {1 Collector: flat event buffer}
 
-type t
+    The trace is collected into a growable int-array event tape plus an
+    operand pool (raw i32/i64 words with a width tag) — hook appends are
+    O(1) with zero per-event heap allocation, and consumers stream over
+    the buffer with index cursors instead of materialising a record
+    list.  {!record} survives as the debug/compat view
+    ({!Buffer.to_list} / {!Buffer.record_of}). *)
+
+module Buffer : sig
+  type kind = K_instr | K_call_pre | K_call_post | K_func_begin | K_func_end
+
+  type t
+
+  val create : ?limit:int -> unit -> t
+  (** [limit] (default 2,000,000 events) is the safety valve against
+      pathological traces; appends past it are refused and set
+      {!truncated}. *)
+
+  (** {2 Append side (hook calls)} *)
+
+  val begin_instr : t -> int -> unit
+  val begin_call_pre : t -> int -> unit
+  val begin_call_post : t -> int -> unit
+  val operand : t -> Wasm.Values.value -> unit
+  val func_begin : t -> int -> unit
+  val func_end : t -> int -> unit
+
+  val reset : t -> unit
+  (** Rewind the write cursors, keeping capacity: steady-state
+      collection across payloads allocates nothing. *)
+
+  (** {2 Read side (cursor accessors, event index [0 .. length-1])} *)
+
+  val length : t -> int
+
+  val truncated : t -> bool
+  (** The collector refused at least one event since the last {!reset}:
+      the trace is a prefix, and post-cut-off operands were dropped or
+      mis-attributed exactly as the historical list collector did.
+      Consumers must treat verdicts from truncated traces as
+      best-effort. *)
+
+  val kind : t -> int -> kind
+
+  val label : t -> int -> int
+  (** Site id for instr/call events, absolute function index for
+      func events. *)
+
+  val op_count : t -> int -> int
+  val op : t -> int -> int -> Wasm.Values.value
+
+  val op_bits : t -> int -> int -> int64
+  (** Raw bits of the operand, zero-extended to 64 — identical to
+      [Values.raw_bits (op t i j)] without decoding. *)
+
+  val op_i32 : t -> int -> int -> int32
+  (** Low 32 bits as an int32 (meaningful for i32/f32-tagged operands). *)
+
+  val op_is_i32 : t -> int -> int -> bool
+  val op_is_i64 : t -> int -> int -> bool
+
+  (** {2 Compat view} *)
+
+  val record_of : t -> int -> record
+  val ops : t -> int -> Wasm.Values.value list
+  val iter : (record -> unit) -> t -> unit
+  val fold : ('a -> record -> 'a) -> 'a -> t -> 'a
+  val to_list : t -> record list
+
+  val of_records : ?limit:int -> record list -> t
+  (** Feed records through the append path (same limit semantics as
+      live collection) — the bridge the equivalence tests use. *)
+end
+
+type t = Buffer.t
 
 val create : ?limit:int -> unit -> t
-
 val begin_instr : t -> int -> unit
 val begin_call_pre : t -> int -> unit
 val begin_call_post : t -> int -> unit
@@ -65,8 +137,7 @@ val func_begin : t -> int -> unit
 val func_end : t -> int -> unit
 
 val drain : t -> record list
-(** Take the collected trace (oldest first) and reset — the paper's
-    "redirect the traces to offline files once one EOSVM thread
-    finishes". *)
+(** Materialise the collected trace (oldest first) and reset — the
+    debug/compat path; streaming consumers read the buffer in place. *)
 
 val reset : t -> unit

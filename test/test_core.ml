@@ -330,6 +330,25 @@ let test_outcome_accounting () =
   in
   Alcotest.(check bool) "coverage monotone" true (mono o.Core.Engine.out_timeline)
 
+(* A healthy target never hits the collector limit; when a truncated
+   trace is reported the text warns that verdicts are best-effort. *)
+let contains haystack needle =
+  let n = String.length needle and h = String.length haystack in
+  let rec go i = i + n <= h && (String.sub haystack i n = needle || go (i + 1)) in
+  go 0
+
+let test_truncation_warning () =
+  let o = fuzz { base with BG.Contracts.sp_fake_eos_guard = false } in
+  Alcotest.(check int) "healthy target: no truncation" 0
+    o.Core.Engine.out_truncated;
+  let text_of o = Core.Report.to_text (Core.Report.make ~target:"victim" o) in
+  Alcotest.(check bool) "no warning when clean" false
+    (contains (text_of o) "WARNING");
+  let text = text_of { o with Core.Engine.out_truncated = 2 } in
+  Alcotest.(check bool) "warning present" true (contains text "WARNING");
+  Alcotest.(check bool) "counts payloads" true
+    (contains text "2 payload traces truncated at the collector limit")
+
 (* Corpus preload: a warm run fed the cold run's interesting seeds must
    reproduce the cold verdicts with no more solver work (the replays
    re-open the branches the solver would otherwise have to re-derive),
@@ -388,6 +407,117 @@ let test_preload_skips_stale_vectors () =
   in
   Alcotest.(check int) "stale vectors ignored, run completes" 4
     o.Core.Engine.out_rounds
+
+(* ------------------------------------------------------------------ *)
+(* Fused trace scan vs reference list passes                            *)
+(* ------------------------------------------------------------------ *)
+
+module Wasabi = Wasai_wasabi
+module Wasm = Wasai_wasm
+
+(* The three historical list passes the fused [Engine.scan_trace]
+   replaced, reimplemented over the compat record view as the oracle. *)
+let ref_edges (meta : Wasabi.Trace.meta) records =
+  List.filter_map
+    (fun r ->
+      match r with
+      | Wasabi.Trace.R_instr { site; ops = [ Wasm.Values.I32 c ] } -> (
+          match (Wasabi.Trace.site_of meta site).Wasabi.Trace.site_instr with
+          | Wasm.Ast.Br_if _ | Wasm.Ast.If _ ->
+              Some (site, if c = 0l then 0l else 1l)
+          | Wasm.Ast.Br_table _ -> Some (site, c)
+          | _ -> None)
+      | _ -> None)
+    records
+
+let ref_executed records =
+  List.filter_map
+    (function Wasabi.Trace.R_func_begin f -> Some f | _ -> None)
+    records
+
+let ref_read_miss (meta : Wasabi.Trace.meta) db_find records =
+  match db_find with
+  | None -> (None, None)
+  | Some fi ->
+      let missed = ref None and hit = ref None in
+      let pending = ref None in
+      List.iter
+        (fun r ->
+          match r with
+          | Wasabi.Trace.R_call_pre { site; args } -> (
+              match (Wasabi.Trace.site_of meta site).Wasabi.Trace.site_instr with
+              | Wasm.Ast.Call f when f = fi -> pending := Some args
+              | _ -> pending := None)
+          | Wasabi.Trace.R_call_post { results; _ } ->
+              (match (!pending, results) with
+               | ( Some [ _code; _scope; Wasm.Values.I64 table; _id ],
+                   [ Wasm.Values.I32 itr ] ) ->
+                   if itr = -1l then missed := Some table else hit := Some table
+               | _ -> ());
+              pending := None
+          | _ -> ())
+        records;
+      (!missed, !hit)
+
+(* Real executions (all adversary channels, DB-gated contract so the
+   read-miss machine is exercised both ways): the single streaming pass
+   must agree with the reference passes on every payload. *)
+let qcheck_fused_scan_equivalence =
+  QCheck.Test.make ~name:"fused trace scan = reference list passes" ~count:10
+    QCheck.(int_bound 1_000_000)
+    (fun rng_seed ->
+      let spec =
+        {
+          base with
+          BG.Contracts.sp_fake_eos_guard = false;
+          sp_db_gate = true;
+          sp_payout_inline = true;
+          sp_blockinfo = true;
+        }
+      in
+      let m, abi = BG.Contracts.build spec in
+      let cfg =
+        {
+          Core.Engine.default_config with
+          Core.Engine.cfg_rounds = 2;
+          cfg_rng_seed = Int64.of_int rng_seed;
+        }
+      in
+      let s =
+        Core.Engine.setup cfg
+          { Core.Engine.tgt_account = n "victim"; tgt_module = m; tgt_abi = abi }
+      in
+      let actions = Array.of_list abi.Abi.abi_actions in
+      let ok = ref true in
+      for round = 0 to 5 do
+        let def = actions.(round mod Array.length actions) in
+        let seed =
+          Core.Seed.random s.Core.Engine.rng
+            ~identities:s.Core.Engine.identities def
+        in
+        let channels =
+          if Name.equal def.Abi.act_name Name.transfer then
+            Core.Scanner.[ Ch_genuine; Ch_direct; Ch_fake_token; Ch_fake_notif ]
+          else [ Core.Scanner.Ch_action def.Abi.act_name ]
+        in
+        List.iter
+          (fun channel ->
+            let ex = Core.Engine.run_one s seed channel in
+            let records = Wasabi.Trace.Buffer.to_list ex.Core.Engine.ex_trace in
+            let meta = s.Core.Engine.meta in
+            let sc = ex.Core.Engine.ex_scan in
+            let missed, hit =
+              ref_read_miss meta s.Core.Engine.db_find_import records
+            in
+            if
+              sc.Core.Engine.sc_edges <> ref_edges meta records
+              || sc.Core.Engine.sc_executed <> ref_executed records
+              || sc.Core.Engine.sc_read_missed <> missed
+              || sc.Core.Engine.sc_read_hit <> hit
+            then ok := false)
+          channels
+      done;
+      !ok)
 
 (* The adaptive conflict budget never leaves [configured/16,
    configured*4], and a blind run (no feedback, hence no solving) never
@@ -454,10 +584,12 @@ let () =
             test_exploit_payloads;
           Alcotest.test_case "wall-clock budget" `Quick test_time_limit;
           Alcotest.test_case "outcome accounting" `Quick test_outcome_accounting;
+          Alcotest.test_case "truncation warning" `Quick test_truncation_warning;
           Alcotest.test_case "preloaded warm run" `Quick test_preload_warm_run;
           Alcotest.test_case "stale preload vectors skipped" `Quick
             test_preload_skips_stale_vectors;
           Alcotest.test_case "adaptive budget bounds" `Quick
             test_adaptive_budget_bounds;
+          QCheck_alcotest.to_alcotest qcheck_fused_scan_equivalence;
         ] );
     ]

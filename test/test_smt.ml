@@ -600,6 +600,44 @@ let test_session_budget_precedence () =
   | Solver.Sat _ -> () (* decided before the first conflict: acceptable *)
   | Solver.Unsat -> Alcotest.fail "cannot be unsat before exploring"
 
+(* Unsat subset subsumption: once an Unsat constraint set is cached, any
+   superset query is refuted without solving — a conjunction only grows
+   stronger.  Sat entries must never subsume, and subsumed queries are
+   never themselves inserted. *)
+let test_session_unsat_subsumption () =
+  let open Expr in
+  let x = fresh_var ~name:"sx" 32 and y = fresh_var ~name:"sy" 32 in
+  let c1 = cmp Eq (var x) (const 32 1L) in
+  let c2 = cmp Eq (var x) (const 32 2L) in
+  let c3 = cmp Eq (var y) (const 32 3L) in
+  let s = Solver.Session.create () in
+  (match Solver.check ~session:s [ c1; c2 ] with
+   | Solver.Unsat -> ()
+   | _ -> Alcotest.fail "core not unsat");
+  Alcotest.(check int) "no subsumption yet" 0 (Solver.Session.subsumed s);
+  (match Solver.check ~session:s [ c1; c2; c3 ] with
+   | Solver.Unsat -> ()
+   | _ -> Alcotest.fail "superset not unsat");
+  Alcotest.(check int) "answered by subsumption" 1 (Solver.Session.subsumed s);
+  let st = Solver.Session.stats s in
+  Alcotest.(check int) "subsumption counts as a hit" 1 st.Solver.st_cache_hits;
+  Alcotest.(check int) "only the core missed" 1 st.Solver.st_cache_misses;
+  (* Subsumed queries are not inserted: re-asking subsumes again instead
+     of hitting an exact entry. *)
+  (match Solver.check ~session:s [ c1; c2; c3 ] with
+   | Solver.Unsat -> ()
+   | _ -> Alcotest.fail "superset not unsat on re-ask");
+  Alcotest.(check int) "subsumed again, no insert" 2 (Solver.Session.subsumed s);
+  (* A cached Sat set must never refute its supersets. *)
+  let s2 = Solver.Session.create () in
+  (match Solver.check ~session:s2 [ c1 ] with
+   | Solver.Sat _ -> ()
+   | _ -> Alcotest.fail "singleton not sat");
+  (match Solver.check ~session:s2 [ c1; c3 ] with
+   | Solver.Sat _ -> ()
+   | _ -> Alcotest.fail "sat superset mis-refuted");
+  Alcotest.(check int) "sat entries never subsume" 0 (Solver.Session.subsumed s2)
+
 let () =
   let qc = QCheck_alcotest.to_alcotest in
   Alcotest.run "wasai_smt"
@@ -672,5 +710,7 @@ let () =
             test_session_budget_precedence;
           Alcotest.test_case "budget accessor round-trip" `Quick
             test_session_budget_roundtrip;
+          Alcotest.test_case "unsat subset subsumption" `Quick
+            test_session_unsat_subsumption;
         ] );
     ]

@@ -203,7 +203,7 @@ let test_find_action_functions () =
 (* ------------------------------------------------------------------ *)
 
 (* Shared harness: run one genuine transfer against a spec'd contract,
-   capturing the trace; returns (records, meta, candidates). *)
+   capturing the trace; returns (buffer, meta, candidates). *)
 let trace_of_spec ?(amount = 77L) ?(memo = "hi") spec =
   let m, abi = BG.Contracts.build spec in
   let chain = Host.create_chain () in
@@ -226,25 +226,29 @@ let trace_of_spec ?(amount = 77L) ?(memo = "hi") spec =
     (Chain.push_action chain
        (Token.transfer_action ~token:Name.eosio_token ~from:(n "attacker")
           ~to_:(n "victim") ~quantity:(Asset.eos_of_units amount) ~memo));
-  let records = Wasabi.Trace.drain collector in
   let candidates =
     Sym.Convention.find_action_functions meta.Wasabi.Trace.instrumented
   in
-  (records, meta, candidates)
+  (collector, meta, candidates)
 
-let replay_transfer records meta candidates =
-  let rec entry_args = function
-    | [] -> None
-    | Wasabi.Trace.R_call_pre { args; _ } :: Wasabi.Trace.R_func_begin f :: _
-      when List.mem f candidates && List.length args >= 5 ->
-        Some args
-    | _ :: rest -> entry_args rest
+let replay_transfer buf meta candidates =
+  let module B = Wasabi.Trace.Buffer in
+  let len = B.length buf in
+  let rec entry_args i =
+    if i + 1 >= len then None
+    else if
+      B.kind buf i = B.K_call_pre
+      && B.kind buf (i + 1) = B.K_func_begin
+      && List.mem (B.label buf (i + 1)) candidates
+      && B.op_count buf i >= 5
+    then Some (B.ops buf i)
+    else entry_args (i + 1)
   in
-  match entry_args records with
+  match entry_args 0 with
   | None -> Alcotest.fail "no action-function entry in trace"
   | Some args ->
       let lay = Sym.Convention.infer Abi.transfer_action args in
-      (lay, Sym.Replay.run ~layout:lay ~meta ~target_funcs:candidates records)
+      (lay, Sym.Replay.run ~layout:lay ~meta ~target_funcs:candidates buf)
 
 let gated_spec =
   {
@@ -360,7 +364,7 @@ let test_replay_obfuscated () =
     (Chain.push_action chain
        (Token.transfer_action ~token:Name.eosio_token ~from:(n "attacker")
           ~to_:(n "victim") ~quantity:(Asset.eos_of_units 77L) ~memo:"hi"));
-  let records = Wasabi.Trace.drain collector in
+  let records = collector in
   let candidates =
     Sym.Convention.find_action_functions meta.Wasabi.Trace.instrumented
   in
@@ -483,7 +487,7 @@ let test_brtable_and_select_replay () =
   Alcotest.(check bool) "tx ok" true r.Chain.tx_ok;
   Alcotest.(check string) "select picked from" (Int64.to_string (n "attacker"))
     (Chain.console_output chain);
-  let records = Wasabi.Trace.drain collector in
+  let records = collector in
   let candidates =
     Sym.Convention.find_action_functions meta.Wasabi.Trace.instrumented
   in
@@ -598,6 +602,46 @@ let qcheck_replay_soundness =
              Expr.eval env cs.Sym.Replay.cs_cond = 1L)
            evaluable)
 
+(* Cursor-based replay must walk the same path whether it reads the live
+   buffer or one rebuilt from the compat record view: the of_records
+   round-trip pins the buffer encoding as information-preserving for
+   replay.  cs_cond carries fresh variable ids (instance-dependent), so
+   the comparison projects to the (site, taken, kind) skeleton plus the
+   imprecision counter. *)
+let qcheck_replay_buffer_roundtrip_identity =
+  QCheck.Test.make ~name:"replay path identical on of_records round-trip"
+    ~count:20
+    QCheck.(pair (int_bound 1_000_000) (int_bound 1_000_000))
+    (fun (seed, amt_seed) ->
+      let rng = Wasai_support.Rand.create (Int64.of_int seed) in
+      let base = BG.Contracts.default_spec (n "victim") in
+      let spec =
+        {
+          base with
+          BG.Contracts.sp_fake_notif_guard = Wasai_support.Rand.bool rng;
+          sp_min_bet = (if Wasai_support.Rand.bool rng then Some 10L else None);
+          sp_checks =
+            BG.Verification.random_checks rng
+              ~depth:(Wasai_support.Rand.int rng 3);
+          sp_payout_inline = Wasai_support.Rand.bool rng;
+        }
+      in
+      let amount = Int64.of_int (1 + (amt_seed mod 1_000_000)) in
+      let buf, meta, candidates = trace_of_spec ~amount spec in
+      let buf' =
+        Wasabi.Trace.Buffer.of_records (Wasabi.Trace.Buffer.to_list buf)
+      in
+      let _, r1 = replay_transfer buf meta candidates in
+      let _, r2 = replay_transfer buf' meta candidates in
+      let skeleton (r : Sym.Replay.result) =
+        List.map
+          (fun (cs : Sym.Replay.cond_state) ->
+            (cs.Sym.Replay.cs_site, cs.Sym.Replay.cs_taken, cs.Sym.Replay.cs_kind))
+          r.Sym.Replay.r_path
+      in
+      skeleton r1 = skeleton r2
+      && r1.Sym.Replay.r_imprecise = r2.Sym.Replay.r_imprecise)
+
 let () =
   Alcotest.run "wasai_symbolic"
     [
@@ -635,5 +679,6 @@ let () =
           Alcotest.test_case "br_table and select" `Quick
             test_brtable_and_select_replay;
           QCheck_alcotest.to_alcotest qcheck_replay_soundness;
+          QCheck_alcotest.to_alcotest qcheck_replay_buffer_roundtrip_identity;
         ] );
     ]

@@ -377,6 +377,167 @@ let qcheck_trace_complete =
           | _ -> true)
         instrs body)
 
+(* ------------------------------------------------------------------ *)
+(* Event buffer vs reference list collector                             *)
+(* ------------------------------------------------------------------ *)
+
+(* Reference reimplementation of the historical list collector — the
+   oracle the flat event buffer is property-tested against.  The
+   semantics the buffer must replicate exactly: a record under
+   construction is only flushed by the next successful append; past the
+   event limit, appends are silent no-ops that do NOT flush, so
+   post-limit operands still attach to the last pre-limit
+   operand-bearing record; operands arriving while no operand-bearing
+   record is pending are dropped. *)
+module Ref_collector = struct
+  type pending =
+    | P_none
+    | P_instr of int * Wasm.Values.value list  (* site, operands reversed *)
+    | P_pre of int * Wasm.Values.value list
+    | P_post of int * Wasm.Values.value list
+
+  type t = {
+    mutable rev : Wasabi.Trace.record list;
+    mutable pending : pending;
+    mutable count : int;
+    mutable trunc : bool;
+    limit : int;
+  }
+
+  let create ~limit = { rev = []; pending = P_none; count = 0; trunc = false; limit }
+
+  let flush t =
+    (match t.pending with
+     | P_none -> ()
+     | P_instr (site, ops) ->
+         t.rev <- Wasabi.Trace.R_instr { site; ops = List.rev ops } :: t.rev
+     | P_pre (site, args) ->
+         t.rev <- Wasabi.Trace.R_call_pre { site; args = List.rev args } :: t.rev
+     | P_post (site, results) ->
+         t.rev <- Wasabi.Trace.R_call_post { site; results = List.rev results } :: t.rev);
+    t.pending <- P_none
+
+  let begin_ t mk site =
+    if t.count < t.limit then begin
+      flush t;
+      t.pending <- mk site;
+      t.count <- t.count + 1
+    end
+    else t.trunc <- true
+
+  let begin_instr t site = begin_ t (fun s -> P_instr (s, [])) site
+  let begin_call_pre t site = begin_ t (fun s -> P_pre (s, [])) site
+  let begin_call_post t site = begin_ t (fun s -> P_post (s, [])) site
+
+  let operand t v =
+    match t.pending with
+    | P_none -> ()
+    | P_instr (s, ops) -> t.pending <- P_instr (s, v :: ops)
+    | P_pre (s, ops) -> t.pending <- P_pre (s, v :: ops)
+    | P_post (s, ops) -> t.pending <- P_post (s, v :: ops)
+
+  let emit t r =
+    if t.count < t.limit then begin
+      flush t;
+      t.rev <- r :: t.rev;
+      t.count <- t.count + 1
+    end
+    else t.trunc <- true
+
+  let func_begin t f = emit t (Wasabi.Trace.R_func_begin f)
+  let func_end t f = emit t (Wasabi.Trace.R_func_end f)
+
+  let drain t =
+    flush t;
+    List.rev t.rev
+end
+
+type hook_call =
+  | H_instr of int
+  | H_pre of int
+  | H_post of int
+  | H_operand of Wasm.Values.value
+  | H_func_begin of int
+  | H_func_end of int
+
+let gen_value =
+  QCheck.Gen.(
+    map
+      (fun (k, v) ->
+        let v64 = Int64.of_int v in
+        match k with
+        | 0 -> Wasm.Values.I32 (Int64.to_int32 v64)
+        | 1 -> Wasm.Values.I64 v64
+        | 2 -> Wasm.Values.F32 (Wasm.Values.to_f32 (Int64.to_float v64))
+        | _ -> Wasm.Values.F64 (Int64.to_float v64))
+      (pair (int_range 0 3) int))
+
+let gen_hook_call =
+  QCheck.Gen.(
+    frequency
+      [
+        (3, map (fun s -> H_instr (abs s mod 1000)) int);
+        (1, map (fun s -> H_pre (abs s mod 1000)) int);
+        (1, map (fun s -> H_post (abs s mod 1000)) int);
+        (4, map (fun v -> H_operand v) gen_value);
+        (1, map (fun f -> H_func_begin (abs f mod 50)) int);
+        (1, map (fun f -> H_func_end (abs f mod 50)) int);
+      ])
+
+let apply_to_buffer buf = function
+  | H_instr s -> Wasabi.Trace.Buffer.begin_instr buf s
+  | H_pre s -> Wasabi.Trace.Buffer.begin_call_pre buf s
+  | H_post s -> Wasabi.Trace.Buffer.begin_call_post buf s
+  | H_operand v -> Wasabi.Trace.Buffer.operand buf v
+  | H_func_begin f -> Wasabi.Trace.Buffer.func_begin buf f
+  | H_func_end f -> Wasabi.Trace.Buffer.func_end buf f
+
+let apply_to_ref rc = function
+  | H_instr s -> Ref_collector.begin_instr rc s
+  | H_pre s -> Ref_collector.begin_call_pre rc s
+  | H_post s -> Ref_collector.begin_call_post rc s
+  | H_operand v -> Ref_collector.operand rc v
+  | H_func_begin f -> Ref_collector.func_begin rc f
+  | H_func_end f -> Ref_collector.func_end rc f
+
+(* The buffer must agree with the reference collector on arbitrary hook
+   streams and arbitrary (small) event limits — including the
+   truncation-edge behaviours — and its cursor accessors must be
+   consistent with its own compat view. *)
+let qcheck_buffer_matches_reference =
+  QCheck.Test.make
+    ~name:"event buffer = reference list collector (with limits)" ~count:300
+    (QCheck.make
+       QCheck.Gen.(
+         pair (int_range 0 40) (list_size (int_range 0 150) gen_hook_call)))
+    (fun (limit, calls) ->
+      let module B = Wasabi.Trace.Buffer in
+      let buf = B.create ~limit () in
+      let rc = Ref_collector.create ~limit in
+      List.iter (fun c -> apply_to_buffer buf c; apply_to_ref rc c) calls;
+      let expected = Ref_collector.drain rc in
+      let got = B.to_list buf in
+      got = expected
+      && B.truncated buf = rc.Ref_collector.trunc
+      && B.length buf = List.length expected
+      (* Cursor accessors agree with the compat view. *)
+      && (let ok = ref true in
+          List.iteri
+            (fun i r ->
+              if B.record_of buf i <> r then ok := false;
+              for j = 0 to B.op_count buf i - 1 do
+                if B.op_bits buf i j <> Wasm.Values.raw_bits (B.op buf i j)
+                then ok := false
+              done)
+            got;
+          !ok)
+      (* of_records replays any collector output to itself. *)
+      && B.to_list (B.of_records expected) = expected
+      (* reset rewinds in place: replaying the stream reproduces it. *)
+      && (B.reset buf;
+          List.iter (apply_to_buffer buf) calls;
+          B.to_list buf = expected && B.truncated buf = rc.Ref_collector.trunc))
+
 (* The corpus dedupe key: FNV-1a 64 over the canonicalised edge set.
    Order- and duplicate-insensitive, pinned to a concrete value so a
    corpus written by an older build still deduplicates against this
@@ -413,5 +574,6 @@ let () =
           Alcotest.test_case "coverage counting" `Quick test_coverage_counting;
           Alcotest.test_case "edge signature" `Quick test_edge_signature;
           QCheck_alcotest.to_alcotest qcheck_trace_complete;
+          QCheck_alcotest.to_alcotest qcheck_buffer_matches_reference;
         ] );
     ]
