@@ -5,7 +5,7 @@
 
     Experiments: fig3 table4 table5 table6 rq4 ablation solver campaign
     campaign-smoke shard shard-smoke corpus corpus-smoke trace trace-smoke
-    micro all
+    serve-smoke micro all
     (default: all).  [--scale]
     divides the corpus sizes (default 20; use [--full] for the paper-sized
     corpora — minutes of CPU).  [campaign] measures multi-domain scaling
@@ -20,7 +20,9 @@
     check; [trace] measures the flat event-buffer collector against the
     historical list collector (records/sec and allocated bytes per
     payload, requires >= 2x fewer); [trace-smoke] is a <10 s
-    streaming-vs-materialised identity check. *)
+    streaming-vs-materialised identity check; [serve-smoke] is a <10 s
+    serve-daemon check (two concurrent tenants vs batch parity, BUSY
+    backpressure, kill + resume byte-identity). *)
 
 open Wasai_support
 module BG = Wasai_benchgen
@@ -1126,6 +1128,169 @@ let trace_smoke () =
   if not ok then exit 1
 
 (* ------------------------------------------------------------------ *)
+(* Serve: fuzzing as a service                                          *)
+(* ------------------------------------------------------------------ *)
+
+module Serve = Wasai_serve
+
+(* <10 s check of the serve daemon: two tenants submitting concurrently
+   stream the same verdicts a batch campaign computes over the same
+   bytes, a saturated tenant queue answers explicit BUSY backpressure,
+   and an aborted (simulated kill -9) root resumes to a tenant report
+   byte-identical to the uninterrupted run's. *)
+let serve_smoke () =
+  Printf.printf
+    "\n=== Serve smoke (two tenants + backpressure + kill/resume) ===\n%!";
+  let rounds = 6 in
+  let engine =
+    { Core.Engine.default_config with Core.Engine.cfg_rounds = rounds }
+  in
+  (* short /tmp anchor: Unix-domain socket paths cap around 104 bytes *)
+  let dir =
+    Printf.sprintf "/tmp/wasai-serve-smoke-%d-%d" (Unix.getpid ())
+      (int_of_float (Unix.gettimeofday () *. 1000.) mod 1_000_000)
+  in
+  Unix.mkdir dir 0o755;
+  let contracts =
+    List.mapi
+      (fun i (s : BG.Corpus.sample) ->
+        ( Wasai_eosio.Name.to_string (campaign_account i),
+          Wasai_wasm.Encode.encode s.BG.Corpus.smp_module,
+          Wasai_eosio.Abi.to_text s.BG.Corpus.smp_abi ))
+      (BG.Corpus.coverage_set ~count:8 ())
+  in
+  let alice = List.filteri (fun i _ -> i mod 2 = 0) contracts in
+  let bob = List.filteri (fun i _ -> i mod 2 = 1) contracts in
+  let client_contracts cs =
+    List.map
+      (fun (name, wasm, abi) ->
+        { Serve.Client.ct_name = name; ct_wasm = wasm; ct_abi = Some abi })
+      cs
+  in
+  let connect_retry path =
+    let rec go n =
+      match Serve.Client.connect path with
+      | c -> c
+      | exception Unix.Unix_error _ when n > 0 ->
+          Unix.sleepf 0.05;
+          go (n - 1)
+    in
+    go 100
+  in
+  let submit ~tenant socket cs =
+    let c = connect_retry socket in
+    Fun.protect
+      ~finally:(fun () -> Serve.Client.close c)
+      (fun () -> Serve.Client.submit_batch c ~tenant (client_contracts cs))
+  in
+  (* batch reference over the same encoded bytes the daemon decodes *)
+  let batch_verdicts cs =
+    let targets =
+      List.map
+        (fun (name, wasm, abi) ->
+          {
+            Campaign.Campaign.sp_name = name;
+            sp_size = String.length wasm;
+            sp_load =
+              (fun () ->
+                {
+                  Core.Engine.tgt_account = Wasai_eosio.Name.of_string name;
+                  tgt_module = Wasai_wasm.Decode.decode wasm;
+                  tgt_abi = Wasai_eosio.Abi.of_text abi;
+                });
+          })
+        cs
+    in
+    Campaign.Campaign.verdicts_text
+      (Campaign.Campaign.run
+         (Campaign.Campaign.make_config ~jobs:2 ~engine ())
+         targets)
+  in
+  let streamed_verdicts (b : Serve.Client.batch) =
+    Campaign.Campaign.verdicts_text
+      (Campaign.Campaign.of_entries
+         (List.map (fun (_, _, e) -> e) b.Serve.Client.bt_verdicts))
+  in
+  (* phase 1: one daemon, two tenants submitting from concurrent domains;
+     depth 2 < 4 submissions per tenant forces BUSY backpressure, which
+     the client retry loop absorbs *)
+  let root1 = Filename.concat dir "root" in
+  let socket1 = Filename.concat dir "s.sock" in
+  let t =
+    Serve.Serve.create
+      (Serve.Serve.make_config ~root:root1 ~socket:socket1 ~jobs:2 ~depth:2
+         ~engine ())
+  in
+  let d = Domain.spawn (fun () -> Serve.Serve.serve t) in
+  let da = Domain.spawn (fun () -> submit ~tenant:"alice" socket1 alice) in
+  let db = Domain.spawn (fun () -> submit ~tenant:"bob" socket1 bob) in
+  let ba = Domain.join da in
+  let bb = Domain.join db in
+  Serve.Serve.request_stop t;
+  Domain.join d;
+  let parity_a = String.equal (streamed_verdicts ba) (batch_verdicts alice) in
+  let parity_b = String.equal (streamed_verdicts bb) (batch_verdicts bob) in
+  let busy = ba.Serve.Client.bt_retries + bb.Serve.Client.bt_retries in
+  Printf.printf
+    "  two tenants: alice parity %b, bob parity %b, BUSY backpressure \
+     replies absorbed: %d\n%!"
+    parity_a parity_b busy;
+  (* phase 2: kill (abort drops the queued backlog un-journaled, as
+     kill -9 would) and resume; the resumed report must be byte-identical
+     to phase 1's uninterrupted alice report *)
+  let root2 = Filename.concat dir "root2" in
+  let socket2 = Filename.concat dir "k.sock" in
+  let t2 =
+    Serve.Serve.create
+      (Serve.Serve.make_config ~root:root2 ~socket:socket2 ~jobs:1 ~depth:8
+         ~engine ())
+  in
+  let d2 = Domain.spawn (fun () -> Serve.Serve.serve t2) in
+  let c = connect_retry socket2 in
+  List.iter
+    (fun (name, wasm, abi) ->
+      Serve.Client.send c
+        (Serve.Wire.Submit
+           {
+             rq_tenant = "alice";
+             rq_name = name;
+             rq_wasm = wasm;
+             rq_abi = Some abi;
+           }))
+    alice;
+  let rec await_first_verdict () =
+    match Serve.Client.next c with
+    | Serve.Wire.Verdict _ -> ()
+    | _ -> await_first_verdict ()
+  in
+  await_first_verdict ();
+  Serve.Serve.request_abort t2;
+  Domain.join d2;
+  Serve.Client.close c;
+  let journaled =
+    List.length (Serve.Serve.tenant_entries ~root:root2 ~engine "alice")
+  in
+  let t3 =
+    Serve.Serve.create
+      (Serve.Serve.make_config ~root:root2 ~socket:socket2 ~jobs:2 ~depth:8
+         ~resume:true ~engine ())
+  in
+  let d3 = Domain.spawn (fun () -> Serve.Serve.serve t3) in
+  ignore (submit ~tenant:"alice" socket2 alice);
+  Serve.Serve.request_stop t3;
+  Domain.join d3;
+  let reference = Serve.Serve.tenant_report ~root:root1 ~engine "alice" in
+  let resumed = Serve.Serve.tenant_report ~root:root2 ~engine "alice" in
+  let partial = journaled >= 1 && journaled < List.length alice in
+  let identical = String.equal reference resumed in
+  Printf.printf
+    "  kill/resume: %d/%d journaled at kill, resumed report identical: %b\n%!"
+    journaled (List.length alice) identical;
+  let ok = parity_a && parity_b && busy >= 1 && partial && identical in
+  Printf.printf "serve smoke: %s\n" (if ok then "OK" else "MISMATCH");
+  if not ok then exit 1
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro benchmarks                                            *)
 (* ------------------------------------------------------------------ *)
 
@@ -1237,6 +1402,7 @@ let () =
     | "corpus-smoke" -> corpus_smoke ()
     | "trace" -> trace_exp ()
     | "trace-smoke" -> trace_smoke ()
+    | "serve-smoke" -> serve_smoke ()
     | "micro" -> micro ()
     | "all" ->
         fig3 opts;

@@ -20,6 +20,12 @@
                    coverage, [corpus minimize FILE] rewrites the file to a
                    greedy set-cover subset, [corpus import DST SRC...]
                    merges corpora with signature dedupe
+    - [serve]      the continuous fuzzing daemon: per-tenant journals and
+                   corpora under [--root], bounded per-tenant queues with
+                   explicit backpressure, streamed verdicts over a
+                   Unix-domain [--socket], crash-safe [--resume]
+    - [submit]     client for [serve]: send a contract or directory under
+                   a [--tenant] and stream verdicts as they complete
 
     ABI files use the textual format of {!Wasai_eosio.Abi.of_text}:
     one action per line, e.g. [transfer(from:name,to:name,quantity:asset,memo:string)]. *)
@@ -30,6 +36,7 @@ module Core = Wasai_core
 module BG = Wasai_benchgen
 module Campaign = Wasai_campaign
 module Corpus = Wasai_corpus.Corpus
+module Serve = Wasai_serve
 open Wasai_eosio
 
 let read_file path =
@@ -297,6 +304,126 @@ let campaign_report_cmd common =
       exit 2
   in
   emit_campaign_report common.co_out report
+
+(* ---- serve / submit -------------------------------------------------- *)
+
+let serve_cmd root socket jobs depth rounds seed resume =
+  let engine =
+    {
+      Core.Engine.default_config with
+      Core.Engine.cfg_rounds = rounds;
+      cfg_rng_seed = seed;
+    }
+  in
+  let cfg =
+    try Serve.Serve.make_config ~root ~socket ~jobs ~depth ~resume ~engine ()
+    with Invalid_argument msg ->
+      Printf.eprintf "serve: %s\n" msg;
+      exit 2
+  in
+  let t =
+    try Serve.Serve.create cfg with
+    | Failure msg ->
+        Printf.eprintf "%s\n" msg;
+        exit 2
+    | Campaign.Journal.Malformed msg | Corpus.Malformed msg ->
+        Printf.eprintf "serve: %s\n" msg;
+        exit 2
+  in
+  (* request_stop is an atomic store + pipe write, safe from a handler. *)
+  let stop _ = Serve.Serve.request_stop t in
+  Sys.set_signal Sys.sigint (Sys.Signal_handle stop);
+  Sys.set_signal Sys.sigterm (Sys.Signal_handle stop);
+  Printf.eprintf
+    "wasai serve: listening on %s (root=%s jobs=%d depth=%d rounds=%d \
+     seed=%Ld%s)\n\
+     %!"
+    socket root jobs depth rounds seed
+    (if resume then " resume" else "");
+  Serve.Serve.serve t;
+  Printf.eprintf "wasai serve: drained, bye\n%!"
+
+let fired_flags (e : Campaign.Journal.entry) =
+  List.filter_map
+    (fun (f, fired) -> if fired then Some (Core.Scanner.string_of_flag f) else None)
+    e.Campaign.Journal.je_flags
+
+let submit_cmd socket tenant path shutdown =
+  let contracts =
+    try Serve.Client.contracts_of_path path
+    with Sys_error msg ->
+      Printf.eprintf "submit: %s\n" msg;
+      exit 2
+  in
+  if contracts = [] then begin
+    Printf.eprintf "submit: no usable contracts in %s\n" path;
+    exit 2
+  end;
+  let client =
+    try Serve.Client.connect socket
+    with Unix.Unix_error (e, _, _) ->
+      Printf.eprintf "submit: cannot connect to %s: %s (is the daemon \
+                      running?)\n"
+        socket (Unix.error_message e);
+      exit 2
+  in
+  let progress (resp : Serve.Wire.response) =
+    match resp with
+    | Serve.Wire.Queued { rp_name; rp_depth; _ } ->
+        Printf.eprintf "  queued %s (depth %d)\n%!" rp_name rp_depth
+    | Serve.Wire.Busy { rp_name; rp_retry_ms; _ } ->
+        Printf.eprintf "  busy, retrying %s in %dms\n%!" rp_name rp_retry_ms
+    | Serve.Wire.Verdict { rp_kind; rp_wait_ms; rp_entry; _ } ->
+        let flags = fired_flags rp_entry in
+        Printf.printf "%-13s %s %s (%s, %dms)\n%!"
+          rp_entry.Campaign.Journal.je_name
+          (if flags = [] then "ok" else "VULNERABLE")
+          (if flags = [] then "-" else String.concat "," flags)
+          (match rp_kind with
+           | Serve.Wire.Fresh -> "fresh"
+           | Serve.Wire.Cached -> "cached")
+          rp_wait_ms
+    | Serve.Wire.Err { rp_name = Some name; rp_reason } ->
+        Printf.eprintf "  %s failed: %s\n%!" name rp_reason
+    | _ -> ()
+  in
+  let batch =
+    try Serve.Client.submit_batch ~progress client ~tenant contracts with
+    | Serve.Client.Protocol_error msg ->
+        Printf.eprintf "submit: %s\n" msg;
+        exit 2
+    | Unix.Unix_error (e, _, _) ->
+        Printf.eprintf "submit: %s\n" (Unix.error_message e);
+        exit 2
+  in
+  let vulnerable =
+    List.length
+      (List.filter
+         (fun (_, _, e) -> fired_flags e <> [])
+         batch.Serve.Client.bt_verdicts)
+  in
+  Printf.eprintf "submit: %d verdict(s), %d vulnerable, %d retries, %d \
+                  error(s)\n%!"
+    (List.length batch.Serve.Client.bt_verdicts)
+    vulnerable batch.Serve.Client.bt_retries
+    (List.length batch.Serve.Client.bt_errors);
+  (if shutdown then
+     try
+       Serve.Client.send client Serve.Wire.Shutdown;
+       let rec wait_bye () =
+         match Serve.Client.next client with
+         | Serve.Wire.Bye { rp_completed } ->
+             Printf.eprintf "submit: daemon shut down (%d completed)\n%!"
+               rp_completed
+         | _ -> wait_bye ()
+       in
+       wait_bye ()
+     with Serve.Client.Protocol_error msg ->
+       Printf.eprintf "submit: shutdown: %s\n" msg;
+       exit 2);
+  Serve.Client.close client;
+  if batch.Serve.Client.bt_errors <> [] then exit 2;
+  if vulnerable > 0 then exit 1
 
 (* ---- corpus ---------------------------------------------------------- *)
 
@@ -638,6 +765,98 @@ let corpus_t =
           itself is written by `wasai campaign run --corpus`")
     [ stats_t; minimize_t; import_t ]
 
+let socket_arg =
+  Arg.(
+    value
+    & opt string "wasai.sock"
+    & info [ "socket" ] ~docv:"PATH"
+        ~doc:"Unix-domain socket the daemon listens on.")
+
+let serve_t =
+  let root =
+    Arg.(
+      value
+      & opt string "serve.root"
+      & info [ "root" ] ~docv:"DIR"
+          ~doc:
+            "Served root: every tenant gets an isolated journal + corpus \
+             under $(docv)/<tenant>/.")
+  in
+  let jobs =
+    Arg.(
+      value
+      & opt int (Domain.recommended_domain_count ())
+      & info [ "j"; "jobs" ] ~docv:"N" ~doc:"Worker domains fuzzing submissions.")
+  in
+  let depth =
+    Arg.(
+      value
+      & opt int 16
+      & info [ "depth" ] ~docv:"N"
+          ~doc:
+            "Max in-flight submissions per tenant; beyond it the daemon \
+             answers BUSY with a retry-after hint (explicit backpressure \
+             instead of unbounded buffering).")
+  in
+  let seed =
+    Arg.(
+      value
+      & opt int64 Core.Engine.default_config.Core.Engine.cfg_rng_seed
+      & info [ "seed" ] ~docv:"S"
+          ~doc:
+            "Engine root RNG seed; stamped into every tenant journal line \
+             and validated on $(b,--resume).")
+  in
+  let resume =
+    Arg.(
+      value & flag
+      & info [ "resume" ]
+          ~doc:
+            "Continue existing tenant journals: already-journaled targets \
+             are served from cache, everything else is fuzzed fresh.  \
+             Without it a root that already holds journals is refused.")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the continuous fuzzing daemon: per-tenant journals and \
+          corpora under a served root, bounded per-tenant queues with \
+          backpressure, streamed verdicts, and crash-safe resume \
+          ($(b,kill -9) + $(b,--resume) reproduces the uninterrupted \
+          per-tenant reports byte-for-byte)")
+    Term.(
+      const serve_cmd $ root $ socket_arg $ jobs $ depth $ rounds_arg $ seed
+      $ resume)
+
+let submit_t =
+  let tenant =
+    Arg.(
+      value
+      & opt string "default"
+      & info [ "tenant" ] ~docv:"NAME"
+          ~doc:"Tenant to submit under ([a-z0-9._-], up to 32 chars).")
+  in
+  let path =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"PATH"
+          ~doc:"A contract file (*.wasm/*.wat) or a directory of them.")
+  in
+  let shutdown =
+    Arg.(
+      value & flag
+      & info [ "shutdown" ]
+          ~doc:"Ask the daemon to shut down after this batch completes.")
+  in
+  Cmd.v
+    (Cmd.info "submit"
+       ~doc:
+         "Submit contracts to a running serve daemon and stream the \
+          verdicts as they complete; exits 1 when any submission is \
+          flagged vulnerable")
+    Term.(const submit_cmd $ socket_arg $ tenant $ path $ shutdown)
+
 let () =
   (* `wasai campaign DIR` is the deprecated alias for `wasai campaign run
      DIR`.  Cmdliner's group dispatch rejects DIR as an unknown command
@@ -671,5 +890,5 @@ let () =
        (Cmd.group info
           [
             analyze_t; gen_t; dump_t; build_t; instrument_t; baseline_t; scan_t;
-            campaign_t; corpus_t;
+            campaign_t; corpus_t; serve_t; submit_t;
           ]))

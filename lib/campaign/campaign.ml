@@ -92,16 +92,12 @@ let check_unique (caller : string) (targets : target_spec list) =
     targets;
   seen
 
-(* Resume: a target is done iff its line reached the journal.  A journal
-   written under a different fleet configuration would mix verdicts that
-   no single run could produce; unstamped (v1/v2) entries predate
-   provenance and are trusted as before. *)
-let load_prior (cfg : config) (stamp : Journal.stamp) : Journal.entry list =
-  let prior =
-    match cfg.cc_journal with
-    | Some path when cfg.cc_resume && Sys.file_exists path -> Journal.load path
-    | _ -> []
-  in
+(* A journal written under a different fleet configuration would mix
+   verdicts that no single run could produce; unstamped (v1/v2) entries
+   predate provenance and are trusted as before.  Shared by resume,
+   merge-side callers and the serve tenant registry. *)
+let validate_entries ~(context : string) (stamp : Journal.stamp)
+    (entries : Journal.entry list) : unit =
   List.iter
     (fun (e : Journal.entry) ->
       match e.Journal.je_stamp with
@@ -110,16 +106,25 @@ let load_prior (cfg : config) (stamp : Journal.stamp) : Journal.entry list =
                           && st.Journal.js_rounds = stamp.Journal.js_rounds) ->
           failwith
             (Printf.sprintf
-               "campaign: journal entry %S was recorded under shard=%s \
+               "%s: journal entry %S was recorded under shard=%s \
                 seed=%Ld budget=%d, but this run uses shard=%s seed=%Ld \
                 budget=%d; refusing to mix configurations"
-               e.Journal.je_name
+               context e.Journal.je_name
                (Shard.to_string st.Journal.js_shard)
                st.Journal.js_seed st.Journal.js_rounds
                (Shard.to_string stamp.Journal.js_shard)
                stamp.Journal.js_seed stamp.Journal.js_rounds)
       | _ -> ())
-    prior;
+    entries
+
+(* Resume: a target is done iff its line reached the journal. *)
+let load_prior (cfg : config) (stamp : Journal.stamp) : Journal.entry list =
+  let prior =
+    match cfg.cc_journal with
+    | Some path when cfg.cc_resume && Sys.file_exists path -> Journal.load path
+    | _ -> []
+  in
+  validate_entries ~context:"campaign" stamp prior;
   prior
 
 let load_corpus (cfg : config) : Corpus.t =

@@ -118,6 +118,25 @@ val run : config -> target_spec list -> report
     (engine seed, target, corpus state): {!verdicts_text} is still
     byte-identical across [cc_jobs] for a fixed starting corpus. *)
 
+val stamp_of_config : config -> Journal.stamp
+(** The (shard, seed, budget) provenance every journal entry of a run
+    under [config] carries. *)
+
+val validate_entries :
+  context:string -> Journal.stamp -> Journal.entry list -> unit
+(** Check that every stamped entry was recorded under exactly this
+    (shard, seed, budget) provenance — {!run}'s resume discipline,
+    exported for external journal owners (the serve tenant registry).
+    Raises [Failure] (prefixed with [context]) on the first mismatch;
+    unstamped v1/v2 entries pass, as in {!run}. *)
+
+val corpus_records_of :
+  name:string -> Journal.stamp -> Core.Engine.outcome -> Corpus.record list
+(** The corpus records a completed target contributes: one per
+    interesting seed in the outcome, stamped with the run's provenance.
+    What {!run} appends to [cc_corpus]; exported so external
+    orchestrators (serve) persist seeds under the same schema. *)
+
 val of_entries : Journal.entry list -> report
 (** Wrap already-journaled entries as a report without fuzzing anything
     ([cr_jobs = 0]; every entry counts as skipped).  Duplicate entries per

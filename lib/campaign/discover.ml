@@ -45,15 +45,50 @@ let load_target ~account path : Core.Engine.target =
   in
   { Core.Engine.tgt_account = account; tgt_module = m; tgt_abi = abi }
 
-let dir (path : string) : Campaign.target_spec list =
+let warn_skip path reason =
+  Printf.eprintf "wasai: warning: skipping %s: %s\n%!" path reason
+
+(* Service-grade enumeration: one bad upload in a tenant directory must
+   not abort the whole scan, so anything that is not a readable,
+   non-empty .wasm/.wat regular file is skipped with a one-line warning
+   (.abi sidecars and subdirectories are expected neighbours and skip
+   silently). *)
+let contract_files (path : string) : string list =
   let entries = Sys.readdir path in
   Array.sort compare entries;
-  let contracts =
-    List.filter
-      (fun f ->
-        Filename.check_suffix f ".wasm" || Filename.check_suffix f ".wat")
-      (Array.to_list entries)
-  in
+  List.filter
+    (fun f ->
+      let full = Filename.concat path f in
+      let is_contract =
+        Filename.check_suffix f ".wasm" || Filename.check_suffix f ".wat"
+      in
+      match Unix.stat full with
+      | exception Unix.Unix_error (e, _, _) ->
+          warn_skip full (Unix.error_message e);
+          false
+      | st when st.Unix.st_kind <> Unix.S_REG ->
+          if is_contract then warn_skip full "not a regular file";
+          false
+      | _ when not is_contract ->
+          if
+            not
+              (Filename.check_suffix f ".abi"
+              || Filename.check_suffix f ".abi.json")
+          then warn_skip full "not a .wasm/.wat contract";
+          false
+      | st when st.Unix.st_size = 0 ->
+          warn_skip full "empty file";
+          false
+      | _ -> (
+          match Unix.access full [ Unix.R_OK ] with
+          | () -> true
+          | exception Unix.Unix_error (e, _, _) ->
+              warn_skip full (Unix.error_message e);
+              false))
+    (Array.to_list entries)
+
+let dir (path : string) : Campaign.target_spec list =
+  let contracts = contract_files path in
   let by_account = Hashtbl.create 16 in
   List.map
     (fun f ->

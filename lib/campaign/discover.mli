@@ -17,11 +17,24 @@ val default_abi : Wasai_eosio.Abi.t
 (** The canonical profitable-contract ABI (transfer/deposit/setup/reveal)
     used when a contract ships no ABI sidecar. *)
 
+val load_target : account:Wasai_eosio.Name.t -> string -> Core.Engine.target
+(** Parse one contract file ([.wat] is parsed as text, anything else
+    decoded as binary Wasm) plus its optional [<file>.abi] /
+    [<base>.abi] sidecar into an engine target deployed as [account]. *)
+
+val contract_files : string -> string list
+(** Basenames of the usable contract files under [path] (not recursive),
+    sorted.  Entries that are unreadable, empty, not regular files, or
+    lack a [.wasm]/[.wat] extension are skipped with a one-line warning
+    on stderr rather than aborting the scan ([.abi] sidecars and
+    directories skip silently) — a single bad tenant upload must not
+    take down a queue drain.  Raises [Sys_error] only when [path] itself
+    cannot be read. *)
+
 val dir : string -> Campaign.target_spec list
-(** All [*.wasm] and [*.wat] files under [path] (not recursive), sorted by
-    filename; [sp_size] is the file's byte size (the campaign's
-    biggest-first scheduling heuristic) and parsing is deferred to the
-    worker via [sp_load].  Raises
+(** [contract_files path] as campaign targets; [sp_size] is the file's
+    byte size (the campaign's biggest-first scheduling heuristic) and
+    parsing is deferred to the worker via [sp_load].  Raises
     [Failure] when two files map to the same account name (rename one:
     campaign journals are keyed by the derived name) and [Sys_error] when
     the directory cannot be read. *)

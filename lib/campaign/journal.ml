@@ -371,8 +371,13 @@ let load path =
 type writer = { oc : out_channel; wlock : Mutex.t }
 
 let open_writer path =
-  { oc = open_out_gen [ Open_append; Open_creat ] 0o644 path;
-    wlock = Mutex.create () }
+  let fresh = not (Sys.file_exists path) in
+  let oc = open_out_gen [ Open_append; Open_creat ] 0o644 path in
+  (* A crash right after creating the journal must not lose the file
+     itself: the fsync-per-line discipline below only covers contents,
+     not the new directory entry. *)
+  if fresh then Wasai_support.Fsutil.fsync_dir (Filename.dirname path);
+  { oc; wlock = Mutex.create () }
 
 let append w e =
   Mutex.protect w.wlock (fun () ->

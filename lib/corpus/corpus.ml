@@ -391,7 +391,9 @@ let save t path =
         (records t);
       flush oc;
       Unix.fsync (Unix.descr_of_out_channel oc));
-  Sys.rename tmp path
+  Sys.rename tmp path;
+  (* Persist the rename itself, not just the file contents. *)
+  Wasai_support.Fsutil.fsync_dir (Filename.dirname path)
 
 (* ------------------------------------------------------------------ *)
 (* Greedy set-cover minimisation                                       *)
@@ -474,8 +476,12 @@ module Writer = struct
   type w = { oc : out_channel; wlock : Mutex.t }
 
   let open_ path =
-    { oc = open_out_gen [ Open_append; Open_creat ] 0o644 path;
-      wlock = Mutex.create () }
+    let fresh = not (Sys.file_exists path) in
+    let oc = open_out_gen [ Open_append; Open_creat ] 0o644 path in
+    (* As with the journal writer: make the directory entry of a freshly
+       created corpus file durable before seeds start landing in it. *)
+    if fresh then Wasai_support.Fsutil.fsync_dir (Filename.dirname path);
+    { oc; wlock = Mutex.create () }
 
   let append w r =
     Mutex.protect w.wlock (fun () ->

@@ -1,0 +1,331 @@
+(** [wasai-serve-v1] — see wire.mli for the grammar.  The implementation
+    follows the journal/corpus parsers: build lines by concatenation,
+    parse by exact field-count match, validate every field, reject with
+    a reason. *)
+
+module Journal = Wasai_campaign.Journal
+
+let magic = "wasai-serve-v1"
+
+(* ------------------------------------------------------------------ *)
+(* Alphabets                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let valid_tenant s =
+  let n = String.length s in
+  n >= 1 && n <= 32 && s <> "." && s <> ".."
+  && String.for_all
+       (function 'a' .. 'z' | '0' .. '9' | '.' | '_' | '-' -> true | _ -> false)
+       s
+
+let valid_target s =
+  let n = String.length s in
+  n >= 1 && n <= 12
+  && String.for_all (function 'a' .. 'z' | '1' .. '5' | '.' -> true | _ -> false) s
+
+(* ------------------------------------------------------------------ *)
+(* Hex codec                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let hex_of_string s =
+  let digit n = "0123456789abcdef".[n] in
+  String.init
+    (2 * String.length s)
+    (fun i ->
+      let c = Char.code s.[i / 2] in
+      if i mod 2 = 0 then digit (c lsr 4) else digit (c land 0xf))
+
+exception Bad_hex
+
+let string_of_hex s =
+  let n = String.length s in
+  if n mod 2 <> 0 then Error "odd-length hex"
+  else
+    let nibble c =
+      match c with
+      | '0' .. '9' -> Char.code c - Char.code '0'
+      | 'a' .. 'f' -> Char.code c - Char.code 'a' + 10
+      | _ -> raise Bad_hex
+    in
+    match
+      String.init (n / 2) (fun i ->
+          Char.chr ((nibble s.[2 * i] lsl 4) lor nibble s.[(2 * i) + 1]))
+    with
+    | bytes -> Ok bytes
+    | exception Bad_hex -> Error "bad hex digit"
+
+(* ------------------------------------------------------------------ *)
+(* Types                                                               *)
+(* ------------------------------------------------------------------ *)
+
+type request =
+  | Submit of {
+      rq_tenant : string;
+      rq_name : string;
+      rq_wasm : string;
+      rq_abi : string option;
+    }
+  | Ping
+  | Stats of string
+  | Shutdown
+
+type verdict_kind = Fresh | Cached
+
+type response =
+  | Queued of { rp_tenant : string; rp_name : string; rp_depth : int }
+  | Busy of {
+      rp_tenant : string;
+      rp_name : string;
+      rp_retry_ms : int;
+      rp_depth : int;
+    }
+  | Verdict of {
+      rp_tenant : string;
+      rp_kind : verdict_kind;
+      rp_wait_ms : int;
+      rp_entry : Journal.entry;
+    }
+  | Err of { rp_name : string option; rp_reason : string }
+  | Pong of { rp_jobs : int; rp_tenants : int }
+  | StatsReply of {
+      rp_tenant : string;
+      rp_submitted : int;
+      rp_completed : int;
+      rp_rejected : int;
+      rp_qwait : string;
+      rp_latency : string;
+    }
+  | Bye of { rp_completed : int }
+
+(* ------------------------------------------------------------------ *)
+(* Field helpers                                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* "key=1234" with a strict non-negative decimal payload. *)
+let keyed key n = Printf.sprintf "%s=%d" key n
+
+let parse_keyed key s =
+  let prefix = key ^ "=" in
+  let pn = String.length prefix in
+  if String.length s <= pn || not (String.starts_with ~prefix s) then
+    Error (Printf.sprintf "expected %s=<int>, got %S" key s)
+  else
+    let digits = String.sub s pn (String.length s - pn) in
+    if not (String.for_all (function '0' .. '9' -> true | _ -> false) digits)
+    then Error (Printf.sprintf "non-decimal %s value %S" key digits)
+    else
+      match int_of_string_opt digits with
+      | Some n -> Ok n
+      | None -> Error (Printf.sprintf "unparseable %s value %S" key digits)
+
+(* "key=token" where the token is opaque but must be tab/space-free and
+   non-empty (the histogram wire rendering). *)
+let keyed_str key s = key ^ "=" ^ s
+
+let parse_keyed_str key s =
+  let prefix = key ^ "=" in
+  let pn = String.length prefix in
+  if String.length s <= pn || not (String.starts_with ~prefix s) then
+    Error (Printf.sprintf "expected %s=<token>, got %S" key s)
+  else
+    let v = String.sub s pn (String.length s - pn) in
+    if String.exists (function ' ' | '\t' -> true | _ -> false) v then
+      Error (Printf.sprintf "%s token contains whitespace" key)
+    else Ok v
+
+let sanitize_reason reason =
+  let flat =
+    String.map (function '\t' | '\n' | '\r' -> ' ' | c -> c) reason
+  in
+  if flat = "" then "error" else flat
+
+let check_tenant t =
+  if valid_tenant t then Ok t else Error (Printf.sprintf "invalid tenant %S" t)
+
+let check_target n =
+  if valid_target n then Ok n
+  else Error (Printf.sprintf "invalid target name %S" n)
+
+let ( let* ) = Result.bind
+
+(* ------------------------------------------------------------------ *)
+(* Requests                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let line_of_request = function
+  | Ping -> magic ^ "\tPING"
+  | Shutdown -> magic ^ "\tSHUTDOWN"
+  | Stats tenant ->
+      if not (valid_tenant tenant) then
+        invalid_arg (Printf.sprintf "Wire.line_of_request: invalid tenant %S" tenant);
+      String.concat "\t" [ magic; "STATS"; tenant ]
+  | Submit { rq_tenant; rq_name; rq_wasm; rq_abi } ->
+      if not (valid_tenant rq_tenant) then
+        invalid_arg
+          (Printf.sprintf "Wire.line_of_request: invalid tenant %S" rq_tenant);
+      if not (valid_target rq_name) then
+        invalid_arg
+          (Printf.sprintf "Wire.line_of_request: invalid target name %S" rq_name);
+      if rq_wasm = "" then
+        invalid_arg "Wire.line_of_request: empty module bytes";
+      String.concat "\t"
+        [
+          magic;
+          "SUBMIT";
+          rq_tenant;
+          rq_name;
+          hex_of_string rq_wasm;
+          (match rq_abi with Some abi -> hex_of_string abi | None -> "-");
+        ]
+
+let request_of_line line =
+  match String.split_on_char '\t' line with
+  | m :: _ when m <> magic -> Error (Printf.sprintf "bad magic %S" m)
+  | [ _; "PING" ] -> Ok Ping
+  | [ _; "SHUTDOWN" ] -> Ok Shutdown
+  | [ _; "STATS"; tenant ] ->
+      let* tenant = check_tenant tenant in
+      Ok (Stats tenant)
+  | [ _; "SUBMIT"; tenant; name; wasmhex; abihex ] ->
+      let* tenant = check_tenant tenant in
+      let* name = check_target name in
+      let* wasm = string_of_hex wasmhex in
+      if wasm = "" then Error "empty module bytes"
+      else
+        let* abi =
+          if abihex = "-" then Ok None
+          else
+            let* abi = string_of_hex abihex in
+            Ok (Some abi)
+        in
+        Ok (Submit { rq_tenant = tenant; rq_name = name; rq_wasm = wasm; rq_abi = abi })
+  | _ :: verb :: _ ->
+      Error (Printf.sprintf "unknown or malformed request %S" verb)
+  | _ -> Error "empty request"
+
+(* ------------------------------------------------------------------ *)
+(* Responses                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let string_of_kind = function Fresh -> "fresh" | Cached -> "cached"
+
+let kind_of_string = function
+  | "fresh" -> Ok Fresh
+  | "cached" -> Ok Cached
+  | s -> Error (Printf.sprintf "unknown verdict kind %S" s)
+
+let line_of_response = function
+  | Queued { rp_tenant; rp_name; rp_depth } ->
+      String.concat "\t"
+        [ magic; "QUEUED"; rp_tenant; rp_name; keyed "depth" rp_depth ]
+  | Busy { rp_tenant; rp_name; rp_retry_ms; rp_depth } ->
+      String.concat "\t"
+        [
+          magic;
+          "BUSY";
+          rp_tenant;
+          rp_name;
+          keyed "retry-after" rp_retry_ms;
+          keyed "depth" rp_depth;
+        ]
+  | Verdict { rp_tenant; rp_kind; rp_wait_ms; rp_entry } ->
+      String.concat "\t"
+        [
+          magic;
+          "VERDICT";
+          rp_tenant;
+          string_of_kind rp_kind;
+          keyed "wait" rp_wait_ms;
+          (* the journal line carries tabs of its own; the parser rejoins
+             every remaining field *)
+          Journal.line_of_entry rp_entry;
+        ]
+  | Err { rp_name; rp_reason } ->
+      String.concat "\t"
+        [
+          magic;
+          "ERR";
+          (match rp_name with Some n -> n | None -> "-");
+          sanitize_reason rp_reason;
+        ]
+  | Pong { rp_jobs; rp_tenants } ->
+      String.concat "\t"
+        [ magic; "PONG"; keyed "jobs" rp_jobs; keyed "tenants" rp_tenants ]
+  | StatsReply { rp_tenant; rp_submitted; rp_completed; rp_rejected; rp_qwait; rp_latency } ->
+      String.concat "\t"
+        [
+          magic;
+          "STATS";
+          rp_tenant;
+          keyed "submitted" rp_submitted;
+          keyed "completed" rp_completed;
+          keyed "rejected" rp_rejected;
+          keyed_str "qwait" rp_qwait;
+          keyed_str "latency" rp_latency;
+        ]
+  | Bye { rp_completed } ->
+      String.concat "\t" [ magic; "BYE"; keyed "completed" rp_completed ]
+
+let response_of_line line =
+  match String.split_on_char '\t' line with
+  | m :: _ when m <> magic -> Error (Printf.sprintf "bad magic %S" m)
+  | [ _; "QUEUED"; tenant; name; depth ] ->
+      let* tenant = check_tenant tenant in
+      let* name = check_target name in
+      let* depth = parse_keyed "depth" depth in
+      Ok (Queued { rp_tenant = tenant; rp_name = name; rp_depth = depth })
+  | [ _; "BUSY"; tenant; name; retry; depth ] ->
+      let* tenant = check_tenant tenant in
+      let* name = check_target name in
+      let* retry = parse_keyed "retry-after" retry in
+      let* depth = parse_keyed "depth" depth in
+      Ok
+        (Busy
+           { rp_tenant = tenant; rp_name = name; rp_retry_ms = retry; rp_depth = depth })
+  | _ :: "VERDICT" :: tenant :: kind :: wait :: (_ :: _ as rest) ->
+      let* tenant = check_tenant tenant in
+      let* kind = kind_of_string kind in
+      let* wait = parse_keyed "wait" wait in
+      let* entry =
+        (* the embedded journal line was split with the envelope *)
+        Journal.entry_of_line (String.concat "\t" rest)
+      in
+      Ok
+        (Verdict
+           { rp_tenant = tenant; rp_kind = kind; rp_wait_ms = wait; rp_entry = entry })
+  | [ _; "ERR"; name; reason ] ->
+      let* name =
+        (* the subject is a target name for submission failures and a
+           tenant name for STATS failures *)
+        if name = "-" then Ok None
+        else if valid_target name || valid_tenant name then Ok (Some name)
+        else Error (Printf.sprintf "invalid error subject %S" name)
+      in
+      Ok (Err { rp_name = name; rp_reason = reason })
+  | [ _; "PONG"; jobs; tenants ] ->
+      let* jobs = parse_keyed "jobs" jobs in
+      let* tenants = parse_keyed "tenants" tenants in
+      Ok (Pong { rp_jobs = jobs; rp_tenants = tenants })
+  | [ _; "STATS"; tenant; submitted; completed; rejected; qwait; latency ] ->
+      let* tenant = check_tenant tenant in
+      let* submitted = parse_keyed "submitted" submitted in
+      let* completed = parse_keyed "completed" completed in
+      let* rejected = parse_keyed "rejected" rejected in
+      let* qwait = parse_keyed_str "qwait" qwait in
+      let* latency = parse_keyed_str "latency" latency in
+      Ok
+        (StatsReply
+           {
+             rp_tenant = tenant;
+             rp_submitted = submitted;
+             rp_completed = completed;
+             rp_rejected = rejected;
+             rp_qwait = qwait;
+             rp_latency = latency;
+           })
+  | [ _; "BYE"; completed ] ->
+      let* completed = parse_keyed "completed" completed in
+      Ok (Bye { rp_completed = completed })
+  | _ :: verb :: _ ->
+      Error (Printf.sprintf "unknown or malformed response %S" verb)
+  | _ -> Error "empty response"

@@ -1,0 +1,121 @@
+(** The [wasai-serve-v1] wire grammar: the line-delimited protocol spoken
+    over the serve daemon's Unix-domain socket.
+
+    Like the journal and corpus grammars, every line is tab-separated,
+    starts with a version magic, and is parsed {e strictly}: wrong magic,
+    wrong verb, wrong field count, malformed numbers, out-of-alphabet
+    tenant or target names and bad hex all reject with a reason instead
+    of being guessed at — a daemon fed garbage answers [ERR] and hangs
+    up, it never half-parses a submission.
+
+    Requests (client to daemon), one per line:
+    {v
+    wasai-serve-v1 <TAB> SUBMIT <TAB> tenant <TAB> name <TAB> wasmhex <TAB> abihex|-
+    wasai-serve-v1 <TAB> PING
+    wasai-serve-v1 <TAB> STATS <TAB> tenant
+    wasai-serve-v1 <TAB> SHUTDOWN
+    v}
+
+    Responses (daemon to client) — admission replies and streamed
+    verdicts share one connection, so every response names its subject:
+    {v
+    wasai-serve-v1 <TAB> QUEUED <TAB> tenant <TAB> name <TAB> depth=N
+    wasai-serve-v1 <TAB> BUSY <TAB> tenant <TAB> name <TAB> retry-after=MS <TAB> depth=N
+    wasai-serve-v1 <TAB> VERDICT <TAB> tenant <TAB> fresh|cached <TAB> wait=MS <TAB> <journal line>
+    wasai-serve-v1 <TAB> ERR <TAB> name|- <TAB> reason
+    wasai-serve-v1 <TAB> PONG <TAB> jobs=N <TAB> tenants=N
+    wasai-serve-v1 <TAB> STATS <TAB> tenant <TAB> submitted=N <TAB> completed=N
+                   <TAB> rejected=N <TAB> qwait=HIST <TAB> latency=HIST
+    wasai-serve-v1 <TAB> BYE <TAB> completed=N
+    v}
+
+    The [VERDICT] payload embeds a complete {!Journal} line — verdict
+    flags, deterministic outcome counters, solver counters, provenance
+    stamp and wire-encoded exploit evidence — verbatim: the line a
+    client streams is the line the tenant journal holds, so streamed
+    results and crash-resumed reports can never disagree.  The journal
+    line contains tabs of its own; the parser rejoins everything after
+    the [wait=] field and hands it to {!Journal.entry_of_line}.
+    [HIST] is {!Wasai_support.Metrics.Histogram.to_wire} (one token, no
+    tabs). *)
+
+module Journal = Wasai_campaign.Journal
+
+val magic : string
+(** ["wasai-serve-v1"]. *)
+
+val valid_tenant : string -> bool
+(** Tenant names become directory names under the served root, so the
+    alphabet is locked down: 1..32 chars of [a-z0-9._-], and neither
+    ["."] nor [".."]. *)
+
+val valid_target : string -> bool
+(** Target names double as EOSIO deployment accounts: 1..12 chars of
+    [a-z1-5.]. *)
+
+val hex_of_string : string -> string
+(** Lowercase hex of the raw bytes, the [wasmhex]/[abihex] codec. *)
+
+val string_of_hex : string -> (string, string) result
+(** Strict inverse: even length, digits [0-9a-f] only. *)
+
+type request =
+  | Submit of {
+      rq_tenant : string;
+      rq_name : string;
+      rq_wasm : string;  (** raw module bytes (binary Wasm or .wat text) *)
+      rq_abi : string option;  (** ABI sidecar text, [None] = canonical ABI *)
+    }
+  | Ping
+  | Stats of string  (** tenant *)
+  | Shutdown
+
+type verdict_kind =
+  | Fresh  (** fuzzed by this submission *)
+  | Cached  (** replayed from the tenant journal (same name, already done) *)
+
+type response =
+  | Queued of { rp_tenant : string; rp_name : string; rp_depth : int }
+      (** admitted; [rp_depth] = tenant in-flight count after admission *)
+  | Busy of {
+      rp_tenant : string;
+      rp_name : string;
+      rp_retry_ms : int;  (** suggested client back-off *)
+      rp_depth : int;
+    }  (** backpressure: tenant queue full (or this name already queued) *)
+  | Verdict of {
+      rp_tenant : string;
+      rp_kind : verdict_kind;
+      rp_wait_ms : int;  (** submission-to-verdict latency, milliseconds *)
+      rp_entry : Journal.entry;
+    }
+  | Err of { rp_name : string option; rp_reason : string }
+      (** [rp_name = None] marks a protocol-level error (the daemon hangs
+          up); [Some subject] scopes the failure to one submission (a
+          target name) or one [STATS] query (a tenant name) *)
+  | Pong of { rp_jobs : int; rp_tenants : int }
+  | StatsReply of {
+      rp_tenant : string;
+      rp_submitted : int;
+      rp_completed : int;
+      rp_rejected : int;
+      rp_qwait : string;  (** queue-wait histogram, [Histogram.to_wire] *)
+      rp_latency : string;  (** end-to-end histogram, [Histogram.to_wire] *)
+    }
+  | Bye of { rp_completed : int }  (** shutdown acknowledged *)
+
+val line_of_request : request -> string
+(** Single line, no trailing newline.  Raises [Invalid_argument] on an
+    invalid tenant/target name or an empty [rq_wasm] — malformed
+    requests must fail at the producer, not on the wire. *)
+
+val request_of_line : string -> (request, string) result
+(** Strict inverse of {!line_of_request}. *)
+
+val line_of_response : response -> string
+(** Single line, no trailing newline.  [Err] reasons have tabs/newlines
+    flattened to spaces so the line stays well-formed. *)
+
+val response_of_line : string -> (response, string) result
+(** Strict inverse of {!line_of_response}; [VERDICT] payloads are
+    validated by {!Journal.entry_of_line}. *)

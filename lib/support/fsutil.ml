@@ -1,0 +1,24 @@
+(** Directory-entry durability: fsync the parent after creating a file or
+    directory, so a crash immediately after the create cannot lose the
+    entry itself (the per-line fsync discipline of the journal/corpus
+    writers only covers the file's {e contents}). *)
+
+let fsync_dir dir =
+  match Unix.openfile dir [ Unix.O_RDONLY ] 0 with
+  | exception Unix.Unix_error _ -> ()
+  | fd ->
+      Fun.protect
+        ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+        (fun () ->
+          (* Some filesystems reject fsync on a directory fd; entry
+             durability is best-effort there. *)
+          try Unix.fsync fd with Unix.Unix_error _ -> ())
+
+let rec mkdir_p dir =
+  if not (Sys.file_exists dir) then begin
+    let parent = Filename.dirname dir in
+    if parent <> dir then mkdir_p parent;
+    (match Unix.mkdir dir 0o755 with
+     | () -> fsync_dir parent
+     | exception Unix.Unix_error (Unix.EEXIST, _, _) -> ())
+  end

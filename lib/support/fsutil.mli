@@ -1,0 +1,19 @@
+(** Filesystem durability helpers shared by the crash-safe writers
+    (campaign journal, seed corpus, serve tenant registry).
+
+    Appending fsync'd lines to a file is not enough when the file itself
+    was created moments before a crash: the new directory entry lives in
+    the directory's own data, which has its own dirty page.  Creators of
+    durable files therefore fsync the {e parent directory} once after the
+    create (POSIX: fsync on a directory fd flushes its entries). *)
+
+val fsync_dir : string -> unit
+(** Open [dir] read-only and fsync it, flushing directory entries (new
+    files, new subdirectories) to disk.  Filesystems that cannot fsync a
+    directory fd degrade silently: crash-safety of the {e entry} is then
+    best-effort, matching the historical behaviour. *)
+
+val mkdir_p : string -> unit
+(** [mkdir "-p"]: create the directory and any missing ancestors; never
+    fails because a component already exists.  Each directory this call
+    actually creates is made durable by fsyncing its parent. *)

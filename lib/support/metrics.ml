@@ -124,6 +124,13 @@ module Histogram = struct
       walk 0 0
     end
 
+  (* Compact single-token rendering for wire protocols: no spaces or
+     tabs, so it can ride inside a tab-separated grammar field. *)
+  let to_wire t =
+    Printf.sprintf "n:%d,mean:%.6f,p50:%.6f,p90:%.6f,p99:%.6f,max:%.6f" t.n
+      (mean t) (percentile t 50.0) (percentile t 90.0) (percentile t 99.0)
+      t.max
+
   let to_string t =
     if t.n = 0 then "latency: no samples"
     else

@@ -53,4 +53,9 @@ module Histogram : sig
 
   val to_string : t -> string
   (** "latency: n=... mean=... p50<=... p90<=... p99<=... max=..." *)
+
+  val to_wire : t -> string
+  (** "n:..,mean:..,p50:..,p90:..,p99:..,max:.." — one token with no
+      spaces or tabs, embeddable in tab-separated wire grammars.  Times
+      are seconds with six decimals. *)
 end

@@ -51,6 +51,21 @@ let test_hist_merge () =
      String.length s > 0
      && contains ~sub:"n=5" s)
 
+let test_hist_to_wire () =
+  let h = Metrics.Histogram.create () in
+  Alcotest.(check bool) "empty renders n:0" true
+    (contains ~sub:"n:0" (Metrics.Histogram.to_wire h));
+  List.iter (Metrics.Histogram.add h) [ 0.001; 0.002; 0.2 ];
+  let s = Metrics.Histogram.to_wire h in
+  (* One token: embeddable in a tab-separated wire field. *)
+  Alcotest.(check bool) "no whitespace" false
+    (String.exists (function ' ' | '\t' | '\n' -> true | _ -> false) s);
+  Alcotest.(check bool) "counts samples" true (contains ~sub:"n:3" s);
+  Alcotest.(check bool) "all keys present" true
+    (List.for_all
+       (fun k -> contains ~sub:k s)
+       [ "mean:"; "p50:"; "p90:"; "p99:"; "max:" ])
+
 (* ------------------------------------------------------------------ *)
 (* Work queue                                                           *)
 (* ------------------------------------------------------------------ *)
@@ -81,6 +96,32 @@ let test_queue_parallel_drain () =
   let others = List.init 3 (fun _ -> Domain.spawn drain) in
   let total = List.fold_left (fun acc d -> acc + Domain.join d) (drain ()) others in
   Alcotest.(check int) "every item taken exactly once" (n * (n + 1) / 2) total
+
+(* Shutdown semantics under blocked consumers: closing the queue while
+   workers sit in Condition.wait must wake every one of them — the serve
+   daemon's graceful stop relies on it.  A missed broadcast deadlocks
+   the join and hangs the test. *)
+let test_queue_close_wakes_blocked () =
+  List.iter
+    (fun domains ->
+      let q : int Campaign.Work_queue.t = Campaign.Work_queue.create () in
+      let workers =
+        List.init domains (fun _ ->
+            Domain.spawn (fun () -> Campaign.Work_queue.take q))
+      in
+      (* Give every worker time to block in take on the empty queue, so
+         close exercises the wake-from-Condition.wait path rather than a
+         take-after-close fast path. *)
+      Unix.sleepf 0.05;
+      Campaign.Work_queue.close q;
+      List.iter
+        (fun d ->
+          Alcotest.(check bool)
+            (Printf.sprintf "worker woke with None (%d domains)" domains)
+            true
+            (Domain.join d = None))
+        workers)
+    [ 1; 2; 8 ]
 
 (* ------------------------------------------------------------------ *)
 (* Shard assignment                                                     *)
@@ -773,6 +814,32 @@ let test_account_of_filename () =
   Alcotest.(check bool) "truncated to 12" true
     (String.length (n "averyveryverylongcontractname.wasm") = 12)
 
+(* Service-grade directory hardening: one bad upload must be skipped
+   with a warning, never abort the scan. *)
+let test_contract_files_skips_bad_entries () =
+  let dir = Filename.temp_file "wasai-test-discover" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o755;
+  let write name contents =
+    let oc = open_out_bin (Filename.concat dir name) in
+    output_string oc contents;
+    close_out oc
+  in
+  write "good.wasm" "\x00asm\x01\x00\x00\x00";
+  write "good.wasm.abi" "transfer(from:name)";
+  write "empty.wasm" "";
+  write "notes.txt" "not a contract";
+  Unix.mkdir (Filename.concat dir "subdir.wasm") 0o755;
+  Alcotest.(check (list string))
+    "only the usable contract survives" [ "good.wasm" ]
+    (Campaign.Discover.contract_files dir);
+  (* dir still discovers campaign targets from the survivors *)
+  Alcotest.(check (list string))
+    "dir targets match" [ "good" ]
+    (List.map
+       (fun (t : Campaign.Campaign.target_spec) -> t.Campaign.Campaign.sp_name)
+       (Campaign.Discover.dir dir))
+
 let () =
   Alcotest.run "wasai_campaign"
     [
@@ -780,11 +847,14 @@ let () =
         [
           Alcotest.test_case "basic percentiles" `Quick test_hist_basic;
           Alcotest.test_case "merge" `Quick test_hist_merge;
+          Alcotest.test_case "wire rendering" `Quick test_hist_to_wire;
         ] );
       ( "work_queue",
         [
           Alcotest.test_case "fifo and close" `Quick test_queue_fifo_and_close;
           Alcotest.test_case "parallel drain" `Quick test_queue_parallel_drain;
+          Alcotest.test_case "close wakes blocked takers (1/2/8 domains)"
+            `Quick test_queue_close_wakes_blocked;
         ] );
       ( "shard",
         [
@@ -839,5 +909,7 @@ let () =
       ( "discover",
         [
           Alcotest.test_case "account derivation" `Quick test_account_of_filename;
+          Alcotest.test_case "bad entries skipped, not fatal" `Quick
+            test_contract_files_skips_bad_entries;
         ] );
     ]
