@@ -23,6 +23,9 @@ let flag_of_class = function
   | BG.Contracts.Miss_auth -> Core.Scanner.Miss_auth
   | BG.Contracts.Blockinfo_dep -> Core.Scanner.Blockinfo_dep
   | BG.Contracts.Rollback -> Core.Scanner.Rollback
+  | BG.Contracts.State_io -> Core.Scanner.State_io
+  | BG.Contracts.Fake_transfer -> Core.Scanner.Fake_transfer
+  | BG.Contracts.Asset_overflow -> Core.Scanner.Asset_overflow
 
 let target_of_sample (s : BG.Corpus.sample) : Core.Engine.target =
   {
@@ -121,7 +124,7 @@ let evaluate_corpus ~(rounds : int) (corpus : BG.Corpus.sample list) :
               row_cells =
                 List.map (fun tool -> (tool, Hashtbl.find_opt conf (tool, cls))) tools;
             })
-    BG.Corpus.paper_counts
+    (BG.Corpus.paper_counts @ BG.Corpus.extension_counts)
 
 (* Paper reference cells: (P, R, F1) as percentages; None = unsupported. *)
 type paper_cell = (float * float * float) option

@@ -193,6 +193,26 @@ let scan_cmd dir rounds =
     Core.Scanner.all_flags;
   if !vulnerable > 0 then exit 1
 
+(* ---- report ---------------------------------------------------------- *)
+
+let report_cmd list_oracles =
+  if not list_oracles then begin
+    Printf.eprintf "wasai report: nothing to do (try --list-oracles)\n";
+    exit 2
+  end;
+  Printf.printf "%-16s %-14s %s\n" "ORACLE" "FLAG" "JOURNAL";
+  List.iter
+    (fun (d : Core.Oracle.def) ->
+      let policy =
+        if List.mem d.Core.Oracle.od_flag Core.Scanner.legacy_flags then
+          "always (legacy field)"
+        else "when fired (extension)"
+      in
+      Printf.printf "%-16s %-14s %s\n" d.Core.Oracle.od_name
+        (Core.Scanner.string_of_flag d.Core.Oracle.od_flag)
+        policy)
+    (Core.Oracle.registered ())
+
 (* ---- campaign -------------------------------------------------------- *)
 
 (* Flags shared by every `wasai campaign` verb (run|merge|report), defined
@@ -267,6 +287,18 @@ let campaign_run_cmd ~deprecated common dir rounds resume shard seed corpus
          exit 2);
     exit 0
   end;
+  (* Log the armed detector set up front: with the registry open to
+     extensions, which oracles a campaign ran under is part of its
+     provenance. *)
+  let oracle_defs = Core.Oracle.registered () in
+  Printf.eprintf "campaign: %d oracles armed: %s\n%!"
+    (List.length oracle_defs)
+    (String.concat ", "
+       (List.map
+          (fun (d : Core.Oracle.def) ->
+            Printf.sprintf "%s[%s]" d.Core.Oracle.od_name
+              (Core.Scanner.string_of_flag d.Core.Oracle.od_flag))
+          oracle_defs));
   let report =
     try Campaign.Campaign.run cfg targets with
     | Campaign.Journal.Malformed msg | Corpus.Malformed msg ->
@@ -828,6 +860,24 @@ let serve_t =
       const serve_cmd $ root $ socket_arg $ jobs $ depth $ rounds_arg $ seed
       $ resume)
 
+let report_t =
+  let list_oracles =
+    Arg.(
+      value & flag
+      & info [ "list-oracles" ]
+          ~doc:
+            "List every registered vulnerability oracle — name, verdict \
+             flag, and whether its journal field is a legacy always-present \
+             column or an extension appended only when fired.")
+  in
+  Cmd.v
+    (Cmd.info "report"
+       ~doc:
+         "Scanner introspection: $(b,--list-oracles) prints the detector \
+          registry the engine arms for every target (the five paper \
+          classes plus registered extensions)")
+    Term.(const report_cmd $ list_oracles)
+
 let submit_t =
   let tenant =
     Arg.(
@@ -890,5 +940,5 @@ let () =
        (Cmd.group info
           [
             analyze_t; gen_t; dump_t; build_t; instrument_t; baseline_t; scan_t;
-            campaign_t; corpus_t; serve_t; submit_t;
+            report_t; campaign_t; corpus_t; serve_t; submit_t;
           ]))

@@ -29,23 +29,26 @@ let flagged (o : outcome) (f : Core.Scanner.flag) : bool option =
   match List.assoc_opt f o.ef_flags with Some v -> v | None -> None
 
 module B = Wasabi.Trace.Buffer
+module Cur = Wasabi.Trace.Cursor
 
 (* Import-call detection in a trace. *)
 let calls_import meta buf names =
   let ids = List.filter_map (fun n -> Wasabi.Trace.find_env_import meta n) names in
-  let n = B.length buf in
-  let rec go i =
-    i < n
-    && ((B.kind buf i = B.K_call_pre
+  let cur = Cur.make buf in
+  let rec go () =
+    (not (Cur.at_end cur))
+    && ((Cur.kind cur = B.K_call_pre
          &&
          match
-           (Wasabi.Trace.site_of meta (B.label buf i)).Wasabi.Trace.site_instr
+           (Wasabi.Trace.site_of meta (Cur.label cur)).Wasabi.Trace.site_instr
          with
          | Wasm.Ast.Call fi -> List.mem fi ids
          | _ -> false)
-       || go (i + 1))
+       ||
+       (Cur.advance cur;
+        go ()))
   in
-  go 0
+  go ()
 
 (* "Provided services": a visible side effect of the victim. *)
 let visible_effect meta buf =

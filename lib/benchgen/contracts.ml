@@ -72,6 +72,20 @@ type spec = {
   sp_fair_coin : bool;
       (** leave the block-info coin genuinely 50/50 instead of pinning it
           (benchmarks pin it so the payout path is deterministic) *)
+  sp_state_write : bool;
+      (** the eosponser itself upserts players[from] = amount — the
+          WACANA state-I/O pattern that makes forged notifications
+          persist attacker-controlled rows *)
+  sp_confused_dispatcher : bool;
+      (** weaken the Listing-1 guard to [code == eosio.token || code ==
+          _self] — the EVulHunter fake-transfer confusion that lets a
+          direct [transfer] action reach the eosponser *)
+  sp_payout_multiplier : int64 option;
+      (** multiply the payout by this bonus factor with a raw [i64.mul]
+          (the He et al. asset-overflow pattern when unchecked) *)
+  sp_max_bet : int64 option;
+      (** cap the stake before the payout arithmetic — the overflow
+          patch *)
 }
 
 (** One milestone level: a single byte of an input field must match. *)
@@ -107,6 +121,10 @@ let default_spec account =
     sp_claim_loop = false;
     sp_double_payout = false;
     sp_fair_coin = false;
+    sp_state_write = false;
+    sp_confused_dispatcher = false;
+    sp_payout_multiplier = None;
+    sp_max_bet = None;
   }
 
 (* Memory map of generated contracts. *)
@@ -220,6 +238,9 @@ let payout_code (spec : spec) imp ~(dest_local : int) : Wasm.Ast.instr list =
     I.i32 (inline_buf + 36); I.local_get 3; I.i64_load ();
   ]
   @ (if spec.sp_double_payout then [ I.i64 1L; I.i64_shl ] else [])
+  @ (match spec.sp_payout_multiplier with
+     | Some m -> [ I.i64 m; I.i64_mul ]
+     | None -> [])
   @ [
     I.i64_store ();
     I.i32 (inline_buf + 44); I.local_get 3; I.i64_load ~offset:8 (); I.i64_store ();
@@ -284,7 +305,7 @@ let lottery_template (spec : spec) imp : Wasm.Ast.instr list =
   blockinfo_value
   @ [ I.if_ (payout_code spec imp ~dest_local:1) [] ]
 
-let build_eosponser (spec : spec) imp ~msg_min ~msg_db ~msg_meta :
+let build_eosponser (spec : spec) imp ~msg_min ~msg_max ~msg_db ~msg_meta :
     Wasm.Ast.instr list =
   (* Every real contract ignores its own outgoing transfers; this also
      stops the payout notification from re-entering the eosponser.  Note
@@ -305,6 +326,13 @@ let build_eosponser (spec : spec) imp ~msg_min ~msg_db ~msg_meta :
     | Some v ->
         mk_assert imp msg_min
           [ I.local_get 3; I.i64_load (); I.i64 v; I.i64_ge_s ]
+  in
+  let max_bet =
+    match spec.sp_max_bet with
+    | None -> []
+    | Some v ->
+        mk_assert imp msg_max
+          [ I.local_get 3; I.i64_load (); I.i64 v; I.i64_le_s ]
   in
   let memo_gate =
     match spec.sp_memo_gate with
@@ -341,6 +369,29 @@ let build_eosponser (spec : spec) imp ~msg_min ~msg_db ~msg_meta :
       else []
   in
   let auth = if spec.sp_auth_check then [ I.local_get 1; I.call imp.i_require_auth ] else [] in
+  (* The WACANA state-I/O pattern: the eosponser itself records the
+     incoming stake under the sender's key (same upsert idiom as
+     [build_deposit]), so any forged channel that reaches this point
+     persists attacker-controlled state. *)
+  let state_write =
+    if not spec.sp_state_write then []
+    else
+      [
+        I.i32 scratch_base; I.local_get 3; I.i64_load (); I.i64_store ();
+        I.local_get 0; I.local_get 0; I.i64 tbl_players; I.local_get 1;
+        I.call imp.i_db_find;
+        I.local_tee 6;
+        I.i32 (-1); I.i32_eq;
+        I.if_
+          [
+            I.local_get 0; I.i64 tbl_players; I.local_get 0; I.local_get 1;
+            I.i32 scratch_base; I.i32 8;
+            I.call imp.i_db_store; I.drop;
+          ]
+          [ I.local_get 6; I.local_get 0; I.i32 scratch_base; I.i32 8;
+            I.call imp.i_db_update ];
+      ]
+  in
   let body =
     if not spec.sp_has_payout then []
     else if spec.sp_dead_template then
@@ -357,8 +408,8 @@ let build_eosponser (spec : spec) imp ~msg_min ~msg_db ~msg_meta :
       ]
     else lottery_template spec imp
   in
-  skip_self @ guard_notif @ checks @ min_bet @ memo_gate @ db_gate @ auth
-  @ body
+  skip_self @ guard_notif @ checks @ min_bet @ max_bet @ memo_gate @ db_gate
+  @ auth @ state_write @ body
   @ milestone_code imp spec.sp_milestones
 
 (* ------------------------------------------------------------------ *)
@@ -475,10 +526,17 @@ let build (spec : spec) : Wasm.Ast.module_ * Abi.t =
   B.add_data b ~offset:msg_min (msg1 ^ "\000");
   B.add_data b ~offset:msg_db (msg2 ^ "\000");
   B.add_data b ~offset:msg_meta (msg3 ^ "\000");
+  (* The max-bet message segment is only emitted when the cap is in use,
+     so modules built from pre-existing specs stay bit-identical. *)
+  let msg4 = "bet above maximum" in
+  let msg_max = msg_meta + String.length msg3 + 1 in
+  (match spec.sp_max_bet with
+   | Some _ -> B.add_data b ~offset:msg_max (msg4 ^ "\000")
+   | None -> ());
   let extra_locals = [ T.I64; T.I32 ] in
   let eosponser =
     B.add_func b ~name:"eosponser" ~locals:extra_locals action_sig
-      (build_eosponser spec imp ~msg_min ~msg_db ~msg_meta)
+      (build_eosponser spec imp ~msg_min ~msg_max ~msg_db ~msg_meta)
   in
   let deposit =
     B.add_func b ~name:"deposit" ~locals:extra_locals action_sig
@@ -547,6 +605,21 @@ let build (spec : spec) : Wasm.Ast.module_ * Abi.t =
   in
   let eos_guard =
     if not spec.sp_fake_eos_guard then []
+    else if spec.sp_confused_dispatcher then
+      (* The EVulHunter confusion: the guard accepts [code == _self] as
+         an alternative, so a [transfer] action pushed directly at the
+         contract sails through the eosio.token comparison. *)
+      let confused_cond =
+        [
+          I.local_get 1; I.i64 Name.eosio_token; I.i64_eq;
+          I.local_get 1; I.local_get 0; I.i64_eq;
+          I.i32_or;
+        ]
+      in
+      match spec.sp_eos_guard_style with
+      | Guard_assert -> mk_assert imp msg_meta confused_cond
+      | Guard_if_return ->
+          confused_cond @ [ I.i32_eqz; I.if_ [ I.return ] [] ]
     else
       match spec.sp_eos_guard_style with
       | Guard_assert ->
@@ -613,7 +686,15 @@ let build (spec : spec) : Wasm.Ast.module_ * Abi.t =
 (* Ground truth                                                        *)
 (* ------------------------------------------------------------------ *)
 
-type vuln = Fake_eos | Fake_notif | Miss_auth | Blockinfo_dep | Rollback
+type vuln =
+  | Fake_eos
+  | Fake_notif
+  | Miss_auth
+  | Blockinfo_dep
+  | Rollback
+  | State_io
+  | Fake_transfer
+  | Asset_overflow
 
 let string_of_vuln = function
   | Fake_eos -> "FakeEOS"
@@ -621,8 +702,15 @@ let string_of_vuln = function
   | Miss_auth -> "MissAuth"
   | Blockinfo_dep -> "BlockinfoDep"
   | Rollback -> "Rollback"
+  | State_io -> "StateIo"
+  | Fake_transfer -> "FakeTransfer"
+  | Asset_overflow -> "AssetOverflow"
 
-let all_vulns = [ Fake_eos; Fake_notif; Miss_auth; Blockinfo_dep; Rollback ]
+let all_vulns =
+  [
+    Fake_eos; Fake_notif; Miss_auth; Blockinfo_dep; Rollback; State_io;
+    Fake_transfer; Asset_overflow;
+  ]
 
 (* Is the eosponser's payout template reachable at all? *)
 let template_reachable (s : spec) = s.sp_has_payout && not s.sp_dead_template
@@ -642,3 +730,21 @@ let ground_truth (s : spec) (v : vuln) : bool =
       s.sp_blockinfo && (template_reachable s || s.sp_admin_reveal)
   | Rollback ->
       s.sp_payout_inline && (template_reachable s || s.sp_admin_reveal)
+  | State_io ->
+      (* The eosponser's own DB write is reachable from a forged channel:
+         a counterfeit token (no Listing-1 guard), a forwarded
+         notification (no Listing-2 guard), or a direct action let in by
+         the confused dispatcher. *)
+      s.sp_state_write
+      && ((not s.sp_fake_eos_guard)
+         || (not s.sp_fake_notif_guard)
+         || s.sp_confused_dispatcher)
+  | Fake_transfer ->
+      (* The dispatcher compares [code] against eosio.token but accepts
+         the self-escape, so a direct forged transfer runs the eosponser
+         despite the comparison being present. *)
+      s.sp_fake_eos_guard && s.sp_confused_dispatcher
+  | Asset_overflow ->
+      s.sp_payout_multiplier <> None
+      && s.sp_max_bet = None
+      && (template_reachable s || s.sp_admin_reveal)

@@ -67,6 +67,17 @@ type spec = {
   sp_double_payout : bool;  (** pay 2x the stake *)
   sp_fair_coin : bool;
       (** leave the block-info coin genuinely 50/50 (benchmarks pin it) *)
+  sp_state_write : bool;
+      (** the eosponser itself upserts players[from] = amount (the WACANA
+          state-I/O pattern) *)
+  sp_confused_dispatcher : bool;
+      (** weaken the Listing-1 guard to [code == eosio.token || code ==
+          _self] (the EVulHunter fake-transfer confusion) *)
+  sp_payout_multiplier : int64 option;
+      (** multiply the payout with a raw [i64.mul] bonus factor (the
+          asset-overflow pattern when uncapped) *)
+  sp_max_bet : int64 option;
+      (** cap the stake before the payout arithmetic (the overflow patch) *)
 }
 
 and milestone = {
@@ -100,7 +111,15 @@ val build : spec -> Wasm.Ast.module_ * Abi.t
 
 (** {1 Ground truth} *)
 
-type vuln = Fake_eos | Fake_notif | Miss_auth | Blockinfo_dep | Rollback
+type vuln =
+  | Fake_eos
+  | Fake_notif
+  | Miss_auth
+  | Blockinfo_dep
+  | Rollback
+  | State_io
+  | Fake_transfer
+  | Asset_overflow
 
 val string_of_vuln : vuln -> string
 val all_vulns : vuln list

@@ -35,6 +35,17 @@ let paper_counts =
     (Contracts.Rollback, 418);
   ]
 
+(* Per-class counts of the related-work extension corpus (StateIo /
+   FakeTransfer / AssetOverflow).  Kept out of [paper_counts] so the
+   legacy corpora consume exactly the RNG stream they always did and
+   their binaries and verdicts stay byte-identical. *)
+let extension_counts =
+  [
+    (Contracts.State_io, 60);
+    (Contracts.Fake_transfer, 60);
+    (Contracts.Asset_overflow, 60);
+  ]
+
 let verification_counts =
   [
     (Contracts.Fake_eos, 190);
@@ -143,6 +154,70 @@ let specialise rng (cls : Contracts.vuln) ~(vulnerable : bool)
           sp_db_gate = false;
           sp_memo_gate = None;
         }
+  | Contracts.State_io ->
+      (* The eosponser records the stake itself; the vulnerable variant
+         drops the Listing-2 guard so a forwarded notification reaches
+         the write, the patched one keeps both guards intact. *)
+      {
+        spec with
+        Contracts.sp_state_write = true;
+        sp_fake_eos_guard = true;
+        sp_fake_notif_guard = not vulnerable;
+        sp_confused_dispatcher = false;
+        (* Any verification in front of the write must stay satisfiable
+           on the forged channels: payer/payee equality tests compare
+           names the notification mechanism fixes, which would make the
+           planted write unreachable and the label unsound. *)
+        sp_checks =
+          (match spec.Contracts.sp_checks with
+           | [] -> []
+           | cs ->
+               Verification.random_checks
+                 ~targets:Verification.payload_targets rng
+                 ~depth:(List.length cs));
+        sp_db_gate = false;
+        sp_memo_gate = None;
+      }
+  | Contracts.Fake_transfer ->
+      (* Both variants carry the eosio.token comparison; only the
+         vulnerable one accepts the [code == _self] escape. *)
+      {
+        spec with
+        Contracts.sp_fake_eos_guard = true;
+        sp_confused_dispatcher = vulnerable;
+        sp_db_gate = false;
+        sp_memo_gate = None;
+      }
+  | Contracts.Asset_overflow ->
+      (* A raw i64.mul bonus on the stake; the patch caps the bet below
+         the overflow threshold (and floors it, so the product cannot
+         underflow either). *)
+      {
+        spec with
+        Contracts.sp_payout_multiplier = Some (Int64.shift_left 1L 45);
+        sp_max_bet = (if vulnerable then None else Some 100_000L);
+        (* No amount-equality verification: pinning the stake to a
+           random constant below the overflow threshold would falsify
+           the vulnerable label. *)
+        sp_checks =
+          (match spec.Contracts.sp_checks with
+           | [] -> []
+           | cs ->
+               Verification.random_checks
+                 ~targets:Contracts.[| Chk_symbol; Chk_memo_len |]
+                 rng ~depth:(List.length cs));
+        sp_min_bet =
+          (if vulnerable then spec.Contracts.sp_min_bet
+           else
+             match spec.Contracts.sp_min_bet with
+             | Some v -> Some v
+             | None -> Some 1L);
+        sp_blockinfo = false;
+        sp_dead_template = false;
+        sp_has_payout = true;
+        sp_db_gate = false;
+        sp_memo_gate = None;
+      }
 
 let scaled n scale = max 2 (n / scale)
 
@@ -175,6 +250,27 @@ let ground_truth ?(seed = 42L) ?(scale = 1) () : sample list =
           assert (Contracts.ground_truth spec cls = vulnerable);
           build_sample !id cls vulnerable spec))
     paper_counts
+
+(** The related-work extension benchmark: StateIo / FakeTransfer /
+    AssetOverflow samples, half vulnerable per class.  A separate corpus
+    (own seed, own RNG stream) so {!ground_truth} keeps producing
+    bit-identical legacy binaries. *)
+let extension ?(seed = 45L) ?(scale = 1) () : sample list =
+  let rng = Wasai_support.Rand.create seed in
+  let id = ref 0 in
+  List.concat_map
+    (fun (cls, count) ->
+      let n = scaled count scale in
+      List.init n (fun k ->
+          incr id;
+          let vulnerable = k mod 2 = 0 in
+          let account =
+            Name.of_string (Wasai_support.Rand.eosio_name_string rng 10)
+          in
+          let spec = specialise rng cls ~vulnerable (background rng account) in
+          assert (Contracts.ground_truth spec cls = vulnerable);
+          build_sample !id cls vulnerable spec))
+    extension_counts
 
 (** The Table-5 corpus: the ground-truth samples, obfuscated. *)
 let obfuscated ?(seed = 42L) ?(scale = 1) () : sample list =

@@ -20,8 +20,17 @@ val paper_counts : (Contracts.vuln * int) list
 val verification_counts : (Contracts.vuln * int) list
 (** Table 6's counts (190/1178/756/400/400). *)
 
+val extension_counts : (Contracts.vuln * int) list
+(** Per-class counts of the related-work extension corpus
+    (StateIo / FakeTransfer / AssetOverflow, 60 each). *)
+
 val ground_truth : ?seed:int64 -> ?scale:int -> unit -> sample list
 (** The Table-4 balanced benchmark. *)
+
+val extension : ?seed:int64 -> ?scale:int -> unit -> sample list
+(** The related-work extension benchmark: the three added classes, half
+    vulnerable per class, generated from a separate RNG stream so the
+    legacy corpora stay bit-identical. *)
 
 val obfuscated : ?seed:int64 -> ?scale:int -> unit -> sample list
 (** The Table-5 corpus: ground-truth samples after the obfuscator. *)

@@ -691,8 +691,12 @@ let to_text (r : report) =
        (total_branches r));
   List.iter
     (fun (f, n) ->
-      Buffer.add_string b
-        (Printf.sprintf "  %-14s %d\n" (Core.Scanner.string_of_flag f) n))
+      (* Legacy flag rows are always printed; extension-class rows appear
+         only when at least one contract fired them, keeping legacy-corpus
+         reports byte-identical to pre-extension builds. *)
+      if n > 0 || List.mem f Core.Scanner.legacy_flags then
+        Buffer.add_string b
+          (Printf.sprintf "  %-14s %d\n" (Core.Scanner.string_of_flag f) n))
     (flag_counts r);
   let st = solver_totals r in
   Buffer.add_string b

@@ -14,7 +14,14 @@
     v}
 
     where [<flags>] is [FakeEOS=0,FakeNotif=1,...] covering exactly
-    {!Core.Scanner.all_flags} in order.  The v3 extension stamps each
+    {!Core.Scanner.legacy_flags} in order, followed by the fired subset
+    of {!Core.Scanner.extension_flags} in canonical order (each as
+    [Name=1]; quiet extension flags are omitted).  That split keeps every
+    line written for a contract with no extension-class findings
+    byte-identical to pre-extension builds, while new classes still
+    round-trip strictly — an extension flag that is out of order,
+    duplicated, unknown, or carries any verdict other than [1] rejects
+    the line.  The v3 extension stamps each
     entry with its campaign provenance — the shard slice, the engine RNG
     root seed and the round budget — so a merge can validate that input
     journals came from one consistent fleet configuration, and persists
@@ -113,12 +120,27 @@ let exploits_field (exploits : (Core.Scanner.flag * Core.Scanner.evidence) list)
 
 let line_of_entry (e : entry) =
   let flags =
-    String.concat ","
-      (List.map
-         (fun (f, b) ->
-           Printf.sprintf "%s=%d" (Core.Scanner.string_of_flag f)
-             (if b then 1 else 0))
-         e.je_flags)
+    (* Legacy flags are always written in their fixed order; extension
+       flags appear only when fired.  Lookups go through the canonical
+       flag lists (not [je_flags] order) so the field never depends on
+       how the entry was built. *)
+    let value f =
+      match List.assoc_opt f e.je_flags with Some b -> b | None -> false
+    in
+    let legacy =
+      List.map
+        (fun f ->
+          Printf.sprintf "%s=%d" (Core.Scanner.string_of_flag f)
+            (if value f then 1 else 0))
+        Core.Scanner.legacy_flags
+    in
+    let fired_ext =
+      List.filter_map
+        (fun f ->
+          if value f then Some (Core.Scanner.string_of_flag f ^ "=1") else None)
+        Core.Scanner.extension_flags
+    in
+    String.concat "," (legacy @ fired_ext)
   in
   let common ~with_budget =
     [
@@ -168,26 +190,62 @@ let keyed key conv field =
   | _ -> Error (Printf.sprintf "expected field %S, got %S" key field)
 
 let parse_flags (field : string) =
+  let ( let* ) = Result.bind in
   let parts = String.split_on_char ',' field in
-  let expected = Core.Scanner.all_flags in
-  if List.length parts <> List.length expected then
+  let legacy = Core.Scanner.legacy_flags in
+  if List.length parts < List.length legacy then
     Error
-      (Printf.sprintf "flag field %S: expected %d flags" field
-         (List.length expected))
+      (Printf.sprintf "flag field %S: expected at least %d flags" field
+         (List.length legacy))
   else
-    let rec go acc parts flags =
+    (* The first five parts are the legacy flags, fixed order, 0 or 1. *)
+    let rec take_legacy acc parts flags =
       match (parts, flags) with
-      | [], [] -> Ok (List.rev acc)
+      | parts, [] -> Ok (List.rev acc, parts)
       | p :: parts, f :: flags -> (
           let name = Core.Scanner.string_of_flag f in
           match keyed name int_of_string_opt p with
-          | Ok 0 -> go ((f, false) :: acc) parts flags
-          | Ok 1 -> go ((f, true) :: acc) parts flags
+          | Ok 0 -> take_legacy ((f, false) :: acc) parts flags
+          | Ok 1 -> take_legacy ((f, true) :: acc) parts flags
           | Ok n -> Error (Printf.sprintf "flag %s: bad verdict %d" name n)
           | Error e -> Error e)
-      | _ -> assert false
+      | [], _ :: _ -> assert false (* length checked above *)
     in
-    go [] parts expected
+    let* legacy_verdicts, rest = take_legacy [] parts legacy in
+    (* The remaining parts must be a subsequence of the extension flags
+       in canonical order, each fired ([Name=1]): writers omit quiet
+       extension flags, so an explicit [=0], a duplicate, an unknown
+       name or an out-of-order flag is a corrupt line. *)
+    let rec take_ext fired parts flags =
+      match parts with
+      | [] -> Ok fired
+      | p :: parts' -> (
+          match flags with
+          | [] ->
+              Error
+                (Printf.sprintf
+                   "flag field %S: unknown, duplicate or out-of-order flag %S"
+                   field p)
+          | f :: flags' -> (
+              let name = Core.Scanner.string_of_flag f in
+              match keyed name int_of_string_opt p with
+              | Ok 1 -> take_ext (f :: fired) parts' flags'
+              | Ok n ->
+                  Error
+                    (Printf.sprintf
+                       "flag %s: bad verdict %d (extension flags are only \
+                        journaled when fired)"
+                       name n)
+              | Error _ ->
+                  (* Not this canonical flag; try the next one. *)
+                  take_ext fired parts flags'))
+    in
+    let* fired_ext = take_ext [] rest Core.Scanner.extension_flags in
+    Ok
+      (legacy_verdicts
+      @ List.map
+          (fun f -> (f, List.mem f fired_ext))
+          Core.Scanner.extension_flags)
 
 (* The v2 solver extension: [solver=q:N,b:N,u:N,h:N,m:N], parsed as
    strictly as every other field — fixed counter order, no unknown keys.

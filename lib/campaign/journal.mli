@@ -40,7 +40,9 @@ type stamp = {
     scheduling-dependent field; report canonicalisation excludes it. *)
 type entry = {
   je_name : string;  (** target name (unique within a campaign) *)
-  je_flags : (Core.Scanner.flag * bool) list;  (** all five, fixed order *)
+  je_flags : (Core.Scanner.flag * bool) list;
+      (** normalised over {!Core.Scanner.all_flags} in order (parsed
+          lines default absent extension flags to [false]) *)
   je_branches : int;
   je_rounds : int;
   je_seeds_total : int;

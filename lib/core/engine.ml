@@ -136,7 +136,8 @@ let agent_apply ~victim (ctx : Chain.context) =
    attackers on a test chain issue themselves arbitrary balances. *)
 let funding = 0x1000_0000_0000_0000L (* 2^60 units each *)
 
-let setup (cfg : config) (target : target) : session =
+let setup ?(profile : Chain_profile.t option) (cfg : config) (target : target) :
+    session =
   let chain = Host.create_chain ~fuel_per_action:cfg.cfg_fuel () in
   Token.bootstrap chain ~treasury ~supply:0x4000_0000_0000_0000L;
   List.iter
@@ -188,7 +189,8 @@ let setup (cfg : config) (target : target) : session =
   Chain.register_extension chain
     (Wasabi.Instrument.runtime_extension collector ~target:target.tgt_account);
   let scanner =
-    Scanner.create ~meta ~victim:target.tgt_account ~fake_notif_agent:fake_notif
+    Scanner.create ?profile ~fake_token_account:fake_token ~meta
+      ~victim:target.tgt_account ~fake_notif_agent:fake_notif ()
   in
   (* Determinism contract: the per-target RNG seed is derived from the
      pair (cfg_rng_seed, tgt_account) alone — never from global state or
@@ -558,10 +560,10 @@ let channels =
 (** Fuzz one contract to completion and report.  [oracles] builds
     additional detectors from the instrumentation metadata (the §5
     extension interface). *)
-let fuzz ?(cfg = default_config)
+let fuzz ?(cfg = default_config) ?(profile : Chain_profile.t option)
     ?(oracles : Wasabi.Trace.meta -> Scanner.custom_oracle list = fun _ -> [])
     (target : target) : outcome =
-  let s = setup cfg target in
+  let s = setup ?profile cfg target in
   List.iter (Scanner.register_custom s.scanner) (oracles s.meta);
   let t0 = Unix.gettimeofday () in
   let timeline = ref [] in

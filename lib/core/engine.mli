@@ -130,9 +130,11 @@ type session = {
   seen_seeds : (string, unit) Hashtbl.t;
 }
 
-val setup : config -> target -> session
+val setup : ?profile:Chain_profile.t -> config -> target -> session
 (** Instrument, deploy and boot the local chain with the adversary
-    auxiliaries (token, fake token, forwarding agent). *)
+    auxiliaries (token, fake token, forwarding agent).  [profile] is the
+    chain profile the detection oracles resolve host calls against
+    (default {!Chain_profile.eosio}). *)
 
 val payload : session -> Seed.t -> Scanner.channel -> Action.t * Abi.value list
 (** The action pushed for a seed on a channel, plus the argument vector
@@ -172,12 +174,14 @@ val run_one : session -> Seed.t -> Scanner.channel -> execution
 
 val fuzz :
   ?cfg:config ->
+  ?profile:Chain_profile.t ->
   ?oracles:(Wasabi.Trace.meta -> Scanner.custom_oracle list) ->
   target ->
   outcome
-(** Fuzz one contract to completion; [oracles] builds additional
-    detectors from the instrumentation metadata (the §5 extension
-    interface).
+(** Fuzz one contract to completion; [profile] selects the chain
+    profile the detection oracles match host calls against (default
+    {!Chain_profile.eosio}); [oracles] builds additional detectors from
+    the instrumentation metadata (the §5 extension interface).
 
     Determinism contract: given a fixed [cfg] (with [cfg_time_limit =
     None]) and a fixed target, every field of the outcome except

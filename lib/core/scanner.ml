@@ -1,53 +1,44 @@
-(** The vulnerability scanner (§3.5): trace oracles for the five classes.
+(** The vulnerability scanner: the harness driving the registered
+    {!Oracle} instances (§3.5) over every executed payload.
 
-    The scanner consumes the trace of every executed payload together with
-    the delivery channel the Engine used (the adversary oracles of §2.3),
-    and accumulates verdicts across the whole fuzzing session. *)
+    The scanner consumes the trace of every executed payload together
+    with the delivery channel the Engine used (the adversary oracles of
+    §2.3), identifies the eosponser action function from genuine
+    transfers, and accumulates sticky per-detector fires plus
+    first-fire exploit evidence across the whole fuzzing session.  The
+    detectors themselves live in {!Oracle}; this module re-exports the
+    channel/flag vocabulary so existing callers keep compiling. *)
 
 module Wasm = Wasai_wasm
 module Trace = Wasai_wasabi.Trace
 open Wasai_eosio
 
 (** How the payload reached the contract. *)
-type channel =
+type channel = Oracle.channel =
   | Ch_genuine  (** real EOS via eosio.token *)
   | Ch_direct  (** eosponser invoked directly with a forged action *)
   | Ch_fake_token  (** EOS issued by an attacker token contract *)
   | Ch_fake_notif  (** notification forwarded by an agent contract *)
   | Ch_action of Name.t  (** ordinary action push *)
 
-let string_of_channel = function
-  | Ch_genuine -> "genuine"
-  | Ch_direct -> "direct"
-  | Ch_fake_token -> "fake-token"
-  | Ch_fake_notif -> "fake-notif"
-  | Ch_action a -> "action:" ^ Name.to_string a
+let string_of_channel = Oracle.string_of_channel
+let channel_of_string = Oracle.channel_of_string
 
-let channel_of_string = function
-  | "genuine" -> Some Ch_genuine
-  | "direct" -> Some Ch_direct
-  | "fake-token" -> Some Ch_fake_token
-  | "fake-notif" -> Some Ch_fake_notif
-  | s when String.length s > 7 && String.sub s 0 7 = "action:" -> (
-      match Name.of_string (String.sub s 7 (String.length s - 7)) with
-      | n -> Some (Ch_action n)
-      | exception Invalid_argument _ -> None)
-  | _ -> None
+type flag = Oracle.flag =
+  | Fake_eos
+  | Fake_notif
+  | Miss_auth
+  | Blockinfo_dep
+  | Rollback
+  | State_io
+  | Fake_transfer
+  | Asset_overflow
 
-(* The scanner is independent of the benchmark generator, so it carries
-   its own vulnerability enumeration. *)
-type flag = Fake_eos | Fake_notif | Miss_auth | Blockinfo_dep | Rollback
-
-let all_flags = [ Fake_eos; Fake_notif; Miss_auth; Blockinfo_dep; Rollback ]
-
-let string_of_flag = function
-  | Fake_eos -> "FakeEOS"
-  | Fake_notif -> "FakeNotif"
-  | Miss_auth -> "MissAuth"
-  | Blockinfo_dep -> "BlockinfoDep"
-  | Rollback -> "Rollback"
-
-let flag_of_string s = List.find_opt (fun f -> string_of_flag f = s) all_flags
+let legacy_flags = Oracle.legacy_flags
+let extension_flags = Oracle.extension_flags
+let all_flags = Oracle.all_flags
+let string_of_flag = Oracle.string_of_flag
+let flag_of_string = Oracle.flag_of_string
 
 (** A user-supplied detector (the §5 extension interface): it analyses
     each executed payload's trace and returns [true] when the exploit
@@ -63,17 +54,8 @@ type t = {
   fake_notif_agent : Name.t;
   action_candidates : int list;  (** possible eosponser ids (instrumented) *)
   mutable eosponser_id : int option;  (** id_e, learned from a genuine trace *)
-  mutable fake_eos_hit : bool;
-  mutable fake_notif_hit : bool;
-  mutable notif_guard_seen : bool;
-  mutable miss_auth_hit : bool;
-  mutable blockinfo_hit : bool;
-  mutable rollback_hit : bool;
-  (* import ids, resolved once *)
-  auth_ids : int list;
-  effect_ids : int list;
-  blockinfo_ids : int list;
-  send_inline_id : int option;
+  oracles : (Oracle.instance * bool ref) list;
+      (** registered detectors with their sticky fire bits *)
   mutable custom : (custom_oracle * bool ref) list;
   mutable evidence : (flag * evidence) list;
       (** first exploit payload observed per fired flag *)
@@ -85,11 +67,13 @@ and evidence = {
   ev_payload : Wasai_eosio.Action.t;
 }
 
-let import_ids meta names =
-  List.filter_map (fun n -> Trace.find_env_import meta n) names
-
-let create ~(meta : Trace.meta) ~(victim : Name.t) ~(fake_notif_agent : Name.t)
-    : t =
+let create ?(profile : Chain_profile.t option)
+    ?(fake_token_account = Name.of_string "fake.token") ~(meta : Trace.meta)
+    ~(victim : Name.t) ~(fake_notif_agent : Name.t) () : t =
+  let instances =
+    Oracle.instantiate ?profile ~meta ~victim ~fake_notif_agent
+      ~fake_token:fake_token_account ()
+  in
   {
     meta;
     victim;
@@ -97,18 +81,7 @@ let create ~(meta : Trace.meta) ~(victim : Name.t) ~(fake_notif_agent : Name.t)
     action_candidates =
       Wasai_symbolic.Convention.find_action_functions meta.Trace.instrumented;
     eosponser_id = None;
-    fake_eos_hit = false;
-    fake_notif_hit = false;
-    notif_guard_seen = false;
-    miss_auth_hit = false;
-    blockinfo_hit = false;
-    rollback_hit = false;
-    auth_ids = import_ids meta [ "require_auth"; "require_auth2"; "has_auth" ];
-    effect_ids =
-      import_ids meta
-        [ "send_inline"; "db_store_i64"; "db_update_i64"; "db_remove_i64" ];
-    blockinfo_ids = import_ids meta [ "tapos_block_prefix"; "tapos_block_num" ];
-    send_inline_id = Trace.find_env_import meta "send_inline";
+    oracles = List.map (fun oi -> (oi, ref false)) instances;
     custom = [];
     evidence = [];
   }
@@ -127,65 +100,6 @@ let executed_ids (buf : B.t) : int list =
         (if B.kind buf i = B.K_func_begin then B.label buf i :: acc else acc)
   in
   go (B.length buf - 1) []
-
-(* Import function called by a call_pre event, if any. *)
-let called_import (t : t) (buf : B.t) (i : int) : int option =
-  match B.kind buf i with
-  | B.K_call_pre -> (
-      match (Trace.site_of t.meta (B.label buf i)).Trace.site_instr with
-      | Wasm.Ast.Call fi
-        when fi < Wasm.Ast.num_func_imports t.meta.Trace.instrumented ->
-          Some fi
-      | _ -> None)
-  | _ -> None
-
-(* Does the trace contain the Listing-2 guard: an instruction comparing
-   exactly the pair {agent, victim}?  Besides i64.eq/ne this matches the
-   xor/sub forms that comparison-encoding obfuscation rewrites to. *)
-let guard_observed (t : t) (buf : B.t) : bool =
-  let agent = t.fake_notif_agent and self = t.victim in
-  let n = B.length buf in
-  let rec go i =
-    i < n
-    && ((B.kind buf i = B.K_instr
-         && B.op_count buf i = 2
-         && B.op_is_i64 buf i 0 && B.op_is_i64 buf i 1
-         && (match (Trace.site_of t.meta (B.label buf i)).Trace.site_instr with
-             | Wasm.Ast.Int_compare (Wasm.Types.I64, (Wasm.Ast.Eq | Wasm.Ast.Ne))
-             | Wasm.Ast.Int_binary (Wasm.Types.I64, (Wasm.Ast.Xor | Wasm.Ast.Sub))
-               ->
-                 let a = B.op_bits buf i 0 and b = B.op_bits buf i 1 in
-                 (Int64.equal a agent && Int64.equal b self)
-                 || (Int64.equal a self && Int64.equal b agent)
-             | _ -> false))
-       || go (i + 1))
-  in
-  go 0
-
-(* MissAuth: an effect API invoked with no permission API anywhere before
-   it in the execution chain. *)
-let miss_auth_in (t : t) (buf : B.t) : bool =
-  let seen_auth = ref false in
-  let hit = ref false in
-  for i = 0 to B.length buf - 1 do
-    match called_import t buf i with
-    | Some fi ->
-        if List.mem fi t.auth_ids then seen_auth := true
-        else if (not !seen_auth) && List.mem fi t.effect_ids then hit := true
-    | None -> ()
-  done;
-  !hit
-
-let calls_any (t : t) (buf : B.t) (ids : int list) : bool =
-  let n = B.length buf in
-  let rec go i =
-    i < n
-    && ((match called_import t buf i with
-         | Some fi -> List.mem fi ids
-         | None -> false)
-       || go (i + 1))
-  in
-  go 0
 
 (** Feed one executed payload's trace into the scanner.  [payload] is the
     action that was pushed: when a detector first fires, it is kept as
@@ -215,46 +129,30 @@ let observe ?(payload : Wasai_eosio.Action.t option) ?(executed : int list optio
         (* Until id_e is known, fall back to "any action candidate ran". *)
         List.exists (fun f -> List.mem f t.action_candidates) ids
   in
-  (match channel with
-   | Ch_direct | Ch_fake_token ->
-       if eosponser_ran then begin
-         t.fake_eos_hit <- true;
-         record_evidence Fake_eos
-       end
-   | Ch_fake_notif ->
-       if eosponser_ran then begin
-         t.fake_notif_hit <- true;
-         record_evidence Fake_notif
-       end
-   | Ch_genuine | Ch_action _ -> ());
-  if guard_observed t buf then t.notif_guard_seen <- true;
-  if miss_auth_in t buf then begin
-    t.miss_auth_hit <- true;
-    record_evidence Miss_auth
-  end;
-  if calls_any t buf t.blockinfo_ids then begin
-    t.blockinfo_hit <- true;
-    record_evidence Blockinfo_dep
-  end;
-  (match t.send_inline_id with
-   | Some id ->
-       if calls_any t buf [ id ] then begin
-         t.rollback_hit <- true;
-         record_evidence Rollback
-       end
-   | None -> ());
+  let ctx = { Oracle.cx_channel = channel; cx_eosponser_ran = eosponser_ran } in
+  (* Every instance steps over every payload (sticky-fired ones too:
+     exculpatory state like the FakeNotif guard must keep accumulating);
+     the first fire pins the evidence. *)
+  List.iter
+    (fun ((oi : Oracle.instance), fired) ->
+      let cur = Trace.Cursor.make buf in
+      if oi.Oracle.oi_step ctx cur then begin
+        fired := true;
+        record_evidence oi.Oracle.oi_flag
+      end)
+    t.oracles;
   List.iter
     (fun (oracle, fired) ->
       if (not !fired) && oracle.co_detect channel buf then fired := true)
     t.custom
 
 (** Final verdict for one vulnerability class. *)
-let verdict (t : t) : flag -> bool = function
-  | Fake_eos -> t.fake_eos_hit
-  | Fake_notif -> t.fake_notif_hit && not t.notif_guard_seen
-  | Miss_auth -> t.miss_auth_hit
-  | Blockinfo_dep -> t.blockinfo_hit
-  | Rollback -> t.rollback_hit
+let verdict (t : t) (f : flag) : bool =
+  match
+    List.find_opt (fun ((oi : Oracle.instance), _) -> oi.Oracle.oi_flag = f) t.oracles
+  with
+  | Some (oi, fired) -> oi.Oracle.oi_verdict ~fired:!fired
+  | None -> false
 
 let report (t : t) : (flag * bool) list =
   List.map (fun f -> (f, verdict t f)) all_flags

@@ -1,11 +1,13 @@
-(** The vulnerability scanner (§3.5): trace oracles for the five classes,
-    accumulated across the whole fuzzing session. *)
+(** The vulnerability scanner: the harness driving the registered
+    {!Oracle} instances over every executed payload, accumulated across
+    the whole fuzzing session.  The channel/flag vocabulary is
+    re-exported from {!Oracle} so existing callers keep compiling. *)
 
 module Trace = Wasai_wasabi.Trace
 open Wasai_eosio
 
 (** How a payload reached the contract (the §2.3 adversary oracles). *)
-type channel =
+type channel = Oracle.channel =
   | Ch_genuine  (** real EOS via eosio.token *)
   | Ch_direct  (** eosponser invoked directly with a forged action *)
   | Ch_fake_token  (** EOS issued by an attacker token contract *)
@@ -17,7 +19,21 @@ val string_of_channel : channel -> string
 val channel_of_string : string -> channel option
 (** Strict inverse of {!string_of_channel} ([None] on anything else). *)
 
-type flag = Fake_eos | Fake_notif | Miss_auth | Blockinfo_dep | Rollback
+type flag = Oracle.flag =
+  | Fake_eos
+  | Fake_notif
+  | Miss_auth
+  | Blockinfo_dep
+  | Rollback
+  | State_io
+  | Fake_transfer
+  | Asset_overflow
+
+val legacy_flags : flag list
+(** The §3.5 five, in the historical journal order. *)
+
+val extension_flags : flag list
+(** The related-work classes, journaled only when fired. *)
 
 val all_flags : flag list
 val string_of_flag : flag -> string
@@ -39,16 +55,8 @@ type t = {
   fake_notif_agent : Name.t;
   action_candidates : int list;  (** possible eosponser ids *)
   mutable eosponser_id : int option;  (** id_e, learned from a genuine trace *)
-  mutable fake_eos_hit : bool;
-  mutable fake_notif_hit : bool;
-  mutable notif_guard_seen : bool;
-  mutable miss_auth_hit : bool;
-  mutable blockinfo_hit : bool;
-  mutable rollback_hit : bool;
-  auth_ids : int list;
-  effect_ids : int list;
-  blockinfo_ids : int list;
-  send_inline_id : int option;
+  oracles : (Oracle.instance * bool ref) list;
+      (** registered detectors with their sticky fire bits *)
   mutable custom : (custom_oracle * bool ref) list;
   mutable evidence : (flag * evidence) list;
       (** first exploit payload observed per fired flag *)
@@ -60,7 +68,17 @@ and evidence = {
   ev_payload : Wasai_eosio.Action.t;
 }
 
-val create : meta:Trace.meta -> victim:Name.t -> fake_notif_agent:Name.t -> t
+val create :
+  ?profile:Chain_profile.t ->
+  ?fake_token_account:Name.t ->
+  meta:Trace.meta ->
+  victim:Name.t ->
+  fake_notif_agent:Name.t ->
+  unit ->
+  t
+(** Instantiate every registered oracle against this contract.
+    [profile] defaults to {!Chain_profile.eosio}; [fake_token_account]
+    to the engine's counterfeit token account. *)
 
 val executed_ids : Trace.Buffer.t -> int list
 (** Function ids that began execution, in order (the id⃗ chain). *)

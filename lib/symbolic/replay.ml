@@ -225,13 +225,14 @@ let callee_arity (t : t) (instr : Ast.instr) : int * int =
   | _ -> (0, 0)
 
 module B = Trace.Buffer
+module Cur = Trace.Cursor
 
 (* Step one executed instruction event.  Operand-consuming cases read
    the buffer's operand pool directly through the cursor accessors —
    the patterns mirror the historical [Values.value list] matches
    exactly ([op_count] = the list length, tags = the constructors). *)
-let step_instr (t : t) (buf : B.t) (i : int) =
-  let site = B.label buf i in
+let step_instr (t : t) (cur : Cur.t) =
+  let site = Cur.label cur in
   let instr = (Trace.site_of t.meta site).Trace.site_instr in
   match instr with
   | Ast.Const v -> push t (concrete_of_value v)
@@ -299,8 +300,8 @@ let step_instr (t : t) (buf : B.t) (i : int) =
           push t (float_result 64))
   | Ast.Load lop ->
       ignore (pop t) (* symbolic address expression; addresses are concrete *);
-      if B.op_count buf i = 1 then begin
-        let ea = Int64.to_int (B.op_bits buf i 0) + Int32.to_int lop.Ast.l_offset in
+      if Cur.op_count cur = 1 then begin
+        let ea = Int64.to_int (Cur.op_bits cur 0) + Int32.to_int lop.Ast.l_offset in
         let bytes = Wasm.Memory.loadop_width lop in
         let raw = Memmodel.load t.mem ~addr:ea ~width_bytes:bytes in
         let target_w = width_of_numtype lop.Ast.l_ty in
@@ -318,8 +319,8 @@ let step_instr (t : t) (buf : B.t) (i : int) =
   | Ast.Store sop ->
       let value = pop t in
       ignore (pop t);
-      if B.op_count buf i = 2 then begin
-        let ea = Int64.to_int (B.op_bits buf i 0) + Int32.to_int sop.Ast.s_offset in
+      if Cur.op_count cur = 2 then begin
+        let ea = Int64.to_int (Cur.op_bits cur 0) + Int32.to_int sop.Ast.s_offset in
         let bytes = Wasm.Memory.storeop_width sop in
         let value = coerce (width_of_numtype sop.Ast.s_ty) value in
         let truncated =
@@ -332,8 +333,8 @@ let step_instr (t : t) (buf : B.t) (i : int) =
       else t.imprecise <- t.imprecise + 1
   | Ast.If _ | Ast.Br_if _ ->
       let cond = coerce 32 (pop t) in
-      if B.op_count buf i = 1 && B.op_is_i32 buf i 0 then begin
-        let c = B.op_i32 buf i 0 in
+      if Cur.op_count cur = 1 && Cur.op_is_i32 cur 0 then begin
+        let c = Cur.op_i32 cur 0 in
         let taken = c <> 0l in
         let as_taken = if taken then nonzero cond else Expr.not_ (nonzero cond) in
         record_cond t
@@ -341,12 +342,12 @@ let step_instr (t : t) (buf : B.t) (i : int) =
       end
   | Ast.Br_table _ ->
       let idx = coerce 32 (pop t) in
-      if B.op_count buf i = 1 && B.op_is_i32 buf i 0 then
+      if Cur.op_count cur = 1 && Cur.op_is_i32 cur 0 then
         record_cond t
           {
             cs_site = site;
             cs_cond =
-              Expr.cmp Expr.Eq idx (Expr.const 32 (Int64.of_int32 (B.op_i32 buf i 0)));
+              Expr.cmp Expr.Eq idx (Expr.const 32 (Int64.of_int32 (Cur.op_i32 cur 0)));
             cs_taken = true;
             cs_kind = K_brtable;
           }
@@ -374,11 +375,11 @@ let host_call (t : t) (name : string) (sym_args : Expr.t list)
    | _ -> ());
   List.iter (fun v -> push t (concrete_of_value v)) concrete_results
 
-let step (t : t) (buf : B.t) (i : int) =
+let step (t : t) (cur : Cur.t) =
   if not t.finished then
-    match B.kind buf i with
+    match Cur.kind cur with
     | B.K_func_begin ->
-        let f = B.label buf i in
+        let f = Cur.label cur in
         if t.started then begin
           let locals = Hashtbl.create 8 in
           (match t.pending with
@@ -416,10 +417,10 @@ let step (t : t) (buf : B.t) (i : int) =
               t.frames <- rest
           | [] -> t.finished <- true
         end
-    | B.K_instr -> if t.started then step_instr t buf i
+    | B.K_instr -> if t.started then step_instr t cur
     | B.K_call_pre ->
-        let site = B.label buf i in
-        let args = B.ops buf i in
+        let site = Cur.label cur in
+        let args = Cur.ops cur in
         t.last_pre_args <- args;
         if t.started then begin
           let instr = (Trace.site_of t.meta site).Trace.site_instr in
@@ -444,7 +445,7 @@ let step (t : t) (buf : B.t) (i : int) =
         end
     | B.K_call_post ->
         if t.started then begin
-          let results = B.ops buf i in
+          let results = Cur.ops cur in
           match t.pending with
           | Some pc ->
               (* No function_begin in between: host function. *)
@@ -478,21 +479,28 @@ let run ?layout ~(meta : Trace.meta) ~(target_funcs : int list)
   let t = create ?layout ?entry_arity ~meta ~target_funcs () in
   (match (layout, entry_arity) with
    | Some lay, Some arity ->
-       (* Seed pointee memory using the first call_pre into the target. *)
-       let n = B.length buf in
-       let rec find_entry i =
-         if i + 1 >= n then ()
+       (* Seed pointee memory using the first call_pre into the target;
+          [peek] trails one event ahead for the pre/begin pair. *)
+       let here = Cur.make buf and peek = Cur.make buf in
+       let rec find_entry () =
+         Cur.seek peek (Cur.pos here + 1);
+         if Cur.at_end peek then ()
          else if
-           B.kind buf i = B.K_call_pre
-           && B.kind buf (i + 1) = B.K_func_begin
-           && List.mem (B.label buf (i + 1)) target_funcs
-           && B.op_count buf i >= arity
-         then Convention.init_memory lay (B.ops buf i) t.mem
-         else find_entry (i + 1)
+           Cur.kind here = B.K_call_pre
+           && Cur.kind peek = B.K_func_begin
+           && List.mem (Cur.label peek) target_funcs
+           && Cur.op_count here >= arity
+         then Convention.init_memory lay (Cur.ops here) t.mem
+         else begin
+           Cur.advance here;
+           find_entry ()
+         end
        in
-       find_entry 0
+       find_entry ()
    | _ -> ());
-  for i = 0 to B.length buf - 1 do
-    step t buf i
+  let cur = Cur.make buf in
+  while not (Cur.at_end cur) do
+    step t cur;
+    Cur.advance cur
   done;
   { r_path = List.rev t.path; r_layout = t.layout; r_mem = t.mem; r_imprecise = t.imprecise }

@@ -336,6 +336,37 @@ module Buffer = struct
     t
 end
 
+(* ------------------------------------------------------------------ *)
+(* Cursor: positioned forward iteration                                *)
+(* ------------------------------------------------------------------ *)
+
+module Cursor = struct
+  (* A cursor is a position into a buffer plus accessors for the event
+     under it — the streaming read API oracles and the replayer use
+     instead of materialising records.  Reads are the same bounds-checked
+     int loads as the raw [Buffer] accessors; no record is built. *)
+
+  type t = { cbuf : Buffer.t; mutable pos : int }
+
+  let make buf = { cbuf = buf; pos = 0 }
+  let buffer c = c.cbuf
+  let length c = Buffer.length c.cbuf
+  let pos c = c.pos
+  let seek c i = c.pos <- i
+  let reset c = c.pos <- 0
+  let at_end c = c.pos >= Buffer.length c.cbuf
+  let advance c = c.pos <- c.pos + 1
+  let kind c = Buffer.kind c.cbuf c.pos
+  let label c = Buffer.label c.cbuf c.pos
+  let op_count c = Buffer.op_count c.cbuf c.pos
+  let op c j = Buffer.op c.cbuf c.pos j
+  let ops c = Buffer.ops c.cbuf c.pos
+  let op_bits c j = Buffer.op_bits c.cbuf c.pos j
+  let op_i32 c j = Buffer.op_i32 c.cbuf c.pos j
+  let op_is_i32 c j = Buffer.op_is_i32 c.cbuf c.pos j
+  let op_is_i64 c j = Buffer.op_is_i64 c.cbuf c.pos j
+end
+
 (* Hook-facing aliases: the instrumenter's runtime extension drives the
    collector through these. *)
 type t = Buffer.t

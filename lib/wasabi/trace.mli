@@ -113,17 +113,68 @@ module Buffer : sig
   val op_is_i32 : t -> int -> int -> bool
   val op_is_i64 : t -> int -> int -> bool
 
-  (** {2 Compat view} *)
+  (** {2 Compat view (test-only)}
+
+      These materialise boxed {!record}s and exist for the equivalence
+      property tests and debug printing only.  Production consumers —
+      the engine scan, oracles, baselines, the symbolic replayer —
+      stream over the buffer with {!Cursor} instead. *)
 
   val record_of : t -> int -> record
+  (** Test-only: builds a boxed record for one event. *)
+
   val ops : t -> int -> Wasm.Values.value list
   val iter : (record -> unit) -> t -> unit
   val fold : ('a -> record -> 'a) -> 'a -> t -> 'a
+
   val to_list : t -> record list
+  (** Test-only: materialises the whole tape as a record list.  Use
+      {!Cursor} in analysis code. *)
 
   val of_records : ?limit:int -> record list -> t
   (** Feed records through the append path (same limit semantics as
       live collection) — the bridge the equivalence tests use. *)
+end
+
+(** {1 Cursor: positioned forward iteration}
+
+    The streaming read API over {!Buffer}: a mutable position plus
+    accessors for the event under it.  No record materialisation — each
+    accessor is the corresponding O(1) {!Buffer} read at the current
+    position.  Oracles receive one cursor per payload and advance it
+    themselves; {!Cursor.seek} supports the replayer's look-ahead. *)
+
+module Cursor : sig
+  type t
+
+  val make : Buffer.t -> t
+  (** Cursor at position 0.  The cursor aliases the buffer: a
+      {!Buffer.reset} invalidates outstanding cursors. *)
+
+  val buffer : t -> Buffer.t
+  val length : t -> int
+
+  val pos : t -> int
+  val seek : t -> int -> unit
+  val reset : t -> unit
+  val at_end : t -> bool
+  val advance : t -> unit
+
+  (** Accessors for the event at [pos] (valid while [not (at_end c)]). *)
+
+  val kind : t -> Buffer.kind
+  val label : t -> int
+  val op_count : t -> int
+  val op : t -> int -> Wasm.Values.value
+
+  val ops : t -> Wasm.Values.value list
+  (** All operands of the current event, materialised (the call_pre /
+      call_post argument and result vectors). *)
+
+  val op_bits : t -> int -> int64
+  val op_i32 : t -> int -> int32
+  val op_is_i32 : t -> int -> bool
+  val op_is_i64 : t -> int -> bool
 end
 
 type t = Buffer.t

@@ -385,6 +385,65 @@ let test_journal_v3_strict () =
     (swap "exploits=" "exploits=FakeEOS@carrier@victim@transfer@@6162")
     "channel"
 
+(* Extension flags (StateIo / FakeTransfer / AssetOverflow) are appended
+   to the flags field only when fired, in canonical order; quiet ones
+   leave the line byte-identical to a pre-extension build's. *)
+let test_journal_extension_flags () =
+  let legacy_line = Campaign.Journal.line_of_entry sample_entry in
+  List.iter
+    (fun f ->
+      Alcotest.(check bool)
+        (Core.Scanner.string_of_flag f ^ " absent when quiet")
+        false
+        (contains ~sub:(Core.Scanner.string_of_flag f) legacy_line))
+    Core.Scanner.extension_flags;
+  let fired =
+    [ Core.Scanner.Fake_eos; Core.Scanner.State_io;
+      Core.Scanner.Asset_overflow ]
+  in
+  let entry =
+    {
+      sample_entry with
+      Campaign.Journal.je_flags =
+        List.map (fun f -> (f, List.mem f fired)) Core.Scanner.all_flags;
+    }
+  in
+  let line = Campaign.Journal.line_of_entry entry in
+  Alcotest.(check bool) "fired extensions serialised in canonical order" true
+    (contains ~sub:"StateIo=1,AssetOverflow=1" line);
+  match Campaign.Journal.entry_of_line line with
+  | Error e -> Alcotest.fail ("extension round-trip failed: " ^ e)
+  | Ok e ->
+      Alcotest.(check bool) "normalised over all eight flags" true
+        (e.Campaign.Journal.je_flags
+        = List.map (fun f -> (f, List.mem f fired)) Core.Scanner.all_flags)
+
+(* The extension grammar is parsed as strictly as the rest: an explicit
+   [=0], a duplicate, an out-of-order pair or an unknown name is a
+   corrupt line, never a value to guess at. *)
+let test_journal_extension_strict () =
+  let base = Campaign.Journal.line_of_entry sample_entry in
+  let app suffix =
+    match String.split_on_char '\t' base with
+    | magic :: name :: flags :: rest ->
+        String.concat "\t" (magic :: name :: (flags ^ suffix) :: rest)
+    | _ -> assert false
+  in
+  reject (app ",StateIo=0") "only journaled when fired";
+  reject (app ",StateIo=1,StateIo=1") "unknown, duplicate or out-of-order";
+  reject (app ",FakeTransfer=1,StateIo=1") "unknown, duplicate or out-of-order";
+  reject (app ",Bogus=1") "unknown, duplicate or out-of-order";
+  match
+    Campaign.Journal.entry_of_line
+      (app ",StateIo=1,FakeTransfer=1,AssetOverflow=1")
+  with
+  | Error e -> Alcotest.fail ("canonical extension suffix rejected: " ^ e)
+  | Ok e ->
+      Alcotest.(check bool) "all extensions fired" true
+        (List.for_all
+           (fun f -> List.assoc f e.Campaign.Journal.je_flags)
+           Core.Scanner.extension_flags)
+
 (* Stamped v3 journals predate the adaptive-budget counter; resume must
    still accept them, reading the final budget as zero. *)
 let test_journal_v3_budget_compat () =
@@ -875,6 +934,10 @@ let () =
           Alcotest.test_case "v3 budget compat" `Quick
             test_journal_v3_budget_compat;
           Alcotest.test_case "strict v4 parse" `Quick test_journal_v4_strict;
+          Alcotest.test_case "extension flags round-trip" `Quick
+            test_journal_extension_flags;
+          Alcotest.test_case "strict extension grammar" `Quick
+            test_journal_extension_strict;
           Alcotest.test_case "load rejects malformed" `Quick
             test_journal_load_malformed;
         ] );

@@ -409,6 +409,54 @@ let test_preload_skips_stale_vectors () =
     o.Core.Engine.out_rounds
 
 (* ------------------------------------------------------------------ *)
+(* Flag / channel codecs                                               *)
+(* ------------------------------------------------------------------ *)
+
+(* The journal and serve wire formats both lean on these codecs being
+   strict inverses: every canonical rendering parses back to the same
+   value, and nothing else parses at all. *)
+let test_flag_codec () =
+  Alcotest.(check int) "eight classes" 8 (List.length Core.Scanner.all_flags);
+  Alcotest.(check bool) "all = legacy @ extension" true
+    (Core.Scanner.all_flags
+    = Core.Scanner.legacy_flags @ Core.Scanner.extension_flags);
+  List.iter
+    (fun f ->
+      let s = Core.Scanner.string_of_flag f in
+      Alcotest.(check bool) (s ^ " roundtrips") true
+        (Core.Scanner.flag_of_string s = Some f))
+    Core.Scanner.all_flags;
+  List.iter
+    (fun s ->
+      Alcotest.(check bool) (Printf.sprintf "%S rejected" s) true
+        (Core.Scanner.flag_of_string s = None))
+    [
+      ""; "fakeeos"; "FakeEos"; "FakeEOS "; " FakeEOS"; "StateIO"; "stateio";
+      "Asset_overflow"; "FakeEOS=1"; "FakeTransfer\n";
+    ]
+
+let test_channel_codec () =
+  List.iter
+    (fun c ->
+      let s = Core.Scanner.string_of_channel c in
+      Alcotest.(check bool) (s ^ " roundtrips") true
+        (Core.Scanner.channel_of_string s = Some c))
+    [
+      Core.Scanner.Ch_genuine; Core.Scanner.Ch_direct;
+      Core.Scanner.Ch_fake_token; Core.Scanner.Ch_fake_notif;
+      Core.Scanner.Ch_action (n "deposit");
+      Core.Scanner.Ch_action (n "a.b.c");
+    ];
+  List.iter
+    (fun s ->
+      Alcotest.(check bool) (Printf.sprintf "%S rejected" s) true
+        (Core.Scanner.channel_of_string s = None))
+    [
+      ""; "Genuine"; "fake_token"; "fake-token "; "direct\n"; "action:";
+      "action:BAD"; "action:0digit"; "action:waytoolongname";
+    ]
+
+(* ------------------------------------------------------------------ *)
 (* Fused trace scan vs reference list passes                            *)
 (* ------------------------------------------------------------------ *)
 
@@ -569,6 +617,13 @@ let () =
           Alcotest.test_case "everything + gates" `Quick test_matrix_all_with_gates;
           Alcotest.test_case "dead template stays clean" `Quick
             test_matrix_dead_template;
+        ] );
+      ( "codecs",
+        [
+          Alcotest.test_case "flag strings are a strict inverse pair" `Quick
+            test_flag_codec;
+          Alcotest.test_case "channel strings are a strict inverse pair" `Quick
+            test_channel_codec;
         ] );
       ( "engine",
         [
