@@ -12,10 +12,18 @@ type options = {
   opt_rounds : int;  (** fuzzing iterations per contract *)
   opt_fig3_contracts : int;
   opt_seed : int64;
+  opt_backend : Core.Exec_backend.choice;
+      (** execution tier every WASAI run in the harness uses *)
 }
 
 let default_options =
-  { opt_scale = 20; opt_rounds = 24; opt_fig3_contracts = 30; opt_seed = 42L }
+  {
+    opt_scale = 20;
+    opt_rounds = 24;
+    opt_fig3_contracts = 30;
+    opt_seed = 42L;
+    opt_backend = Core.Exec_backend.Auto;
+  }
 
 let flag_of_class = function
   | BG.Contracts.Fake_eos -> Core.Scanner.Fake_eos
@@ -37,15 +45,14 @@ let target_of_sample (s : BG.Corpus.sample) : Core.Engine.target =
 type tool_verdict = Core.Scanner.flag -> bool option
 
 (* Run WASAI on one sample. *)
-let run_wasai ~rounds (s : BG.Corpus.sample) : tool_verdict =
+let run_wasai ~rounds ?(backend = Core.Exec_backend.Auto) (s : BG.Corpus.sample)
+    : tool_verdict =
   let o =
     Core.Engine.fuzz
       ~cfg:
-        {
-          Core.Engine.default_config with
-          Core.Engine.cfg_rounds = rounds;
-          cfg_rng_seed = Int64.of_int s.BG.Corpus.smp_id;
-        }
+        (Core.Engine.make_config ~rounds
+           ~rng_seed:(Int64.of_int s.BG.Corpus.smp_id)
+           ~backend ())
       (target_of_sample s)
   in
   fun f -> Some (Core.Engine.flagged o f)
@@ -75,8 +82,8 @@ type table_row = {
 
 let tools = [ "WASAI"; "EOSFuzzer"; "EOSAFE" ]
 
-let evaluate_corpus ~(rounds : int) (corpus : BG.Corpus.sample list) :
-    table_row list =
+let evaluate_corpus ~(rounds : int) ?(backend = Core.Exec_backend.Auto)
+    (corpus : BG.Corpus.sample list) : table_row list =
   let conf : (string * BG.Contracts.vuln, Metrics.confusion) Hashtbl.t =
     Hashtbl.create 32
   in
@@ -102,7 +109,7 @@ let evaluate_corpus ~(rounds : int) (corpus : BG.Corpus.sample list) :
               ~truth:s.BG.Corpus.smp_truth ~predicted
         | None -> ()
       in
-      record "WASAI" (run_wasai ~rounds s);
+      record "WASAI" (run_wasai ~rounds ~backend s);
       record "EOSFuzzer" (run_eosfuzzer ~rounds s);
       record "EOSAFE" (run_eosafe s))
     corpus;

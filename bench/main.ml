@@ -1,11 +1,12 @@
 (** Evaluation harness: regenerates every table and figure of the paper's
     evaluation (§4), plus ablation and micro benchmarks.
 
-    Usage: [main.exe [experiment] [--scale N] [--rounds N] [--count N]]
+    Usage: [main.exe [experiment] [--scale N] [--rounds N] [--count N]
+    [--backend interp|compiled|auto]]
 
     Experiments: fig3 table4 table5 table6 table-ext rq4 ablation solver
     campaign campaign-smoke shard shard-smoke corpus corpus-smoke trace
-    trace-smoke serve-smoke oracle-smoke micro all
+    trace-smoke serve-smoke oracle-smoke compile compile-smoke micro all
     (default: all).  [--scale]
     divides the corpus sizes (default 20; use [--full] for the paper-sized
     corpora — minutes of CPU).  [campaign] measures multi-domain scaling
@@ -25,7 +26,12 @@
     backpressure, kill + resume byte-identity); [table-ext] is the
     P/R/F1 table for the three related-work extension classes;
     [oracle-smoke] is a <10 s 8-class detection + legacy byte-identity
-    check of the oracle registry. *)
+    check of the oracle registry; [compile] measures the closure-compiled
+    execution tier against the interpreter (payloads/sec over the legacy
+    ground-truth corpus, verdict/coverage parity required, >= 2x target);
+    [compile-smoke] is a <10 s parity + not-slower check of the same;
+    [--backend] forces every WASAI engine run in the harness onto one
+    execution tier. *)
 
 open Wasai_support
 module BG = Wasai_benchgen
@@ -48,11 +54,7 @@ let fig3 (opts : options) =
         let o =
           Core.Engine.fuzz
             ~cfg:
-              {
-                Core.Engine.default_config with
-                Core.Engine.cfg_rounds = opts.opt_rounds;
-                cfg_rng_seed = Int64.of_int s.BG.Corpus.smp_id;
-              }
+              (Core.Engine.make_config ~rounds:(opts.opt_rounds) ~rng_seed:(Int64.of_int s.BG.Corpus.smp_id) ~backend:opts.opt_backend ())
             (target_of_sample s)
         in
         List.map (fun (_, t, b) -> (t, b)) o.Core.Engine.out_timeline)
@@ -104,14 +106,14 @@ let table4 (opts : options) =
   let corpus = BG.Corpus.ground_truth ~seed:opts.opt_seed ~scale:opts.opt_scale () in
   Printf.printf "\nTable 4 corpus: %d samples (scale 1/%d of 3,340)\n"
     (List.length corpus) opts.opt_scale;
-  let rows = evaluate_corpus ~rounds:opts.opt_rounds corpus in
+  let rows = evaluate_corpus ~rounds:opts.opt_rounds ~backend:opts.opt_backend corpus in
   print_table ~title:"Table 4: accuracy on the ground-truth benchmark (RQ2)"
     ~paper:paper_table4 rows
 
 let table5 (opts : options) =
   let corpus = BG.Corpus.obfuscated ~seed:opts.opt_seed ~scale:opts.opt_scale () in
   Printf.printf "\nTable 5 corpus: %d obfuscated samples\n" (List.length corpus);
-  let rows = evaluate_corpus ~rounds:opts.opt_rounds corpus in
+  let rows = evaluate_corpus ~rounds:opts.opt_rounds ~backend:opts.opt_backend corpus in
   print_table ~title:"Table 5: impact of code obfuscation (RQ3)"
     ~paper:paper_table5 rows
 
@@ -119,7 +121,7 @@ let table6 (opts : options) =
   let corpus = BG.Corpus.verification ~scale:opts.opt_scale () in
   Printf.printf "\nTable 6 corpus: %d complicated-verification samples\n"
     (List.length corpus);
-  let rows = evaluate_corpus ~rounds:opts.opt_rounds corpus in
+  let rows = evaluate_corpus ~rounds:opts.opt_rounds ~backend:opts.opt_backend corpus in
   print_table ~title:"Table 6: impact of complicated verification (RQ3)"
     ~paper:paper_table6 rows
 
@@ -130,7 +132,7 @@ let table_ext (opts : options) =
   let corpus = BG.Corpus.extension ~scale:(max 1 (opts.opt_scale / 4)) () in
   Printf.printf "\nExtension corpus: %d samples over the 3 related-work classes\n"
     (List.length corpus);
-  let rows = evaluate_corpus ~rounds:opts.opt_rounds corpus in
+  let rows = evaluate_corpus ~rounds:opts.opt_rounds ~backend:opts.opt_backend corpus in
   print_table
     ~title:
       "Extension: related-work classes (WACANA state I/O, EVulHunter fake \
@@ -159,11 +161,7 @@ let rq4 (opts : options) =
         let o =
           Core.Engine.fuzz
             ~cfg:
-              {
-                Core.Engine.default_config with
-                Core.Engine.cfg_rounds = opts.opt_rounds;
-                cfg_rng_seed = Int64.of_int d.BG.Mainnet.dep_id;
-              }
+              (Core.Engine.make_config ~rounds:(opts.opt_rounds) ~rng_seed:(Int64.of_int d.BG.Mainnet.dep_id) ~backend:opts.opt_backend ())
             {
               Core.Engine.tgt_account = d.BG.Mainnet.dep_account;
               tgt_module = d.BG.Mainnet.dep_module;
@@ -212,11 +210,7 @@ let rq4 (opts : options) =
             let o =
               Core.Engine.fuzz
                 ~cfg:
-                  {
-                    Core.Engine.default_config with
-                    Core.Engine.cfg_rounds = opts.opt_rounds;
-                    cfg_rng_seed = Int64.of_int (d.BG.Mainnet.dep_id + 99);
-                  }
+                  (Core.Engine.make_config ~rounds:(opts.opt_rounds) ~rng_seed:(Int64.of_int (d.BG.Mainnet.dep_id + 99)) ~backend:opts.opt_backend ())
                 {
                   Core.Engine.tgt_account = d.BG.Mainnet.dep_account;
                   tgt_module = m;
@@ -274,17 +268,13 @@ let ablation (opts : options) =
   in
   let with_fb =
     Core.Engine.fuzz
-      ~cfg:{ Core.Engine.default_config with Core.Engine.cfg_rounds = opts.opt_rounds }
+      ~cfg:(Core.Engine.make_config ~rounds:(opts.opt_rounds) ~backend:opts.opt_backend ())
       target
   in
   let without_fb =
     Core.Engine.fuzz
       ~cfg:
-        {
-          Core.Engine.default_config with
-          Core.Engine.cfg_rounds = opts.opt_rounds;
-          cfg_feedback = false;
-        }
+        (Core.Engine.make_config ~rounds:(opts.opt_rounds) ~feedback:false ~backend:opts.opt_backend ())
       target
   in
   Printf.printf
@@ -481,7 +471,7 @@ let campaign_targets ?(sized = true) ~count () =
 
 let campaign_config ?journal ?resume ?max_targets ?shard ~rounds ~jobs () =
   Campaign.Campaign.make_config ~jobs ?journal ?resume ?max_targets ?shard
-    ~engine:{ Core.Engine.default_config with Core.Engine.cfg_rounds = rounds }
+    ~engine:(Core.Engine.make_config ~rounds:(rounds) ())
     ()
 
 let campaign_exp (opts : options) =
@@ -708,11 +698,7 @@ let solver_runs (o : Core.Engine.outcome) =
    cold run's interesting seeds, fuzz again. *)
 let warm_cold ~rounds (s : BG.Corpus.sample) =
   let cfg =
-    {
-      Core.Engine.default_config with
-      Core.Engine.cfg_rounds = rounds;
-      cfg_rng_seed = Int64.of_int s.BG.Corpus.smp_id;
-    }
+    (Core.Engine.make_config ~rounds:(rounds) ~rng_seed:(Int64.of_int s.BG.Corpus.smp_id) ())
   in
   let cold = Core.Engine.fuzz ~cfg (target_of_sample s) in
   let warm =
@@ -759,7 +745,7 @@ let corpus_exp (opts : options) =
     Campaign.Campaign.run
       (Campaign.Campaign.make_config ~jobs ~corpus
          ~engine:
-           { Core.Engine.default_config with Core.Engine.cfg_rounds = rounds }
+           (Core.Engine.make_config ~rounds:(rounds) ())
          ())
       targets
   in
@@ -824,7 +810,7 @@ let corpus_smoke () =
     Campaign.Campaign.run
       (Campaign.Campaign.make_config ~jobs ~corpus
          ~engine:
-           { Core.Engine.default_config with Core.Engine.cfg_rounds = rounds }
+           (Core.Engine.make_config ~rounds:(rounds) ())
          ())
       targets
   in
@@ -971,7 +957,7 @@ let trace_payloads () =
   let m, abi = BG.Contracts.build spec in
   let s =
     Core.Engine.setup
-      { Core.Engine.default_config with Core.Engine.cfg_rounds = 2 }
+      (Core.Engine.make_config ~rounds:(2) ())
       {
         Core.Engine.tgt_account = Wasai_eosio.Name.of_string "victim";
         tgt_module = m;
@@ -998,7 +984,7 @@ let trace_payloads () =
       (fun channel ->
         let ex = Core.Engine.run_one s seed channel in
         payloads :=
-          (Trace.Buffer.to_list ex.Core.Engine.ex_trace, ex.Core.Engine.ex_scan)
+          (Trace.Compat.to_list ex.Core.Engine.ex_trace, ex.Core.Engine.ex_scan)
           :: !payloads)
       channels
   done;
@@ -1104,7 +1090,7 @@ let trace_smoke () =
           && Int64.equal
                (Trace.edge_signature sc.Core.Engine.sc_edges)
                (Trace.edge_signature edges),
-          rok && Trace.Buffer.to_list (Trace.Buffer.of_records records) = records
+          rok && Trace.Compat.to_list (Trace.Compat.of_records records) = records
         ))
       (true, true) payloads
   in
@@ -1118,11 +1104,7 @@ let trace_smoke () =
     List.fold_left
       (fun (vok, gok, tok) smp ->
         let cfg =
-          {
-            Core.Engine.default_config with
-            Core.Engine.cfg_rounds = 6;
-            cfg_rng_seed = Int64.of_int smp.BG.Corpus.smp_id;
-          }
+          (Core.Engine.make_config ~rounds:(6) ~rng_seed:(Int64.of_int smp.BG.Corpus.smp_id) ())
         in
         let o1 = Core.Engine.fuzz ~cfg (target_of_sample smp) in
         let o2 = Core.Engine.fuzz ~cfg (target_of_sample smp) in
@@ -1160,7 +1142,7 @@ let serve_smoke () =
     "\n=== Serve smoke (two tenants + backpressure + kill/resume) ===\n%!";
   let rounds = 6 in
   let engine =
-    { Core.Engine.default_config with Core.Engine.cfg_rounds = rounds }
+    (Core.Engine.make_config ~rounds:(rounds) ())
   in
   (* short /tmp anchor: Unix-domain socket paths cap around 104 bytes *)
   let dir =
@@ -1439,8 +1421,21 @@ let oracle_smoke () =
       (fun f -> contains s (Core.Scanner.string_of_flag f))
       Core.Scanner.extension_flags
   in
+  (* Campaign journals open with the backend header line; it must
+     round-trip too, and the entry lines after it must stay on the
+     legacy wire. *)
+  let header_ok, entry_lines =
+    match lines with
+    | first :: rest -> (
+        match Campaign.Journal.header_of_line first with
+        | Ok h ->
+            (String.equal (Campaign.Journal.line_of_header h) first, rest)
+        | Error _ -> (false, rest))
+    | [] -> (false, [])
+  in
   let journal_ok =
-    List.length lines = List.length targets
+    header_ok
+    && List.length entry_lines = List.length targets
     && List.for_all
          (fun line ->
            (not (mentions_ext line))
@@ -1448,7 +1443,7 @@ let oracle_smoke () =
            match Campaign.Journal.entry_of_line line with
            | Ok e -> String.equal (Campaign.Journal.line_of_entry e) line
            | Error _ -> false)
-         lines
+         entry_lines
   in
   let report_ok = not (mentions_ext (Campaign.Campaign.verdicts_text report)) in
   let silent_ok = !ext_fires_on_legacy = 0 in
@@ -1456,11 +1451,94 @@ let oracle_smoke () =
   Printf.printf
     "detection >= baselines on all 8 classes: %b; extension classes perfect \
      (planted bugs found, zero FPs): %b; extension oracles silent on %d \
-     legacy contracts: %b; %d journal lines extension-free and \
-     round-tripping byte-identically: %b; verdict report extension-free: %b \
-     -> %s\n"
+     legacy contracts: %b; header + %d journal lines round-tripping \
+     byte-identically and extension-free: %b; verdict report \
+     extension-free: %b -> %s\n"
     detection_ok ext_perfect (List.length legacy) silent_ok
-    (List.length lines) journal_ok report_ok
+    (List.length entry_lines) journal_ok report_ok
+    (if ok then "OK" else "MISMATCH");
+  if not ok then exit 1
+
+(* ------------------------------------------------------------------ *)
+(* Compiled execution tier (Exec_backend)                               *)
+(* ------------------------------------------------------------------ *)
+
+(* Run one tier over a corpus with symbolic feedback off, so wall-clock
+   is dominated by payload execution — the component the compiled tier
+   accelerates — rather than the solver.  Returns one canonical
+   verdict+coverage line per sample (the parity artefact), total pushed
+   transactions, and wall-clock seconds. *)
+let run_tier ~rounds ~backend samples =
+  let t0 = Unix.gettimeofday () in
+  let lines, tx =
+    List.fold_left
+      (fun (lines, tx) (s : BG.Corpus.sample) ->
+        let o =
+          Core.Engine.fuzz
+            ~cfg:
+              (Core.Engine.make_config ~rounds
+                 ~rng_seed:(Int64.of_int s.BG.Corpus.smp_id)
+                 ~feedback:false ~backend ())
+            (target_of_sample s)
+        in
+        let name =
+          Wasai_eosio.Name.to_string s.BG.Corpus.smp_spec.BG.Contracts.sp_account
+        in
+        let line =
+          Printf.sprintf "%s b=%d %s" name o.Core.Engine.out_branches
+            (String.concat ","
+               (List.filter_map
+                  (fun (f, b) ->
+                    if b then Some (Core.Scanner.string_of_flag f) else None)
+                  o.Core.Engine.out_flags))
+        in
+        (line :: lines, tx + o.Core.Engine.out_transactions))
+      ([], 0) samples
+  in
+  (List.rev lines, tx, Unix.gettimeofday () -. t0)
+
+(* Figure 3 throughput of the compiled tier vs the interpreter over the
+   legacy ground-truth corpus: the tentpole target is >= 2x payloads/sec
+   at identical verdicts and coverage. *)
+let compile_exp (opts : options) =
+  Printf.printf "\n=== Compiled execution tier: throughput vs interpreter ===\n";
+  let samples = BG.Corpus.coverage_set ~count:opts.opt_fig3_contracts () in
+  let rounds = opts.opt_rounds in
+  Printf.printf "(%d branch-rich Figure 3 contracts, %d rounds each, symbolic feedback off)\n%!"
+    (List.length samples) rounds;
+  let i_lines, i_tx, i_wall = run_tier ~rounds ~backend:Core.Exec_backend.Interp samples in
+  let c_lines, c_tx, c_wall = run_tier ~rounds ~backend:Core.Exec_backend.Compiled samples in
+  let parity = i_lines = c_lines && i_tx = c_tx in
+  let ipps = float_of_int i_tx /. i_wall in
+  let cpps = float_of_int c_tx /. c_wall in
+  Printf.printf "  interp   : %6d payloads in %6.2f s -> %8.0f payloads/sec\n"
+    i_tx i_wall ipps;
+  Printf.printf "  compiled : %6d payloads in %6.2f s -> %8.0f payloads/sec\n"
+    c_tx c_wall cpps;
+  Printf.printf
+    "  speedup %.2fx (target >= 2x); verdict/coverage parity: %b\n%!"
+    (cpps /. ipps) parity
+
+(* Quick local verification (<10 s) of the compiled tier: over a small
+   legacy slice, the compiled backend must reach byte-identical
+   verdict+coverage lines and push counts, and must not be slower than
+   the interpreter. *)
+let compile_smoke () =
+  Printf.printf "\n=== Compile smoke (tier parity + throughput) ===\n%!";
+  let samples = BG.Corpus.ground_truth ~scale:100 () in
+  let rounds = 16 in
+  let i_lines, i_tx, i_wall = run_tier ~rounds ~backend:Core.Exec_backend.Interp samples in
+  let c_lines, c_tx, c_wall = run_tier ~rounds ~backend:Core.Exec_backend.Compiled samples in
+  let parity = i_lines = c_lines && i_tx = c_tx in
+  let ipps = float_of_int i_tx /. i_wall in
+  let cpps = float_of_int c_tx /. c_wall in
+  let faster = cpps >= ipps in
+  let ok = parity && faster in
+  Printf.printf
+    "%d contracts, %d payloads: verdict+coverage parity: %b; interp %.0f \
+     payloads/sec vs compiled %.0f payloads/sec (%.2fx, must be >= 1x): %b \
+     -> %s\n"
+    (List.length samples) i_tx parity ipps cpps (cpps /. ipps) faster
     (if ok then "OK" else "MISMATCH");
   if not ok then exit 1
 
@@ -1545,6 +1623,11 @@ let () =
     | "--count" :: v :: rest ->
         opts := { !opts with opt_fig3_contracts = int_of_string v };
         parse rest
+    | "--backend" :: v :: rest ->
+        (match Core.Exec_backend.of_string v with
+        | Ok b -> opts := { !opts with opt_backend = b }
+        | Error msg -> failwith msg);
+        parse rest
     | "--full" :: rest ->
         opts :=
           { !opts with opt_scale = 1; opt_rounds = 60; opt_fig3_contracts = 100 };
@@ -1579,6 +1662,8 @@ let () =
     | "trace-smoke" -> trace_smoke ()
     | "serve-smoke" -> serve_smoke ()
     | "oracle-smoke" -> oracle_smoke ()
+    | "compile" -> compile_exp opts
+    | "compile-smoke" -> compile_smoke ()
     | "micro" -> micro ()
     | "all" ->
         fig3 opts;
@@ -1593,6 +1678,7 @@ let () =
         shard_exp opts;
         corpus_exp opts;
         trace_exp ();
+        compile_exp opts;
         micro ()
     | other -> Printf.eprintf "unknown experiment %s\n" other
   in

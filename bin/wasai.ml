@@ -64,7 +64,7 @@ let load_contract bin_path abi_path =
 
 (* ---- analyze -------------------------------------------------------- *)
 
-let analyze_cmd bin_path abi_path rounds account verbose =
+let analyze_cmd bin_path abi_path rounds backend account verbose =
   let m, abi = load_contract bin_path abi_path in
   let target =
     {
@@ -76,7 +76,7 @@ let analyze_cmd bin_path abi_path rounds account verbose =
   let t0 = Unix.gettimeofday () in
   let o =
     Core.Engine.fuzz
-      ~cfg:{ Core.Engine.default_config with Core.Engine.cfg_rounds = rounds }
+      ~cfg:(Core.Engine.make_config ~rounds:(rounds) ~backend ())
       target
   in
   let report =
@@ -147,7 +147,7 @@ let instrument_cmd bin_path out_path =
 
 (* ---- scan ------------------------------------------------------------ *)
 
-let scan_cmd dir rounds =
+let scan_cmd dir rounds backend =
   let entries = Sys.readdir dir in
   Array.sort compare entries;
   let total = ref 0 and vulnerable = ref 0 in
@@ -164,7 +164,7 @@ let scan_cmd dir rounds =
         let m, abi = load_contract path abi_path in
         let o =
           Core.Engine.fuzz
-            ~cfg:{ Core.Engine.default_config with Core.Engine.cfg_rounds = rounds }
+            ~cfg:(Core.Engine.make_config ~rounds:(rounds) ~backend ())
             {
               Core.Engine.tgt_account = Name.of_string "victim";
               tgt_module = m;
@@ -232,7 +232,7 @@ let emit_campaign_report out (report : Campaign.Campaign.report) =
    | None -> print_string text);
   if Campaign.Campaign.vulnerable_count report > 0 then exit 1
 
-let campaign_run_cmd ~deprecated common dir rounds resume shard seed corpus
+let campaign_run_cmd ~deprecated common dir rounds backend resume shard seed corpus
     dry_run =
   if deprecated then
     Printf.eprintf
@@ -267,11 +267,7 @@ let campaign_run_cmd ~deprecated common dir rounds resume shard seed corpus
         Printf.eprintf "  [%d/%d] %s done (%.2fs)\n%!" !finished total
           e.Campaign.Journal.je_name e.Campaign.Journal.je_elapsed)
       ~engine:
-        {
-          Core.Engine.default_config with
-          Core.Engine.cfg_rounds = rounds;
-          cfg_rng_seed = seed;
-        }
+        (Core.Engine.make_config ~rounds:(rounds) ~rng_seed:(seed) ~backend ())
       ()
   in
   if dry_run then begin
@@ -339,13 +335,9 @@ let campaign_report_cmd common =
 
 (* ---- serve / submit -------------------------------------------------- *)
 
-let serve_cmd root socket jobs depth rounds seed resume =
+let serve_cmd root socket jobs depth rounds backend seed resume =
   let engine =
-    {
-      Core.Engine.default_config with
-      Core.Engine.cfg_rounds = rounds;
-      cfg_rng_seed = seed;
-    }
+    (Core.Engine.make_config ~rounds:(rounds) ~rng_seed:(seed) ~backend ())
   in
   let cfg =
     try Serve.Serve.make_config ~root ~socket ~jobs ~depth ~resume ~engine ()
@@ -532,6 +524,29 @@ let abi_arg =
 let rounds_arg =
   Arg.(value & opt int 60 & info [ "rounds" ] ~doc:"Fuzzing iteration budget.")
 
+let backend_conv =
+  let parse s =
+    match Core.Exec_backend.of_string s with
+    | Ok c -> Ok c
+    | Error msg -> Error (`Msg msg)
+  in
+  let print ppf c = Format.pp_print_string ppf (Core.Exec_backend.to_string c) in
+  Arg.conv (parse, print)
+
+let backend_arg =
+  Arg.(
+    value
+    & opt backend_conv Core.Engine.default_config.Core.Engine.cfg_backend
+    & info [ "backend" ] ~docv:"TIER"
+        ~doc:
+          "Execution tier: $(b,auto) (default; the closure-compiled tier \
+           with per-opcode interpreter fallback), $(b,compiled) (the same \
+           tier, chosen explicitly), or $(b,interp) (the reference \
+           tree-walking interpreter).  Verdicts, coverage and journal \
+           lines are byte-identical across tiers; the choice is stamped \
+           into campaign and serve journal headers and validated on \
+           $(b,--resume).")
+
 let account_arg =
   Arg.(
     value & opt string "victim"
@@ -542,7 +557,9 @@ let verbose_arg = Arg.(value & flag & info [ "v"; "verbose" ])
 let analyze_t =
   Cmd.v
     (Cmd.info "analyze" ~doc:"Fuzz a contract binary and report vulnerabilities")
-    Term.(const analyze_cmd $ bin_arg $ abi_arg $ rounds_arg $ account_arg $ verbose_arg)
+    Term.(
+      const analyze_cmd $ bin_arg $ abi_arg $ rounds_arg $ backend_arg
+      $ account_arg $ verbose_arg)
 
 let gen_t =
   let out =
@@ -595,7 +612,7 @@ let scan_t =
     (Cmd.info "scan"
        ~doc:
          "Fuzz every *.wasm in a directory (with its *.wasm.abi when present) and summarise")
-    Term.(const scan_cmd $ dir $ rounds_arg)
+    Term.(const scan_cmd $ dir $ rounds_arg $ backend_arg)
 
 (* The shared `wasai campaign` flag group: --journal, --jobs and --out are
    defined exactly once and apply uniformly to run|merge|report. *)
@@ -688,11 +705,11 @@ let campaign_run_term ~deprecated =
              preloads — then exit without fuzzing anything.")
   in
   Term.(
-    const (fun common dir rounds resume shard seed corpus dry_run ->
-        campaign_run_cmd ~deprecated common dir rounds resume shard seed
-          corpus dry_run)
-    $ campaign_common_t $ dir $ rounds_arg $ resume $ shard $ seed $ corpus
-    $ dry_run)
+    const (fun common dir rounds backend resume shard seed corpus dry_run ->
+        campaign_run_cmd ~deprecated common dir rounds backend resume shard
+          seed corpus dry_run)
+    $ campaign_common_t $ dir $ rounds_arg $ backend_arg $ resume $ shard
+    $ seed $ corpus $ dry_run)
 
 let campaign_t =
   let run_t =
@@ -857,8 +874,8 @@ let serve_t =
           ($(b,kill -9) + $(b,--resume) reproduces the uninterrupted \
           per-tenant reports byte-for-byte)")
     Term.(
-      const serve_cmd $ root $ socket_arg $ jobs $ depth $ rounds_arg $ seed
-      $ resume)
+      const serve_cmd $ root $ socket_arg $ jobs $ depth $ rounds_arg
+      $ backend_arg $ seed $ resume)
 
 let report_t =
   let list_oracles =

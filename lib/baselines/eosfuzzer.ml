@@ -61,12 +61,7 @@ let visible_effect meta buf =
 let fuzz ?(rounds = 60) ?(rng_seed = 2L) (target : Core.Engine.target) :
     outcome =
   let cfg =
-    {
-      Core.Engine.default_config with
-      Core.Engine.cfg_rounds = rounds;
-      cfg_rng_seed = rng_seed;
-      cfg_feedback = false;
-    }
+    (Core.Engine.make_config ~rounds:(rounds) ~rng_seed:(rng_seed) ~feedback:false ())
   in
   let s = Core.Engine.setup cfg target in
   let t0 = Unix.gettimeofday () in

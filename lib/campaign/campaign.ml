@@ -117,11 +117,33 @@ let validate_entries ~(context : string) (stamp : Journal.stamp)
       | _ -> ())
     entries
 
+(* Same discipline for the file-level backend header: verdicts are
+   backend-invariant by contract, but resuming a journal under a
+   different execution tier would make that contract unauditable.
+   Headerless legacy journals predate the stamp and are trusted as
+   before.  Shared with the serve tenant registry. *)
+let validate_header ~(context : string) (backend : Core.Exec_backend.choice)
+    (header : Journal.header option) : unit =
+  match header with
+  | Some h when h.Journal.jh_backend <> backend ->
+      failwith
+        (Printf.sprintf
+           "%s: journal was recorded under backend=%s, but this run uses \
+            backend=%s; refusing to mix execution tiers"
+           context
+           (Core.Exec_backend.to_string h.Journal.jh_backend)
+           (Core.Exec_backend.to_string backend))
+  | _ -> ()
+
 (* Resume: a target is done iff its line reached the journal. *)
 let load_prior (cfg : config) (stamp : Journal.stamp) : Journal.entry list =
   let prior =
     match cfg.cc_journal with
-    | Some path when cfg.cc_resume && Sys.file_exists path -> Journal.load path
+    | Some path when cfg.cc_resume && Sys.file_exists path ->
+        let header, entries = Journal.load_with_header path in
+        validate_header ~context:"campaign"
+          cfg.cc_engine.Core.Engine.cfg_backend header;
+        entries
     | _ -> []
   in
   validate_entries ~context:"campaign" stamp prior;
@@ -220,7 +242,13 @@ let run (cfg : config) (targets : target_spec list) : report =
   let queue = Work_queue.create () in
   Work_queue.push_all queue remaining;
   Work_queue.close queue;
-  let writer = Option.map Journal.open_writer cfg.cc_journal in
+  let writer =
+    Option.map
+      (Journal.open_writer
+         ~header:
+           { Journal.jh_backend = cfg.cc_engine.Core.Engine.cfg_backend })
+      cfg.cc_journal
+  in
   let lock = Mutex.create () in
   let results = ref prior_results in
   let failures = ref [] in

@@ -130,6 +130,18 @@ val validate_entries :
     Raises [Failure] (prefixed with [context]) on the first mismatch;
     unstamped v1/v2 entries pass, as in {!run}. *)
 
+val validate_header :
+  context:string ->
+  Core.Exec_backend.choice ->
+  Journal.header option ->
+  unit
+(** Check that the journal's file-level backend header matches this
+    run's execution tier — the backend counterpart of
+    {!validate_entries}, applied on resume.  The comparison is strict
+    choice equality ([Auto] and [Compiled] are distinct stamps even
+    though they execute identically).  Raises [Failure] (prefixed with
+    [context]) on mismatch; headerless legacy journals pass. *)
+
 val corpus_records_of :
   name:string -> Journal.stamp -> Core.Engine.outcome -> Corpus.record list
 (** The corpus records a completed target contributes: one per

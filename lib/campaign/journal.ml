@@ -73,6 +73,20 @@ type entry = {
 let magic_v1 = "wasai-journal-v1"
 let magic_v3 = "wasai-journal-v3"
 let magic_v4 = "wasai-journal-v4"
+let magic_hdr = "wasai-journal-hdr"
+
+(** File-level provenance, stamped once as the first line of a fresh
+    journal: the execution backend the fleet ran under.  Verdicts are
+    backend-invariant by contract, but a resume mixing tiers would make
+    that contract unauditable — so, like the per-entry (seed, budget)
+    stamp, the header makes the configuration explicit and lets resume
+    refuse a mismatch.  Entry lines are unchanged: a v4 line is
+    byte-identical whichever backend produced it. *)
+type header = { jh_backend : Wasai_core.Exec_backend.choice }
+
+let line_of_header (h : header) =
+  Printf.sprintf "%s\tbackend=%s" magic_hdr
+    (Core.Exec_backend.to_string h.jh_backend)
 
 let of_outcome ~name ~elapsed ?stamp (o : Core.Engine.outcome) =
   {
@@ -188,6 +202,19 @@ let keyed key conv field =
       | Some x -> Ok x
       | None -> Error (Printf.sprintf "field %S: bad value %S" key v))
   | _ -> Error (Printf.sprintf "expected field %S, got %S" key field)
+
+let header_of_line (line : string) : (header, string) result =
+  match String.split_on_char '\t' line with
+  | [ m; backend ] when m = magic_hdr -> (
+      match keyed "backend" Option.some backend with
+      | Error e -> Error e
+      | Ok v -> (
+          match Core.Exec_backend.of_string v with
+          | Ok jh_backend -> Ok { jh_backend }
+          | Error e -> Error e))
+  | m :: _ when m = magic_hdr ->
+      Error "header line: expected exactly 2 tab-separated fields"
+  | _ -> Error (Printf.sprintf "bad magic %S" magic_hdr)
 
 let parse_flags (field : string) =
   let ( let* ) = Result.bind in
@@ -401,26 +428,47 @@ let entry_of_line (line : string) : (entry, string) result =
 
 exception Malformed of string
 
-let load path =
+let load_with_header path =
   let ic = open_in path in
   Fun.protect
     ~finally:(fun () -> close_in_noerr ic)
     (fun () ->
+      let bad line_no reason =
+        raise
+          (Malformed
+             (Printf.sprintf
+                "%s:%d: malformed journal line (%s); refusing to resume from \
+                 a corrupt journal"
+                path line_no reason))
+      in
       let rec go acc line_no =
         match input_line ic with
         | exception End_of_file -> List.rev acc
+        | line when String.length line >= String.length magic_hdr
+                    && String.sub line 0 (String.length magic_hdr) = magic_hdr
+          ->
+            (* The header is only valid as line 1, where it was consumed
+               below; anywhere else it is a torn or spliced file. *)
+            bad line_no "header line after line 1"
         | line -> (
             match entry_of_line line with
             | Ok e -> go (e :: acc) (line_no + 1)
-            | Error reason ->
-                raise
-                  (Malformed
-                     (Printf.sprintf
-                        "%s:%d: malformed journal line (%s); refusing to \
-                         resume from a corrupt journal"
-                        path line_no reason)))
+            | Error reason -> bad line_no reason)
       in
-      go [] 1)
+      match input_line ic with
+      | exception End_of_file -> (None, [])
+      | first
+        when String.length first >= String.length magic_hdr
+             && String.sub first 0 (String.length magic_hdr) = magic_hdr -> (
+          match header_of_line first with
+          | Ok h -> (Some h, go [] 2)
+          | Error reason -> bad 1 reason)
+      | first -> (
+          match entry_of_line first with
+          | Ok e -> (None, go [ e ] 2)
+          | Error reason -> bad 1 reason))
+
+let load path = snd (load_with_header path)
 
 (* ------------------------------------------------------------------ *)
 (* Writer                                                              *)
@@ -428,13 +476,23 @@ let load path =
 
 type writer = { oc : out_channel; wlock : Mutex.t }
 
-let open_writer path =
+let open_writer ?header path =
   let fresh = not (Sys.file_exists path) in
   let oc = open_out_gen [ Open_append; Open_creat ] 0o644 path in
   (* A crash right after creating the journal must not lose the file
      itself: the fsync-per-line discipline below only covers contents,
      not the new directory entry. *)
   if fresh then Wasai_support.Fsutil.fsync_dir (Filename.dirname path);
+  (* The header goes on fresh files only: appending one mid-file would
+     corrupt an existing journal, and resume validates the existing
+     header against the run's configuration before reaching here. *)
+  (match header with
+  | Some h when fresh ->
+      output_string oc (line_of_header h);
+      output_char oc '\n';
+      flush oc;
+      Unix.fsync (Unix.descr_of_out_channel oc)
+  | _ -> ());
   { oc; wlock = Mutex.create () }
 
 let append w e =

@@ -80,21 +80,43 @@ val entry_of_line : string -> (entry, string) result
 (** Accepts v1 (11 fields), v2 (12), v3 (16, 5 solver counters) and v4
     (16, 6 solver counters) lines; each field is validated strictly. *)
 
+(** File-level provenance, stamped once as the first line of a fresh
+    journal ([wasai-journal-hdr] followed by [backend=interp|compiled|auto]):
+    the execution backend the fleet ran under.  Verdicts are
+    backend-invariant by contract, but a resume mixing tiers would make
+    that contract unauditable, so — like the per-entry (seed, budget)
+    stamp — resume refuses a mismatch.  Entry lines are unchanged: a v4
+    line is byte-identical whichever backend produced it, and headerless
+    legacy journals still load. *)
+type header = { jh_backend : Core.Exec_backend.choice }
+
+val line_of_header : header -> string
+val header_of_line : string -> (header, string) result
+
 exception Malformed of string
 (** Raised by {!load}; the message carries path, 1-based line number and
     reason. *)
 
 val load : string -> entry list
-(** All entries, in file order.  Raises {!Malformed} on any bad line and
-    [Sys_error] if the file cannot be read. *)
+(** All entries, in file order (skipping a leading header line).  Raises
+    {!Malformed} on any bad line and [Sys_error] if the file cannot be
+    read. *)
+
+val load_with_header : string -> header option * entry list
+(** Like {!load}, also returning the header when the file starts with
+    one ([None] on headerless legacy journals).  A header line anywhere
+    but line 1 raises {!Malformed}. *)
 
 (** Append-side handle; [append] serialises concurrent writers with an
     internal mutex and fsyncs after every line. *)
 type writer
 
-val open_writer : string -> writer
+val open_writer : ?header:header -> string -> writer
 (** Opens (creating if needed) in append mode: resuming a campaign keeps
-    the prior entries and extends the same file. *)
+    the prior entries and extends the same file.  [header] is written
+    (and fsync'd) as the first line of freshly-created files only —
+    existing files are never rewritten, and resume is expected to have
+    validated their header already. *)
 
 val append : writer -> entry -> unit
 val close_writer : writer -> unit

@@ -26,6 +26,8 @@ type config = {
   cfg_feedback : bool;  (** symbolic feedback (off = blind fuzzing ablation) *)
   cfg_preload : (Name.t * Abi.value list) list;
       (** corpus seeds injected into the pool before fresh generation *)
+  cfg_backend : Exec_backend.choice;
+      (** execution tier for the target's instrumented module *)
 }
 
 let default_config =
@@ -38,6 +40,64 @@ let default_config =
     cfg_fuel = 30_000_000;
     cfg_feedback = true;
     cfg_preload = [];
+    cfg_backend = Exec_backend.Auto;
+  }
+
+type config_error =
+  | Bad_rounds of int
+  | Bad_time_limit of float
+  | Bad_solver_budget of int
+  | Bad_max_flips of int
+  | Bad_fuel of int
+  | Bad_preload
+
+exception Invalid_config of config_error
+
+let string_of_config_error = function
+  | Bad_rounds n -> Printf.sprintf "cfg_rounds must be >= 1 (got %d)" n
+  | Bad_time_limit t ->
+      Printf.sprintf "cfg_time_limit must be > 0 (got %g)" t
+  | Bad_solver_budget n ->
+      Printf.sprintf "cfg_solver_budget must be >= 1 (got %d)" n
+  | Bad_max_flips n -> Printf.sprintf "cfg_max_flips must be >= 1 (got %d)" n
+  | Bad_fuel n -> Printf.sprintf "cfg_fuel must be >= 1 (got %d)" n
+  | Bad_preload -> "cfg_preload given explicitly but holds no seeds"
+
+(* Validating constructor: every CLI/bench/test entry point builds its
+   config here so a nonsensical knob fails loudly at startup instead of
+   producing a silently-degenerate run (0 rounds looks like "nothing
+   vulnerable"; 0 fuel makes every payload an exhaustion). *)
+let make_config ?(rounds = default_config.cfg_rounds) ?time_limit
+    ?(rng_seed = default_config.cfg_rng_seed)
+    ?(solver_budget = default_config.cfg_solver_budget)
+    ?(max_flips = default_config.cfg_max_flips)
+    ?(fuel = default_config.cfg_fuel)
+    ?(feedback = default_config.cfg_feedback) ?preload
+    ?(backend = default_config.cfg_backend) () =
+  if rounds < 1 then raise (Invalid_config (Bad_rounds rounds));
+  (match time_limit with
+  | Some t when t <= 0.0 -> raise (Invalid_config (Bad_time_limit t))
+  | _ -> ());
+  if solver_budget < 1 then
+    raise (Invalid_config (Bad_solver_budget solver_budget));
+  if max_flips < 1 then raise (Invalid_config (Bad_max_flips max_flips));
+  if fuel < 1 then raise (Invalid_config (Bad_fuel fuel));
+  let preload =
+    match preload with
+    | None -> []
+    | Some [] -> raise (Invalid_config Bad_preload)
+    | Some seeds -> seeds
+  in
+  {
+    cfg_rounds = rounds;
+    cfg_time_limit = time_limit;
+    cfg_rng_seed = rng_seed;
+    cfg_solver_budget = solver_budget;
+    cfg_max_flips = max_flips;
+    cfg_fuel = fuel;
+    cfg_feedback = feedback;
+    cfg_preload = preload;
+    cfg_backend = backend;
   }
 
 type target = {
@@ -188,6 +248,13 @@ let setup ?(profile : Chain_profile.t option) (cfg : config) (target : target) :
   let collector = Wasabi.Trace.create () in
   Chain.register_extension chain
     (Wasabi.Instrument.runtime_extension collector ~target:target.tgt_account);
+  (* The executor must be installed after [set_code] (deploying resets
+     it).  The compiled tier binds the instrumentation hooks straight to
+     the collector — sound here because only the target account gets the
+     executor, and the receiver of every action reaching it is the
+     target itself. *)
+  Exec_backend.install cfg.cfg_backend ~collector chain target.tgt_account
+    meta.Wasabi.Trace.instrumented;
   let scanner =
     Scanner.create ?profile ~fake_token_account:fake_token ~meta
       ~victim:target.tgt_account ~fake_notif_agent:fake_notif ()

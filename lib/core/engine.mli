@@ -30,9 +30,47 @@ type config = {
           against the target's ABI are skipped.  Preloading consumes no
           randomness, so a warm run draws exactly the random seeds a cold
           run would. *)
+  cfg_backend : Exec_backend.choice;
+      (** execution tier for the target's instrumented module; the
+          determinism contract makes the choice invisible in every
+          outcome field (default [Auto], the compiled tier with
+          per-opcode interpreter fallback) *)
 }
 
 val default_config : config
+
+(** Typed validation failures of {!make_config}. *)
+type config_error =
+  | Bad_rounds of int
+  | Bad_time_limit of float
+  | Bad_solver_budget of int
+  | Bad_max_flips of int
+  | Bad_fuel of int
+  | Bad_preload
+
+exception Invalid_config of config_error
+
+val string_of_config_error : config_error -> string
+
+val make_config :
+  ?rounds:int ->
+  ?time_limit:float ->
+  ?rng_seed:int64 ->
+  ?solver_budget:int ->
+  ?max_flips:int ->
+  ?fuel:int ->
+  ?feedback:bool ->
+  ?preload:(Name.t * Abi.value list) list ->
+  ?backend:Exec_backend.choice ->
+  unit ->
+  config
+(** Validating constructor over {!default_config}: raises
+    {!Invalid_config} when a knob is nonsensical — [rounds], [fuel],
+    [solver_budget] or [max_flips] below 1, a non-positive
+    [time_limit], or an explicit [preload] with no seeds (a warm-corpus
+    run that would silently fuzz cold).  Every CLI/bench/test entry
+    point builds its config here so bad knobs fail loudly at startup
+    instead of producing a silently-degenerate run. *)
 
 type target = {
   tgt_account : Name.t;

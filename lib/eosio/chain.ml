@@ -23,6 +23,10 @@ and account = {
   acc_name : Name.t;
   mutable acc_contract : contract_impl option;
   mutable acc_abi : Abi.t option;
+  mutable acc_executor : (context -> unit) option;
+      (** alternative execution tier for a deployed Wasm contract (e.g. a
+          closure-compiled module); must be observationally identical to
+          the interpreter path.  Cleared whenever the code changes. *)
 }
 
 and t = {
@@ -78,7 +82,14 @@ let create_account chain name =
   match Hashtbl.find_opt chain.accounts name with
   | Some a -> a
   | None ->
-      let a = { acc_name = name; acc_contract = None; acc_abi = None } in
+      let a =
+        {
+          acc_name = name;
+          acc_contract = None;
+          acc_abi = None;
+          acc_executor = None;
+        }
+      in
       Hashtbl.replace chain.accounts name a;
       a
 
@@ -90,12 +101,24 @@ let set_code chain name (m : Wasm.Ast.module_) (abi : Abi.t) =
   Wasm.Validate.check_module m;
   let a = create_account chain name in
   a.acc_contract <- Some (Wasm_contract m);
-  a.acc_abi <- Some abi
+  a.acc_abi <- Some abi;
+  a.acc_executor <- None
 
 let set_native chain name (f : context -> unit) (abi : Abi.t) =
   let a = create_account chain name in
   a.acc_contract <- Some (Native_contract f);
-  a.acc_abi <- Some abi
+  a.acc_abi <- Some abi;
+  a.acc_executor <- None
+
+(** Install (or clear) an alternative execution tier for the account's
+    deployed Wasm contract.  The executor receives the action context and
+    must behave exactly like the interpreter path in [run_contract];
+    [set_code]/[clear_code] reset it so it can never outlive the module
+    it was built from. *)
+let set_executor chain name (exec : (context -> unit) option) =
+  match account chain name with
+  | Some a -> a.acc_executor <- exec
+  | None -> ()
 
 (** Remove the contract, leaving the account (EOSIO's "abandoned" state:
     the code is replaced by an empty file). *)
@@ -103,7 +126,8 @@ let clear_code chain name =
   match account chain name with
   | Some a ->
       a.acc_contract <- None;
-      a.acc_abi <- None
+      a.acc_abi <- None;
+      a.acc_executor <- None
   | None -> ()
 
 let console_output chain = Buffer.contents chain.console
@@ -121,6 +145,9 @@ let run_contract (ctx : context) =
          already updated). *)
       ()
   | Some { acc_contract = Some (Native_contract f); _ } -> f ctx
+  | Some { acc_contract = Some (Wasm_contract _); acc_executor = Some exec; _ }
+    ->
+      exec ctx
   | Some { acc_contract = Some (Wasm_contract m); _ } ->
       (* The env host API and the instrumentation hooks are both installed
          as extensions; see [Host.install]. *)

@@ -21,6 +21,10 @@ and account = {
   acc_name : Name.t;
   mutable acc_contract : contract_impl option;
   mutable acc_abi : Abi.t option;
+  mutable acc_executor : (context -> unit) option;
+      (** alternative execution tier for a deployed Wasm contract; must be
+          observationally identical to the interpreter path.  Cleared
+          whenever the code changes. *)
 }
 
 and t = {
@@ -74,6 +78,14 @@ val set_native : t -> Name.t -> (context -> unit) -> Abi.t -> unit
 
 val clear_code : t -> Name.t -> unit
 (** Remove the contract, leaving the account (the "abandoned" state). *)
+
+val set_executor : t -> Name.t -> (context -> unit) option -> unit
+(** Install (or clear) an alternative execution tier for the account's
+    deployed Wasm contract.  The executor replaces the interpreter path
+    of [run_contract] for this account and must be observationally
+    identical to it; {!set_code}/{!set_native}/{!clear_code} reset it so
+    it can never outlive the module it was built from.  No-op on unknown
+    accounts. *)
 
 val console_output : t -> string
 val advance_block : t -> unit

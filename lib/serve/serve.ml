@@ -122,7 +122,7 @@ let wake t =
 (* Tenant registry                                                     *)
 (* ------------------------------------------------------------------ *)
 
-let load_tenant ~root ~resume stamp tenant : tenant_state =
+let load_tenant ~root ~resume ~backend stamp tenant : tenant_state =
   let dir = tenant_dir ~root tenant in
   Fsutil.mkdir_p dir;
   let jpath = journal_path ~root tenant in
@@ -134,7 +134,10 @@ let load_tenant ~root ~resume stamp tenant : tenant_state =
            "serve: tenant %S already has a journal under %s; pass --resume \
             to continue it"
            tenant root);
-    let entries = Journal.load jpath in
+    let header, entries = Journal.load_with_header jpath in
+    Campaign.validate_header
+      ~context:(Printf.sprintf "serve tenant %s" tenant)
+      backend header;
     Campaign.validate_entries
       ~context:(Printf.sprintf "serve tenant %s" tenant)
       stamp entries;
@@ -145,7 +148,7 @@ let load_tenant ~root ~resume stamp tenant : tenant_state =
   let corpus = if Sys.file_exists cpath then Corpus.load cpath else Corpus.create () in
   {
     tn_name = tenant;
-    tn_journal = Journal.open_writer jpath;
+    tn_journal = Journal.open_writer ~header:{ Journal.jh_backend = backend } jpath;
     tn_corpus = corpus;
     tn_corpus_w = Corpus.Writer.open_ cpath;
     tn_done = done_;
@@ -289,7 +292,7 @@ let find_or_create_tenant t tenant =
   | Some tn -> tn
   | None ->
       let tn =
-        load_tenant ~root:t.cfg.sv_root ~resume:t.cfg.sv_resume t.stamp tenant
+        load_tenant ~root:t.cfg.sv_root ~resume:t.cfg.sv_resume ~backend:t.cfg.sv_engine.Core.Engine.cfg_backend t.stamp tenant
       in
       Hashtbl.replace t.tenants tenant tn;
       tn
@@ -398,7 +401,7 @@ let create cfg : t =
   List.iter
     (fun tenant ->
       Hashtbl.replace tenants tenant
-        (load_tenant ~root:cfg.sv_root ~resume:cfg.sv_resume stamp tenant))
+        (load_tenant ~root:cfg.sv_root ~resume:cfg.sv_resume ~backend:cfg.sv_engine.Core.Engine.cfg_backend stamp tenant))
     prior;
   (* A singleton daemon owns the socket path: a leftover file from a
      killed daemon is stale by construction, so unlink and rebind. *)
@@ -661,7 +664,10 @@ let tenants ~root = scan_root root
 
 let tenant_entries ~root ~engine tenant =
   let stamp = stamp_of_engine engine in
-  let entries = Journal.load (journal_path ~root tenant) in
+  let header, entries = Journal.load_with_header (journal_path ~root tenant) in
+  Campaign.validate_header
+    ~context:(Printf.sprintf "serve tenant %s" tenant)
+    engine.Core.Engine.cfg_backend header;
   Campaign.validate_entries
     ~context:(Printf.sprintf "serve tenant %s" tenant)
     stamp entries;

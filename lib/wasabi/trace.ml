@@ -210,32 +210,46 @@ module Buffer = struct
   let tag_f32 = 2
   let tag_f64 = 3
 
-  let operand t (v : Values.value) =
+  (* Shared slow path for all operand appends.  [lo]/[hi] are the raw
+     bits split into unsigned 32-bit halves. *)
+  let operand_raw t lo hi tag =
     if t.open_ then begin
       if (t.n_ops + 1) * 3 > Array.length t.pool then grow_pool t;
       let base = t.n_ops * 3 in
-      (match v with
-       | Values.I32 x ->
-           t.pool.(base) <- Int32.to_int x land 0xFFFF_FFFF;
-           t.pool.(base + 1) <- 0;
-           t.pool.(base + 2) <- tag_i32
-       | Values.I64 x ->
-           t.pool.(base) <- Int64.to_int (Int64.logand x 0xFFFF_FFFFL);
-           t.pool.(base + 1) <-
-             Int64.to_int (Int64.logand (Int64.shift_right_logical x 32) 0xFFFF_FFFFL);
-           t.pool.(base + 2) <- tag_i64
-       | Values.F32 f ->
-           t.pool.(base) <- Int32.to_int (Int32.bits_of_float f) land 0xFFFF_FFFF;
-           t.pool.(base + 1) <- 0;
-           t.pool.(base + 2) <- tag_f32
-       | Values.F64 f ->
-           let b = Int64.bits_of_float f in
-           t.pool.(base) <- Int64.to_int (Int64.logand b 0xFFFF_FFFFL);
-           t.pool.(base + 1) <-
-             Int64.to_int (Int64.logand (Int64.shift_right_logical b 32) 0xFFFF_FFFFL);
-           t.pool.(base + 2) <- tag_f64);
+      t.pool.(base) <- lo;
+      t.pool.(base + 1) <- hi;
+      t.pool.(base + 2) <- tag;
       t.n_ops <- t.n_ops + 1
     end
+
+  (* Unboxed appends: the compiled execution tier calls these directly
+     from its inlined hook closures, skipping the boxed [value]. *)
+  let operand_i32 t (x : int32) =
+    operand_raw t (Int32.to_int x land 0xFFFF_FFFF) 0 tag_i32
+
+  let operand_i64 t (x : int64) =
+    operand_raw t
+      (Int64.to_int (Int64.logand x 0xFFFF_FFFFL))
+      (Int64.to_int (Int64.logand (Int64.shift_right_logical x 32) 0xFFFF_FFFFL))
+      tag_i64
+
+  let operand_f32 t (f : float) =
+    operand_raw t (Int32.to_int (Int32.bits_of_float f) land 0xFFFF_FFFF) 0
+      tag_f32
+
+  let operand_f64 t (f : float) =
+    let b = Int64.bits_of_float f in
+    operand_raw t
+      (Int64.to_int (Int64.logand b 0xFFFF_FFFFL))
+      (Int64.to_int (Int64.logand (Int64.shift_right_logical b 32) 0xFFFF_FFFFL))
+      tag_f64
+
+  let operand t (v : Values.value) =
+    match v with
+    | Values.I32 x -> operand_i32 t x
+    | Values.I64 x -> operand_i64 t x
+    | Values.F32 f -> operand_f32 t f
+    | Values.F64 f -> operand_f64 t f
   (* else: operand with no open event.  Pre-limit this cannot happen
      (hooks emit operands only right after a begin); post-limit it is
      the old collector's silent [P_none -> ()] drop, already flagged by
@@ -288,52 +302,6 @@ module Buffer = struct
     let n = op_count t i in
     let rec go j acc = if j < 0 then acc else go (j - 1) (op t i j :: acc) in
     go (n - 1) []
-
-  (* ---------------- compat view: structured records --------------- *)
-
-  let record_of t i : record =
-    match kind t i with
-    | K_instr -> R_instr { site = label t i; ops = ops t i }
-    | K_call_pre -> R_call_pre { site = label t i; args = ops t i }
-    | K_call_post -> R_call_post { site = label t i; results = ops t i }
-    | K_func_begin -> R_func_begin (label t i)
-    | K_func_end -> R_func_end (label t i)
-
-  let iter f t =
-    for i = 0 to t.n - 1 do
-      f (record_of t i)
-    done
-
-  let fold f acc t =
-    let acc = ref acc in
-    iter (fun r -> acc := f !acc r) t;
-    !acc
-
-  let to_list t : record list =
-    let rec go i acc = if i < 0 then acc else go (i - 1) (record_of t i :: acc) in
-    go (t.n - 1) []
-
-  (* Feed a record list through the append path — the property tests'
-     bridge between the two representations, with the same limit
-     semantics as live collection. *)
-  let of_records ?limit (records : record list) : t =
-    let t = create ?limit () in
-    List.iter
-      (fun r ->
-        match r with
-        | R_instr { site; ops } ->
-            begin_instr t site;
-            List.iter (operand t) ops
-        | R_call_pre { site; args } ->
-            begin_call_pre t site;
-            List.iter (operand t) args
-        | R_call_post { site; results } ->
-            begin_call_post t site;
-            List.iter (operand t) results
-        | R_func_begin f -> func_begin t f
-        | R_func_end f -> func_end t f)
-      records;
-    t
 end
 
 (* ------------------------------------------------------------------ *)
@@ -367,6 +335,71 @@ module Cursor = struct
   let op_is_i64 c j = Buffer.op_is_i64 c.cbuf c.pos j
 end
 
+(* ------------------------------------------------------------------ *)
+(* Compat: materialised structured records (test-only)                  *)
+(* ------------------------------------------------------------------ *)
+
+module Compat = struct
+  (* Boxed [record] views over the flat buffer, quarantined here so the
+     cursor API is the only streaming surface production code sees.
+     The equivalence property tests and debug printing are the intended
+     consumers. *)
+
+  let record_of t i : record =
+    match Buffer.kind t i with
+    | Buffer.K_instr -> R_instr { site = Buffer.label t i; ops = Buffer.ops t i }
+    | Buffer.K_call_pre ->
+        R_call_pre { site = Buffer.label t i; args = Buffer.ops t i }
+    | Buffer.K_call_post ->
+        R_call_post { site = Buffer.label t i; results = Buffer.ops t i }
+    | Buffer.K_func_begin -> R_func_begin (Buffer.label t i)
+    | Buffer.K_func_end -> R_func_end (Buffer.label t i)
+
+  let iter f t =
+    for i = 0 to Buffer.length t - 1 do
+      f (record_of t i)
+    done
+
+  let fold f acc t =
+    let acc = ref acc in
+    iter (fun r -> acc := f !acc r) t;
+    !acc
+
+  let to_list t : record list =
+    let rec go i acc =
+      if i < 0 then acc else go (i - 1) (record_of t i :: acc)
+    in
+    go (Buffer.length t - 1) []
+
+  (* Feed a record list through the append path — the property tests'
+     bridge between the two representations, with the same limit
+     semantics as live collection. *)
+  let of_records ?limit (records : record list) : Buffer.t =
+    let t = Buffer.create ?limit () in
+    List.iter
+      (fun r ->
+        match r with
+        | R_instr { site; ops } ->
+            Buffer.begin_instr t site;
+            List.iter (Buffer.operand t) ops
+        | R_call_pre { site; args } ->
+            Buffer.begin_call_pre t site;
+            List.iter (Buffer.operand t) args
+        | R_call_post { site; results } ->
+            Buffer.begin_call_post t site;
+            List.iter (Buffer.operand t) results
+        | R_func_begin f -> Buffer.func_begin t f
+        | R_func_end f -> Buffer.func_end t f)
+      records;
+    t
+
+  (* Materialise the collected trace (oldest first) and reset. *)
+  let drain c : record list =
+    let r = to_list c in
+    Buffer.reset c;
+    r
+end
+
 (* Hook-facing aliases: the instrumenter's runtime extension drives the
    collector through these. *)
 type t = Buffer.t
@@ -379,10 +412,3 @@ let operand = Buffer.operand
 let func_begin = Buffer.func_begin
 let func_end = Buffer.func_end
 let reset = Buffer.reset
-
-(** Materialise the collected trace (oldest first) and reset — the
-    debug/compat path; streaming consumers read the buffer in place. *)
-let drain c : record list =
-  let r = Buffer.to_list c in
-  Buffer.reset c;
-  r

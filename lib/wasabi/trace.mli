@@ -79,6 +79,15 @@ module Buffer : sig
   val func_begin : t -> int -> unit
   val func_end : t -> int -> unit
 
+  (** Unboxed operand appends — byte-identical on the tape to {!operand}
+      applied to the corresponding boxed value.  The compiled execution
+      tier's inlined hooks call these directly. *)
+
+  val operand_i32 : t -> int32 -> unit
+  val operand_i64 : t -> int64 -> unit
+  val operand_f32 : t -> float -> unit
+  val operand_f64 : t -> float -> unit
+
   val reset : t -> unit
   (** Rewind the write cursors, keeping capacity: steady-state
       collection across payloads allocates nothing. *)
@@ -113,27 +122,9 @@ module Buffer : sig
   val op_is_i32 : t -> int -> int -> bool
   val op_is_i64 : t -> int -> int -> bool
 
-  (** {2 Compat view (test-only)}
-
-      These materialise boxed {!record}s and exist for the equivalence
-      property tests and debug printing only.  Production consumers —
-      the engine scan, oracles, baselines, the symbolic replayer —
-      stream over the buffer with {!Cursor} instead. *)
-
-  val record_of : t -> int -> record
-  (** Test-only: builds a boxed record for one event. *)
-
   val ops : t -> int -> Wasm.Values.value list
-  val iter : (record -> unit) -> t -> unit
-  val fold : ('a -> record -> 'a) -> 'a -> t -> 'a
-
-  val to_list : t -> record list
-  (** Test-only: materialises the whole tape as a record list.  Use
-      {!Cursor} in analysis code. *)
-
-  val of_records : ?limit:int -> record list -> t
-  (** Feed records through the append path (same limit semantics as
-      live collection) — the bridge the equivalence tests use. *)
+  (** All operands of event [i], materialised (the call_pre / call_post
+      argument and result vectors). *)
 end
 
 (** {1 Cursor: positioned forward iteration}
@@ -177,6 +168,31 @@ module Cursor : sig
   val op_is_i64 : t -> int -> bool
 end
 
+(** {1 Compat: materialised structured records (test-only)}
+
+    Boxed {!record} views over the flat buffer, quarantined so the
+    cursor API is the only streaming surface production code sees.  The
+    equivalence property tests and debug printing are the intended
+    consumers; analysis code streams with {!Cursor}. *)
+
+module Compat : sig
+  val record_of : Buffer.t -> int -> record
+  (** Build a boxed record for one event. *)
+
+  val iter : (record -> unit) -> Buffer.t -> unit
+  val fold : ('a -> record -> 'a) -> 'a -> Buffer.t -> 'a
+
+  val to_list : Buffer.t -> record list
+  (** Materialise the whole tape as a record list. *)
+
+  val of_records : ?limit:int -> record list -> Buffer.t
+  (** Feed records through the append path (same limit semantics as
+      live collection) — the bridge the equivalence tests use. *)
+
+  val drain : Buffer.t -> record list
+  (** Materialise the collected trace (oldest first) and reset. *)
+end
+
 type t = Buffer.t
 
 val create : ?limit:int -> unit -> t
@@ -186,9 +202,4 @@ val begin_call_post : t -> int -> unit
 val operand : t -> Wasm.Values.value -> unit
 val func_begin : t -> int -> unit
 val func_end : t -> int -> unit
-
-val drain : t -> record list
-(** Materialise the collected trace (oldest first) and reset — the
-    debug/compat path; streaming consumers read the buffer in place. *)
-
 val reset : t -> unit

@@ -48,7 +48,30 @@ val instantiate :
     run element and data segments.  Raises {!Link_error} on unresolved or
     mismatched imports. *)
 
+val alloc_instance :
+  ?fuel:int -> ?max_depth:int -> resolver -> Ast.module_ -> instance
+(** The allocation phase of {!instantiate} alone: imports, memory,
+    globals, table, element and data segments — but {e not} the start
+    function.  Alternative execution tiers ({!Compile}) allocate through
+    this and drive the start function themselves. *)
+
+val eval_const_expr : Values.value array -> Ast.instr list -> Values.value
+(** Evaluate a constant expression (segment offsets, global initialisers)
+    against the given global frame. *)
+
 val get_memory : instance -> Memory.t
+
+val rebind_imports : instance -> resolver -> unit
+(** Re-resolve the module's function imports against a new resolver and
+    patch them into the instance's function index space.  Host functions
+    close over per-invocation state (e.g. the action context), so a
+    pooled instance must rebind before every reuse.  Raises
+    {!Link_error} — with the same messages as {!instantiate} — before
+    mutating anything. *)
+
+val reset_globals : instance -> unit
+(** Re-evaluate every global initialiser, returning the globals to their
+    post-instantiation values.  Used when resetting a pooled instance. *)
 
 val invoke_func :
   instance -> func_inst -> Values.value list -> Values.value list

@@ -9,6 +9,10 @@ type t = {
   mutable data : Bytes.t;
   mutable pages : int;
   max_pages : int option;
+  mutable dirty_hi : int;
+      (** exclusive upper bound of every byte written since the last
+          {!restore} (or since creation) — lets [restore] blit only the
+          modified prefix *)
 }
 
 let create (mt : Types.memory_type) =
@@ -17,7 +21,10 @@ let create (mt : Types.memory_type) =
     data = Bytes.make (pages * page_size) '\000';
     pages;
     max_pages = mt.mem_limits.lim_max;
+    dirty_hi = 0;
   }
+
+let[@inline] mark_dirty t hi = if hi > t.dirty_hi then t.dirty_hi <- hi
 
 let size_pages t = t.pages
 let size_bytes t = t.pages * page_size
@@ -34,6 +41,7 @@ let grow t delta =
     Bytes.blit t.data 0 data 0 (Bytes.length t.data);
     t.data <- data;
     t.pages <- target;
+    t.dirty_hi <- Bytes.length data;
     Int32.of_int old
   end
 
@@ -48,6 +56,7 @@ let load_byte t addr =
 
 let store_byte t addr b =
   check_bounds t addr 1;
+  mark_dirty t (addr + 1);
   Bytes.set t.data addr (Char.chr (b land 0xff))
 
 (** Load [len] (1..8) little-endian bytes as an unsigned int64. *)
@@ -62,6 +71,7 @@ let load_bytes_le t addr len =
 
 let store_bytes_le t addr len v =
   check_bounds t addr len;
+  mark_dirty t (addr + len);
   for i = 0 to len - 1 do
     Bytes.set t.data (addr + i)
       (Char.chr (Int64.to_int (Int64.logand (Int64.shift_right_logical v (8 * i)) 0xFFL)))
@@ -73,6 +83,7 @@ let load_string t addr len =
 
 let store_string t addr s =
   check_bounds t addr (String.length s);
+  mark_dirty t (addr + String.length s);
   Bytes.blit_string s 0 t.data addr (String.length s)
 
 (** Sign- or zero-extend an unsigned [bits]-wide value held in an int64. *)
@@ -131,3 +142,20 @@ let storeop_width (op : Ast.storeop) =
   | Some Ast.Pack8 -> 1
   | Some Ast.Pack16 -> 2
   | Some Ast.Pack32 -> 4
+
+let snapshot t : string = Bytes.to_string t.data
+
+let restore t (img : string) =
+  if Bytes.length t.data <> String.length img then begin
+    (* grown since the snapshot: replace wholesale and shrink back *)
+    t.data <- Bytes.of_string img;
+    t.pages <- String.length img / page_size
+  end
+  else begin
+    (* Everything outside the dirty prefix still equals the image: bytes
+       above it have not been written since the previous restore (or
+       since creation), and the image agrees with that state. *)
+    let n = min t.dirty_hi (String.length img) in
+    if n > 0 then Bytes.blit_string img 0 t.data 0 n
+  end;
+  t.dirty_hi <- 0

@@ -36,3 +36,12 @@ val loadop_width : Ast.loadop -> int
 (** Bytes moved by the operation. *)
 
 val storeop_width : Ast.storeop -> int
+
+val snapshot : t -> string
+(** Copy of the full current contents, for later {!restore}. *)
+
+val restore : t -> string -> unit
+(** Return the memory to a snapshotted state: contents and page count.
+    Writes are tracked with a dirty watermark, so restoring a memory
+    that saw few stores since the last restore only blits the modified
+    prefix.  The image must come from {!snapshot} on this memory. *)

@@ -137,7 +137,7 @@ let test_ef_honeypot_fp () =
     (ef_flag spec Core.Scanner.Fake_eos);
   let wasai =
     Core.Engine.fuzz
-      ~cfg:{ Core.Engine.default_config with Core.Engine.cfg_rounds = 24 }
+      ~cfg:(Core.Engine.make_config ~rounds:(24) ())
       (target_of spec)
   in
   Alcotest.(check bool) "WASAI stays clean" false
@@ -181,7 +181,7 @@ let test_ef_no_adaptive_coverage () =
   let ef = BL.Eosfuzzer.fuzz ~rounds:24 target in
   let wasai =
     Core.Engine.fuzz
-      ~cfg:{ Core.Engine.default_config with Core.Engine.cfg_rounds = 24 }
+      ~cfg:(Core.Engine.make_config ~rounds:(24) ())
       target
   in
   Alcotest.(check bool)

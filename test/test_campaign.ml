@@ -537,7 +537,7 @@ let test_targets ~count =
 let campaign_config ?journal ?resume ?max_targets ?shard ?corpus ~jobs () =
   Campaign.Campaign.make_config ~jobs ?journal ?resume ?max_targets ?shard
     ?corpus
-    ~engine:{ Core.Engine.default_config with Core.Engine.cfg_rounds = 6 }
+    ~engine:(Core.Engine.make_config ~rounds:(6) ())
     ()
 
 let temp_journal tag =
@@ -640,7 +640,7 @@ let test_resume_rejects_mismatched_stamp () =
   let _ = Campaign.Campaign.run (campaign_config ~journal ~jobs:1 ()) targets in
   let other_budget =
     Campaign.Campaign.make_config ~jobs:1 ~journal ~resume:true
-      ~engine:{ Core.Engine.default_config with Core.Engine.cfg_rounds = 7 }
+      ~engine:(Core.Engine.make_config ~rounds:(7) ())
       ()
   in
   (match Campaign.Campaign.run other_budget targets with
@@ -843,11 +843,7 @@ let test_merge_validation () =
     Campaign.Campaign.make_config ~jobs:1 ~journal:j2
       ~shard:(Campaign.Shard.make ~index:1 ~count:2)
       ~engine:
-        {
-          Core.Engine.default_config with
-          Core.Engine.cfg_rounds = 6;
-          cfg_rng_seed = 99L;
-        }
+        (Core.Engine.make_config ~rounds:(6) ~rng_seed:(99L) ())
       ()
   in
   let _ = Campaign.Campaign.run other_seed targets in

@@ -1,0 +1,477 @@
+(* Differential tests of the closure-compiled execution tier against the
+   interpreter: the Exec_backend determinism contract says the backend
+   choice must be invisible in every observable — verdicts, coverage,
+   trace tapes, journal lines — and that fallback/fuel behaviour matches
+   the interpreter exactly. *)
+
+module Wasm = Wasai_wasm
+module Wasabi = Wasai_wasabi
+module Core = Wasai_core
+module BG = Wasai_benchgen
+module Campaign = Wasai_campaign
+open Wasai_eosio
+
+let target_of_sample (s : BG.Corpus.sample) : Core.Engine.target =
+  {
+    Core.Engine.tgt_account = s.BG.Corpus.smp_spec.BG.Contracts.sp_account;
+    tgt_module = s.BG.Corpus.smp_module;
+    tgt_abi = s.BG.Corpus.smp_abi;
+  }
+
+(* Every benchgen corpus contract, legacy ground truth plus the
+   related-work extension classes, at suite-friendly scale. *)
+let corpus_samples () =
+  BG.Corpus.ground_truth ~scale:100 () @ BG.Corpus.extension ~scale:10 ()
+
+let sample_name (s : BG.Corpus.sample) =
+  Name.to_string s.BG.Corpus.smp_spec.BG.Contracts.sp_account
+
+(* ------------------------------------------------------------------ *)
+(* Outcome / journal-line parity over the full corpus                   *)
+(* ------------------------------------------------------------------ *)
+
+(* Everything deterministic the engine reports, flattened to text so a
+   mismatch diffs legibly.  The stamped v4 journal line covers flags,
+   counters, solver stats and exploit payloads; the rest (coverage
+   signatures, timeline shape, custom verdicts) is appended. *)
+let outcome_fingerprint ~name ~rounds ~seed (o : Core.Engine.outcome) =
+  let open Core.Engine in
+  let stamp =
+    {
+      Campaign.Journal.js_shard = Campaign.Shard.whole;
+      js_seed = seed;
+      js_rounds = rounds;
+    }
+  in
+  let entry = Campaign.Journal.of_outcome ~name ~elapsed:0. ~stamp o in
+  String.concat "\n"
+    (Campaign.Journal.line_of_entry entry
+     :: Printf.sprintf "verdict_round=%d truncated=%d" o.out_verdict_round
+          o.out_truncated
+     :: List.map
+          (fun (nm, v) -> Printf.sprintf "custom %s=%b" nm v)
+          o.out_custom
+    @ List.map
+        (fun (r, _, b) -> Printf.sprintf "timeline %d:%d" r b)
+        o.out_timeline
+    @ List.map
+        (fun i ->
+          Printf.sprintf "interesting r%d %s sig=%Lx new=%d cover=%s"
+            i.is_round
+            (Name.to_string i.is_action)
+            i.is_signature i.is_new_edges
+            (String.concat ","
+               (List.map
+                  (fun (site, dir) -> Printf.sprintf "%d.%ld" site dir)
+                  i.is_cover)))
+        o.out_interesting)
+
+let test_corpus_outcome_parity () =
+  let rounds = 6 in
+  List.iter
+    (fun s ->
+      let name = sample_name s in
+      let seed = Int64.of_int s.BG.Corpus.smp_id in
+      let run backend =
+        Core.Engine.fuzz
+          ~cfg:(Core.Engine.make_config ~rounds ~rng_seed:seed ~backend ())
+          (target_of_sample s)
+      in
+      let interp = run Core.Exec_backend.Interp in
+      let compiled = run Core.Exec_backend.Compiled in
+      Alcotest.(check string)
+        (Printf.sprintf "outcome parity %s" name)
+        (outcome_fingerprint ~name ~rounds ~seed interp)
+        (outcome_fingerprint ~name ~rounds ~seed compiled))
+    (corpus_samples ())
+
+(* ------------------------------------------------------------------ *)
+(* Per-payload trace-tape parity                                        *)
+(* ------------------------------------------------------------------ *)
+
+let kind_char = function
+  | Wasabi.Trace.Buffer.K_instr -> 'i'
+  | K_call_pre -> 'c'
+  | K_call_post -> 'p'
+  | K_func_begin -> 'b'
+  | K_func_end -> 'e'
+
+let value_token v =
+  let tag =
+    match v with
+    | Wasm.Values.I32 _ -> 'w'
+    | I64 _ -> 'd'
+    | F32 _ -> 'f'
+    | F64 _ -> 'g'
+  in
+  Printf.sprintf "%c%Lx" tag (Wasm.Values.raw_bits v)
+
+(* Snapshot of the event tape, rendered byte-comparably: kind, label and
+   the raw bits plus width tag of every operand. *)
+let tape (b : Wasabi.Trace.Buffer.t) =
+  let events =
+    List.init (Wasabi.Trace.Buffer.length b) (fun i ->
+        Printf.sprintf "%c%d:%s"
+          (kind_char (Wasabi.Trace.Buffer.kind b i))
+          (Wasabi.Trace.Buffer.label b i)
+          (String.concat ","
+             (List.map value_token (Wasabi.Trace.Buffer.ops b i))))
+  in
+  Printf.sprintf "truncated=%b" (Wasabi.Trace.Buffer.truncated b) :: events
+
+let result_string (r : Chain.tx_result) =
+  Printf.sprintf "%b:%s:%s" r.Chain.tx_ok
+    (Option.value ~default:"-" r.Chain.tx_error)
+    (String.concat ","
+       (List.map
+          (fun (rcv, act) -> Name.to_string rcv ^ "/" ^ Name.to_string act)
+          r.Chain.tx_actions_run))
+
+let test_corpus_tape_parity () =
+  let channels =
+    Core.Scanner.[ Ch_genuine; Ch_direct; Ch_fake_token; Ch_fake_notif ]
+  in
+  List.iter
+    (fun s ->
+      let name = sample_name s in
+      let mk backend =
+        Core.Engine.setup
+          (Core.Engine.make_config ~rounds:1 ~backend ())
+          (target_of_sample s)
+      in
+      let si = mk Core.Exec_backend.Interp in
+      let sc = mk Core.Exec_backend.Compiled in
+      (* Identical seed sequence for both sessions: the generator draws
+         from its own RNG, not session state. *)
+      let rng =
+        Wasai_support.Rand.create (Int64.of_int (7919 + s.BG.Corpus.smp_id))
+      in
+      let seeds =
+        List.map
+          (Core.Seed.random rng ~identities:si.Core.Engine.identities)
+          s.BG.Corpus.smp_abi.Abi.abi_actions
+      in
+      List.iter
+        (fun seed ->
+          List.iter
+            (fun ch ->
+              let label =
+                Printf.sprintf "%s %s via %s" name
+                  (Name.to_string seed.Core.Seed.sd_action)
+                  (Core.Scanner.string_of_channel ch)
+              in
+              let exi = Core.Engine.run_one si seed ch in
+              (* [ex_trace] aliases the collector: snapshot before the
+                 session runs anything else. *)
+              let ti = tape exi.Core.Engine.ex_trace in
+              let ri = result_string exi.Core.Engine.ex_result in
+              let exc = Core.Engine.run_one sc seed ch in
+              Alcotest.(check string)
+                (label ^ " result") ri
+                (result_string exc.Core.Engine.ex_result);
+              Alcotest.(check (list string))
+                (label ^ " tape") ti
+                (tape exc.Core.Engine.ex_trace))
+            channels)
+        seeds)
+    (corpus_samples ())
+
+(* ------------------------------------------------------------------ *)
+(* Fallback-boundary and fuel-exhaustion parity                         *)
+(* ------------------------------------------------------------------ *)
+
+(* A module exercising the compiled tier's control shapes: recursion
+   (calls across the fallback boundary when [exclude] splits the
+   functions), a loop with br_if, and trapping division. *)
+let boundary_module () =
+  let open Wasm in
+  let b = Builder.create () in
+  let open Builder.I in
+  let fact = Builder.declare_func b (Types.func_type [ I64 ] ~results:[ I64 ]) in
+  Builder.set_body b fact
+    [
+      local_get 0;
+      i64 2L;
+      i64_lt_s;
+      if_ ~result:Types.I64
+        [ i64 1L ]
+        [ local_get 0; local_get 0; i64 1L; i64_sub; call fact; i64_mul ];
+    ];
+  let spin =
+    Builder.add_func b
+      (Types.func_type [ I32 ] ~results:[ I32 ])
+      ~locals:[ Types.I32 ]
+      [
+        block
+          [
+            loop
+              [
+                local_get 0;
+                i32_eqz;
+                br_if 1;
+                local_get 0;
+                i32 1;
+                i32_sub;
+                local_set 0;
+                local_get 1;
+                i32 3;
+                i32_add;
+                local_set 1;
+                br 0;
+              ];
+          ];
+        local_get 1;
+      ]
+  in
+  let crash =
+    Builder.add_func b
+      (Types.func_type [ I32 ] ~results:[ I32 ])
+      [ i32 7; local_get 0; i32_div_u ]
+  in
+  Builder.export_func b "fact" fact;
+  Builder.export_func b "spin" spin;
+  Builder.export_func b "crash" crash;
+  let m = Builder.build b in
+  Validate.check_module m;
+  m
+
+let no_imports : Wasm.Interp.resolver = fun _ _ -> None
+
+(* Result-or-exception of one invocation, rendered comparably; the
+   contract requires identical trap/exhaustion messages. *)
+let invocation f =
+  match f () with
+  | vs -> "ok:" ^ String.concat "," (List.map value_token vs)
+  | exception Wasm.Interp.Exhaustion m -> "exhaustion:" ^ m
+  | exception Wasm.Values.Trap m -> "trap:" ^ m
+
+let test_fallback_boundary () =
+  let m = boundary_module () in
+  let full = Wasm.Compile.prepare m in
+  let split =
+    (* Veto loops: [spin] falls back to the interpreter while [fact] and
+       [crash] stay compiled — a genuine mixed-tier module. *)
+    Wasm.Compile.prepare
+      ~exclude:(fun i -> match i with Wasm.Ast.Loop _ -> true | _ -> false)
+      m
+  in
+  let none = Wasm.Compile.prepare ~exclude:(fun _ -> true) m in
+  Alcotest.(check (pair int int))
+    "all compiled" (3, 0)
+    (Wasm.Compile.function_counts full);
+  Alcotest.(check (pair int int))
+    "loop excluded" (2, 1)
+    (Wasm.Compile.function_counts split);
+  Alcotest.(check (pair int int))
+    "all fallback" (0, 3)
+    (Wasm.Compile.function_counts none);
+  let check_export name args =
+    let reference =
+      let inst = Wasm.Interp.instantiate no_imports m in
+      invocation (fun () -> Wasm.Interp.invoke_export inst name args)
+    in
+    List.iter
+      (fun (tier, prepared) ->
+        let s = Wasm.Compile.instantiate prepared no_imports in
+        Alcotest.(check string)
+          (Printf.sprintf "%s %s" name tier)
+          reference
+          (invocation (fun () -> Wasm.Compile.invoke_export s name args)))
+      [ ("compiled", full); ("split", split); ("fallback", none) ]
+  in
+  List.iter
+    (fun v -> check_export "fact" [ Wasm.Values.I64 v ])
+    [ 0L; 1L; 5L; 12L ];
+  List.iter
+    (fun v -> check_export "spin" [ Wasm.Values.I32 v ])
+    [ 0l; 1l; 17l ];
+  List.iter
+    (fun v -> check_export "crash" [ Wasm.Values.I32 v ])
+    [ 3l; 0l ];
+  check_export "missing" []
+
+let test_fuel_parity () =
+  let m = boundary_module () in
+  let full = Wasm.Compile.prepare m in
+  let split =
+    Wasm.Compile.prepare
+      ~exclude:(fun i -> match i with Wasm.Ast.Loop _ -> true | _ -> false)
+      m
+  in
+  let calls = [ ("fact", Wasm.Values.I64 6L); ("spin", Wasm.Values.I32 9l) ] in
+  for fuel = 0 to 80 do
+    List.iter
+      (fun (name, arg) ->
+        let reference =
+          let inst = Wasm.Interp.instantiate ~fuel no_imports m in
+          invocation (fun () -> Wasm.Interp.invoke_export inst name [ arg ])
+        in
+        List.iter
+          (fun (tier, prepared) ->
+            let s = Wasm.Compile.instantiate ~fuel prepared no_imports in
+            Alcotest.(check string)
+              (Printf.sprintf "%s fuel=%d %s" name fuel tier)
+              reference
+              (invocation (fun () -> Wasm.Compile.invoke_export s name [ arg ])))
+          [ ("compiled", full); ("split", split) ])
+      calls
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Journal backend header                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_header_round_trip () =
+  List.iter
+    (fun backend ->
+      let h = { Campaign.Journal.jh_backend = backend } in
+      match Campaign.Journal.(header_of_line (line_of_header h)) with
+      | Ok h' ->
+          Alcotest.(check string)
+            "round trip"
+            (Core.Exec_backend.to_string backend)
+            (Core.Exec_backend.to_string h'.Campaign.Journal.jh_backend)
+      | Error e -> Alcotest.failf "header rejected: %s" e)
+    Core.Exec_backend.[ Interp; Compiled; Auto ];
+  List.iter
+    (fun line ->
+      match Campaign.Journal.header_of_line line with
+      | Ok _ -> Alcotest.failf "accepted bad header %S" line
+      | Error _ -> ())
+    [
+      "";
+      "wasai-journal-hdr";
+      "wasai-journal-hdr\tbackend=warp";
+      "wasai-journal-hdr\tbackend=interp\textra=1";
+      "wasai-journal\tbackend=interp";
+    ]
+
+let with_temp_file f =
+  let path = Filename.temp_file "wasai_test_hdr" ".jnl" in
+  Fun.protect ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ()) (fun () -> f path)
+
+let test_header_resume_discipline () =
+  with_temp_file (fun path ->
+      Sys.remove path;
+      let w =
+        Campaign.Journal.open_writer
+          ~header:{ Campaign.Journal.jh_backend = Core.Exec_backend.Compiled }
+          path
+      in
+      ignore w;
+      let header, entries = Campaign.Journal.load_with_header path in
+      Alcotest.(check int) "fresh journal has no entries" 0 (List.length entries);
+      (match header with
+      | Some h ->
+          Alcotest.(check string)
+            "stamped backend" "compiled"
+            (Core.Exec_backend.to_string h.Campaign.Journal.jh_backend)
+      | None -> Alcotest.fail "header missing from fresh journal");
+      (* Same tier resumes; headerless legacy journals resume; a
+         different tier — including Auto vs Compiled — refuses. *)
+      Campaign.Campaign.validate_header ~context:"t" Core.Exec_backend.Compiled header;
+      Campaign.Campaign.validate_header ~context:"t" Core.Exec_backend.Interp None;
+      List.iter
+        (fun backend ->
+          match Campaign.Campaign.validate_header ~context:"t" backend header with
+          | () -> Alcotest.fail "mismatched backend accepted"
+          | exception Failure msg ->
+              Alcotest.(check bool)
+                "refusal names both tiers" true
+                (String.length msg > 0
+                && String.index_opt msg '='
+                   <> None))
+        Core.Exec_backend.[ Interp; Auto ])
+
+let test_header_only_line_one () =
+  with_temp_file (fun path ->
+      let hdr =
+        Campaign.Journal.line_of_header
+          { Campaign.Journal.jh_backend = Core.Exec_backend.Auto }
+      in
+      let oc = open_out path in
+      output_string oc (hdr ^ "\n" ^ hdr ^ "\n");
+      close_out oc;
+      match Campaign.Journal.load_with_header path with
+      | _ -> Alcotest.fail "duplicate header accepted"
+      | exception Campaign.Journal.Malformed _ -> ())
+
+(* ------------------------------------------------------------------ *)
+(* make_config validation                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_make_config () =
+  let default = Core.Engine.default_config in
+  Alcotest.(check bool)
+    "defaults" true
+    (Core.Engine.make_config () = default);
+  Alcotest.(check bool)
+    "backend defaults to auto" true
+    (default.Core.Engine.cfg_backend = Core.Exec_backend.Auto);
+  let rejects label build expect =
+    match build () with
+    | (_ : Core.Engine.config) -> Alcotest.failf "%s accepted" label
+    | exception Core.Engine.Invalid_config e ->
+        Alcotest.(check string)
+          label
+          (Core.Engine.string_of_config_error expect)
+          (Core.Engine.string_of_config_error e)
+  in
+  rejects "rounds=0"
+    (fun () -> Core.Engine.make_config ~rounds:0 ())
+    (Core.Engine.Bad_rounds 0);
+  rejects "time_limit=0"
+    (fun () -> Core.Engine.make_config ~time_limit:0.0 ())
+    (Core.Engine.Bad_time_limit 0.0);
+  rejects "solver_budget=-1"
+    (fun () -> Core.Engine.make_config ~solver_budget:(-1) ())
+    (Core.Engine.Bad_solver_budget (-1));
+  rejects "max_flips=0"
+    (fun () -> Core.Engine.make_config ~max_flips:0 ())
+    (Core.Engine.Bad_max_flips 0);
+  rejects "fuel=0"
+    (fun () -> Core.Engine.make_config ~fuel:0 ())
+    (Core.Engine.Bad_fuel 0);
+  rejects "empty preload"
+    (fun () -> Core.Engine.make_config ~preload:[] ())
+    Core.Engine.Bad_preload;
+  (* of_string/to_string cover the CLI surface. *)
+  List.iter
+    (fun backend ->
+      match Core.Exec_backend.(of_string (to_string backend)) with
+      | Ok b ->
+          Alcotest.(check bool) "choice round trip" true (b = backend)
+      | Error e -> Alcotest.failf "choice rejected: %s" e)
+    Core.Exec_backend.[ Interp; Compiled; Auto ];
+  match Core.Exec_backend.of_string "jit" with
+  | Ok _ -> Alcotest.fail "bad backend accepted"
+  | Error _ -> ()
+
+let () =
+  Alcotest.run "compile"
+    [
+      ( "backend-parity",
+        [
+          Alcotest.test_case "corpus outcomes and journal lines" `Quick
+            test_corpus_outcome_parity;
+          Alcotest.test_case "per-payload trace tapes" `Quick
+            test_corpus_tape_parity;
+        ] );
+      ( "fallback",
+        [
+          Alcotest.test_case "boundary crossing" `Quick test_fallback_boundary;
+          Alcotest.test_case "fuel exhaustion parity" `Quick test_fuel_parity;
+        ] );
+      ( "journal-header",
+        [
+          Alcotest.test_case "round trip and rejection" `Quick
+            test_header_round_trip;
+          Alcotest.test_case "resume discipline" `Quick
+            test_header_resume_discipline;
+          Alcotest.test_case "header only on line 1" `Quick
+            test_header_only_line_one;
+        ] );
+      ( "config",
+        [ Alcotest.test_case "make_config validation" `Quick test_make_config ]
+      );
+    ]

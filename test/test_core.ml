@@ -82,7 +82,7 @@ let test_dbg_no_self_dependency () =
 let fuzz ?(rounds = 40) spec =
   let m, abi = BG.Contracts.build spec in
   Core.Engine.fuzz
-    ~cfg:{ Core.Engine.default_config with Core.Engine.cfg_rounds = rounds }
+    ~cfg:(Core.Engine.make_config ~rounds:(rounds) ())
     {
       Core.Engine.tgt_account = spec.BG.Contracts.sp_account;
       tgt_module = m;
@@ -192,17 +192,13 @@ let test_deep_gates_need_feedback () =
   in
   let with_fb =
     Core.Engine.fuzz
-      ~cfg:{ Core.Engine.default_config with Core.Engine.cfg_rounds = 40 }
+      ~cfg:(Core.Engine.make_config ~rounds:(40) ())
       target
   in
   let without_fb =
     Core.Engine.fuzz
       ~cfg:
-        {
-          Core.Engine.default_config with
-          Core.Engine.cfg_rounds = 40;
-          cfg_feedback = false;
-        }
+        (Core.Engine.make_config ~rounds:(40) ~feedback:false ())
       target
   in
   Alcotest.(check bool) "feedback finds the gated payout" true
@@ -253,7 +249,7 @@ let test_obfuscated_detection_stable () =
   let obf = BG.Obfuscate.obfuscate m in
   let run module_ =
     Core.Engine.fuzz
-      ~cfg:{ Core.Engine.default_config with Core.Engine.cfg_rounds = 24 }
+      ~cfg:(Core.Engine.make_config ~rounds:(24) ())
       { Core.Engine.tgt_account = n "victim"; tgt_module = module_; tgt_abi = abi }
   in
   let o1 = run m and o2 = run obf in
@@ -275,7 +271,7 @@ let test_exploit_payloads () =
   let m, abi = BG.Contracts.build spec in
   let o =
     Core.Engine.fuzz
-      ~cfg:{ Core.Engine.default_config with Core.Engine.cfg_rounds = 40 }
+      ~cfg:(Core.Engine.make_config ~rounds:(40) ())
       { Core.Engine.tgt_account = n "victim"; tgt_module = m; tgt_abi = abi }
   in
   List.iter
@@ -303,7 +299,10 @@ let test_exploit_payloads () =
         contains 0)
 
 let test_time_limit () =
-  (* A zero wall-clock budget stops the loop immediately. *)
+  (* A zero wall-clock budget stops the loop immediately.  Built as a raw
+     record on purpose: [make_config] rejects [time_limit <= 0], and this
+     test exercises exactly the degenerate engine behaviour the
+     validation exists to keep out of real runs. *)
   let m, abi = BG.Contracts.build base in
   let o =
     Core.Engine.fuzz
@@ -361,7 +360,7 @@ let test_preload_warm_run () =
     { Core.Engine.tgt_account = n "victim"; tgt_module = m; tgt_abi = abi }
   in
   let cfg =
-    { Core.Engine.default_config with Core.Engine.cfg_rounds = 12 }
+    (Core.Engine.make_config ~rounds:(12) ())
   in
   let cold = Core.Engine.fuzz ~cfg tgt in
   let preload =
@@ -398,11 +397,7 @@ let test_preload_skips_stale_vectors () =
   let o =
     Core.Engine.fuzz
       ~cfg:
-        {
-          Core.Engine.default_config with
-          Core.Engine.cfg_rounds = 4;
-          cfg_preload = stale;
-        }
+        (Core.Engine.make_config ~rounds:(4) ~preload:(stale) ())
       tgt
   in
   Alcotest.(check int) "stale vectors ignored, run completes" 4
@@ -525,11 +520,7 @@ let qcheck_fused_scan_equivalence =
       in
       let m, abi = BG.Contracts.build spec in
       let cfg =
-        {
-          Core.Engine.default_config with
-          Core.Engine.cfg_rounds = 2;
-          cfg_rng_seed = Int64.of_int rng_seed;
-        }
+        (Core.Engine.make_config ~rounds:(2) ~rng_seed:(Int64.of_int rng_seed) ())
       in
       let s =
         Core.Engine.setup cfg
@@ -551,7 +542,7 @@ let qcheck_fused_scan_equivalence =
         List.iter
           (fun channel ->
             let ex = Core.Engine.run_one s seed channel in
-            let records = Wasabi.Trace.Buffer.to_list ex.Core.Engine.ex_trace in
+            let records = Wasabi.Trace.Compat.to_list ex.Core.Engine.ex_trace in
             let meta = s.Core.Engine.meta in
             let sc = ex.Core.Engine.ex_scan in
             let missed, hit =
@@ -577,7 +568,7 @@ let test_adaptive_budget_bounds () =
     { Core.Engine.tgt_account = n "victim"; tgt_module = m; tgt_abi = abi }
   in
   let cfg =
-    { Core.Engine.default_config with Core.Engine.cfg_rounds = 12 }
+    (Core.Engine.make_config ~rounds:(12) ())
   in
   let o = Core.Engine.fuzz ~cfg tgt in
   let b = cfg.Core.Engine.cfg_solver_budget in

@@ -28,7 +28,7 @@ let scratch tag =
   dir
 
 let engine rounds =
-  { Core.Engine.default_config with Core.Engine.cfg_rounds = rounds }
+  (Core.Engine.make_config ~rounds:(rounds) ())
 
 (* The same coverage-set samples the campaign tests fuzz, as wire-ready
    contracts: both the serve submission and the batch campaign decode

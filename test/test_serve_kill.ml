@@ -31,7 +31,7 @@ let scratch tag =
   dir
 
 let rounds = 6
-let engine = { Core.Engine.default_config with Core.Engine.cfg_rounds = rounds }
+let engine = (Core.Engine.make_config ~rounds:(rounds) ())
 
 let sample_contracts ~count =
   List.mapi

@@ -629,7 +629,7 @@ let qcheck_replay_buffer_roundtrip_identity =
       let amount = Int64.of_int (1 + (amt_seed mod 1_000_000)) in
       let buf, meta, candidates = trace_of_spec ~amount spec in
       let buf' =
-        Wasabi.Trace.Buffer.of_records (Wasabi.Trace.Buffer.to_list buf)
+        Wasabi.Trace.Compat.of_records (Wasabi.Trace.Compat.to_list buf)
       in
       let _, r1 = replay_transfer buf meta candidates in
       let _, r2 = replay_transfer buf' meta candidates in

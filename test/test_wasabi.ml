@@ -131,7 +131,7 @@ let run_contract ?(instrument = true) () =
   in
   let act = { act with Action.act_data = data } in
   let r = Chain.push_action chain act in
-  (r, Chain.console_output chain, Wasabi.Trace.drain collector, meta)
+  (r, Chain.console_output chain, Wasabi.Trace.Compat.drain collector, meta)
 
 let test_behaviour_preserved () =
   let r1, console1, _, _ = run_contract ~instrument:false () in
@@ -213,7 +213,7 @@ let test_trace_only_target () =
          ~to_:(n "victim") ~quantity:(Asset.eos_of_units 3L) ~memo:"x")
   in
   Alcotest.(check bool) "tx ok" true r.Chain.tx_ok;
-  let trace = Wasabi.Trace.drain collector in
+  let trace = Wasabi.Trace.Compat.drain collector in
   Alcotest.(check bool) "victim trace captured" true (List.length trace > 0);
   List.iter
     (fun rec_ ->
@@ -330,7 +330,7 @@ let qcheck_trace_complete =
       in
       let inst = Wasm.Interp.instantiate resolver m' in
       ignore (Wasm.Interp.invoke_export inst "f" []);
-      let records = Wasabi.Trace.drain collector in
+      let records = Wasabi.Trace.Compat.drain collector in
       let instrs =
         List.filter_map
           (fun r ->
@@ -512,11 +512,12 @@ let qcheck_buffer_matches_reference =
          pair (int_range 0 40) (list_size (int_range 0 150) gen_hook_call)))
     (fun (limit, calls) ->
       let module B = Wasabi.Trace.Buffer in
+      let module C = Wasabi.Trace.Compat in
       let buf = B.create ~limit () in
       let rc = Ref_collector.create ~limit in
       List.iter (fun c -> apply_to_buffer buf c; apply_to_ref rc c) calls;
       let expected = Ref_collector.drain rc in
-      let got = B.to_list buf in
+      let got = C.to_list buf in
       got = expected
       && B.truncated buf = rc.Ref_collector.trunc
       && B.length buf = List.length expected
@@ -524,7 +525,7 @@ let qcheck_buffer_matches_reference =
       && (let ok = ref true in
           List.iteri
             (fun i r ->
-              if B.record_of buf i <> r then ok := false;
+              if C.record_of buf i <> r then ok := false;
               for j = 0 to B.op_count buf i - 1 do
                 if B.op_bits buf i j <> Wasm.Values.raw_bits (B.op buf i j)
                 then ok := false
@@ -532,11 +533,11 @@ let qcheck_buffer_matches_reference =
             got;
           !ok)
       (* of_records replays any collector output to itself. *)
-      && B.to_list (B.of_records expected) = expected
+      && C.to_list (C.of_records expected) = expected
       (* reset rewinds in place: replaying the stream reproduces it. *)
       && (B.reset buf;
           List.iter (apply_to_buffer buf) calls;
-          B.to_list buf = expected && B.truncated buf = rc.Ref_collector.trunc))
+          C.to_list buf = expected && B.truncated buf = rc.Ref_collector.trunc))
 
 (* The corpus dedupe key: FNV-1a 64 over the canonicalised edge set.
    Order- and duplicate-insensitive, pinned to a concrete value so a
