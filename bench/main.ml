@@ -2,12 +2,12 @@
     evaluation (§4), plus ablation and micro benchmarks.
 
     Usage: [main.exe [experiment] [--scale N] [--rounds N] [--count N]
-    [--backend interp|compiled|auto]]
+    [--backend interp|compiled|auto] [--json FILE]]
 
     Experiments: fig3 table4 table5 table6 table-ext rq4 ablation solver
     campaign campaign-smoke shard shard-smoke corpus corpus-smoke trace
-    trace-smoke serve-smoke oracle-smoke compile compile-smoke micro all
-    (default: all).  [--scale]
+    trace-smoke serve-smoke oracle-smoke compile compile-smoke telemetry
+    telemetry-smoke micro all (default: all).  [--scale]
     divides the corpus sizes (default 20; use [--full] for the paper-sized
     corpora — minutes of CPU).  [campaign] measures multi-domain scaling
     (1/2/4 workers) over a generated corpus plus an LPT-vs-name-order
@@ -30,8 +30,14 @@
     execution tier against the interpreter (payloads/sec over the legacy
     ground-truth corpus, verdict/coverage parity required, >= 2x target);
     [compile-smoke] is a <10 s parity + not-slower check of the same;
-    [--backend] forces every WASAI engine run in the harness onto one
-    execution tier. *)
+    [telemetry] prints the per-stage critical-path breakdown of a
+    telemetry-on campaign and measures the probes' overhead;
+    [telemetry-smoke] is a <10 s zero-interference check (journal/report
+    byte-identity off vs on at jobs 1 and 2, stage coverage, METRICS
+    exposition, overhead <= 3%); [--backend] forces every WASAI engine
+    run in the harness onto one execution tier; [--json FILE] writes a
+    machine-readable summary (experiment names, metrics, asserted
+    bounds) alongside the text scoreboard. *)
 
 open Wasai_support
 module BG = Wasai_benchgen
@@ -423,6 +429,29 @@ let solver_exp () =
     "  verdicts identical: %b  blasting runs saved: %d\n"
     (v0 = v1)
     (st0.Solver.st_blasted - st1.Solver.st_blasted);
+  json_record ~experiment:"solver"
+    ~bounds:
+      [
+        {
+          jb_name = "verdict_parity";
+          jb_bound = "cache on/off verdicts identical";
+          jb_pass = v0 = v1;
+        };
+        {
+          jb_name = "blasting_saved";
+          jb_bound = "cache hits > 0 and fewer blasts";
+          jb_pass =
+            st1.Solver.st_cache_hits > 0
+            && st1.Solver.st_blasted < st0.Solver.st_blasted;
+        };
+      ]
+    [
+      ("queries", float_of_int n);
+      ("cache_off_s", t0);
+      ("cache_on_s", t1);
+      ("cache_hits", float_of_int st1.Solver.st_cache_hits);
+      ("blasts_saved", float_of_int (st0.Solver.st_blasted - st1.Solver.st_blasted));
+    ];
   if not ok then begin
     Printf.printf "solver cache benchmark FAILED\n";
     exit 1
@@ -561,6 +590,16 @@ let campaign_smoke () =
     (if ok then "OK" else "MISMATCH")
     (full.Campaign.Campaign.cr_wall +. interrupted.Campaign.Campaign.cr_wall
      +. resumed.Campaign.Campaign.cr_wall);
+  json_record ~experiment:"campaign-smoke"
+    ~bounds:
+      [
+        {
+          jb_name = "resume_parity";
+          jb_bound = "resumed verdicts = uninterrupted verdicts";
+          jb_pass = ok;
+        };
+      ]
+    [ ("wall_s", full.Campaign.Campaign.cr_wall) ];
   if not ok then exit 1
 
 (* ------------------------------------------------------------------ *)
@@ -667,6 +706,19 @@ let shard_smoke () =
     (List.length merged.Campaign.Campaign.cr_results)
     vulnerable exploits verdicts_ok evidence_ok
     (if ok then "OK" else "MISMATCH");
+  json_record ~experiment:"shard-smoke"
+    ~bounds:
+      [
+        {
+          jb_name = "merge_identity";
+          jb_bound = "merged verdicts+evidence = unsharded";
+          jb_pass = verdicts_ok && evidence_ok;
+        };
+      ]
+    [
+      ("vulnerable", float_of_int vulnerable);
+      ("exploits", float_of_int exploits);
+    ];
   if not ok then exit 1
 
 (* ------------------------------------------------------------------ *)
@@ -852,6 +904,24 @@ let corpus_smoke () =
     cold_sum warm_sum speedup_ok parity flags_ok jobs_ok
     (SeedCorpus.size stored) (SeedCorpus.size minimized) minimize_ok
     (if ok then "OK" else "MISMATCH");
+  json_record ~experiment:"corpus-smoke"
+    ~bounds:
+      [
+        {
+          jb_name = "warm_speedup";
+          jb_bound = ">= 2x fewer solver runs";
+          jb_pass = speedup_ok;
+        };
+        {
+          jb_name = "parity";
+          jb_bound = "warm = cold flags, jobs 1 = jobs 2";
+          jb_pass = parity && flags_ok && jobs_ok;
+        };
+      ]
+    [
+      ("cold_solver_runs", float_of_int cold_sum);
+      ("warm_solver_runs", float_of_int warm_sum);
+    ];
   if not ok then exit 1
 
 (* ------------------------------------------------------------------ *)
@@ -1124,6 +1194,16 @@ let trace_smoke () =
     (List.length payloads) scan_ok roundtrip_ok verdict_ok signature_ok
     truncated_ok
     (if ok then "OK" else "MISMATCH");
+  json_record ~experiment:"trace-smoke"
+    ~bounds:
+      [
+        {
+          jb_name = "pipeline_identity";
+          jb_bound = "fused scan = list pass, reruns identical";
+          jb_pass = ok;
+        };
+      ]
+    [ ("payloads", float_of_int (List.length payloads)) ];
   if not ok then exit 1
 
 (* ------------------------------------------------------------------ *)
@@ -1287,6 +1367,21 @@ let serve_smoke () =
     journaled (List.length alice) identical;
   let ok = parity_a && parity_b && busy >= 1 && partial && identical in
   Printf.printf "serve smoke: %s\n" (if ok then "OK" else "MISMATCH");
+  json_record ~experiment:"serve-smoke"
+    ~bounds:
+      [
+        {
+          jb_name = "tenant_parity";
+          jb_bound = "streamed verdicts = batch campaign";
+          jb_pass = parity_a && parity_b;
+        };
+        {
+          jb_name = "kill_resume";
+          jb_bound = "resumed report byte-identical";
+          jb_pass = partial && identical;
+        };
+      ]
+    [ ("busy_retries", float_of_int busy) ];
   if not ok then exit 1
 
 (* ------------------------------------------------------------------ *)
@@ -1457,6 +1552,21 @@ let oracle_smoke () =
     detection_ok ext_perfect (List.length legacy) silent_ok
     (List.length entry_lines) journal_ok report_ok
     (if ok then "OK" else "MISMATCH");
+  json_record ~experiment:"oracle-smoke"
+    ~bounds:
+      [
+        {
+          jb_name = "detection";
+          jb_bound = ">= baselines on all 8 classes";
+          jb_pass = detection_ok;
+        };
+        {
+          jb_name = "legacy_byte_identity";
+          jb_bound = "journal + report extension-free";
+          jb_pass = silent_ok && journal_ok && report_ok;
+        };
+      ]
+    [ ("legacy_contracts", float_of_int (List.length legacy)) ];
   if not ok then exit 1
 
 (* ------------------------------------------------------------------ *)
@@ -1517,7 +1627,21 @@ let compile_exp (opts : options) =
     c_tx c_wall cpps;
   Printf.printf
     "  speedup %.2fx (target >= 2x); verdict/coverage parity: %b\n%!"
-    (cpps /. ipps) parity
+    (cpps /. ipps) parity;
+  json_record ~experiment:"compile"
+    ~bounds:
+      [
+        {
+          jb_name = "parity";
+          jb_bound = "verdict/coverage identical across tiers";
+          jb_pass = parity;
+        };
+      ]
+    [
+      ("interp_payloads_per_s", ipps);
+      ("compiled_payloads_per_s", cpps);
+      ("speedup", cpps /. ipps);
+    ]
 
 (* Quick local verification (<10 s) of the compiled tier: over a small
    legacy slice, the compiled backend must reach byte-identical
@@ -1540,6 +1664,308 @@ let compile_smoke () =
      -> %s\n"
     (List.length samples) i_tx parity ipps cpps (cpps /. ipps) faster
     (if ok then "OK" else "MISMATCH");
+  json_record ~experiment:"compile-smoke"
+    ~bounds:
+      [
+        {
+          jb_name = "parity";
+          jb_bound = "verdict/coverage identical across tiers";
+          jb_pass = parity;
+        };
+        { jb_name = "speed"; jb_bound = ">= 1x interpreter"; jb_pass = faster };
+      ]
+    [
+      ("interp_payloads_per_s", ipps);
+      ("compiled_payloads_per_s", cpps);
+      ("speedup", cpps /. ipps);
+    ];
+  if not ok then exit 1
+
+(* ------------------------------------------------------------------ *)
+(* Telemetry: zero-interference observability                           *)
+(* ------------------------------------------------------------------ *)
+
+module Telemetry = Wasai_telemetry.Telemetry
+
+(* Best-of-[reps] wall-clock of the pure-execution sweep (symbolic
+   feedback off) over a corpus slice, telemetry off vs on, interleaved
+   so machine drift hits both sides equally.  Minima, not means: the
+   question is the probes' intrinsic cost, and every slower run is
+   scheduler noise on top of it. *)
+let telemetry_overhead ~reps ~rounds samples =
+  let sweep ?(rounds = rounds) () =
+    let _, _, wall =
+      run_tier ~rounds ~backend:Core.Exec_backend.Auto samples
+    in
+    wall
+  in
+  (* Warm up first: the opening sweep pays one-off costs (code paging,
+     compiled-pool population, GC sizing) that would otherwise land on
+     whichever side runs first. *)
+  Telemetry.disable ();
+  ignore (sweep ~rounds:(max 2 (rounds / 8)) ());
+  let best_off = ref infinity and best_on = ref infinity in
+  for _ = 1 to reps do
+    Telemetry.disable ();
+    Telemetry.reset ();
+    best_off := Float.min !best_off (sweep ());
+    Telemetry.reset ();
+    Telemetry.enable ();
+    best_on := Float.min !best_on (sweep ());
+    Telemetry.disable ()
+  done;
+  Telemetry.reset ();
+  (!best_off, !best_on)
+
+let telemetry_exp (opts : options) =
+  Printf.printf "\n=== Telemetry: per-stage critical path + probe overhead ===\n%!";
+  (* A telemetry-on campaign over generated contracts: the per-stage /
+     per-target breakdown the --telemetry flag prints. *)
+  let count = max 8 (opts.opt_fig3_contracts / 2) in
+  let rounds = opts.opt_rounds in
+  let targets = campaign_targets ~count () in
+  let journal = Filename.temp_file "wasai-telemetry" ".journal" in
+  Sys.remove journal;
+  let r =
+    Campaign.Campaign.run
+      (Campaign.Campaign.make_config ~jobs:2 ~journal ~telemetry:true
+         ~engine:(Core.Engine.make_config ~rounds ~backend:opts.opt_backend ())
+         ())
+      targets
+  in
+  Sys.remove journal;
+  let snap = Telemetry.snapshot () in
+  print_string (Telemetry.report_text snap);
+  Telemetry.disable ();
+  Telemetry.reset ();
+  Printf.printf "  (campaign: %d targets, wall=%.2fs)\n" count
+    r.Campaign.Campaign.cr_wall;
+  (* Probe overhead on the execution-bound workload. *)
+  let samples = BG.Corpus.ground_truth ~scale:100 () in
+  let off, on = telemetry_overhead ~reps:3 ~rounds:16 samples in
+  let ratio = on /. Float.max 1e-9 off in
+  Printf.printf
+    "  overhead on the compile-smoke corpus (best of 3): off=%.3fs on=%.3fs \
+     -> %.2f%%\n"
+    off on
+    (100. *. (ratio -. 1.));
+  json_record ~experiment:"telemetry"
+    [
+      ("spans", float_of_int snap.Telemetry.ts_spans);
+      ("campaign_wall_s", r.Campaign.Campaign.cr_wall);
+      ("overhead_off_s", off);
+      ("overhead_on_s", on);
+      ("overhead_ratio", ratio);
+    ]
+
+(* Quick local verification (<10 s) of the zero-interference contract:
+   telemetry on/off campaigns must produce byte-identical journal entry
+   lines and verdict reports at jobs 1 and 2 (the on-journal differing
+   only by the additive header stamp), the on-run's report must cover
+   the exec/solver/oracle/journal stages, a serve daemon's METRICS
+   exposition must parse line-by-line, and the probes' measured overhead
+   on the compile-smoke corpus must stay within 3%. *)
+let telemetry_smoke () =
+  Printf.printf
+    "\n=== Telemetry smoke (byte-identity + stage coverage + overhead) ===\n%!";
+  (* Probe overhead first, while the process is quiet: the campaign and
+     serve phases below leave worker domains' GC debris behind that
+     makes wall-clock deltas noisy.  The sweep must also dwarf timer
+     jitter (a 30 ms sweep makes 1 ms of noise read as 3%), hence the
+     branch-rich coverage contracts at ~100 ms per sweep. *)
+  let off, on =
+    telemetry_overhead ~reps:4 ~rounds:48 (BG.Corpus.coverage_set ~count:30 ())
+  in
+  let ratio = on /. Float.max 1e-9 off in
+  let overhead_ok = ratio <= 1.03 in
+  let targets = campaign_targets ~count:6 () in
+  let rounds = 6 in
+  let contains hay needle =
+    let nh = String.length hay and nn = String.length needle in
+    let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+    nn = 0 || go 0
+  in
+  let read_lines path =
+    let ic = open_in path in
+    let rec go acc =
+      match input_line ic with
+      | l -> go (l :: acc)
+      | exception End_of_file ->
+          close_in ic;
+          List.rev acc
+    in
+    go []
+  in
+  (* One campaign run at [jobs] with telemetry [tele]; returns the
+     journal header, entry lines and canonical verdict report.  The
+     [elapsed=] field is measured wall-clock — nondeterministic between
+     any two runs, telemetry or not — so it is zeroed through an entry
+     round-trip; every other byte of the line is compared as written. *)
+  let canonical_entry line =
+    match Campaign.Journal.entry_of_line line with
+    | Ok e ->
+        Campaign.Journal.line_of_entry
+          { e with Campaign.Journal.je_elapsed = 0. }
+    | Error _ -> line
+  in
+  let run_campaign ~jobs ~tele =
+    let journal = Filename.temp_file "wasai-tsmoke" ".journal" in
+    Sys.remove journal;
+    let r =
+      Campaign.Campaign.run
+        (Campaign.Campaign.make_config ~jobs ~journal ~telemetry:tele
+           ~engine:(Core.Engine.make_config ~rounds ())
+           ())
+        targets
+    in
+    let header, entries =
+      match read_lines journal with
+      | h :: rest -> (h, List.map canonical_entry rest)
+      | [] -> ("", [])
+    in
+    Sys.remove journal;
+    (header, entries, Campaign.Campaign.verdicts_text r)
+  in
+  let h_off1, e_off1, v_off1 = run_campaign ~jobs:1 ~tele:false in
+  let h_on1, e_on1, v_on1 = run_campaign ~jobs:1 ~tele:true in
+  (* capture the stage breakdown while the on-run's spans are still hot *)
+  let report = Telemetry.report_text (Telemetry.snapshot ()) in
+  Telemetry.disable ();
+  Telemetry.reset ();
+  let h_off2, e_off2, v_off2 = run_campaign ~jobs:2 ~tele:false in
+  let h_on2, e_on2, v_on2 = run_campaign ~jobs:2 ~tele:true in
+  Telemetry.disable ();
+  Telemetry.reset ();
+  let sorted = List.sort compare in
+  let identity_ok =
+    (* off = the legacy two-field header, byte-for-byte *)
+    h_off1 = "wasai-journal-hdr\tbackend=auto"
+    && h_off2 = h_off1
+    (* on = the same header plus only the additive stamp *)
+    && h_on1 = h_off1 ^ "\ttelemetry=on"
+    && h_on2 = h_on1
+    (* entry lines never change: byte-identical at jobs 1, identical as
+       a multiset at jobs 2 (worker completion order is not canonical) *)
+    && e_on1 = e_off1
+    && sorted e_on2 = sorted e_off2
+    && sorted e_off2 = sorted e_off1
+  in
+  let report_ok =
+    List.for_all (fun v -> String.equal v v_off1) [ v_on1; v_off2; v_on2 ]
+  in
+  let stages_ok =
+    List.for_all
+      (fun s -> contains report s)
+      [ "exec_"; "solver_"; "oracle"; "journal_fsync" ]
+  in
+  (* METRICS exposition from a live daemon parses line-by-line. *)
+  let dir =
+    Printf.sprintf "/tmp/wasai-telemetry-smoke-%d-%d" (Unix.getpid ())
+      (int_of_float (Unix.gettimeofday () *. 1000.) mod 1_000_000)
+  in
+  Unix.mkdir dir 0o755;
+  let socket = Filename.concat dir "t.sock" in
+  let t =
+    Serve.Serve.create
+      (Serve.Serve.make_config ~root:(Filename.concat dir "root") ~socket
+         ~jobs:1 ~depth:4
+         ~engine:(Core.Engine.make_config ~rounds ())
+         ())
+  in
+  let d = Domain.spawn (fun () -> Serve.Serve.serve t) in
+  let connect_retry path =
+    let rec go n =
+      match Serve.Client.connect path with
+      | c -> c
+      | exception Unix.Unix_error _ when n > 0 ->
+          Unix.sleepf 0.05;
+          go (n - 1)
+    in
+    go 100
+  in
+  let c = connect_retry socket in
+  let sample = List.hd (BG.Corpus.coverage_set ~count:1 ()) in
+  ignore
+    (Serve.Client.submit_batch c ~tenant:"alice"
+       [
+         {
+           Serve.Client.ct_name = "trgta";
+           ct_wasm = Wasai_wasm.Encode.encode sample.BG.Corpus.smp_module;
+           ct_abi = Some (Wasai_eosio.Abi.to_text sample.BG.Corpus.smp_abi);
+         };
+       ]);
+  Serve.Client.send c Serve.Wire.Metrics;
+  let exposition =
+    match Serve.Client.next c with
+    | Serve.Wire.MetricsReply { rp_body } -> rp_body
+    | _ -> ""
+  in
+  Serve.Client.close c;
+  Serve.Serve.request_stop t;
+  Domain.join d;
+  Telemetry.disable ();
+  Telemetry.reset ();
+  let metrics_ok =
+    exposition <> ""
+    && contains exposition "wasai_tenant_completed_total{tenant=\"alice\"} 1"
+    && contains exposition "wasai_stage_seconds_total{stage="
+    && List.for_all
+         (fun line ->
+           line = ""
+           || line.[0] = '#'
+           ||
+           match String.rindex_opt line ' ' with
+           | None -> false
+           | Some i ->
+               let v =
+                 String.sub line (i + 1) (String.length line - i - 1)
+               in
+               (match float_of_string_opt v with
+               | Some f -> Float.is_finite f
+               | None -> false))
+         (String.split_on_char '\n' exposition)
+  in
+  let ok = identity_ok && report_ok && stages_ok && metrics_ok && overhead_ok in
+  Printf.printf
+    "journal byte-identity off/on at jobs 1+2 (header stamp only): %b; \
+     verdict reports identical: %b; on-report covers \
+     exec/solver/oracle/journal stages: %b; serve METRICS exposition \
+     parses: %b; probe overhead best-of-4 off=%.3fs on=%.3fs (%.2f%%, \
+     bound 3%%): %b -> %s\n"
+    identity_ok report_ok stages_ok metrics_ok off on
+    (100. *. (ratio -. 1.))
+    overhead_ok
+    (if ok then "OK" else "MISMATCH");
+  json_record ~experiment:"telemetry-smoke"
+    ~bounds:
+      [
+        {
+          jb_name = "journal_byte_identity";
+          jb_bound = "off/on identical modulo header stamp";
+          jb_pass = identity_ok;
+        };
+        {
+          jb_name = "report_identity";
+          jb_bound = "verdict reports byte-identical";
+          jb_pass = report_ok;
+        };
+        {
+          jb_name = "stage_coverage";
+          jb_bound = "exec/solver/oracle/journal_fsync present";
+          jb_pass = stages_ok;
+        };
+        {
+          jb_name = "metrics_exposition";
+          jb_bound = "every METRICS line parses";
+          jb_pass = metrics_ok;
+        };
+        { jb_name = "overhead"; jb_bound = "<= 1.03x"; jb_pass = overhead_ok };
+      ]
+    [
+      ("overhead_off_s", off);
+      ("overhead_on_s", on);
+      ("overhead_ratio", ratio);
+    ];
   if not ok then exit 1
 
 (* ------------------------------------------------------------------ *)
@@ -1628,6 +2054,9 @@ let () =
         | Ok b -> opts := { !opts with opt_backend = b }
         | Error msg -> failwith msg);
         parse rest
+    | "--json" :: v :: rest ->
+        json_path := Some v;
+        parse rest
     | "--full" :: rest ->
         opts :=
           { !opts with opt_scale = 1; opt_rounds = 60; opt_fig3_contracts = 100 };
@@ -1664,6 +2093,8 @@ let () =
     | "oracle-smoke" -> oracle_smoke ()
     | "compile" -> compile_exp opts
     | "compile-smoke" -> compile_smoke ()
+    | "telemetry" -> telemetry_exp opts
+    | "telemetry-smoke" -> telemetry_smoke ()
     | "micro" -> micro ()
     | "all" ->
         fig3 opts;
@@ -1679,7 +2110,9 @@ let () =
         corpus_exp opts;
         trace_exp ();
         compile_exp opts;
+        telemetry_exp opts;
         micro ()
     | other -> Printf.eprintf "unknown experiment %s\n" other
   in
-  List.iter run experiments
+  List.iter run experiments;
+  json_flush ()

@@ -223,8 +223,17 @@ type campaign_common = {
   co_out : string option;
 }
 
-let emit_campaign_report out (report : Campaign.Campaign.report) =
+let emit_campaign_report ?(telemetry = false) out
+    (report : Campaign.Campaign.report) =
   let text = Campaign.Campaign.to_text report in
+  (* The canonical report text is byte-stable; the telemetry breakdown
+     is strictly appended after it, and only when the run profiled. *)
+  let text =
+    if telemetry then
+      text ^ "\n"
+      ^ Wasai_telemetry.Telemetry.report_text (Wasai_telemetry.Telemetry.snapshot ())
+    else text
+  in
   (match out with
    | Some path ->
        write_file path text;
@@ -233,7 +242,7 @@ let emit_campaign_report out (report : Campaign.Campaign.report) =
   if Campaign.Campaign.vulnerable_count report > 0 then exit 1
 
 let campaign_run_cmd ~deprecated common dir rounds backend resume shard seed corpus
-    dry_run =
+    telemetry dry_run =
   if deprecated then
     Printf.eprintf
       "wasai campaign: the bare form is deprecated, use `wasai campaign run`\n%!";
@@ -261,7 +270,7 @@ let campaign_run_cmd ~deprecated common dir rounds backend resume shard seed cor
       common.co_jobs recommended;
   let cfg =
     Campaign.Campaign.make_config ~jobs:common.co_jobs
-      ~journal:common.co_journal ~resume ~shard ?corpus
+      ~journal:common.co_journal ~resume ~shard ?corpus ~telemetry
       ~progress:(fun (e : Campaign.Journal.entry) ->
         incr finished;
         Printf.eprintf "  [%d/%d] %s done (%.2fs)\n%!" !finished total
@@ -305,7 +314,7 @@ let campaign_run_cmd ~deprecated common dir rounds backend resume shard seed cor
         Printf.eprintf "%s\n" msg;
         exit 2
   in
-  emit_campaign_report common.co_out report
+  emit_campaign_report ~telemetry common.co_out report
 
 let campaign_merge_cmd common journals =
   let report =
@@ -695,6 +704,16 @@ let campaign_run_term ~deprecated =
              use).  A warm rerun replays the recorded coverage instead of \
              rediscovering it.")
   in
+  let telemetry =
+    Arg.(
+      value & flag
+      & info [ "telemetry" ]
+          ~doc:
+            "Record per-stage span telemetry (zero-interference: verdicts \
+             and journal entry lines are unchanged), print the per-stage / \
+             per-target critical-path breakdown after the report, and stamp \
+             the journal header with telemetry=on so resumes agree.")
+  in
   let dry_run =
     Arg.(
       value & flag
@@ -705,11 +724,13 @@ let campaign_run_term ~deprecated =
              preloads — then exit without fuzzing anything.")
   in
   Term.(
-    const (fun common dir rounds backend resume shard seed corpus dry_run ->
+    const
+      (fun common dir rounds backend resume shard seed corpus telemetry
+           dry_run ->
         campaign_run_cmd ~deprecated common dir rounds backend resume shard
-          seed corpus dry_run)
+          seed corpus telemetry dry_run)
     $ campaign_common_t $ dir $ rounds_arg $ backend_arg $ resume $ shard
-    $ seed $ corpus $ dry_run)
+    $ seed $ corpus $ telemetry $ dry_run)
 
 let campaign_t =
   let run_t =

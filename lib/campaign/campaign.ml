@@ -14,6 +14,7 @@ module Core = Wasai_core
 module Solver = Wasai_smt.Solver
 module Metrics = Wasai_support.Metrics
 module Corpus = Wasai_corpus.Corpus
+module Telemetry = Wasai_telemetry.Telemetry
 
 type target_spec = {
   sp_name : string;
@@ -30,10 +31,11 @@ type config = {
   cc_progress : (Journal.entry -> unit) option;
   cc_shard : Shard.t;
   cc_corpus : string option;
+  cc_telemetry : bool;
 }
 
 let make_config ~jobs ?journal ?(resume = false) ?max_targets ?progress
-    ?(shard = Shard.whole) ?corpus ~engine () =
+    ?(shard = Shard.whole) ?corpus ?(telemetry = false) ~engine () =
   if jobs < 1 then
     invalid_arg (Printf.sprintf "Campaign.make_config: jobs %d < 1" jobs);
   if resume && journal = None then
@@ -49,6 +51,7 @@ let make_config ~jobs ?journal ?(resume = false) ?max_targets ?progress
     cc_progress = progress;
     cc_shard = shard;
     cc_corpus = corpus;
+    cc_telemetry = telemetry;
   }
 
 type report = {
@@ -122,8 +125,9 @@ let validate_entries ~(context : string) (stamp : Journal.stamp)
    different execution tier would make that contract unauditable.
    Headerless legacy journals predate the stamp and are trusted as
    before.  Shared with the serve tenant registry. *)
-let validate_header ~(context : string) (backend : Core.Exec_backend.choice)
-    (header : Journal.header option) : unit =
+let validate_header ~(context : string) ?(telemetry = false)
+    (backend : Core.Exec_backend.choice) (header : Journal.header option) :
+    unit =
   match header with
   | Some h when h.Journal.jh_backend <> backend ->
       failwith
@@ -133,6 +137,17 @@ let validate_header ~(context : string) (backend : Core.Exec_backend.choice)
            context
            (Core.Exec_backend.to_string h.Journal.jh_backend)
            (Core.Exec_backend.to_string backend))
+  (* Telemetry cannot change a verdict, but the report's per-stage
+     breakdown covers the whole journal: a resume silently flipping the
+     switch would blend profiled and unprofiled targets. *)
+  | Some h when h.Journal.jh_telemetry <> telemetry ->
+      failwith
+        (Printf.sprintf
+           "%s: journal was recorded with telemetry=%s, but this run uses \
+            telemetry=%s; resumes must agree"
+           context
+           (if h.Journal.jh_telemetry then "on" else "off")
+           (if telemetry then "on" else "off"))
   | _ -> ()
 
 (* Resume: a target is done iff its line reached the journal. *)
@@ -141,7 +156,7 @@ let load_prior (cfg : config) (stamp : Journal.stamp) : Journal.entry list =
     match cfg.cc_journal with
     | Some path when cfg.cc_resume && Sys.file_exists path ->
         let header, entries = Journal.load_with_header path in
-        validate_header ~context:"campaign"
+        validate_header ~context:"campaign" ~telemetry:cfg.cc_telemetry
           cfg.cc_engine.Core.Engine.cfg_backend header;
         entries
     | _ -> []
@@ -246,9 +261,16 @@ let run (cfg : config) (targets : target_spec list) : report =
     Option.map
       (Journal.open_writer
          ~header:
-           { Journal.jh_backend = cfg.cc_engine.Core.Engine.cfg_backend })
+           {
+             Journal.jh_backend = cfg.cc_engine.Core.Engine.cfg_backend;
+             jh_telemetry = cfg.cc_telemetry;
+           })
       cfg.cc_journal
   in
+  (* Flip the recorder switch before any worker domain exists:
+     [Domain.spawn] orders the write ahead of everything the workers do,
+     so every probe in the fleet sees one consistent setting. *)
+  if cfg.cc_telemetry then Telemetry.enable ();
   let lock = Mutex.create () in
   let results = ref prior_results in
   let failures = ref [] in
@@ -259,7 +281,15 @@ let run (cfg : config) (targets : target_spec list) : report =
       | None -> ()
       | Some spec ->
           (try
+             (* Attribute every span this domain records — execution,
+                solving, scanning, journaling — to this target until the
+                next one is claimed.  Interning is a lock-taking cold
+                path, so skip it entirely when telemetry is off. *)
+             if Telemetry.enabled () then
+               Telemetry.set_target (Telemetry.target_id spec.sp_name);
+             let t_load = Telemetry.start () in
              let target = spec.sp_load () in
+             Telemetry.stop Telemetry.Load_validate t_load;
              let ecfg =
                match Hashtbl.find_opt preloads spec.sp_name with
                | Some seeds ->
@@ -268,11 +298,19 @@ let run (cfg : config) (targets : target_spec list) : report =
              in
              let s0 = Unix.gettimeofday () in
              let o = Core.Engine.fuzz ~cfg:ecfg target in
+             (* One summary line per target, however many payloads hit
+                the limit — a large campaign must not flood stderr. *)
              if o.Core.Engine.out_truncated > 0 then
                Printf.eprintf
                  "wasai: warning: %s: %d payload trace(s) truncated at the \
-                  collector limit; verdicts are best-effort\n%!"
-                 spec.sp_name o.Core.Engine.out_truncated;
+                  collector limit%s; verdicts are best-effort\n%!"
+                 spec.sp_name o.Core.Engine.out_truncated
+                 (match o.Core.Engine.out_first_truncated with
+                 | Some (tx, action) ->
+                     Printf.sprintf " (first: %s, tx %d)"
+                       (Wasai_eosio.Name.to_string action)
+                       tx
+                 | None -> "");
              let entry =
                Journal.of_outcome ~name:spec.sp_name
                  ~elapsed:(Unix.gettimeofday () -. s0)
@@ -292,13 +330,15 @@ let run (cfg : config) (targets : target_spec list) : report =
                     and this run's earlier inserts. *)
                  (match corpus_writer with
                   | Some w ->
+                      let t_corpus = Telemetry.start () in
                       List.iter
                         (fun r ->
                           if Corpus.add corpus r then begin
                             Corpus.Writer.append w r;
                             incr corpus_added
                           end)
-                        crecs
+                        crecs;
+                      Telemetry.stop Telemetry.Corpus_io t_corpus
                   | None -> ());
                  (* Journal next: the entry must be durable before the
                     target is reported as done. *)

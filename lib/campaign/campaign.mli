@@ -61,6 +61,12 @@ type config = {
           interesting seeds, and appended to (crash-safely, under the
           campaign lock) with every new coverage-bearing seed this run
           discovers.  The file need not exist yet. *)
+  cc_telemetry : bool;
+      (** enable {!Wasai_telemetry.Telemetry} span recording for the
+          run (flipped before any worker spawns) and stamp the journal
+          header with [telemetry=on] so resumes agree.  Off (the
+          default) leaves journals, reports and verdicts byte-identical
+          to a build without telemetry. *)
 }
 
 val make_config :
@@ -71,6 +77,7 @@ val make_config :
   ?progress:(Journal.entry -> unit) ->
   ?shard:Shard.t ->
   ?corpus:string ->
+  ?telemetry:bool ->
   engine:Core.Engine.config ->
   unit ->
   config
@@ -78,8 +85,8 @@ val make_config :
     construction time instead of deep inside {!run}.  Raises
     [Invalid_argument] when [jobs < 1] or when [resume] is requested
     without a [journal].  [resume] defaults to [false], [shard] to
-    {!Shard.whole}; [journal], [max_targets], [progress] and [corpus]
-    default to absent. *)
+    {!Shard.whole}, [telemetry] to [false]; [journal], [max_targets],
+    [progress] and [corpus] default to absent. *)
 
 type report = {
   cr_results : Journal.entry list;  (** sorted by target name *)
@@ -132,6 +139,7 @@ val validate_entries :
 
 val validate_header :
   context:string ->
+  ?telemetry:bool ->
   Core.Exec_backend.choice ->
   Journal.header option ->
   unit
@@ -139,8 +147,11 @@ val validate_header :
     run's execution tier — the backend counterpart of
     {!validate_entries}, applied on resume.  The comparison is strict
     choice equality ([Auto] and [Compiled] are distinct stamps even
-    though they execute identically).  Raises [Failure] (prefixed with
-    [context]) on mismatch; headerless legacy journals pass. *)
+    though they execute identically).  [telemetry] (default [false])
+    must likewise match the header's [telemetry=] stamp, so a resumed
+    report's per-stage breakdown covers every journaled target or none.
+    Raises [Failure] (prefixed with [context]) on mismatch; headerless
+    legacy journals pass. *)
 
 val corpus_records_of :
   name:string -> Journal.stamp -> Core.Engine.outcome -> Corpus.record list

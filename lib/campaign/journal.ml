@@ -81,12 +81,24 @@ let magic_hdr = "wasai-journal-hdr"
     that contract unauditable — so, like the per-entry (seed, budget)
     stamp, the header makes the configuration explicit and lets resume
     refuse a mismatch.  Entry lines are unchanged: a v4 line is
-    byte-identical whichever backend produced it. *)
-type header = { jh_backend : Wasai_core.Exec_backend.choice }
+    byte-identical whichever backend produced it.
+
+    [jh_telemetry] records whether the campaign ran with span profiling
+    enabled.  Telemetry cannot change a verdict (that is its whole
+    contract), but a resume silently flipping it would skew the
+    per-stage breakdown the final report prints — so resumes must agree.
+    The stamp is strictly additive: with telemetry off the header line
+    is byte-identical to the two-field form every earlier build wrote,
+    and the parser accepts both forms. *)
+type header = {
+  jh_backend : Wasai_core.Exec_backend.choice;
+  jh_telemetry : bool;
+}
 
 let line_of_header (h : header) =
-  Printf.sprintf "%s\tbackend=%s" magic_hdr
+  Printf.sprintf "%s\tbackend=%s%s" magic_hdr
     (Core.Exec_backend.to_string h.jh_backend)
+    (if h.jh_telemetry then "\ttelemetry=on" else "")
 
 let of_outcome ~name ~elapsed ?stamp (o : Core.Engine.outcome) =
   {
@@ -204,16 +216,26 @@ let keyed key conv field =
   | _ -> Error (Printf.sprintf "expected field %S, got %S" key field)
 
 let header_of_line (line : string) : (header, string) result =
+  let backend_of field k =
+    match keyed "backend" Option.some field with
+    | Error e -> Error e
+    | Ok v -> (
+        match Core.Exec_backend.of_string v with
+        | Ok b -> k b
+        | Error e -> Error e)
+  in
   match String.split_on_char '\t' line with
-  | [ m; backend ] when m = magic_hdr -> (
-      match keyed "backend" Option.some backend with
-      | Error e -> Error e
-      | Ok v -> (
-          match Core.Exec_backend.of_string v with
-          | Ok jh_backend -> Ok { jh_backend }
-          | Error e -> Error e))
+  | [ m; backend ] when m = magic_hdr ->
+      backend_of backend (fun jh_backend ->
+          Ok { jh_backend; jh_telemetry = false })
+  | [ m; backend; telemetry ] when m = magic_hdr ->
+      backend_of backend (fun jh_backend ->
+          match keyed "telemetry" Option.some telemetry with
+          | Error e -> Error e
+          | Ok "on" -> Ok { jh_backend; jh_telemetry = true }
+          | Ok v -> Error (Printf.sprintf "field \"telemetry\": bad value %S" v))
   | m :: _ when m = magic_hdr ->
-      Error "header line: expected exactly 2 tab-separated fields"
+      Error "header line: expected 2 or 3 tab-separated fields"
   | _ -> Error (Printf.sprintf "bad magic %S" magic_hdr)
 
 let parse_flags (field : string) =
@@ -497,11 +519,13 @@ let open_writer ?header path =
 
 let append w e =
   Mutex.protect w.wlock (fun () ->
+      let t0 = Wasai_telemetry.Telemetry.start () in
       output_string w.oc (line_of_entry e);
       output_char w.oc '\n';
       flush w.oc;
       (* The line must reach disk before the target counts as done:
          a resume must never skip work whose result a crash threw away. *)
-      Unix.fsync (Unix.descr_of_out_channel w.oc))
+      Unix.fsync (Unix.descr_of_out_channel w.oc);
+      Wasai_telemetry.Telemetry.stop Wasai_telemetry.Telemetry.Journal_fsync t0)
 
 let close_writer w = Mutex.protect w.wlock (fun () -> close_out_noerr w.oc)

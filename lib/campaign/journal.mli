@@ -87,8 +87,16 @@ val entry_of_line : string -> (entry, string) result
     that contract unauditable, so — like the per-entry (seed, budget)
     stamp — resume refuses a mismatch.  Entry lines are unchanged: a v4
     line is byte-identical whichever backend produced it, and headerless
-    legacy journals still load. *)
-type header = { jh_backend : Core.Exec_backend.choice }
+    legacy journals still load.
+
+    [jh_telemetry] stamps whether span profiling was on, so a resume
+    cannot silently flip it and skew the report's per-stage breakdown.
+    Off is the default and writes the legacy two-field line byte for
+    byte; [telemetry=on] appends a third field. *)
+type header = {
+  jh_backend : Core.Exec_backend.choice;
+  jh_telemetry : bool;
+}
 
 val line_of_header : header -> string
 val header_of_line : string -> (header, string) result

@@ -12,6 +12,7 @@ module Wasm = Wasai_wasm
 module Wasabi = Wasai_wasabi
 module Sym = Wasai_symbolic
 module Solver = Wasai_smt.Solver
+module Telemetry = Wasai_telemetry.Telemetry
 open Wasai_eosio
 
 type config = {
@@ -147,6 +148,8 @@ type outcome = {
   out_truncated : int;
       (** payloads whose trace hit the collector limit and was cut
           short — verdicts over those traces are best-effort *)
+  out_first_truncated : (int * Name.t) option;
+      (** the first such payload: (1-based transaction ordinal, action) *)
 }
 
 (* Well-known session accounts. *)
@@ -170,12 +173,17 @@ type session = {
   identities : Name.t list;
   branches : (int * int32, unit) Hashtbl.t;
   solver : Solver.Session.t;
+  exec_stage : Telemetry.stage;
+      (** the telemetry stage payload execution is attributed to — fixed
+          per session by the resolved execution backend *)
   mutable adaptive_seeds : int;
   mutable transactions : int;
   mutable solver_sat : int;
   mutable imprecise : int;
   mutable truncated_payloads : int;
       (** payloads whose trace hit the collector limit *)
+  mutable first_truncated : (int * Name.t) option;
+      (** (transaction ordinal, action) of the first truncated payload *)
   mutable current_action : Name.t;  (** for DBG attribution *)
   db_find_import : int option;
   seen_seeds : (string, unit) Hashtbl.t;  (** dedup of generated argument vectors *)
@@ -242,7 +250,9 @@ let setup ?(profile : Chain_profile.t option) (cfg : config) (target : target) :
     { Abi.abi_actions = [] };
   (* Instrument the target through the real binary pipeline. *)
   let bin = Wasm.Encode.encode target.tgt_module in
+  let t_instr = Telemetry.start () in
   let _bin', meta = Wasabi.Instrument.instrument_binary bin in
+  Telemetry.stop Telemetry.Instrument t_instr;
   Chain.set_code chain target.tgt_account meta.Wasabi.Trace.instrumented
     target.tgt_abi;
   let collector = Wasabi.Trace.create () in
@@ -322,11 +332,16 @@ let setup ?(profile : Chain_profile.t option) (cfg : config) (target : target) :
          verdict cache are confined to this target on this domain, so
          caching cannot couple targets across a campaign's workers. *)
       solver = Solver.Session.create ~conflict_budget:cfg.cfg_solver_budget ();
+      exec_stage =
+        (match cfg.cfg_backend with
+        | Exec_backend.Interp -> Telemetry.Exec_interp
+        | Exec_backend.Compiled | Exec_backend.Auto -> Telemetry.Exec_compiled);
       adaptive_seeds = 0;
       transactions = 0;
       solver_sat = 0;
       imprecise = 0;
       truncated_payloads = 0;
+      first_truncated = None;
       current_action = Name.transfer;
       db_find_import = Wasabi.Trace.find_env_import meta "db_find_i64";
       (* Deliberately NOT seeded with the preload keys: if feedback
@@ -536,16 +551,29 @@ let run_one (s : session) (seed : Seed.t) (channel : Scanner.channel) :
   replenish s;
   s.current_action <- seed.Seed.sd_action;
   Wasabi.Trace.reset s.collector;
+  (* One exec span per payload (not per export invocation): inline
+     actions and notifications re-enter the contract within the same
+     transaction, and nested spans would double-count the overlap. *)
+  let t_exec = Telemetry.start () in
   let result = Chain.push_action s.chain action in
   s.transactions <- s.transactions + 1;
   (* Deferred transactions run right after, as the next block. *)
   ignore (Chain.run_deferred s.chain);
+  Telemetry.stop s.exec_stage t_exec;
   let buf = s.collector in
-  if B.truncated buf then s.truncated_payloads <- s.truncated_payloads + 1;
+  if B.truncated buf then begin
+    s.truncated_payloads <- s.truncated_payloads + 1;
+    if s.first_truncated = None then
+      s.first_truncated <- Some (s.transactions, seed.Seed.sd_action)
+  end;
+  let t_scan = Telemetry.start () in
   let sc = scan_trace ~meta:s.meta ?db_find:s.db_find_import buf in
+  Telemetry.stop Telemetry.Trace_scan t_scan;
   absorb_scan s sc;
+  let t_oracle = Telemetry.start () in
   Scanner.observe ~payload:action ~executed:sc.sc_executed s.scanner ~channel
     buf;
+  Telemetry.stop Telemetry.Oracle t_oracle;
   { ex_result = result; ex_trace = buf; ex_scan = sc; ex_observed = observed_args }
 
 (* Symbolic feedback: replay, flip, solve, enqueue adaptive seeds. *)
@@ -813,6 +841,7 @@ let fuzz ?(cfg = default_config) ?(profile : Chain_profile.t option)
     out_verdict_round = !verdict_round;
     out_final_budget = Solver.Session.conflict_budget s.solver;
     out_truncated = s.truncated_payloads;
+    out_first_truncated = s.first_truncated;
   }
 
 let flagged (o : outcome) (f : Scanner.flag) : bool =

@@ -126,6 +126,10 @@ type outcome = {
           cut short; 0 on healthy targets — reports print a warning when
           positive, since verdicts over truncated traces are
           best-effort *)
+  out_first_truncated : (int * Name.t) option;
+      (** the first such payload, as (1-based transaction ordinal,
+          action name) — lets the campaign's per-target warning name a
+          concrete offender without logging every truncation *)
 }
 
 (** Well-known session accounts. *)
@@ -157,12 +161,17 @@ type session = {
   solver : Solver.Session.t;
       (** the run's solver session: budget, counters, verdict cache;
           confined to this run's domain *)
+  exec_stage : Wasai_telemetry.Telemetry.stage;
+      (** the telemetry stage payload execution is attributed to — fixed
+          per session by the resolved execution backend *)
   mutable adaptive_seeds : int;
   mutable transactions : int;
   mutable solver_sat : int;
   mutable imprecise : int;
   mutable truncated_payloads : int;
       (** payloads whose trace hit the collector limit *)
+  mutable first_truncated : (int * Name.t) option;
+      (** (transaction ordinal, action) of the first truncated payload *)
   mutable current_action : Name.t;
   db_find_import : int option;
   seen_seeds : (string, unit) Hashtbl.t;

@@ -122,7 +122,7 @@ let submit_batch ?(progress = fun (_ : Wire.response) -> ()) t ~tenant
     | Wire.Err { rp_name = None; rp_reason } ->
         raise (Protocol_error rp_reason)
     | Wire.Bye _ -> raise (Protocol_error "daemon said BYE mid-batch")
-    | Wire.Pong _ | Wire.StatsReply _ -> `Other
+    | Wire.Pong _ | Wire.StatsReply _ | Wire.MetricsReply _ -> `Other
   in
   let rec submit c =
     send t

@@ -10,6 +10,7 @@ module Discover = Wasai_campaign.Discover
 module Corpus = Wasai_corpus.Corpus
 module Metrics = Wasai_support.Metrics
 module Fsutil = Wasai_support.Fsutil
+module Telemetry = Wasai_telemetry.Telemetry
 open Wasai_eosio
 
 (* Longest accepted request line: a hex-encoded module rides in one
@@ -95,6 +96,7 @@ type conn = {
 type t = {
   cfg : config;
   stamp : Journal.stamp;
+  started : float;  (** [Unix.gettimeofday] at {!create}, for uptime *)
   lock : Mutex.t;  (** guards tenants and completions *)
   tenants : (string, tenant_state) Hashtbl.t;
   queue : job Work_queue.t;
@@ -148,7 +150,15 @@ let load_tenant ~root ~resume ~backend stamp tenant : tenant_state =
   let corpus = if Sys.file_exists cpath then Corpus.load cpath else Corpus.create () in
   {
     tn_name = tenant;
-    tn_journal = Journal.open_writer ~header:{ Journal.jh_backend = backend } jpath;
+    (* Tenant journals keep the legacy backend-only header even though
+       the daemon records telemetry: the [telemetry=] stamp exists so
+       campaign resumes agree about their report's breakdown, and serve
+       exposes its breakdown live over METRICS instead — journal bytes
+       stay identical to every earlier daemon build. *)
+    tn_journal =
+      Journal.open_writer
+        ~header:{ Journal.jh_backend = backend; jh_telemetry = false }
+        jpath;
     tn_corpus = corpus;
     tn_corpus_w = Corpus.Writer.open_ cpath;
     tn_done = done_;
@@ -176,7 +186,11 @@ let total_completed t =
 (* ------------------------------------------------------------------ *)
 
 let run_job (t : t) (jb : job) : Core.Engine.outcome =
+  (* Attribute this domain's spans to the submission until the next job. *)
+  if Telemetry.enabled () then
+    Telemetry.set_target (Telemetry.target_id (jb.jb_tenant ^ "/" ^ jb.jb_name));
   let account = Name.of_string jb.jb_name in
+  let t_load = Telemetry.start () in
   let m =
     (* Clients send file bytes verbatim: binary modules carry the
        \x00asm magic, anything else is treated as .wat text. *)
@@ -189,6 +203,7 @@ let run_job (t : t) (jb : job) : Core.Engine.outcome =
     | Some text -> Abi.of_text text
     | None -> Discover.default_abi
   in
+  Telemetry.stop Telemetry.Load_validate t_load;
   Core.Engine.fuzz ~cfg:t.cfg.sv_engine
     { Core.Engine.tgt_account = account; tgt_module = m; tgt_abi = abi }
 
@@ -226,11 +241,13 @@ let worker (t : t) () =
                            journaled target is never re-fuzzed on
                            resume, so a seed lost here would be lost
                            forever (campaign discipline). *)
+                        let t_corpus = Telemetry.start () in
                         List.iter
                           (fun r ->
                             if Corpus.add tn.tn_corpus r then
                               Corpus.Writer.append tn.tn_corpus_w r)
                           recs;
+                        Telemetry.stop Telemetry.Corpus_io t_corpus;
                         Journal.append tn.tn_journal entry;
                         Hashtbl.replace tn.tn_done jb.jb_name entry;
                         Hashtbl.remove tn.tn_inflight jb.jb_name;
@@ -355,6 +372,8 @@ let admit t conn_id now (tenant : string) (name : string) wasm abi :
                     }
                 end))
 
+let uptime_ms t = int_of_float (1000. *. (Unix.gettimeofday () -. t.started))
+
 let stats_reply t tenant : Wire.response =
   Mutex.protect t.lock (fun () ->
       match Hashtbl.find_opt t.tenants tenant with
@@ -369,7 +388,83 @@ let stats_reply t tenant : Wire.response =
               rp_rejected = tn.tn_rejected;
               rp_qwait = Metrics.Histogram.to_wire tn.tn_qwait;
               rp_latency = Metrics.Histogram.to_wire tn.tn_latency;
+              rp_uptime_ms = uptime_ms t;
+              rp_backend =
+                Core.Exec_backend.to_string
+                  t.cfg.sv_engine.Core.Engine.cfg_backend;
             })
+
+(* The Prometheus text exposition behind the METRICS verb: per-tenant
+   counters and queue histograms (read under the daemon lock — the same
+   lock every worker bumps them under, so the merge across domains is
+   exact), plus the telemetry per-stage aggregates (exact integer sums
+   over every domain's recorder). *)
+let metrics_body t : string =
+  let b = Buffer.create 2048 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string b (s ^ "\n")) fmt in
+  Mutex.protect t.lock (fun () ->
+      line "# HELP wasai_uptime_seconds Daemon uptime.";
+      line "# TYPE wasai_uptime_seconds gauge";
+      line "wasai_uptime_seconds %.3f" (Unix.gettimeofday () -. t.started);
+      line "# HELP wasai_backend_info Active execution backend (label).";
+      line "# TYPE wasai_backend_info gauge";
+      line "wasai_backend_info{backend=\"%s\"} 1"
+        (Core.Exec_backend.to_string t.cfg.sv_engine.Core.Engine.cfg_backend);
+      line "# HELP wasai_jobs Worker domains.";
+      line "# TYPE wasai_jobs gauge";
+      line "wasai_jobs %d" t.cfg.sv_jobs;
+      let tenants =
+        Hashtbl.fold (fun _ tn acc -> tn :: acc) t.tenants []
+        |> List.sort (fun a b -> compare a.tn_name b.tn_name)
+      in
+      List.iter
+        (fun (what, get) ->
+          line "# HELP wasai_tenant_%s_total Per-tenant %s submissions." what
+            what;
+          line "# TYPE wasai_tenant_%s_total counter" what;
+          List.iter
+            (fun tn ->
+              line "wasai_tenant_%s_total{tenant=\"%s\"} %d" what tn.tn_name
+                (get tn))
+            tenants)
+        [
+          ("submitted", fun tn -> tn.tn_submitted);
+          ("completed", fun tn -> tn.tn_completed);
+          ("rejected", fun tn -> tn.tn_rejected);
+        ];
+      List.iter
+        (fun (what, get) ->
+          line "# HELP wasai_%s_seconds Per-tenant %s histogram." what what;
+          line "# TYPE wasai_%s_seconds histogram" what;
+          List.iter
+            (fun tn ->
+              let h = get tn in
+              let cum = ref 0 in
+              List.iter
+                (fun (bound, c) ->
+                  cum := !cum + c;
+                  let le =
+                    if Float.is_integer bound && bound <> Float.infinity then
+                      Printf.sprintf "%.1f" bound
+                    else if bound = Float.infinity then "+Inf"
+                    else Printf.sprintf "%.6f" bound
+                  in
+                  line "wasai_%s_seconds_bucket{tenant=\"%s\",le=\"%s\"} %d"
+                    what tn.tn_name le !cum)
+                (Metrics.Histogram.buckets h);
+              line "wasai_%s_seconds_sum{tenant=\"%s\"} %.6f" what tn.tn_name
+                (Metrics.Histogram.sum h);
+              line "wasai_%s_seconds_count{tenant=\"%s\"} %d" what tn.tn_name
+                (Metrics.Histogram.count h))
+            tenants)
+        [
+          ("queue_wait", fun tn -> tn.tn_qwait);
+          ("latency", fun tn -> tn.tn_latency);
+        ]);
+  (* The stage aggregates live outside t.lock: the telemetry registry
+     has its own, and snapshot sums are exact per recorded span. *)
+  Buffer.add_string b (Telemetry.prometheus (Telemetry.snapshot ()));
+  Buffer.contents b
 
 (* ------------------------------------------------------------------ *)
 (* Lifecycle                                                           *)
@@ -414,10 +509,17 @@ let create cfg : t =
   let wake_r, wake_w = Unix.pipe () in
   Unix.set_nonblock wake_r;
   Unix.set_nonblock wake_w;
+  (* Span recording is always on in the daemon: METRICS must answer
+     with real stage data, and the zero-interference contract (plus the
+     legacy tenant-journal header above) keeps every journal line and
+     verdict byte-identical to a build without telemetry.  Enabled
+     before the workers spawn so every domain sees one setting. *)
+  Telemetry.enable ();
   let t =
     {
       cfg;
       stamp;
+      started = Unix.gettimeofday ();
       lock = Mutex.create ();
       tenants;
       queue = Work_queue.create ();
@@ -454,6 +556,8 @@ let handle_request t conn (req : Wire.request) =
       send_response conn
         (Wire.Pong { rp_jobs = t.cfg.sv_jobs; rp_tenants = tenants })
   | Wire.Stats tenant -> send_response conn (stats_reply t tenant)
+  | Wire.Metrics ->
+      send_response conn (Wire.MetricsReply { rp_body = metrics_body t })
   | Wire.Submit { rq_tenant; rq_name; rq_wasm; rq_abi } ->
       send_response conn
         (admit t conn.cn_id (Unix.gettimeofday ()) rq_tenant rq_name rq_wasm

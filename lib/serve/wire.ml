@@ -67,6 +67,7 @@ type request =
     }
   | Ping
   | Stats of string
+  | Metrics
   | Shutdown
 
 type verdict_kind = Fresh | Cached
@@ -94,7 +95,10 @@ type response =
       rp_rejected : int;
       rp_qwait : string;
       rp_latency : string;
+      rp_uptime_ms : int;
+      rp_backend : string;
     }
+  | MetricsReply of { rp_body : string }
   | Bye of { rp_completed : int }
 
 (* ------------------------------------------------------------------ *)
@@ -154,6 +158,7 @@ let ( let* ) = Result.bind
 
 let line_of_request = function
   | Ping -> magic ^ "\tPING"
+  | Metrics -> magic ^ "\tMETRICS"
   | Shutdown -> magic ^ "\tSHUTDOWN"
   | Stats tenant ->
       if not (valid_tenant tenant) then
@@ -182,6 +187,7 @@ let request_of_line line =
   match String.split_on_char '\t' line with
   | m :: _ when m <> magic -> Error (Printf.sprintf "bad magic %S" m)
   | [ _; "PING" ] -> Ok Ping
+  | [ _; "METRICS" ] -> Ok Metrics
   | [ _; "SHUTDOWN" ] -> Ok Shutdown
   | [ _; "STATS"; tenant ] ->
       let* tenant = check_tenant tenant in
@@ -251,7 +257,17 @@ let line_of_response = function
   | Pong { rp_jobs; rp_tenants } ->
       String.concat "\t"
         [ magic; "PONG"; keyed "jobs" rp_jobs; keyed "tenants" rp_tenants ]
-  | StatsReply { rp_tenant; rp_submitted; rp_completed; rp_rejected; rp_qwait; rp_latency } ->
+  | StatsReply
+      {
+        rp_tenant;
+        rp_submitted;
+        rp_completed;
+        rp_rejected;
+        rp_qwait;
+        rp_latency;
+        rp_uptime_ms;
+        rp_backend;
+      } ->
       String.concat "\t"
         [
           magic;
@@ -262,7 +278,13 @@ let line_of_response = function
           keyed "rejected" rp_rejected;
           keyed_str "qwait" rp_qwait;
           keyed_str "latency" rp_latency;
+          keyed "uptime" rp_uptime_ms;
+          keyed_str "backend" rp_backend;
         ]
+  | MetricsReply { rp_body } ->
+      (* The exposition is free multi-line text; the hex codec that
+         carries module bytes on SUBMIT flattens it into one token. *)
+      String.concat "\t" [ magic; "METRICS"; hex_of_string rp_body ]
   | Bye { rp_completed } ->
       String.concat "\t" [ magic; "BYE"; keyed "completed" rp_completed ]
 
@@ -306,13 +328,18 @@ let response_of_line line =
       let* jobs = parse_keyed "jobs" jobs in
       let* tenants = parse_keyed "tenants" tenants in
       Ok (Pong { rp_jobs = jobs; rp_tenants = tenants })
-  | [ _; "STATS"; tenant; submitted; completed; rejected; qwait; latency ] ->
+  | [
+      _; "STATS"; tenant; submitted; completed; rejected; qwait; latency;
+      uptime; backend;
+    ] ->
       let* tenant = check_tenant tenant in
       let* submitted = parse_keyed "submitted" submitted in
       let* completed = parse_keyed "completed" completed in
       let* rejected = parse_keyed "rejected" rejected in
       let* qwait = parse_keyed_str "qwait" qwait in
       let* latency = parse_keyed_str "latency" latency in
+      let* uptime = parse_keyed "uptime" uptime in
+      let* backend = parse_keyed_str "backend" backend in
       Ok
         (StatsReply
            {
@@ -322,7 +349,12 @@ let response_of_line line =
              rp_rejected = rejected;
              rp_qwait = qwait;
              rp_latency = latency;
+             rp_uptime_ms = uptime;
+             rp_backend = backend;
            })
+  | [ _; "METRICS"; bodyhex ] ->
+      let* body = string_of_hex bodyhex in
+      Ok (MetricsReply { rp_body = body })
   | [ _; "BYE"; completed ] ->
       let* completed = parse_keyed "completed" completed in
       Ok (Bye { rp_completed = completed })

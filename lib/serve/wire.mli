@@ -13,6 +13,7 @@
     wasai-serve-v1 <TAB> SUBMIT <TAB> tenant <TAB> name <TAB> wasmhex <TAB> abihex|-
     wasai-serve-v1 <TAB> PING
     wasai-serve-v1 <TAB> STATS <TAB> tenant
+    wasai-serve-v1 <TAB> METRICS
     wasai-serve-v1 <TAB> SHUTDOWN
     v}
 
@@ -26,6 +27,8 @@
     wasai-serve-v1 <TAB> PONG <TAB> jobs=N <TAB> tenants=N
     wasai-serve-v1 <TAB> STATS <TAB> tenant <TAB> submitted=N <TAB> completed=N
                    <TAB> rejected=N <TAB> qwait=HIST <TAB> latency=HIST
+                   <TAB> uptime=MS <TAB> backend=NAME
+    wasai-serve-v1 <TAB> METRICS <TAB> bodyhex
     wasai-serve-v1 <TAB> BYE <TAB> completed=N
     v}
 
@@ -37,7 +40,15 @@
     line contains tabs of its own; the parser rejoins everything after
     the [wait=] field and hands it to {!Journal.entry_of_line}.
     [HIST] is {!Wasai_support.Metrics.Histogram.to_wire} (one token, no
-    tabs). *)
+    tabs).
+
+    [METRICS] answers with a Prometheus text exposition — per-tenant
+    counters, queue-wait/latency histograms with [le] buckets (merged
+    exactly across worker domains: they are bumped under the daemon
+    lock), the telemetry per-stage aggregates, uptime and backend.  The
+    body is multi-line free text, so it rides inside the one-line
+    grammar the same way module bytes do: hex-encoded into a single
+    token ([bodyhex]). *)
 
 module Journal = Wasai_campaign.Journal
 
@@ -68,6 +79,7 @@ type request =
     }
   | Ping
   | Stats of string  (** tenant *)
+  | Metrics  (** daemon-wide Prometheus exposition *)
   | Shutdown
 
 type verdict_kind =
@@ -101,7 +113,11 @@ type response =
       rp_rejected : int;
       rp_qwait : string;  (** queue-wait histogram, [Histogram.to_wire] *)
       rp_latency : string;  (** end-to-end histogram, [Histogram.to_wire] *)
+      rp_uptime_ms : int;  (** daemon uptime, milliseconds *)
+      rp_backend : string;  (** the daemon's [--backend] (interp|compiled|auto) *)
     }
+  | MetricsReply of { rp_body : string }
+      (** the Prometheus text exposition, verbatim (hex on the wire) *)
   | Bye of { rp_completed : int }  (** shutdown acknowledged *)
 
 val line_of_request : request -> string

@@ -319,6 +319,12 @@ end
 
 (** Decide the conjunction of [constraints]. *)
 let check ?session ?conflict_budget (constraints : Expr.t list) : result =
+  let module T = Wasai_telemetry.Telemetry in
+  let t0 = T.start () in
+  let stage_of_tier = function
+    | `Trivial | `Quick -> T.Solver_quick
+    | `Blasted | `Blast_unknown -> T.Solver_blast
+  in
   let budget =
     match (conflict_budget, session) with
     | Some b, _ -> b
@@ -326,14 +332,25 @@ let check ?session ?conflict_budget (constraints : Expr.t list) : result =
     | None, None -> default_conflict_budget
   in
   match session with
-  | None -> fst (solve_raw ~conflict_budget:budget constraints)
+  | None ->
+      let result, tier = solve_raw ~conflict_budget:budget constraints in
+      T.stop (stage_of_tier tier) t0;
+      result
   | Some s -> (
-      if List.exists Expr.is_false constraints then Unsat
+      if List.exists Expr.is_false constraints then begin
+        T.stop T.Solver_quick t0;
+        Unsat
+      end
       else
         let key = Session.key_of constraints in
         match Session.find s key with
-        | Some (Session.C_sat assoc) -> Sat (Session.hydrate_model assoc)
-        | Some Session.C_unsat -> Unsat
+        | Some (Session.C_sat assoc) ->
+            let m = Sat (Session.hydrate_model assoc) in
+            T.stop T.Solver_cache t0;
+            m
+        | Some Session.C_unsat ->
+            T.stop T.Solver_cache t0;
+            Unsat
         | None ->
             let result, tier = solve_raw ~conflict_budget:budget constraints in
             (match tier with
@@ -352,6 +369,7 @@ let check ?session ?conflict_budget (constraints : Expr.t list) : result =
                    cache it, so a later query under a bigger budget can
                    still decide the set. *)
                 ());
+            T.stop (stage_of_tier tier) t0;
             result)
 
 (** Verify a model against constraints (defence in depth for the solver:

@@ -90,7 +90,18 @@ module Histogram = struct
     if v > t.max then t.max <- v
 
   let count t = t.n
+  let sum t = t.sum
   let mean t = if t.n = 0 then 0.0 else t.sum /. float_of_int t.n
+
+  (** Per-bucket (upper bound, count) pairs, overflow last with an
+      infinite bound — the exact shape a Prometheus [le]-labelled
+      exposition needs (cumulated by the renderer). *)
+  let buckets t =
+    Array.to_list
+      (Array.mapi
+         (fun i c ->
+           ((if i >= bucket_count then Float.infinity else bound i), c))
+         t.counts)
 
   (** Exact merge: bucket bounds are identical across instances. *)
   let merge a b =

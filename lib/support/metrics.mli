@@ -51,6 +51,14 @@ module Histogram : sig
   val count : t -> int
   val mean : t -> float
 
+  val sum : t -> float
+  (** Total of all recorded samples, in seconds (post-clamp). *)
+
+  val buckets : t -> (float * int) list
+  (** Per-bucket (upper bound in seconds, count) pairs in bound order,
+      the overflow bucket last with bound [infinity] — the shape a
+      Prometheus [le]-labelled exposition cumulates. *)
+
   val to_string : t -> string
   (** "latency: n=... mean=... p50<=... p90<=... p99<=... max=..." *)
 

@@ -952,6 +952,8 @@ let compile_func cctx (f : Ast.func) : cfunc option =
 
 let prepare ?(fast_host = fun _ _ -> None) ?(exclude = fun _ -> false)
     (m : Ast.module_) : prepared =
+  let module T = Wasai_telemetry.Telemetry in
+  let t_compile = T.start () in
   let nimp = Ast.num_func_imports m in
   let imports =
     Array.of_list
@@ -976,6 +978,7 @@ let prepare ?(fast_host = fun _ _ -> None) ?(exclude = fun _ -> false)
   let compiled =
     Array.fold_left (fun n -> function Some _ -> n + 1 | None -> n) 0 funcs
   in
+  T.stop T.Compile t_compile;
   {
     p_module = m;
     p_nimp = nimp;

@@ -324,15 +324,29 @@ let test_fuel_parity () =
 let test_header_round_trip () =
   List.iter
     (fun backend ->
-      let h = { Campaign.Journal.jh_backend = backend } in
-      match Campaign.Journal.(header_of_line (line_of_header h)) with
-      | Ok h' ->
-          Alcotest.(check string)
-            "round trip"
-            (Core.Exec_backend.to_string backend)
-            (Core.Exec_backend.to_string h'.Campaign.Journal.jh_backend)
-      | Error e -> Alcotest.failf "header rejected: %s" e)
+      List.iter
+        (fun telemetry ->
+          let h =
+            { Campaign.Journal.jh_backend = backend; jh_telemetry = telemetry }
+          in
+          match Campaign.Journal.(header_of_line (line_of_header h)) with
+          | Ok h' ->
+              Alcotest.(check string)
+                "round trip"
+                (Core.Exec_backend.to_string backend)
+                (Core.Exec_backend.to_string h'.Campaign.Journal.jh_backend);
+              Alcotest.(check bool)
+                "telemetry round trip" telemetry
+                h'.Campaign.Journal.jh_telemetry
+          | Error e -> Alcotest.failf "header rejected: %s" e)
+        [ false; true ])
     Core.Exec_backend.[ Interp; Compiled; Auto ];
+  (* The off header is byte-identical to the legacy two-field line. *)
+  Alcotest.(check string)
+    "off = legacy bytes" "wasai-journal-hdr\tbackend=auto"
+    (Campaign.Journal.line_of_header
+       { Campaign.Journal.jh_backend = Core.Exec_backend.Auto;
+         jh_telemetry = false });
   List.iter
     (fun line ->
       match Campaign.Journal.header_of_line line with
@@ -343,6 +357,8 @@ let test_header_round_trip () =
       "wasai-journal-hdr";
       "wasai-journal-hdr\tbackend=warp";
       "wasai-journal-hdr\tbackend=interp\textra=1";
+      "wasai-journal-hdr\tbackend=interp\ttelemetry=off";
+      "wasai-journal-hdr\tbackend=interp\ttelemetry=on\textra=1";
       "wasai-journal\tbackend=interp";
     ]
 
@@ -355,7 +371,9 @@ let test_header_resume_discipline () =
       Sys.remove path;
       let w =
         Campaign.Journal.open_writer
-          ~header:{ Campaign.Journal.jh_backend = Core.Exec_backend.Compiled }
+          ~header:
+            { Campaign.Journal.jh_backend = Core.Exec_backend.Compiled;
+              jh_telemetry = false }
           path
       in
       ignore w;
@@ -381,13 +399,35 @@ let test_header_resume_discipline () =
                 (String.length msg > 0
                 && String.index_opt msg '='
                    <> None))
-        Core.Exec_backend.[ Interp; Auto ])
+        Core.Exec_backend.[ Interp; Auto ];
+      (* The telemetry stamp obeys the same discipline: matching runs
+         resume, a flipped switch refuses in either direction. *)
+      let on =
+        Some
+          { Campaign.Journal.jh_backend = Core.Exec_backend.Compiled;
+            jh_telemetry = true }
+      in
+      Campaign.Campaign.validate_header ~context:"t" ~telemetry:true
+        Core.Exec_backend.Compiled on;
+      (match
+         Campaign.Campaign.validate_header ~context:"t"
+           Core.Exec_backend.Compiled on
+       with
+      | () -> Alcotest.fail "telemetry=on journal resumed without --telemetry"
+      | exception Failure _ -> ());
+      match
+        Campaign.Campaign.validate_header ~context:"t" ~telemetry:true
+          Core.Exec_backend.Compiled header
+      with
+      | () -> Alcotest.fail "telemetry=off journal resumed with --telemetry"
+      | exception Failure _ -> ())
 
 let test_header_only_line_one () =
   with_temp_file (fun path ->
       let hdr =
         Campaign.Journal.line_of_header
-          { Campaign.Journal.jh_backend = Core.Exec_backend.Auto }
+          { Campaign.Journal.jh_backend = Core.Exec_backend.Auto;
+            jh_telemetry = false }
       in
       let oc = open_out path in
       output_string oc (hdr ^ "\n" ^ hdr ^ "\n");

@@ -1,0 +1,230 @@
+(* Edge-case tests for Metrics.Histogram — the latency histogram every
+   campaign worker and serve tenant relies on — plus the telemetry
+   recorder's aggregation invariants: empty/one-sample percentiles,
+   exact merge associativity, NaN/negative clamping, and to_wire
+   stability under extreme (sub-microsecond, >100 s) samples. *)
+
+module Metrics = Wasai_support.Metrics
+module Histogram = Wasai_support.Metrics.Histogram
+module Telemetry = Wasai_telemetry.Telemetry
+
+let contains ~sub s =
+  let n = String.length sub and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+  n = 0 || go 0
+
+let feq what a b =
+  Alcotest.(check bool)
+    (Printf.sprintf "%s (%g vs %g)" what a b)
+    true
+    (Float.abs (a -. b) <= 1e-12 *. Float.max 1.0 (Float.max a b))
+
+(* ------------------------------------------------------------------ *)
+(* Percentile edges                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_percentile_empty () =
+  let h = Histogram.create () in
+  Alcotest.(check int) "empty count" 0 (Histogram.count h);
+  feq "empty sum" 0.0 (Histogram.sum h);
+  feq "empty mean" 0.0 (Histogram.mean h);
+  List.iter
+    (fun p -> feq (Printf.sprintf "empty p%g" p) 0.0 (Histogram.percentile h p))
+    [ 0.0; 50.0; 99.0; 100.0 ];
+  (* out-of-range percentiles clamp rather than raise *)
+  feq "empty p(-5)" 0.0 (Histogram.percentile h (-5.0));
+  feq "empty p200" 0.0 (Histogram.percentile h 200.0);
+  Alcotest.(check string) "empty to_string" "latency: no samples"
+    (Histogram.to_string h)
+
+let test_percentile_one_sample () =
+  let v = 0.0123 in
+  let h = Histogram.create () in
+  Histogram.add h v;
+  Alcotest.(check int) "one count" 1 (Histogram.count h);
+  feq "one sum" v (Histogram.sum h);
+  feq "one mean" v (Histogram.mean h);
+  (* with a single sample every percentile is capped at the observed
+     maximum, i.e. the sample itself *)
+  List.iter
+    (fun p -> feq (Printf.sprintf "one p%g" p) v (Histogram.percentile h p))
+    [ 0.0; 1.0; 50.0; 99.0; 100.0 ]
+
+(* ------------------------------------------------------------------ *)
+(* Merge algebra                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let histogram_of samples =
+  let h = Histogram.create () in
+  List.iter (Histogram.add h) samples;
+  h
+
+let check_same what a b =
+  Alcotest.(check int) (what ^ ": count") (Histogram.count a)
+    (Histogram.count b);
+  feq (what ^ ": sum") (Histogram.sum a) (Histogram.sum b);
+  Alcotest.(check (list (pair (float 0.0) int)))
+    (what ^ ": buckets")
+    (Histogram.buckets a) (Histogram.buckets b);
+  Alcotest.(check string) (what ^ ": to_wire") (Histogram.to_wire a)
+    (Histogram.to_wire b)
+
+let test_merge_associative () =
+  let a = histogram_of [ 0.0001; 0.004; 0.004 ]
+  and b = histogram_of [ 2.5; 0.00009 ]
+  and c = histogram_of [ 130.0; 0.02; 0.3 ] in
+  check_same "assoc"
+    (Histogram.merge (Histogram.merge a b) c)
+    (Histogram.merge a (Histogram.merge b c));
+  check_same "commut" (Histogram.merge a b) (Histogram.merge b a);
+  (* merging the empty histogram is the identity *)
+  check_same "unit" (Histogram.merge a (Histogram.create ())) a;
+  (* merge is exact: bucket counts add, never re-bucket *)
+  check_same "exactness"
+    (Histogram.merge a b)
+    (histogram_of [ 0.0001; 0.004; 0.004; 2.5; 0.00009 ])
+
+let test_clamp () =
+  let h = Histogram.create () in
+  Histogram.add h Float.nan;
+  Histogram.add h (-3.0);
+  Histogram.add h Float.neg_infinity;
+  Alcotest.(check int) "clamped samples still counted" 3 (Histogram.count h);
+  feq "clamped sum" 0.0 (Histogram.sum h);
+  feq "clamped p99" 0.0 (Histogram.percentile h 99.0);
+  (* clamped zeros land in the first bucket, not the overflow bucket *)
+  (match Histogram.buckets h with
+  | (bound0, c0) :: _ ->
+      Alcotest.(check int) "first bucket holds the clamps" 3 c0;
+      Alcotest.(check bool) "first bound is finite" true
+        (Float.is_finite bound0)
+  | [] -> Alcotest.fail "no buckets");
+  (* a NaN mixed into real samples must not poison the aggregates *)
+  Histogram.add h 0.5;
+  feq "mean after clamp+real" 0.125 (Histogram.mean h);
+  feq "max percentile tracks the real sample" 0.5
+    (Histogram.percentile h 100.0)
+
+(* ------------------------------------------------------------------ *)
+(* Wire rendering under extremes                                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_to_wire_extremes () =
+  let h = histogram_of [ 1e-7; 250.0 ] in
+  let wire = Histogram.to_wire h in
+  (* the token must survive tab-separated wire grammars untouched *)
+  String.iter
+    (fun ch ->
+      Alcotest.(check bool) "wire token has no separators" false
+        (ch = '\t' || ch = ' ' || ch = '\n'))
+    wire;
+  Alcotest.(check bool) "wire names every field" true
+    (List.for_all
+       (fun f -> contains ~sub:f wire)
+       [ "n:"; "mean:"; "p50:"; "p90:"; "p99:"; "max:" ]);
+  Alcotest.(check bool) "overflow sample reports the observed max" true
+    (contains ~sub:"max:250.000000" wire);
+  (* rendering is a pure function of the recorded samples: merging with
+     an empty histogram or rebuilding from scratch reproduces it *)
+  Alcotest.(check string) "wire stable under identity merge" wire
+    (Histogram.to_wire (Histogram.merge h (Histogram.create ())));
+  Alcotest.(check string) "wire stable under rebuild" wire
+    (Histogram.to_wire (histogram_of [ 250.0; 1e-7 ]));
+  (* buckets expose the extremes at the right ends: the sub-µs sample in
+     the first bucket, the >100 s sample in the +Inf overflow bucket *)
+  let buckets = Histogram.buckets h in
+  (match buckets with
+  | (_, c0) :: _ ->
+      Alcotest.(check int) "sub-microsecond sample in first bucket" 1 c0
+  | [] -> Alcotest.fail "no buckets");
+  (match List.rev buckets with
+  | (bound, c) :: _ ->
+      Alcotest.(check bool) "overflow bound is +Inf" true (bound = Float.infinity);
+      Alcotest.(check int) "overflow holds the 250 s sample" 1 c
+  | [] -> Alcotest.fail "no buckets");
+  Alcotest.(check int) "bucket counts total the sample count"
+    (Histogram.count h)
+    (List.fold_left (fun acc (_, c) -> acc + c) 0 buckets)
+
+(* ------------------------------------------------------------------ *)
+(* Telemetry recorder invariants                                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_telemetry_disabled_is_inert () =
+  Telemetry.disable ();
+  Telemetry.reset ();
+  Alcotest.(check bool) "disabled" false (Telemetry.enabled ());
+  let t0 = Telemetry.start () in
+  Alcotest.(check int) "disabled start is the zero token" 0 t0;
+  Telemetry.stop Telemetry.Oracle t0;
+  let snap = Telemetry.snapshot () in
+  Alcotest.(check int) "no spans recorded while disabled" 0
+    snap.Telemetry.ts_spans
+
+let test_telemetry_records_and_resets () =
+  Telemetry.reset ();
+  Telemetry.enable ();
+  Fun.protect
+    ~finally:(fun () ->
+      Telemetry.disable ();
+      Telemetry.reset ())
+    (fun () ->
+      Telemetry.set_target (Telemetry.target_id "trgta");
+      let t0 = Telemetry.start () in
+      Alcotest.(check bool) "enabled start is a real timestamp" true (t0 > 0);
+      Telemetry.stop Telemetry.Solver_quick t0;
+      let t1 = Telemetry.start () in
+      Telemetry.stop Telemetry.Exec_interp t1;
+      let snap = Telemetry.snapshot () in
+      Alcotest.(check int) "two spans" 2 snap.Telemetry.ts_spans;
+      let count_of stage =
+        match
+          List.find_opt (fun (s, _, _) -> s = stage) snap.Telemetry.ts_stages
+        with
+        | Some (_, n, _) -> n
+        | None -> 0
+      in
+      Alcotest.(check int) "solver span counted" 1
+        (count_of Telemetry.Solver_quick);
+      Alcotest.(check int) "exec span counted" 1
+        (count_of Telemetry.Exec_interp);
+      Alcotest.(check bool) "target attribution survives" true
+        (List.mem_assoc "trgta" snap.Telemetry.ts_targets);
+      (* every stage renders under a distinct snake_case name *)
+      let names = List.map Telemetry.stage_name Telemetry.stages in
+      Alcotest.(check int) "stage names are distinct"
+        (List.length names)
+        (List.length (List.sort_uniq compare names));
+      let report = Telemetry.report_text snap in
+      Alcotest.(check bool) "report names the hot stage" true
+        (contains ~sub:"solver_quick" report);
+      let prom = Telemetry.prometheus snap in
+      Alcotest.(check bool) "prometheus exposes span totals" true
+        (contains ~sub:"wasai_stage_spans_total{stage=\"exec_interp\"} 1" prom);
+      (* reset really forgets: a fresh snapshot is empty *)
+      Telemetry.reset ();
+      Alcotest.(check int) "reset clears spans" 0
+        (Telemetry.snapshot ()).Telemetry.ts_spans)
+
+let () =
+  Alcotest.run "wasai_metrics"
+    [
+      ( "histogram",
+        [
+          Alcotest.test_case "percentile on empty" `Quick test_percentile_empty;
+          Alcotest.test_case "percentile on one sample" `Quick
+            test_percentile_one_sample;
+          Alcotest.test_case "merge associativity/exactness" `Quick
+            test_merge_associative;
+          Alcotest.test_case "NaN/negative clamp" `Quick test_clamp;
+          Alcotest.test_case "to_wire under extreme samples" `Quick
+            test_to_wire_extremes;
+        ] );
+      ( "telemetry",
+        [
+          Alcotest.test_case "disabled recorder is inert" `Quick
+            test_telemetry_disabled_is_inert;
+          Alcotest.test_case "spans aggregate and reset" `Quick
+            test_telemetry_records_and_resets;
+        ] );
+    ]

@@ -117,6 +117,7 @@ let test_wire_request_roundtrip () =
         { rq_tenant = "bob"; rq_name = "dice"; rq_wasm = "\xff"; rq_abi = None };
       Serve.Wire.Ping;
       Serve.Wire.Stats "alice";
+      Serve.Wire.Metrics;
       Serve.Wire.Shutdown;
     ]
   in
@@ -142,6 +143,7 @@ let test_wire_request_strict () =
       ("submit odd hex", "wasai-serve-v1\tSUBMIT\talice\tdice\t0\t-");
       ("submit empty module", "wasai-serve-v1\tSUBMIT\talice\tdice\t\t-");
       ("ping with junk", "wasai-serve-v1\tPING\textra");
+      ("metrics with junk", "wasai-serve-v1\tMETRICS\textra");
       ("stats bad tenant", "wasai-serve-v1\tSTATS\ta b");
     ]
   in
@@ -202,6 +204,14 @@ let test_wire_response_roundtrip () =
           rp_rejected = 2;
           rp_qwait = "n:7,mean:0.010000,p50:0.010000,p90:0.020000,p99:0.020000,max:0.020000";
           rp_latency = "n:7,mean:0.100000,p50:0.100000,p90:0.200000,p99:0.200000,max:0.200000";
+          rp_uptime_ms = 481200;
+          rp_backend = "compiled";
+        };
+      Serve.Wire.MetricsReply
+        {
+          rp_body =
+            "# TYPE wasai_jobs gauge\nwasai_jobs 2\n\
+             wasai_tenant_submitted_total{tenant=\"alice\"} 10\n";
         };
       Serve.Wire.Bye { rp_completed = 7 };
     ]
@@ -241,7 +251,10 @@ let test_wire_response_strict () =
       ("bad depth", "wasai-serve-v1\tQUEUED\talice\tdice\tdepth=-1");
       ("missing key", "wasai-serve-v1\tQUEUED\talice\tdice\t7");
       ("junk in int", "wasai-serve-v1\tBYE\tcompleted=7x");
-      ("stats histogram with space", "wasai-serve-v1\tSTATS\ta\tsubmitted=1\tcompleted=1\trejected=0\tqwait=n 1\tlatency=n:1");
+      ("stats histogram with space", "wasai-serve-v1\tSTATS\ta\tsubmitted=1\tcompleted=1\trejected=0\tqwait=n 1\tlatency=n:1\tuptime=5\tbackend=auto");
+      ("stats without uptime/backend", "wasai-serve-v1\tSTATS\ta\tsubmitted=1\tcompleted=1\trejected=0\tqwait=n:1\tlatency=n:1");
+      ("metrics with odd-length hex", "wasai-serve-v1\tMETRICS\tabc");
+      ("metrics with non-hex body", "wasai-serve-v1\tMETRICS\tzz");
     ]
   in
   List.iter
@@ -353,8 +366,15 @@ let test_serve_parity_and_cache () =
           (* per-tenant stats expose the latency histograms *)
           Serve.Client.send c (Serve.Wire.Stats "alice");
           (match Serve.Client.next c with
-           | Serve.Wire.StatsReply { rp_completed; rp_submitted; rp_latency; _ }
-             ->
+           | Serve.Wire.StatsReply
+               {
+                 rp_completed;
+                 rp_submitted;
+                 rp_latency;
+                 rp_uptime_ms;
+                 rp_backend;
+                 _;
+               } ->
                Alcotest.(check int) "stats completed" (List.length contracts)
                  rp_completed;
                Alcotest.(check int) "stats submitted counts cached replays"
@@ -362,8 +382,42 @@ let test_serve_parity_and_cache () =
                  rp_submitted;
                Alcotest.(check bool) "latency histogram populated" true
                  (contains ~sub:(Printf.sprintf "n:%d" (List.length contracts))
-                    rp_latency)
-           | _ -> Alcotest.fail "expected STATS reply")))
+                    rp_latency);
+               Alcotest.(check bool) "uptime is non-negative" true
+                 (rp_uptime_ms >= 0);
+               Alcotest.(check string) "backend is the configured one"
+                 (Core.Exec_backend.to_string
+                    cfg.Serve.Serve.sv_engine.Core.Engine.cfg_backend)
+                 rp_backend
+           | _ -> Alcotest.fail "expected STATS reply");
+          (* METRICS returns a Prometheus exposition covering this tenant *)
+          Serve.Client.send c Serve.Wire.Metrics;
+          match Serve.Client.next c with
+          | Serve.Wire.MetricsReply { rp_body } ->
+              Alcotest.(check bool) "exposition names the tenant" true
+                (contains ~sub:"wasai_tenant_completed_total{tenant=\"alice\"}"
+                   rp_body);
+              Alcotest.(check bool) "exposition covers telemetry stages" true
+                (contains ~sub:"wasai_stage_seconds_total{stage=" rp_body);
+              (* every non-comment line is `name[{labels}] value` *)
+              List.iter
+                (fun line ->
+                  if line <> "" && line.[0] <> '#' then
+                    match String.rindex_opt line ' ' with
+                    | None ->
+                        Alcotest.fail ("metric line without value: " ^ line)
+                    | Some i -> (
+                        let v =
+                          String.sub line (i + 1) (String.length line - i - 1)
+                        in
+                        match float_of_string_opt v with
+                        | Some f ->
+                            Alcotest.(check bool) "metric value is finite" true
+                              (Float.is_finite f)
+                        | None ->
+                            Alcotest.fail ("unparsable metric value: " ^ line)))
+                (String.split_on_char '\n' rp_body)
+          | _ -> Alcotest.fail "expected METRICS reply"))
 
 let test_serve_backpressure () =
   let dir = scratch "busy" in
