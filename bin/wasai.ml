@@ -242,7 +242,7 @@ let emit_campaign_report ?(telemetry = false) out
   if Campaign.Campaign.vulnerable_count report > 0 then exit 1
 
 let campaign_run_cmd ~deprecated common dir rounds backend resume shard seed corpus
-    telemetry dry_run =
+    telemetry slices dry_run =
   if deprecated then
     Printf.eprintf
       "wasai campaign: the bare form is deprecated, use `wasai campaign run`\n%!";
@@ -270,7 +270,7 @@ let campaign_run_cmd ~deprecated common dir rounds backend resume shard seed cor
       common.co_jobs recommended;
   let cfg =
     Campaign.Campaign.make_config ~jobs:common.co_jobs
-      ~journal:common.co_journal ~resume ~shard ?corpus ~telemetry
+      ~journal:common.co_journal ~resume ~shard ?corpus ~telemetry ~slices
       ~progress:(fun (e : Campaign.Journal.entry) ->
         incr finished;
         Printf.eprintf "  [%d/%d] %s done (%.2fs)\n%!" !finished total
@@ -381,7 +381,11 @@ let fired_flags (e : Campaign.Journal.entry) =
     (fun (f, fired) -> if fired then Some (Core.Scanner.string_of_flag f) else None)
     e.Campaign.Journal.je_flags
 
-let submit_cmd socket tenant path shutdown =
+let submit_cmd socket tenant slices path shutdown =
+  if slices < 1 then begin
+    Printf.eprintf "submit: --slices must be >= 1\n";
+    exit 2
+  end;
   let contracts =
     try Serve.Client.contracts_of_path path
     with Sys_error msg ->
@@ -421,7 +425,8 @@ let submit_cmd socket tenant path shutdown =
     | _ -> ()
   in
   let batch =
-    try Serve.Client.submit_batch ~progress client ~tenant contracts with
+    try Serve.Client.submit_batch ~progress ~slices client ~tenant contracts
+    with
     | Serve.Client.Protocol_error msg ->
         Printf.eprintf "submit: %s\n" msg;
         exit 2
@@ -714,23 +719,49 @@ let campaign_run_term ~deprecated =
              per-target critical-path breakdown after the report, and stamp \
              the journal header with telemetry=on so resumes agree.")
   in
+  let slices =
+    let slices_conv =
+      Arg.conv
+        ( (fun s ->
+            match Campaign.Campaign.slicing_of_string s with
+            | Ok v -> Ok v
+            | Error e -> Error (`Msg e)),
+          fun ppf v ->
+            Format.pp_print_string ppf
+              (Campaign.Campaign.string_of_slicing v) )
+    in
+    Arg.(
+      value
+      & opt slices_conv Campaign.Campaign.Off
+      & info [ "slices" ] ~docv:"off|auto|K"
+          ~doc:
+            "Partition each target's round budget into parallel slices so \
+             several domains can work one target at once.  $(b,off) (the \
+             default) keeps whole-target scheduling; $(b,auto) picks a \
+             per-target K from queue depth vs --jobs; a fixed $(b,K) \
+             forces K slices per target (clamped to the round budget's \
+             granularity).  Any slicing yields byte-identical verdicts, \
+             corpus and journal entries whatever K; a resumed journal's \
+             recorded K wins over this flag.")
+  in
   let dry_run =
     Arg.(
       value & flag
       & info [ "dry-run" ]
           ~doc:
             "Print the scheduling plan — shard assignment, resume skips, \
-             execution order (biggest module first) and per-target corpus \
-             preloads — then exit without fuzzing anything.")
+             execution order (biggest module first), per-target corpus \
+             preloads and the slice plan when --slices is active — then \
+             exit without fuzzing anything.")
   in
   Term.(
     const
       (fun common dir rounds backend resume shard seed corpus telemetry
-           dry_run ->
+           slices dry_run ->
         campaign_run_cmd ~deprecated common dir rounds backend resume shard
-          seed corpus telemetry dry_run)
+          seed corpus telemetry slices dry_run)
     $ campaign_common_t $ dir $ rounds_arg $ backend_arg $ resume $ shard
-    $ seed $ corpus $ telemetry $ dry_run)
+    $ seed $ corpus $ telemetry $ slices $ dry_run)
 
 let campaign_t =
   let run_t =
@@ -931,6 +962,17 @@ let submit_t =
       & info [] ~docv:"PATH"
           ~doc:"A contract file (*.wasm/*.wat) or a directory of them.")
   in
+  let slices =
+    Arg.(
+      value
+      & opt int 1
+      & info [ "slices" ] ~docv:"K"
+          ~doc:
+            "Ask the daemon to split each submission's round budget into \
+             $(docv) parallel slices (the daemon clamps to its round \
+             budget's granularity).  The merged verdict is byte-identical \
+             whatever K; 1 (the default) keeps the classic wire form.")
+  in
   let shutdown =
     Arg.(
       value & flag
@@ -943,7 +985,7 @@ let submit_t =
          "Submit contracts to a running serve daemon and stream the \
           verdicts as they complete; exits 1 when any submission is \
           flagged vulnerable")
-    Term.(const submit_cmd $ socket_arg $ tenant $ path $ shutdown)
+    Term.(const submit_cmd $ socket_arg $ tenant $ slices $ path $ shutdown)
 
 let () =
   (* `wasai campaign DIR` is the deprecated alias for `wasai campaign run

@@ -69,6 +69,8 @@ type job = {
   jb_wasm : string;
   jb_abi : string option;
   jb_submitted : float;
+  jb_slice : int;  (** 0-based slice index (0 on the whole-target path) *)
+  jb_count : int;  (** K; 1 = classic whole-target job *)
 }
 
 type tenant_state = {
@@ -78,6 +80,10 @@ type tenant_state = {
   tn_corpus_w : Corpus.Writer.w;
   tn_done : (string, Journal.entry) Hashtbl.t;
   tn_inflight : (string, unit) Hashtbl.t;
+  tn_frags : (string, int * (int, Core.Engine.Slice.fragment) Hashtbl.t) Hashtbl.t;
+      (** per-name partial slice sets: journaled by a previous daemon
+          run and/or collected by this one; merged into [tn_done] when
+          complete *)
   tn_qwait : Metrics.Histogram.t;
   tn_latency : Metrics.Histogram.t;
   mutable tn_submitted : int;
@@ -124,11 +130,36 @@ let wake t =
 (* Tenant registry                                                     *)
 (* ------------------------------------------------------------------ *)
 
+(* Fold a tenant's complete slice set for [name] into its final journal
+   entry, with the campaign durability discipline: corpus seeds first,
+   then the (byte-identical for every K) merged v4 entry.  Caller holds
+   the daemon lock, or is single-threaded (tenant load). *)
+let merge_slice_set ~stamp (tn : tenant_state) name : Journal.entry =
+  let k, tbl = Hashtbl.find tn.tn_frags name in
+  let merged = Core.Engine.Slice.merge (List.init k (Hashtbl.find tbl)) in
+  let outcome = Core.Engine.Slice.outcome_of_fragment merged in
+  let entry =
+    Journal.of_outcome ~name
+      ~elapsed:merged.Core.Engine.Slice.fg_elapsed
+      ~stamp outcome
+  in
+  let t_corpus = Telemetry.start () in
+  List.iter
+    (fun r ->
+      if Corpus.add tn.tn_corpus r then Corpus.Writer.append tn.tn_corpus_w r)
+    (Campaign.corpus_records_of ~name stamp outcome);
+  Telemetry.stop Telemetry.Corpus_io t_corpus;
+  Journal.append tn.tn_journal entry;
+  Hashtbl.replace tn.tn_done name entry;
+  Hashtbl.remove tn.tn_frags name;
+  entry
+
 let load_tenant ~root ~resume ~backend stamp tenant : tenant_state =
   let dir = tenant_dir ~root tenant in
   Fsutil.mkdir_p dir;
   let jpath = journal_path ~root tenant in
   let done_ = Hashtbl.create 64 in
+  let pending_frags = ref [] in
   if Sys.file_exists jpath then begin
     if not resume then
       failwith
@@ -136,39 +167,67 @@ let load_tenant ~root ~resume ~backend stamp tenant : tenant_state =
            "serve: tenant %S already has a journal under %s; pass --resume \
             to continue it"
            tenant root);
-    let header, entries = Journal.load_with_header jpath in
+    let header, entries, frags = Journal.load_full jpath in
     Campaign.validate_header
       ~context:(Printf.sprintf "serve tenant %s" tenant)
       backend header;
     Campaign.validate_entries
       ~context:(Printf.sprintf "serve tenant %s" tenant)
       stamp entries;
+    Campaign.validate_fragments
+      ~context:(Printf.sprintf "serve tenant %s" tenant)
+      stamp frags;
     (* Last entry per name wins, as campaign resume does. *)
-    List.iter (fun (e : Journal.entry) -> Hashtbl.replace done_ e.Journal.je_name e) entries
+    List.iter (fun (e : Journal.entry) -> Hashtbl.replace done_ e.Journal.je_name e) entries;
+    (* Fragments of journaled names are stale leftovers of the run that
+       merged them; only pending sets are reconstructed. *)
+    pending_frags :=
+      List.filter
+        (fun (f : Journal.fragment) -> not (Hashtbl.mem done_ f.Journal.jf_name))
+        frags
   end;
   let cpath = corpus_path ~root tenant in
   let corpus = if Sys.file_exists cpath then Corpus.load cpath else Corpus.create () in
-  {
-    tn_name = tenant;
-    (* Tenant journals keep the legacy backend-only header even though
-       the daemon records telemetry: the [telemetry=] stamp exists so
-       campaign resumes agree about their report's breakdown, and serve
-       exposes its breakdown live over METRICS instead — journal bytes
-       stay identical to every earlier daemon build. *)
-    tn_journal =
-      Journal.open_writer
-        ~header:{ Journal.jh_backend = backend; jh_telemetry = false }
-        jpath;
-    tn_corpus = corpus;
-    tn_corpus_w = Corpus.Writer.open_ cpath;
-    tn_done = done_;
-    tn_inflight = Hashtbl.create 16;
-    tn_qwait = Metrics.Histogram.create ();
-    tn_latency = Metrics.Histogram.create ();
-    tn_submitted = 0;
-    tn_completed = 0;
-    tn_rejected = 0;
-  }
+  let tn =
+    {
+      tn_name = tenant;
+      (* Tenant journals keep the legacy backend-only header even though
+         the daemon records telemetry: the [telemetry=] stamp exists so
+         campaign resumes agree about their report's breakdown, and serve
+         exposes its breakdown live over METRICS instead — journal bytes
+         stay identical to every earlier daemon build. *)
+      tn_journal =
+        Journal.open_writer
+          ~header:{ Journal.jh_backend = backend; jh_telemetry = false }
+          jpath;
+      tn_corpus = corpus;
+      tn_corpus_w = Corpus.Writer.open_ cpath;
+      tn_done = done_;
+      tn_inflight = Hashtbl.create 16;
+      tn_frags =
+        Campaign.group_fragments
+          ~context:(Printf.sprintf "serve tenant %s" tenant)
+          !pending_frags;
+      tn_qwait = Metrics.Histogram.create ();
+      tn_latency = Metrics.Histogram.create ();
+      tn_submitted = 0;
+      tn_completed = 0;
+      tn_rejected = 0;
+    }
+  in
+  (* Slice sets completed on disk but never merged (a crash between the
+     last fragment and the entry line): finish them now, so a
+     resubmission replays the cached verdict. *)
+  let complete =
+    Hashtbl.fold
+      (fun name (k, tbl) acc ->
+        if Hashtbl.length tbl = k then name :: acc else acc)
+      tn.tn_frags []
+  in
+  List.iter
+    (fun name -> ignore (merge_slice_set ~stamp tn name))
+    (List.sort compare complete);
+  tn
 
 let scan_root root =
   if not (Sys.file_exists root) then []
@@ -185,10 +244,7 @@ let total_completed t =
 (* Worker domains                                                      *)
 (* ------------------------------------------------------------------ *)
 
-let run_job (t : t) (jb : job) : Core.Engine.outcome =
-  (* Attribute this domain's spans to the submission until the next job. *)
-  if Telemetry.enabled () then
-    Telemetry.set_target (Telemetry.target_id (jb.jb_tenant ^ "/" ^ jb.jb_name));
+let target_of_job (jb : job) : Core.Engine.target =
   let account = Name.of_string jb.jb_name in
   let t_load = Telemetry.start () in
   let m =
@@ -204,13 +260,51 @@ let run_job (t : t) (jb : job) : Core.Engine.outcome =
     | None -> Discover.default_abi
   in
   Telemetry.stop Telemetry.Load_validate t_load;
-  Core.Engine.fuzz ~cfg:t.cfg.sv_engine
-    { Core.Engine.tgt_account = account; tgt_module = m; tgt_abi = abi }
+  { Core.Engine.tgt_account = account; tgt_module = m; tgt_abi = abi }
+
+let run_job (t : t) (jb : job) : Core.Engine.outcome =
+  (* Attribute this domain's spans to the submission until the next job. *)
+  if Telemetry.enabled () then
+    Telemetry.set_target (Telemetry.target_id (jb.jb_tenant ^ "/" ^ jb.jb_name));
+  Core.Engine.fuzz ~cfg:t.cfg.sv_engine (target_of_job jb)
+
+(* One slice of a partitioned submission: same decode, but only the
+   slice's cell range of the round budget runs; spans are attributed per
+   (submission, slice). *)
+let run_slice (t : t) (jb : job) : Core.Engine.Slice.fragment =
+  if Telemetry.enabled () then
+    Telemetry.set_target
+      (Telemetry.target_id
+         (Printf.sprintf "%s/%s#%d/%d" jb.jb_tenant jb.jb_name jb.jb_slice
+            jb.jb_count));
+  Core.Engine.Slice.run ~cfg:t.cfg.sv_engine ~slice:jb.jb_slice
+    ~count:jb.jb_count (target_of_job jb)
 
 let drop_inflight t jb =
   match Hashtbl.find_opt t.tenants jb.jb_tenant with
   | Some tn -> Hashtbl.remove tn.tn_inflight jb.jb_name
   | None -> ()
+
+(* A submission's verdict reached the journal: bump the tenant counters,
+   record its latencies and stream the VERDICT line.  Caller holds
+   t.lock. *)
+let finish_submission t (jb : job) ~started (tn : tenant_state)
+    (entry : Journal.entry) =
+  Hashtbl.remove tn.tn_inflight jb.jb_name;
+  tn.tn_completed <- tn.tn_completed + 1;
+  let finished = Unix.gettimeofday () in
+  Metrics.Histogram.add tn.tn_qwait (started -. jb.jb_submitted);
+  Metrics.Histogram.add tn.tn_latency (finished -. jb.jb_submitted);
+  Queue.add
+    ( jb.jb_conn,
+      Wire.Verdict
+        {
+          rp_tenant = jb.jb_tenant;
+          rp_kind = Wire.Fresh;
+          rp_wait_ms = int_of_float (1000. *. (finished -. jb.jb_submitted));
+          rp_entry = entry;
+        } )
+    t.completions
 
 let worker (t : t) () =
   let rec go () =
@@ -221,7 +315,7 @@ let worker (t : t) () =
            (* Simulated kill -9: the job dies un-journaled, exactly as a
               queued submission would under a real SIGKILL. *)
            Mutex.protect t.lock (fun () -> drop_inflight t jb)
-         else begin
+         else if jb.jb_count = 1 then begin
            let started = Unix.gettimeofday () in
            match run_job t jb with
            | outcome ->
@@ -234,41 +328,23 @@ let worker (t : t) () =
                  Campaign.corpus_records_of ~name:jb.jb_name t.stamp outcome
                in
                Mutex.protect t.lock (fun () ->
-                   (match Hashtbl.find_opt t.tenants jb.jb_tenant with
-                    | None -> ()
-                    | Some tn ->
-                        (* Seeds reach disk before the journal line: a
-                           journaled target is never re-fuzzed on
-                           resume, so a seed lost here would be lost
-                           forever (campaign discipline). *)
-                        let t_corpus = Telemetry.start () in
-                        List.iter
-                          (fun r ->
-                            if Corpus.add tn.tn_corpus r then
-                              Corpus.Writer.append tn.tn_corpus_w r)
-                          recs;
-                        Telemetry.stop Telemetry.Corpus_io t_corpus;
-                        Journal.append tn.tn_journal entry;
-                        Hashtbl.replace tn.tn_done jb.jb_name entry;
-                        Hashtbl.remove tn.tn_inflight jb.jb_name;
-                        tn.tn_completed <- tn.tn_completed + 1;
-                        let finished = Unix.gettimeofday () in
-                        Metrics.Histogram.add tn.tn_qwait
-                          (started -. jb.jb_submitted);
-                        Metrics.Histogram.add tn.tn_latency
-                          (finished -. jb.jb_submitted);
-                        Queue.add
-                          ( jb.jb_conn,
-                            Wire.Verdict
-                              {
-                                rp_tenant = jb.jb_tenant;
-                                rp_kind = Wire.Fresh;
-                                rp_wait_ms =
-                                  int_of_float
-                                    (1000. *. (finished -. jb.jb_submitted));
-                                rp_entry = entry;
-                              } )
-                          t.completions))
+                   match Hashtbl.find_opt t.tenants jb.jb_tenant with
+                   | None -> ()
+                   | Some tn ->
+                       (* Seeds reach disk before the journal line: a
+                          journaled target is never re-fuzzed on
+                          resume, so a seed lost here would be lost
+                          forever (campaign discipline). *)
+                       let t_corpus = Telemetry.start () in
+                       List.iter
+                         (fun r ->
+                           if Corpus.add tn.tn_corpus r then
+                             Corpus.Writer.append tn.tn_corpus_w r)
+                         recs;
+                       Telemetry.stop Telemetry.Corpus_io t_corpus;
+                       Journal.append tn.tn_journal entry;
+                       Hashtbl.replace tn.tn_done jb.jb_name entry;
+                       finish_submission t jb ~started tn entry)
            | exception e ->
                let reason = Printexc.to_string e in
                Mutex.protect t.lock (fun () ->
@@ -278,6 +354,64 @@ let worker (t : t) () =
                        Wire.Err { rp_name = Some jb.jb_name; rp_reason = reason }
                      )
                      t.completions)
+         end
+         else begin
+           let started = Unix.gettimeofday () in
+           match run_slice t jb with
+           | frag ->
+               Mutex.protect t.lock (fun () ->
+                   match Hashtbl.find_opt t.tenants jb.jb_tenant with
+                   | None -> ()
+                   | Some tn ->
+                       (* The fragment line is durable before the slice
+                          counts as done: a daemon crash costs at most
+                          the in-flight slices, and a resumed daemon
+                          reconstructs the set from these lines. *)
+                       Journal.append_fragment tn.tn_journal
+                         {
+                           Journal.jf_name = jb.jb_name;
+                           jf_stamp = t.stamp;
+                           jf_frag = frag;
+                         };
+                       let k, tbl =
+                         match Hashtbl.find_opt tn.tn_frags jb.jb_name with
+                         | Some kt -> kt
+                         | None ->
+                             let tbl = Hashtbl.create 8 in
+                             Hashtbl.replace tn.tn_frags jb.jb_name
+                               (jb.jb_count, tbl);
+                             (jb.jb_count, tbl)
+                       in
+                       Hashtbl.replace tbl jb.jb_slice frag;
+                       if Hashtbl.length tbl = k then
+                         finish_submission t jb ~started tn
+                           (merge_slice_set ~stamp:t.stamp tn jb.jb_name))
+           | exception e ->
+               (* One failed slice fails the submission (the first
+                  failure wins — sibling failures of the same name stay
+                  silent); fragments the other slices still journal stay
+                  pending and a resubmission re-runs only the missing
+                  ones. *)
+               let reason = Printexc.to_string e in
+               Mutex.protect t.lock (fun () ->
+                   let first_failure =
+                     match Hashtbl.find_opt t.tenants jb.jb_tenant with
+                     | Some tn -> Hashtbl.mem tn.tn_inflight jb.jb_name
+                     | None -> false
+                   in
+                   if first_failure then begin
+                     drop_inflight t jb;
+                     Queue.add
+                       ( jb.jb_conn,
+                         Wire.Err
+                           {
+                             rp_name = Some jb.jb_name;
+                             rp_reason =
+                               Printf.sprintf "slice %d/%d: %s" jb.jb_slice
+                                 jb.jb_count reason;
+                           } )
+                       t.completions
+                   end)
          end);
         (* Completion is enqueued before the decrement, so once the loop
            observes outstanding = 0 every verdict is already visible. *)
@@ -314,7 +448,7 @@ let find_or_create_tenant t tenant =
       Hashtbl.replace t.tenants tenant tn;
       tn
 
-let admit t conn_id now (tenant : string) (name : string) wasm abi :
+let admit t conn_id now (tenant : string) (name : string) wasm abi slices :
     Wire.response =
   Mutex.protect t.lock (fun () ->
       if Atomic.get t.stop_flag then
@@ -352,24 +486,65 @@ let admit t conn_id now (tenant : string) (name : string) wasm abi :
                     }
                 end
                 else begin
+                  (* The requested K, clamped to the budget's cell
+                     granularity — except that a name with journaled
+                     fragments keeps its recorded K (a mixed-K set
+                     cannot merge), and only its missing slices are
+                     enqueued. *)
+                  let k, have =
+                    match Hashtbl.find_opt tn.tn_frags name with
+                    | Some (k, tbl) -> (k, tbl)
+                    | None ->
+                        ( max 1
+                            (min slices
+                               (Core.Engine.Slice.granularity
+                                  ~rounds:
+                                    t.cfg.sv_engine.Core.Engine.cfg_rounds)),
+                          Hashtbl.create 1 )
+                  in
+                  let missing =
+                    List.filter
+                      (fun i -> not (Hashtbl.mem have i))
+                      (List.init k Fun.id)
+                  in
+                  if missing = [] then begin
+                    (* Complete sets are merged at tenant load, so this
+                       is unreachable in practice — but a daemon must
+                       not park a name in-flight with nothing queued. *)
+                    tn.tn_submitted <- tn.tn_submitted + 1;
+                    Wire.Verdict
+                      {
+                        rp_tenant = tenant;
+                        rp_kind = Wire.Cached;
+                        rp_wait_ms = 0;
+                        rp_entry = merge_slice_set ~stamp:t.stamp tn name;
+                      }
+                  end
+                  else begin
                   Hashtbl.replace tn.tn_inflight name ();
                   tn.tn_submitted <- tn.tn_submitted + 1;
-                  Atomic.incr t.outstanding;
-                  Work_queue.push t.queue
-                    {
-                      jb_conn = conn_id;
-                      jb_tenant = tenant;
-                      jb_name = name;
-                      jb_wasm = wasm;
-                      jb_abi = abi;
-                      jb_submitted = now;
-                    };
+                  List.iter
+                    (fun slice ->
+                      Atomic.incr t.outstanding;
+                      Work_queue.push t.queue
+                        {
+                          jb_conn = conn_id;
+                          jb_tenant = tenant;
+                          jb_name = name;
+                          jb_wasm = wasm;
+                          jb_abi = abi;
+                          jb_submitted = now;
+                          jb_slice = slice;
+                          jb_count = k;
+                        })
+                    missing;
                   Wire.Queued
                     {
                       rp_tenant = tenant;
                       rp_name = name;
                       rp_depth = Hashtbl.length tn.tn_inflight;
                     }
+                  end
                 end))
 
 let uptime_ms t = int_of_float (1000. *. (Unix.gettimeofday () -. t.started))
@@ -558,10 +733,10 @@ let handle_request t conn (req : Wire.request) =
   | Wire.Stats tenant -> send_response conn (stats_reply t tenant)
   | Wire.Metrics ->
       send_response conn (Wire.MetricsReply { rp_body = metrics_body t })
-  | Wire.Submit { rq_tenant; rq_name; rq_wasm; rq_abi } ->
+  | Wire.Submit { rq_tenant; rq_name; rq_wasm; rq_abi; rq_slices } ->
       send_response conn
         (admit t conn.cn_id (Unix.gettimeofday ()) rq_tenant rq_name rq_wasm
-           rq_abi)
+           rq_abi rq_slices)
   | Wire.Shutdown ->
       let completed = Mutex.protect t.lock (fun () -> total_completed t) in
       send_response conn (Wire.Bye { rp_completed = completed });

@@ -64,6 +64,7 @@ type request =
       rq_name : string;
       rq_wasm : string;
       rq_abi : string option;
+      rq_slices : int;
     }
   | Ping
   | Stats of string
@@ -164,7 +165,7 @@ let line_of_request = function
       if not (valid_tenant tenant) then
         invalid_arg (Printf.sprintf "Wire.line_of_request: invalid tenant %S" tenant);
       String.concat "\t" [ magic; "STATS"; tenant ]
-  | Submit { rq_tenant; rq_name; rq_wasm; rq_abi } ->
+  | Submit { rq_tenant; rq_name; rq_wasm; rq_abi; rq_slices } ->
       if not (valid_tenant rq_tenant) then
         invalid_arg
           (Printf.sprintf "Wire.line_of_request: invalid tenant %S" rq_tenant);
@@ -173,15 +174,20 @@ let line_of_request = function
           (Printf.sprintf "Wire.line_of_request: invalid target name %S" rq_name);
       if rq_wasm = "" then
         invalid_arg "Wire.line_of_request: empty module bytes";
+      if rq_slices < 1 then
+        invalid_arg "Wire.line_of_request: slices must be >= 1";
       String.concat "\t"
-        [
-          magic;
-          "SUBMIT";
-          rq_tenant;
-          rq_name;
-          hex_of_string rq_wasm;
-          (match rq_abi with Some abi -> hex_of_string abi | None -> "-");
-        ]
+        ([
+           magic;
+           "SUBMIT";
+           rq_tenant;
+           rq_name;
+           hex_of_string rq_wasm;
+           (match rq_abi with Some abi -> hex_of_string abi | None -> "-");
+         ]
+        (* the unsliced form stays the classic 6-field line byte for
+           byte, so v1 peers interoperate *)
+        @ if rq_slices = 1 then [] else [ keyed "slices" rq_slices ])
 
 let request_of_line line =
   match String.split_on_char '\t' line with
@@ -192,7 +198,13 @@ let request_of_line line =
   | [ _; "STATS"; tenant ] ->
       let* tenant = check_tenant tenant in
       Ok (Stats tenant)
-  | [ _; "SUBMIT"; tenant; name; wasmhex; abihex ] ->
+  | [ _; "SUBMIT"; tenant; name; wasmhex; abihex ]
+  | [ _; "SUBMIT"; tenant; name; wasmhex; abihex; _ ] -> (
+      let slices_field =
+        match String.split_on_char '\t' line with
+        | [ _; _; _; _; _; _; s ] -> Some s
+        | _ -> None
+      in
       let* tenant = check_tenant tenant in
       let* name = check_target name in
       let* wasm = string_of_hex wasmhex in
@@ -204,7 +216,22 @@ let request_of_line line =
             let* abi = string_of_hex abihex in
             Ok (Some abi)
         in
-        Ok (Submit { rq_tenant = tenant; rq_name = name; rq_wasm = wasm; rq_abi = abi })
+        let* slices =
+          match slices_field with
+          | None -> Ok 1
+          | Some s ->
+              let* k = parse_keyed "slices" s in
+              if k < 1 then Error "slices must be >= 1" else Ok k
+        in
+        Ok
+          (Submit
+             {
+               rq_tenant = tenant;
+               rq_name = name;
+               rq_wasm = wasm;
+               rq_abi = abi;
+               rq_slices = slices;
+             }))
   | _ :: verb :: _ ->
       Error (Printf.sprintf "unknown or malformed request %S" verb)
   | _ -> Error "empty request"

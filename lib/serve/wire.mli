@@ -10,7 +10,7 @@
 
     Requests (client to daemon), one per line:
     {v
-    wasai-serve-v1 <TAB> SUBMIT <TAB> tenant <TAB> name <TAB> wasmhex <TAB> abihex|-
+    wasai-serve-v1 <TAB> SUBMIT <TAB> tenant <TAB> name <TAB> wasmhex <TAB> abihex|- [<TAB> slices=K]
     wasai-serve-v1 <TAB> PING
     wasai-serve-v1 <TAB> STATS <TAB> tenant
     wasai-serve-v1 <TAB> METRICS
@@ -76,6 +76,13 @@ type request =
       rq_name : string;
       rq_wasm : string;  (** raw module bytes (binary Wasm or .wat text) *)
       rq_abi : string option;  (** ABI sidecar text, [None] = canonical ABI *)
+      rq_slices : int;
+          (** partition this submission's round budget into K parallel
+              slices ({!Wasai_campaign.Campaign.slicing}); 1 (the
+              default, and the classic 6-field line byte for byte) =
+              whole-target.  The daemon clamps K to the budget's
+              granularity; the merged verdict is byte-identical
+              whatever K. *)
     }
   | Ping
   | Stats of string  (** tenant *)
@@ -122,8 +129,8 @@ type response =
 
 val line_of_request : request -> string
 (** Single line, no trailing newline.  Raises [Invalid_argument] on an
-    invalid tenant/target name or an empty [rq_wasm] — malformed
-    requests must fail at the producer, not on the wire. *)
+    invalid tenant/target name, an empty [rq_wasm] or [rq_slices < 1] —
+    malformed requests must fail at the producer, not on the wire. *)
 
 val request_of_line : string -> (request, string) result
 (** Strict inverse of {!line_of_request}. *)

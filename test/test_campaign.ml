@@ -895,6 +895,291 @@ let test_contract_files_skips_bad_entries () =
        (fun (t : Campaign.Campaign.target_spec) -> t.Campaign.Campaign.sp_name)
        (Campaign.Discover.dir dir))
 
+(* ------------------------------------------------------------------ *)
+(* Sliced execution: partitioned round-space                            *)
+(* ------------------------------------------------------------------ *)
+
+module Slice = Core.Engine.Slice
+
+let sliced_config ?journal ?resume ?corpus ?backend ~slices ~jobs () =
+  Campaign.Campaign.make_config ~jobs ?journal ?resume ?corpus ~slices
+    ~engine:(Core.Engine.make_config ~rounds:6 ?backend ())
+    ()
+
+let test_slice_partition_props () =
+  Alcotest.(check int) "granularity caps at max_cells" Slice.max_cells
+    (Slice.granularity ~rounds:100);
+  Alcotest.(check int) "granularity is rounds when small" 6
+    (Slice.granularity ~rounds:6);
+  List.iter
+    (fun (total, parts) ->
+      let shares = List.init parts (Slice.share total parts) in
+      Alcotest.(check int)
+        (Printf.sprintf "shares of %d/%d sum to the total" total parts)
+        total
+        (List.fold_left ( + ) 0 shares);
+      List.iteri
+        (fun i sh ->
+          Alcotest.(check int)
+            (Printf.sprintf "part %d of %d/%d is contiguous" i total parts)
+            (Slice.base total parts i + sh)
+            (if i + 1 < parts then Slice.base total parts (i + 1) else total))
+        shares)
+    [ (8, 1); (8, 3); (6, 4); (200, 8); (7, 7) ]
+
+(* Journal entry lines with the only wall-clock field zeroed: the
+   byte-identity artefact for comparing journals across slicings. *)
+let entry_lines journal =
+  String.concat "\n"
+    (List.map
+       (fun (e : Campaign.Journal.entry) ->
+         Campaign.Journal.line_of_entry
+           { e with Campaign.Journal.je_elapsed = 0.0 })
+       (Campaign.Journal.load journal))
+
+let read_file path =
+  let ic = open_in_bin path in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  s
+
+(* The tentpole acceptance bar: for one round budget, every slicing K and
+   every job count must merge to byte-identical verdicts, evidence,
+   journal verdict lines and corpus additions — on both execution
+   backends. *)
+let test_slice_merge_identity () =
+  let targets = test_targets ~count:3 in
+  List.iter
+    (fun backend ->
+      let run_k k jobs =
+        let journal = temp_journal "slice" and corpus = temp_corpus "slice" in
+        let r =
+          Campaign.Campaign.run
+            (sliced_config ~journal ~corpus ~backend
+               ~slices:(Campaign.Campaign.Fixed k) ~jobs ())
+            targets
+        in
+        let lines = entry_lines journal and seeds = read_file corpus in
+        Sys.remove journal;
+        Sys.remove corpus;
+        (r, lines, seeds)
+      in
+      let r1, lines1, seeds1 = run_k 1 1 in
+      List.iter
+        (fun (k, jobs) ->
+          let rk, linesk, seedsk = run_k k jobs in
+          let tag what =
+            Printf.sprintf "%s identical (K=%d, jobs=%d, %s)" what k jobs
+              (Core.Exec_backend.to_string backend)
+          in
+          Alcotest.(check string) (tag "verdicts")
+            (Campaign.Campaign.verdicts_text r1)
+            (Campaign.Campaign.verdicts_text rk);
+          Alcotest.(check string) (tag "evidence")
+            (Campaign.Campaign.evidence_text r1)
+            (Campaign.Campaign.evidence_text rk);
+          Alcotest.(check string) (tag "journal verdict lines") lines1 linesk;
+          Alcotest.(check string) (tag "corpus additions") seeds1 seedsk)
+        [ (2, 1); (2, 2); (4, 1); (4, 2) ])
+    [ Core.Exec_backend.Interp; Core.Exec_backend.Compiled ]
+
+(* Off is the legacy whole-target path; slicing re-cuts the round space
+   into cells with their own RNG streams, so the contract across the two
+   modes is verdict parity, not byte identity. *)
+let test_slice_off_parity () =
+  let targets = test_targets ~count:3 in
+  let off =
+    Campaign.Campaign.run
+      (sliced_config ~slices:Campaign.Campaign.Off ~jobs:1 ())
+      targets
+  in
+  let sliced =
+    Campaign.Campaign.run
+      (sliced_config ~slices:(Campaign.Campaign.Fixed 4) ~jobs:2 ())
+      targets
+  in
+  Alcotest.(check string) "per-target flag verdicts agree"
+    (Campaign.Campaign.flags_text off)
+    (Campaign.Campaign.flags_text sliced)
+
+(* Crash mid-slice-set: drop the final merged entry and one fragment
+   from a K=4 journal, then resume.  The recorded K must be adopted
+   (even under a different requested policy), only the missing slice
+   re-run, and the final report must be byte-identical. *)
+let test_slice_resume_mid_set () =
+  let targets = test_targets ~count:2 in
+  let journal = temp_journal "slice-resume" in
+  let full =
+    Campaign.Campaign.run
+      (sliced_config ~journal ~slices:(Campaign.Campaign.Fixed 4) ~jobs:2 ())
+      targets
+  in
+  let full_lines = entry_lines journal in
+  (* Rewrite the journal as a crash would have left it: every line up to
+     but excluding the last target's merged v4 entry, minus one of its
+     fragments. *)
+  let lines =
+    String.split_on_char '\n' (read_file journal)
+    |> List.filter (fun l -> l <> "")
+  in
+  let last_entry =
+    List.filter (fun l -> not (contains ~sub:"slice=" l)) lines
+    |> List.rev |> List.hd
+  in
+  let victim_name =
+    match Campaign.Journal.entry_of_line last_entry with
+    | Ok e -> e.Campaign.Journal.je_name
+    | Error e -> Alcotest.fail e
+  in
+  let dropped_frag = ref false in
+  let torn =
+    List.filter
+      (fun l ->
+        if l = last_entry then false
+        else if
+          (not !dropped_frag)
+          && contains ~sub:"slice=2/4" l
+          && contains ~sub:("\t" ^ victim_name ^ "\t") l
+        then (
+          dropped_frag := true;
+          false)
+        else true)
+      lines
+  in
+  Alcotest.(check bool) "one fragment dropped" true !dropped_frag;
+  let oc = open_out journal in
+  List.iter (fun l -> output_string oc (l ^ "\n")) torn;
+  close_out oc;
+  (* Off refuses: pending fragments need slicing to finish. *)
+  (match
+     Campaign.Campaign.run
+       (sliced_config ~journal ~resume:true ~slices:Campaign.Campaign.Off
+          ~jobs:1 ())
+       targets
+   with
+  | _ -> Alcotest.fail "resumed fragments with slicing off"
+  | exception Failure msg ->
+      Alcotest.(check bool) "failure names the pending fragments" true
+        (contains ~sub:"slice fragments" msg));
+  (* Auto adopts the recorded K=4 and completes the set. *)
+  let resumed =
+    Campaign.Campaign.run
+      (sliced_config ~journal ~resume:true ~slices:Campaign.Campaign.Auto
+         ~jobs:2 ())
+      targets
+  in
+  Alcotest.(check int) "one target resumed from fragments" 1
+    (List.length resumed.Campaign.Campaign.cr_results
+    - resumed.Campaign.Campaign.cr_skipped);
+  Alcotest.(check string) "resumed journal byte-identical to uninterrupted"
+    full_lines (entry_lines journal);
+  Alcotest.(check string) "resumed verdicts byte-identical"
+    (Campaign.Campaign.verdicts_text full)
+    (Campaign.Campaign.verdicts_text resumed);
+  Sys.remove journal
+
+(* v4 journals (whole-target entries only) resume under a sliced policy:
+   done targets stay done, fresh ones are sliced. *)
+let test_slice_resume_v4_compat () =
+  let targets = test_targets ~count:4 in
+  let journal = temp_journal "slice-v4" in
+  let _ =
+    Campaign.Campaign.run
+      (sliced_config ~journal ~slices:Campaign.Campaign.Off ~jobs:1 ())
+      (List.filteri (fun i _ -> i < 2) targets)
+  in
+  let resumed =
+    Campaign.Campaign.run
+      (sliced_config ~journal ~resume:true
+         ~slices:(Campaign.Campaign.Fixed 2) ~jobs:2 ())
+      targets
+  in
+  Alcotest.(check int) "v4 entries satisfied the first two" 2
+    resumed.Campaign.Campaign.cr_skipped;
+  let unsliced =
+    Campaign.Campaign.run
+      (sliced_config ~slices:Campaign.Campaign.Off ~jobs:1 ())
+      targets
+  in
+  Alcotest.(check string) "mixed-journal flags match the unsliced run"
+    (Campaign.Campaign.flags_text unsliced)
+    (Campaign.Campaign.flags_text resumed);
+  Sys.remove journal
+
+(* A real fragment (with interesting seeds, covers, verdicts) must
+   round-trip the v5 wire format, and every strictness rule must fire. *)
+let test_journal_v5_roundtrip_and_strict () =
+  let target = List.hd (test_targets ~count:1) in
+  let cfg = Core.Engine.make_config ~rounds:6 () in
+  let frag =
+    Slice.run ~cfg ~slice:0 ~count:2 (target.Campaign.Campaign.sp_load ())
+  in
+  let stamp =
+    {
+      Campaign.Journal.js_shard = Campaign.Shard.whole;
+      js_seed = cfg.Core.Engine.cfg_rng_seed;
+      js_rounds = cfg.Core.Engine.cfg_rounds;
+    }
+  in
+  let jf =
+    { Campaign.Journal.jf_name = "trgta"; jf_stamp = stamp; jf_frag = frag }
+  in
+  let line = Campaign.Journal.line_of_fragment jf in
+  (match Campaign.Journal.fragment_of_line line with
+  | Error e -> Alcotest.fail ("roundtrip rejected: " ^ e)
+  | Ok parsed ->
+      Alcotest.(check string) "reserialisation is the identity" line
+        (Campaign.Journal.line_of_fragment parsed);
+      Alcotest.(check int) "slice preserved" 0
+        parsed.Campaign.Journal.jf_frag.Slice.fg_slice;
+      Alcotest.(check int) "count preserved" 2
+        parsed.Campaign.Journal.jf_frag.Slice.fg_count;
+      Alcotest.(check bool) "interesting seeds survive" true
+        (List.length parsed.Campaign.Journal.jf_frag.Slice.fg_interesting
+        = List.length frag.Slice.fg_interesting));
+  let fields = String.split_on_char '\t' line in
+  let with_field i v =
+    String.concat "\t" (List.mapi (fun j f -> if j = i then v else f) fields)
+  in
+  let expect_reject what mutated =
+    match Campaign.Journal.fragment_of_line mutated with
+    | Ok _ -> Alcotest.fail (what ^ ": malformed v5 line accepted")
+    | Error _ -> ()
+  in
+  expect_reject "slice index out of range" (with_field 2 "slice=2/2");
+  expect_reject "zero slice count" (with_field 2 "slice=0/0");
+  expect_reject "slice count above granularity" (with_field 2 "slice=0/7");
+  expect_reject "branch count not the cover union"
+    (with_field 4 "branches=99");
+  expect_reject "truncation without witness" (with_field 19 "trunc=3");
+  expect_reject "field dropped"
+    (String.concat "\t" (List.filteri (fun i _ -> i <> 5) fields));
+  (* Forge the signature of the first interesting record: the parser
+     recomputes it from the cover and must notice. *)
+  (match
+     List.find_opt (fun f -> String.length f > 12
+                             && String.sub f 0 12 = "interesting=") fields
+   with
+  | Some f when f <> "interesting=-" ->
+      let idx = ref (-1) in
+      List.iteri (fun i g -> if g = f then idx := i) fields;
+      (* Flip one hex digit of the recorded signature. *)
+      let payload = String.sub f 12 (String.length f - 12) in
+      (match String.index_opt payload '@' with
+      | Some at ->
+          let sig_start = at + 1 in
+          let c = payload.[sig_start] in
+          let flipped = if c = '0' then '1' else '0' in
+          let payload' =
+            String.mapi
+              (fun i ch -> if i = sig_start then flipped else ch)
+              payload
+          in
+          expect_reject "forged signature"
+            (with_field !idx ("interesting=" ^ payload'))
+      | None -> ())
+  | _ -> ())
+
 let () =
   Alcotest.run "wasai_campaign"
     [
@@ -964,6 +1249,21 @@ let () =
             test_shard_merge_identity;
           Alcotest.test_case "inconsistent fleets rejected" `Quick
             test_merge_validation;
+        ] );
+      ( "slices",
+        [
+          Alcotest.test_case "balanced partition properties" `Quick
+            test_slice_partition_props;
+          Alcotest.test_case "K in {1,2,4} merges byte-identical (both backends)"
+            `Quick test_slice_merge_identity;
+          Alcotest.test_case "off/sliced verdict parity" `Quick
+            test_slice_off_parity;
+          Alcotest.test_case "resume mid-slice-set" `Quick
+            test_slice_resume_mid_set;
+          Alcotest.test_case "v4 journal resumes under slicing" `Quick
+            test_slice_resume_v4_compat;
+          Alcotest.test_case "v5 roundtrip and strictness" `Quick
+            test_journal_v5_roundtrip_and_strict;
         ] );
       ( "discover",
         [

@@ -112,9 +112,24 @@ let test_wire_request_roundtrip () =
           rq_name = "lottery";
           rq_wasm = "\x00asm\x01\x00\x00\x00";
           rq_abi = Some "transfer(from:name)";
+          rq_slices = 1;
         };
       Serve.Wire.Submit
-        { rq_tenant = "bob"; rq_name = "dice"; rq_wasm = "\xff"; rq_abi = None };
+        {
+          rq_tenant = "bob";
+          rq_name = "dice";
+          rq_wasm = "\xff";
+          rq_abi = None;
+          rq_slices = 1;
+        };
+      Serve.Wire.Submit
+        {
+          rq_tenant = "alice";
+          rq_name = "lottery";
+          rq_wasm = "\x00asm\x01\x00\x00\x00";
+          rq_abi = None;
+          rq_slices = 4;
+        };
       Serve.Wire.Ping;
       Serve.Wire.Stats "alice";
       Serve.Wire.Metrics;
@@ -142,6 +157,9 @@ let test_wire_request_strict () =
       ("submit bad name", "wasai-serve-v1\tSUBMIT\talice\tD1CE\t00\t-");
       ("submit odd hex", "wasai-serve-v1\tSUBMIT\talice\tdice\t0\t-");
       ("submit empty module", "wasai-serve-v1\tSUBMIT\talice\tdice\t\t-");
+      ("submit zero slices", "wasai-serve-v1\tSUBMIT\talice\tdice\t00\t-\tslices=0");
+      ("submit junk slices", "wasai-serve-v1\tSUBMIT\talice\tdice\t00\t-\tslices=x");
+      ("submit wrong trailing key", "wasai-serve-v1\tSUBMIT\talice\tdice\t00\t-\tshards=2");
       ("ping with junk", "wasai-serve-v1\tPING\textra");
       ("metrics with junk", "wasai-serve-v1\tMETRICS\textra");
       ("stats bad tenant", "wasai-serve-v1\tSTATS\ta b");
@@ -158,7 +176,7 @@ let test_wire_request_strict () =
       ignore
         (Serve.Wire.line_of_request
            (Serve.Wire.Submit
-              { rq_tenant = "a"; rq_name = "b"; rq_wasm = ""; rq_abi = None })))
+              { rq_tenant = "a"; rq_name = "b"; rq_wasm = ""; rq_abi = None; rq_slices = 1 })))
 
 (* A real journal entry — stamp, solver counters, exploit evidence — to
    embed in VERDICT lines: fuzz one vulnerable sample. *)
@@ -353,6 +371,34 @@ let test_serve_parity_and_cache () =
           Alcotest.(check string) "evidence parity with batch campaign"
             (Campaign.Campaign.evidence_text campaign_report)
             (Campaign.Campaign.evidence_text serve_report);
+          (* sliced submissions: the slice count K must be invisible in
+             the merged verdict — fresh tenants at K=2 and K=4 over the
+             same bytes produce byte-identical reports, and agree with
+             the unsliced run on every verdict flag (the round-space
+             decomposition draws from different RNG streams, so raw
+             counters may differ from the unsliced path) *)
+          let sliced_report tenant slices =
+            let b =
+              Serve.Client.submit_batch c ~tenant ~slices
+                (client_contracts contracts)
+            in
+            Alcotest.(check (list string))
+              (Printf.sprintf "sliced K=%d: no errors" slices)
+              []
+              (List.map fst b.Serve.Client.bt_errors);
+            Campaign.Campaign.of_entries
+              (List.map (fun (_, _, e) -> e) b.Serve.Client.bt_verdicts)
+          in
+          let k2 = sliced_report "bob" 2 and k4 = sliced_report "carol" 4 in
+          Alcotest.(check string) "K=2 and K=4 verdicts byte-identical"
+            (Campaign.Campaign.verdicts_text k2)
+            (Campaign.Campaign.verdicts_text k4);
+          Alcotest.(check string) "K=2 and K=4 evidence byte-identical"
+            (Campaign.Campaign.evidence_text k2)
+            (Campaign.Campaign.evidence_text k4);
+          Alcotest.(check string) "sliced flags match the unsliced run"
+            (Campaign.Campaign.flags_text serve_report)
+            (Campaign.Campaign.flags_text k4);
           (* resubmission replays from the journal without re-fuzzing *)
           let again =
             Serve.Client.submit_batch c ~tenant:"alice"
@@ -446,6 +492,7 @@ let test_serve_backpressure () =
                      rq_name = name;
                      rq_wasm = wasm;
                      rq_abi = Some abi;
+                  rq_slices = 1;
                    }))
             contracts;
           (* one admission reply per submission (verdicts may
@@ -531,7 +578,7 @@ let test_abort_resume_identity () =
     (fun (name, wasm, abi) ->
       Serve.Client.send c
         (Serve.Wire.Submit
-           { rq_tenant = "alice"; rq_name = name; rq_wasm = wasm; rq_abi = Some abi }))
+           { rq_tenant = "alice"; rq_name = name; rq_wasm = wasm; rq_abi = Some abi; rq_slices = 1 }))
     contracts;
   let rec await_first_verdict () =
     match Serve.Client.next c with

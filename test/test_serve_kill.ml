@@ -94,6 +94,7 @@ let () =
                   rq_name = name;
                   rq_wasm = wasm;
                   rq_abi = Some abi;
+                  rq_slices = 1;
                 }))
          contracts;
        let rec await_first_verdict () =
